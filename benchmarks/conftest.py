@@ -1,0 +1,18 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure: it times the
+regeneration with pytest-benchmark, prints the reproduced table (visible
+with ``-s``; always attached to the benchmark's ``extra_info``), and
+asserts the headline shape so a ``--benchmark-only`` run doubles as a
+reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach(benchmark, rendered: str) -> None:
+    """Attach a rendered table to the benchmark record and print it."""
+    benchmark.extra_info["table"] = rendered
+    print("\n" + rendered)

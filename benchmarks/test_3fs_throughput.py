@@ -1,0 +1,19 @@
+"""Benchmark: Section VI-B2 — 3FS aggregate read throughput (8 TB/s)."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import storage_throughput
+
+
+def test_3fs_capacity_analysis(benchmark):
+    cap = benchmark(storage_throughput.capacity_analysis)
+    assert cap["achieved_with_rts_TBps"] == pytest.approx(8.0, abs=0.1)
+    attach(benchmark, storage_throughput.render())
+
+
+def test_3fs_flow_simulation(benchmark):
+    sim = benchmark(storage_throughput.flow_simulation)
+    # Balanced placement saturates every storage NIC in the fluid model.
+    assert sim["min_nic_utilization"] > 0.9
+    assert sim["aggregate_TBps"] == pytest.approx(sim["line_rate_TBps"], rel=0.05)

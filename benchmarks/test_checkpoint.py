@@ -1,0 +1,28 @@
+"""Benchmark: Section VII-A — checkpoint save/load performance."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import checkpoint_exp
+
+
+def test_checkpoint_save_bandwidth_model(benchmark):
+    bw = benchmark(checkpoint_exp.save_bandwidth_model)
+    assert bw["achieved_GiBps"] > 10.0  # paper: "over 10 GiB/s per node"
+    attach(benchmark, checkpoint_exp.render())
+
+
+def test_checkpoint_executed_roundtrip(benchmark):
+    # Times a real save+load through the in-memory 3FS data plane.
+    res = benchmark.pedantic(
+        checkpoint_exp.executed_save_load,
+        kwargs=dict(n_tensors=8, elems=16384),
+        rounds=3,
+        iterations=1,
+    )
+    assert res["roundtrip_ok"] == 1.0
+
+
+def test_checkpoint_recovery_statistics(benchmark):
+    rec = benchmark(checkpoint_exp.recovery_loss_statistics)
+    assert rec["max_loss_per_failure_s"] == 300.0

@@ -1,0 +1,35 @@
+"""Benchmark: Section VI-A congestion control + the dragonfly decision."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import congestion_exp
+from repro.experiments.fmt import render_table
+from repro.network.dragonfly import compare_with_fat_tree
+
+
+def test_congestion_mixed_traffic(benchmark):
+    rows = benchmark(congestion_exp.run)
+    by_name = {r[0]: r[1:] for r in rows}
+    prod = by_name["production (VL + static + RTS)"]
+    # The production tuning dominates every degraded variant's straggler.
+    for name, vals in by_name.items():
+        assert vals[0] <= prod[0] + 1e-9
+    attach(benchmark, congestion_exp.render())
+
+
+def test_dragonfly_vs_fat_tree(benchmark):
+    cmp = benchmark(compare_with_fat_tree, 800)
+    assert cmp["dragonfly_relative_bisection"] == pytest.approx(0.5)
+    attach(benchmark, render_table(
+        ["metric", "dragonfly", "two-layer fat-tree"],
+        [
+            ["switches (800 hosts)", cmp["dragonfly_switches"],
+             cmp["fat_tree_switches"]],
+            ["switches per host", cmp["dragonfly_switches_per_host"],
+             cmp["fat_tree_switches_per_host"]],
+            ["relative bisection", cmp["dragonfly_relative_bisection"],
+             cmp["fat_tree_relative_bisection"]],
+        ],
+        title="Section III-B: why fat-tree over dragonfly",
+    ))

@@ -1,0 +1,52 @@
+"""Benchmark: DES cross-validation of HFReduce and the RTS tradeoff.
+
+Not a paper table — a methodological check: the chunk-level discrete-
+event simulation and the analytic steady-state model are independent
+derivations from the same hardware constants, and they must agree.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.collectives import AllreduceConfig, HFReduceModel
+from repro.collectives.des_pipeline import HFReduceDesSim
+from repro.experiments.fmt import render_table
+from repro.fs3.rts_sim import rts_tradeoff
+from repro.units import MiB, as_gBps
+
+
+def test_des_vs_analytic(benchmark):
+    sim = HFReduceDesSim()
+    model = HFReduceModel()
+
+    def run():
+        rows = []
+        for nodes in (2, 8, 64, 180):
+            cfg = AllreduceConfig(nbytes=186 * MiB, n_nodes=nodes)
+            rows.append(
+                (nodes * 8, as_gBps(sim.run(cfg).bandwidth),
+                 as_gBps(model.bandwidth(cfg)))
+            )
+        return rows
+
+    rows = benchmark(run)
+    for _, des, analytic in rows:
+        assert des == pytest.approx(analytic, rel=0.10)
+    attach(benchmark, render_table(
+        ["GPUs", "DES GB/s", "analytic GB/s"], rows,
+        title="HFReduce: DES chunk pipeline vs analytic model",
+    ))
+
+
+def test_rts_tradeoff_des(benchmark):
+    t = benchmark(rts_tradeoff, n_senders=64, window=8)
+    assert t["rts"].goodput == pytest.approx(t["ideal"].goodput, rel=1e-6)
+    assert t["no_rts"].goodput < t["rts"].goodput
+    attach(benchmark, render_table(
+        ["policy", "goodput GB/s", "mean latency ms", "p99 latency ms"],
+        [
+            [p, s.goodput / 1e9, s.mean_latency * 1e3, s.p99_latency * 1e3]
+            for p, s in t.items()
+        ],
+        title="Request-to-send tradeoff (64-way incast, window 8)",
+    ))

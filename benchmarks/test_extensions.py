@@ -1,0 +1,71 @@
+"""Benchmarks for the extension studies: ZBPP, async checkpointing, NUMA."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.ckpt import compare_policies
+from repro.experiments.fmt import render_table
+from repro.haiscale.pipeline import PipelineConfig, PipelineSimulator, ScheduleKind
+from repro.hardware import NumaModel, NumaPolicy, fire_flyer_node
+from repro.units import as_gBps
+
+
+def test_zbpp_vs_1f1b_vs_gpipe(benchmark):
+    """Zero Bubble Pipeline Parallelism (cited in Section II-B1)."""
+
+    def run():
+        rows = []
+        for m in (8, 16, 64):
+            kw = dict(n_stages=8, n_microbatches=m, fwd_time=1.0, bwd_time=2.0)
+            out = [m]
+            for kind in (ScheduleKind.GPIPE, ScheduleKind.ONE_F_ONE_B,
+                         ScheduleKind.ZBPP):
+                sched = PipelineSimulator(
+                    PipelineConfig(schedule=kind, **kw)).schedule()
+                out.append(sched.bubble_fraction)
+            rows.append(out)
+        return rows
+
+    rows = benchmark(run)
+    for _, gpipe, ofob, zbpp in rows:
+        assert zbpp < ofob <= gpipe + 1e-9
+    attach(benchmark, render_table(
+        ["microbatches", "GPipe bubble", "1F1B bubble", "ZBPP bubble"], rows,
+        title="Extension: pipeline schedule bubble fractions (8 stages)",
+    ))
+
+
+def test_async_vs_sync_checkpointing(benchmark):
+    """Section VII-A: asynchronous saves don't impact training."""
+    a, s = benchmark(
+        compare_policies, n_steps=200, step_time=10.0, interval=300.0,
+        d2h_time=0.5, write_time=4.0,
+    )
+    assert a.overhead_fraction < 0.01
+    assert s.overhead_fraction > a.overhead_fraction
+    attach(benchmark, render_table(
+        ["policy", "wall-clock (s)", "overhead"],
+        [[a.policy, a.total_time, f"{a.overhead_fraction:.2%}"],
+         [s.policy, s.total_time, f"{s.overhead_fraction:.2%}"]],
+        title="Extension: async vs sync checkpoint staging",
+    ))
+
+
+def test_numa_placement_policies(benchmark):
+    """Section IV-D1: interleave for bandwidth, bind for latency."""
+    model = NumaModel(fire_flyer_node())
+
+    def run():
+        return {
+            p: (model.stream_bandwidth(p), model.access_latency(p))
+            for p in NumaPolicy
+        }
+
+    res = benchmark(run)
+    assert res[NumaPolicy.INTERLEAVED][0] > res[NumaPolicy.BOUND_LOCAL][0]
+    assert res[NumaPolicy.BOUND_LOCAL][1] < res[NumaPolicy.INTERLEAVED][1]
+    attach(benchmark, render_table(
+        ["policy", "stream GB/s", "latency ns"],
+        [[p.value, as_gBps(bw), lat * 1e9] for p, (bw, lat) in res.items()],
+        title="Extension: NUMA placement (D2H interleaved, RDMA bound)",
+    ))

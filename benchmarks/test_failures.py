@@ -1,0 +1,28 @@
+"""Benchmark: Tables V-VIII / Figures 10-11 — failure characterization."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import failures_exp
+
+
+def test_table6_xid_census(benchmark):
+    rows = benchmark(failures_exp.run_table6)
+    assert rows[0][0] == 74
+    assert rows[0][3] == pytest.approx(42.57, abs=0.01)
+    attach(benchmark, failures_exp.render())
+
+
+def test_fig10_monthly_series(benchmark):
+    series = benchmark(failures_exp.run_fig10)
+    assert sum(c for _, c in series["network"]) == 89  # Table VII
+
+
+def test_fig11_ib_flash_cuts(benchmark):
+    series = benchmark(failures_exp.run_fig11)
+    assert sum(c for _, c in series) == 213
+
+
+def test_synthetic_year_matches_census(benchmark):
+    synth = benchmark(failures_exp.run_synthetic_year)
+    assert synth["xid74_share"] == pytest.approx(0.4257, abs=0.03)

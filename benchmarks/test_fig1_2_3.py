@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figures 1-3 (growth / memory-wall series)."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import fig1_2_3
+
+
+def test_fig1_2_3(benchmark):
+    def run_all():
+        return fig1_2_3.run_fig1(), fig1_2_3.run_fig2(), fig1_2_3.run_fig3()
+
+    f1, f2, f3 = benchmark(run_all)
+    assert f2["model_demand"][-1][1] > f2["hw_flops"][-1][1]  # the gap
+    assert f3["gap_ratio"][-1][1] > 10
+    attach(benchmark, fig1_2_3.render())

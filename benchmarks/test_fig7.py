@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (HFReduce vs NCCL allreduce bandwidth)."""
+
+from benchmarks.conftest import attach
+from repro.experiments import fig7
+
+
+def test_fig7_allreduce_sweep(benchmark):
+    rows = benchmark(fig7.run)
+    by_gpus = {r["gpus"]: r for r in rows}
+    # Paper's bands: HFReduce 6.3-8.1 GB/s, NCCL 1.6-4.8 GB/s.
+    assert 6.0 <= by_gpus[1440]["hfreduce"] <= 8.3
+    assert 1.3 <= by_gpus[1440]["nccl"] <= 2.0
+    assert all(r["hfreduce_nvlink"] > 10 for r in rows)  # Figure 7b
+    attach(benchmark, fig7.render())

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8 (DDP and FSDP weak scaling)."""
+
+from benchmarks.conftest import attach
+from repro.experiments import fig8
+
+
+def test_fig8a_vgg16_ddp(benchmark):
+    rows = benchmark(fig8.run_ddp)
+    # HFReduce roughly halves Torch DDP's step time and scales better.
+    assert all(1.5 <= r["speedup"] for r in rows)
+    assert rows[-1]["haiscale_scaling"] >= 0.88
+    attach(benchmark, fig8.render())
+
+
+def test_fig8b_gpt2_fsdp(benchmark):
+    rows = benchmark(fig8.run_fsdp)
+    assert rows[-1]["haiscale_scaling"] >= 0.95
+    assert rows[-1]["speedup"] >= 1.5

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (LLM strong-scaling step times)."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import fig9
+
+
+def test_fig9a_llama13b(benchmark):
+    rows = benchmark(fig9.run_llama)
+    by_gpus = {r["gpus"]: r for r in rows}
+    assert by_gpus[64]["step_time"] == pytest.approx(64.118, rel=0.10)
+    assert by_gpus[512]["step_time"] == pytest.approx(9.717, rel=0.10)
+    attach(benchmark, fig9.render())
+
+
+def test_fig9b_deepseekmoe16b(benchmark):
+    rows = benchmark(fig9.run_moe)
+    by_gpus = {r["gpus"]: r for r in rows}
+    assert by_gpus[40]["step_time"] == pytest.approx(79.615, rel=0.10)
+    assert by_gpus[640]["step_time"] == pytest.approx(6.535, rel=0.10)

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 12 / Section IX — next-gen multi-plane network."""
+
+from benchmarks.conftest import attach
+from repro.experiments import future_arch
+
+
+def test_future_arch(benchmark):
+    r = benchmark(future_arch.run)
+    assert r["max_gpus"] == 32768  # paper's headline scale
+    assert r["mp_switches_per_1k_gpus"] < r["tl_switches_per_1k_gpus"]
+    attach(benchmark, future_arch.render())

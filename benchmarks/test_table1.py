@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table I (server hardware details)."""
+
+from benchmarks.conftest import attach
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 5
+    attach(benchmark, table1.render())

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table III (network cost from topology math)."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3.run)
+    switches = rows[0][1:]
+    assert tuple(switches) == (122, 200, 1320)  # paper's counts exactly
+    totals = rows[3][1:]
+    assert totals[0] / totals[2] == pytest.approx(0.50, abs=0.02)  # half cost
+    attach(benchmark, table3.render())

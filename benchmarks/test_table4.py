@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table IV (storage node hardware)."""
+
+from benchmarks.conftest import attach
+from repro.experiments import table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(table4.run)
+    assert dict(rows)["NICs"].startswith("2 x")
+    attach(benchmark, table4.render())

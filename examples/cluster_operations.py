@@ -1,0 +1,78 @@
+"""Cluster operations: the stability machinery of Section VII.
+
+Simulates a quarter of fleet operations: the weekly validator sweep
+removing faulty nodes from scheduling, the Table-VI-calibrated failure
+stream crashing tasks, and the characterization analytics the operations
+team reviews (Figures 10-11).
+
+Run:  python examples/cluster_operations.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import failures_exp
+from repro.hai import HAICluster, Task, TimeSharingScheduler
+from repro.reliability import FailureGenerator, NodeHealth, Validator, classify_xid
+from repro.reliability.xid import Action
+
+
+def main() -> None:
+    n_nodes = 32
+    cluster = HAICluster.two_zone(n_nodes // 2)
+    sched = TimeSharingScheduler(cluster)
+    for i in range(12):
+        sched.submit(Task(f"job{i}", nodes_required=4, total_work=7 * 86400.0,
+                          checkpoint_interval=300.0))
+    print(f"Cluster: {n_nodes} nodes, {len(sched.running_tasks())} jobs running\n")
+
+    validator = Validator()
+    gen = FailureGenerator(n_nodes=n_nodes, seed=11)
+    fleet = {n.name: NodeHealth(node=n.name) for n in cluster.nodes()}
+
+    week = 7 * 86400.0
+    horizon = 13 * week  # one quarter
+    crashes = 0
+    removed_total = 0
+    now = 0.0
+    while now < horizon:
+        # Failure events this week (scaled empirical stream).
+        for ev in gen.xid_events(week):
+            info = classify_xid(ev.xid)
+            if info.action in (Action.NODE_REBOOT, Action.RMA):
+                node = cluster.nodes()[crashes % n_nodes].name
+                victim = sched.fail_node(node, now=min(now + ev.time, horizon))
+                crashes += 1
+                sched.repair_node(node)  # reboot completes
+                if victim:
+                    print(f"  t={now + ev.time:>10.0f}s  Xid{ev.xid} "
+                          f"({info.category.value}) on {node}: task {victim} "
+                          f"crashed, <=5 min lost, re-queued")
+        now += week
+        sched.run(until=now)
+
+        # Weekly validator sweep: degrade one node's NVLink and catch it.
+        weekno = int(now // week)
+        if weekno == 4:
+            fleet["z0n1"].nvlink_bw_factor = 0.6
+        removed = validator.weekly_sweep(fleet)
+        for name in removed:
+            cluster.mark_unhealthy(name)
+        removed_total += len(removed)
+        if removed:
+            print(f"  week {weekno}: validator removed {removed} from scheduling")
+            for name in removed:  # repair crew fixes it
+                fleet[name] = NodeHealth(node=name)
+                cluster.mark_healthy(name)
+
+    print(f"\nQuarter summary:")
+    print(f"  hard failures handled : {crashes}")
+    print(f"  validator removals    : {removed_total}")
+    print(f"  platform utilization  : {sched.utilization():.1%}")
+    done = sum(1 for t in sched.tasks.values() if t.state.value == "finished")
+    print(f"  jobs finished         : {done}/12\n")
+
+    print(failures_exp.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Executable DDP training: the HFReduce datapath trains a real model.
+
+The other examples use the *timing* models; this one exercises the
+*correctness* layer end to end: a NumPy MLP trained with HaiScale-style
+data parallelism where every gradient synchronization runs through the
+actual HFReduce algorithm (intra-node CPU reduce, inter-node double
+binary tree, optional NVLink pre-reduction, BF16 wire compression).
+
+Demonstrates:
+
+1. DDP over 2 nodes x 4 GPUs is numerically identical to single-process
+   full-batch training,
+2. the NVLink pre-reduction path computes the same answer,
+3. BF16 gradient compression still converges,
+4. the per-step time the performance model predicts for this layout.
+
+Run:  python examples/ddp_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import AllreduceConfig, HFReduceModel
+from repro.haiscale.minitrain import DDPTrainer, MLP, train_reference
+from repro.units import as_gBps
+
+
+def make_regression_data(n=256, n_in=12, n_out=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, n_in)).astype(np.float32)
+    w = rng.standard_normal((n_in, n_out)).astype(np.float32)
+    y = (np.tanh(x @ w) + 0.02 * rng.standard_normal((n, n_out))).astype(np.float32)
+    return x, y
+
+
+def main() -> None:
+    x, y = make_regression_data()
+    seed_model = MLP.init(12, 32, 3, seed=42)
+    steps = 30
+
+    # --- 1. equivalence -------------------------------------------------------
+    ref = seed_model.copy()
+    ref_losses = train_reference(ref, x, y, steps=steps, lr=0.1)
+
+    ddp = DDPTrainer(seed_model.copy(), n_nodes=2, gpus_per_node=4, lr=0.1)
+    ddp_losses = [ddp.train_step(x, y) for _ in range(steps)]
+    max_diff = max(abs(a - b) for a, b in zip(ref_losses, ddp_losses))
+    print(f"DDP (2 nodes x 4 GPUs) vs single process, {steps} steps:")
+    print(f"  final loss: ddp={ddp_losses[-1]:.6f}  ref={ref_losses[-1]:.6f}")
+    print(f"  max per-step loss difference: {max_diff:.2e}")
+    print(f"  replicas in sync: {ddp.replicas_in_sync(atol=1e-6)}\n")
+
+    # --- 2. NVLink pre-reduction path -----------------------------------------
+    nv = DDPTrainer(seed_model.copy(), n_nodes=2, gpus_per_node=4, lr=0.1,
+                    nvlink=True)
+    nv_losses = [nv.train_step(x, y) for _ in range(steps)]
+    print(f"NVLink pre-reduction path: final loss {nv_losses[-1]:.6f} "
+          f"(diff vs plain: {abs(nv_losses[-1] - ddp_losses[-1]):.2e})\n")
+
+    # --- 3. BF16 gradient compression ------------------------------------------
+    bf = DDPTrainer(seed_model.copy(), n_nodes=2, gpus_per_node=4, lr=0.1,
+                    dtype="bf16")
+    bf_losses = [bf.train_step(x, y) for _ in range(steps)]
+    print(f"BF16 gradient wire format: loss {bf_losses[0]:.4f} -> "
+          f"{bf_losses[-1]:.4f} (fp32: {ddp_losses[-1]:.4f})\n")
+
+    # --- 4. what the performance model says about this layout -------------------
+    grad_bytes = sum(p.size * 4 for p in seed_model.params().values())
+    cfg = AllreduceConfig(nbytes=max(grad_bytes, 1024), n_nodes=2)
+    bw = HFReduceModel().bandwidth(cfg)
+    print("Performance model for this layout (8 GPUs, 2 nodes):")
+    print(f"  gradient volume  : {grad_bytes / 1024:.1f} KiB")
+    print(f"  HFReduce bandwidth at 2 nodes: {as_gBps(bw):.1f} GB/s")
+    print(f"  predicted sync time: {cfg.nbytes / bw * 1e6:.0f} us per step")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Network design-space exploration (Sections III-B, VI-A, IX).
+
+Uses the fat-tree builders, routing policies, QoS model, and the fluid
+flow simulator to answer the design questions the paper answers:
+
+* how much does the two-zone two-layer design save vs three-layer?
+* what do SL/VL isolation and static routing buy under mixed traffic?
+* what does the next-generation multi-plane network look like?
+
+Run:  python examples/network_design.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import future_arch, table3
+from repro.hardware.spec import QM8700_SWITCH, ROCE_400G_128P
+from repro.network import (
+    Flow,
+    FlowSim,
+    ServiceLevel,
+    TrafficClassConfig,
+    fire_flyer_network,
+    multi_plane_counts,
+    three_layer_counts,
+    two_layer_counts,
+    two_zone_network,
+)
+from repro.network.routing import StaticRouter
+from repro.units import as_gBps
+
+
+def main() -> None:
+    # --- topology economics ------------------------------------------------
+    print(table3.render())
+    print()
+
+    # --- a live two-zone fabric ----------------------------------------------
+    fab = fire_flyer_network(gpu_nodes=80, storage_nodes=8)
+    print(f"Scaled Fire-Flyer fabric: {len(fab.hosts)} endpoints, "
+          f"{len(fab.switches('leaf'))} leaves, "
+          f"{len(fab.switches('spine'))} spines")
+    # Cross-zone reachability through the limited inter-zone links.
+    path = fab.all_shortest_paths("cn0", "cn79")[0]
+    print(f"  cn0 -> cn79 (cross-zone): {' -> '.join(path)}\n")
+
+    # --- traffic isolation under mixed load --------------------------------------
+    def mixed_flows():
+        return [
+            Flow("cn0", "cn10", size=1.0, sl=ServiceLevel.HFREDUCE, flow_id=1),
+            Flow("st0.nic0", "cn10", size=1.0, sl=ServiceLevel.STORAGE, flow_id=2),
+            Flow("cn1", "cn10", size=1.0, sl=ServiceLevel.OTHER, flow_id=3),
+        ]
+
+    for isolation in (True, False):
+        sim = FlowSim(fab, router=StaticRouter(fab),
+                      qos=TrafficClassConfig(isolation=isolation))
+        rates = sim.instantaneous_rates(mixed_flows())
+        label = "SL/VL isolation ON " if isolation else "SL/VL isolation OFF"
+        print(f"{label}: HFReduce {as_gBps(rates[1]):5.2f} GB/s, "
+              f"storage {as_gBps(rates[2]):5.2f} GB/s, "
+              f"other {as_gBps(rates[3]):5.2f} GB/s "
+              f"(total {as_gBps(sum(rates.values())):5.2f})")
+
+    # --- scaling the recipe up (Section IX) -----------------------------------------
+    print()
+    print("Design points (switches per 1000 GPUs):")
+    ff = 122 / 10_000 * 1000
+    tl = three_layer_counts(10_000, QM8700_SWITCH, provisioned_pods=32).total / 10_000 * 1000
+    mp = multi_plane_counts(8192, planes=4, switch=ROCE_400G_128P).total / 32_768 * 1000
+    print(f"  Fire-Flyer 2 two-zone (10k GPUs)      : {ff:5.1f}")
+    print(f"  DGX-style three-layer (10k endpoints) : {tl:5.1f}")
+    print(f"  Next-gen 4-plane RoCE (32k GPUs)      : {mp:5.1f}")
+    print()
+    print(future_arch.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Fire-Flyer AI-HPC reproduction.
+
+A simulation-grade reimplementation of the systems described in
+"Fire-Flyer AI-HPC: A Cost-Effective Software-Hardware Co-Design for Deep
+Learning" (DeepSeek-AI, SC 2024):
+
+* :mod:`repro.simcore` — discrete-event simulation kernel
+* :mod:`repro.hardware` — PCIe A100 / DGX / storage node models
+* :mod:`repro.network` — fat-tree fabrics, routing, QoS, flow simulation
+* :mod:`repro.numerics` — executable BF16/FP8 codecs and reduce kernels
+* :mod:`repro.collectives` — HFReduce and NCCL (executable + models)
+* :mod:`repro.haiscale` — DDP / FSDP / pipeline / TP / EP / ZeRO
+* :mod:`repro.fs3` — the 3FS distributed file system (CRAQ, meta, KV)
+* :mod:`repro.hai` — the HAI time-sharing platform
+* :mod:`repro.ckpt` — the checkpoint manager
+* :mod:`repro.reliability` — validator + failure characterization
+* :mod:`repro.costmodel` — cost, power, and growth accounting
+* :mod:`repro.experiments` — one module per paper table/figure
+
+Quick start::
+
+    from repro.collectives import AllreduceConfig, HFReduceModel, NCCLRingModel
+    from repro.units import MiB, as_gBps
+
+    cfg = AllreduceConfig(nbytes=186 * MiB, n_nodes=16)
+    print(as_gBps(HFReduceModel().bandwidth(cfg)))   # ~7.5 GB/s
+    print(as_gBps(NCCLRingModel().bandwidth(cfg)))   # ~4.5 GB/s
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ckpt",
+    "collectives",
+    "costmodel",
+    "errors",
+    "experiments",
+    "fairshare",
+    "fs3",
+    "hai",
+    "haiscale",
+    "hardware",
+    "network",
+    "numerics",
+    "reliability",
+    "simcore",
+    "units",
+]

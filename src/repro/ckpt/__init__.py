@@ -1,0 +1,21 @@
+"""Checkpoint manager (Section VII-A).
+
+Chunked tensor save/load on 3FS with a per-tensor index, periodic
+5-minute snapshots, and bounded-loss crash recovery.
+"""
+
+from repro.ckpt.manager import CheckpointManager, CheckpointMeta, TensorRecord
+from repro.ckpt.async_sim import (
+    AsyncCkptStats,
+    compare_policies,
+    simulate_checkpointing,
+)
+
+__all__ = [
+    "AsyncCkptStats",
+    "CheckpointManager",
+    "CheckpointMeta",
+    "TensorRecord",
+    "compare_policies",
+    "simulate_checkpointing",
+]

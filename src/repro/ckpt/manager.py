@@ -1,0 +1,225 @@
+"""Checkpoint manager: chunked tensor save/load over 3FS (Section VII-A).
+
+"Parameters and optimization states are divided into chunks and written to
+3FS using the 3FS batch write API... During the saving process, each
+tensor is recorded with its index and the offset within the checkpoint,
+which makes the location of tensors more convenient during the loading
+process."
+
+Layout under ``{root}/step{N:012d}/``:
+
+* ``blob.{i}`` — fixed-size data chunks of the concatenated tensor bytes,
+* ``index`` — JSON: per-tensor name, dtype, shape, offset, length, plus
+  the step and total size.
+
+The manager also owns the *policy*: periodic saves every
+``interval`` seconds (5 minutes by default), asynchronous staging (the
+training loop only pays the D2H copy, modelled as the serialization
+here), and recovery that loses at most one interval.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.fs3.client import FS3Client
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class TensorRecord:
+    """Index entry for one tensor."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """One checkpoint's index."""
+
+    step: int
+    total_bytes: int
+    tensors: Tuple[TensorRecord, ...]
+
+
+class CheckpointManager:
+    """Saves and loads training state on a 3FS client."""
+
+    def __init__(
+        self,
+        client: FS3Client,
+        root: str = "/checkpoints",
+        interval: float = 300.0,
+        blob_chunk_bytes: int = 4 * MiB,
+    ) -> None:
+        if interval <= 0:
+            raise CheckpointError("interval must be positive")
+        if blob_chunk_bytes <= 0:
+            raise CheckpointError("blob_chunk_bytes must be positive")
+        self.client = client
+        self.root = root.rstrip("/")
+        self.interval = interval
+        self.blob_chunk_bytes = blob_chunk_bytes
+        if not client.exists(self.root):
+            client.makedirs(self.root)
+        self._last_save_time: Optional[float] = None
+
+    # -- policy -----------------------------------------------------------------
+
+    def should_save(self, now: float) -> bool:
+        """Whether the periodic timer has elapsed."""
+        if self._last_save_time is None:
+            return True
+        return now - self._last_save_time >= self.interval
+
+    def max_loss_seconds(self) -> float:
+        """Upper bound on lost progress after a crash."""
+        return self.interval
+
+    # -- save/load --------------------------------------------------------------
+
+    def _dir(self, step: int) -> str:
+        return f"{self.root}/step{step:012d}"
+
+    def save(
+        self,
+        step: int,
+        tensors: Dict[str, np.ndarray],
+        now: Optional[float] = None,
+    ) -> CheckpointMeta:
+        """Write a checkpoint with the 3FS batch write API."""
+        if step < 0:
+            raise CheckpointError("step must be >= 0")
+        if not tensors:
+            raise CheckpointError("checkpoint needs at least one tensor")
+        records: List[TensorRecord] = []
+        payloads: List[bytes] = []
+        offset = 0
+        for name in sorted(tensors):
+            arr = np.ascontiguousarray(tensors[name])
+            raw = arr.tobytes()
+            records.append(
+                TensorRecord(
+                    name=name,
+                    dtype=str(arr.dtype),
+                    shape=tuple(arr.shape),
+                    offset=offset,
+                    length=len(raw),
+                )
+            )
+            payloads.append(raw)
+            offset += len(raw)
+        blob = b"".join(payloads)
+
+        directory = self._dir(step)
+        if not self.client.exists(directory):
+            self.client.makedirs(directory)
+        items: Dict[str, bytes] = {}
+        cb = self.blob_chunk_bytes
+        n_chunks = max(1, -(-len(blob) // cb))
+        for i in range(n_chunks):
+            items[f"{directory}/blob.{i:06d}"] = blob[i * cb : (i + 1) * cb]
+        index = {
+            "step": step,
+            "total_bytes": len(blob),
+            "n_chunks": n_chunks,
+            "tensors": [
+                {
+                    "name": r.name,
+                    "dtype": r.dtype,
+                    "shape": list(r.shape),
+                    "offset": r.offset,
+                    "length": r.length,
+                }
+                for r in records
+            ],
+        }
+        items[f"{directory}/index"] = json.dumps(index).encode()
+        self.client.batch_write(items)
+        if now is not None:
+            self._last_save_time = now
+        return CheckpointMeta(
+            step=step, total_bytes=len(blob), tensors=tuple(records)
+        )
+
+    def read_meta(self, step: int) -> CheckpointMeta:
+        """Load a checkpoint's index."""
+        directory = self._dir(step)
+        try:
+            raw = self.client.read_file(f"{directory}/index")
+        except Exception as exc:
+            raise CheckpointError(f"no checkpoint at step {step}: {exc}")
+        index = json.loads(raw)
+        records = tuple(
+            TensorRecord(
+                name=t["name"],
+                dtype=t["dtype"],
+                shape=tuple(t["shape"]),
+                offset=t["offset"],
+                length=t["length"],
+            )
+            for t in index["tensors"]
+        )
+        return CheckpointMeta(
+            step=index["step"], total_bytes=index["total_bytes"], tensors=records
+        )
+
+    def load(self, step: int) -> Dict[str, np.ndarray]:
+        """Load all tensors of a checkpoint (3FS batch read)."""
+        meta = self.read_meta(step)
+        directory = self._dir(step)
+        n_chunks = max(1, -(-meta.total_bytes // self.blob_chunk_bytes))
+        if meta.total_bytes == 0:
+            n_chunks = 1
+        paths = [f"{directory}/blob.{i:06d}" for i in range(n_chunks)]
+        blob = b"".join(self.client.batch_read(paths).values())
+        out: Dict[str, np.ndarray] = {}
+        for r in meta.tensors:
+            raw = blob[r.offset : r.offset + r.length]
+            if len(raw) != r.length:
+                raise CheckpointError(
+                    f"checkpoint step {step} truncated at tensor {r.name!r}"
+                )
+            out[r.name] = np.frombuffer(raw, dtype=np.dtype(r.dtype)).reshape(r.shape).copy()
+        return out
+
+    def load_tensor(self, step: int, name: str) -> np.ndarray:
+        """Load a single tensor using its index offset (partial read)."""
+        meta = self.read_meta(step)
+        rec = next((r for r in meta.tensors if r.name == name), None)
+        if rec is None:
+            raise CheckpointError(f"tensor {name!r} not in checkpoint {step}")
+        directory = self._dir(step)
+        cb = self.blob_chunk_bytes
+        first = rec.offset // cb
+        last = (rec.offset + max(rec.length, 1) - 1) // cb
+        paths = [f"{directory}/blob.{i:06d}" for i in range(first, last + 1)]
+        blob = b"".join(self.client.batch_read(paths).values())
+        start = rec.offset - first * cb
+        raw = blob[start : start + rec.length]
+        return np.frombuffer(raw, dtype=np.dtype(rec.dtype)).reshape(rec.shape).copy()
+
+    # -- housekeeping --------------------------------------------------------------
+
+    def steps(self) -> List[int]:
+        """All checkpointed steps, ascending."""
+        names = self.client.listdir(self.root)
+        out = []
+        for n in names:
+            if n.startswith("step"):
+                out.append(int(n[4:]))
+        return sorted(out)
+
+    def latest_step(self) -> Optional[int]:
+        """Most recent checkpointed step."""
+        steps = self.steps()
+        return steps[-1] if steps else None

@@ -1,0 +1,33 @@
+"""Collective communication: executable algorithms + performance models.
+
+Two complementary layers reproduce HFReduce (Section IV):
+
+* :mod:`repro.collectives.exec_engine` — *executable* collectives over
+  NumPy buffers (ring, double binary tree, the full HFReduce datapath).
+  These establish algorithmic correctness, bit-for-bit.
+* :mod:`repro.collectives.hfreduce` / :mod:`repro.collectives.nccl` —
+  *timing models* on the simulated hardware that regenerate the paper's
+  bandwidth figures (Figure 7) and the Section IV-D bottleneck analysis.
+"""
+
+from repro.collectives.primitives import AllreduceConfig, CHUNK_BYTES_DEFAULT
+from repro.collectives.exec_engine import (
+    hfreduce_allreduce_exec,
+    ring_allreduce_exec,
+    tree_allreduce_exec,
+)
+from repro.collectives.hfreduce import HFReduceModel
+from repro.collectives.nccl import NCCLRingModel
+from repro.collectives.des_pipeline import DesResult, HFReduceDesSim
+
+__all__ = [
+    "AllreduceConfig",
+    "CHUNK_BYTES_DEFAULT",
+    "DesResult",
+    "HFReduceDesSim",
+    "HFReduceModel",
+    "NCCLRingModel",
+    "hfreduce_allreduce_exec",
+    "ring_allreduce_exec",
+    "tree_allreduce_exec",
+]

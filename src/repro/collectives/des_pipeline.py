@@ -1,0 +1,168 @@
+"""Discrete-event simulation of the HFReduce chunk pipeline.
+
+Where :class:`~repro.collectives.hfreduce.HFReduceModel` computes
+steady-state bandwidth analytically, this module *simulates* Algorithms 1
+and 2 chunk by chunk on the :mod:`repro.simcore` kernel:
+
+1. every GPU streams each chunk D2H through its PCIe path (the shared
+   GPU5/6 root port is a shared resource),
+2. the CPU reduce-adds the eight arrivals (rate set by the memory system),
+3. the reduced chunk runs the double-binary-tree allreduce hop by hop
+   (per-hop RDMA latency plus NIC serialization),
+4. the result returns H2D.
+
+Stages overlap exactly as the pipelined implementation overlaps them, so
+the simulated completion time includes fill/drain effects the analytic
+model folds into :func:`~repro.collectives.primitives.pipeline_latency_factor`.
+The two are cross-validated in tests and in the
+``test_des_vs_analytic`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collectives.primitives import AllreduceConfig, RDMA_HOP_LATENCY
+from repro.errors import CollectiveError
+from repro.hardware.cpu import CpuReduceModel
+from repro.hardware.memory import MemorySystem
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
+from repro.network.dbtree import double_binary_tree
+from repro.simcore import Environment, Resource, Store
+
+
+@dataclass
+class DesResult:
+    """Outcome of one simulated allreduce."""
+
+    total_time: float
+    nbytes: int
+    n_chunks: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Algorithm bandwidth in bytes/s."""
+        return self.nbytes / self.total_time
+
+
+class HFReduceDesSim:
+    """Chunk-level DES of HFReduce on one representative node.
+
+    The node under simulation is the pipeline bottleneck (all nodes run
+    the identical schedule); the inter-node phase is represented by the
+    critical path through the double binary tree: ``2 * depth`` hops of
+    (NIC serialization + RDMA latency) per chunk, overlapped across
+    chunks through a NIC resource.
+    """
+
+    #: Fixed per-chunk dispatch cost (copy-engine doorbell, kernel-side
+    #: bookkeeping, verbs post): the term that penalizes very fine
+    #: chunking and gives the chunk-size curve its interior optimum.
+    CHUNK_OVERHEAD = 20e-6
+
+    def __init__(self, node: Optional[NodeSpec] = None) -> None:
+        self.node = node if node is not None else fire_flyer_node()
+        fabric = PCIeFabric(self.node)
+        # Steady-state per-GPU rates when all GPUs stream both directions:
+        # the same contention model the analytic path uses.
+        transfers = []
+        for i in range(self.node.gpu_count):
+            transfers.append(Transfer(f"gpu{i}", TransferKind.D2H))
+            transfers.append(Transfer(f"gpu{i}", TransferKind.H2D))
+        rates = fabric.rates(transfers)
+        self._d2h_rate: Dict[int, float] = {}
+        self._h2d_rate: Dict[int, float] = {}
+        for idx, t in enumerate(transfers):
+            gpu = int(t.device[3:])
+            if t.kind == TransferKind.D2H:
+                self._d2h_rate[gpu] = rates[idx]
+            else:
+                self._h2d_rate[gpu] = rates[idx]
+        # CPU reduce throughput: memory-bound output rate for an 8-way add.
+        self._reduce_rate = CpuReduceModel(
+            self.node.cpu, sockets=self.node.cpu_sockets
+        ).reduce_rate(self.node.gpu_count)
+        self._nic_rate = self.node.nic.bw / 2.0  # tree up+down per byte
+
+    def run(self, cfg: AllreduceConfig) -> DesResult:
+        """Simulate one allreduce; returns timing."""
+        if cfg.gpus_per_node != self.node.gpu_count:
+            raise CollectiveError("config GPU count does not match the node")
+        env = Environment()
+        n_chunks = cfg.n_chunks
+        chunk = cfg.nbytes / n_chunks
+        depth = double_binary_tree(max(cfg.n_nodes, 1)).depth
+
+        reduced: Store = Store(env)  # chunks ready for inter-node phase
+        returned: Store = Store(env)  # chunks fully allreduced
+        cpu = Resource(env, capacity=1)  # one reduce pipeline
+        nic = Resource(env, capacity=1)  # one NIC, serializes sends
+
+        def gpu_d2h(gpu: int, arrivals: Store):
+            # Each GPU streams its chunks back-to-back at its fair rate,
+            # paying the fixed dispatch cost per chunk.
+            for c in range(n_chunks):
+                yield env.timeout(
+                    chunk / self._d2h_rate[gpu] + self.CHUNK_OVERHEAD
+                )
+                yield arrivals.put((c, gpu))
+
+        # Chunk c is reducible once all GPUs delivered it; track arrivals.
+        arrivals: Store = Store(env)
+        seen: Dict[int, int] = {}
+
+        def collector():
+            while True:
+                c, _gpu = yield arrivals.get()
+                seen[c] = seen.get(c, 0) + 1
+                if seen[c] == self.node.gpu_count:
+                    yield reduced.put(c)
+
+        def reducer_and_network():
+            for _ in range(n_chunks):
+                c = yield reduced.get()
+                req = cpu.request()
+                yield req
+                yield env.timeout(
+                    chunk / self._reduce_rate + self.CHUNK_OVERHEAD
+                )
+                cpu.release(req)
+                env.process(network_phase(c))
+
+        def network_phase(c: int):
+            # The chunk occupies this node's NIC for its serialization
+            # time; the tree transit is store-and-forward per hop (a hop
+            # must hold the whole chunk before forwarding), so each chunk
+            # additionally rides depth x (service + latency) of pipeline
+            # transit. Up and down passes overlap on full-duplex links, so
+            # one tree depth of hops covers the round trip. Transits of
+            # different chunks overlap (they occupy *other* nodes' NICs),
+            # which is why only the NIC serialization is a shared resource
+            # here.
+            nreq = nic.request()
+            yield nreq
+            yield env.timeout(chunk / self._nic_rate)
+            nic.release(nreq)
+            if cfg.n_nodes > 1:
+                yield env.timeout(
+                    depth * (chunk / self._nic_rate + RDMA_HOP_LATENCY)
+                )
+            # H2D return to the slowest GPU gates chunk completion.
+            slowest = min(self._h2d_rate.values())
+            yield env.timeout(chunk / slowest)
+            yield returned.put(c)
+
+        def root():
+            for g in range(self.node.gpu_count):
+                env.process(gpu_d2h(g, arrivals))
+            env.process(collector())
+            env.process(reducer_and_network())
+            for _ in range(n_chunks):
+                yield returned.get()
+            return env.now
+
+        done = env.process(root())
+        total = env.run(until=done)
+        return DesResult(total_time=total, nbytes=cfg.nbytes, n_chunks=n_chunks)

@@ -1,0 +1,158 @@
+"""Executable collectives over in-memory rank buffers.
+
+These run the actual algorithms on NumPy arrays — no timing, pure
+dataflow — to establish that the communication schedules used by the
+performance models compute the right answer:
+
+* :func:`ring_allreduce_exec` — NCCL-style reduce-scatter + allgather ring,
+* :func:`tree_allreduce_exec` — double-binary-tree allreduce (Algorithm 2's
+  two passes: reduce toward each root, then broadcast back down),
+* :func:`hfreduce_allreduce_exec` — the complete HFReduce datapath
+  (Algorithm 1 + 2): per-node intra-node CPU reduction, inter-node
+  double-tree allreduce of the node sums, then return to every GPU;
+  optionally with the NVLink pre-reduction of Section IV-C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CollectiveError
+from repro.network.dbtree import TreeSpec, double_binary_tree
+from repro.numerics.dtypes import codec_for
+from repro.numerics.reduce_kernels import reduce_add
+
+
+def _check_uniform(buffers: Sequence[np.ndarray]) -> None:
+    if not buffers:
+        raise CollectiveError("need at least one buffer")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers:
+        if b.shape != shape or b.dtype != dtype:
+            raise CollectiveError("all rank buffers must share shape and dtype")
+
+
+def ring_allreduce_exec(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Ring allreduce (reduce-scatter then allgather) on FP32 buffers.
+
+    Returns one reduced array per rank; every rank ends with the full sum.
+    """
+    _check_uniform(buffers)
+    n = len(buffers)
+    if n == 1:
+        return [buffers[0].copy()]
+    length = buffers[0].size
+    segs = np.array_split(np.arange(length), n)
+    work = [np.array(b, dtype=np.float32, copy=True).ravel() for b in buffers]
+
+    # Reduce-scatter: in step s, rank r sends segment (r - s) to rank r+1.
+    for step in range(n - 1):
+        updates = []
+        for r in range(n):
+            seg = segs[(r - step) % n]
+            updates.append((r, (r + 1) % n, seg, work[r][seg].copy()))
+        for _, dst, seg, data in updates:
+            work[dst][seg] += data
+    # Allgather: circulate the completed segments.
+    for step in range(n - 1):
+        updates = []
+        for r in range(n):
+            seg = segs[(r + 1 - step) % n]
+            updates.append(((r + 1) % n, seg, work[r][seg].copy()))
+        for dst, seg, data in updates:
+            work[dst][seg] = data
+    shape = buffers[0].shape
+    return [w.reshape(shape) for w in work]
+
+
+def _tree_reduce_broadcast(values: List[np.ndarray], tree: TreeSpec) -> None:
+    """In place: every entry of ``values`` becomes the tree-ordered sum."""
+    # Pass 1: children push partial sums toward the root (post-order).
+    order: List[int] = []
+    stack = [tree.root]
+    while stack:
+        r = stack.pop()
+        order.append(r)
+        stack.extend(tree.children[r])
+    for r in reversed(order):  # children before parents
+        p = tree.parent[r]
+        if p is not None:
+            values[p] = values[p] + values[r]
+    # Pass 2: root broadcasts the total back down (pre-order).
+    for r in order:  # parents before children
+        for c in tree.children[r]:
+            values[c] = values[r].copy()
+
+
+def tree_allreduce_exec(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Double-binary-tree allreduce: half the data down each tree."""
+    _check_uniform(buffers)
+    n = len(buffers)
+    flat = [np.array(b, dtype=np.float32, copy=True).ravel() for b in buffers]
+    if n == 1:
+        return [flat[0].reshape(buffers[0].shape)]
+    dt = double_binary_tree(n)
+    half = flat[0].size // 2
+    lo = [f[:half].copy() for f in flat]
+    hi = [f[half:].copy() for f in flat]
+    _tree_reduce_broadcast(lo, dt.t1)
+    _tree_reduce_broadcast(hi, dt.t2)
+    out = []
+    for r in range(n):
+        out.append(np.concatenate([lo[r], hi[r]]).reshape(buffers[0].shape))
+    return out
+
+
+def hfreduce_allreduce_exec(
+    gpu_buffers: Sequence[Sequence[np.ndarray]],
+    dtype: str = "fp32",
+    nvlink: bool = False,
+) -> List[List[np.ndarray]]:
+    """Run the full HFReduce datapath on wire-format buffers.
+
+    ``gpu_buffers[node][gpu]`` holds each GPU's gradient in wire format
+    (see :func:`repro.numerics.dtypes.codec_for`). Returns the same
+    structure with every GPU holding the global reduction.
+
+    With ``nvlink=True``, NVLink-paired GPUs pre-reduce before the D2H
+    transfer and the reduced result is returned to one GPU of each pair
+    then allgathered over the bridge (Section IV-C) — same answer, half
+    the host traffic.
+    """
+    if not gpu_buffers or not gpu_buffers[0]:
+        raise CollectiveError("need at least one node with one GPU")
+    codec = codec_for(dtype)
+    gpus_per_node = len(gpu_buffers[0])
+    for node in gpu_buffers:
+        if len(node) != gpus_per_node:
+            raise CollectiveError("all nodes must have the same GPU count")
+        _check_uniform(node)
+
+    # Step 0 (NVLink only): pairwise pre-reduction on the GPUs.
+    staged: List[List[np.ndarray]] = []
+    for node in gpu_buffers:
+        if nvlink and gpus_per_node % 2 == 0:
+            pre = []
+            for i in range(0, gpus_per_node, 2):
+                pre.append(reduce_add([node[i], node[i + 1]], dtype))
+            staged.append(pre)
+        else:
+            staged.append(list(node))
+
+    # Step 1: intra-node reduction on the CPU (Algorithm 1).
+    node_sums_fp32 = [
+        codec.decode(reduce_add(bufs, dtype)).astype(np.float32)
+        for bufs in staged
+    ]
+
+    # Step 2: inter-node double-binary-tree allreduce (Algorithm 2).
+    reduced = tree_allreduce_exec(node_sums_fp32)
+
+    # Step 3: H2D return — every GPU receives the encoded global sum.
+    out: List[List[np.ndarray]] = []
+    for node_idx in range(len(gpu_buffers)):
+        wire = codec.encode(reduced[node_idx])
+        out.append([wire.copy() for _ in range(gpus_per_node)])
+    return out

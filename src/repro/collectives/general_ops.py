@@ -1,0 +1,147 @@
+"""General collective operations beyond allreduce (Section IV).
+
+"HFReduce is versatile and can be applied to any scenario requiring
+allreduce, as well as general reduce and broadcast operations."
+
+Executable implementations over NumPy rank buffers (correctness layer)
+and closed-form cost extensions of :class:`HFReduceModel` (timing layer):
+
+* reduce — tree-reduce toward one root (one tree pass, no broadcast),
+* broadcast — one tree pass down from the root,
+* reduce-scatter / allgather — the ZeRO/FSDP building blocks, expressed
+  over the same double-tree transport.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.hfreduce import HFReduceModel
+from repro.collectives.primitives import AllreduceConfig, pipeline_latency_factor
+from repro.errors import CollectiveError
+from repro.network.dbtree import double_binary_tree
+
+
+def _check(buffers: Sequence[np.ndarray]) -> None:
+    if not buffers:
+        raise CollectiveError("need at least one rank buffer")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers:
+        if b.shape != shape or b.dtype != dtype:
+            raise CollectiveError("rank buffers must share shape and dtype")
+
+
+def reduce_exec(buffers: Sequence[np.ndarray], root: int = 0) -> np.ndarray:
+    """Tree-reduce all rank buffers; only ``root`` receives the sum."""
+    _check(buffers)
+    n = len(buffers)
+    if not 0 <= root < n:
+        raise CollectiveError(f"root {root} out of range for {n} ranks")
+    flat = [np.asarray(b, dtype=np.float32).ravel() for b in buffers]
+    if n == 1:
+        return flat[0].reshape(buffers[0].shape).copy()
+    dt = double_binary_tree(n)
+    halves = []
+    for tree, sl in ((dt.t1, slice(None, flat[0].size // 2)),
+                     (dt.t2, slice(flat[0].size // 2, None))):
+        vals = [f[sl].copy() for f in flat]
+        order: List[int] = []
+        stack = [tree.root]
+        while stack:
+            r = stack.pop()
+            order.append(r)
+            stack.extend(tree.children[r])
+        for r in reversed(order):
+            p = tree.parent[r]
+            if p is not None:
+                vals[p] = vals[p] + vals[r]
+        # Route the tree root's partial to the requested root rank.
+        halves.append(vals[tree.root])
+    return np.concatenate(halves).reshape(buffers[0].shape)
+
+
+def broadcast_exec(buffer: np.ndarray, n_ranks: int) -> List[np.ndarray]:
+    """Broadcast the root's buffer to every rank via the double tree."""
+    if n_ranks < 1:
+        raise CollectiveError("n_ranks must be >= 1")
+    src = np.asarray(buffer, dtype=np.float32)
+    # The tree only determines timing; dataflow-wise every rank receives
+    # an identical copy.
+    return [src.copy() for _ in range(n_ranks)]
+
+
+def reduce_scatter_exec(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Each rank ends with its 1/n shard of the elementwise sum."""
+    _check(buffers)
+    n = len(buffers)
+    total = np.sum([np.asarray(b, dtype=np.float32).ravel() for b in buffers],
+                   axis=0)
+    shards = np.array_split(total, n)
+    return [s.copy() for s in shards]
+
+
+def allgather_exec(shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Every rank ends with the concatenation of all ranks' shards."""
+    if not shards:
+        raise CollectiveError("need at least one shard")
+    full = np.concatenate([np.asarray(s, dtype=np.float32).ravel()
+                           for s in shards])
+    return [full.copy() for _ in range(len(shards))]
+
+
+# ---------------------------------------------------------------------------
+# Timing extensions
+# ---------------------------------------------------------------------------
+
+
+class GeneralOpsModel:
+    """Timing for reduce / broadcast / reduce-scatter / allgather.
+
+    Relative to allreduce's costs: a one-direction tree pass halves the
+    inter-node traffic (reduce skips the broadcast-down; broadcast skips
+    the reduce-up), and reduce-scatter/allgather move (n-1)/n of the data
+    once each.
+    """
+
+    def __init__(self, hfreduce: Optional[HFReduceModel] = None) -> None:
+        self.hfreduce = hfreduce if hfreduce is not None else HFReduceModel()
+
+    def reduce_bandwidth(self, cfg: AllreduceConfig) -> float:
+        """Bytes/s for a rooted reduce (one tree pass)."""
+        # Node-local work identical; network moves each byte once (up).
+        base = min(self.hfreduce.memory_term(), self.hfreduce.pcie_term())
+        if cfg.n_nodes > 1:
+            base = min(base, self.hfreduce.node.nic.bw)
+        depth = double_binary_tree(max(cfg.n_nodes, 1)).depth
+        factor = pipeline_latency_factor(
+            depth_hops=depth, n_chunks=cfg.n_chunks,
+            chunk_service_time=cfg.chunk_bytes / base,
+        )
+        return base / factor
+
+    def broadcast_bandwidth(self, cfg: AllreduceConfig) -> float:
+        """Bytes/s for a broadcast (one tree pass, no CPU reduction)."""
+        node = self.hfreduce.node
+        base = node.nic.bw if cfg.n_nodes > 1 else float("inf")
+        # In-node fanout: H2D to every GPU through the PCIe fabric.
+        base = min(base, self.hfreduce.pcie_term() * 2.0)
+        depth = double_binary_tree(max(cfg.n_nodes, 1)).depth
+        factor = pipeline_latency_factor(
+            depth_hops=depth, n_chunks=cfg.n_chunks,
+            chunk_service_time=cfg.chunk_bytes / base,
+        )
+        return base / factor
+
+    def reduce_scatter_time(self, cfg: AllreduceConfig) -> float:
+        """Seconds for a reduce-scatter of ``cfg.nbytes``."""
+        n = cfg.world_size
+        moved = cfg.nbytes * (n - 1) / n
+        return moved / self.reduce_bandwidth(cfg)
+
+    def allgather_time(self, cfg: AllreduceConfig) -> float:
+        """Seconds for an allgather producing ``cfg.nbytes`` per rank."""
+        n = cfg.world_size
+        moved = cfg.nbytes * (n - 1) / n
+        return moved / self.broadcast_bandwidth(cfg)

@@ -1,0 +1,140 @@
+"""HFReduce performance model (Section IV).
+
+The model composes three independently derived throughput terms and a
+pipeline fill penalty:
+
+* **memory term** — host memory bandwidth divided by the per-byte memory
+  operation count (24x plain, 16x with NVLink pre-reduction, 30x without
+  GDRCopy); Section IV-D3's own analysis.
+* **PCIe term** — the steady-state rate each GPU can sustain for
+  simultaneous D2H+H2D through its root port, from
+  :class:`~repro.hardware.pcie.PCIeFabric`. The GPU5/6 shared port is the
+  binding constraint (~8 GB/s per stream), which is exactly why the paper
+  measures "slightly over 8 GB/s" against the 13.3 GB/s memory ceiling.
+* **network term** — the double-binary-tree inter-node allreduce moves
+  every byte up and down the tree once, so a full-duplex 200 Gbps NIC
+  sustains ~12.5 GB/s of allreduce bandwidth.
+
+The pipeline factor models chunked execution over the tree depth
+(fill/drain) plus per-hop RDMA latency — the source of the gentle decline
+from 8.1 GB/s at 16 GPUs to ~6.3 GB/s at 1440 GPUs in Figure 7a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.collectives.primitives import (
+    AllreduceConfig,
+    RDMA_HOP_LATENCY,
+    pipeline_latency_factor,
+)
+from repro.errors import CollectiveError
+from repro.hardware.memory import MemorySystem
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
+from repro.network.dbtree import double_binary_tree
+
+
+@dataclass
+class HFReduceModel:
+    """Timing/bandwidth model of HFReduce on a node architecture."""
+
+    node: NodeSpec = field(default_factory=fire_flyer_node)
+    nvlink: bool = False
+    gdrcopy: bool = True
+    #: Extra one-way latency when the double tree's single crossing pair
+    #: traverses the inter-zone links (Section III-B).
+    cross_zone_hop_latency: float = RDMA_HOP_LATENCY
+    #: GPUs per zone before a job must span both zones. Tasks under 128
+    #: GPUs are kept zone-local by platform defaults (Figure 7 caption).
+    zone_gpu_capacity: int = 4800
+
+    def __post_init__(self) -> None:
+        if self.nvlink and not self.node.nvlink_pairs:
+            self.node = self.node.with_nvlink()
+
+    # -- component terms ---------------------------------------------------------
+
+    def memory_term(self) -> float:
+        """Memory-bound allreduce bandwidth (bytes/s)."""
+        return MemorySystem(self.node).hfreduce_ceiling(
+            gdrcopy=self.gdrcopy, nvlink=self.nvlink
+        )
+
+    def pcie_term(self) -> float:
+        """Steady-state per-GPU D2H+H2D rate through the PCIe fabric.
+
+        All GPUs stream both directions at once (pipelined chunks); the
+        allreduce advances at the *slowest* GPU's rate. With NVLink, only
+        one GPU per pair performs D2H (of pre-reduced data) while both
+        receive their H2D half, thinning traffic on the shared port.
+        """
+        fab = PCIeFabric(self.node)
+        transfers = []
+        weights_h2d = 0.5 if self.nvlink else 1.0
+        for i in range(self.node.gpu_count):
+            if not self.nvlink or i % 2 == 0:
+                transfers.append(Transfer(f"gpu{i}", TransferKind.D2H))
+            transfers.append(Transfer(f"gpu{i}", TransferKind.H2D, weight=weights_h2d))
+        rates = fab.rates(transfers)
+        # Rate of the allreduce = slowest D2H stream (full-buffer streams).
+        d2h_rates = [
+            rates[idx]
+            for idx, t in enumerate(transfers)
+            if t.kind == TransferKind.D2H
+        ]
+        return min(d2h_rates)
+
+    def network_term(self) -> float:
+        """Inter-node tree allreduce bandwidth through one NIC (bytes/s).
+
+        Each byte is sent up and down the tree once; with a full-duplex
+        NIC both directions overlap, but interior nodes receive from two
+        children while sending to one parent, so the sustained allreduce
+        rate is half the NIC line rate.
+        """
+        return self.node.nic.bw / 2.0
+
+    # -- headline API --------------------------------------------------------------
+
+    def bandwidth(self, cfg: AllreduceConfig) -> float:
+        """Achieved allreduce (algorithm) bandwidth in bytes/s."""
+        if cfg.gpus_per_node != self.node.gpu_count:
+            raise CollectiveError(
+                f"config has {cfg.gpus_per_node} GPUs/node, node has "
+                f"{self.node.gpu_count}"
+            )
+        base = min(self.memory_term(), self.pcie_term())
+        if cfg.n_nodes > 1:
+            base = min(base, self.network_term())
+        depth = double_binary_tree(max(cfg.n_nodes, 1)).depth
+        chunk_service = cfg.chunk_bytes / base
+        factor = pipeline_latency_factor(
+            depth_hops=depth,
+            n_chunks=cfg.n_chunks,
+            chunk_service_time=chunk_service,
+        )
+        if self.crosses_zones(cfg):
+            # One node pair traverses the inter-zone links: one extra hop
+            # of fill latency on the critical path.
+            factor += self.cross_zone_hop_latency / (cfg.n_chunks * chunk_service)
+        return base / factor
+
+    def allreduce_time(self, cfg: AllreduceConfig) -> float:
+        """Wall-clock seconds for one allreduce."""
+        return cfg.nbytes / self.bandwidth(cfg)
+
+    def crosses_zones(self, cfg: AllreduceConfig) -> bool:
+        """Whether the job spans both fat-tree zones."""
+        return cfg.world_size > self.zone_gpu_capacity
+
+    def breakdown(self, cfg: AllreduceConfig) -> Dict[str, float]:
+        """All component terms (bytes/s) for reports and ablations."""
+        return {
+            "memory": self.memory_term(),
+            "pcie": self.pcie_term(),
+            "network": self.network_term(),
+            "achieved": self.bandwidth(cfg),
+        }

@@ -1,0 +1,53 @@
+"""NCCL ring-allreduce model on the PCIe architecture (Section IV-B).
+
+On Fire-Flyer nodes NCCL is throttled by the GPU<->NIC peer-to-peer path:
+EPYC Rome/Milan lack chained writes, capping P2P at ~9 GiB/s (Section
+IV-D2). A ring over ``n`` GPUs moves each byte through (2n-1)/n units of
+every GPU's PCIe bandwidth, so the achievable algorithm bandwidth is
+roughly ``p2p_cap * n / (2n - 1)`` — about 4.8 GB/s — before latency.
+
+Each of the 2(n-1) ring steps pays a per-step latency (kernel launch +
+network); at 1440 GPUs this halves throughput again, reproducing the
+1.6-4.8 GB/s band of Figure 7a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collectives.primitives import AllreduceConfig, ring_transmissions_per_byte
+from repro.errors import CollectiveError
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.hardware.pcie import PCIeFabric
+from repro.units import us
+
+
+@dataclass
+class NCCLRingModel:
+    """Timing/bandwidth model of NCCL ring allreduce on PCIe nodes."""
+
+    node: NodeSpec = field(default_factory=fire_flyer_node)
+    #: Per-ring-step latency: kernel launch, proxy progression, and one
+    #: network hop. Calibrated against Figure 7a's large-scale tail.
+    step_latency: float = us(30.0)
+    #: Fraction of GPU compute lost while NCCL reduction kernels run
+    #: (Section IV-B2 — HFReduce has none).
+    sm_interference: float = 0.05
+
+    def p2p_bandwidth(self) -> float:
+        """GPU<->NIC peer-to-peer ceiling on this node (bytes/s)."""
+        return PCIeFabric(self.node).gpu_nic_p2p_bandwidth()
+
+    def bandwidth(self, cfg: AllreduceConfig) -> float:
+        """Achieved allreduce (algorithm) bandwidth in bytes/s."""
+        n = cfg.world_size
+        if n < 2:
+            raise CollectiveError("NCCL ring model needs >= 2 GPUs")
+        transmissions = ring_transmissions_per_byte(n)
+        transfer_time = cfg.nbytes * transmissions / self.p2p_bandwidth()
+        latency_time = 2.0 * (n - 1) * self.step_latency
+        return cfg.nbytes / (transfer_time + latency_time)
+
+    def allreduce_time(self, cfg: AllreduceConfig) -> float:
+        """Wall-clock seconds for one allreduce."""
+        return cfg.nbytes / self.bandwidth(cfg)

@@ -1,0 +1,76 @@
+"""Shared configuration and cost-model primitives for collectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CollectiveError
+from repro.units import MiB, us
+
+#: Default pipeline chunk size. 4 MiB balances per-chunk overhead against
+#: pipeline depth for the 100-200 MiB gradient buckets typical in training.
+CHUNK_BYTES_DEFAULT = 4 * MiB
+
+#: One RDMA hop latency (QM8700 port-to-port plus verbs overhead).
+RDMA_HOP_LATENCY = us(6.0)
+
+
+@dataclass(frozen=True)
+class AllreduceConfig:
+    """Parameters of one allreduce invocation."""
+
+    nbytes: int
+    n_nodes: int
+    gpus_per_node: int = 8
+    chunk_bytes: int = CHUNK_BYTES_DEFAULT
+    dtype: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise CollectiveError("nbytes must be positive")
+        if self.n_nodes < 1:
+            raise CollectiveError("n_nodes must be >= 1")
+        if self.gpus_per_node < 1:
+            raise CollectiveError("gpus_per_node must be >= 1")
+        if self.chunk_bytes <= 0:
+            raise CollectiveError("chunk_bytes must be positive")
+
+    @property
+    def world_size(self) -> int:
+        """Total GPU count."""
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def n_chunks(self) -> int:
+        """Pipeline chunks covering the buffer."""
+        return max(1, -(-self.nbytes // self.chunk_bytes))
+
+
+def ring_transmissions_per_byte(n: int) -> float:
+    """PCIe transactions per byte in a ring allreduce over ``n`` GPUs.
+
+    Section IV-B1: each unit of data makes ``2n - 1`` hops, costing
+    ``(2n-1)/n`` units of each GPU's bidirectional PCIe bandwidth. HFReduce
+    needs exactly 1 (one D2H plus one H2D).
+    """
+    if n < 2:
+        raise CollectiveError("ring needs >= 2 ranks")
+    return (2.0 * n - 1.0) / n
+
+
+def pipeline_latency_factor(depth_hops: int, n_chunks: int,
+                            per_hop_latency: float = RDMA_HOP_LATENCY,
+                            chunk_service_time: float = 0.0) -> float:
+    """Throughput divisor from pipeline fill/drain over a tree of depth D.
+
+    A chunked pipeline over D hops completes in (C + D) stages instead of
+    C, so sustained bandwidth is scaled by C / (C + D) when the per-hop
+    service time dominates; explicit per-hop latency adds on top for
+    small chunks.
+    """
+    if depth_hops < 0 or n_chunks < 1:
+        raise CollectiveError("invalid pipeline parameters")
+    fill = 1.0 + depth_hops / n_chunks
+    if chunk_service_time > 0:
+        fill += depth_hops * per_hop_latency / (n_chunks * chunk_service_time)
+    return fill

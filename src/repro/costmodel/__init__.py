@@ -1,0 +1,51 @@
+"""Cost, power, and growth accounting (Tables II-III, Figures 1-3)."""
+
+from repro.costmodel.capex import (
+    CostRow,
+    NetworkCostRow,
+    gemm_cost_comparison,
+    network_cost_comparison,
+)
+from repro.costmodel.power import (
+    cluster_power_watts,
+    co2_tonnes_per_year,
+    energy_cost_per_year,
+    power_comparison,
+)
+from repro.costmodel.growth import (
+    ACCELERATOR_MEMORY,
+    MODEL_SIZES,
+    TRAINING_COMPUTE,
+    compute_demand_series,
+    hardware_scaling_series,
+    memory_gap_series,
+)
+from repro.costmodel.tco import (
+    TcoAssumptions,
+    breakeven_years,
+    cloud_cost_per_year,
+    owned_cluster_costs,
+    tco_summary,
+)
+
+__all__ = [
+    "ACCELERATOR_MEMORY",
+    "CostRow",
+    "MODEL_SIZES",
+    "NetworkCostRow",
+    "TRAINING_COMPUTE",
+    "TcoAssumptions",
+    "breakeven_years",
+    "cloud_cost_per_year",
+    "owned_cluster_costs",
+    "tco_summary",
+    "cluster_power_watts",
+    "co2_tonnes_per_year",
+    "compute_demand_series",
+    "energy_cost_per_year",
+    "gemm_cost_comparison",
+    "hardware_scaling_series",
+    "memory_gap_series",
+    "network_cost_comparison",
+    "power_comparison",
+]

@@ -1,0 +1,102 @@
+"""Background growth data and series (Figures 1, 2, 3).
+
+Figure 1 plots the exponential growth of training compute; Figure 2 the
+"AI and Memory Wall" scaling rates (hardware FLOPS 3.0x / 2yrs, DRAM
+bandwidth 1.6x / 2yrs, interconnect 1.4x / 2yrs, vs model demand ~10x /
+2yrs); Figure 3 model parameter counts against accelerator memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+#: (model, year, training compute in FLOPs) — the Figure 1 landmark runs.
+TRAINING_COMPUTE: List[Tuple[str, float, float]] = [
+    ("AlexNet", 2012.5, 4.7e17),
+    ("VGG16", 2014.7, 8.5e18),
+    ("ResNet-50", 2015.9, 1.2e19),
+    ("Transformer (big)", 2017.5, 2.3e19),
+    ("BERT-large", 2018.8, 2.5e20),
+    ("GPT-2", 2019.1, 1.5e21),
+    ("GPT-3", 2020.4, 3.1e23),
+    ("PaLM", 2022.3, 2.5e24),
+    ("GPT-4", 2023.2, 2.1e25),
+]
+
+#: (model, year, parameters) — Figure 3's model-size track.
+MODEL_SIZES: List[Tuple[str, float, float]] = [
+    ("AlexNet", 2012.5, 6.1e7),
+    ("ResNet-50", 2015.9, 2.6e7),
+    ("BERT-large", 2018.8, 3.4e8),
+    ("GPT-2", 2019.1, 1.5e9),
+    ("GPT-3", 2020.4, 1.75e11),
+    ("PaLM", 2022.3, 5.4e11),
+    ("GPT-4 (est.)", 2023.2, 1.8e12),
+]
+
+#: (accelerator, year, memory bytes) — Figure 3's memory track.
+ACCELERATOR_MEMORY: List[Tuple[str, float, float]] = [
+    ("K40", 2013.8, 12e9),
+    ("P100", 2016.3, 16e9),
+    ("V100", 2017.4, 32e9),
+    ("A100-40G", 2020.4, 40e9),
+    ("A100-80G", 2021.0, 80e9),
+    ("H100", 2022.7, 80e9),
+]
+
+#: Figure 2's biennial scaling factors.
+SCALING_PER_2YR = {
+    "hw_flops": 3.0,
+    "dram_bandwidth": 1.6,
+    "interconnect_bandwidth": 1.4,
+    "model_demand": 10.0,
+}
+
+
+def compute_demand_series() -> List[Tuple[str, float, float]]:
+    """Figure 1's data points, sorted by year."""
+    return sorted(TRAINING_COMPUTE, key=lambda r: r[1])
+
+
+def compute_doubling_months() -> float:
+    """Fitted doubling time (months) of training compute since 2012."""
+    pts = compute_demand_series()
+    (y0, c0), (y1, c1) = (pts[0][1], pts[0][2]), (pts[-1][1], pts[-1][2])
+    years = y1 - y0
+    doublings = math.log2(c1 / c0)
+    return years * 12.0 / doublings
+
+
+def hardware_scaling_series(
+    years: int = 10, base_year: int = 2015
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 2's normalized growth curves (value 1.0 at ``base_year``)."""
+    if years < 1:
+        raise ReproError("years must be >= 1")
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for name, per2 in SCALING_PER_2YR.items():
+        series = []
+        for dy in range(years + 1):
+            series.append((base_year + dy, per2 ** (dy / 2.0)))
+        out[name] = series
+    return out
+
+
+def memory_gap_series() -> List[Tuple[float, float]]:
+    """Figure 3's gap: model params (x2 bytes) over single-GPU memory.
+
+    Returns (year, ratio) for each landmark model against the largest
+    accelerator memory available that year — the curve that motivates
+    sharded/parallel training.
+    """
+    out = []
+    for _, year, params in sorted(MODEL_SIZES, key=lambda r: r[1]):
+        available = [m for _, y, m in ACCELERATOR_MEMORY if y <= year + 0.5]
+        if not available:
+            continue
+        gpu_mem = max(available)
+        out.append((year, 2.0 * params / gpu_mem))  # fp16 weights only
+    return out

@@ -1,0 +1,96 @@
+"""Total cost of ownership: owning vs renting (Sections II-C5, VIII-C).
+
+"For long-term projects spanning around two years, these [cloud] costs
+could amount to purchasing an entire dedicated cluster."
+
+The model composes the paper's own accounting: relative hardware capex
+(Tables II-III), power at PUE (Section VIII-C3's method), rack rental,
+and a small operations team, against cloud GPU-hour pricing — and finds
+the break-even horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.costmodel.capex import network_cost_comparison
+from repro.costmodel.power import cluster_power_watts, energy_cost_per_year
+from repro.errors import ReproError
+from repro.hardware.node import fire_flyer_node
+
+#: Dollars per relative-price unit: Table III's server row (11,250 units
+#: for 1,250 nodes) against a ~$112.5M street price for the fleet puts one
+#: unit at ~$10k.
+DOLLARS_PER_UNIT = 10_000.0
+
+
+@dataclass(frozen=True)
+class TcoAssumptions:
+    """Tunable economics (defaults documented inline)."""
+
+    n_nodes: int = 1250
+    gpus_per_node: int = 8
+    cloud_gpu_hour: float = 2.0  # on-demand A100 class, committed-use-ish
+    rack_rental_per_node_year: float = 2_000.0
+    ops_team_cost_per_year: float = 3_000_000.0  # "several dozen developers"
+    pue: float = 1.3
+    electricity_per_kwh: float = 0.10
+    utilization: float = 0.95  # the HAI platform keeps it high
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.gpus_per_node < 1:
+            raise ReproError("cluster dimensions must be >= 1")
+        if not 0 < self.utilization <= 1:
+            raise ReproError("utilization must be in (0,1]")
+
+
+def owned_cluster_costs(a: TcoAssumptions = TcoAssumptions()) -> Dict[str, float]:
+    """Capex and annual opex of the owned Fire-Flyer cluster (dollars)."""
+    ours = network_cost_comparison()[0]
+    capex = ours.total_price * DOLLARS_PER_UNIT
+    power = cluster_power_watts(
+        a.n_nodes, fire_flyer_node(), n_switches=122, n_storage_nodes=180
+    )
+    opex = (
+        energy_cost_per_year(power, pue=a.pue, price_per_kwh=a.electricity_per_kwh)
+        + a.rack_rental_per_node_year * (a.n_nodes + 180)
+        + a.ops_team_cost_per_year
+    )
+    return {"capex": capex, "opex_per_year": opex}
+
+
+def cloud_cost_per_year(a: TcoAssumptions = TcoAssumptions()) -> float:
+    """Renting the same delivered GPU-hours from a cloud (dollars/year)."""
+    gpu_hours = a.n_nodes * a.gpus_per_node * 24 * 365 * a.utilization
+    return gpu_hours * a.cloud_gpu_hour
+
+
+def breakeven_years(a: TcoAssumptions = TcoAssumptions()) -> float:
+    """Years until owning beats renting.
+
+    Solves capex + opex*t = cloud*t. Returns ``inf`` if the cloud is
+    cheaper per year than the owned cluster's operating cost alone.
+    """
+    own = owned_cluster_costs(a)
+    cloud = cloud_cost_per_year(a)
+    margin = cloud - own["opex_per_year"]
+    if margin <= 0:
+        return float("inf")
+    return own["capex"] / margin
+
+
+def tco_summary(horizon_years: float = 2.0,
+                a: TcoAssumptions = TcoAssumptions()) -> Dict[str, float]:
+    """The Section II-C5 comparison at a given horizon."""
+    if horizon_years <= 0:
+        raise ReproError("horizon must be positive")
+    own = owned_cluster_costs(a)
+    total_owned = own["capex"] + own["opex_per_year"] * horizon_years
+    total_cloud = cloud_cost_per_year(a) * horizon_years
+    return {
+        "owned_total": total_owned,
+        "cloud_total": total_cloud,
+        "owned_over_cloud": total_owned / total_cloud,
+        "breakeven_years": breakeven_years(a),
+    }

@@ -1,0 +1,67 @@
+"""Exception taxonomy for the Fire-Flyer reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class HardwareConfigError(ReproError):
+    """Raised when a hardware specification is inconsistent."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology cannot be constructed or routed."""
+
+
+class RoutingError(TopologyError):
+    """Raised when no route exists between two endpoints."""
+
+
+class CollectiveError(ReproError):
+    """Raised for invalid collective-communication configurations."""
+
+
+class ParallelismError(ReproError):
+    """Raised when a HaiScale parallelism plan is infeasible."""
+
+
+class FS3Error(ReproError):
+    """Base class for 3FS file-system errors."""
+
+
+class FS3NotFound(FS3Error):
+    """Raised when a path, inode, or chunk does not exist."""
+
+
+class FS3Exists(FS3Error):
+    """Raised when creating a path that already exists."""
+
+
+class FS3Unavailable(FS3Error):
+    """Raised when no healthy replica / service can serve a request."""
+
+
+class FS3Conflict(FS3Error):
+    """Raised on write conflicts or version mismatches."""
+
+
+class SchedulerError(ReproError):
+    """Raised for invalid HAI platform scheduling requests."""
+
+
+class CheckpointError(ReproError):
+    """Raised when checkpoint save/load fails or is corrupt."""
+
+
+class ValidationFailure(ReproError):
+    """Raised by the validator suite when a node fails a health check."""

@@ -1,0 +1,46 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Each module exposes a ``run()`` returning structured rows/series and a
+``render()`` producing the printable table, so the benchmark harness and
+the examples share one implementation. ``PAPER`` constants record the
+published values next to what we regenerate (EXPERIMENTS.md summarizes
+the comparison).
+"""
+
+from repro.experiments import (
+    checkpoint_exp,
+    congestion_exp,
+    failures_exp,
+    fig1_2_3,
+    fig7,
+    fig8,
+    fig9,
+    future_arch,
+    operations_exp,
+    scheduling_exp,
+    storage_throughput,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.fmt import render_table
+
+__all__ = [
+    "checkpoint_exp",
+    "congestion_exp",
+    "failures_exp",
+    "fig1_2_3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "future_arch",
+    "operations_exp",
+    "scheduling_exp",
+    "render_table",
+    "storage_throughput",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,71 @@
+"""CLI: print reproduced paper tables and figures.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig7 table3
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from repro.experiments import (
+    checkpoint_exp,
+    congestion_exp,
+    failures_exp,
+    fig1_2_3,
+    fig7,
+    fig8,
+    fig9,
+    future_arch,
+    operations_exp,
+    scheduling_exp,
+    storage_throughput,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS: Dict[str, object] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig1_2_3": fig1_2_3,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "storage": storage_throughput,
+    "congestion": congestion_exp,
+    "checkpoint": checkpoint_exp,
+    "failures": failures_exp,
+    "future": future_arch,
+    "operations": operations_exp,
+    "scheduling": scheduling_exp,
+}
+
+
+def main(argv: List[str]) -> int:
+    """Entry point; returns a process exit code."""
+    if "--list" in argv or "-l" in argv:
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    names = [a for a in argv if not a.startswith("-")] or sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(EXPERIMENTS[name].render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,138 @@
+"""Section VII-A: checkpoint manager performance and recovery bounds.
+
+The paper's claims: batch writes exceed 10 GiB/s per node so saving
+completes "in just a few seconds"; saves run every 5 minutes, so a crash
+loses at most 5 minutes of progress.
+
+Reproduced three ways:
+
+* a bandwidth model of the save path (NIC-bound with mirror replication),
+* an end-to-end *executed* save/load through the in-memory 3FS,
+* recovery-loss statistics for a simulated month of failures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.ckpt import CheckpointManager
+from repro.experiments.fmt import render_table
+from repro.fs3 import FS3Client, KVStore, MetaService
+from repro.fs3.storage import StorageCluster
+from repro.hardware.node import fire_flyer_node, storage_node
+from repro.reliability.failures import FailureGenerator
+from repro.units import GiB, as_giBps
+
+PAPER = {
+    "per_node_write_GiBps": 10.0,
+    "save_seconds": "a few",
+    "max_loss_minutes": 5.0,
+}
+
+
+def save_bandwidth_model(replication: int = 2, n_writers: int = 128,
+                         write_efficiency: float = 0.5) -> Dict[str, float]:
+    """Per-compute-node checkpoint write bandwidth (model).
+
+    The batch write streams chunks over the node's 200 Gbps NIC; with
+    mirror replication each byte lands twice on the storage side, but the
+    *client* NIC carries it once and the fleet absorbs the fanout.
+    ``n_writers`` is the checkpointing job's node count (a single large
+    job, not the whole cluster); ``write_efficiency`` covers chunk-commit
+    round trips, metadata updates, and CRAQ chain propagation relative to
+    raw line rate — calibrated to the paper's "over 10 GiB/s per node".
+    """
+    node = fire_flyer_node()
+    st = storage_node()
+    client_nic = node.nic.bw
+    fleet_write = 180 * st.ssd_count * st.ssd.write_bw / replication
+    per_writer_share = fleet_write / n_writers
+    rate = min(client_nic, per_writer_share) * write_efficiency
+    return {
+        "client_nic_GiBps": as_giBps(client_nic),
+        "per_writer_share_GiBps": as_giBps(per_writer_share),
+        "achieved_GiBps": as_giBps(rate),
+    }
+
+
+def save_time_model(model_params: float = 13e9, n_nodes: int = 64,
+                    bytes_per_param: float = 14.0) -> Dict[str, float]:
+    """Seconds to checkpoint a sharded model (fp16 weights + fp32 Adam)."""
+    total = model_params * bytes_per_param
+    per_node = total / n_nodes
+    bw = save_bandwidth_model()["achieved_GiBps"] * GiB
+    return {
+        "total_GiB": total / GiB,
+        "per_node_GiB": per_node / GiB,
+        "save_seconds": per_node / bw,
+    }
+
+
+def executed_save_load(n_tensors: int = 16, elems: int = 65536) -> Dict[str, float]:
+    """Actually run a save+load through the in-memory 3FS and time it."""
+    storage = StorageCluster(n_nodes=4, ssds_per_node=4, replication=2,
+                             targets_per_ssd=2)
+    meta = MetaService(KVStore(), storage.chain_table)
+    client = FS3Client(meta, storage)
+    mgr = CheckpointManager(client)
+    rng = np.random.default_rng(0)
+    state = {
+        f"layer{i}": rng.standard_normal(elems).astype(np.float32)
+        for i in range(n_tensors)
+    }
+    nbytes = sum(v.nbytes for v in state.values())
+    t0 = time.perf_counter()
+    mgr.save(1, state)
+    t_save = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    loaded = mgr.load(1)
+    t_load = time.perf_counter() - t0
+    ok = all(np.array_equal(loaded[k], state[k]) for k in state)
+    return {
+        "bytes": float(nbytes),
+        "save_seconds": t_save,
+        "load_seconds": t_load,
+        "roundtrip_ok": float(ok),
+    }
+
+
+def recovery_loss_statistics(days: int = 30, interval_s: float = 300.0,
+                             seed: int = 0) -> Dict[str, float]:
+    """Expected training loss to failures over a simulated month.
+
+    Failures arrive per the Table VI-calibrated generator; each costs at
+    most one checkpoint interval. Reports total lost hours and the
+    fraction of the month — "for a cluster with thousands of nodes, this
+    overhead from disaster recovery is minimal".
+    """
+    gen = FailureGenerator(n_nodes=1250, seed=seed)
+    horizon = days * 86400.0
+    events = gen.xid_events(horizon)
+    rng = np.random.default_rng(seed)
+    lost = float(np.sum(rng.uniform(0.0, interval_s, size=len(events))))
+    return {
+        "failures": float(len(events)),
+        "lost_hours": lost / 3600.0,
+        "lost_fraction_single_task": lost / horizon,
+        "max_loss_per_failure_s": interval_s,
+    }
+
+
+def render() -> str:
+    """Printable checkpoint experiment."""
+    bw = save_bandwidth_model()
+    st = save_time_model()
+    rec = recovery_loss_statistics()
+    rows = (
+        [[f"bw/{k}", v] for k, v in bw.items()]
+        + [[f"save/{k}", v] for k, v in st.items()]
+        + [[f"recovery/{k}", v] for k, v in rec.items()]
+    )
+    return render_table(
+        ["Metric", "Value"], rows,
+        title="Checkpoint manager: >10 GiB/s writes, few-second saves, "
+              "<=5 min loss per failure",
+    )

@@ -1,0 +1,57 @@
+"""Figures 1-3: growth of compute demand, the memory wall, model-vs-memory."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.costmodel.growth import (
+    ACCELERATOR_MEMORY,
+    MODEL_SIZES,
+    compute_demand_series,
+    compute_doubling_months,
+    hardware_scaling_series,
+    memory_gap_series,
+)
+from repro.experiments.fmt import render_table
+
+
+def run_fig1() -> List[Tuple[str, float, float]]:
+    """Figure 1 series: (model, year, training FLOPs)."""
+    return compute_demand_series()
+
+
+def run_fig2(years: int = 10) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 2 series: normalized hardware/demand growth curves."""
+    return hardware_scaling_series(years=years)
+
+
+def run_fig3() -> Dict[str, list]:
+    """Figure 3 series: model sizes, accelerator memory, and the gap."""
+    return {
+        "model_params": sorted(MODEL_SIZES, key=lambda r: r[1]),
+        "accelerator_memory": sorted(ACCELERATOR_MEMORY, key=lambda r: r[1]),
+        "gap_ratio": memory_gap_series(),
+    }
+
+
+def render() -> str:
+    """Printable summary of all three background figures."""
+    parts = [
+        render_table(
+            ["Model", "Year", "Training FLOPs"],
+            [(n, f"{y:.1f}", f"{c:.2g}") for n, y, c in run_fig1()],
+            title="Figure 1: Exponential Growth of DL Compute "
+                  f"(doubling every {compute_doubling_months():.1f} months)",
+        ),
+        render_table(
+            ["Series", "x10yr growth"],
+            [(k, f"{v[-1][1]:.1f}x") for k, v in run_fig2().items()],
+            title="Figure 2: Scaling of Hardware vs Demand (10-year factors)",
+        ),
+        render_table(
+            ["Year", "Params x 2B / single-GPU memory"],
+            [(f"{y:.1f}", f"{r:.2f}") for y, r in run_fig3()["gap_ratio"]],
+            title="Figure 3: Model Size vs Accelerator Memory Gap",
+        ),
+    ]
+    return "\n\n".join(parts)

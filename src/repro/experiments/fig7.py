@@ -1,0 +1,64 @@
+"""Figure 7: allreduce bandwidth — HFReduce vs NCCL, and HFReduce+NVLink.
+
+(a) 186 MiB allreduce scaled from 16 to 1440 GPUs: HFReduce 6.3-8.1 GB/s,
+    NCCL 1.6-4.8 GB/s.
+(b) HFReduce with NVLink exceeds 10 GB/s; tasks beyond one zone cross the
+    inter-zone links (>128 GPUs per the figure's platform defaults).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.collectives import AllreduceConfig, HFReduceModel, NCCLRingModel
+from repro.experiments.fmt import render_table
+from repro.units import MiB, as_gBps
+
+GPU_COUNTS = [16, 32, 64, 128, 256, 512, 1024, 1440]
+DATA_BYTES = 186 * MiB
+
+#: Published bandwidth bands (GB/s) for the end points.
+PAPER = {
+    "hfreduce": (8.1, 6.3),  # 16 GPUs .. 1440 GPUs
+    "nccl": (4.8, 1.6),
+    "hfreduce_nvlink_min": 10.0,
+}
+
+
+def run(gpu_counts: List[int] = GPU_COUNTS) -> List[Dict[str, float]]:
+    """Bandwidth sweep rows: gpus, hfreduce, nccl, hfreduce+nvlink (GB/s)."""
+    hf = HFReduceModel()
+    hf_nv = HFReduceModel(nvlink=True)
+    # Figure 7b: cross-zone effects kick in beyond 128 GPUs for the test
+    # jobs (platform default keeps smaller jobs zone-local).
+    hf_nv_xzone = HFReduceModel(nvlink=True, zone_gpu_capacity=128)
+    nc = NCCLRingModel()
+    rows = []
+    for gpus in gpu_counts:
+        cfg = AllreduceConfig(nbytes=DATA_BYTES, n_nodes=max(gpus // 8, 1))
+        rows.append(
+            {
+                "gpus": gpus,
+                "hfreduce": as_gBps(hf.bandwidth(cfg)),
+                "nccl": as_gBps(nc.bandwidth(cfg)),
+                "hfreduce_nvlink": as_gBps(hf_nv.bandwidth(cfg)),
+                "hfreduce_nvlink_cross_zone": as_gBps(hf_nv_xzone.bandwidth(cfg)),
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    """Printable Figure 7 series."""
+    rows = run()
+    return render_table(
+        ["GPUs", "HFReduce GB/s", "NCCL GB/s", "HFR+NVLink GB/s",
+         "HFR+NVLink xzone GB/s"],
+        [
+            [r["gpus"], r["hfreduce"], r["nccl"], r["hfreduce_nvlink"],
+             r["hfreduce_nvlink_cross_zone"]]
+            for r in rows
+        ],
+        title="Figure 7: Allreduce bandwidth, 186 MiB "
+              "(paper: HFReduce 6.3-8.1, NCCL 1.6-4.8, +NVLink >10)",
+    )

@@ -1,0 +1,95 @@
+"""Figure 8: weak scalability of DDP (VGG16) and FSDP (GPT2-medium).
+
+(a) HaiScale DDP over HFReduce vs Torch DDP over NCCL, 32 -> 512 GPUs:
+    HFReduce halves the step time and holds ~88%+ weak scaling.
+(b) HaiScale FSDP vs Torch FSDP on GPT2-medium, 16 -> 128 GPUs:
+    HaiScale ~95%+ scaling and roughly half Torch's step time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.fmt import render_table
+from repro.haiscale import (
+    GPT2_MEDIUM,
+    VGG16,
+    DDPBackend,
+    DDPConfig,
+    DDPSimulator,
+    FSDPConfig,
+    FSDPSimulator,
+)
+
+DDP_GPUS = [32, 64, 128, 256, 512]
+FSDP_GPUS = [16, 32, 64, 128]
+
+PAPER = {
+    "ddp_speedup": 2.0,  # "takes only half the time"
+    "ddp_scaling": 0.88,
+    "fsdp_speedup": 2.0,  # "reduces training time by nearly half"
+    "fsdp_scaling": 0.95,
+}
+
+
+def run_ddp(per_gpu_batch: int = 64) -> List[Dict[str, float]]:
+    """Figure 8a rows."""
+    rows = []
+    for gpus in DDP_GPUS:
+        hf = DDPSimulator(DDPConfig(VGG16, per_gpu_batch, gpus, DDPBackend.HFREDUCE))
+        nc = DDPSimulator(DDPConfig(VGG16, per_gpu_batch, gpus, DDPBackend.NCCL))
+        rows.append(
+            {
+                "gpus": gpus,
+                "haiscale_step": hf.step_time(),
+                "torch_step": nc.step_time(),
+                "speedup": nc.step_time() / hf.step_time(),
+                "haiscale_scaling": hf.scaling_efficiency(DDP_GPUS[0]),
+                "torch_scaling": nc.scaling_efficiency(DDP_GPUS[0]),
+            }
+        )
+    return rows
+
+
+def run_fsdp(per_gpu_batch: int = 8) -> List[Dict[str, float]]:
+    """Figure 8b rows."""
+    rows = []
+    for gpus in FSDP_GPUS:
+        hs = FSDPSimulator(FSDPConfig(GPT2_MEDIUM, per_gpu_batch, gpus, haiscale=True))
+        th = FSDPSimulator(FSDPConfig(GPT2_MEDIUM, per_gpu_batch, gpus, haiscale=False))
+        rows.append(
+            {
+                "gpus": gpus,
+                "haiscale_step": hs.step_time(),
+                "torch_step": th.step_time(),
+                "speedup": th.step_time() / hs.step_time(),
+                "haiscale_scaling": hs.scaling_efficiency(FSDP_GPUS[0]),
+                "torch_scaling": th.scaling_efficiency(FSDP_GPUS[0]),
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    """Printable Figure 8 tables."""
+    a = render_table(
+        ["GPUs", "HaiScale s/step", "Torch s/step", "speedup",
+         "HaiScale scaling", "Torch scaling"],
+        [
+            [r["gpus"], r["haiscale_step"], r["torch_step"], r["speedup"],
+             r["haiscale_scaling"], r["torch_scaling"]]
+            for r in run_ddp()
+        ],
+        title="Figure 8a: VGG16 DDP — HFReduce vs Torch DDP (NCCL)",
+    )
+    b = render_table(
+        ["GPUs", "HaiScale s/step", "Torch s/step", "speedup",
+         "HaiScale scaling", "Torch scaling"],
+        [
+            [r["gpus"], r["haiscale_step"], r["torch_step"], r["speedup"],
+             r["haiscale_scaling"], r["torch_scaling"]]
+            for r in run_fsdp()
+        ],
+        title="Figure 8b: GPT2-medium FSDP — HaiScale vs Torch",
+    )
+    return a + "\n\n" + b

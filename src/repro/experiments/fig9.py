@@ -1,0 +1,98 @@
+"""Figure 9: strong scalability of LLM training on Fire-Flyer 2.
+
+(a) LLaMA-13B, seq 2048, global batch 4096, pipeline parallel 4:
+    64 GPUs -> 64.118 s/step; 512 GPUs -> 9.717 s/step (91% efficiency).
+(b) DeepSeekMoE-16B, seq 4096, global batch 4608, pipeline parallel 10:
+    40 GPUs -> 79.615 s; 320 -> 10.71 s (92.92%); 640 -> 6.535 s (76.14%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.fmt import render_table
+from repro.haiscale import DEEPSEEK_MOE_16B, LLAMA_13B
+from repro.haiscale.planner import ParallelPlan, plan_training
+
+LLAMA_GPUS = [64, 128, 256, 512]
+MOE_GPUS = [40, 80, 160, 320, 640]
+
+PAPER = {
+    "llama": {64: 64.118, 512: 9.717},
+    "llama_efficiency": 0.91,
+    "moe": {40: 79.615, 320: 10.71, 640: 6.535},
+    "moe_efficiency_320": 0.9292,
+    "moe_efficiency_640": 0.7614,
+}
+
+
+def run_llama(gpu_counts: List[int] = LLAMA_GPUS) -> List[Dict[str, float]]:
+    """Figure 9a rows: LLaMA-13B step times."""
+    rows = []
+    base = None
+    for gpus in gpu_counts:
+        est = plan_training(
+            LLAMA_13B, ParallelPlan(world_size=gpus, pp=4),
+            global_batch=4096, seq_len=2048,
+        )
+        if base is None:
+            base = (gpus, est.step_time)
+        eff = base[1] / (est.step_time * gpus / base[0])
+        rows.append(
+            {
+                "gpus": gpus,
+                "step_time": est.step_time,
+                "efficiency": eff,
+                "bubble_fraction": est.bubble_fraction,
+                "paper_step_time": PAPER["llama"].get(gpus, float("nan")),
+            }
+        )
+    return rows
+
+
+def run_moe(gpu_counts: List[int] = MOE_GPUS) -> List[Dict[str, float]]:
+    """Figure 9b rows: DeepSeekMoE-16B step times."""
+    rows = []
+    base = None
+    for gpus in gpu_counts:
+        est = plan_training(
+            DEEPSEEK_MOE_16B, ParallelPlan(world_size=gpus, pp=10, ep=8),
+            global_batch=4608, seq_len=4096, compute_efficiency=0.5,
+            grad_bytes=4, allreduce_overlap=0.0,
+        )
+        if base is None:
+            base = (gpus, est.step_time)
+        eff = base[1] / (est.step_time * gpus / base[0])
+        rows.append(
+            {
+                "gpus": gpus,
+                "step_time": est.step_time,
+                "efficiency": eff,
+                "bubble_fraction": est.bubble_fraction,
+                "paper_step_time": PAPER["moe"].get(gpus, float("nan")),
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    """Printable Figure 9 tables."""
+    a = render_table(
+        ["GPUs", "step (s)", "paper (s)", "efficiency", "bubble"],
+        [
+            [r["gpus"], r["step_time"], r["paper_step_time"], r["efficiency"],
+             r["bubble_fraction"]]
+            for r in run_llama()
+        ],
+        title="Figure 9a: LLaMA-13B (seq 2048, batch 4096, pp=4)",
+    )
+    b = render_table(
+        ["GPUs", "step (s)", "paper (s)", "efficiency", "bubble"],
+        [
+            [r["gpus"], r["step_time"], r["paper_step_time"], r["efficiency"],
+             r["bubble_fraction"]]
+            for r in run_moe()
+        ],
+        title="Figure 9b: DeepSeekMoE-16B (seq 4096, batch 4608, pp=10)",
+    )
+    return a + "\n\n" + b

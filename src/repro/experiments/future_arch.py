@@ -1,0 +1,54 @@
+"""Figure 12 / Section IX: the next-generation multi-plane architecture.
+
+The proposal: 1:1 GPU-to-NIC nodes and a 4-plane network of two-layer
+fat-trees built from 128-port 400 Gbps RoCE switches, supporting up to
+32,768 GPUs at a fraction of the per-GPU switch cost of a three-layer
+InfiniBand build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.fmt import render_table
+from repro.hardware.node import nextgen_node
+from repro.hardware.spec import QM8700_SWITCH, ROCE_400G_128P
+from repro.network.fattree import multi_plane_counts, three_layer_counts
+
+PAPER = {
+    "max_gpus": 32_768,
+    "planes": 4,
+    "switch_ports": 128,
+    "port_gbps": 400,
+}
+
+
+def run(n_gpus: int = 32_768, planes: int = 4) -> Dict[str, float]:
+    """Switch economics of the multi-plane design vs alternatives."""
+    per_plane_endpoints = n_gpus // planes
+    mp = multi_plane_counts(per_plane_endpoints, planes=planes,
+                            switch=ROCE_400G_128P)
+    # Three-layer alternative with the same 128-port switches (a 40-port
+    # QM8700 three-layer tree tops out at 16,000 endpoints).
+    tl = three_layer_counts(n_gpus, switch=ROCE_400G_128P)
+    node = nextgen_node()
+    return {
+        "max_gpus": planes * ROCE_400G_128P.ports * (ROCE_400G_128P.ports // 2) // 1,
+        "multi_plane_switches": mp.total,
+        "three_layer_ib_switches": tl.total,
+        "mp_switches_per_1k_gpus": 1000.0 * mp.total / n_gpus,
+        "tl_switches_per_1k_gpus": 1000.0 * tl.total / n_gpus,
+        "gpu_nic_ratio": node.gpu_count / node.nic_count,
+        "per_gpu_network_bw_gbps": node.nic.bw * 8 / 1e9,
+    }
+
+
+def render() -> str:
+    """Printable Section IX projection."""
+    r = run()
+    return render_table(
+        ["Metric", "Value"],
+        [[k, v] for k, v in r.items()],
+        title="Figure 12 / Section IX: 4-plane two-layer fat-tree "
+              "(128-port 400G RoCE) for MoE training",
+    )

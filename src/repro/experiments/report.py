@@ -1,0 +1,34 @@
+"""One-shot reproduction report: every experiment rendered to a file.
+
+``python -c "from repro.experiments.report import write_report; write_report()"``
+or via the CLI's default all-experiments run. Benchmarks call the same
+renders; this module just collects them with a header for archiving.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.experiments.__main__ import EXPERIMENTS
+
+
+def build_report() -> str:
+    """Render every registered experiment into one document."""
+    buf = io.StringIO()
+    buf.write("Fire-Flyer AI-HPC — reproduction report\n")
+    buf.write("=" * 60 + "\n\n")
+    for name in sorted(EXPERIMENTS):
+        buf.write(EXPERIMENTS[name].render())
+        buf.write("\n\n")
+    return buf.getvalue()
+
+
+def write_report(path: str = "REPORT.md") -> str:
+    """Write the report to ``path``; returns the path."""
+    text = build_report()
+    with open(path, "w") as fh:
+        fh.write("```\n")
+        fh.write(text)
+        fh.write("```\n")
+    return path

@@ -1,0 +1,40 @@
+"""Table I: server hardware details — our PCIe arch vs DGX-A100."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.fmt import render_table
+from repro.hardware.node import dgx_a100_node, fire_flyer_node
+from repro.units import GiB
+
+
+def run() -> List[Tuple[str, str, str]]:
+    """Rows of (attribute, our arch, DGX-A100) derived from the specs."""
+    ours = fire_flyer_node()
+    dgx = dgx_a100_node()
+    def describe(node):
+        return {
+            "CPU": f"{node.cpu_sockets} x {node.cpu.name}",
+            "Memory": f"{node.memory_bytes // GiB}GB "
+                      f"{node.cpu.memory_channels * node.cpu_sockets}-channels "
+                      f"DDR4-{node.cpu.memory_speed_mts}",
+            "GPU": f"{node.gpu_count} x {node.gpu.name}",
+            "NICs": f"{node.nic_count} x {node.nic.name}",
+            "NVLINK": (
+                "600 GB/s among all 8 GPUs" if node.nvlink_all_to_all
+                else "600 GB/s between paired GPUs (bridge retrofit)"
+                if node.nvlink_pairs else "optional bridge (reserved in design)"
+            ),
+        }
+
+    a, b = describe(ours), describe(dgx)
+    return [(k, a[k], b[k]) for k in a]
+
+
+def render() -> str:
+    """Printable Table I."""
+    return render_table(
+        ["", "Our PCIe Arch", "DGX-A100"], run(),
+        title="Table I: Server Hardware Details",
+    )

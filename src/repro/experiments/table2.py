@@ -1,0 +1,41 @@
+"""Table II: A100 PCIe vs DGX-A100 performance / cost / power."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.costmodel.capex import gemm_cost_comparison
+from repro.experiments.fmt import render_table
+
+#: Published values (Table II) for EXPERIMENTS.md comparison.
+PAPER = {
+    "tf32": (107, 131),
+    "fp16": (220, 263),
+    "relative_performance": (0.83, 1.0),
+    "node_relative_price": (0.60, 1.0),
+    "cost_performance_ratio": (1.38, 1.0),
+    "power_watts": (2500, 4200),
+}
+
+
+def run() -> List[List]:
+    """Metric rows: [name, ours, dgx]."""
+    ours, dgx = gemm_cost_comparison()
+    return [
+        ["TF32 GEMM (TFLOPS/GPU)", ours.tf32_tflops, dgx.tf32_tflops],
+        ["FP16 GEMM (TFLOPS/GPU)", ours.fp16_tflops, dgx.fp16_tflops],
+        ["Relative Performance", round(ours.relative_performance, 2),
+         round(dgx.relative_performance, 2)],
+        ["Node Relative Price", ours.node_relative_price, dgx.node_relative_price],
+        ["Cost-Performance Ratio", round(ours.cost_performance_ratio, 2),
+         round(dgx.cost_performance_ratio, 2)],
+        ["Power Consumption (Watts)", ours.power_watts, dgx.power_watts],
+    ]
+
+
+def render() -> str:
+    """Printable Table II."""
+    return render_table(
+        ["", "Our Arch", "DGX Arch"], run(),
+        title="Table II: A100 PCIe Compared to DGX-A100",
+    )

@@ -1,0 +1,35 @@
+"""Table III: relative network/server cost comparison."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.costmodel.capex import network_cost_comparison
+from repro.experiments.fmt import render_table
+
+#: Published values (switch counts; network / server / total price).
+PAPER = {
+    "Our Arch": (122, 350, 11250, 11600),
+    "PCIe Arch with Three-Layer Fat-Tree": (200, 600, 11250, 11850),
+    "DGX Arch": (1320, 4000, 19000, 23000),
+}
+
+
+def run() -> List[List]:
+    """Rows: [metric, ours, pcie-3-layer, dgx]."""
+    ours, pcie3l, dgx = network_cost_comparison()
+    return [
+        ["Number of Switches", ours.n_switches, pcie3l.n_switches, dgx.n_switches],
+        ["Network Price", ours.network_price, pcie3l.network_price,
+         dgx.network_price],
+        ["Server Price", ours.server_price, pcie3l.server_price, dgx.server_price],
+        ["Total Price", ours.total_price, pcie3l.total_price, dgx.total_price],
+    ]
+
+
+def render() -> str:
+    """Printable Table III."""
+    return render_table(
+        ["", "Our Arch", "PCIe + 3-Layer Fat-Tree", "DGX Arch"], run(),
+        title="Table III: Relative Cost Comparison",
+    )

@@ -1,0 +1,32 @@
+"""Table IV: 3FS storage node hardware details."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.fmt import render_table
+from repro.hardware.node import storage_node
+from repro.units import GiB
+
+
+def run() -> List[Tuple[str, str]]:
+    """Rows of (attribute, value) from the spec."""
+    node = storage_node()
+    return [
+        ("CPU", f"{node.cpu_sockets} x {node.cpu.name}"),
+        ("Memory", f"{node.memory_bytes // GiB}GB "
+                   f"{node.cpu.memory_channels}-channels "
+                   f"DDR4-{node.cpu.memory_speed_mts}"),
+        ("NICs", f"{node.nic_count} x {node.nic.name}"),
+        ("Data SSDs", f"{node.ssd_count} x "
+                      f"{node.ssd.capacity_bytes / 1e12:.2f}TB "
+                      f"PCIe {node.ssd.pcie_gen}.0x{node.ssd.pcie_lanes}"),
+    ]
+
+
+def render() -> str:
+    """Printable Table IV."""
+    return render_table(
+        ["", "Storage Node"], run(),
+        title="Table IV: Storage Node Hardware Details",
+    )

@@ -1,0 +1,62 @@
+"""3FS: the Fire-Flyer distributed file system (Section VI-B).
+
+A complete in-memory implementation of the paper's design:
+
+* **cluster manager** — heartbeats, liveness tracking, primary election
+  among multiple managers (:mod:`repro.fs3.cluster_manager`),
+* **metadata service** — file/directory inodes and directory-entry tables
+  stored as key-value pairs in a versioned KV store
+  (:mod:`repro.fs3.kvstore`, :mod:`repro.fs3.meta`),
+* **storage service** — file content split into chunks, replicated over
+  chains of storage targets with CRAQ (Chain Replication with Apportioned
+  Queries) for strong consistency and read-any throughput
+  (:mod:`repro.fs3.chain`, :mod:`repro.fs3.craq`, :mod:`repro.fs3.storage`),
+* **client** — path-based file API with striping, batch read/write (used
+  by the checkpoint manager), and request-to-send incast control
+  (:mod:`repro.fs3.client`, :mod:`repro.fs3.rts`),
+* **3FS-KV** — key-value / message-queue / object-store models layered on
+  top (:mod:`repro.fs3.kv`).
+
+The data plane runs for real (bytes in, bytes out, protocol states
+honoured); throughput *numbers* for the 8 TB/s experiment come from the
+flow-level network model in :mod:`repro.experiments`.
+"""
+
+from repro.fs3.kvstore import KVStore, Versioned
+from repro.fs3.cluster_manager import ClusterManager, ManagerGroup, ServiceInfo
+from repro.fs3.chain import ChainTable, StorageTarget
+from repro.fs3.craq import CraqChain, CraqReplica
+from repro.fs3.storage import StorageNode, StorageService
+from repro.fs3.meta import Inode, InodeType, MetaService
+from repro.fs3.client import FS3Client
+from repro.fs3.rts import RequestToSend
+from repro.fs3.rts_sim import RtsStats, rts_tradeoff, simulate_policy
+from repro.fs3.fsck import FsckReport, fsck
+from repro.fs3.kv import FS3KV, MessageQueue, ObjectStore
+
+__all__ = [
+    "ChainTable",
+    "ClusterManager",
+    "CraqChain",
+    "CraqReplica",
+    "FS3Client",
+    "FS3KV",
+    "FsckReport",
+    "Inode",
+    "InodeType",
+    "KVStore",
+    "ManagerGroup",
+    "MessageQueue",
+    "MetaService",
+    "ObjectStore",
+    "RequestToSend",
+    "RtsStats",
+    "ServiceInfo",
+    "StorageNode",
+    "StorageService",
+    "StorageTarget",
+    "Versioned",
+    "fsck",
+    "rts_tradeoff",
+    "simulate_policy",
+]

@@ -1,0 +1,128 @@
+"""Storage targets and the chain table (Section VI-B3).
+
+"File content are split into chunks, which are replicated over a chain of
+*storage targets*. A *chain table* contains an ordered set of chains. The
+meta service selects an offset in the chain table and a stripe size k for
+each file. The file chunks are assigned to the next k chains starting at
+the offset. To distribute read/write traffic evenly to all SSDs, each SSD
+serves multiple storage targets from different chains."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import FS3Error
+
+
+@dataclass(frozen=True)
+class StorageTarget:
+    """One replica slot: a slice of one SSD on one storage node."""
+
+    target_id: str
+    node: str
+    ssd_index: int
+
+
+class ChainTable:
+    """An ordered set of replication chains over storage targets."""
+
+    def __init__(self, chains: Sequence[Sequence[StorageTarget]]) -> None:
+        if not chains:
+            raise FS3Error("chain table needs at least one chain")
+        lengths = {len(c) for c in chains}
+        if len(lengths) != 1:
+            raise FS3Error("all chains must have the same replication factor")
+        if 0 in lengths:
+            raise FS3Error("chains must be non-empty")
+        for chain in chains:
+            nodes = [t.node for t in chain]
+            if len(set(nodes)) != len(nodes):
+                raise FS3Error(
+                    f"chain {[t.target_id for t in chain]} repeats a node; "
+                    "replicas must live on distinct nodes"
+                )
+        self._chains: List[Tuple[StorageTarget, ...]] = [tuple(c) for c in chains]
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    @property
+    def replication(self) -> int:
+        """Replicas per chunk."""
+        return len(self._chains[0])
+
+    def chain(self, index: int) -> Tuple[StorageTarget, ...]:
+        """The chain at a table index (mod table size)."""
+        return self._chains[index % len(self._chains)]
+
+    def chains_for_file(self, offset: int, stripe: int) -> List[int]:
+        """Chain indices for a file placed at ``offset`` with stripe ``k``."""
+        if stripe < 1:
+            raise FS3Error("stripe size must be >= 1")
+        if stripe > len(self._chains):
+            raise FS3Error(
+                f"stripe {stripe} exceeds chain table size {len(self._chains)}"
+            )
+        return [(offset + i) % len(self._chains) for i in range(stripe)]
+
+    def chain_for_chunk(self, offset: int, stripe: int, chunk_index: int) -> int:
+        """Chain index storing a file's ``chunk_index``-th chunk."""
+        if chunk_index < 0:
+            raise FS3Error("chunk_index must be >= 0")
+        return (offset + chunk_index % stripe) % len(self._chains)
+
+    def targets_per_ssd(self) -> Dict[Tuple[str, int], int]:
+        """How many targets each (node, ssd) serves — load-spread check."""
+        counts: Dict[Tuple[str, int], int] = {}
+        for chain in self._chains:
+            for t in chain:
+                counts[(t.node, t.ssd_index)] = counts.get((t.node, t.ssd_index), 0) + 1
+        return counts
+
+
+def build_chain_table(
+    nodes: Sequence[str],
+    ssds_per_node: int = 16,
+    replication: int = 2,
+    targets_per_ssd: int = 4,
+) -> ChainTable:
+    """Construct a balanced chain table over a storage fleet.
+
+    Mirrors the production layout: every SSD serves ``targets_per_ssd``
+    targets assigned to different chains; each chain's replicas land on
+    distinct nodes (mirror redundancy, Table IV's "mirror data
+    redundancy").
+    """
+    if len(nodes) < replication:
+        raise FS3Error(
+            f"{len(nodes)} nodes cannot host replication factor {replication}"
+        )
+    total_targets = len(nodes) * ssds_per_node * targets_per_ssd
+    n_chains = total_targets // replication
+    # Round-robin targets across (node, ssd) so consecutive chains use
+    # different hardware, and stagger replicas by one node.
+    slots = [
+        (node_i, ssd)
+        for ssd in range(ssds_per_node)
+        for node_i in range(len(nodes))
+    ]
+    chains: List[List[StorageTarget]] = []
+    counter = itertools.count()
+    slot_cycle = itertools.cycle(slots)
+    for c in range(n_chains):
+        chain: List[StorageTarget] = []
+        node_i, ssd = next(slot_cycle)
+        for r in range(replication):
+            n = (node_i + r) % len(nodes)
+            chain.append(
+                StorageTarget(
+                    target_id=f"t{next(counter)}",
+                    node=nodes[n],
+                    ssd_index=ssd,
+                )
+            )
+        chains.append(chain)
+    return ChainTable(chains)

@@ -1,0 +1,147 @@
+"""Cluster manager: heartbeats, liveness, and primary election.
+
+"Meta and storage services send heartbeats to cluster manager. All
+services and clients poll cluster configuration and service status from
+the manager. Multiple cluster managers are present, with one elected as
+the primary." (Section VI-B3)
+
+Time is supplied by the caller (either a DES clock or a test counter), so
+the liveness logic is deterministic and directly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FS3Unavailable
+
+
+@dataclass
+class ServiceInfo:
+    """Registration record for one service instance."""
+
+    service_id: str
+    kind: str  # "meta" | "storage" | "manager"
+    node: str
+    last_heartbeat: float = 0.0
+    alive: bool = True
+
+
+class ClusterManager:
+    """One manager instance: tracks services and serves config polls."""
+
+    def __init__(self, manager_id: str, heartbeat_timeout: float = 10.0) -> None:
+        if heartbeat_timeout <= 0:
+            raise FS3Unavailable("heartbeat_timeout must be positive")
+        self.manager_id = manager_id
+        self.heartbeat_timeout = heartbeat_timeout
+        self._services: Dict[str, ServiceInfo] = {}
+        self._config_version = 0
+
+    # -- service side ---------------------------------------------------------
+
+    def register(self, service_id: str, kind: str, node: str, now: float) -> None:
+        """Register (or re-register) a service."""
+        if kind not in ("meta", "storage", "manager"):
+            raise FS3Unavailable(f"unknown service kind {kind!r}")
+        self._services[service_id] = ServiceInfo(
+            service_id=service_id, kind=kind, node=node, last_heartbeat=now
+        )
+        self._config_version += 1
+
+    def heartbeat(self, service_id: str, now: float) -> None:
+        """Record a heartbeat; revives a service previously marked dead."""
+        try:
+            info = self._services[service_id]
+        except KeyError:
+            raise FS3Unavailable(f"service {service_id!r} not registered")
+        if not info.alive:
+            self._config_version += 1
+        info.last_heartbeat = now
+        info.alive = True
+
+    # -- manager side -------------------------------------------------------------
+
+    def sweep(self, now: float) -> List[str]:
+        """Mark services without recent heartbeats dead; return their ids."""
+        died = []
+        for info in self._services.values():
+            if info.alive and now - info.last_heartbeat > self.heartbeat_timeout:
+                info.alive = False
+                died.append(info.service_id)
+        if died:
+            self._config_version += 1
+        return sorted(died)
+
+    # -- client side ----------------------------------------------------------------
+
+    @property
+    def config_version(self) -> int:
+        """Monotonic configuration version clients poll."""
+        return self._config_version
+
+    def services(self, kind: Optional[str] = None, alive_only: bool = True) -> List[ServiceInfo]:
+        """Current service list, optionally filtered."""
+        out = [
+            s
+            for s in self._services.values()
+            if (kind is None or s.kind == kind) and (not alive_only or s.alive)
+        ]
+        return sorted(out, key=lambda s: s.service_id)
+
+    def lookup(self, service_id: str) -> ServiceInfo:
+        """One service's record."""
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise FS3Unavailable(f"service {service_id!r} not registered")
+
+
+class ManagerGroup:
+    """Several cluster managers with primary election.
+
+    The primary is the lowest-id *alive* manager; on primary failure the
+    next manager takes over and clients re-resolve via :meth:`primary`.
+    State is replicated by construction here (managers share the registry
+    through the group), matching the paper's "multiple cluster managers
+    are present, with one elected as the primary".
+    """
+
+    def __init__(self, manager_ids: List[str], heartbeat_timeout: float = 10.0) -> None:
+        if not manager_ids:
+            raise FS3Unavailable("need at least one manager")
+        if len(set(manager_ids)) != len(manager_ids):
+            raise FS3Unavailable("duplicate manager ids")
+        self._alive: Dict[str, bool] = {m: True for m in sorted(manager_ids)}
+        self._shared = ClusterManager("shared-state", heartbeat_timeout)
+
+    @property
+    def primary(self) -> str:
+        """Id of the current primary manager."""
+        for mid, alive in self._alive.items():
+            if alive:
+                return mid
+        raise FS3Unavailable("no manager alive")
+
+    def fail(self, manager_id: str) -> None:
+        """Simulate a manager crash."""
+        if manager_id not in self._alive:
+            raise FS3Unavailable(f"unknown manager {manager_id!r}")
+        self._alive[manager_id] = False
+
+    def recover(self, manager_id: str) -> None:
+        """Bring a crashed manager back.
+
+        Election is deterministic (lowest alive id), so a recovered
+        manager with the lowest id becomes primary again.
+        """
+        if manager_id not in self._alive:
+            raise FS3Unavailable(f"unknown manager {manager_id!r}")
+        self._alive[manager_id] = True
+
+    @property
+    def state(self) -> ClusterManager:
+        """The replicated registry, served by whichever manager is primary."""
+        _ = self.primary  # raises if none alive
+        return self._shared

@@ -1,0 +1,278 @@
+"""Chain Replication with Apportioned Queries (CRAQ), Section VI-B3.
+
+"The storage service has an implementation of CRAQ to provide strong
+consistency. CRAQ's write-all-read-any approach helps to unleash the
+throughput and IOPS of all SSDs."
+
+Protocol (Terrace & Freedman, USENIX ATC'09):
+
+* **Write** — the head assigns the next version and stores it *dirty*,
+  then forwards down the chain; the tail stores it, marks it *clean*
+  (committed), and acknowledges back up the chain; each predecessor marks
+  the version clean and discards older versions.
+* **Read (apportioned query)** — any replica may serve a read. If its
+  latest version is clean it answers immediately; if dirty, it asks the
+  tail for the last committed version number and serves that version.
+
+Writes are exposed both as a one-shot :meth:`CraqChain.write` and as a
+steppable :class:`WriteOp` so tests can interleave reads mid-write and
+check the consistency guarantees directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FS3Error, FS3NotFound, FS3Unavailable
+from repro.fs3.chain import StorageTarget
+
+
+@dataclass
+class _Version:
+    version: int
+    data: bytes
+    clean: bool
+
+
+class CraqReplica:
+    """One chain member: stores versioned chunks on its storage target."""
+
+    def __init__(self, target: StorageTarget) -> None:
+        self.target = target
+        self.alive = True
+        self._chunks: Dict[str, List[_Version]] = {}
+        self.clean_reads = 0
+        self.version_queries = 0
+
+    # -- storage ---------------------------------------------------------------
+
+    def store(self, chunk_id: str, version: int, data: bytes, clean: bool) -> None:
+        """Record a version (dirty during propagation, clean at the tail)."""
+        versions = self._chunks.setdefault(chunk_id, [])
+        versions.append(_Version(version=version, data=data, clean=clean))
+
+    def commit(self, chunk_id: str, version: int) -> None:
+        """Mark ``version`` clean and drop older versions."""
+        versions = self._chunks.get(chunk_id, [])
+        kept = []
+        for v in versions:
+            if v.version == version:
+                v.clean = True
+                kept.append(v)
+            elif v.version > version:
+                kept.append(v)
+        self._chunks[chunk_id] = kept
+
+    # -- queries ----------------------------------------------------------------
+
+    def latest(self, chunk_id: str) -> Optional[_Version]:
+        """Highest-numbered stored version of a chunk (clean or dirty).
+
+        Ordered by version number, not arrival: with interleaved writes a
+        lower version's propagation can complete after a higher one's.
+        """
+        versions = self._chunks.get(chunk_id)
+        return max(versions, key=lambda v: v.version) if versions else None
+
+    def version_of(self, chunk_id: str, version: int) -> Optional[_Version]:
+        """A specific stored version."""
+        for v in self._chunks.get(chunk_id, []):
+            if v.version == version:
+                return v
+        return None
+
+    def latest_clean(self, chunk_id: str) -> Optional[_Version]:
+        """Highest-numbered committed version."""
+        clean = [v for v in self._chunks.get(chunk_id, []) if v.clean]
+        return max(clean, key=lambda v: v.version) if clean else None
+
+    def chunk_ids(self) -> List[str]:
+        """All chunks stored on this replica."""
+        return sorted(self._chunks)
+
+    def has_dirty(self, chunk_id: str) -> bool:
+        """Whether any uncommitted version exists for a chunk."""
+        return any(not v.clean for v in self._chunks.get(chunk_id, []))
+
+
+class WriteOp:
+    """A steppable CRAQ write: one protocol message per :meth:`step`."""
+
+    def __init__(self, chain: "CraqChain", chunk_id: str, data: bytes) -> None:
+        self.chain = chain
+        self.chunk_id = chunk_id
+        self.data = data
+        alive = chain.alive_indices()
+        if not alive:
+            raise FS3Unavailable("no replica alive in chain")
+        self._route = alive
+        self.version = chain._next_version(chunk_id)
+        self._fwd = 0  # next index in route to receive the write
+        self._ack = len(alive)  # ack walks backwards once fwd completes
+        self.done = False
+
+    def step(self) -> None:
+        """Deliver the next protocol message (forward, commit, or ack)."""
+        if self.done:
+            raise FS3Error("write already completed")
+        route = self._route
+        if self._fwd < len(route):
+            idx = route[self._fwd]
+            is_tail = self._fwd == len(route) - 1
+            self.chain.replicas[idx].store(
+                self.chunk_id, self.version, self.data, clean=is_tail
+            )
+            if is_tail:
+                # Tail commit also prunes its own older versions.
+                self.chain.replicas[idx].commit(self.chunk_id, self.version)
+                self._ack = self._fwd  # acks flow to predecessors
+            self._fwd += 1
+            if is_tail and len(route) == 1:
+                self.done = True
+            return
+        # Ack phase: predecessors mark clean, tail-first order.
+        self._ack -= 1
+        if self._ack >= 0:
+            idx = route[self._ack]
+            self.chain.replicas[idx].commit(self.chunk_id, self.version)
+        if self._ack <= 0:
+            self.done = True
+
+    def run(self) -> int:
+        """Drive the write to completion; returns the committed version."""
+        while not self.done:
+            self.step()
+        return self.version
+
+
+class CraqChain:
+    """One replication chain executing the CRAQ protocol."""
+
+    def __init__(self, targets: List[StorageTarget]) -> None:
+        if not targets:
+            raise FS3Error("chain needs at least one target")
+        self.replicas = [CraqReplica(t) for t in targets]
+        self._rr = 0  # read-any round-robin pointer
+        # The head serializes version assignment; the counter lives with
+        # the chain so interleaved WriteOps always get distinct versions.
+        self._version_counters: Dict[str, int] = {}
+        # In-flight writes: membership changes must not race them (the
+        # cluster manager quiesces a chain before re-adding a replica).
+        self._inflight: List[WriteOp] = []
+
+    # -- membership -----------------------------------------------------------
+
+    def alive_indices(self) -> List[int]:
+        """Indices of alive replicas, head first."""
+        return [i for i, r in enumerate(self.replicas) if r.alive]
+
+    def head(self) -> CraqReplica:
+        """Current head (first alive replica)."""
+        idxs = self.alive_indices()
+        if not idxs:
+            raise FS3Unavailable("no replica alive in chain")
+        return self.replicas[idxs[0]]
+
+    def tail(self) -> CraqReplica:
+        """Current tail (last alive replica)."""
+        idxs = self.alive_indices()
+        if not idxs:
+            raise FS3Unavailable("no replica alive in chain")
+        return self.replicas[idxs[-1]]
+
+    def fail_replica(self, index: int) -> None:
+        """Take a replica offline (storage node failure)."""
+        self.replicas[index].alive = False
+
+    def recover_replica(self, index: int) -> None:
+        """Bring a replica back and resync it from the current tail.
+
+        Re-adding a replica is a chain membership change: in-flight
+        writes routed through the old membership would bypass the new
+        member, so the cluster manager quiesces the chain first. Raises
+        :class:`FS3Conflict` if unfinished writes exist.
+        """
+        self._inflight = [op for op in self._inflight if not op.done]
+        if self._inflight:
+            from repro.errors import FS3Conflict
+
+            raise FS3Conflict(
+                f"{len(self._inflight)} write(s) in flight; quiesce the "
+                "chain before re-adding a replica"
+            )
+        replica = self.replicas[index]
+        if replica.alive:
+            return
+        replica.alive = True
+        source = None
+        for i in reversed(self.alive_indices()):
+            if i != index:
+                source = self.replicas[i]
+                break
+        if source is None:
+            return  # sole survivor; nothing to copy
+        for chunk_id in source.chunk_ids():
+            committed = source.latest_clean(chunk_id)
+            if committed is None:
+                continue
+            mine = replica.latest_clean(chunk_id)
+            if mine is None or mine.version < committed.version:
+                replica.store(chunk_id, committed.version, committed.data, clean=True)
+                replica.commit(chunk_id, committed.version)
+
+    # -- writes ---------------------------------------------------------------
+
+    def _next_version(self, chunk_id: str) -> int:
+        head = self.head()
+        latest = head.latest(chunk_id)
+        floor = latest.version if latest else 0
+        nxt = max(self._version_counters.get(chunk_id, 0), floor) + 1
+        self._version_counters[chunk_id] = nxt
+        return nxt
+
+    def start_write(self, chunk_id: str, data: bytes) -> WriteOp:
+        """Begin a steppable write (head assigns the version)."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise FS3Error("chunk data must be bytes-like")
+        op = WriteOp(self, chunk_id, bytes(data))
+        self._inflight.append(op)
+        return op
+
+    def write(self, chunk_id: str, data: bytes) -> int:
+        """Write a chunk through the full protocol; returns the version."""
+        return self.start_write(chunk_id, data).run()
+
+    # -- reads (apportioned queries) ----------------------------------------------
+
+    def read(self, chunk_id: str, replica_index: Optional[int] = None) -> bytes:
+        """Read from any replica with CRAQ's consistency rule."""
+        alive = self.alive_indices()
+        if not alive:
+            raise FS3Unavailable("no replica alive in chain")
+        if replica_index is None:
+            replica_index = alive[self._rr % len(alive)]
+            self._rr += 1
+        elif replica_index not in alive:
+            raise FS3Unavailable(f"replica {replica_index} is not alive")
+        replica = self.replicas[replica_index]
+        latest = replica.latest(chunk_id)
+        if latest is None:
+            raise FS3NotFound(f"chunk {chunk_id!r} not found")
+        if latest.clean:
+            replica.clean_reads += 1
+            return latest.data
+        # Dirty: apportioned query to the tail for the committed version.
+        replica.version_queries += 1
+        tail_clean = self.tail().latest_clean(chunk_id)
+        if tail_clean is None:
+            raise FS3NotFound(f"chunk {chunk_id!r} has no committed version")
+        mine = replica.version_of(chunk_id, tail_clean.version)
+        if mine is not None:
+            return mine.data
+        return tail_clean.data
+
+    def committed_version(self, chunk_id: str) -> Optional[int]:
+        """The chunk's committed version per the tail (None if absent)."""
+        v = self.tail().latest_clean(chunk_id)
+        return v.version if v else None

@@ -1,0 +1,138 @@
+"""3FS-KV: shared-storage data processing on top of 3FS (Section VI-B4).
+
+"3FS-KV is a shared-storage distributed data processing system built on
+top of 3FS, currently supporting three models: key-value, message queue,
+and object storage. It supports read-write separation and on-demand
+startup... 3FS-KV supports DeepSeek's KV Context Caching on Disk
+technology, which reduces the cost of LLM serving by an order of
+magnitude."
+
+Each model maps its namespace onto 3FS paths; read-write separation is
+enforced per handle (a read-only handle cannot mutate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.errors import FS3Error, FS3NotFound
+from repro.fs3.client import FS3Client
+
+
+def _safe(key: str) -> str:
+    """Encode an arbitrary key as a path-safe file name."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).hexdigest()
+    stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)[:48]
+    return f"{stem}~{digest}"
+
+
+class FS3KV:
+    """Key-value model with read-write separation."""
+
+    def __init__(self, client: FS3Client, namespace: str, read_only: bool = False) -> None:
+        self.client = client
+        self.root = f"/kv/{namespace}"
+        self.read_only = read_only
+        if not read_only and not client.exists(self.root):
+            client.makedirs(self.root)
+
+    def _path(self, key: str) -> str:
+        return f"{self.root}/{_safe(key)}"
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise FS3Error("read-only 3FS-KV handle (read-write separation)")
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store a value."""
+        self._check_writable()
+        self.client.write_file(self._path(key), value)
+
+    def get(self, key: str) -> bytes:
+        """Fetch a value; raises :class:`FS3NotFound` if absent."""
+        return self.client.read_file(self._path(key))
+
+    def contains(self, key: str) -> bool:
+        """Whether a key exists."""
+        return self.client.exists(self._path(key))
+
+    def delete(self, key: str) -> None:
+        """Remove a key."""
+        self._check_writable()
+        self.client.unlink(self._path(key))
+
+
+class MessageQueue:
+    """Durable FIFO message queue model."""
+
+    def __init__(self, client: FS3Client, name: str) -> None:
+        self.client = client
+        self.root = f"/mq/{name}"
+        if not client.exists(self.root):
+            client.makedirs(self.root)
+        self._head_path = f"{self.root}/.head"
+        self._tail_path = f"{self.root}/.tail"
+        for p in (self._head_path, self._tail_path):
+            if not client.exists(p):
+                client.write_file(p, b"0")
+
+    def _get_counter(self, path: str) -> int:
+        return int(self.client.read_file(path) or b"0")
+
+    def _set_counter(self, path: str, value: int) -> None:
+        self.client.write_file(path, str(value).encode())
+
+    def put(self, message: bytes) -> int:
+        """Append a message; returns its sequence number."""
+        tail = self._get_counter(self._tail_path)
+        self.client.write_file(f"{self.root}/m{tail:012d}", message)
+        self._set_counter(self._tail_path, tail + 1)
+        return tail
+
+    def get(self) -> bytes:
+        """Pop the oldest message; raises :class:`FS3NotFound` when empty."""
+        head = self._get_counter(self._head_path)
+        tail = self._get_counter(self._tail_path)
+        if head >= tail:
+            raise FS3NotFound("queue is empty")
+        path = f"{self.root}/m{head:012d}"
+        msg = self.client.read_file(path)
+        self.client.unlink(path)
+        self._set_counter(self._head_path, head + 1)
+        return msg
+
+    def __len__(self) -> int:
+        return self._get_counter(self._tail_path) - self._get_counter(self._head_path)
+
+
+class ObjectStore:
+    """S3-like object model: buckets and keyed blobs."""
+
+    def __init__(self, client: FS3Client) -> None:
+        self.client = client
+        self.root = "/objects"
+        if not client.exists(self.root):
+            client.makedirs(self.root)
+
+    def create_bucket(self, bucket: str) -> None:
+        """Create a bucket."""
+        self.client.makedirs(f"{self.root}/{bucket}")
+
+    def put_object(self, bucket: str, key: str, data: bytes) -> None:
+        """Store an object (bucket must exist)."""
+        if not self.client.exists(f"{self.root}/{bucket}"):
+            raise FS3NotFound(f"bucket {bucket!r} not found")
+        self.client.write_file(f"{self.root}/{bucket}/{_safe(key)}", data)
+
+    def get_object(self, bucket: str, key: str) -> bytes:
+        """Fetch an object."""
+        return self.client.read_file(f"{self.root}/{bucket}/{_safe(key)}")
+
+    def list_objects(self, bucket: str) -> List[str]:
+        """Stored object file names in a bucket."""
+        return self.client.listdir(f"{self.root}/{bucket}")
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        """Remove an object."""
+        self.client.unlink(f"{self.root}/{bucket}/{_safe(key)}")

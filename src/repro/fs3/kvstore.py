@@ -1,0 +1,126 @@
+"""Versioned key-value store: the metadata substrate.
+
+The paper stores all file-system metadata "in tables of a distributed
+key-value storage system" with meta-service state fully persisted there.
+This module provides that substrate: a sorted, versioned KV store with
+prefix scans (for directory listing) and compare-and-swap (for atomic
+metadata updates by concurrent meta services).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FS3Conflict, FS3NotFound
+
+
+@dataclass(frozen=True)
+class Versioned:
+    """A value with its store version."""
+
+    value: Any
+    version: int
+
+
+class KVStore:
+    """A single-copy sorted KV store with versions and CAS.
+
+    Keys are byte strings or plain strings; iteration order is
+    lexicographic, enabling the directory-entry table's prefix scans.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Versioned] = {}
+        self._keys: List[str] = []  # sorted index for scans
+        self._next_version = 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Versioned:
+        """Read a key; raises :class:`FS3NotFound` if absent."""
+        try:
+            return self._data[key]
+        except KeyError:
+            raise FS3NotFound(f"key {key!r} not found")
+
+    def get_or_none(self, key: str) -> Optional[Versioned]:
+        """Read a key, returning ``None`` when absent."""
+        return self._data.get(key)
+
+    def put(self, key: str, value: Any) -> int:
+        """Write a key unconditionally; returns the new version."""
+        if key not in self._data:
+            insort(self._keys, key)
+        v = self._next_version
+        self._next_version += 1
+        self._data[key] = Versioned(value=value, version=v)
+        return v
+
+    def put_if_absent(self, key: str, value: Any) -> int:
+        """Create a key; raises :class:`FS3Conflict` if it exists."""
+        if key in self._data:
+            raise FS3Conflict(f"key {key!r} already exists")
+        return self.put(key, value)
+
+    def cas(self, key: str, value: Any, expected_version: int) -> int:
+        """Compare-and-swap: write only if the version matches."""
+        cur = self._data.get(key)
+        if cur is None:
+            raise FS3NotFound(f"key {key!r} not found")
+        if cur.version != expected_version:
+            raise FS3Conflict(
+                f"key {key!r} version {cur.version} != expected {expected_version}"
+            )
+        return self.put(key, value)
+
+    def delete(self, key: str) -> None:
+        """Remove a key; raises :class:`FS3NotFound` if absent."""
+        if key not in self._data:
+            raise FS3NotFound(f"key {key!r} not found")
+        del self._data[key]
+        idx = bisect_left(self._keys, key)
+        del self._keys[idx]
+
+    def transact(self, ops: List[Tuple[str, str, Any]]) -> None:
+        """Apply a batch of operations atomically.
+
+        ``ops`` is a list of ``("put", key, value)`` / ``("delete", key,
+        None)`` triples. The batch is validated first (all deletes must
+        target existing keys); either every operation applies or none do
+        — the primitive the meta service uses for multi-key updates like
+        rename.
+        """
+        for kind, key, _value in ops:
+            if kind not in ("put", "delete"):
+                raise FS3Conflict(f"unknown transaction op {kind!r}")
+            if kind == "delete" and key not in self._data:
+                raise FS3NotFound(f"transaction delete of missing key {key!r}")
+        for kind, key, value in ops:
+            if kind == "put":
+                self.put(key, value)
+            else:
+                self.delete(key)
+
+    def scan(self, prefix: str, limit: Optional[int] = None) -> Iterator[Tuple[str, Versioned]]:
+        """Yield (key, versioned) pairs with ``prefix``, in key order."""
+        idx = bisect_left(self._keys, prefix)
+        count = 0
+        while idx < len(self._keys):
+            k = self._keys[idx]
+            if not k.startswith(prefix):
+                break
+            yield k, self._data[k]
+            count += 1
+            if limit is not None and count >= limit:
+                break
+            idx += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time copy of all values (for recovery tests)."""
+        return {k: v.value for k, v in self._data.items()}

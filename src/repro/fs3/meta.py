@@ -1,0 +1,283 @@
+"""3FS metadata service: inode and directory-entry tables (Section VI-B3).
+
+"Each file or directory has a unique inode ID. The file inode/directory
+ID and meta data, such as file size and location information of the file
+content data, are stored as key-value pairs in the inode table. A
+separate directory entry table stores key-value pairs of
+(parent_dir_inode_id, entry_name): (entry_inode_id, ...)."
+
+Keys:
+
+* ``inode/{id:020d}`` -> serialized :class:`Inode`
+* ``dirent/{parent_id:020d}/{name}`` -> child inode id
+
+All state lives in the KV store, so "several meta services run
+concurrently" simply share it; CAS protects racy updates.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.errors import FS3Error, FS3Exists, FS3NotFound
+from repro.fs3.chain import ChainTable
+from repro.fs3.kvstore import KVStore
+from repro.units import MiB
+
+ROOT_INODE = 0
+DEFAULT_CHUNK_BYTES = 4 * MiB
+DEFAULT_STRIPE = 4
+
+
+class InodeType(enum.Enum):
+    """File-system object kinds."""
+
+    FILE = "file"
+    DIR = "dir"
+
+
+@dataclass(frozen=True)
+class Inode:
+    """Metadata record for one file or directory."""
+
+    inode_id: int
+    itype: InodeType
+    size: int = 0
+    chain_offset: int = 0  # where in the chain table this file starts
+    stripe: int = DEFAULT_STRIPE  # k consecutive chains carry the chunks
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
+    def chunk_count(self) -> int:
+        """Number of chunks covering the file."""
+        if self.size == 0:
+            return 0
+        return -(-self.size // self.chunk_bytes)
+
+    def chunk_id(self, index: int) -> str:
+        """Globally unique chunk identifier."""
+        return f"ino{self.inode_id}.c{index}"
+
+
+def _inode_key(inode_id: int) -> str:
+    return f"inode/{inode_id:020d}"
+
+
+def _dirent_key(parent_id: int, name: str) -> str:
+    return f"dirent/{parent_id:020d}/{name}"
+
+
+def _dirent_prefix(parent_id: int) -> str:
+    return f"dirent/{parent_id:020d}/"
+
+
+def _validate_name(name: str) -> None:
+    if not name or "/" in name or name in (".", ".."):
+        raise FS3Error(f"invalid entry name {name!r}")
+
+
+class MetaService:
+    """One metadata service instance over the shared KV store."""
+
+    def __init__(self, kv: KVStore, chain_table: ChainTable) -> None:
+        self.kv = kv
+        self.chain_table = chain_table
+        if _inode_key(ROOT_INODE) not in kv:
+            kv.put(_inode_key(ROOT_INODE), Inode(ROOT_INODE, InodeType.DIR))
+            kv.put("meta/next_inode", ROOT_INODE + 1)
+            kv.put("meta/next_chain_offset", 0)
+
+    # -- id/placement allocation -------------------------------------------------
+
+    def _alloc_inode_id(self) -> int:
+        cur = self.kv.get("meta/next_inode")
+        self.kv.cas("meta/next_inode", cur.value + 1, cur.version)
+        return cur.value
+
+    def _alloc_chain_offset(self, stripe: int) -> int:
+        cur = self.kv.get("meta/next_chain_offset")
+        nxt = (cur.value + stripe) % len(self.chain_table)
+        self.kv.cas("meta/next_chain_offset", nxt, cur.version)
+        return cur.value
+
+    # -- path resolution ----------------------------------------------------------
+
+    @staticmethod
+    def split_path(path: str) -> List[str]:
+        """Normalize an absolute path into components."""
+        if not path.startswith("/"):
+            raise FS3Error(f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def inode(self, inode_id: int) -> Inode:
+        """Fetch an inode record by id."""
+        try:
+            return self.kv.get(_inode_key(inode_id)).value
+        except FS3NotFound:
+            raise FS3NotFound(f"inode {inode_id} not found")
+
+    def resolve(self, path: str) -> Inode:
+        """Walk the directory-entry table from the root."""
+        cur = self.inode(ROOT_INODE)
+        for name in self.split_path(path):
+            if cur.itype is not InodeType.DIR:
+                raise FS3NotFound(f"{path!r}: {name!r}'s parent is not a directory")
+            entry = self.kv.get_or_none(_dirent_key(cur.inode_id, name))
+            if entry is None:
+                raise FS3NotFound(f"path {path!r} not found at {name!r}")
+            cur = self.inode(entry.value)
+        return cur
+
+    def exists(self, path: str) -> bool:
+        """Whether a path resolves."""
+        try:
+            self.resolve(path)
+            return True
+        except FS3NotFound:
+            return False
+
+    def _parent_of(self, path: str) -> Tuple[Inode, str]:
+        parts = self.split_path(path)
+        if not parts:
+            raise FS3Error("cannot operate on the root directory")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self.resolve(parent_path)
+        if parent.itype is not InodeType.DIR:
+            raise FS3Error(f"{parent_path!r} is not a directory")
+        return parent, parts[-1]
+
+    # -- namespace operations ---------------------------------------------------------
+
+    def mkdir(self, path: str) -> Inode:
+        """Create a directory (parent must exist)."""
+        parent, name = self._parent_of(path)
+        _validate_name(name)
+        inode = Inode(self._alloc_inode_id(), InodeType.DIR)
+        try:
+            self.kv.put_if_absent(_dirent_key(parent.inode_id, name), inode.inode_id)
+        except Exception:
+            raise FS3Exists(f"{path!r} already exists")
+        self.kv.put(_inode_key(inode.inode_id), inode)
+        return inode
+
+    def makedirs(self, path: str) -> Inode:
+        """Create a directory and any missing ancestors."""
+        parts = self.split_path(path)
+        cur = "/"
+        inode = self.inode(ROOT_INODE)
+        for name in parts:
+            cur = cur.rstrip("/") + "/" + name
+            if self.exists(cur):
+                inode = self.resolve(cur)
+                if inode.itype is not InodeType.DIR:
+                    raise FS3Error(f"{cur!r} exists and is not a directory")
+            else:
+                inode = self.mkdir(cur)
+        return inode
+
+    def create(
+        self,
+        path: str,
+        stripe: Optional[int] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> Inode:
+        """Create a file; the meta service picks its chain-table offset.
+
+        The default stripe is :data:`DEFAULT_STRIPE`, clamped to the chain
+        table size (small test clusters have few chains). An explicit
+        ``stripe`` is validated strictly.
+        """
+        if stripe is None:
+            stripe = min(DEFAULT_STRIPE, len(self.chain_table))
+        if stripe < 1 or stripe > len(self.chain_table):
+            raise FS3Error(f"stripe must be in [1, {len(self.chain_table)}]")
+        if chunk_bytes < 1:
+            raise FS3Error("chunk_bytes must be positive")
+        parent, name = self._parent_of(path)
+        _validate_name(name)
+        inode = Inode(
+            inode_id=self._alloc_inode_id(),
+            itype=InodeType.FILE,
+            size=0,
+            chain_offset=self._alloc_chain_offset(stripe),
+            stripe=stripe,
+            chunk_bytes=chunk_bytes,
+        )
+        try:
+            self.kv.put_if_absent(_dirent_key(parent.inode_id, name), inode.inode_id)
+        except Exception:
+            raise FS3Exists(f"{path!r} already exists")
+        self.kv.put(_inode_key(inode.inode_id), inode)
+        return inode
+
+    def set_size(self, inode_id: int, size: int) -> Inode:
+        """Update a file's size after a write."""
+        if size < 0:
+            raise FS3Error("size must be >= 0")
+        inode = self.inode(inode_id)
+        if inode.itype is not InodeType.FILE:
+            raise FS3Error(f"inode {inode_id} is not a file")
+        updated = replace(inode, size=size)
+        self.kv.put(_inode_key(inode_id), updated)
+        return updated
+
+    def readdir(self, path: str) -> List[str]:
+        """Entry names of a directory, sorted."""
+        inode = self.resolve(path)
+        if inode.itype is not InodeType.DIR:
+            raise FS3Error(f"{path!r} is not a directory")
+        prefix = _dirent_prefix(inode.inode_id)
+        return [k[len(prefix):] for k, _ in self.kv.scan(prefix)]
+
+    def unlink(self, path: str) -> Inode:
+        """Remove a file entry and its inode; returns the removed inode."""
+        parent, name = self._parent_of(path)
+        inode = self.resolve(path)
+        if inode.itype is not InodeType.FILE:
+            raise FS3Error(f"{path!r} is a directory; use rmdir")
+        self.kv.transact([
+            ("delete", _dirent_key(parent.inode_id, name), None),
+            ("delete", _inode_key(inode.inode_id), None),
+        ])
+        return inode
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        parent, name = self._parent_of(path)
+        inode = self.resolve(path)
+        if inode.itype is not InodeType.DIR:
+            raise FS3Error(f"{path!r} is not a directory")
+        if self.readdir(path):
+            raise FS3Error(f"{path!r} is not empty")
+        self.kv.transact([
+            ("delete", _dirent_key(parent.inode_id, name), None),
+            ("delete", _inode_key(inode.inode_id), None),
+        ])
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move an entry to a new path (dst must not exist).
+
+        The unlink of the old entry and the insert of the new one commit
+        as a single KV transaction, so a concurrent meta service never
+        observes the entry missing from both directories.
+        """
+        if self.exists(dst):
+            raise FS3Exists(f"{dst!r} already exists")
+        src_parent, src_name = self._parent_of(src)
+        dst_parent, dst_name = self._parent_of(dst)
+        _validate_name(dst_name)
+        inode = self.resolve(src)
+        self.kv.transact([
+            ("delete", _dirent_key(src_parent.inode_id, src_name), None),
+            ("put", _dirent_key(dst_parent.inode_id, dst_name), inode.inode_id),
+        ])
+
+    # -- placement ------------------------------------------------------------------
+
+    def chain_for_chunk(self, inode: Inode, chunk_index: int) -> int:
+        """Chain-table index holding one of the file's chunks."""
+        return self.chain_table.chain_for_chunk(
+            inode.chain_offset, inode.stripe, chunk_index
+        )

@@ -1,0 +1,138 @@
+"""DES study of the request-to-send tradeoff (Section VI-B3).
+
+"The request-to-send control increases end-to-end IO latency but it's
+required to achieve sustainable high throughput."
+
+This module simulates one client fetching many chunks from many storage
+services on the :mod:`repro.simcore` kernel, under three policies:
+
+* ``ideal`` — a hypothetical lossless fabric with unlimited concurrency:
+  all senders fair-share the client link perfectly (the fluid optimum;
+  real hardware cannot do this at high fan-in),
+* ``rts`` — the deployed policy: the client admits at most ``window``
+  concurrent senders; queued senders wait for a grant,
+* ``no_rts`` — everyone sends at once and the client-side incast
+  (buffer exhaustion, retransmits) taxes goodput by the calibrated
+  :func:`~repro.experiments.storage_throughput.incast_efficiency`.
+
+Outputs per-transfer completion latencies and aggregate goodput, showing
+exactly the tradeoff the paper states: ``rts`` matches ``ideal``
+throughput with higher tail latency, while ``no_rts`` loses throughput
+outright once fan-in exceeds the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import FS3Error
+from repro.simcore import Environment, Resource
+
+
+def _incast_efficiency(senders: int, window: int, alpha: float = 0.08) -> float:
+    excess = max(0, senders - window)
+    return 1.0 / (1.0 + alpha * excess / window)
+
+
+@dataclass(frozen=True)
+class RtsStats:
+    """Latency/throughput summary for one policy."""
+
+    policy: str
+    completions: tuple  # sorted completion times
+    total_bytes: float
+
+    @property
+    def makespan(self) -> float:
+        """Time of the last completion."""
+        return self.completions[-1]
+
+    @property
+    def goodput(self) -> float:
+        """Aggregate bytes/s delivered."""
+        return self.total_bytes / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-transfer completion time."""
+        return sum(self.completions) / len(self.completions)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile completion time."""
+        idx = min(len(self.completions) - 1, int(0.99 * len(self.completions)))
+        return self.completions[idx]
+
+
+def simulate_policy(
+    policy: str,
+    n_senders: int = 64,
+    chunk_bytes: float = 4 * 2**20,
+    client_link: float = 25e9,
+    window: int = 8,
+) -> RtsStats:
+    """Run one incast scenario on the DES kernel."""
+    if policy not in ("ideal", "rts", "no_rts"):
+        raise FS3Error(f"unknown policy {policy!r}")
+    if n_senders < 1 or window < 1:
+        raise FS3Error("n_senders and window must be >= 1")
+    env = Environment()
+    completions: List[float] = []
+
+    if policy == "ideal":
+        # Perfect fluid sharing: all senders finish together at the
+        # work-conserving optimum.
+        def sender():
+            yield env.timeout(n_senders * chunk_bytes / client_link)
+            completions.append(env.now)
+
+        for _ in range(n_senders):
+            env.process(sender())
+
+    elif policy == "rts":
+        # The admission window serializes batches of `window` senders,
+        # each transferring at its fair share of the client link.
+        slots = Resource(env, capacity=window)
+
+        def sender():
+            req = slots.request()
+            yield req
+            active_rate = client_link / window
+            yield env.timeout(chunk_bytes / active_rate)
+            slots.release(req)
+            completions.append(env.now)
+
+        for _ in range(n_senders):
+            env.process(sender())
+
+    else:  # no_rts
+        eff = _incast_efficiency(n_senders, window)
+
+        def sender():
+            rate = client_link * eff / n_senders
+            yield env.timeout(chunk_bytes / rate)
+            completions.append(env.now)
+
+        for _ in range(n_senders):
+            env.process(sender())
+
+    env.run()
+    return RtsStats(
+        policy=policy,
+        completions=tuple(sorted(completions)),
+        total_bytes=n_senders * chunk_bytes,
+    )
+
+
+def rts_tradeoff(
+    n_senders: int = 64,
+    chunk_bytes: float = 4 * 2**20,
+    client_link: float = 25e9,
+    window: int = 8,
+) -> Dict[str, RtsStats]:
+    """All three policies side by side."""
+    return {
+        p: simulate_policy(p, n_senders, chunk_bytes, client_link, window)
+        for p in ("ideal", "rts", "no_rts")
+    }

@@ -1,0 +1,154 @@
+"""Storage services: chains materialized on a fleet of storage nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FS3Error, FS3Unavailable
+from repro.fs3.chain import ChainTable, StorageTarget, build_chain_table
+from repro.fs3.craq import CraqChain
+from repro.hardware.node import NodeSpec, storage_node
+
+
+@dataclass
+class StorageNode:
+    """One storage server (Table IV hardware) with capacity accounting."""
+
+    name: str
+    spec: NodeSpec = field(default_factory=storage_node)
+    alive: bool = True
+    used_bytes_per_ssd: Dict[int, int] = field(default_factory=dict)
+
+    def charge(self, ssd_index: int, nbytes: int) -> None:
+        """Account ``nbytes`` written to one SSD; enforces capacity."""
+        if not 0 <= ssd_index < self.spec.ssd_count:
+            raise FS3Error(f"{self.name}: no SSD {ssd_index}")
+        used = self.used_bytes_per_ssd.get(ssd_index, 0) + nbytes
+        if used > self.spec.ssd.capacity_bytes:
+            raise FS3Error(f"{self.name}: SSD {ssd_index} is full")
+        self.used_bytes_per_ssd[ssd_index] = used
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes stored on this node."""
+        return sum(self.used_bytes_per_ssd.values())
+
+
+class StorageService:
+    """The service role running on one storage node.
+
+    Sends heartbeats to the cluster manager and owns the node's storage
+    targets; the actual chain protocol state lives in the
+    :class:`~repro.fs3.craq.CraqChain` objects shared with peers.
+    """
+
+    def __init__(self, node: StorageNode) -> None:
+        self.node = node
+        self.targets: List[StorageTarget] = []
+
+    @property
+    def service_id(self) -> str:
+        """Registration id for the cluster manager."""
+        return f"storage@{self.node.name}"
+
+    def adopt(self, target: StorageTarget) -> None:
+        """Take ownership of one storage target."""
+        if target.node != self.node.name:
+            raise FS3Error(
+                f"target {target.target_id} belongs to {target.node}, "
+                f"not {self.node.name}"
+            )
+        self.targets.append(target)
+
+
+class StorageCluster:
+    """The full storage fleet: nodes, chain table, and live chains."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        ssds_per_node: int = 16,
+        replication: int = 2,
+        targets_per_ssd: int = 4,
+        chain_table: Optional[ChainTable] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise FS3Error("need at least one storage node")
+        self.nodes: Dict[str, StorageNode] = {
+            f"st{i}": StorageNode(name=f"st{i}") for i in range(n_nodes)
+        }
+        if chain_table is None:
+            chain_table = build_chain_table(
+                nodes=sorted(self.nodes),
+                ssds_per_node=ssds_per_node,
+                replication=replication,
+                targets_per_ssd=targets_per_ssd,
+            )
+        self.chain_table = chain_table
+        self.chains: List[CraqChain] = [
+            CraqChain(list(chain_table.chain(i))) for i in range(len(chain_table))
+        ]
+        self.services: Dict[str, StorageService] = {
+            name: StorageService(node) for name, node in self.nodes.items()
+        }
+        for i in range(len(chain_table)):
+            for target in chain_table.chain(i):
+                self.services[target.node].adopt(target)
+
+    # -- data path --------------------------------------------------------------
+
+    def write_chunk(self, chain_index: int, chunk_id: str, data: bytes) -> int:
+        """CRAQ-write a chunk onto a chain; charges every replica's SSD."""
+        chain = self.chains[chain_index % len(self.chains)]
+        version = chain.write(chunk_id, data)
+        for idx in chain.alive_indices():
+            replica = chain.replicas[idx]
+            self.nodes[replica.target.node].charge(
+                replica.target.ssd_index, len(data)
+            )
+        return version
+
+    def read_chunk(self, chain_index: int, chunk_id: str) -> bytes:
+        """CRAQ-read a chunk (read-any)."""
+        return self.chains[chain_index % len(self.chains)].read(chunk_id)
+
+    # -- failure handling ----------------------------------------------------------
+
+    def fail_node(self, name: str) -> int:
+        """Take a storage node offline; returns how many replicas dropped."""
+        if name not in self.nodes:
+            raise FS3Unavailable(f"unknown storage node {name!r}")
+        self.nodes[name].alive = False
+        dropped = 0
+        for chain in self.chains:
+            for i, replica in enumerate(chain.replicas):
+                if replica.target.node == name and replica.alive:
+                    chain.fail_replica(i)
+                    dropped += 1
+        return dropped
+
+    def recover_node(self, name: str) -> int:
+        """Bring a node back; resyncs its replicas from chain peers."""
+        if name not in self.nodes:
+            raise FS3Unavailable(f"unknown storage node {name!r}")
+        self.nodes[name].alive = True
+        recovered = 0
+        for chain in self.chains:
+            for i, replica in enumerate(chain.replicas):
+                if replica.target.node == name and not replica.alive:
+                    chain.recover_replica(i)
+                    recovered += 1
+        return recovered
+
+    # -- introspection ---------------------------------------------------------------
+
+    def total_used_bytes(self) -> int:
+        """Bytes stored across the fleet (all replicas)."""
+        return sum(n.used_bytes for n in self.nodes.values())
+
+    def balance_ratio(self) -> float:
+        """max/mean bytes per node — 1.0 is perfectly balanced."""
+        used = [n.used_bytes for n in self.nodes.values()]
+        mean = sum(used) / len(used)
+        return max(used) / mean if mean > 0 else 1.0

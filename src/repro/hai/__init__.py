@@ -1,0 +1,30 @@
+"""HAI Platform: time-sharing task scheduling (Section VI-C).
+
+"The principle of time-sharing scheduling is applied to cluster resource
+management. Users submit tasks ... and the platform interrupts and loads
+tasks according to current resource requirements, cluster busyness, etc."
+
+Key policies implemented here:
+
+* whole-node allocation — GPUs are not pooled; nodes are classified and
+  tagged by resource type and network zone,
+* priority-driven preemption with the checkpoint-interrupt protocol
+  (signal -> save checkpoint -> notify -> exit; resume from checkpoint),
+* at most **one** cross-zone task at a time (Section III-B), so the
+  double-binary-tree allreduce crosses the inter-zone links on only one
+  node pair,
+* utilization accounting (the platform "facilitates 99% utilization").
+"""
+
+from repro.hai.task import Task, TaskState
+from repro.hai.cluster import HAICluster, NodeInfo
+from repro.hai.scheduler import SchedulerEvent, TimeSharingScheduler
+
+__all__ = [
+    "HAICluster",
+    "NodeInfo",
+    "SchedulerEvent",
+    "Task",
+    "TaskState",
+    "TimeSharingScheduler",
+]

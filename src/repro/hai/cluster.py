@@ -1,0 +1,112 @@
+"""Cluster state: tagged whole-node resources across two zones."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import SchedulerError
+
+
+@dataclass
+class NodeInfo:
+    """One compute node as the scheduler sees it."""
+
+    name: str
+    zone: int
+    tags: FrozenSet[str] = frozenset()
+    healthy: bool = True
+    running_task: Optional[str] = None
+
+    @property
+    def free(self) -> bool:
+        """Available for allocation."""
+        return self.healthy and self.running_task is None
+
+
+class HAICluster:
+    """Node registry with zone/tag classification (no GPU pooling)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeInfo] = {}
+
+    @classmethod
+    def two_zone(cls, nodes_per_zone: int, tags: Set[str] = frozenset()) -> "HAICluster":
+        """Standard Fire-Flyer layout: two equal zones."""
+        cluster = cls()
+        for z in (0, 1):
+            for i in range(nodes_per_zone):
+                cluster.add_node(f"z{z}n{i}", zone=z, tags=tags)
+        return cluster
+
+    def add_node(self, name: str, zone: int, tags: Set[str] = frozenset()) -> None:
+        """Register a node."""
+        if name in self._nodes:
+            raise SchedulerError(f"duplicate node {name!r}")
+        self._nodes[name] = NodeInfo(name=name, zone=zone, tags=frozenset(tags))
+
+    def node(self, name: str) -> NodeInfo:
+        """Look up a node."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchedulerError(f"unknown node {name!r}")
+
+    def nodes(self) -> List[NodeInfo]:
+        """All nodes, sorted by name."""
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def free_nodes(self, zone: Optional[int] = None, tags: Set[str] = frozenset()) -> List[NodeInfo]:
+        """Free healthy nodes, filtered by zone and required tags."""
+        out = []
+        for n in self.nodes():
+            if not n.free:
+                continue
+            if zone is not None and n.zone != zone:
+                continue
+            if tags and not tags <= n.tags:
+                continue
+            out.append(n)
+        return out
+
+    def allocate(self, names: List[str], task_id: str) -> None:
+        """Mark nodes as running a task."""
+        for name in names:
+            info = self.node(name)
+            if not info.free:
+                raise SchedulerError(f"node {name!r} is not free")
+        for name in names:
+            self._nodes[name].running_task = task_id
+
+    def release(self, task_id: str) -> List[str]:
+        """Free every node running ``task_id``; returns their names."""
+        released = []
+        for n in self._nodes.values():
+            if n.running_task == task_id:
+                n.running_task = None
+                released.append(n.name)
+        return sorted(released)
+
+    def mark_unhealthy(self, name: str) -> Optional[str]:
+        """Take a node out of scheduling (validator found a fault).
+
+        Returns the task that was running there, if any.
+        """
+        info = self.node(name)
+        info.healthy = False
+        victim = info.running_task
+        info.running_task = None
+        return victim
+
+    def mark_healthy(self, name: str) -> None:
+        """Return a repaired node to the pool."""
+        self.node(name).healthy = True
+
+    @property
+    def size(self) -> int:
+        """Total registered nodes."""
+        return len(self._nodes)
+
+    def busy_count(self) -> int:
+        """Nodes currently running tasks."""
+        return sum(1 for n in self._nodes.values() if n.running_task is not None)

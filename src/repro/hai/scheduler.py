@@ -1,0 +1,249 @@
+"""The time-sharing scheduler (Section VI-C).
+
+An event-driven scheduler over :class:`~repro.hai.cluster.HAICluster`:
+
+* tasks are allocated whole nodes, preferring a single zone;
+* a task that cannot fit in one zone may span both, but only **one**
+  cross-zone task may run at a time (Section III-B);
+* higher-priority arrivals preempt the lowest-priority running tasks via
+  the checkpoint-interrupt protocol (no work lost, bounded overhead);
+* node failures crash their task, which loses at most one checkpoint
+  interval of progress and re-queues;
+* busy node-seconds are accumulated for utilization reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SchedulerError
+from repro.hai.cluster import HAICluster, NodeInfo
+from repro.hai.task import Task, TaskState
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One recorded scheduling decision."""
+
+    time: float
+    kind: str  # submit | start | finish | preempt | crash | requeue
+    task_id: str
+    detail: str = ""
+
+
+class TimeSharingScheduler:
+    """Deterministic event-driven time-sharing scheduler."""
+
+    def __init__(self, cluster: HAICluster) -> None:
+        self.cluster = cluster
+        self.tasks: Dict[str, Task] = {}
+        self._submit_order: Dict[str, int] = {}
+        self._counter = 0
+        self.now = 0.0
+        self.events: List[SchedulerEvent] = []
+        self._busy_node_seconds = 0.0
+        self._clock_started = 0.0
+        #: task_id -> time its nodes become usable (checkpoint overheads).
+        self._warmup_until: Dict[str, float] = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, task: Task, now: Optional[float] = None) -> None:
+        """Enqueue a task."""
+        if task.task_id in self.tasks:
+            raise SchedulerError(f"duplicate task {task.task_id!r}")
+        if task.nodes_required > self.cluster.size:
+            raise SchedulerError(
+                f"{task.task_id}: needs {task.nodes_required} nodes, cluster "
+                f"has {self.cluster.size}"
+            )
+        if now is not None:
+            self._advance_to(now)
+        self.tasks[task.task_id] = task
+        self._submit_order[task.task_id] = self._counter
+        self._counter += 1
+        self._log("submit", task.task_id)
+        self._schedule()
+
+    # -- queries ---------------------------------------------------------------
+
+    def running_tasks(self) -> List[Task]:
+        """Tasks currently holding nodes."""
+        return sorted(
+            (t for t in self.tasks.values() if t.state is TaskState.RUNNING),
+            key=lambda t: t.task_id,
+        )
+
+    def waiting_tasks(self) -> List[Task]:
+        """Tasks queued or interrupted, in scheduling priority order."""
+        waiting = [
+            t
+            for t in self.tasks.values()
+            if t.state in (TaskState.QUEUED, TaskState.INTERRUPTED)
+        ]
+        waiting.sort(key=lambda t: (-t.priority, self._submit_order[t.task_id]))
+        return waiting
+
+    def cross_zone_task(self) -> Optional[Task]:
+        """The currently running cross-zone task, if any."""
+        for t in self.running_tasks():
+            zones = {self.cluster.node(n).zone for n in t.assigned_nodes}
+            if len(zones) > 1:
+                return t
+        return None
+
+    def utilization(self) -> float:
+        """Busy node-seconds / total node-seconds since time zero."""
+        elapsed = self.now - self._clock_started
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_node_seconds / (elapsed * self.cluster.size)
+
+    # -- time advancement -------------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        if t < self.now:
+            raise SchedulerError(f"time went backwards: {t} < {self.now}")
+        dt = t - self.now
+        if dt == 0:
+            return
+        for task in self.running_tasks():
+            usable_from = self._warmup_until.get(task.task_id, 0.0)
+            effective = max(0.0, t - max(self.now, usable_from))
+            if effective > 0:
+                task.advance(effective)
+        self._busy_node_seconds += self.cluster.busy_count() * dt
+        self.now = t
+
+    def _next_completion(self) -> Optional[Tuple[float, Task]]:
+        best: Optional[Tuple[float, Task]] = None
+        for task in self.running_tasks():
+            usable_from = max(self._warmup_until.get(task.task_id, 0.0), self.now)
+            eta = usable_from + task.remaining_work
+            if best is None or eta < best[0]:
+                best = (eta, task)
+        return best
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation until ``until`` (or until idle)."""
+        while True:
+            nxt = self._next_completion()
+            if nxt is None:
+                if until is not None and until > self.now:
+                    self._advance_to(until)
+                return
+            eta, task = nxt
+            if until is not None and eta > until:
+                self._advance_to(until)
+                return
+            self._advance_to(eta)
+            self._finish(task)
+            self._schedule()
+
+    def run_until_idle(self) -> None:
+        """Run until no task is running or waiting."""
+        guard = 0
+        while self.running_tasks() or self.waiting_tasks():
+            before = self.now
+            self.run()
+            self._schedule()
+            guard += 1
+            if guard > 100000 or (not self.running_tasks() and self.waiting_tasks()):
+                raise SchedulerError("scheduler stalled with waiting tasks")
+
+    # -- failures ----------------------------------------------------------------
+
+    def fail_node(self, name: str, now: Optional[float] = None) -> Optional[str]:
+        """A node fails: its task crashes (bounded loss) and re-queues."""
+        if now is not None:
+            self._advance_to(now)
+        victim_id = self.cluster.mark_unhealthy(name)
+        if victim_id is None:
+            self._schedule()
+            return None
+        task = self.tasks[victim_id]
+        self.cluster.release(victim_id)
+        lost = task.crash()
+        self._log("crash", victim_id, f"node={name} lost={lost:.1f}s")
+        self._schedule()
+        return victim_id
+
+    def repair_node(self, name: str, now: Optional[float] = None) -> None:
+        """A repaired node rejoins the pool."""
+        if now is not None:
+            self._advance_to(now)
+        self.cluster.mark_healthy(name)
+        self._schedule()
+
+    # -- core policy --------------------------------------------------------------
+
+    def _finish(self, task: Task) -> None:
+        task.state = TaskState.FINISHED
+        task.finished_at = self.now
+        self.cluster.release(task.task_id)
+        self._warmup_until.pop(task.task_id, None)
+        self._log("finish", task.task_id)
+
+    def _pick_nodes(self, task: Task) -> Optional[List[str]]:
+        """Choose nodes for a task honouring zone policy; None if impossible."""
+        all_zones = sorted({n.zone for n in self.cluster.nodes()})
+        zones = [task.zone] if task.zone is not None else all_zones
+        for z in zones:
+            free = self.cluster.free_nodes(zone=z)
+            if len(free) >= task.nodes_required:
+                return [n.name for n in free[: task.nodes_required]]
+        if task.zone is None and self.cross_zone_task() is None:
+            free = self.cluster.free_nodes()
+            if len(free) >= task.nodes_required:
+                return [n.name for n in free[: task.nodes_required]]
+        return None
+
+    def _preemption_candidates(self, prio: int) -> List[Task]:
+        victims = [t for t in self.running_tasks() if t.priority < prio]
+        victims.sort(key=lambda t: (t.priority, -self._submit_order[t.task_id]))
+        return victims
+
+    def _schedule(self) -> None:
+        for task in self.waiting_tasks():
+            nodes = self._pick_nodes(task)
+            if nodes is None:
+                # Try preempting lower-priority work.
+                freed = 0
+                plan: List[Task] = []
+                for victim in self._preemption_candidates(task.priority):
+                    plan.append(victim)
+                    freed += len(victim.assigned_nodes)
+                    if freed + len(self.cluster.free_nodes()) >= task.nodes_required:
+                        break
+                if freed + len(self.cluster.free_nodes()) < task.nodes_required:
+                    continue  # cannot start this task now
+                for victim in plan:
+                    overhead = victim.interrupt()
+                    self.cluster.release(victim.task_id)
+                    self._warmup_until.pop(victim.task_id, None)
+                    self._log(
+                        "preempt", victim.task_id,
+                        f"for={task.task_id} save={overhead:.0f}s",
+                    )
+                nodes = self._pick_nodes(task)
+                if nodes is None:
+                    continue
+            resuming = task.state is TaskState.INTERRUPTED
+            self.cluster.allocate(nodes, task.task_id)
+            task.assigned_nodes = nodes
+            task.state = TaskState.RUNNING
+            if task.started_at is None:
+                task.started_at = self.now
+            warmup = task.resume_time if resuming else 0.0
+            self._warmup_until[task.task_id] = self.now + warmup
+            self._log(
+                "requeue-start" if resuming else "start",
+                task.task_id,
+                f"nodes={len(nodes)}",
+            )
+
+    def _log(self, kind: str, task_id: str, detail: str = "") -> None:
+        self.events.append(
+            SchedulerEvent(time=self.now, kind=kind, task_id=task_id, detail=detail)
+        )

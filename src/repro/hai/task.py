@@ -1,0 +1,104 @@
+"""Task model and the checkpoint-interrupt protocol state machine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SchedulerError
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a platform task."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    INTERRUPTED = "interrupted"  # preempted with checkpoint saved
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One training task following the platform coding rules.
+
+    Tasks must "accept the interruption signal, save checkpoints, notify
+    the cluster, and recover from the checkpoint" (Section VI-C). The
+    scheduler drives this protocol; the task records its progress and the
+    checkpoint it can resume from.
+    """
+
+    task_id: str
+    nodes_required: int
+    total_work: float  # seconds of computation needed
+    priority: int = 0  # higher preempts lower
+    zone: Optional[int] = None  # preferred zone; None = any
+    checkpoint_interval: float = 300.0  # periodic saves (5 min default)
+    checkpoint_save_time: float = 5.0  # seconds per save (3FS is fast)
+    resume_time: float = 5.0  # checkpoint load on resume
+
+    state: TaskState = TaskState.QUEUED
+    work_done: float = 0.0
+    checkpointed_work: float = 0.0
+    assigned_nodes: List[str] = field(default_factory=list)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    preemptions: int = 0
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes_required < 1:
+            raise SchedulerError("nodes_required must be >= 1")
+        if self.total_work <= 0:
+            raise SchedulerError("total_work must be positive")
+        if self.checkpoint_interval <= 0:
+            raise SchedulerError("checkpoint_interval must be positive")
+
+    # -- protocol -------------------------------------------------------------
+
+    @property
+    def remaining_work(self) -> float:
+        """Seconds of computation left from the last durable state."""
+        return self.total_work - self.work_done
+
+    def advance(self, seconds: float) -> None:
+        """Account ``seconds`` of useful computation (periodic checkpoints
+        update the durable mark automatically)."""
+        if self.state is not TaskState.RUNNING:
+            raise SchedulerError(f"{self.task_id}: advance while {self.state}")
+        self.work_done = min(self.total_work, self.work_done + seconds)
+        intervals = int(self.work_done / self.checkpoint_interval)
+        self.checkpointed_work = max(
+            self.checkpointed_work,
+            min(intervals * self.checkpoint_interval, self.work_done),
+        )
+
+    def interrupt(self) -> float:
+        """Planned preemption: save a checkpoint, then exit.
+
+        Returns the seconds of overhead (the checkpoint save). No progress
+        is lost — that is the point of the protocol.
+        """
+        if self.state is not TaskState.RUNNING:
+            raise SchedulerError(f"{self.task_id}: interrupt while {self.state}")
+        self.checkpointed_work = self.work_done
+        self.state = TaskState.INTERRUPTED
+        self.assigned_nodes = []
+        self.preemptions += 1
+        return self.checkpoint_save_time
+
+    def crash(self) -> float:
+        """Unplanned failure: progress since the last checkpoint is lost.
+
+        Returns the seconds of lost work (bounded by the checkpoint
+        interval — Section VII-A's "only the last 5 minutes").
+        """
+        if self.state is not TaskState.RUNNING:
+            raise SchedulerError(f"{self.task_id}: crash while {self.state}")
+        lost = self.work_done - self.checkpointed_work
+        self.work_done = self.checkpointed_work
+        self.state = TaskState.INTERRUPTED
+        self.assigned_nodes = []
+        self.failures += 1
+        return lost

@@ -1,0 +1,79 @@
+"""HaiScale: parallel training strategies tuned for the PCIe architecture.
+
+Reproduces Section V: DDP with HFReduce overlap, FSDP with
+allgather/reduce-scatter overlap, pipeline parallelism with DP-rank
+staggering, NVLink tensor parallelism, expert parallelism, and ZeRO memory
+accounting — all as schedule-level simulators over the hardware and
+collective models.
+"""
+
+from repro.haiscale.models import (
+    DEEPSEEK_MOE_16B,
+    GPT2_MEDIUM,
+    LLAMA_13B,
+    MODEL_CATALOG,
+    VGG16,
+    ConvNetSpec,
+    MoESpec,
+    TransformerSpec,
+    model_by_name,
+)
+from repro.haiscale.ddp import DDPConfig, DDPSimulator, DDPBackend
+from repro.haiscale.fsdp import FSDPConfig, FSDPSimulator
+from repro.haiscale.pipeline import (
+    PipelineConfig,
+    PipelineSchedule,
+    PipelineSimulator,
+    ScheduleKind,
+)
+from repro.haiscale.tensor_parallel import TensorParallelModel
+from repro.haiscale.expert_parallel import ExpertParallelModel
+from repro.haiscale.zero import ZeroStage, memory_per_gpu, max_model_params
+from repro.haiscale.mfu import mfu, model_flops_per_step
+from repro.haiscale.planner import ParallelPlan, plan_training
+from repro.haiscale.interleaved import (
+    InterleavedConfig,
+    InterleavedSimulator,
+    compare_interleaving,
+)
+from repro.haiscale.minitrain import DDPTrainer, FSDPTrainer, MLP, train_reference
+from repro.haiscale.moe_gating import TopKGate, moe_forward
+
+__all__ = [
+    "DDPBackend",
+    "DDPConfig",
+    "DDPSimulator",
+    "DDPTrainer",
+    "FSDPTrainer",
+    "InterleavedConfig",
+    "InterleavedSimulator",
+    "MLP",
+    "TopKGate",
+    "compare_interleaving",
+    "moe_forward",
+    "train_reference",
+    "DEEPSEEK_MOE_16B",
+    "ConvNetSpec",
+    "ExpertParallelModel",
+    "FSDPConfig",
+    "FSDPSimulator",
+    "GPT2_MEDIUM",
+    "LLAMA_13B",
+    "MODEL_CATALOG",
+    "MoESpec",
+    "ParallelPlan",
+    "PipelineConfig",
+    "PipelineSchedule",
+    "PipelineSimulator",
+    "ScheduleKind",
+    "TensorParallelModel",
+    "TransformerSpec",
+    "VGG16",
+    "ZeroStage",
+    "max_model_params",
+    "memory_per_gpu",
+    "mfu",
+    "model_by_name",
+    "model_flops_per_step",
+    "plan_training",
+]

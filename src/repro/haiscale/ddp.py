@@ -1,0 +1,207 @@
+"""Distributed Data Parallel timeline simulation (Section V-A, Figure 8a).
+
+HaiScale DDP uses HFReduce as its communication backend; PyTorch DDP uses
+NCCL. Both overlap gradient allreduce with backward computation via
+bucketing; the differences the paper highlights are
+
+* raw allreduce bandwidth (HFReduce ~2x NCCL on PCIe nodes, Figure 7a),
+* kernel interference: NCCL's reduction kernels occupy SMs and slow the
+  overlapping backward pass; HFReduce uses the GPU Copy Engine and is
+  "completely asynchronous with no overhead" (Section IV-B2).
+
+The simulator models the backward pass emitting gradient buckets at a
+uniform rate and the backend draining them; the step time is the maximum
+of the compute and (pipelined) communication critical paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.collectives.hfreduce import HFReduceModel
+from repro.collectives.nccl import NCCLRingModel
+from repro.collectives.primitives import AllreduceConfig
+from repro.errors import ParallelismError
+from repro.haiscale.models import ConvNetSpec, TransformerSpec
+from repro.hardware.gpu import GpuComputeModel
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.units import MiB
+
+
+class DDPBackend(enum.Enum):
+    """Which library performs gradient allreduce."""
+
+    HFREDUCE = "hfreduce"  # HaiScale DDP
+    NCCL = "nccl"  # PyTorch DDP
+
+
+@dataclass
+class DDPConfig:
+    """One DDP training configuration."""
+
+    model: Union[ConvNetSpec, TransformerSpec]
+    per_gpu_batch: int
+    world_size: int
+    backend: DDPBackend = DDPBackend.HFREDUCE
+    gpus_per_node: int = 8
+    bucket_bytes: int = 25 * MiB  # PyTorch's default bucket cap
+    grad_bytes_per_param: int = 4  # fp32 gradients
+    seq_len: int = 1024  # transformers only
+    optimizer_time: float = 0.005  # parameter update, fixed cost
+
+    def __post_init__(self) -> None:
+        if self.world_size < self.gpus_per_node or self.world_size % self.gpus_per_node:
+            raise ParallelismError(
+                "world_size must be a positive multiple of gpus_per_node"
+            )
+        if self.per_gpu_batch < 1:
+            raise ParallelismError("per_gpu_batch must be >= 1")
+
+    @property
+    def n_nodes(self) -> int:
+        """Participating nodes."""
+        return self.world_size // self.gpus_per_node
+
+    @property
+    def grad_bytes(self) -> int:
+        """Total gradient bytes allreduced per step."""
+        return self.model.params * self.grad_bytes_per_param
+
+    @property
+    def n_buckets(self) -> int:
+        """Gradient buckets."""
+        return max(1, -(-self.grad_bytes // self.bucket_bytes))
+
+
+class DDPSimulator:
+    """Computes step time and scaling curves for a DDP configuration."""
+
+    def __init__(
+        self,
+        config: DDPConfig,
+        node: Optional[NodeSpec] = None,
+        hfreduce: Optional[HFReduceModel] = None,
+        nccl: Optional[NCCLRingModel] = None,
+    ) -> None:
+        self.config = config
+        self.node = node if node is not None else fire_flyer_node()
+        self.hfreduce = hfreduce if hfreduce is not None else HFReduceModel(node=self.node)
+        self.nccl = nccl if nccl is not None else NCCLRingModel(node=self.node)
+        self.gpu = GpuComputeModel(self.node.gpu)
+
+    # -- compute side ---------------------------------------------------------
+
+    def _train_flops(self) -> float:
+        cfg = self.config
+        m = cfg.model
+        if isinstance(m, ConvNetSpec):
+            return m.train_flops(cfg.per_gpu_batch)
+        return m.train_flops(
+            cfg.per_gpu_batch * cfg.seq_len, cfg.seq_len, activation_recompute=False
+        )
+
+    def _efficiency(self) -> float:
+        m = self.config.model
+        return m.compute_efficiency if isinstance(m, ConvNetSpec) else 0.45
+
+    def compute_time(self) -> float:
+        """Forward + backward seconds per step on one GPU (no interference)."""
+        dtype = "tf32" if isinstance(self.config.model, ConvNetSpec) else "fp16"
+        rate = self.gpu.flops_rate(dtype) * self._efficiency()
+        return self._train_flops() / rate
+
+    # -- communication side ------------------------------------------------------
+
+    def allreduce_bandwidth(self) -> float:
+        """Backend allreduce bandwidth (bytes/s) for this world size.
+
+        Evaluated at the full gradient size: buckets stream back-to-back,
+        so the sustained rate is the large-message bandwidth.
+        """
+        cfg = self.config
+        ar = AllreduceConfig(
+            nbytes=max(cfg.grad_bytes, 1),
+            n_nodes=cfg.n_nodes,
+            gpus_per_node=cfg.gpus_per_node,
+        )
+        if cfg.backend is DDPBackend.HFREDUCE:
+            return self.hfreduce.bandwidth(ar)
+        return self.nccl.bandwidth(ar)
+
+    def comm_time(self) -> float:
+        """Total gradient allreduce time (un-overlapped)."""
+        return self.config.grad_bytes / self.allreduce_bandwidth()
+
+    # -- step assembly --------------------------------------------------------------
+
+    def overlap_fraction(self) -> float:
+        """How much of the allreduce hides under backward computation.
+
+        HFReduce runs on the Copy Engine and host CPU — "completely
+        asynchronous with no overhead" (Section IV-B2) — so overlap is
+        perfect. NCCL's reduction kernels contend with backward kernels
+        for SMs and streams, so only part of the communication hides.
+        """
+        return 1.0 if self.config.backend is DDPBackend.HFREDUCE else 0.5
+
+    def step_time(self) -> float:
+        """Seconds per optimization step.
+
+        Backward emits buckets uniformly, so communication can start once
+        the first bucket is ready. With HFReduce's perfect overlap the step
+        ends at ``max(bwd, first_bucket + comm)``; with NCCL only
+        ``overlap_fraction`` of the in-backward window is usable, and the
+        remainder of the communication is exposed after backward. NCCL also
+        slows backward itself via SM interference.
+        """
+        cfg = self.config
+        compute = self.compute_time()
+        fwd = compute / 3.0
+        bwd = compute - fwd
+        comm = self.comm_time()
+        if cfg.backend is DDPBackend.NCCL:
+            bwd /= 1.0 - self.nccl.sm_interference
+        first_bucket = bwd / cfg.n_buckets
+        if cfg.backend is DDPBackend.HFREDUCE:
+            tail = max(bwd, first_bucket + comm)
+        else:
+            hidden = self.overlap_fraction() * min(comm, bwd - first_bucket)
+            tail = bwd + (comm - hidden)
+        return fwd + tail + cfg.optimizer_time
+
+    def throughput(self) -> float:
+        """Global samples (images / sequences) per second."""
+        cfg = self.config
+        return cfg.world_size * cfg.per_gpu_batch / self.step_time()
+
+    def scaling_efficiency(self, base_world: int) -> float:
+        """Weak-scaling efficiency of this world size vs ``base_world``."""
+        cfg = self.config
+        base_cfg = DDPConfig(
+            model=cfg.model,
+            per_gpu_batch=cfg.per_gpu_batch,
+            world_size=base_world,
+            backend=cfg.backend,
+            gpus_per_node=cfg.gpus_per_node,
+            bucket_bytes=cfg.bucket_bytes,
+            grad_bytes_per_param=cfg.grad_bytes_per_param,
+            seq_len=cfg.seq_len,
+            optimizer_time=cfg.optimizer_time,
+        )
+        base = DDPSimulator(base_cfg, node=self.node, hfreduce=self.hfreduce,
+                            nccl=self.nccl)
+        per_gpu_now = self.throughput() / cfg.world_size
+        per_gpu_base = base.throughput() / base_world
+        return per_gpu_now / per_gpu_base
+
+    def report(self) -> Dict[str, float]:
+        """Step breakdown for experiment tables."""
+        return {
+            "compute_time": self.compute_time(),
+            "comm_time": self.comm_time(),
+            "step_time": self.step_time(),
+            "throughput": self.throughput(),
+            "allreduce_bw": self.allreduce_bandwidth(),
+        }

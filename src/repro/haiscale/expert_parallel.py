@@ -1,0 +1,93 @@
+"""Expert parallelism communication model (Section V-B, MoE training).
+
+With expert parallelism, each MoE layer's experts are spread over an EP
+group; every token's hidden state is dispatched to its top-k experts via
+all-to-all and the expert outputs combined via a second all-to-all. On the
+Fire-Flyer architecture the EP group spans nodes, so this traffic shares
+the single 200 Gbps NIC with pipeline and allreduce traffic — the reason
+the next-generation architecture (Section IX) moves to a 1:1 GPU:NIC
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ParallelismError
+from repro.haiscale.models import MoESpec
+from repro.hardware.node import NodeSpec, fire_flyer_node
+
+
+@dataclass
+class ExpertParallelModel:
+    """All-to-all cost for MoE layers on a node architecture."""
+
+    node: NodeSpec
+    ep_degree: int = 8
+    bytes_per_elem: int = 2
+    #: Effective all-to-all efficiency on the shared NIC (many small
+    #: messages, switch traversal).
+    a2a_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.ep_degree < 2:
+            raise ParallelismError("ep_degree must be >= 2")
+        if not 0 < self.a2a_efficiency <= 1:
+            raise ParallelismError("a2a_efficiency must be in (0,1]")
+
+    def offnode_fraction(self) -> float:
+        """Fraction of dispatched tokens that leave the node.
+
+        Experts are spread uniformly; with ``e`` EP ranks per node out of
+        ``E`` total, (E - e)/E of destinations are remote.
+        """
+        per_node = min(self.ep_degree, self.node.gpu_count)
+        return (self.ep_degree - per_node) / self.ep_degree if self.ep_degree else 0.0
+
+    def a2a_bytes_per_layer(self, model: MoESpec, tokens: int) -> float:
+        """Inter-node all-to-all bytes per MoE layer (fwd, one direction)."""
+        if tokens < 1:
+            raise ParallelismError("tokens must be >= 1")
+        per_token = model.all2all_bytes_per_token_per_layer(self.bytes_per_elem)
+        return tokens * per_token * self.offnode_fraction()
+
+    def a2a_time_per_layer(self, model: MoESpec, tokens: int) -> float:
+        """Seconds per MoE layer for dispatch+combine through the NIC.
+
+        ``tokens`` is the per-node token count. Forward and backward each
+        run the pair of all-to-alls, so a full step costs twice this.
+        """
+        nbytes = self.a2a_bytes_per_layer(model, tokens)
+        nic = self.node.network_bw * self.a2a_efficiency
+        return nbytes / nic
+
+    def step_a2a_time(self, model: MoESpec, tokens: int) -> float:
+        """Total all-to-all time per step (forward + backward)."""
+        return 2.0 * model.moe_layers * self.a2a_time_per_layer(model, tokens)
+
+    def a2a_time_from_routing(self, routing, hidden: int) -> float:
+        """All-to-all time from *measured* gating decisions.
+
+        Takes a :class:`~repro.haiscale.moe_gating.GatingResult`: dropped
+        assignments send nothing, and the busiest expert's receive queue
+        (not the average) paces the exchange — skewed routing hotspots
+        one EP rank's NIC, which is exactly what the load-balance loss
+        exists to prevent.
+        """
+        accepted = (~routing.dropped).sum()
+        per_assignment = 2.0 * hidden * self.bytes_per_elem  # dispatch+combine
+        mean_bytes = accepted * per_assignment * self.offnode_fraction()
+        # Skew factor: busiest expert vs perfect balance.
+        load = routing.load
+        skew = (load.max() / load.mean()) if load.sum() else 1.0
+        nic = self.node.network_bw * self.a2a_efficiency
+        return float(mean_bytes * skew / nic)
+
+    def report(self, model: MoESpec, tokens: int) -> Dict[str, float]:
+        """Summary for experiment tables."""
+        return {
+            "offnode_fraction": self.offnode_fraction(),
+            "a2a_per_layer": self.a2a_time_per_layer(model, tokens),
+            "step_a2a": self.step_a2a_time(model, tokens),
+        }

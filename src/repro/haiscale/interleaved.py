@@ -1,0 +1,188 @@
+"""Interleaved (virtual-stage) pipeline scheduling.
+
+Megatron-style interleaving assigns each pipeline rank ``v`` non-adjacent
+*model chunks* instead of one contiguous block (rank 0 holds layers
+[0..k) and [P*k..P*k+k), etc.). The warmup bubble shrinks by the factor
+``v`` — at the price of ``v`` times more inter-stage communication, which
+matters on Fire-Flyer's single shared NIC. This simulator extends the
+dependency-driven scheduler of :mod:`repro.haiscale.pipeline` to virtual
+stages so that tradeoff can be measured rather than asserted.
+
+Model: there are ``P`` physical ranks and ``V`` chunks per rank, i.e.
+``P*V`` virtual stages; virtual stage ``s`` lives on rank ``s % P``.
+Forward for microbatch ``m`` traverses virtual stages in order; backward
+in reverse. Each rank serializes its own ops; placement is *greedy*
+(backward first, forwards in group-major order), which captures most —
+not all — of Megatron's hand-crafted interleaved schedule's bubble
+reduction. The qualitative claims it supports are robust: higher ``V``
+shrinks the warmup bubble, and per-hop communication cost (multiplied by
+``V``) eats the gain on a shared-NIC architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParallelismError
+
+
+@dataclass
+class InterleavedConfig:
+    """Parameters of one interleaved pipeline step."""
+
+    n_ranks: int
+    v_chunks: int  # model chunks per rank (v=1 -> plain 1F1B)
+    n_microbatches: int
+    chunk_fwd_time: float  # per microbatch per *virtual* stage
+    chunk_bwd_time: float
+    p2p_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1 or self.v_chunks < 1 or self.n_microbatches < 1:
+            raise ParallelismError("ranks/chunks/microbatches must be >= 1")
+        if self.chunk_fwd_time <= 0 or self.chunk_bwd_time <= 0:
+            raise ParallelismError("chunk times must be positive")
+        if self.p2p_time < 0:
+            raise ParallelismError("p2p_time must be >= 0")
+        if self.n_microbatches % self.n_ranks:
+            raise ParallelismError(
+                "interleaved schedule requires microbatches divisible by ranks"
+            )
+
+    @property
+    def n_virtual(self) -> int:
+        """Total virtual stages."""
+        return self.n_ranks * self.v_chunks
+
+    def rank_of(self, vstage: int) -> int:
+        """Physical rank hosting a virtual stage."""
+        return vstage % self.n_ranks
+
+
+@dataclass
+class InterleavedSchedule:
+    """Placed interleaved schedule."""
+
+    config: InterleavedConfig
+    finish: Dict[Tuple[int, str, int], float]  # (vstage, kind, mb)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last backward."""
+        return max(self.finish.values())
+
+    @property
+    def ideal_time(self) -> float:
+        """Zero-bubble lower bound on one rank."""
+        c = self.config
+        return c.n_microbatches * c.v_chunks * (
+            c.chunk_fwd_time + c.chunk_bwd_time
+        )
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the makespan lost to bubbles/communication."""
+        return 1.0 - self.ideal_time / self.makespan
+
+
+class InterleavedSimulator:
+    """Greedy dependency-driven placement for interleaved 1F1B."""
+
+    def __init__(self, config: InterleavedConfig) -> None:
+        self.config = config
+
+    def schedule(self) -> InterleavedSchedule:
+        """Place every (vstage, F/B, mb) op."""
+        cfg = self.config
+        P, V, M = cfg.n_ranks, cfg.v_chunks, cfg.n_microbatches
+        n_virtual = cfg.n_virtual
+        finish: Dict[Tuple[int, str, int], float] = {}
+        free_at = [0.0] * P
+        # Per virtual stage, next F / next B microbatch index.
+        f_next = [0] * n_virtual
+        b_next = [0] * n_virtual
+        # Interleaved in-flight bound per rank (Megatron keeps <= P*V + ...;
+        # we use the standard per-virtual-stage limit of n_virtual - s).
+        placed = 0
+        total = 2 * n_virtual * M
+
+        def ready_f(s: int, m: int) -> Optional[float]:
+            if s == 0:
+                return 0.0
+            t = finish.get((s - 1, "F", m))
+            return None if t is None else t + cfg.p2p_time
+
+        def ready_b(s: int, m: int) -> Optional[float]:
+            if s == n_virtual - 1:
+                return finish.get((s, "F", m))
+            t = finish.get((s + 1, "B", m))
+            return None if t is None else t + cfg.p2p_time
+
+        while placed < total:
+            best = None  # (start, prio, rank, vstage, kind, mb, dur)
+            for s in range(n_virtual):
+                rank = cfg.rank_of(s)
+                # Backward has priority (drains activations).
+                if b_next[s] < M:
+                    t = ready_b(s, b_next[s])
+                    if t is not None:
+                        entry = (max(t, free_at[rank]), 0, rank, s, "B",
+                                 b_next[s], cfg.chunk_bwd_time)
+                        if best is None or entry < best:
+                            best = entry
+                if f_next[s] < M:
+                    # Limit in-flight activations per virtual stage.
+                    inflight = f_next[s] - b_next[s]
+                    if inflight < (n_virtual - s):
+                        t = ready_f(s, f_next[s])
+                        if t is not None:
+                            # Group-major order (Megatron interleaving):
+                            # finish a group of P microbatches on chunk c
+                            # before starting chunk c's next group, but
+                            # visit deeper chunks between groups.
+                            group = f_next[s] // P
+                            entry = (max(t, free_at[rank]), 1 + group, rank,
+                                     s, "F", f_next[s], cfg.chunk_fwd_time)
+                            if best is None or entry < best:
+                                best = entry
+            if best is None:
+                raise ParallelismError("interleaved schedule deadlocked")
+            t0, _prio, rank, s, kind, m, dur = best
+            finish[(s, kind, m)] = t0 + dur
+            free_at[rank] = t0 + dur
+            if kind == "F":
+                f_next[s] += 1
+            else:
+                b_next[s] += 1
+            placed += 1
+        return InterleavedSchedule(config=cfg, finish=finish)
+
+
+def compare_interleaving(
+    n_ranks: int = 4,
+    n_microbatches: int = 8,
+    total_fwd_time: float = 4.0,
+    total_bwd_time: float = 8.0,
+    p2p_time: float = 0.0,
+    v_values: Tuple[int, ...] = (1, 2, 4),
+) -> List[Tuple[int, float, float]]:
+    """Bubble fraction vs interleaving degree at fixed total model size.
+
+    Each rank's total work per microbatch is constant; increasing ``v``
+    splits it into smaller chunks (and multiplies p2p transfers).
+    Returns (v, makespan, bubble_fraction) rows.
+    """
+    rows = []
+    for v in v_values:
+        cfg = InterleavedConfig(
+            n_ranks=n_ranks,
+            v_chunks=v,
+            n_microbatches=n_microbatches,
+            chunk_fwd_time=total_fwd_time / v,
+            chunk_bwd_time=total_bwd_time / v,
+            p2p_time=p2p_time,
+        )
+        sched = InterleavedSimulator(cfg).schedule()
+        rows.append((v, sched.makespan, sched.bubble_fraction))
+    return rows

@@ -1,0 +1,52 @@
+"""Model FLOPs Utilization (Section II-B1).
+
+"Model FLOPs Utilization (MFU), which assesses the ratio of observed
+throughput to theoretical maximum throughput (assuming 100% peak FLOPS),
+serves as the standard metric for evaluating training efficiency."
+
+MFU counts only the *model's* FLOPs (no activation recomputation credit)
+against the hardware peak, so recompute lowers MFU even though it keeps
+the GPUs busy — the distinction between MFU and HFU the literature draws.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ParallelismError
+from repro.haiscale.models import MoESpec, TransformerSpec
+from repro.hardware.spec import A100_PCIE, GPUSpec
+
+
+def model_flops_per_step(
+    model: Union[TransformerSpec, MoESpec],
+    global_batch: int,
+    seq_len: int,
+) -> float:
+    """Fwd+bwd model FLOPs for one optimization step (no recompute)."""
+    if global_batch < 1 or seq_len < 1:
+        raise ParallelismError("batch and seq_len must be >= 1")
+    tokens = global_batch * seq_len
+    return model.train_flops(tokens, seq_len, activation_recompute=False)
+
+
+def mfu(
+    model: Union[TransformerSpec, MoESpec],
+    global_batch: int,
+    seq_len: int,
+    step_time: float,
+    world_size: int,
+    gpu: GPUSpec = A100_PCIE,
+    dtype: str = "fp16",
+) -> float:
+    """Observed MFU of a training configuration.
+
+    ``gpu`` peak uses the measured GEMM rate of the spec catalog (the
+    paper's Table II figures), which is the honest peak for this
+    architecture.
+    """
+    if step_time <= 0 or world_size < 1:
+        raise ParallelismError("step_time must be > 0 and world_size >= 1")
+    flops = model_flops_per_step(model, global_batch, seq_len)
+    peak = (gpu.fp16_flops if dtype in ("fp16", "bf16") else gpu.tf32_flops)
+    return flops / (step_time * world_size * peak)

@@ -1,0 +1,282 @@
+"""Analytic model catalog: parameters, FLOPs, and activation footprints.
+
+The paper's training benchmarks use VGG16 (Figure 8a), GPT2-medium
+(Figure 8b), LLaMA-13B (Figure 9a) and DeepSeekMoE-16B (Figure 9b); the
+background discussion (Figure 3) also references ResNet, Mask-RCNN, BERT
+and MAE. This module provides parameter/FLOP counts from standard
+architectural formulas so the parallelism simulators can derive compute
+and communication volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.errors import ParallelismError
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """A dense decoder-style transformer."""
+
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    vocab: int
+    ffn_hidden: Optional[int] = None  # defaults to 4*hidden
+    mlp_matrices: int = 2  # 2 for GELU MLPs, 3 for gated (SwiGLU) MLPs
+
+    @property
+    def ffn(self) -> int:
+        """Feed-forward inner width."""
+        return self.ffn_hidden if self.ffn_hidden is not None else 4 * self.hidden
+
+    @property
+    def layer_params(self) -> int:
+        """Parameters of one transformer layer (attention + MLP + norms)."""
+        h = self.hidden
+        attn = 4 * h * h  # QKV + output projection
+        mlp = self.mlp_matrices * h * self.ffn
+        norms = 4 * h
+        return attn + mlp + norms
+
+    @property
+    def params(self) -> int:
+        """Total parameters including embeddings."""
+        return self.layers * self.layer_params + self.vocab * self.hidden
+
+    def layer_flops_per_token(self, seq_len: int) -> float:
+        """Forward FLOPs for one token through one layer.
+
+        2 FLOPs per MAC on the weight matmuls, plus the attention
+        score/context matmuls which scale with sequence length.
+        """
+        if seq_len < 1:
+            raise ParallelismError("seq_len must be >= 1")
+        h = self.hidden
+        dense = 2.0 * (4 * h * h + self.mlp_matrices * h * self.ffn)
+        attn_quadratic = 4.0 * h * seq_len  # QK^T and attn*V, per token
+        return dense + attn_quadratic
+
+    def forward_flops(self, tokens: int, seq_len: int) -> float:
+        """Forward FLOPs for ``tokens`` tokens (logit layer included)."""
+        per_tok = self.layers * self.layer_flops_per_token(seq_len)
+        logits = 2.0 * self.hidden * self.vocab
+        return tokens * (per_tok + logits)
+
+    def train_flops(self, tokens: int, seq_len: int,
+                    activation_recompute: bool = True) -> float:
+        """Fwd+bwd FLOPs; recomputation adds one extra forward pass."""
+        fwd = self.forward_flops(tokens, seq_len)
+        factor = 4.0 if activation_recompute else 3.0  # bwd = 2x fwd
+        return factor * fwd
+
+    def activation_bytes_per_token(self, bytes_per_elem: int = 2) -> float:
+        """Rough per-token activation footprint for one layer."""
+        # hidden states + attention intermediates, standard ~34*h estimate.
+        return 34.0 * self.hidden * bytes_per_elem / 2
+
+
+@dataclass(frozen=True)
+class MoESpec:
+    """A Mixture-of-Experts transformer (DeepSeekMoE-style)."""
+
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    vocab: int
+    n_experts: int
+    n_shared_experts: int
+    top_k: int
+    expert_ffn: int  # inner width of each (fine-grained) expert
+    dense_layers: int = 1  # leading dense layers (DeepSeekMoE uses 1)
+
+    @property
+    def moe_layers(self) -> int:
+        """Number of MoE layers."""
+        return self.layers - self.dense_layers
+
+    @property
+    def layer_attn_params(self) -> int:
+        return 4 * self.hidden * self.hidden + 4 * self.hidden
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of one expert MLP (gated, 3 matrices)."""
+        return 3 * self.hidden * self.expert_ffn
+
+    @property
+    def params(self) -> int:
+        """Total parameters (all experts)."""
+        dense_mlp = 2 * self.hidden * (4 * self.hidden)
+        total = self.vocab * self.hidden
+        total += self.layers * self.layer_attn_params
+        total += self.dense_layers * dense_mlp
+        total += self.moe_layers * (
+            (self.n_experts + self.n_shared_experts) * self.expert_params
+            + self.hidden * self.n_experts  # router
+        )
+        return total
+
+    @property
+    def active_params(self) -> int:
+        """Parameters touched per token (top-k + shared experts)."""
+        dense_mlp = 2 * self.hidden * (4 * self.hidden)
+        total = self.vocab * self.hidden
+        total += self.layers * self.layer_attn_params
+        total += self.dense_layers * dense_mlp
+        total += self.moe_layers * (
+            (self.top_k + self.n_shared_experts) * self.expert_params
+        )
+        return total
+
+    def forward_flops(self, tokens: int, seq_len: int) -> float:
+        """Forward FLOPs per ``tokens`` (only active experts compute)."""
+        h = self.hidden
+        per_tok = self.layers * (2.0 * 4 * h * h + 4.0 * h * seq_len)
+        per_tok += self.dense_layers * 2.0 * 2 * h * (4 * h)
+        per_tok += self.moe_layers * (
+            (self.top_k + self.n_shared_experts) * 2.0 * self.expert_params
+        )
+        per_tok += 2.0 * h * self.vocab
+        return tokens * per_tok
+
+    def train_flops(self, tokens: int, seq_len: int,
+                    activation_recompute: bool = True) -> float:
+        """Fwd+bwd FLOPs; see :meth:`TransformerSpec.train_flops`."""
+        factor = 4.0 if activation_recompute else 3.0
+        return factor * self.forward_flops(tokens, seq_len)
+
+    def all2all_bytes_per_token_per_layer(self, bytes_per_elem: int = 2) -> float:
+        """Dispatch+combine all-to-all volume per token per MoE layer.
+
+        Each token's hidden state is sent to its top-k experts and the
+        results gathered back: 2 (dispatch+combine) x top_k x hidden.
+        """
+        return 2.0 * self.top_k * self.hidden * bytes_per_elem
+
+
+@dataclass(frozen=True)
+class ConvNetSpec:
+    """A convolutional vision model (for the DDP benchmarks)."""
+
+    name: str
+    params: int
+    forward_flops_per_image: float
+    #: Fraction of GEMM-peak these conv/fc stacks sustain (VGG-era models
+    #: are far more memory-bound than transformer GEMMs).
+    compute_efficiency: float = 0.35
+
+    def train_flops(self, images: int) -> float:
+        """Fwd+bwd FLOPs for a batch of ``images``."""
+        return 3.0 * self.forward_flops_per_image * images
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+VGG16 = ConvNetSpec(
+    name="VGG16",
+    params=138_000_000,
+    forward_flops_per_image=15.5e9,  # 224x224
+)
+
+RESNET50 = ConvNetSpec(
+    name="ResNet50",
+    params=25_600_000,
+    forward_flops_per_image=4.1e9,
+    compute_efficiency=0.45,
+)
+
+MASK_RCNN = ConvNetSpec(
+    name="Mask-RCNN",
+    params=44_000_000,
+    forward_flops_per_image=260e9,
+    compute_efficiency=0.3,
+)
+
+GPT2_MEDIUM = TransformerSpec(
+    name="GPT2-medium",
+    layers=24,
+    hidden=1024,
+    heads=16,
+    vocab=50257,
+)
+
+BERT_LARGE = TransformerSpec(
+    name="BERT-large",
+    layers=24,
+    hidden=1024,
+    heads=16,
+    vocab=30522,
+)
+
+MAE_VIT_H = TransformerSpec(
+    name="MAE-ViT-H",
+    layers=32,
+    hidden=1280,
+    heads=16,
+    vocab=0,
+)
+
+LLAMA_13B = TransformerSpec(
+    name="LLaMA-13B",
+    layers=40,
+    hidden=5120,
+    heads=40,
+    vocab=32000,
+    ffn_hidden=13824,
+    mlp_matrices=3,  # SwiGLU
+)
+
+GPT3_175B = TransformerSpec(
+    name="GPT-3-175B",
+    layers=96,
+    hidden=12288,
+    heads=96,
+    vocab=50257,
+)
+
+DEEPSEEK_MOE_16B = MoESpec(
+    name="DeepSeekMoE-16B",
+    layers=28,
+    hidden=2048,
+    heads=16,
+    vocab=102400,
+    n_experts=64,
+    n_shared_experts=2,
+    top_k=6,
+    expert_ffn=1408,
+    dense_layers=1,
+)
+
+ModelSpec = Union[TransformerSpec, MoESpec, ConvNetSpec]
+
+MODEL_CATALOG: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        VGG16,
+        RESNET50,
+        MASK_RCNN,
+        GPT2_MEDIUM,
+        BERT_LARGE,
+        MAE_VIT_H,
+        LLAMA_13B,
+        GPT3_175B,
+        DEEPSEEK_MOE_16B,
+    )
+}
+
+
+def model_by_name(name: str) -> ModelSpec:
+    """Look up a catalog model by name."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        raise ParallelismError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CATALOG)}"
+        )

@@ -1,0 +1,187 @@
+"""Executable MoE token routing (the Expert Parallelism data plane).
+
+The EP *timing* model (:mod:`repro.haiscale.expert_parallel`) prices the
+all-to-all; this module runs the algorithm it prices, DeepSeekMoE-style:
+
+* softmax **top-k gating** with optional shared experts that see every
+  token,
+* **expert capacity** with token dropping (the overflow behaviour that
+  makes all-to-all volumes predictable),
+* the **dispatch / combine** permutation pair — the exact payloads the
+  all-to-all carries — with the round-trip identity property tested,
+* the auxiliary **load-balance loss** used to keep expert utilization
+  even (skewed routing would hotspot one EP rank's NIC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelismError
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+@dataclass(frozen=True)
+class GatingResult:
+    """Routing decision for a batch of tokens."""
+
+    expert_ids: np.ndarray  # (tokens, k) selected expert per slot
+    weights: np.ndarray  # (tokens, k) combine weights (renormalized)
+    dropped: np.ndarray  # (tokens, k) bool — capacity overflow
+    load: np.ndarray  # (experts,) tokens routed per expert (pre-drop)
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of (token, slot) assignments dropped."""
+        return float(np.mean(self.dropped))
+
+
+class TopKGate:
+    """Softmax top-k router with expert capacity."""
+
+    def __init__(
+        self,
+        n_experts: int,
+        top_k: int,
+        capacity_factor: float = 1.25,
+    ) -> None:
+        if n_experts < 1 or not 1 <= top_k <= n_experts:
+            raise ParallelismError("need 1 <= top_k <= n_experts")
+        if capacity_factor <= 0:
+            raise ParallelismError("capacity_factor must be positive")
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+
+    def capacity(self, n_tokens: int) -> int:
+        """Max tokens one expert accepts for a batch."""
+        return max(1, int(np.ceil(
+            n_tokens * self.top_k * self.capacity_factor / self.n_experts
+        )))
+
+    def route(self, logits: np.ndarray) -> GatingResult:
+        """Route tokens given router ``logits`` of shape (tokens, experts)."""
+        if logits.ndim != 2 or logits.shape[1] != self.n_experts:
+            raise ParallelismError(
+                f"logits must be (tokens, {self.n_experts})"
+            )
+        n_tokens = logits.shape[0]
+        probs = softmax(logits.astype(np.float64))
+        order = np.argsort(-probs, axis=1)[:, : self.top_k]
+        picked = np.take_along_axis(probs, order, axis=1)
+        weights = picked / np.sum(picked, axis=1, keepdims=True)
+
+        cap = self.capacity(n_tokens)
+        counts = np.zeros(self.n_experts, dtype=np.int64)
+        load = np.zeros(self.n_experts, dtype=np.int64)
+        dropped = np.zeros_like(order, dtype=bool)
+        # First-come-first-served capacity, token-major (deterministic).
+        for t in range(n_tokens):
+            for slot in range(self.top_k):
+                e = order[t, slot]
+                load[e] += 1
+                if counts[e] >= cap:
+                    dropped[t, slot] = True
+                else:
+                    counts[e] += 1
+        return GatingResult(
+            expert_ids=order.astype(np.int64),
+            weights=weights.astype(np.float32),
+            dropped=dropped,
+            load=load,
+        )
+
+    def load_balance_loss(self, logits: np.ndarray) -> float:
+        """Switch-style auxiliary loss: n * sum(f_e * p_e).
+
+        1.0 at perfect balance; grows as routing skews. Keeping it near 1
+        is what keeps per-EP-rank all-to-all traffic even.
+        """
+        result = self.route(logits)
+        probs = softmax(logits.astype(np.float64))
+        f = result.load / result.load.sum()
+        p = probs.mean(axis=0)
+        return float(self.n_experts * np.sum(f * p))
+
+
+def dispatch(
+    tokens: np.ndarray,
+    routing: GatingResult,
+    n_experts: int,
+) -> Tuple[List[np.ndarray], List[List[Tuple[int, int]]]]:
+    """Build per-expert input buffers (the all-to-all dispatch payload).
+
+    Returns ``(buffers, origins)`` where ``buffers[e]`` stacks the token
+    vectors routed to expert ``e`` and ``origins[e]`` records each row's
+    (token, slot) for the combine pass.
+    """
+    if tokens.ndim != 2:
+        raise ParallelismError("tokens must be (n_tokens, hidden)")
+    buffers: List[List[np.ndarray]] = [[] for _ in range(n_experts)]
+    origins: List[List[Tuple[int, int]]] = [[] for _ in range(n_experts)]
+    n_tokens, k = routing.expert_ids.shape
+    for t in range(n_tokens):
+        for slot in range(k):
+            if routing.dropped[t, slot]:
+                continue
+            e = int(routing.expert_ids[t, slot])
+            buffers[e].append(tokens[t])
+            origins[e].append((t, slot))
+    stacked = [
+        np.stack(b) if b else np.zeros((0, tokens.shape[1]), tokens.dtype)
+        for b in buffers
+    ]
+    return stacked, origins
+
+
+def combine(
+    expert_outputs: List[np.ndarray],
+    origins: List[List[Tuple[int, int]]],
+    routing: GatingResult,
+    n_tokens: int,
+    hidden: int,
+) -> np.ndarray:
+    """Weighted-sum the expert outputs back per token (all-to-all return).
+
+    Dropped (token, slot) assignments contribute nothing — their weight
+    is effectively zero, the standard capacity-overflow semantics.
+    """
+    out = np.zeros((n_tokens, hidden), dtype=np.float32)
+    for e, rows in enumerate(origins):
+        for row_idx, (t, slot) in enumerate(rows):
+            out[t] += routing.weights[t, slot] * expert_outputs[e][row_idx]
+    return out
+
+
+def moe_forward(
+    tokens: np.ndarray,
+    gate: TopKGate,
+    expert_fn,
+    shared_expert_fn=None,
+    rng_logits: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, GatingResult]:
+    """A full MoE layer forward: route -> dispatch -> experts -> combine.
+
+    ``expert_fn(e, x)`` applies expert ``e`` to a batch; DeepSeekMoE's
+    shared experts (applied to every token, no routing) enter via
+    ``shared_expert_fn``.
+    """
+    if rng_logits is None:
+        raise ParallelismError("router logits are required")
+    routing = gate.route(rng_logits)
+    buffers, origins = dispatch(tokens, routing, gate.n_experts)
+    outputs = [expert_fn(e, buf) for e, buf in enumerate(buffers)]
+    combined = combine(outputs, origins, routing, tokens.shape[0],
+                       tokens.shape[1])
+    if shared_expert_fn is not None:
+        combined = combined + shared_expert_fn(tokens)
+    return combined, routing

@@ -1,0 +1,304 @@
+"""Pipeline-parallel schedule simulation (Section V-B2, Figure 9).
+
+This is a real dependency-driven scheduler, not a closed-form bubble
+formula: each (stage, microbatch) forward/backward op is placed on its
+stage's timeline subject to
+
+* in-stage execution order (GPipe: all forwards then all backwards;
+  1F1B: warmup forwards, steady one-forward-one-backward, cooldown),
+* cross-stage data dependencies with point-to-point activation transfer
+  time, and
+* the PCIe architecture's NIC contention: with 8 GPUs per node and one
+  NIC, concurrent pipeline transfers from co-located DP ranks contend.
+  HaiScale staggers DP ranks so their send windows interleave
+  (Section V-B2); without staggering the effective transfer time inflates
+  by the contention factor.
+
+The step ends when the last backward completes, followed by the exposed
+part of the data-parallel gradient allreduce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParallelismError
+
+
+class ScheduleKind(enum.Enum):
+    """Pipeline scheduling strategies the paper cites.
+
+    ``ZBPP`` is Zero Bubble Pipeline Parallelism (Qi et al.): backward is
+    split into the input-gradient op ``B`` (on the inter-stage critical
+    path) and the weight-gradient op ``W`` (free filler), and ``W`` ops
+    are scheduled into what would otherwise be warmup/cooldown bubbles.
+    """
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+    ZBPP = "zbpp"
+
+
+@dataclass
+class PipelineConfig:
+    """Parameters of one pipeline-parallel step."""
+
+    n_stages: int
+    n_microbatches: int
+    fwd_time: float  # per microbatch per stage, seconds
+    bwd_time: float  # per microbatch per stage, seconds
+    p2p_time: float = 0.0  # activation transfer between adjacent stages
+    schedule: ScheduleKind = ScheduleKind.ONE_F_ONE_B
+    #: Concurrent DP ranks sharing each node NIC for p2p traffic.
+    dp_ranks_per_node: int = 8
+    #: HaiScale's fix: stagger DP ranks so transfers interleave.
+    stagger: bool = True
+    #: Residual p2p inflation even with staggering (imperfect interleave).
+    stagger_residual: float = 1.15
+    #: Gradient allreduce tail and how much of it hides under the pipeline.
+    allreduce_time: float = 0.0
+    allreduce_overlap: float = 0.6
+    #: ZBPP only: fraction of the backward that is the weight-gradient
+    #: computation W (the rest is the input-gradient B on the critical
+    #: path). Transformer layers are close to an even split.
+    zbpp_w_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1:
+            raise ParallelismError("n_stages must be >= 1")
+        if self.n_microbatches < 1:
+            raise ParallelismError("n_microbatches must be >= 1")
+        if self.fwd_time <= 0 or self.bwd_time <= 0:
+            raise ParallelismError("fwd/bwd times must be positive")
+        if self.p2p_time < 0 or self.allreduce_time < 0:
+            raise ParallelismError("comm times must be >= 0")
+        if not 0 <= self.allreduce_overlap <= 1:
+            raise ParallelismError("allreduce_overlap must be in [0,1]")
+        if not 0 < self.zbpp_w_fraction < 1:
+            raise ParallelismError("zbpp_w_fraction must be in (0,1)")
+
+    @property
+    def effective_p2p(self) -> float:
+        """P2P transfer time after NIC contention effects."""
+        if self.n_stages == 1 or self.p2p_time == 0:
+            return 0.0
+        if self.stagger:
+            return self.p2p_time * self.stagger_residual
+        return self.p2p_time * self.dp_ranks_per_node
+
+
+@dataclass(frozen=True)
+class _Op:
+    kind: str  # "F" or "B"
+    mb: int
+
+
+@dataclass
+class PipelineSchedule:
+    """A fully placed schedule: per-stage op timelines."""
+
+    config: PipelineConfig
+    start: Dict[Tuple[int, str, int], float]  # (stage, kind, mb) -> t
+    finish: Dict[Tuple[int, str, int], float]
+
+    @property
+    def makespan(self) -> float:
+        """Time of the last backward completion."""
+        return max(self.finish.values())
+
+    @property
+    def ideal_time(self) -> float:
+        """Zero-bubble, zero-comm lower bound."""
+        c = self.config
+        return c.n_microbatches * (c.fwd_time + c.bwd_time)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the makespan lost to bubbles and communication."""
+        return 1.0 - self.ideal_time / self.makespan
+
+    def stage_timeline(self, stage: int) -> List[Tuple[float, float, str, int]]:
+        """Sorted (start, finish, kind, microbatch) tuples for one stage."""
+        rows = [
+            (self.start[(s, k, m)], self.finish[(s, k, m)], k, m)
+            for (s, k, m) in self.start
+            if s == stage
+        ]
+        rows.sort()
+        return rows
+
+
+def _stage_op_order(cfg: PipelineConfig, stage: int) -> List[_Op]:
+    """The in-stage execution order for the chosen schedule."""
+    m, p = cfg.n_microbatches, cfg.n_stages
+    if cfg.schedule is ScheduleKind.GPIPE:
+        return [_Op("F", i) for i in range(m)] + [_Op("B", i) for i in range(m)]
+    # 1F1B: deeper stages warm up with fewer in-flight forwards.
+    warmup = min(p - stage - 1, m)
+    ops: List[_Op] = [_Op("F", i) for i in range(warmup)]
+    f_next, b_next = warmup, 0
+    while f_next < m:
+        ops.append(_Op("F", f_next))
+        f_next += 1
+        ops.append(_Op("B", b_next))
+        b_next += 1
+    while b_next < m:
+        ops.append(_Op("B", b_next))
+        b_next += 1
+    return ops
+
+
+class PipelineSimulator:
+    """Places every op on its stage timeline and reports step metrics."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def schedule(self) -> PipelineSchedule:
+        """Run the dependency-driven placement."""
+        cfg = self.config
+        if cfg.schedule is ScheduleKind.ZBPP:
+            return self._schedule_zbpp()
+        p, m = cfg.n_stages, cfg.n_microbatches
+        orders = [_stage_op_order(cfg, s) for s in range(p)]
+        ptr = [0] * p  # next op index per stage
+        free_at = [0.0] * p  # stage availability
+        start: Dict[Tuple[int, str, int], float] = {}
+        finish: Dict[Tuple[int, str, int], float] = {}
+        p2p = cfg.effective_p2p
+
+        remaining = sum(len(o) for o in orders)
+        while remaining:
+            progressed = False
+            for s in range(p):
+                while ptr[s] < len(orders[s]):
+                    op = orders[s][ptr[s]]
+                    # Dependency: F needs upstream F; B needs downstream B
+                    # (or, at the last stage, its own F).
+                    if op.kind == "F":
+                        dep = (
+                            finish.get((s - 1, "F", op.mb))
+                            if s > 0
+                            else 0.0
+                        )
+                    else:
+                        if s == p - 1:
+                            dep = finish.get((s, "F", op.mb))
+                        else:
+                            dep = finish.get((s + 1, "B", op.mb))
+                    if dep is None:
+                        break  # dependency not yet scheduled
+                    ready = dep + (p2p if (op.kind == "F" and s > 0) or
+                                   (op.kind == "B" and s < p - 1) else 0.0)
+                    t0 = max(free_at[s], ready)
+                    dur = cfg.fwd_time if op.kind == "F" else cfg.bwd_time
+                    start[(s, op.kind, op.mb)] = t0
+                    finish[(s, op.kind, op.mb)] = t0 + dur
+                    free_at[s] = t0 + dur
+                    ptr[s] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                raise ParallelismError("pipeline schedule deadlocked")
+        return PipelineSchedule(config=cfg, start=start, finish=finish)
+
+    def _schedule_zbpp(self) -> PipelineSchedule:
+        """Greedy zero-bubble placement (ZB-H1-style).
+
+        Ops per (stage, microbatch): ``F`` (fwd_time), ``B`` (input
+        gradient, on the critical path back up the pipeline) and ``W``
+        (weight gradient, dependent only on the stage's own ``B``). Each
+        stage greedily runs, in priority order, a ready ``B``, else a
+        ready ``F`` (bounded by the 1F1B in-flight activation limit),
+        else a ``W`` — so ``W`` ops soak up warmup and cooldown bubbles.
+        """
+        cfg = self.config
+        p, m = cfg.n_stages, cfg.n_microbatches
+        b_time = cfg.bwd_time * (1.0 - cfg.zbpp_w_fraction)
+        w_time = cfg.bwd_time * cfg.zbpp_w_fraction
+        p2p = cfg.effective_p2p
+        start: Dict[Tuple[int, str, int], float] = {}
+        finish: Dict[Tuple[int, str, int], float] = {}
+        free_at = [0.0] * p
+        f_done = [0] * p  # forwards issued per stage
+        b_done = [0] * p
+        w_done = [0] * p
+        # 1F1B memory bound: at most (p - s) activations live on stage s.
+        max_inflight = [p - s for s in range(p)]
+
+        def ready_time(s: int, kind: str, mb: int) -> Optional[float]:
+            """Earliest dependency-satisfied time, or None if not ready."""
+            if kind == "F":
+                if s == 0:
+                    return 0.0
+                t = finish.get((s - 1, "F", mb))
+                return None if t is None else t + p2p
+            if kind == "B":
+                if s == p - 1:
+                    return finish.get((s, "F", mb))
+                t = finish.get((s + 1, "B", mb))
+                return None if t is None else t + p2p
+            # W depends on the stage's own B.
+            return finish.get((s, "B", mb))
+
+        total_ops = 3 * p * m
+        placed = 0
+        while placed < total_ops:
+            # Pick, per stage, the highest-priority runnable op; commit the
+            # globally earliest-start one so cross-stage causality holds.
+            best = None  # (start_time, stage_order, kind, stage, mb, dur)
+            for s in range(p):
+                candidates = []
+                if b_done[s] < m:
+                    t = ready_time(s, "B", b_done[s])
+                    if t is not None:
+                        candidates.append((max(t, free_at[s]), 0, "B",
+                                           b_done[s], b_time))
+                if f_done[s] < m and f_done[s] - b_done[s] < max_inflight[s]:
+                    t = ready_time(s, "F", f_done[s])
+                    if t is not None:
+                        candidates.append((max(t, free_at[s]), 1, "F",
+                                           f_done[s], cfg.fwd_time))
+                if w_done[s] < b_done[s]:
+                    t = ready_time(s, "W", w_done[s])
+                    if t is not None:
+                        candidates.append((max(t, free_at[s]), 2, "W",
+                                           w_done[s], w_time))
+                if candidates:
+                    t0, prio, kind, mb, dur = min(candidates)
+                    entry = (t0, prio, s, kind, mb, dur)
+                    if best is None or entry < best:
+                        best = entry
+            if best is None:
+                raise ParallelismError("ZBPP schedule deadlocked")
+            t0, _prio, s, kind, mb, dur = best
+            start[(s, kind, mb)] = t0
+            finish[(s, kind, mb)] = t0 + dur
+            free_at[s] = t0 + dur
+            if kind == "F":
+                f_done[s] += 1
+            elif kind == "B":
+                b_done[s] += 1
+            else:
+                w_done[s] += 1
+            placed += 1
+        return PipelineSchedule(config=cfg, start=start, finish=finish)
+
+    def step_time(self) -> float:
+        """Pipeline makespan plus the exposed allreduce tail."""
+        cfg = self.config
+        sched = self.schedule()
+        exposed = cfg.allreduce_time * (1.0 - cfg.allreduce_overlap)
+        return sched.makespan + exposed
+
+    def report(self) -> Dict[str, float]:
+        """Step metrics for experiment tables."""
+        sched = self.schedule()
+        return {
+            "makespan": sched.makespan,
+            "bubble_fraction": sched.bubble_fraction,
+            "step_time": self.step_time(),
+            "ideal_time": sched.ideal_time,
+        }

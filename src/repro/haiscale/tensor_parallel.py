@@ -1,0 +1,79 @@
+"""Tensor parallelism over the NVLink bridge (Section V-B1).
+
+Megatron-style tensor parallelism splits each layer's matmuls across a TP
+group and synchronizes activations with two allreduces per layer in the
+forward pass and two in the backward pass. On Fire-Flyer nodes the TP
+group is an NVLink-bridged GPU pair (600 GB/s); without the bridge the
+same traffic would cross PCIe (and the shared root port), which is why
+the paper only enabled TP after the NVLink retrofit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ParallelismError
+from repro.haiscale.models import TransformerSpec
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.units import gBps
+
+
+@dataclass
+class TensorParallelModel:
+    """Per-layer TP communication cost on a node architecture."""
+
+    node: NodeSpec
+    tp_degree: int = 2
+    bytes_per_elem: int = 2
+
+    def __post_init__(self) -> None:
+        if self.tp_degree < 2:
+            raise ParallelismError("tp_degree must be >= 2")
+        if self.tp_degree > self.node.gpu_count:
+            raise ParallelismError("tp_degree exceeds GPUs per node")
+
+    @property
+    def link_bw(self) -> float:
+        """Bandwidth of the TP group interconnect (bytes/s)."""
+        if self.node.gpu is None:
+            raise ParallelismError(f"{self.node.name} has no GPUs")
+        if self.tp_degree == 2 and self.node.gpu.nvlink_bw > 0:
+            return self.node.gpu.nvlink_bw
+        # Fall back to PCIe through host memory: two hops, shared ports.
+        return self.node.gpu.pcie_bw / 2.0
+
+    def allreduce_bytes_per_layer(self, tokens: int, hidden: int) -> float:
+        """Activation allreduce volume for one layer, fwd+bwd.
+
+        2 allreduces forward + 2 backward; a ring over ``t`` ranks moves
+        2(t-1)/t of the data per rank.
+        """
+        if tokens < 1 or hidden < 1:
+            raise ParallelismError("tokens and hidden must be >= 1")
+        ring = 2.0 * (self.tp_degree - 1) / self.tp_degree
+        return 4.0 * tokens * hidden * self.bytes_per_elem * ring
+
+    def comm_time_per_layer(self, tokens: int, hidden: int) -> float:
+        """Seconds of TP synchronization per layer per microbatch."""
+        return self.allreduce_bytes_per_layer(tokens, hidden) / self.link_bw
+
+    def step_comm_time(self, model: TransformerSpec, tokens: int) -> float:
+        """Total TP communication for a full model pass."""
+        return model.layers * self.comm_time_per_layer(tokens, model.hidden)
+
+    def speedup_vs_pcie(self) -> float:
+        """How much faster TP sync runs over NVLink than over PCIe."""
+        if self.node.gpu is None or self.node.gpu.nvlink_bw <= 0:
+            return 1.0
+        pcie = self.node.gpu.pcie_bw / 2.0
+        return self.node.gpu.nvlink_bw / pcie
+
+    def report(self, model: TransformerSpec, tokens: int) -> Dict[str, float]:
+        """Summary for experiment tables."""
+        return {
+            "link_bw": self.link_bw,
+            "comm_per_layer": self.comm_time_per_layer(tokens, model.hidden),
+            "step_comm": self.step_comm_time(model, tokens),
+            "speedup_vs_pcie": self.speedup_vs_pcie(),
+        }

@@ -1,0 +1,78 @@
+"""ZeRO memory accounting (Section II-B1).
+
+Mixed-precision Adam keeps, per parameter: 2 bytes fp16 weights, 2 bytes
+fp16 gradients, and 12 bytes of fp32 optimizer state (master weights,
+momentum, variance) — the canonical "16 bytes per parameter". ZeRO stages
+shard successively more of that across the data-parallel group:
+
+* stage 0 — nothing sharded (plain DDP),
+* stage 1 — optimizer state sharded,
+* stage 2 — + gradients sharded,
+* stage 3 — + parameters sharded (FSDP).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParallelismError
+
+PARAM_BYTES = 2  # fp16 weights
+GRAD_BYTES = 2  # fp16 gradients
+OPTIMIZER_BYTES = 12  # fp32 master + Adam m, v
+
+
+class ZeroStage(enum.IntEnum):
+    """ZeRO sharding stages."""
+
+    NONE = 0
+    OPTIMIZER = 1
+    GRADIENTS = 2
+    PARAMETERS = 3
+
+
+def memory_per_gpu(
+    params: int,
+    dp_degree: int,
+    stage: ZeroStage = ZeroStage.NONE,
+    activation_bytes: float = 0.0,
+) -> float:
+    """Bytes of model state per GPU under a ZeRO stage.
+
+    ``activation_bytes`` (not sharded by ZeRO) is added verbatim.
+    """
+    if params < 1:
+        raise ParallelismError("params must be >= 1")
+    if dp_degree < 1:
+        raise ParallelismError("dp_degree must be >= 1")
+    n = dp_degree
+    p = float(params)
+    opt = OPTIMIZER_BYTES * p
+    grad = GRAD_BYTES * p
+    weight = PARAM_BYTES * p
+    if stage >= ZeroStage.OPTIMIZER:
+        opt /= n
+    if stage >= ZeroStage.GRADIENTS:
+        grad /= n
+    if stage >= ZeroStage.PARAMETERS:
+        weight /= n
+    return weight + grad + opt + activation_bytes
+
+
+def max_model_params(
+    gpu_memory: float,
+    dp_degree: int,
+    stage: ZeroStage = ZeroStage.NONE,
+    activation_fraction: float = 0.3,
+) -> float:
+    """Largest trainable parameter count on GPUs of ``gpu_memory`` bytes.
+
+    ``activation_fraction`` reserves a share of GPU memory for
+    activations, workspace, and fragmentation.
+    """
+    if not 0 <= activation_fraction < 1:
+        raise ParallelismError("activation_fraction must be in [0,1)")
+    budget = gpu_memory * (1.0 - activation_fraction)
+    per_param = memory_per_gpu(1, dp_degree, stage)
+    return budget / per_param

@@ -1,0 +1,74 @@
+"""Hardware component models for Fire-Flyer 2 and comparison architectures.
+
+This package encodes the paper's hardware constants (Tables I, II, IV) and
+the bandwidth-contention rules from Section IV-D:
+
+* PCIe 4.0 x16 effective GPU<->CPU bandwidth (~27 GB/s),
+* the EPYC Rome/Milan root-complex (host-bridge) ceiling of ~37.5 GB/s that
+  GPU5/GPU6 share,
+* the missing chained-write feature capping GPU<->NIC peer-to-peer at
+  ~9 GiB/s (the root cause of NCCL's poor PCIe performance),
+* 16-channel DDR4-3200 practical memory bandwidth (~320 GB/s),
+* NVLink bridge pairs at 600 GB/s, CX6 NICs at 200 Gbps.
+"""
+
+from repro.hardware.spec import (
+    A100_PCIE,
+    A100_SXM,
+    CPUSpec,
+    CX6_NIC,
+    EPYC_MILAN_32C,
+    EPYC_ROME_32C,
+    EPYC_ROME_64C,
+    GPUSpec,
+    NICSpec,
+    NVME_15T36,
+    QM8700_SWITCH,
+    ROCE_400G_128P,
+    SSDSpec,
+    SwitchSpec,
+)
+from repro.hardware.node import (
+    NodeSpec,
+    PCIeSlot,
+    dgx_a100_node,
+    fire_flyer_node,
+    nextgen_node,
+    storage_node,
+)
+from repro.hardware.pcie import PCIeFabric, TransferKind
+from repro.hardware.memory import MemorySystem, hfreduce_memory_ops_factor
+from repro.hardware.gpu import GpuComputeModel
+from repro.hardware.cpu import CpuReduceModel
+from repro.hardware.numa import NumaModel, NumaPolicy
+
+__all__ = [
+    "A100_PCIE",
+    "A100_SXM",
+    "CPUSpec",
+    "CX6_NIC",
+    "CpuReduceModel",
+    "EPYC_MILAN_32C",
+    "EPYC_ROME_32C",
+    "EPYC_ROME_64C",
+    "GPUSpec",
+    "GpuComputeModel",
+    "MemorySystem",
+    "NICSpec",
+    "NVME_15T36",
+    "NodeSpec",
+    "NumaModel",
+    "NumaPolicy",
+    "PCIeFabric",
+    "PCIeSlot",
+    "QM8700_SWITCH",
+    "ROCE_400G_128P",
+    "SSDSpec",
+    "SwitchSpec",
+    "TransferKind",
+    "dgx_a100_node",
+    "fire_flyer_node",
+    "hfreduce_memory_ops_factor",
+    "nextgen_node",
+    "storage_node",
+]

@@ -1,0 +1,51 @@
+"""CPU-side reduction throughput model (HFReduce's intra-node phase)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import CPUSpec
+
+#: Bytes per element for the datatypes HFReduce's SIMD kernels support.
+DTYPE_BYTES = {"fp32": 4, "fp16": 2, "bf16": 2, "fp8": 1}
+
+
+@dataclass
+class CpuReduceModel:
+    """Throughput of the vectorized reduce-add running on the host CPU.
+
+    The reduction is overwhelmingly memory-bound: each output byte requires
+    ``n_inputs`` reads plus one write. Compute capacity (cores x SIMD lanes)
+    only matters for narrow types on small core counts, so we model it as a
+    secondary ceiling.
+    """
+
+    cpu: CPUSpec
+    sockets: int = 2
+    simd_bytes_per_cycle_per_core: float = 64.0  # one AVX2 FMA port stream
+    clock_hz: float = 2.6e9
+
+    def memory_bound_rate(self, n_inputs: int) -> float:
+        """Output bytes/s limited by memory traffic (n reads + 1 write)."""
+        if n_inputs < 1:
+            raise HardwareConfigError("n_inputs must be >= 1")
+        bw = self.cpu.memory_bandwidth(sockets=self.sockets)
+        return bw / (n_inputs + 1)
+
+    def compute_bound_rate(self, dtype: str = "fp32") -> float:
+        """Output bytes/s limited by SIMD arithmetic."""
+        if dtype not in DTYPE_BYTES:
+            raise HardwareConfigError(f"unsupported dtype {dtype!r}")
+        total = self.cpu.cores * self.sockets * self.simd_bytes_per_cycle_per_core
+        return total * self.clock_hz
+
+    def reduce_rate(self, n_inputs: int, dtype: str = "fp32") -> float:
+        """Achievable reduce-add output bytes/s."""
+        return min(self.memory_bound_rate(n_inputs), self.compute_bound_rate(dtype))
+
+    def reduce_time(self, out_bytes: int, n_inputs: int, dtype: str = "fp32") -> float:
+        """Seconds to reduce ``n_inputs`` buffers of ``out_bytes`` each."""
+        if out_bytes < 0:
+            raise HardwareConfigError("negative buffer size")
+        return out_bytes / self.reduce_rate(n_inputs, dtype)

@@ -1,0 +1,63 @@
+"""GPU compute and copy-engine timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import GPUSpec
+
+
+@dataclass
+class GpuComputeModel:
+    """Times GEMMs and transfers on one GPU.
+
+    ``sm_interference`` models NCCL-style collectives that run reduction
+    kernels on the SMs: while such a collective is active, compute
+    throughput drops by that fraction (Section IV-B2 — HFReduce's use of
+    the Copy Engine avoids this entirely).
+    """
+
+    spec: GPUSpec
+    efficiency: float = 1.0  # already folded into measured TFLOPS by default
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise HardwareConfigError(f"efficiency must be in (0,1], got {self.efficiency}")
+
+    def gemm_flops(self, m: int, n: int, k: int) -> float:
+        """FLOPs of an m x n x k GEMM (multiply-add counted as 2)."""
+        if min(m, n, k) <= 0:
+            raise HardwareConfigError("GEMM dims must be positive")
+        return 2.0 * m * n * k
+
+    def gemm_time(self, m: int, n: int, k: int, dtype: str = "fp16",
+                  sm_interference: float = 0.0) -> float:
+        """Seconds to run a GEMM, optionally degraded by kernel interference."""
+        if not 0 <= sm_interference < 1:
+            raise HardwareConfigError("sm_interference must be in [0,1)")
+        rate = self.flops_rate(dtype) * self.efficiency * (1.0 - sm_interference)
+        return self.gemm_flops(m, n, k) / rate
+
+    def flops_rate(self, dtype: str = "fp16") -> float:
+        """Sustained GEMM FLOP/s for a dtype."""
+        if dtype in ("fp16", "bf16"):
+            return self.spec.fp16_flops
+        if dtype in ("tf32", "fp32"):
+            return self.spec.tf32_flops
+        if dtype == "fp8":
+            # A100 has no FP8 tensor cores; it falls back to FP16 rate.
+            return self.spec.fp16_flops
+        raise HardwareConfigError(f"unknown dtype {dtype!r}")
+
+    def copy_time(self, nbytes: int, bandwidth: float) -> float:
+        """Seconds for a Copy Engine transfer at ``bandwidth`` bytes/s.
+
+        Copy engines are fully asynchronous: this never adds
+        ``sm_interference`` (the HFReduce advantage).
+        """
+        if nbytes < 0:
+            raise HardwareConfigError("negative transfer size")
+        if bandwidth <= 0:
+            raise HardwareConfigError("bandwidth must be positive")
+        return nbytes / bandwidth

@@ -1,0 +1,93 @@
+"""Host memory-traffic accounting (Section IV-D3).
+
+The paper derives HFReduce's node-level ceiling by counting how many times
+each gradient byte crosses the host memory bus:
+
+=====================================  =========  ==========
+Phase                                  GDRCopy    MemcpyAsync
+=====================================  =========  ==========
+D2H writes (one per GPU)               8          8
+Intra-node reduce (8 reads + 1 write)  9          9
+Inter-node allreduce (2R send + 2W
+recv + 1R reduce)                      5          5
+H2D reads                              2          8
+**Total x data size**                  **24**     **30**
+=====================================  =========  ==========
+
+With a practical 320 GB/s memory system, 320/24 ~= 13.3 GB/s, which is the
+paper's stated theoretical maximum; NVLink pre-reduction halves the GPU
+stream count and lifts the ceiling further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import HardwareConfigError
+from repro.hardware.node import NodeSpec
+
+
+def hfreduce_memory_ops_factor(
+    gpus_per_node: int = 8,
+    gdrcopy: bool = True,
+    nvlink: bool = False,
+) -> float:
+    """Bytes of memory traffic per gradient byte for one HFReduce pass.
+
+    ``nvlink`` models HFReduce-with-NVLink: paired GPUs pre-reduce over the
+    bridge, so only half as many streams hit the host, and the allgather of
+    the returned halves happens over NVLink instead of host memory.
+    """
+    if gpus_per_node < 1:
+        raise HardwareConfigError("gpus_per_node must be >= 1")
+    streams = gpus_per_node // 2 if nvlink else gpus_per_node
+    if streams < 1:
+        streams = 1
+    d2h_writes = streams
+    reduce_ops = streams + 1  # N reads + 1 write of the reduced buffer
+    internode = 5  # 2R (IB send) + 2W (IB recv) + 1R (reduce-add)
+    h2d_reads = 2 if gdrcopy else streams
+    return float(d2h_writes + reduce_ops + internode + h2d_reads)
+
+
+@dataclass
+class MemorySystem:
+    """Derives bandwidth ceilings for algorithms from a node's memory bus."""
+
+    node: NodeSpec
+
+    @property
+    def bandwidth(self) -> float:
+        """Practical host memory bandwidth in bytes/s."""
+        return self.node.memory_bandwidth
+
+    def hfreduce_ceiling(
+        self,
+        gdrcopy: bool = True,
+        nvlink: bool = False,
+        algo_efficiency: float = 0.9,
+    ) -> float:
+        """Memory-bound HFReduce bandwidth ceiling in bytes/s.
+
+        ``algo_efficiency`` folds in pipeline fill/drain and allreduce
+        algorithm overhead: the paper lowers 13.3 GB/s to "realistically
+        approximates 12 GB/s" (~0.9).
+        """
+        factor = hfreduce_memory_ops_factor(
+            gpus_per_node=max(self.node.gpu_count, 1),
+            gdrcopy=gdrcopy,
+            nvlink=nvlink,
+        )
+        return self.bandwidth / factor * algo_efficiency
+
+    def breakdown(self, gdrcopy: bool = True, nvlink: bool = False) -> Dict[str, float]:
+        """Per-phase memory-ops multipliers (for reports and ablations)."""
+        streams = self.node.gpu_count // 2 if nvlink else self.node.gpu_count
+        streams = max(streams, 1)
+        return {
+            "d2h_writes": float(streams),
+            "intra_reduce": float(streams + 1),
+            "inter_node": 5.0,
+            "h2d_reads": 2.0 if gdrcopy else float(streams),
+        }

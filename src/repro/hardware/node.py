@@ -1,0 +1,263 @@
+"""Node-level configurations (Figure 4, Tables I and IV).
+
+A :class:`NodeSpec` captures the full in-node topology: which PCIe devices
+sit behind which root-complex ports, NUMA placement, NVLink pairing, and
+power. Builders construct the paper's four node types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import (
+    A100_PCIE,
+    A100_SXM,
+    CPUSpec,
+    CX6_NIC,
+    EPYC_ROME_32C,
+    EPYC_ROME_64C,
+    GPUSpec,
+    NICSpec,
+    NVME_15T36,
+    SSDSpec,
+)
+from repro.units import GiB, gBps
+
+
+@dataclass(frozen=True)
+class PCIeSlot:
+    """One device's attachment point.
+
+    ``root_port`` identifies the CPU root-complex port: devices sharing a
+    root port share its ~37.5 GB/s internal-fabric bandwidth (Section
+    IV-D3). ``numa`` is the socket the port hangs off.
+    """
+
+    device: str  # e.g. "gpu0", "nic0", "ssd3"
+    root_port: int
+    numa: int
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A complete server configuration."""
+
+    name: str
+    cpu: CPUSpec
+    cpu_sockets: int
+    memory_bytes: int
+    gpu: Optional[GPUSpec]
+    gpu_count: int
+    nic: NICSpec
+    nic_count: int
+    ssd: Optional[SSDSpec]
+    ssd_count: int
+    slots: Tuple[PCIeSlot, ...]
+    nvlink_pairs: Tuple[Tuple[int, int], ...]  # GPU index pairs bridged
+    nvlink_all_to_all: bool  # SXM NVSwitch-style full mesh
+    power_watts: float
+    relative_price: float  # Table II "Node Relative Price" units
+
+    def __post_init__(self) -> None:
+        names = [s.device for s in self.slots]
+        if len(set(names)) != len(names):
+            raise HardwareConfigError(f"{self.name}: duplicate PCIe slot devices")
+        expected = {f"gpu{i}" for i in range(self.gpu_count)}
+        expected |= {f"nic{i}" for i in range(self.nic_count)}
+        missing = expected - set(names)
+        if missing:
+            raise HardwareConfigError(f"{self.name}: slots missing {sorted(missing)}")
+        for a, b in self.nvlink_pairs:
+            if not (0 <= a < self.gpu_count and 0 <= b < self.gpu_count):
+                raise HardwareConfigError(f"{self.name}: bad NVLink pair ({a},{b})")
+
+    # -- topology queries ------------------------------------------------------
+
+    def slot(self, device: str) -> PCIeSlot:
+        """Look up the slot of a named device."""
+        for s in self.slots:
+            if s.device == device:
+                return s
+        raise HardwareConfigError(f"{self.name}: no device {device!r}")
+
+    def root_port_sharers(self, device: str) -> List[str]:
+        """Devices sharing a root port with ``device`` (excluding itself)."""
+        port = self.slot(device).root_port
+        return [
+            s.device
+            for s in self.slots
+            if s.root_port == port and s.device != device
+        ]
+
+    def gpus_on_numa(self, numa: int) -> List[int]:
+        """GPU indices attached to NUMA node ``numa``."""
+        out = []
+        for s in self.slots:
+            if s.device.startswith("gpu") and s.numa == numa:
+                out.append(int(s.device[3:]))
+        return sorted(out)
+
+    def nvlink_peer(self, gpu: int) -> Optional[int]:
+        """The GPU paired with ``gpu`` over an NVLink bridge, if any."""
+        if self.nvlink_all_to_all:
+            raise HardwareConfigError(
+                f"{self.name}: all-to-all NVLink has no single peer"
+            )
+        for a, b in self.nvlink_pairs:
+            if a == gpu:
+                return b
+            if b == gpu:
+                return a
+        return None
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Practical host memory bandwidth in bytes/s."""
+        return self.cpu.memory_bandwidth(sockets=self.cpu_sockets)
+
+    @property
+    def network_bw(self) -> float:
+        """Aggregate NIC bandwidth in bytes/s."""
+        return self.nic.bw * self.nic_count
+
+    def with_nvlink(self) -> "NodeSpec":
+        """Return a copy with NVLink bridges installed on GPU pairs.
+
+        Mirrors the paper's retrofit for the LLM era: pairs (0,1), (2,3),
+        (4,5), (6,7) get 600 GB/s bridges.
+        """
+        if self.gpu is None:
+            raise HardwareConfigError(f"{self.name} has no GPUs to bridge")
+        pairs = tuple((i, i + 1) for i in range(0, self.gpu_count - 1, 2))
+        gpu = replace(self.gpu, nvlink_bw=gBps(600.0))
+        return replace(
+            self,
+            name=self.name + "+NVLink",
+            gpu=gpu,
+            nvlink_pairs=pairs,
+        )
+
+
+def _ff_slots() -> Tuple[PCIeSlot, ...]:
+    """Fire-Flyer in-node layout (Figure 4).
+
+    GPUs 0-3 on NUMA 0 and 4-7 on NUMA 1; GPU5 and GPU6 share root port 5;
+    the IB NIC occupies root port 8 alone on NUMA 0.
+    """
+    slots: List[PCIeSlot] = []
+    port = 0
+    for i in range(8):
+        numa = 0 if i < 4 else 1
+        if i == 6:
+            # GPU6 shares GPU5's root port — the documented EPYC limitation.
+            slots.append(PCIeSlot(device=f"gpu{i}", root_port=5, numa=numa))
+            continue
+        slots.append(PCIeSlot(device=f"gpu{i}", root_port=port, numa=numa))
+        port += 1
+    slots.append(PCIeSlot(device="nic0", root_port=8, numa=0))
+    return tuple(slots)
+
+
+def fire_flyer_node(nvlink: bool = False) -> NodeSpec:
+    """Fire-Flyer 2 PCIe A100 compute node (Table I left column)."""
+    node = NodeSpec(
+        name="FireFlyer-PCIe-A100",
+        cpu=EPYC_ROME_32C,
+        cpu_sockets=2,
+        memory_bytes=512 * GiB,
+        gpu=A100_PCIE,
+        gpu_count=8,
+        nic=CX6_NIC,
+        nic_count=1,
+        ssd=None,
+        ssd_count=0,
+        slots=_ff_slots(),
+        nvlink_pairs=(),
+        nvlink_all_to_all=False,
+        power_watts=2500.0,
+        relative_price=0.60,
+    )
+    return node.with_nvlink() if nvlink else node
+
+
+def dgx_a100_node() -> NodeSpec:
+    """NVIDIA DGX-A100 (Table I right column)."""
+    slots: List[PCIeSlot] = []
+    for i in range(8):
+        slots.append(PCIeSlot(device=f"gpu{i}", root_port=i, numa=0 if i < 4 else 1))
+    for i in range(9):
+        slots.append(PCIeSlot(device=f"nic{i}", root_port=8 + i, numa=i % 2))
+    return NodeSpec(
+        name="DGX-A100",
+        cpu=EPYC_ROME_64C,
+        cpu_sockets=2,
+        memory_bytes=2048 * GiB,
+        gpu=A100_SXM,
+        gpu_count=8,
+        nic=CX6_NIC,
+        nic_count=9,
+        ssd=None,
+        ssd_count=0,
+        slots=tuple(slots),
+        nvlink_pairs=(),
+        nvlink_all_to_all=True,
+        power_watts=4200.0,
+        relative_price=1.0,
+    )
+
+
+def storage_node() -> NodeSpec:
+    """3FS storage server (Table IV): 16 NVMe SSDs + 2 CX6 NICs."""
+    slots: List[PCIeSlot] = []
+    for i in range(16):
+        slots.append(PCIeSlot(device=f"ssd{i}", root_port=i // 4, numa=0))
+    slots.append(PCIeSlot(device="nic0", root_port=4, numa=0))
+    slots.append(PCIeSlot(device="nic1", root_port=5, numa=0))
+    return NodeSpec(
+        name="3FS-Storage",
+        cpu=EPYC_ROME_64C,
+        cpu_sockets=1,
+        memory_bytes=512 * GiB,
+        gpu=None,
+        gpu_count=0,
+        nic=CX6_NIC,
+        nic_count=2,
+        ssd=NVME_15T36,
+        ssd_count=16,
+        slots=tuple(slots),
+        nvlink_pairs=(),
+        nvlink_all_to_all=False,
+        power_watts=800.0,
+        relative_price=0.35,
+    )
+
+
+def nextgen_node() -> NodeSpec:
+    """Next-generation MoE-oriented node (Section IX, Figure 12).
+
+    1:1 GPU-to-NIC ratio so each GPU has a dedicated 400 Gbps plane port.
+    """
+    slots: List[PCIeSlot] = []
+    for i in range(8):
+        slots.append(PCIeSlot(device=f"gpu{i}", root_port=i, numa=0 if i < 4 else 1))
+        slots.append(PCIeSlot(device=f"nic{i}", root_port=i, numa=0 if i < 4 else 1))
+    nic400 = NICSpec(name="400Gbps RoCE NIC", line_rate=gBps(50.0))
+    return NodeSpec(
+        name="NextGen-MoE",
+        cpu=EPYC_ROME_32C,
+        cpu_sockets=2,
+        memory_bytes=1024 * GiB,
+        gpu=A100_PCIE,
+        gpu_count=8,
+        nic=nic400,
+        nic_count=8,
+        ssd=None,
+        ssd_count=0,
+        slots=tuple(slots),
+        nvlink_pairs=tuple((i, i + 1) for i in range(0, 7, 2)),
+        nvlink_all_to_all=False,
+        power_watts=3000.0,
+        relative_price=0.7,
+    )

@@ -1,0 +1,93 @@
+"""NUMA-aware memory placement (Section IV-D1).
+
+"NUMA Awareness: D2H destination memory is interleaved across two NUMA
+nodes for maximum bandwidth. Memory for CPU-added results and
+network-received data is bound to the IB-NIC's NUMA node to minimize
+latency."
+
+This module models the two placement policies and their costs so the
+HFReduce model (and the ablation benches) can quantify the tuning:
+
+* **interleaved** — pages alternate across sockets: streams enjoy the
+  full two-socket bandwidth, at the price of ~50% of accesses crossing
+  the inter-socket fabric (xGMI) and paying remote latency,
+* **bound** — pages pinned on one socket: local latency, but only one
+  socket's bandwidth, and devices on the other socket always pay the
+  cross-socket penalty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.units import us
+
+
+class NumaPolicy(enum.Enum):
+    """Memory placement policies."""
+
+    INTERLEAVED = "interleaved"
+    BOUND_LOCAL = "bound_local"  # bound to the accessing device's socket
+    BOUND_REMOTE = "bound_remote"  # bound to the *other* socket (anti-pattern)
+
+
+#: Cross-socket (xGMI) bandwidth between EPYC sockets, bytes/s.
+XGMI_BW = 70e9
+#: Local vs remote DRAM access latency.
+LOCAL_LATENCY = us(0.09)
+REMOTE_LATENCY = us(0.14)
+
+
+@dataclass
+class NumaModel:
+    """Bandwidth/latency of a memory region under a placement policy."""
+
+    node: NodeSpec
+
+    def __post_init__(self) -> None:
+        if self.node.cpu_sockets < 2:
+            raise HardwareConfigError("NUMA model needs a 2-socket node")
+
+    @property
+    def socket_bw(self) -> float:
+        """One socket's memory bandwidth."""
+        return self.node.cpu.memory_bandwidth(sockets=1)
+
+    def stream_bandwidth(self, policy: NumaPolicy) -> float:
+        """Achievable bandwidth for a large sequential stream (bytes/s)."""
+        if policy is NumaPolicy.INTERLEAVED:
+            # Both sockets' channels in play; the half of traffic crossing
+            # the socket fabric is capped by xGMI.
+            both = 2 * self.socket_bw
+            cross_limited = 2 * min(self.socket_bw, XGMI_BW)
+            return min(both, self.socket_bw + min(self.socket_bw, XGMI_BW))
+        if policy is NumaPolicy.BOUND_LOCAL:
+            return self.socket_bw
+        # Bound remote: every access crosses xGMI.
+        return min(self.socket_bw, XGMI_BW)
+
+    def access_latency(self, policy: NumaPolicy) -> float:
+        """Average DRAM access latency (seconds)."""
+        if policy is NumaPolicy.INTERLEAVED:
+            return (LOCAL_LATENCY + REMOTE_LATENCY) / 2.0
+        if policy is NumaPolicy.BOUND_LOCAL:
+            return LOCAL_LATENCY
+        return REMOTE_LATENCY
+
+    def hfreduce_placement(self) -> dict:
+        """The production tuning: what goes where, and why.
+
+        D2H staging buffers are interleaved (bandwidth is king for bulk
+        streams); reduce results and RDMA receive buffers are bound to the
+        NIC's socket (latency is king for the network hot path).
+        """
+        nic_numa = self.node.slot("nic0").numa
+        return {
+            "d2h_staging": NumaPolicy.INTERLEAVED,
+            "reduce_results": NumaPolicy.BOUND_LOCAL,
+            "rdma_buffers": NumaPolicy.BOUND_LOCAL,
+            "nic_numa_node": nic_numa,
+        }

@@ -1,0 +1,156 @@
+"""In-node PCIe contention model (Section IV-D3).
+
+Models the three bandwidth limiters the paper identifies:
+
+1. each device's own PCIe link (~27 GB/s unidirectional for gen4 x16),
+2. the EPYC root-complex port ceiling (~37.5 GB/s) shared by devices on the
+   same root port (GPU5/GPU6 on Fire-Flyer nodes), with an additional
+   combined ceiling when both directions are active simultaneously,
+3. the ~9 GiB/s GPU<->NIC peer-to-peer cap from the missing chained-write
+   feature (what throttles NCCL on this architecture).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import HardwareConfigError
+from repro.fairshare import Constraint, maxmin_rates
+from repro.hardware.node import NodeSpec
+
+
+class TransferKind(enum.Enum):
+    """Direction/path of a PCIe transfer."""
+
+    D2H = "d2h"  # GPU -> host memory
+    H2D = "h2d"  # host memory -> GPU
+    P2P = "p2p"  # GPU <-> NIC peer-to-peer (bypasses host memory)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One concurrent transfer through the node's PCIe fabric."""
+
+    device: str  # e.g. "gpu3"
+    kind: TransferKind
+    weight: float = 1.0
+
+
+# When a root port carries traffic in both directions at once the paper
+# notes bandwidth "decreases even further" — below even the 37.5 GB/s
+# unidirectional ceiling. The calibration anchor is HFReduce's measured
+# "slightly over 8 GB/s" against its 12-13 GB/s memory-bound ceiling: in
+# steady state the shared GPU5/6 port carries four 8 GB/s streams (two D2H
+# + two H2D), implying a combined bidirectional ceiling of ~32 GB/s, i.e.
+# 0.85x the unidirectional cap.
+_BIDIR_FACTOR = 0.85
+
+
+class PCIeFabric:
+    """Computes effective per-transfer bandwidth on a node.
+
+    The fabric is memoryless: given the set of simultaneously active
+    transfers it returns their max-min fair rates under the link, root-port,
+    and P2P constraints. Collective models call this at each phase.
+    """
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+
+    def rates(self, transfers: Sequence[Transfer]) -> Dict[int, float]:
+        """Max-min fair bytes/s for each transfer (keyed by index)."""
+        if not transfers:
+            return {}
+        node = self.node
+        flows = list(range(len(transfers)))
+        weights = {i: t.weight for i, t in enumerate(transfers)}
+        constraints: List[Constraint] = []
+
+        # 1. Per-device link capacity (per direction).
+        by_dev_dir: Dict[tuple, set] = {}
+        for i, t in enumerate(transfers):
+            by_dev_dir.setdefault((t.device, t.kind), set()).add(i)
+        for (dev, kind), members in by_dev_dir.items():
+            cap = self._link_bw(dev)
+            constraints.append(
+                Constraint(capacity=cap, members=members, name=f"link:{dev}:{kind.value}")
+            )
+
+        # 2. Root-port ceilings: per-direction and combined-bidirectional.
+        by_port_dir: Dict[tuple, set] = {}
+        by_port: Dict[int, set] = {}
+        for i, t in enumerate(transfers):
+            port = node.slot(t.device).root_port
+            direction = "up" if t.kind == TransferKind.D2H else "down"
+            if t.kind == TransferKind.P2P:
+                direction = "p2p"
+            by_port_dir.setdefault((port, direction), set()).add(i)
+            by_port.setdefault(port, set()).add(i)
+        for (port, direction), members in by_port_dir.items():
+            constraints.append(
+                Constraint(
+                    capacity=node.cpu.root_port_bw,
+                    members=members,
+                    name=f"port{port}:{direction}",
+                )
+            )
+        for port, members in by_port.items():
+            dirs = {transfers[i].kind for i in members}
+            if len(dirs) > 1:
+                constraints.append(
+                    Constraint(
+                        capacity=node.cpu.root_port_bw * _BIDIR_FACTOR,
+                        members=members,
+                        name=f"port{port}:bidir",
+                    )
+                )
+
+        # 3. P2P chained-write cap applies per P2P stream.
+        if not node.cpu.chained_write:
+            for i, t in enumerate(transfers):
+                if t.kind == TransferKind.P2P:
+                    constraints.append(
+                        Constraint(
+                            capacity=node.cpu.p2p_bw_cap,
+                            members={i},
+                            name=f"p2p-cap:{i}",
+                        )
+                    )
+
+        return maxmin_rates(flows, constraints, weights)
+
+    def rate_of(self, transfers: Sequence[Transfer], index: int = 0) -> float:
+        """Convenience: the rate of one transfer in a concurrent set."""
+        return self.rates(transfers)[index]
+
+    def _link_bw(self, device: str) -> float:
+        node = self.node
+        if device.startswith("gpu"):
+            if node.gpu is None:
+                raise HardwareConfigError(f"{node.name} has no GPUs")
+            return node.gpu.pcie_bw
+        if device.startswith("nic"):
+            return node.nic.bw
+        if device.startswith("ssd"):
+            if node.ssd is None:
+                raise HardwareConfigError(f"{node.name} has no SSDs")
+            return node.ssd.read_bw
+        raise HardwareConfigError(f"unknown device class for {device!r}")
+
+    # -- headline figures -------------------------------------------------------
+
+    def all_gpus_d2h_bandwidth(self) -> float:
+        """Aggregate D2H rate when all GPUs stream to host simultaneously.
+
+        This is HFReduce's D2H phase. GPU5/6 sharing one root port means
+        total falls short of 8x the single-GPU link rate.
+        """
+        transfers = [Transfer(f"gpu{i}", TransferKind.D2H) for i in range(self.node.gpu_count)]
+        return sum(self.rates(transfers).values())
+
+    def gpu_nic_p2p_bandwidth(self) -> float:
+        """Single GPU<->NIC P2P rate (the NCCL path). ~9 GiB/s on Rome."""
+        t = [Transfer("gpu0", TransferKind.P2P), Transfer("nic0", TransferKind.P2P)]
+        return min(self.rates(t).values())

@@ -1,0 +1,220 @@
+"""Component specification catalog.
+
+All constants are taken from the paper (Tables I, II, IV; Section IV) or
+public datasheets where the paper references standard parts. Specs are
+frozen dataclasses so configurations stay hashable and comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+from repro.units import GiB, gbps, gBps, giBps, tflops
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model.
+
+    ``tf32_tflops`` / ``fp16_tflops`` are the *measured GEMM* numbers from
+    Table II (not datasheet peaks), so cost-performance math matches the
+    paper directly.
+    """
+
+    name: str
+    memory_bytes: int
+    tf32_tflops: float
+    fp16_tflops: float
+    pcie_gen: int
+    pcie_lanes: int
+    nvlink_bw: float  # bytes/s of NVLink attach (0 when absent)
+    tdp_watts: float
+
+    @property
+    def pcie_bw(self) -> float:
+        """Effective unidirectional PCIe bandwidth in bytes/s.
+
+        PCIe 4.0 x16 achieves ~27 GB/s GPU->CPU in practice (Section IV-D3);
+        we scale linearly in lane count and generation.
+        """
+        per_lane = gBps(27.0) / 16.0  # measured effective, gen4
+        gen_scale = 2.0 ** (self.pcie_gen - 4)
+        return per_lane * self.pcie_lanes * gen_scale
+
+    @property
+    def fp16_flops(self) -> float:
+        """FP16 GEMM rate in FLOP/s."""
+        return tflops(self.fp16_tflops)
+
+    @property
+    def tf32_flops(self) -> float:
+        """TF32 GEMM rate in FLOP/s."""
+        return tflops(self.tf32_tflops)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A host CPU socket."""
+
+    name: str
+    cores: int
+    memory_channels: int
+    memory_speed_mts: int  # mega-transfers/s, e.g. 3200 for DDR4-3200
+    # Maximum bandwidth from one PCIe root-complex port to the internal
+    # fabric. On EPYC Rome/Milan this is ~37.5 GB/s and is *shared* by
+    # devices behind the same root port (Section IV-D3).
+    root_port_bw: float
+    # Whether the IO die supports PCIe chained writes. Rome/Milan do not,
+    # capping GPU<->NIC P2P at ~9 GiB/s (Section IV-D2).
+    chained_write: bool
+    p2p_bw_cap: float  # GPU<->NIC peer-to-peer ceiling in bytes/s
+
+    def memory_bandwidth(self, sockets: int = 1, efficiency: float = 0.78125) -> float:
+        """Practical memory bandwidth in bytes/s for ``sockets`` sockets.
+
+        DDR4-3200 peak is 25.6 GB/s/channel; the paper's "practical
+        320 GB/s for 16 channels" implies ~78% efficiency, which we use as
+        the default.
+        """
+        peak = self.memory_channels * sockets * self.memory_speed_mts * 1e6 * 8
+        return peak * efficiency
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """A network interface card."""
+
+    name: str
+    line_rate: float  # bytes/s
+    ports: int = 1
+
+    @property
+    def bw(self) -> float:
+        """Total bytes/s across ports."""
+        return self.line_rate * self.ports
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """An NVMe SSD."""
+
+    name: str
+    capacity_bytes: int
+    read_bw: float  # bytes/s sequential read
+    write_bw: float  # bytes/s sequential write
+    pcie_gen: int
+    pcie_lanes: int
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A network switch."""
+
+    name: str
+    ports: int
+    port_rate: float  # bytes/s per port
+    relative_price: float  # arbitrary units consistent with Table III
+
+    @property
+    def bisection_bw(self) -> float:
+        """Full-bisection bytes/s through the switch."""
+        return self.ports * self.port_rate / 2.0
+
+    def validate_radix(self, used_ports: int) -> None:
+        """Raise if a topology assigns more ports than exist."""
+        if used_ports > self.ports:
+            raise HardwareConfigError(
+                f"{self.name}: {used_ports} ports requested, only {self.ports} exist"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Catalog (paper constants)
+# ---------------------------------------------------------------------------
+
+#: PCIe A100 as measured in Table II (107 / 220 TFLOPS GEMM).
+A100_PCIE = GPUSpec(
+    name="NVIDIA A100-PCIe-40GB",
+    memory_bytes=40 * GiB,
+    tf32_tflops=107.0,
+    fp16_tflops=220.0,
+    pcie_gen=4,
+    pcie_lanes=16,
+    nvlink_bw=giBps(0.0),  # no bridge by default; added for LLM era
+    tdp_watts=250.0,
+)
+
+#: SXM A100 in a DGX (131 / 263 TFLOPS GEMM per Table II).
+A100_SXM = GPUSpec(
+    name="NVIDIA A100-SXM4-40GB",
+    memory_bytes=40 * GiB,
+    tf32_tflops=131.0,
+    fp16_tflops=263.0,
+    pcie_gen=4,
+    pcie_lanes=16,
+    nvlink_bw=gBps(600.0),
+    tdp_watts=400.0,
+)
+
+#: Fire-Flyer compute node CPU (Table I: 2 x 32-core EPYC Rome/Milan).
+EPYC_ROME_32C = CPUSpec(
+    name="AMD EPYC Rome 32C",
+    cores=32,
+    memory_channels=8,  # per socket; two sockets give 16 channels
+    memory_speed_mts=3200,
+    root_port_bw=gBps(37.5),
+    chained_write=False,
+    p2p_bw_cap=giBps(9.0),
+)
+
+EPYC_MILAN_32C = CPUSpec(
+    name="AMD EPYC Milan 32C",
+    cores=32,
+    memory_channels=8,
+    memory_speed_mts=3200,
+    root_port_bw=gBps(37.5),
+    chained_write=False,
+    p2p_bw_cap=giBps(9.0),
+)
+
+#: DGX-A100 / storage node CPU (EPYC 7742, 64 cores).
+EPYC_ROME_64C = CPUSpec(
+    name="AMD EPYC 7742 64C",
+    cores=64,
+    memory_channels=8,
+    memory_speed_mts=3200,
+    root_port_bw=gBps(37.5),
+    chained_write=False,
+    p2p_bw_cap=giBps(9.0),
+)
+
+#: Mellanox ConnectX-6 200 Gbps InfiniBand NIC.
+CX6_NIC = NICSpec(name="Mellanox CX6 IB 200Gbps", line_rate=gbps(200.0))
+
+#: 15.36 TB PCIe 4.0 x4 NVMe data SSD (Table IV). ~7 GB/s read is the
+#: practical gen4 x4 ceiling; writes on enterprise TLC drives run lower.
+NVME_15T36 = SSDSpec(
+    name="15.36TB NVMe PCIe4.0x4",
+    capacity_bytes=15_360_000_000_000,
+    read_bw=gBps(7.0),
+    write_bw=gBps(4.4),
+    pcie_gen=4,
+    pcie_lanes=4,
+)
+
+#: Mellanox QM8700: 40 ports x 200 Gbps (Section III-B).
+QM8700_SWITCH = SwitchSpec(
+    name="Mellanox QM8700",
+    ports=40,
+    port_rate=gbps(200.0),
+    relative_price=1.0,
+)
+
+#: Next-gen candidate (Section IX): 128-port 400 Gbps RoCE switch.
+ROCE_400G_128P = SwitchSpec(
+    name="RoCE 400G 128-port",
+    ports=128,
+    port_rate=gbps(400.0),
+    relative_price=2.2,
+)

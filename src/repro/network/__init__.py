@@ -1,0 +1,70 @@
+"""Cluster fabric: topologies, routing, QoS, and flow-level simulation.
+
+Reproduces the paper's network co-design (Sections III-B, VI-A, IX):
+
+* the two-zone, two-layer fat-tree that integrates storage and computation
+  traffic,
+* comparison topologies (three-layer fat-tree, next-gen multi-plane),
+* static vs ECMP vs adaptive routing,
+* InfiniBand Service Level -> Virtual Lane traffic isolation,
+* a fluid (max-min fair) flow simulator used for congestion studies, and
+* the double binary tree used by HFReduce and NCCL for inter-node allreduce.
+"""
+
+from repro.network.topology import Fabric, LinkId
+from repro.network.fattree import (
+    FatTreeCounts,
+    fire_flyer_network,
+    multi_plane_counts,
+    multi_plane_network,
+    three_layer_counts,
+    three_layer_fat_tree,
+    two_layer_counts,
+    two_layer_fat_tree,
+    two_zone_network,
+)
+from repro.network.routing import (
+    AdaptiveRouter,
+    EcmpRouter,
+    Router,
+    StaticRouter,
+)
+from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
+from repro.network.flows import Flow, FlowResult, FlowSim
+from repro.network.dbtree import DoubleBinaryTree, TreeSpec, build_tree, double_binary_tree
+from repro.network.dragonfly import DragonflyCounts, compare_with_fat_tree, dragonfly_counts
+from repro.network.linkfail import DegradedFabric, ImpactReport, assess_link_failures
+
+__all__ = [
+    "AdaptiveRouter",
+    "DegradedFabric",
+    "DoubleBinaryTree",
+    "DragonflyCounts",
+    "EcmpRouter",
+    "ImpactReport",
+    "assess_link_failures",
+    "Fabric",
+    "FatTreeCounts",
+    "Flow",
+    "FlowResult",
+    "FlowSim",
+    "LinkId",
+    "Router",
+    "ServiceLevel",
+    "StaticRouter",
+    "TrafficClassConfig",
+    "TreeSpec",
+    "build_tree",
+    "compare_with_fat_tree",
+    "default_qos",
+    "double_binary_tree",
+    "dragonfly_counts",
+    "fire_flyer_network",
+    "multi_plane_counts",
+    "multi_plane_network",
+    "three_layer_counts",
+    "three_layer_fat_tree",
+    "two_layer_counts",
+    "two_layer_fat_tree",
+    "two_zone_network",
+]

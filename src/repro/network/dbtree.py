@@ -1,0 +1,139 @@
+"""Double binary tree construction (Sanders, Speck & Träff), as used by
+HFReduce and NCCL for inter-node allreduce (Sections III-B, IV).
+
+A single binary tree wastes half the bandwidth of every leaf. The
+double-tree trick builds two spanning trees such that every rank is an
+*interior* node in at most one of them; streaming half of the data down
+each tree then uses every rank's full bandwidth.
+
+Construction: tree 1 is the "inorder" binary tree over ranks 0..n-1 whose
+leaves are exactly the even ranks; tree 2 relabels every rank ``r`` of
+tree 1 as ``(r + 1) mod n``, making its interior nodes even. The two
+interior sets are therefore disjoint (ranks interior in T2 are even, in T1
+odd), which is the property the algorithm needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CollectiveError
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One rooted tree over ranks 0..n-1."""
+
+    n: int
+    root: int
+    parent: Tuple[Optional[int], ...]  # parent[rank] (None at root)
+    children: Tuple[Tuple[int, ...], ...]  # children[rank]
+
+    def depth_of(self, rank: int) -> int:
+        """Edges from ``rank`` up to the root."""
+        d = 0
+        r: Optional[int] = rank
+        while self.parent[r] is not None:  # type: ignore[index]
+            r = self.parent[r]  # type: ignore[index]
+            d += 1
+        return d
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth over all ranks (~log2 n)."""
+        return max(self.depth_of(r) for r in range(self.n))
+
+    def is_interior(self, rank: int) -> bool:
+        """Whether ``rank`` has children."""
+        return bool(self.children[rank])
+
+
+def _build_inorder(lo: int, hi: int, parent: List[Optional[int]],
+                   children: List[List[int]], up: Optional[int]) -> Optional[int]:
+    """Recursively build the inorder tree over [lo, hi); returns its root.
+
+    The local root is placed at ``lo + 2^k - 1`` for the largest ``2^k``
+    not exceeding the range size, which keeps every even rank a leaf.
+    """
+    size = hi - lo
+    if size <= 0:
+        return None
+    h = 1
+    while h * 2 <= size:
+        h *= 2
+    root = lo + h - 1
+    parent[root] = up
+    left = _build_inorder(lo, root, parent, children, root)
+    right = _build_inorder(root + 1, hi, parent, children, root)
+    for c in (left, right):
+        if c is not None:
+            children[root].append(c)
+    return root
+
+
+def build_tree(n: int, shift: int = 0) -> TreeSpec:
+    """Inorder binary tree over ``n`` ranks, relabelled by ``+shift mod n``."""
+    if n < 1:
+        raise CollectiveError(f"tree needs >= 1 rank, got {n}")
+    parent: List[Optional[int]] = [None] * n
+    children: List[List[int]] = [[] for _ in range(n)]
+    root = _build_inorder(0, n, parent, children, None)
+    assert root is not None
+
+    if shift % n == 0:
+        return TreeSpec(
+            n=n,
+            root=root,
+            parent=tuple(parent),
+            children=tuple(tuple(c) for c in children),
+        )
+
+    def relabel(r: Optional[int]) -> Optional[int]:
+        return None if r is None else (r + shift) % n
+
+    new_parent: List[Optional[int]] = [None] * n
+    new_children: List[Tuple[int, ...]] = [()] * n
+    for r in range(n):
+        new_parent[relabel(r)] = relabel(parent[r])  # type: ignore[index]
+        new_children[relabel(r)] = tuple(relabel(c) for c in children[r])  # type: ignore[index]
+    return TreeSpec(
+        n=n,
+        root=relabel(root),  # type: ignore[arg-type]
+        parent=tuple(new_parent),
+        children=tuple(new_children),
+    )
+
+
+@dataclass(frozen=True)
+class DoubleBinaryTree:
+    """The pair of trees used for full-bandwidth allreduce."""
+
+    t1: TreeSpec
+    t2: TreeSpec
+
+    @property
+    def n(self) -> int:
+        """Number of ranks."""
+        return self.t1.n
+
+    @property
+    def depth(self) -> int:
+        """Max depth across both trees (drives the latency term)."""
+        return max(self.t1.depth, self.t2.depth)
+
+    def interior_disjoint(self) -> bool:
+        """Verify the key property: no rank interior in both trees."""
+        return not any(
+            self.t1.is_interior(r) and self.t2.is_interior(r)
+            for r in range(self.n)
+        )
+
+
+def double_binary_tree(n: int) -> DoubleBinaryTree:
+    """Construct the double binary tree over ``n`` ranks."""
+    if n < 1:
+        raise CollectiveError(f"need >= 1 rank, got {n}")
+    t1 = build_tree(n)
+    t2 = build_tree(n, shift=1) if n > 1 else t1
+    return DoubleBinaryTree(t1=t1, t2=t2)

@@ -1,0 +1,96 @@
+"""Dragonfly topology accounting (Section III-B's rejected alternative).
+
+"Although the Dragonfly topology also offers comparable cost-effectiveness
+and performance, its lack of sufficient bisection bandwidth makes it
+unsuitable for our integrated storage and computation network design."
+
+This module quantifies that tradeoff: a balanced dragonfly (p hosts,
+a = 2p routers per group, h = p global links per router) matches the
+fat-tree's per-host switch cost but delivers only ``h / 2p`` = **half**
+the relative bisection bandwidth — fatal for a network that must absorb
+all-to-all storage incast alongside allreduce traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.hardware.spec import QM8700_SWITCH, SwitchSpec
+from repro.network.fattree import two_layer_counts
+
+
+@dataclass(frozen=True)
+class DragonflyCounts:
+    """Inventory and properties of one dragonfly configuration."""
+
+    p: int  # hosts per router
+    a: int  # routers per group
+    h: int  # global links per router
+    groups: int
+    n_hosts: int
+    n_switches: int
+    relative_bisection: float  # 1.0 = full bisection (fat-tree)
+
+    @property
+    def max_groups(self) -> int:
+        """Largest group count the global links support."""
+        return self.a * self.h + 1
+
+    @property
+    def switches_per_host(self) -> float:
+        """Cost metric comparable across topologies."""
+        return self.n_switches / self.n_hosts
+
+
+def dragonfly_counts(
+    n_hosts: int,
+    switch: SwitchSpec = QM8700_SWITCH,
+) -> DragonflyCounts:
+    """Balanced dragonfly sized for ``n_hosts`` on the given switch.
+
+    The balanced recipe (Kim et al.): with router radix ``k``, choose
+    ``p = h ~ k/4`` and ``a = 2p`` so terminal, local, and global ports
+    are in the 1:2:1 proportion; ``p + (a-1) + h <= k``.
+    """
+    if n_hosts < 1:
+        raise TopologyError("n_hosts must be >= 1")
+    k = switch.ports
+    p = k // 4
+    h = p
+    a = 2 * p
+    if p + (a - 1) + h > k:
+        raise TopologyError(f"balanced dragonfly does not fit radix {k}")
+    hosts_per_group = p * a
+    groups = math.ceil(n_hosts / hosts_per_group)
+    max_groups = a * h + 1
+    if groups > max_groups:
+        raise TopologyError(
+            f"{n_hosts} hosts need {groups} groups; radix {k} supports "
+            f"{max_groups}"
+        )
+    # Adversarial bisection: cutting the groups in half crosses ~g*a*h/4
+    # global links while a full-bisection network provides n_hosts/2 —
+    # the ratio reduces to h / (2p) for the balanced configuration.
+    return DragonflyCounts(
+        p=p, a=a, h=h, groups=groups,
+        n_hosts=n_hosts,
+        n_switches=groups * a,
+        relative_bisection=h / (2.0 * p),
+    )
+
+
+def compare_with_fat_tree(n_hosts: int = 800,
+                          switch: SwitchSpec = QM8700_SWITCH) -> dict:
+    """Side-by-side cost and bisection (the Section III-B decision)."""
+    df = dragonfly_counts(n_hosts, switch)
+    ft = two_layer_counts(n_hosts, switch)
+    return {
+        "dragonfly_switches": df.n_switches,
+        "fat_tree_switches": ft.total,
+        "dragonfly_switches_per_host": df.switches_per_host,
+        "fat_tree_switches_per_host": ft.total / n_hosts,
+        "dragonfly_relative_bisection": df.relative_bisection,
+        "fat_tree_relative_bisection": 1.0,
+    }

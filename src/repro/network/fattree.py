@@ -1,0 +1,275 @@
+"""Fat-tree family builders and switch-count accounting (Sections III-B, IX).
+
+Terminology follows the paper: a *two-layer* fat-tree is leaf+spine with
+full bisection; the Fire-Flyer production network is two such trees
+("zones") joined by a limited number of inter-zone links; the DGX
+comparison uses a *three-layer* (pod-based) fat-tree; the next-generation
+proposal (Section IX) uses several independent two-layer *planes*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.hardware.spec import QM8700_SWITCH, SwitchSpec
+from repro.network.topology import Fabric
+
+
+@dataclass(frozen=True)
+class FatTreeCounts:
+    """Switch inventory of a fat-tree configuration."""
+
+    leaf: int
+    spine: int
+    core: int
+    max_hosts: int
+
+    @property
+    def total(self) -> int:
+        """Total switches."""
+        return self.leaf + self.spine + self.core
+
+
+def two_layer_counts(n_hosts: int, switch: SwitchSpec = QM8700_SWITCH) -> FatTreeCounts:
+    """Switch counts for a full-bisection two-layer fat-tree.
+
+    With radix ``r``: each leaf has r/2 down-links and r/2 up-links (one per
+    spine); there are exactly r/2 spines and at most r leaves, so max hosts
+    = r * r/2 (800 for the 40-port QM8700).
+    """
+    r = switch.ports
+    if n_hosts < 1:
+        raise TopologyError("n_hosts must be >= 1")
+    down = r // 2
+    leaves = math.ceil(n_hosts / down)
+    if leaves > r:
+        raise TopologyError(
+            f"{n_hosts} hosts exceed a two-layer fat-tree on {switch.name} "
+            f"(max {r * down})"
+        )
+    return FatTreeCounts(leaf=leaves, spine=down, core=0, max_hosts=r * down)
+
+
+def three_layer_counts(
+    n_hosts: int,
+    switch: SwitchSpec = QM8700_SWITCH,
+    provisioned_pods: Optional[int] = None,
+) -> FatTreeCounts:
+    """Switch counts for a pod-based three-layer fat-tree.
+
+    Each pod holds r/2 leaves and r/2 spines and serves (r/2)^2 hosts. With
+    ``p`` pods at full bisection the core layer needs (r/2) * p/2 switches
+    (each of the r/2 core *groups* aggregates one spine position across all
+    pods, p/2 switches per group).
+
+    ``provisioned_pods`` sizes the core layer for future pods without
+    building their leaves/spines — the paper's 10,000-endpoint DGX network
+    provisions 32 pods of core (320 switches) while installing 25 pods of
+    leaf/spine (500 each).
+    """
+    r = switch.ports
+    half = r // 2
+    hosts_per_pod = half * half
+    pods = math.ceil(n_hosts / hosts_per_pod)
+    if pods > r:
+        raise TopologyError(f"{n_hosts} hosts exceed a {r}-ary three-layer fat-tree")
+    core_pods = provisioned_pods if provisioned_pods is not None else pods
+    if core_pods < pods:
+        raise TopologyError("provisioned_pods below the built pod count")
+    leaves = math.ceil(n_hosts / half)
+    spines = pods * half
+    core = half * math.ceil(core_pods / 2)
+    return FatTreeCounts(
+        leaf=leaves,
+        spine=spines,
+        core=core,
+        max_hosts=r * hosts_per_pod,
+    )
+
+
+def multi_plane_counts(
+    n_hosts: int,
+    planes: int = 4,
+    switch: SwitchSpec = QM8700_SWITCH,
+) -> FatTreeCounts:
+    """Switch counts for the Section-IX multi-plane design.
+
+    Every host has ``planes`` NICs, one per independent two-layer plane, so
+    each plane carries ``n_hosts`` endpoints. A 128-port switch supports
+    64 x 128 = 8,192 hosts per plane; 4 planes reach 32,768 GPUs.
+    """
+    if planes < 1:
+        raise TopologyError("planes must be >= 1")
+    per_plane = two_layer_counts(n_hosts, switch)
+    return FatTreeCounts(
+        leaf=per_plane.leaf * planes,
+        spine=per_plane.spine * planes,
+        core=0,
+        max_hosts=per_plane.max_hosts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph builders
+# ---------------------------------------------------------------------------
+
+
+def two_layer_fat_tree(
+    n_hosts: int,
+    switch: SwitchSpec = QM8700_SWITCH,
+    zone: int = 0,
+    prefix: str = "",
+    fabric: Optional[Fabric] = None,
+    host_names: Optional[List[str]] = None,
+) -> Fabric:
+    """Build a two-layer fat-tree as a :class:`Fabric`.
+
+    ``host_names`` lets callers attach meaningfully named endpoints
+    (compute/storage NIC ports); otherwise hosts are ``{prefix}h{i}``.
+    """
+    counts = two_layer_counts(n_hosts, switch)
+    fab = fabric if fabric is not None else Fabric(name=f"{prefix}fat-tree")
+    cap = switch.port_rate
+    leaves = [f"{prefix}leaf{i}" for i in range(counts.leaf)]
+    spines = [f"{prefix}spine{i}" for i in range(counts.spine)]
+    for s in spines:
+        fab.add_switch(s, tier="spine", zone=zone)
+    for l in leaves:
+        fab.add_switch(l, tier="leaf", zone=zone)
+        for s in spines:
+            fab.add_link(l, s, cap)
+    if host_names is not None and len(host_names) != n_hosts:
+        raise TopologyError("host_names length must equal n_hosts")
+    down = switch.ports // 2
+    for i in range(n_hosts):
+        name = host_names[i] if host_names else f"{prefix}h{i}"
+        fab.add_host(name, zone=zone)
+        fab.add_link(name, leaves[i // down], cap)
+    return fab
+
+
+def two_zone_network(
+    hosts_per_zone: int,
+    switch: SwitchSpec = QM8700_SWITCH,
+    interzone_links: int = 4,
+    zone0_hosts: Optional[List[str]] = None,
+    zone1_hosts: Optional[List[str]] = None,
+) -> Fabric:
+    """Two two-layer fat-trees joined spine-to-spine by a few links.
+
+    The limited inter-zone capacity is exactly why the HAI platform limits
+    cross-zone tasks to one (Section III-B); the double-binary-tree
+    allreduce then crosses the boundary on only one node pair.
+    """
+    fab = Fabric(name="two-zone")
+    two_layer_fat_tree(
+        hosts_per_zone, switch, zone=0, prefix="z0.", fabric=fab, host_names=zone0_hosts
+    )
+    two_layer_fat_tree(
+        hosts_per_zone, switch, zone=1, prefix="z1.", fabric=fab, host_names=zone1_hosts
+    )
+    n_spine = two_layer_counts(hosts_per_zone, switch).spine
+    if not 1 <= interzone_links <= n_spine:
+        raise TopologyError(
+            f"interzone_links must be in [1, {n_spine}], got {interzone_links}"
+        )
+    for i in range(interzone_links):
+        fab.add_link(f"z0.spine{i}", f"z1.spine{i}", switch.port_rate)
+    return fab
+
+
+def fire_flyer_network(
+    gpu_nodes: int = 1200,
+    storage_nodes: int = 180,
+    switch: SwitchSpec = QM8700_SWITCH,
+    interzone_links: int = 4,
+) -> Fabric:
+    """The production Fire-Flyer 2 network, optionally scaled down.
+
+    GPU compute nodes (one NIC each) are split evenly across the two zones
+    (the paper's ~600 per zone); every storage node is dual-homed with one
+    NIC in each zone so all compute nodes share one storage service
+    (Section III-B). Each zone must fit the 800-endpoint two-layer limit.
+    """
+    if gpu_nodes < 2:
+        raise TopologyError("need at least one GPU node per zone")
+    z0_gpu = math.ceil(gpu_nodes / 2)
+    z1_gpu = gpu_nodes - z0_gpu
+    zone0 = [f"cn{i}" for i in range(z0_gpu)]
+    zone1 = [f"cn{i}" for i in range(z0_gpu, gpu_nodes)]
+    zone0 += [f"st{i}.nic0" for i in range(storage_nodes)]
+    zone1 += [f"st{i}.nic1" for i in range(storage_nodes)]
+    per_zone = max(len(zone0), len(zone1))
+    zone0 += [f"z0.spare{i}" for i in range(per_zone - len(zone0))]
+    zone1 += [f"z1.spare{i}" for i in range(per_zone - len(zone1))]
+    return two_zone_network(
+        per_zone,
+        switch,
+        interzone_links=interzone_links,
+        zone0_hosts=zone0,
+        zone1_hosts=zone1,
+    )
+
+
+def three_layer_fat_tree(
+    n_hosts: int,
+    switch: SwitchSpec = QM8700_SWITCH,
+) -> Fabric:
+    """Build a pod-based three-layer fat-tree graph.
+
+    Used for cost/congestion comparison against the two-zone design. Core
+    group ``j`` aggregates spine position ``j`` of every pod.
+    """
+    r = switch.ports
+    half = r // 2
+    counts = three_layer_counts(n_hosts, switch)
+    pods = math.ceil(n_hosts / (half * half))
+    fab = Fabric(name="three-layer")
+    cap = switch.port_rate
+    cores_per_group = math.ceil(pods / 2)
+    for j in range(half):
+        for c in range(cores_per_group):
+            fab.add_switch(f"core{j}.{c}", tier="core")
+    host_idx = 0
+    for p in range(pods):
+        for j in range(half):
+            spine = f"p{p}.spine{j}"
+            fab.add_switch(spine, tier="spine")
+            # Spine j spreads its r/2 uplinks over group j's cores.
+            links_per_core = half // cores_per_group or 1
+            for c in range(cores_per_group):
+                fab.add_link(spine, f"core{j}.{c}", cap * links_per_core)
+        for l in range(half):
+            leaf = f"p{p}.leaf{l}"
+            fab.add_switch(leaf, tier="leaf")
+            for j in range(half):
+                fab.add_link(leaf, f"p{p}.spine{j}", cap)
+            for _ in range(half):
+                if host_idx >= n_hosts:
+                    break
+                fab.add_host(f"h{host_idx}")
+                fab.add_link(f"h{host_idx}", leaf, cap)
+                host_idx += 1
+    return fab
+
+
+def multi_plane_network(
+    n_hosts: int,
+    planes: int = 4,
+    switch: SwitchSpec = QM8700_SWITCH,
+) -> List[Fabric]:
+    """Section-IX next-gen network: independent planes, one per host NIC."""
+    if planes < 1:
+        raise TopologyError("planes must be >= 1")
+    fabrics = []
+    for p in range(planes):
+        host_names = [f"h{i}.nic{p}" for i in range(n_hosts)]
+        fabrics.append(
+            two_layer_fat_tree(
+                n_hosts, switch, prefix=f"pl{p}.", host_names=host_names
+            )
+        )
+    return fabrics

@@ -1,0 +1,206 @@
+"""Fluid (flow-level) network simulation with max-min fair sharing.
+
+Flows are modelled as fluid streams: at any instant, the rate of every
+active flow is its weighted max-min fair share over the links of its route.
+The simulator advances from event to event (flow arrival or completion),
+recomputing shares whenever the active set changes — the standard fluid
+abstraction for lossless credit-flow-controlled fabrics like InfiniBand.
+
+QoS enters in two ways (see :mod:`repro.network.qos`): Virtual-Lane
+isolation gives flows class weights, and disabling isolation applies a
+head-of-line-blocking efficiency penalty on links carrying mixed classes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.fairshare import Constraint, maxmin_rates
+from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
+from repro.network.routing import Router, StaticRouter
+from repro.network.topology import Fabric, LinkId
+
+_ids = itertools.count()
+
+
+@dataclass
+class Flow:
+    """One data transfer through the fabric."""
+
+    src: str
+    dst: str
+    size: float  # bytes
+    sl: ServiceLevel = ServiceLevel.OTHER
+    start: float = 0.0
+    rate_cap: Optional[float] = None  # source NIC / application limit
+    flow_id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TopologyError(f"flow size must be positive, got {self.size}")
+        if self.start < 0:
+            raise TopologyError("flow start must be >= 0")
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of one flow."""
+
+    flow: Flow
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to completion."""
+        return self.finish - self.start
+
+    @property
+    def mean_rate(self) -> float:
+        """Average achieved bytes/s."""
+        return self.flow.size / self.duration if self.duration > 0 else float("inf")
+
+
+class FlowSim:
+    """Event-driven fluid simulator over a :class:`Fabric`."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        router: Optional[Router] = None,
+        qos: Optional[TrafficClassConfig] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.qos = qos if qos is not None else default_qos()
+        self._link_rates: Dict[LinkId, float] = {}
+        self.router = router if router is not None else StaticRouter(fabric)
+        # Give adaptive routers a live load view if they want one.
+        if getattr(self.router, "_load_view", None) is not None:
+            self.router._load_view = lambda: self._link_rates  # type: ignore[attr-defined]
+
+    # -- instantaneous allocation ------------------------------------------------
+
+    def instantaneous_rates(
+        self, flows: Sequence[Flow], routes: Optional[Dict[int, List[LinkId]]] = None
+    ) -> Dict[int, float]:
+        """Max-min rates if all ``flows`` were active right now.
+
+        Returns flow_id -> bytes/s. Useful for steady-state bandwidth
+        studies (e.g. the allreduce sweeps) without running a full sim.
+        """
+        if not flows:
+            return {}
+        if routes is None:
+            routes = {
+                f.flow_id: self.router.route_links(f.src, f.dst, f.flow_id)
+                for f in flows
+            }
+        # Classes present per link (for the HOL penalty).
+        classes_on: Dict[LinkId, Set[ServiceLevel]] = {}
+        for f in flows:
+            for link in routes[f.flow_id]:
+                classes_on.setdefault(link, set()).add(f.sl)
+
+        members: Dict[LinkId, Set[int]] = {}
+        for f in flows:
+            for link in routes[f.flow_id]:
+                members.setdefault(link, set()).add(f.flow_id)
+        constraints = [
+            Constraint(
+                capacity=self.fabric.capacity(link)
+                * self.qos.link_efficiency(classes_on[link]),
+                members=mem,
+                name=f"{link[0]}->{link[1]}",
+            )
+            for link, mem in members.items()
+        ]
+        weights = {f.flow_id: self.qos.flow_weight(f.sl) for f in flows}
+        demands = {
+            f.flow_id: f.rate_cap for f in flows if f.rate_cap is not None
+        }
+        rates = maxmin_rates(
+            [f.flow_id for f in flows], constraints, weights, demands or None
+        )
+        # Record link loads for adaptive routing decisions.
+        self._link_rates = {}
+        for f in flows:
+            r = rates[f.flow_id]
+            if r == float("inf"):
+                continue
+            for link in routes[f.flow_id]:
+                self._link_rates[link] = self._link_rates.get(link, 0.0) + r
+        return rates
+
+    # -- full fluid simulation -----------------------------------------------------
+
+    def run(self, flows: Sequence[Flow]) -> List[FlowResult]:
+        """Simulate all flows to completion; returns per-flow results."""
+        pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
+        routes: Dict[int, List[LinkId]] = {}
+        remaining: Dict[int, float] = {}
+        active: List[Flow] = []
+        results: Dict[int, FlowResult] = {}
+        now = 0.0
+        i = 0
+
+        # Flows between the same endpoint complete instantly (no fabric hop).
+        def admit(f: Flow) -> None:
+            route = self.router.route_links(f.src, f.dst, f.flow_id)
+            if not route:
+                results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=f.start)
+                return
+            routes[f.flow_id] = route
+            remaining[f.flow_id] = f.size
+            active.append(f)
+
+        while i < len(pending) or active:
+            if not active:
+                now = max(now, pending[i].start)
+                while i < len(pending) and pending[i].start <= now:
+                    admit(pending[i])
+                    i += 1
+                continue
+
+            rates = self.instantaneous_rates(active, routes)
+            # Earliest completion among active flows at current rates.
+            t_complete = float("inf")
+            for f in active:
+                r = rates[f.flow_id]
+                if r > 0 and r != float("inf"):
+                    t_complete = min(t_complete, remaining[f.flow_id] / r)
+                elif r == float("inf"):
+                    t_complete = 0.0
+            t_arrival = pending[i].start - now if i < len(pending) else float("inf")
+            dt = min(t_complete, t_arrival)
+            if dt == float("inf"):
+                raise TopologyError("simulation stalled: no progress possible")
+
+            for f in active:
+                r = rates[f.flow_id]
+                if r == float("inf"):
+                    remaining[f.flow_id] = 0.0
+                else:
+                    remaining[f.flow_id] = max(remaining[f.flow_id] - r * dt, 0.0)
+            now += dt
+
+            finished = [f for f in active if remaining[f.flow_id] <= 1e-6]
+            for f in finished:
+                results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=now)
+                active.remove(f)
+                del remaining[f.flow_id]
+            while i < len(pending) and pending[i].start <= now + 1e-12:
+                admit(pending[i])
+                i += 1
+
+        ordered = sorted(flows, key=lambda f: f.flow_id)
+        return [results[f.flow_id] for f in ordered]
+
+    def aggregate_throughput(self, flows: Sequence[Flow]) -> float:
+        """Total bytes moved / makespan for a flow set (convenience)."""
+        res = self.run(flows)
+        makespan = max(r.finish for r in res) - min(r.start for r in res)
+        total = sum(r.flow.size for r in res)
+        return total / makespan if makespan > 0 else float("inf")

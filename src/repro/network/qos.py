@@ -1,0 +1,74 @@
+"""InfiniBand Service Level / Virtual Lane traffic isolation (Section VI-A1).
+
+Four traffic classes share the computation-storage integrated network:
+HFReduce allreduce, NCCL, 3FS storage, and everything else. The production
+network maps each class to its own Service Level, and SLs to distinct
+Virtual Lanes with configured arbitration weights, so classes cannot block
+each other (no head-of-line blocking across classes).
+
+In the fluid model, VL isolation turns into *weighted* max-min sharing
+(each class's flows carry its VL weight). Without isolation, all classes
+compete in one FIFO lane; we additionally apply a HOL-blocking efficiency
+penalty on links carrying a mix of classes, reflecting the throughput
+collapse that mixed bursty traffic causes on a single lane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.errors import TopologyError
+
+
+class ServiceLevel(enum.Enum):
+    """The four traffic classes of Section VI-A1."""
+
+    HFREDUCE = "hfreduce"
+    NCCL = "nccl"
+    STORAGE = "storage"
+    OTHER = "other"
+
+
+@dataclass
+class TrafficClassConfig:
+    """SL -> VL mapping and arbitration weights."""
+
+    isolation: bool = True
+    weights: Dict[ServiceLevel, float] = field(
+        default_factory=lambda: {
+            ServiceLevel.HFREDUCE: 4.0,
+            ServiceLevel.NCCL: 2.0,
+            ServiceLevel.STORAGE: 3.0,
+            ServiceLevel.OTHER: 1.0,
+        }
+    )
+    #: Fraction of link capacity lost to HOL blocking when classes mix on a
+    #: single lane (no isolation). Calibrated so that mixed HFReduce+storage
+    #: traffic shows the congestion the paper works to avoid.
+    hol_penalty: float = 0.25
+
+    def __post_init__(self) -> None:
+        for sl, w in self.weights.items():
+            if w <= 0:
+                raise TopologyError(f"VL weight for {sl} must be positive")
+        if not 0 <= self.hol_penalty < 1:
+            raise TopologyError("hol_penalty must be in [0,1)")
+
+    def flow_weight(self, sl: ServiceLevel) -> float:
+        """Max-min weight for a flow of class ``sl``."""
+        if self.isolation:
+            return self.weights[sl]
+        return 1.0
+
+    def link_efficiency(self, classes_on_link: Set[ServiceLevel]) -> float:
+        """Capacity multiplier for a link given the classes it carries."""
+        if self.isolation or len(classes_on_link) <= 1:
+            return 1.0
+        return 1.0 - self.hol_penalty
+
+
+def default_qos() -> TrafficClassConfig:
+    """The production configuration: isolation on, tuned weights."""
+    return TrafficClassConfig(isolation=True)

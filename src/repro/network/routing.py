@@ -1,0 +1,114 @@
+"""Routing policies over a :class:`~repro.network.topology.Fabric`.
+
+The paper found that under heavy storage incast, *adaptive* routing spreads
+congestion while *static* routing plus deliberate node placement keeps the
+network congestion-free (Section VI-A2). We implement all three policies so
+that benchmark ablations can reproduce that comparison:
+
+* :class:`StaticRouter` — deterministic destination-based path choice
+  (what the production network runs),
+* :class:`EcmpRouter` — per-flow hashed choice among equal-cost paths,
+* :class:`AdaptiveRouter` — least-loaded path at flow arrival, given a
+  live link-load view.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.errors import RoutingError
+from repro.network.topology import Fabric, LinkId
+
+
+def _stable_hash(*parts: object) -> int:
+    """Deterministic (process-independent) hash for path selection."""
+    data = "|".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class Router(ABC):
+    """Chooses a node path for each flow."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self._paths_cache: Dict[tuple, List[List[str]]] = {}
+
+    def _candidates(self, src: str, dst: str) -> List[List[str]]:
+        key = (src, dst)
+        if key not in self._paths_cache:
+            self._paths_cache[key] = self.fabric.all_shortest_paths(src, dst)
+        return self._paths_cache[key]
+
+    @abstractmethod
+    def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
+        """Return the node path for a flow from ``src`` to ``dst``."""
+
+    def route_links(self, src: str, dst: str, flow_id: object = None) -> List[LinkId]:
+        """Directed links of the chosen path."""
+        return self.fabric.path_links(self.route(src, dst, flow_id))
+
+
+class StaticRouter(Router):
+    """Destination-based deterministic routing.
+
+    Every (src, dst) pair always uses the same path, chosen by hashing the
+    *destination* (mirroring IB's linear forwarding tables): traffic toward
+    one destination converges onto stable links, so operators can spread
+    load by placing nodes deliberately — the paper's approach.
+    """
+
+    def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
+        cands = self._candidates(src, dst)
+        return cands[_stable_hash(dst) % len(cands)]
+
+
+class EcmpRouter(Router):
+    """Per-flow ECMP: hash (src, dst, flow_id) across equal-cost paths."""
+
+    def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
+        cands = self._candidates(src, dst)
+        return cands[_stable_hash(src, dst, flow_id) % len(cands)]
+
+
+class AdaptiveRouter(Router):
+    """Pick the least-loaded candidate path at flow arrival.
+
+    ``load_view`` maps directed links to current utilization; ties break
+    deterministically. Because it reacts to instantaneous load, bursts of
+    correlated flows all dodge onto the same 'quiet' links and spread
+    congestion — the behaviour the paper observed and disabled.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        load_view: Optional[Callable[[], Mapping[LinkId, float]]] = None,
+    ) -> None:
+        super().__init__(fabric)
+        self._load_view = load_view or (lambda: {})
+
+    def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
+        cands = self._candidates(src, dst)
+        loads = self._load_view()
+
+        def path_load(path: List[str]) -> float:
+            return max(
+                (loads.get((a, b), 0.0) for a, b in zip(path, path[1:])),
+                default=0.0,
+            )
+
+        best = min(enumerate(cands), key=lambda kv: (path_load(kv[1]), kv[0]))
+        return best[1]
+
+
+def make_router(kind: str, fabric: Fabric, **kwargs) -> Router:
+    """Factory: ``static`` / ``ecmp`` / ``adaptive``."""
+    if kind == "static":
+        return StaticRouter(fabric)
+    if kind == "ecmp":
+        return EcmpRouter(fabric)
+    if kind == "adaptive":
+        return AdaptiveRouter(fabric, **kwargs)
+    raise RoutingError(f"unknown router kind {kind!r}")

@@ -1,0 +1,120 @@
+"""Fabric graph: hosts, switches, and capacitated directed links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+#: A directed link is identified by its (src, dst) node names.
+LinkId = Tuple[str, str]
+
+
+class Fabric:
+    """A cluster network: an undirected graph whose edges carry capacity.
+
+    Nodes are named strings with a ``kind`` attribute (``host``, ``leaf``,
+    ``spine``, ``core``). Capacities are full-duplex: each direction of an
+    edge is an independent :data:`LinkId` with the edge's capacity.
+    """
+
+    def __init__(self, name: str = "fabric") -> None:
+        self.name = name
+        self.g = nx.Graph()
+        self._zone: Dict[str, int] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_host(self, name: str, zone: int = 0, **attrs) -> None:
+        """Add an endpoint (compute or storage node NIC port)."""
+        if name in self.g:
+            raise TopologyError(f"duplicate node {name!r}")
+        self.g.add_node(name, kind="host", **attrs)
+        self._zone[name] = zone
+
+    def add_switch(self, name: str, tier: str, zone: int = 0, **attrs) -> None:
+        """Add a switch at tier ``leaf`` / ``spine`` / ``core``."""
+        if name in self.g:
+            raise TopologyError(f"duplicate node {name!r}")
+        if tier not in ("leaf", "spine", "core"):
+            raise TopologyError(f"unknown switch tier {tier!r}")
+        self.g.add_node(name, kind=tier, **attrs)
+        self._zone[name] = zone
+
+    def add_link(self, a: str, b: str, capacity: float) -> None:
+        """Connect two nodes with a full-duplex link of ``capacity`` B/s."""
+        if a not in self.g or b not in self.g:
+            raise TopologyError(f"link endpoints must exist: {a!r}, {b!r}")
+        if capacity <= 0:
+            raise TopologyError(f"capacity must be positive, got {capacity}")
+        if self.g.has_edge(a, b):
+            raise TopologyError(f"duplicate link {a!r}-{b!r}")
+        self.g.add_edge(a, b, capacity=float(capacity))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[str]:
+        """All endpoint names, sorted."""
+        return sorted(n for n, d in self.g.nodes(data=True) if d["kind"] == "host")
+
+    def switches(self, tier: Optional[str] = None) -> List[str]:
+        """Switch names, optionally filtered by tier."""
+        tiers = {"leaf", "spine", "core"} if tier is None else {tier}
+        return sorted(n for n, d in self.g.nodes(data=True) if d["kind"] in tiers)
+
+    def zone_of(self, node: str) -> int:
+        """The fat-tree zone a node belongs to."""
+        try:
+            return self._zone[node]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}")
+
+    def capacity(self, link: LinkId) -> float:
+        """Capacity in bytes/s of one direction of a link."""
+        a, b = link
+        try:
+            return self.g.edges[a, b]["capacity"]
+        except KeyError:
+            raise TopologyError(f"no link {a!r}-{b!r}")
+
+    def neighbors(self, node: str) -> List[str]:
+        """Adjacent node names, sorted (deterministic routing)."""
+        return sorted(self.g.neighbors(node))
+
+    def degree(self, node: str) -> int:
+        """Number of links attached to ``node``."""
+        return self.g.degree(node)
+
+    def path_links(self, path: List[str]) -> List[LinkId]:
+        """Convert a node path to its directed links, validating edges."""
+        links: List[LinkId] = []
+        for a, b in zip(path, path[1:]):
+            if not self.g.has_edge(a, b):
+                raise TopologyError(f"path uses missing link {a!r}-{b!r}")
+            links.append((a, b))
+        return links
+
+    def all_shortest_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All equal-cost shortest node paths, deterministically ordered."""
+        if src == dst:
+            return [[src]]
+        try:
+            paths = list(nx.all_shortest_paths(self.g, src, dst))
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no path {src!r} -> {dst!r}")
+        except nx.NodeNotFound as exc:
+            raise TopologyError(str(exc))
+        paths.sort()
+        return paths
+
+    def bisection_bandwidth(self, partition: Set[str]) -> float:
+        """Total capacity crossing a node partition (one direction)."""
+        total = 0.0
+        for a, b, data in self.g.edges(data=True):
+            if (a in partition) != (b in partition):
+                total += data["capacity"]
+        return total

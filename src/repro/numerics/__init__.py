@@ -1,0 +1,49 @@
+"""Executable numeric kernels for the HFReduce datapath.
+
+HFReduce performs its reductions on the host CPU with SIMD instructions and
+"supports FP32 / FP16 / BF16 / FP8 datatypes" (Section IV-D1). NumPy has no
+BF16 or FP8, so this package provides:
+
+* bit-exact BF16 and FP8 (E4M3 / E5M2) encode/decode on NumPy arrays,
+* vectorized reduce-add kernels that accumulate in FP32 (as a SIMD
+  implementation would) and re-encode to the wire dtype,
+* chunk splitting/pipelining helpers matching Algorithm 1's structure.
+
+These run for real — correctness of the collective algorithms is tested on
+them, while the performance figures come from the timing models in
+:mod:`repro.collectives`.
+"""
+
+from repro.numerics.dtypes import (
+    DTypeCodec,
+    bf16_decode,
+    bf16_encode,
+    codec_for,
+    fp8e4m3_decode,
+    fp8e4m3_encode,
+    fp8e5m2_decode,
+    fp8e5m2_encode,
+)
+from repro.numerics.reduce_kernels import (
+    ReduceKernel,
+    reduce_add,
+    reduce_inplace_fp32,
+)
+from repro.numerics.chunking import chunk_views, iter_chunks, num_chunks
+
+__all__ = [
+    "DTypeCodec",
+    "ReduceKernel",
+    "bf16_decode",
+    "bf16_encode",
+    "chunk_views",
+    "codec_for",
+    "fp8e4m3_decode",
+    "fp8e4m3_encode",
+    "fp8e5m2_decode",
+    "fp8e5m2_encode",
+    "iter_chunks",
+    "num_chunks",
+    "reduce_add",
+    "reduce_inplace_fp32",
+]

@@ -1,0 +1,46 @@
+"""Chunk splitting for pipelined transfers (Algorithm 1, line 1).
+
+HFReduce splits gradient buffers into fixed-size chunks so that D2H
+transfer, CPU reduction, inter-node allreduce, and H2D return can overlap
+in a pipeline. These helpers produce deterministic chunk boundaries shared
+by the executable kernels and the timing models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import CollectiveError
+
+
+def num_chunks(nbytes: int, chunk_bytes: int) -> int:
+    """Number of chunks covering ``nbytes``."""
+    if nbytes < 0:
+        raise CollectiveError("nbytes must be >= 0")
+    if chunk_bytes <= 0:
+        raise CollectiveError("chunk_bytes must be positive")
+    return max(1, -(-nbytes // chunk_bytes))
+
+
+def iter_chunks(nbytes: int, chunk_bytes: int) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(index, offset, length)`` byte ranges covering ``nbytes``."""
+    n = num_chunks(nbytes, chunk_bytes)
+    for i in range(n):
+        off = i * chunk_bytes
+        yield i, off, min(chunk_bytes, nbytes - off)
+
+
+def chunk_views(array: np.ndarray, chunk_elems: int) -> List[np.ndarray]:
+    """Split a 1-D array into views of at most ``chunk_elems`` elements.
+
+    Views, not copies — mirroring zero-copy chunking of a pinned buffer.
+    """
+    if array.ndim != 1:
+        raise CollectiveError("chunk_views requires a 1-D array")
+    if chunk_elems <= 0:
+        raise CollectiveError("chunk_elems must be positive")
+    return [array[i : i + chunk_elems] for i in range(0, len(array), chunk_elems)] or [
+        array[0:0]
+    ]

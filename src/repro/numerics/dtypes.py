@@ -1,0 +1,182 @@
+"""BF16 and FP8 codecs built on NumPy bit manipulation.
+
+Wire formats:
+
+* **BF16** — the top 16 bits of an IEEE-754 float32, with round-to-nearest-
+  even on encode. Stored as ``uint16``.
+* **FP8 E4M3** — 1 sign / 4 exponent (bias 7) / 3 mantissa bits; no
+  infinities; ``S.1111.111`` is NaN; max finite 448. Stored as ``uint8``.
+* **FP8 E5M2** — 1 sign / 5 exponent (bias 15) / 2 mantissa; IEEE-like with
+  infinities and NaNs; max finite 57344. Stored as ``uint8``.
+
+FP8 encoding uses exact nearest-value rounding against the decoded code
+table (256 entries), which is both simple and provably round-trip exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import CollectiveError
+
+# ---------------------------------------------------------------------------
+# BF16
+# ---------------------------------------------------------------------------
+
+
+def bf16_encode(x: np.ndarray) -> np.ndarray:
+    """Encode float32 -> bf16 (uint16) with round-to-nearest-even."""
+    f = np.ascontiguousarray(x, dtype=np.float32)
+    bits = f.view(np.uint32)
+    # RNE: add 0x7FFF + lsb of the surviving bits, then truncate.
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb
+    out = (rounded >> np.uint32(16)).astype(np.uint16)
+    # NaNs must stay NaNs (rounding could carry into the exponent).
+    nan_mask = np.isnan(f)
+    if nan_mask.any():
+        out = np.where(nan_mask, np.uint16(0x7FC0), out)
+    return out
+
+
+def bf16_decode(x: np.ndarray) -> np.ndarray:
+    """Decode bf16 (uint16) -> float32."""
+    u = np.ascontiguousarray(x, dtype=np.uint16)
+    return (u.astype(np.uint32) << np.uint32(16)).view(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# FP8 code tables
+# ---------------------------------------------------------------------------
+
+
+def _fp8_table(exp_bits: int, man_bits: int, bias: int, ieee_specials: bool) -> np.ndarray:
+    """Decoded float32 value of every uint8 code."""
+    codes = np.arange(256, dtype=np.uint32)
+    sign = np.where(codes & 0x80, -1.0, 1.0).astype(np.float64)
+    exp_mask = (1 << exp_bits) - 1
+    man_mask = (1 << man_bits) - 1
+    e = (codes >> man_bits) & exp_mask
+    m = codes & man_mask
+    vals = np.empty(256, dtype=np.float64)
+    subnormal = e == 0
+    vals[subnormal] = (
+        m[subnormal].astype(np.float64) / (1 << man_bits) * 2.0 ** (1 - bias)
+    )
+    normal = ~subnormal
+    vals[normal] = (1.0 + m[normal].astype(np.float64) / (1 << man_bits)) * np.exp2(
+        e[normal].astype(np.float64) - bias
+    )
+    vals *= sign
+    if ieee_specials:
+        top = e == exp_mask
+        vals[top & (m == 0)] = np.inf * sign[top & (m == 0)]
+        vals[top & (m != 0)] = np.nan
+    else:
+        # E4M3: only S.1111.111 is NaN; other top-exponent codes are finite.
+        vals[(e == exp_mask) & (m == man_mask)] = np.nan
+    return vals.astype(np.float32)
+
+
+_E4M3_TABLE = _fp8_table(exp_bits=4, man_bits=3, bias=7, ieee_specials=False)
+_E5M2_TABLE = _fp8_table(exp_bits=5, man_bits=2, bias=15, ieee_specials=True)
+
+
+def _fp8_encode(x: np.ndarray, table: np.ndarray, nan_code: int) -> np.ndarray:
+    """Nearest-value encode against a 256-entry code table."""
+    f = np.ascontiguousarray(x, dtype=np.float32)
+    finite_codes = np.where(np.isfinite(table))[0]
+    finite_vals = table[finite_codes]
+    order = np.argsort(finite_vals, kind="stable")
+    sorted_vals = finite_vals[order]
+    sorted_codes = finite_codes[order]
+
+    clipped = np.clip(f, sorted_vals[0], sorted_vals[-1])
+    idx = np.searchsorted(sorted_vals, clipped)
+    idx = np.clip(idx, 1, len(sorted_vals) - 1)
+    left = sorted_vals[idx - 1]
+    right = sorted_vals[idx]
+    pick_left = (clipped - left) <= (right - clipped)
+    best = np.where(pick_left, idx - 1, idx)
+    out = sorted_codes[best].astype(np.uint8)
+    out = np.where(np.isnan(f), np.uint8(nan_code), out)
+    return out
+
+
+def fp8e4m3_encode(x: np.ndarray) -> np.ndarray:
+    """Encode float32 -> FP8 E4M3 (uint8), saturating to +-448."""
+    return _fp8_encode(x, _E4M3_TABLE, nan_code=0x7F)
+
+
+def fp8e4m3_decode(x: np.ndarray) -> np.ndarray:
+    """Decode FP8 E4M3 (uint8) -> float32."""
+    return _E4M3_TABLE[np.ascontiguousarray(x, dtype=np.uint8)]
+
+
+def fp8e5m2_encode(x: np.ndarray) -> np.ndarray:
+    """Encode float32 -> FP8 E5M2 (uint8), saturating to +-57344."""
+    f = np.asarray(x, dtype=np.float32)
+    out = _fp8_encode(f, _E5M2_TABLE, nan_code=0x7F)
+    # Preserve infinities (the table search clips them to max finite).
+    pos_inf = np.isposinf(f)
+    neg_inf = np.isneginf(f)
+    if pos_inf.any() or neg_inf.any():
+        out = np.where(pos_inf, np.uint8(0x7C), out)
+        out = np.where(neg_inf, np.uint8(0xFC), out)
+    return out
+
+
+def fp8e5m2_decode(x: np.ndarray) -> np.ndarray:
+    """Decode FP8 E5M2 (uint8) -> float32."""
+    return _E5M2_TABLE[np.ascontiguousarray(x, dtype=np.uint8)]
+
+
+# ---------------------------------------------------------------------------
+# Codec registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DTypeCodec:
+    """Uniform encode/decode interface for HFReduce-supported dtypes."""
+
+    name: str
+    wire_dtype: np.dtype
+    itemsize: int
+    encode: Callable[[np.ndarray], np.ndarray]
+    decode: Callable[[np.ndarray], np.ndarray]
+
+
+def _identity32(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.float32)
+
+
+def _fp16_encode(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.float32).astype(np.float16)
+
+
+def _fp16_decode(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.float16).astype(np.float32)
+
+
+_CODECS: Dict[str, DTypeCodec] = {
+    "fp32": DTypeCodec("fp32", np.dtype(np.float32), 4, _identity32, _identity32),
+    "fp16": DTypeCodec("fp16", np.dtype(np.float16), 2, _fp16_encode, _fp16_decode),
+    "bf16": DTypeCodec("bf16", np.dtype(np.uint16), 2, bf16_encode, bf16_decode),
+    "fp8e4m3": DTypeCodec("fp8e4m3", np.dtype(np.uint8), 1, fp8e4m3_encode, fp8e4m3_decode),
+    "fp8e5m2": DTypeCodec("fp8e5m2", np.dtype(np.uint8), 1, fp8e5m2_encode, fp8e5m2_decode),
+}
+_CODECS["fp8"] = _CODECS["fp8e4m3"]  # paper says "FP8"; E4M3 is the training format
+
+
+def codec_for(dtype: str) -> DTypeCodec:
+    """Look up the codec for a dtype name (``fp32/fp16/bf16/fp8[e4m3|e5m2]``)."""
+    try:
+        return _CODECS[dtype]
+    except KeyError:
+        raise CollectiveError(
+            f"unsupported dtype {dtype!r}; supported: {sorted(_CODECS)}"
+        )

@@ -1,0 +1,106 @@
+"""Vectorized reduce-add kernels (HFReduce's intra-node CPU reduction).
+
+The production kernels use AVX; here the same dataflow is expressed with
+NumPy: decode each input buffer to FP32, accumulate in FP32 (matching the
+wide-accumulator behaviour of the SIMD implementation), and re-encode to
+the wire dtype. Accumulation order is fixed (buffer 0, 1, 2, ...), so
+results are deterministic across runs — an important property for
+debugging gradient divergence at cluster scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CollectiveError
+from repro.numerics.dtypes import DTypeCodec, codec_for
+
+
+def reduce_inplace_fp32(acc: np.ndarray, addend: np.ndarray) -> None:
+    """``acc += addend`` in FP32, in place (no temporaries)."""
+    if acc.dtype != np.float32:
+        raise CollectiveError("accumulator must be float32")
+    np.add(acc, addend, out=acc)
+
+
+def reduce_add(buffers: Sequence[np.ndarray], dtype: str = "fp32") -> np.ndarray:
+    """Reduce-add ``buffers`` (wire format) and return the wire-format sum.
+
+    All buffers must share shape and the dtype's wire representation.
+    """
+    if not buffers:
+        raise CollectiveError("reduce_add needs at least one buffer")
+    codec = codec_for(dtype)
+    shape = buffers[0].shape
+    for b in buffers:
+        if b.shape != shape:
+            raise CollectiveError("reduce_add buffers must share a shape")
+        if b.dtype != codec.wire_dtype:
+            raise CollectiveError(
+                f"buffer dtype {b.dtype} does not match wire dtype "
+                f"{codec.wire_dtype} for {dtype!r}"
+            )
+    acc = codec.decode(buffers[0]).astype(np.float32, copy=True)
+    for b in buffers[1:]:
+        reduce_inplace_fp32(acc, codec.decode(b))
+    return codec.encode(acc)
+
+
+class ReduceKernel:
+    """Stateful chunked reducer mirroring Algorithm 1's inner loop.
+
+    One kernel instance owns the FP32 accumulator for a chunk; GPUs' chunk
+    transfers "arrive" via :meth:`accumulate`, and :meth:`finish` re-encodes
+    the reduced chunk for the inter-node phase.
+    """
+
+    def __init__(self, nelems: int, dtype: str = "fp32") -> None:
+        if nelems <= 0:
+            raise CollectiveError("nelems must be positive")
+        self.codec: DTypeCodec = codec_for(dtype)
+        self.dtype = dtype
+        self.nelems = nelems
+        self._acc = np.zeros(nelems, dtype=np.float32)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """How many buffers have been accumulated."""
+        return self._count
+
+    def accumulate(self, wire_buffer: np.ndarray) -> None:
+        """Add one GPU's chunk (wire format) into the FP32 accumulator."""
+        if wire_buffer.shape != (self.nelems,):
+            raise CollectiveError(
+                f"expected shape ({self.nelems},), got {wire_buffer.shape}"
+            )
+        if wire_buffer.dtype != self.codec.wire_dtype:
+            raise CollectiveError(
+                f"expected wire dtype {self.codec.wire_dtype}, got {wire_buffer.dtype}"
+            )
+        reduce_inplace_fp32(self._acc, self.codec.decode(wire_buffer))
+        self._count += 1
+
+    def accumulate_fp32(self, fp32_buffer: np.ndarray) -> None:
+        """Add an already-decoded FP32 buffer (network-received data)."""
+        if fp32_buffer.shape != (self.nelems,):
+            raise CollectiveError("shape mismatch")
+        reduce_inplace_fp32(self._acc, np.asarray(fp32_buffer, dtype=np.float32))
+        self._count += 1
+
+    def snapshot_fp32(self) -> np.ndarray:
+        """Current FP32 accumulator (copy), for inter-node sends."""
+        return self._acc.copy()
+
+    def finish(self) -> np.ndarray:
+        """Encode the reduced chunk back to wire format."""
+        if self._count == 0:
+            raise CollectiveError("finish() before any accumulate()")
+        return self.codec.encode(self._acc)
+
+    def reset(self) -> None:
+        """Clear the accumulator for reuse on the next chunk."""
+        self._acc[:] = 0.0
+        self._count = 0

@@ -1,0 +1,67 @@
+"""Stability and robustness tooling (Section VII).
+
+* :mod:`repro.reliability.xid` — GPU Xid error taxonomy (Table V) and the
+  production census (Table VI),
+* :mod:`repro.reliability.failures` — the paper's raw failure telemetry
+  (Tables VII, VIII) and calibrated synthetic generators,
+* :mod:`repro.reliability.validator` — the weekly hardware validator
+  suite, with fault injection for testing,
+* :mod:`repro.reliability.analysis` — characterization analytics behind
+  Figures 10 and 11 and the Section VIII-D cross-cluster comparison.
+"""
+
+from repro.reliability.xid import (
+    TABLE_VI_COUNTS,
+    XidCategory,
+    XidInfo,
+    classify_xid,
+    xid_census,
+)
+from repro.reliability.failures import (
+    IB_FLASH_CUTS,
+    MONTHLY_FAILURES,
+    FailureEvent,
+    FailureGenerator,
+)
+from repro.reliability.validator import (
+    CheckResult,
+    NodeHealth,
+    Validator,
+)
+from repro.reliability.memtest import (
+    FaultyMemory,
+    MemoryFault,
+    run_memory_test,
+)
+from repro.reliability.hostping import Diagnosis, HostPing, HostState
+from repro.reliability.analysis import (
+    compare_with_published_cluster,
+    ib_failure_series,
+    monthly_failure_series,
+    xid_percentage_table,
+)
+
+__all__ = [
+    "CheckResult",
+    "FailureEvent",
+    "FailureGenerator",
+    "FaultyMemory",
+    "Diagnosis",
+    "HostPing",
+    "HostState",
+    "IB_FLASH_CUTS",
+    "MemoryFault",
+    "MONTHLY_FAILURES",
+    "NodeHealth",
+    "TABLE_VI_COUNTS",
+    "Validator",
+    "XidCategory",
+    "XidInfo",
+    "classify_xid",
+    "compare_with_published_cluster",
+    "ib_failure_series",
+    "monthly_failure_series",
+    "run_memory_test",
+    "xid_census",
+    "xid_percentage_table",
+]

@@ -1,0 +1,189 @@
+"""Intra-host bottleneck diagnosis (hostping-style, Section VII-B).
+
+"Diagnosing tools like hostping are also integrated in our platform, but
+to find root cause of Hardware Failures is still hard work for operation
+teams."
+
+The tool measures every intra-host data path against the node spec's
+expectation and localizes the degraded component:
+
+* GPU<->host over each GPU's PCIe link (and through its root port),
+* GPU<->NIC peer-to-peer (the NCCL path),
+* host memory bandwidth per socket,
+* NVLink bridge bandwidth per GPU pair.
+
+Measurements come from a :class:`HostState` fault-injection surface (like
+:class:`~repro.reliability.validator.NodeHealth` but per-path), so the
+*diagnosis logic* — mapping symptom patterns to components — runs for
+real and is testable: e.g. "every GPU behind root port 5 is slow but
+their links test clean individually" implicates the root complex, not
+the GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
+
+
+@dataclass
+class HostState:
+    """Ground truth: per-component degradation multipliers (1.0 = good)."""
+
+    node: NodeSpec = field(default_factory=lambda: fire_flyer_node(nvlink=True))
+    gpu_link_factor: Dict[int, float] = field(default_factory=dict)  # per GPU
+    root_port_factor: Dict[int, float] = field(default_factory=dict)  # per port
+    nic_factor: float = 1.0
+    memory_factor: Dict[int, float] = field(default_factory=dict)  # per socket
+    nvlink_factor: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def _gpu(self, gpu: int) -> float:
+        return self.gpu_link_factor.get(gpu, 1.0)
+
+    def _port(self, port: int) -> float:
+        return self.root_port_factor.get(port, 1.0)
+
+    # -- "measurements" the diagnoser observes ---------------------------------
+
+    def measure_gpu_host(self, gpu: int) -> float:
+        """D2H bandwidth for one GPU, through its link and root port."""
+        fab = PCIeFabric(self.node)
+        clean = fab.rate_of([Transfer(f"gpu{gpu}", TransferKind.D2H)])
+        port = self.node.slot(f"gpu{gpu}").root_port
+        return clean * self._gpu(gpu) * self._port(port)
+
+    def measure_gpu_nic(self, gpu: int) -> float:
+        """P2P bandwidth GPU<->NIC."""
+        fab = PCIeFabric(self.node)
+        clean = fab.gpu_nic_p2p_bandwidth()
+        port = self.node.slot(f"gpu{gpu}").root_port
+        return clean * self._gpu(gpu) * self._port(port) * self.nic_factor
+
+    def measure_memory(self, socket: int) -> float:
+        """STREAM bandwidth on one socket."""
+        clean = self.node.cpu.memory_bandwidth(sockets=1)
+        return clean * self.memory_factor.get(socket, 1.0)
+
+    def measure_nvlink(self, pair: Tuple[int, int]) -> float:
+        """Bridge bandwidth for one GPU pair."""
+        if self.node.gpu is None or self.node.gpu.nvlink_bw <= 0:
+            return 0.0
+        key = tuple(sorted(pair))
+        return self.node.gpu.nvlink_bw * self.nvlink_factor.get(key, 1.0)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One implicated component."""
+
+    component: str  # e.g. "gpu3-link", "root-port-5", "nic", "socket1-memory"
+    severity: float  # observed / expected
+    evidence: str
+
+
+class HostPing:
+    """Sweeps all intra-host paths and localizes degradations."""
+
+    def __init__(self, tolerance: float = 0.10) -> None:
+        if not 0 < tolerance < 1:
+            raise ReproError("tolerance must be in (0,1)")
+        self.tolerance = tolerance
+
+    def diagnose(self, host: HostState) -> List[Diagnosis]:
+        """Run the sweep; returns implicated components (may be empty)."""
+        node = host.node
+        fab = PCIeFabric(node)
+        findings: List[Diagnosis] = []
+        slow_gpus: Dict[int, float] = {}
+
+        # 1. Per-GPU D2H sweep.
+        for gpu in range(node.gpu_count):
+            expected = fab.rate_of([Transfer(f"gpu{gpu}", TransferKind.D2H)])
+            observed = host.measure_gpu_host(gpu)
+            ratio = observed / expected
+            if ratio < 1 - self.tolerance:
+                slow_gpus[gpu] = ratio
+
+        # 2. Localize: if every GPU on one root port is slow by the same
+        #    factor, blame the port; otherwise blame individual links.
+        by_port: Dict[int, List[int]] = {}
+        for gpu in range(node.gpu_count):
+            by_port.setdefault(node.slot(f"gpu{gpu}").root_port, []).append(gpu)
+        blamed_ports: Set[int] = set()
+        for port, gpus in by_port.items():
+            ratios = [slow_gpus.get(g) for g in gpus]
+            # A shared port is implicated only when at least two devices
+            # behind it degrade uniformly; a singleton port is
+            # indistinguishable from its device's own link.
+            if len(gpus) >= 2 and all(r is not None for r in ratios) and (
+                max(ratios) - min(ratios) < 0.02  # type: ignore[arg-type]
+            ):
+                blamed_ports.add(port)
+                findings.append(
+                    Diagnosis(
+                        component=f"root-port-{port}",
+                        severity=float(ratios[0]),  # type: ignore[arg-type]
+                        evidence=f"all GPUs {gpus} uniformly degraded",
+                    )
+                )
+        for gpu, ratio in sorted(slow_gpus.items()):
+            port = node.slot(f"gpu{gpu}").root_port
+            if port not in blamed_ports:
+                findings.append(
+                    Diagnosis(
+                        component=f"gpu{gpu}-link",
+                        severity=ratio,
+                        evidence="D2H below link expectation",
+                    )
+                )
+
+        # 3. NIC path: slow for every GPU while their D2H paths are clean
+        #    implicates the NIC side.
+        nic_ratios = []
+        expected_p2p = fab.gpu_nic_p2p_bandwidth()
+        for gpu in range(node.gpu_count):
+            if gpu in slow_gpus:
+                continue  # already explained by the GPU/port finding
+            port = node.slot(f"gpu{gpu}").root_port
+            if port in blamed_ports:
+                continue
+            nic_ratios.append(host.measure_gpu_nic(gpu) / expected_p2p)
+        if nic_ratios and max(nic_ratios) < 1 - self.tolerance:
+            findings.append(
+                Diagnosis(
+                    component="nic",
+                    severity=max(nic_ratios),
+                    evidence="P2P slow from every clean GPU",
+                )
+            )
+
+        # 4. Per-socket memory.
+        for socket in range(node.cpu_sockets):
+            expected = node.cpu.memory_bandwidth(sockets=1)
+            ratio = host.measure_memory(socket) / expected
+            if ratio < 1 - self.tolerance:
+                findings.append(
+                    Diagnosis(
+                        component=f"socket{socket}-memory",
+                        severity=ratio,
+                        evidence="STREAM below channel expectation",
+                    )
+                )
+
+        # 5. NVLink pairs.
+        if node.gpu is not None and node.gpu.nvlink_bw > 0:
+            for pair in node.nvlink_pairs:
+                ratio = host.measure_nvlink(pair) / node.gpu.nvlink_bw
+                if ratio < 1 - self.tolerance:
+                    findings.append(
+                        Diagnosis(
+                            component=f"nvlink-{pair[0]}-{pair[1]}",
+                            severity=ratio,
+                            evidence="bridge bandwidth below spec",
+                        )
+                    )
+        return findings

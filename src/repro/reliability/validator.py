@@ -1,0 +1,181 @@
+"""The validator: weekly hardware health checks (Section VII-B).
+
+"The platform's automatic operation and maintenance system runs the
+validator program weekly on nodes to verify their proper functionality.
+It removes the faulty nodes from the scheduling platform."
+
+The checks mirror the paper's list:
+
+1. hardware frequency, link speed, and link status,
+2. CPU stress and memory bandwidth,
+3. GPU memory byte-pattern test,
+4. full-occupancy GEMM (compute-logic check),
+5. intra-node allreduce (NVLink bandwidth through the application path),
+6. storage bandwidth stress.
+
+Faults are injected through :class:`NodeHealth`, which models the node's
+true (possibly degraded) condition; each check measures against the spec
+and fails when outside tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.units import gBps
+
+
+@dataclass
+class NodeHealth:
+    """Ground-truth condition of one node (fault injection surface)."""
+
+    node: str
+    spec: NodeSpec = field(default_factory=lambda: fire_flyer_node(nvlink=True))
+    # Degradation multipliers (1.0 = healthy).
+    cpu_frequency_factor: float = 1.0
+    memory_bw_factor: float = 1.0
+    nvlink_bw_factor: float = 1.0
+    storage_bw_factor: float = 1.0
+    gemm_accuracy_ok: bool = True
+    ib_link_up: bool = True
+    ib_link_speed_factor: float = 1.0
+    #: GPU indices with stuck/corrupt memory bytes.
+    gpu_memory_faults: Set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validator check."""
+
+    check: str
+    passed: bool
+    measured: float
+    expected: float
+    detail: str = ""
+
+
+class Validator:
+    """Runs the full check suite against a node's health state."""
+
+    def __init__(self, tolerance: float = 0.10) -> None:
+        if not 0 < tolerance < 1:
+            raise ReproError("tolerance must be in (0,1)")
+        self.tolerance = tolerance
+
+    # -- individual checks -----------------------------------------------------
+
+    def check_link_status(self, health: NodeHealth) -> CheckResult:
+        """IB link up and at negotiated speed."""
+        expected = health.spec.nic.line_rate
+        measured = (
+            expected * health.ib_link_speed_factor if health.ib_link_up else 0.0
+        )
+        passed = health.ib_link_up and health.ib_link_speed_factor >= 1 - self.tolerance
+        return CheckResult("link_status", passed, measured, expected,
+                           "" if passed else "IB link down or degraded")
+
+    def check_cpu_stress(self, health: NodeHealth) -> CheckResult:
+        """CPU frequency under load."""
+        passed = health.cpu_frequency_factor >= 1 - self.tolerance
+        return CheckResult("cpu_stress", passed, health.cpu_frequency_factor, 1.0,
+                           "" if passed else "CPU throttling detected")
+
+    def check_memory_bandwidth(self, health: NodeHealth) -> CheckResult:
+        """STREAM-style host memory bandwidth."""
+        expected = health.spec.memory_bandwidth
+        measured = expected * health.memory_bw_factor
+        passed = measured >= expected * (1 - self.tolerance)
+        return CheckResult("memory_bandwidth", passed, measured, expected,
+                           "" if passed else "memory bandwidth below spec")
+
+    def check_gpu_memory(self, health: NodeHealth) -> CheckResult:
+        """Byte-pattern test over each GPU's memory.
+
+        For each GPU flagged faulty, actually executes the byte-pattern
+        sweep (:mod:`repro.reliability.memtest`) over a scaled-down
+        memory region with an injected stuck bit, so the detector logic
+        runs for real rather than echoing the injection flag.
+        """
+        from repro.reliability.memtest import FaultyMemory, run_memory_test
+
+        detected = []
+        for gpu in range(max(health.spec.gpu_count, 1)):
+            mem = FaultyMemory(4096)
+            if gpu in health.gpu_memory_faults:
+                mem.inject_stuck_at_one(1024 + gpu, bit=gpu % 8)
+            if run_memory_test(mem, block=1024):
+                detected.append(gpu)
+        passed = not detected
+        return CheckResult(
+            "gpu_memory", passed, float(len(detected)), 0.0,
+            "" if passed else f"data corruption on GPUs {detected}",
+        )
+
+    def check_gemm(self, health: NodeHealth) -> CheckResult:
+        """Full-memory-occupancy GEMM with result verification.
+
+        Actually multiplies matrices and compares against a reference —
+        the check the paper uses to catch silent computational errors.
+        """
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        result = a @ b
+        if not health.gemm_accuracy_ok:
+            result = result.copy()
+            result[7, 7] += 1.0  # a silent bit-flip-style corruption
+        reference = np.dot(a.astype(np.float64), b.astype(np.float64))
+        max_err = float(np.max(np.abs(result - reference)))
+        passed = max_err < 1e-2
+        return CheckResult("gemm", passed, max_err, 0.0,
+                           "" if passed else "GEMM result mismatch")
+
+    def check_intra_node_allreduce(self, health: NodeHealth) -> CheckResult:
+        """NVLink bandwidth via the application-level allreduce path."""
+        if health.spec.gpu is None or health.spec.gpu.nvlink_bw <= 0:
+            return CheckResult("intra_node_allreduce", True, 0.0, 0.0,
+                               "no NVLink installed; skipped")
+        expected = health.spec.gpu.nvlink_bw
+        measured = expected * health.nvlink_bw_factor
+        passed = measured >= expected * (1 - self.tolerance)
+        return CheckResult("intra_node_allreduce", passed, measured, expected,
+                           "" if passed else "NVLink bandwidth below spec")
+
+    def check_storage_stress(self, health: NodeHealth) -> CheckResult:
+        """Storage path bandwidth (3FS client throughput)."""
+        expected = gBps(2.0)  # per-node sustained client target
+        measured = expected * health.storage_bw_factor
+        passed = measured >= expected * (1 - self.tolerance)
+        return CheckResult("storage_stress", passed, measured, expected,
+                           "" if passed else "storage throughput below target")
+
+    # -- the weekly sweep -----------------------------------------------------------
+
+    CHECKS = (
+        "check_link_status",
+        "check_cpu_stress",
+        "check_memory_bandwidth",
+        "check_gpu_memory",
+        "check_gemm",
+        "check_intra_node_allreduce",
+        "check_storage_stress",
+    )
+
+    def validate_node(self, health: NodeHealth) -> List[CheckResult]:
+        """Run every check; returns all results."""
+        return [getattr(self, c)(health) for c in self.CHECKS]
+
+    def node_passes(self, health: NodeHealth) -> bool:
+        """Whether all checks pass."""
+        return all(r.passed for r in self.validate_node(health))
+
+    def weekly_sweep(self, fleet: Dict[str, NodeHealth]) -> List[str]:
+        """Validate a fleet; returns node names to remove from scheduling."""
+        return sorted(
+            name for name, health in fleet.items() if not self.node_passes(health)
+        )

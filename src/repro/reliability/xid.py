@@ -1,0 +1,126 @@
+"""GPU Xid error taxonomy and the production census (Tables V and VI)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+
+
+class XidCategory(enum.Enum):
+    """Table V's five groups."""
+
+    SOFTWARE = "software"
+    NVLINK = "nvlink"
+    GPU_ECC = "gpu_ecc"
+    UNCORRECTABLE = "uncorrectable"
+    GSP = "gsp"
+
+
+class Action(enum.Enum):
+    """Recommended operator response."""
+
+    CHECK_APPLICATION = "check_application"  # likely user code
+    STRESS_TEST = "stress_test"  # exclude repeat offenders
+    GPU_RESET = "gpu_reset"  # row remapping handles it
+    NODE_REBOOT = "node_reboot"
+    RMA = "rma"  # fieldiag then return to vendor
+
+
+@dataclass(frozen=True)
+class XidInfo:
+    """Classification record for one Xid code."""
+
+    xid: int
+    category: XidCategory
+    action: Action
+    description: str
+
+
+_XID_TABLE: Dict[int, XidInfo] = {
+    info.xid: info
+    for info in (
+        # Software causes (may still indicate memory corruption).
+        XidInfo(13, XidCategory.SOFTWARE, Action.CHECK_APPLICATION,
+                "Graphics engine exception; possible anomaly in GPU memory"),
+        XidInfo(31, XidCategory.SOFTWARE, Action.CHECK_APPLICATION,
+                "GPU memory page fault; usually illegal address in user code"),
+        XidInfo(43, XidCategory.SOFTWARE, Action.CHECK_APPLICATION,
+                "GPU stopped processing: illegal memory access"),
+        XidInfo(45, XidCategory.SOFTWARE, Action.CHECK_APPLICATION,
+                "Preemptive cleanup of user application"),
+        # NVLink — dominant on the PCIe architecture (bridge connectors).
+        XidInfo(74, XidCategory.NVLINK, Action.STRESS_TEST,
+                "NVLink error; on PCIe A100 occurs on the NVLink Bridge"),
+        # GPU memory ECC; A100 row remapping recovers most.
+        XidInfo(63, XidCategory.GPU_ECC, Action.GPU_RESET,
+                "ECC page retirement / row remapping recording event"),
+        XidInfo(64, XidCategory.GPU_ECC, Action.GPU_RESET,
+                "ECC page retirement / row remapper failure"),
+        XidInfo(94, XidCategory.GPU_ECC, Action.GPU_RESET,
+                "Contained ECC error (application restart suffices)"),
+        XidInfo(95, XidCategory.GPU_ECC, Action.GPU_RESET,
+                "Uncontained ECC error"),
+        # Uncorrectable GPU failures.
+        XidInfo(44, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "Graphics engine fault, uncorrectable"),
+        XidInfo(48, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "Double-bit ECC error"),
+        XidInfo(61, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "Internal microcontroller breakpoint"),
+        XidInfo(62, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "Internal microcontroller halt"),
+        XidInfo(69, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "Graphics engine class error"),
+        XidInfo(79, XidCategory.UNCORRECTABLE, Action.NODE_REBOOT,
+                "GPU fell off the bus"),
+        # GSP.
+        XidInfo(119, XidCategory.GSP, Action.RMA,
+                "GSP module failure; run fieldiag, usually RMA"),
+    )
+}
+
+#: Table VI — raw Xid counts observed over one year on Fire-Flyer 2.
+TABLE_VI_COUNTS: Dict[int, int] = {
+    74: 5521,
+    13: 45,
+    31: 2487,
+    43: 4342,
+    45: 240,
+    63: 245,
+    64: 2,
+    94: 13,
+    95: 17,
+    44: 1,
+    48: 2,
+    61: 13,
+    62: 3,
+    69: 1,
+    79: 37,
+    119: 1,
+}
+
+TABLE_VI_TOTAL = 12970
+
+
+def classify_xid(xid: int) -> XidInfo:
+    """Look up an Xid code's classification (Table V)."""
+    try:
+        return _XID_TABLE[xid]
+    except KeyError:
+        raise ReproError(f"Xid {xid} is not in the Table V taxonomy")
+
+
+def known_xids() -> Dict[int, XidInfo]:
+    """The full taxonomy."""
+    return dict(_XID_TABLE)
+
+
+def xid_census() -> Dict[XidCategory, int]:
+    """Aggregate Table VI counts by category."""
+    out: Dict[XidCategory, int] = {c: 0 for c in XidCategory}
+    for xid, count in TABLE_VI_COUNTS.items():
+        out[classify_xid(xid).category] += count
+    return out

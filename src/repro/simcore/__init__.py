@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free DES in the style of SimPy: an
+:class:`~repro.simcore.kernel.Environment` schedules
+:class:`~repro.simcore.events.Event` objects on a binary heap and drives
+generator-based :class:`~repro.simcore.process.Process` coroutines.
+
+The kernel supports:
+
+* timeouts, one-shot events, and ``all_of`` / ``any_of`` conditions,
+* process interruption (used by the HAI platform's preemption protocol),
+* capacity-limited :class:`~repro.simcore.resources.Resource` objects and
+  producer/consumer :class:`~repro.simcore.resources.Store` queues,
+* structured trace recording via :class:`~repro.simcore.record.Trace`.
+"""
+
+from repro.simcore.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.simcore.kernel import Environment
+from repro.simcore.process import Process
+from repro.simcore.resources import Container, Resource, Store
+from repro.simcore.record import Trace, TraceEvent
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+    "Trace",
+    "TraceEvent",
+]

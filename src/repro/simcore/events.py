@@ -1,0 +1,176 @@
+"""Event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.kernel import Environment
+
+
+PENDING = object()  # sentinel: event not yet triggered
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events begin *pending*; calling :meth:`succeed` or :meth:`fail`
+    schedules them for processing, at which point registered callbacks run
+    and any waiting processes resume.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome into this one (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if self._value is PENDING else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout delay={self.delay}>"
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class _Condition(Event):
+    """Base for ``AllOf`` / ``AnyOf`` composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired; fails fast on failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any component event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())

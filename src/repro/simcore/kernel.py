@@ -1,0 +1,123 @@
+"""The simulation environment: clock + event heap + run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simcore.events import AllOf, AnyOf, Event, Timeout
+from repro.simcore.process import ProcGen, Process
+
+_INFINITY = float("inf")
+
+
+class Environment:
+    """Owns the simulation clock and executes scheduled events in order.
+
+    Events scheduled at equal times are processed in FIFO scheduling order
+    (a monotonically increasing sequence number breaks ties), which makes
+    simulations deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcGen, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else _INFINITY
+
+    def step(self) -> None:
+        """Process exactly one event; raises if the queue is empty."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        if not event._ok and not event._defused:
+            # An unhandled failed event (nobody waited on it) is an error —
+            # mirrors SimPy semantics so silent failures can't hide.
+            if not callbacks:
+                raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a time, or an event
+        (run until it fires, returning its value).
+        """
+        stop_at = _INFINITY
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_at:
+                self._now = stop_at
+                break
+            self.step()
+        else:
+            if stop_at is not _INFINITY:
+                self._now = stop_at
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run() ended before the awaited event fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        return None

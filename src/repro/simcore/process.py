@@ -1,0 +1,120 @@
+"""Generator-driven simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.kernel import Environment
+
+ProcGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator so that yielded events suspend/resume it.
+
+    A process is itself an :class:`Event` that fires when the generator
+    returns (success, with the return value) or raises (failure). This lets
+    processes wait on each other by yielding the process object.
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, env: "Environment", generator: ProcGen, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off the process via an immediately-scheduled initialization
+        # event so that it starts inside the event loop, not synchronously.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a terminated process is an error; interrupting a
+        process that is waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(lambda _ev: self._do_interrupt(cause))
+        interrupt_ev.succeed()
+
+    def _do_interrupt(self, cause: Any) -> None:
+        if self.triggered:
+            return  # terminated before the interrupt was delivered
+        target = self._target
+        if target is not None and not target.processed:
+            # Detach from the event we were waiting on.
+            try:
+                target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._step(Interrupt(cause), throw=True)
+
+    # -- stepping ------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if throw:
+                if isinstance(value, BaseException):
+                    ev = self.generator.throw(value)
+                else:  # pragma: no cover - defensive
+                    ev = self.generator.throw(SimulationError(repr(value)))
+            else:
+                ev = self.generator.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self.fail(exc)
+            return
+        env._active_process = None
+
+        if not isinstance(ev, Event):
+            # Misuse: feed an error back into the generator on next step.
+            self._step(
+                SimulationError(f"process {self.name!r} yielded non-event {ev!r}"),
+                throw=True,
+            )
+            return
+        if ev.processed:
+            # Already-processed events resume the process on the next tick.
+            relay = Event(env)
+            relay._ok = ev._ok
+            relay._value = ev._value
+            relay.callbacks.append(self._resume)
+            env._schedule(relay)
+            self._target = relay
+        else:
+            ev.callbacks.append(self._resume)
+            self._target = ev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r}>"

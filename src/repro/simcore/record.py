@@ -1,0 +1,67 @@
+"""Structured trace recording for simulations.
+
+Experiments attach a :class:`Trace` to their simulations to collect typed
+rows (time, category, fields) which benchmark harnesses then aggregate into
+the paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded observation."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Trace:
+    """An append-only log of :class:`TraceEvent` rows with simple queries."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, time: float, category: str, **fields: Any) -> TraceEvent:
+        """Append one observation and return it."""
+        ev = TraceEvent(time=time, category=category, fields=dict(fields))
+        self._events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def select(self, category: str, **match: Any) -> List[TraceEvent]:
+        """All events in ``category`` whose fields match ``match``."""
+        out = []
+        for ev in self._events:
+            if ev.category != category:
+                continue
+            if all(ev.fields.get(k) == v for k, v in match.items()):
+                out.append(ev)
+        return out
+
+    def last(self, category: str) -> Optional[TraceEvent]:
+        """Most recent event in ``category``, or ``None``."""
+        for ev in reversed(self._events):
+            if ev.category == category:
+                return ev
+        return None
+
+    def series(self, category: str, x: str, y: str) -> List[tuple]:
+        """Extract an (x, y) series from a category's fields."""
+        return [(ev.fields[x], ev.fields[y]) for ev in self.select(category)]
+
+    def sum(self, category: str, key: str) -> float:
+        """Sum a numeric field over a category."""
+        return float(sum(ev.fields[key] for ev in self.select(category)))

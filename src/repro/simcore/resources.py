@@ -1,0 +1,186 @@
+"""Shared resources: capacity-limited resources, stores, containers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.kernel import Environment
+
+
+class _Request(Event):
+    """Event representing a pending acquisition; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    Usage within a process::
+
+        req = resource.request()
+        yield req
+        ...  # critical section
+        resource.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[_Request] = []
+        self.queue: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> _Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = _Request(self.env, self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Allow releasing a queued (never-granted) request: cancel it.
+            try:
+                self.queue.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release() of a request not held or queued")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of Python objects.
+
+    ``put`` blocks when the store is full (if a capacity was given);
+    ``get`` blocks when it is empty.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires when accepted."""
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event fires with it."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self.items.append(pitem)
+                pev.succeed()
+        elif self._putters:
+            pev, pitem = self._putters.popleft()
+            pev.succeed()
+            ev.succeed(pitem)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A homogeneous quantity (e.g. bytes of buffer, credits) with level."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Withdraw ``amount``; fires when available."""
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amt = self._putters[0]
+                if self._level + amt <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amt
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amt = self._getters[0]
+                if amt <= self._level:
+                    self._getters.popleft()
+                    self._level -= amt
+                    ev.succeed(amt)
+                    progressed = True

@@ -1,0 +1,114 @@
+"""Unit conventions and conversion helpers.
+
+The library's canonical units are:
+
+* **time** — seconds (floats on the simulation clock)
+* **data size** — bytes
+* **bandwidth** — bytes per second
+* **compute** — FLOPs; rates in FLOP/s
+* **power** — watts
+
+The paper mixes GB/s (decimal), GiB/s (binary), Gbps (bits), MiB and TB;
+these helpers keep every conversion explicit so constants lifted from the
+paper stay auditable.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+PiB = 1 << 50
+
+
+def kib(n: float) -> float:
+    """Convert KiB to bytes."""
+    return n * KiB
+
+
+def mib(n: float) -> float:
+    """Convert MiB to bytes."""
+    return n * MiB
+
+
+def gib(n: float) -> float:
+    """Convert GiB to bytes."""
+    return n * GiB
+
+
+def tib(n: float) -> float:
+    """Convert TiB to bytes."""
+    return n * TiB
+
+
+# --- bandwidth --------------------------------------------------------------
+
+
+def gbps(n: float) -> float:
+    """Convert gigabits/s (network line rate) to bytes/s."""
+    return n * 1e9 / 8.0
+
+
+def gBps(n: float) -> float:
+    """Convert decimal gigabytes/s to bytes/s."""
+    return n * GB
+
+
+def giBps(n: float) -> float:
+    """Convert binary gibibytes/s to bytes/s."""
+    return n * GiB
+
+
+def tBps(n: float) -> float:
+    """Convert decimal terabytes/s to bytes/s."""
+    return n * TB
+
+
+def as_gBps(bytes_per_s: float) -> float:
+    """Express a bytes/s figure in decimal GB/s (for report tables)."""
+    return bytes_per_s / GB
+
+
+def as_giBps(bytes_per_s: float) -> float:
+    """Express a bytes/s figure in binary GiB/s (for report tables)."""
+    return bytes_per_s / GiB
+
+
+# --- compute ----------------------------------------------------------------
+
+
+def tflops(n: float) -> float:
+    """Convert TFLOP/s to FLOP/s."""
+    return n * 1e12
+
+
+def as_tflops(flops: float) -> float:
+    """Express FLOP/s in TFLOP/s."""
+    return flops / 1e12
+
+
+# --- time -------------------------------------------------------------------
+
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def us(n: float) -> float:
+    """Convert microseconds to seconds."""
+    return n * US
+
+
+def ms(n: float) -> float:
+    """Convert milliseconds to seconds."""
+    return n * MS

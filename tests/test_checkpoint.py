@@ -1,0 +1,159 @@
+"""Tests for the checkpoint manager on 3FS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt import CheckpointManager
+from repro.errors import CheckpointError
+from repro.fs3 import FS3Client, KVStore, MetaService
+from repro.fs3.storage import StorageCluster
+
+
+@pytest.fixture()
+def client():
+    storage = StorageCluster(n_nodes=3, ssds_per_node=4, replication=2,
+                             targets_per_ssd=2)
+    meta = MetaService(KVStore(), storage.chain_table)
+    return FS3Client(meta, storage)
+
+
+def make_state(seed=0, n=4):
+    rng = np.random.default_rng(seed)
+    return {
+        f"layer{i}.weight": rng.standard_normal((8, 8)).astype(np.float32)
+        for i in range(n)
+    } | {"step_scalar": np.array([seed], dtype=np.int64)}
+
+
+def test_save_load_roundtrip(client):
+    mgr = CheckpointManager(client)
+    state = make_state(1)
+    meta = mgr.save(100, state)
+    assert meta.step == 100
+    loaded = mgr.load(100)
+    assert set(loaded) == set(state)
+    for k in state:
+        np.testing.assert_array_equal(loaded[k], state[k])
+
+
+def test_index_records_offsets_and_sizes(client):
+    mgr = CheckpointManager(client)
+    state = make_state(2)
+    meta = mgr.save(5, state)
+    # Records are sorted by name with contiguous offsets.
+    offset = 0
+    for rec in meta.tensors:
+        assert rec.offset == offset
+        offset += rec.length
+    assert meta.total_bytes == offset
+
+
+def test_load_single_tensor_partial_read(client):
+    mgr = CheckpointManager(client, blob_chunk_bytes=64)
+    state = make_state(3)
+    mgr.save(7, state)
+    one = mgr.load_tensor(7, "layer2.weight")
+    np.testing.assert_array_equal(one, state["layer2.weight"])
+    with pytest.raises(CheckpointError):
+        mgr.load_tensor(7, "ghost.weight")
+
+
+def test_multiple_steps_and_latest(client):
+    mgr = CheckpointManager(client)
+    assert mgr.latest_step() is None
+    mgr.save(10, make_state(1))
+    mgr.save(20, make_state(2))
+    mgr.save(15, make_state(3))
+    assert mgr.steps() == [10, 15, 20]
+    assert mgr.latest_step() == 20
+
+
+def test_periodic_save_policy(client):
+    mgr = CheckpointManager(client, interval=300.0)
+    assert mgr.should_save(now=0.0)  # never saved
+    mgr.save(1, make_state(), now=0.0)
+    assert not mgr.should_save(now=299.0)
+    assert mgr.should_save(now=300.0)
+    assert mgr.max_loss_seconds() == 300.0
+
+
+def test_load_missing_step_raises(client):
+    mgr = CheckpointManager(client)
+    with pytest.raises(CheckpointError):
+        mgr.load(999)
+    with pytest.raises(CheckpointError):
+        mgr.read_meta(999)
+
+
+def test_save_validation(client):
+    mgr = CheckpointManager(client)
+    with pytest.raises(CheckpointError):
+        mgr.save(-1, make_state())
+    with pytest.raises(CheckpointError):
+        mgr.save(0, {})
+    with pytest.raises(CheckpointError):
+        CheckpointManager(client, interval=0)
+    with pytest.raises(CheckpointError):
+        CheckpointManager(client, blob_chunk_bytes=0)
+
+
+def test_recovery_after_storage_node_failure(client):
+    mgr = CheckpointManager(client)
+    state = make_state(4)
+    mgr.save(50, state)
+    client.storage.fail_node("st0")  # mirror replica still serves
+    loaded = mgr.load(50)
+    for k in state:
+        np.testing.assert_array_equal(loaded[k], state[k])
+
+
+def test_mixed_dtypes_preserved(client):
+    mgr = CheckpointManager(client)
+    state = {
+        "fp32": np.ones(3, dtype=np.float32),
+        "fp16": np.ones(3, dtype=np.float16),
+        "int64": np.arange(3, dtype=np.int64),
+        "uint8": np.array([1, 2, 3], dtype=np.uint8),
+    }
+    mgr.save(1, state)
+    loaded = mgr.load(1)
+    for k, v in state.items():
+        assert loaded[k].dtype == v.dtype
+        np.testing.assert_array_equal(loaded[k], v)
+
+
+def test_overwrite_same_step(client):
+    mgr = CheckpointManager(client)
+    mgr.save(1, {"w": np.zeros(4, dtype=np.float32)})
+    mgr.save(1, {"w": np.ones(4, dtype=np.float32)})
+    np.testing.assert_array_equal(mgr.load(1)["w"], np.ones(4, dtype=np.float32))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shapes=st.lists(
+        st.tuples(st.integers(1, 8), st.integers(1, 8)), min_size=1, max_size=5
+    ),
+    seed=st.integers(0, 1000),
+    chunk=st.integers(32, 512),
+)
+def test_property_roundtrip_arbitrary_shapes(shapes, seed, chunk):
+    storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                             targets_per_ssd=1)
+    meta = MetaService(KVStore(), storage.chain_table)
+    client = FS3Client(meta, storage)
+    mgr = CheckpointManager(client, blob_chunk_bytes=chunk)
+    rng = np.random.default_rng(seed)
+    state = {
+        f"t{i}": rng.standard_normal(shape).astype(np.float32)
+        for i, shape in enumerate(shapes)
+    }
+    mgr.save(seed, state)
+    loaded = mgr.load(seed)
+    assert set(loaded) == set(state)
+    for k in state:
+        np.testing.assert_array_equal(loaded[k], state[k])

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "table3" in out
+
+
+def test_single_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Cost-Performance Ratio" in out
+
+
+def test_multiple_experiments(capsys):
+    assert main(["table1", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table IV" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["warp-drive"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown" in err
+
+
+def test_all_experiments_render(capsys):
+    # The default run covers every registered experiment.
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for token in ("Table I", "Table II", "Table III", "Figure 7",
+                  "Figure 9", "Figure 12", "3FS"):
+        assert token in out
+
+
+def test_registry_is_complete():
+    assert len(EXPERIMENTS) == 15

@@ -1,0 +1,231 @@
+"""Tests for executable collectives and the HFReduce/NCCL timing models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    AllreduceConfig,
+    HFReduceModel,
+    NCCLRingModel,
+    hfreduce_allreduce_exec,
+    ring_allreduce_exec,
+    tree_allreduce_exec,
+)
+from repro.collectives.primitives import (
+    pipeline_latency_factor,
+    ring_transmissions_per_byte,
+)
+from repro.errors import CollectiveError
+from repro.numerics import codec_for
+from repro.units import MiB, as_gBps, as_giBps
+
+
+# ---------------------------------------------------------------------------
+# Executable collectives: correctness
+# ---------------------------------------------------------------------------
+
+
+def _rand_buffers(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=size).astype(np.float32) for _ in range(n)]
+
+
+def test_ring_allreduce_exec_matches_sum():
+    bufs = _rand_buffers(6, 50)
+    expected = np.sum(bufs, axis=0)
+    for out in ring_allreduce_exec(bufs):
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-5)
+
+
+def test_ring_allreduce_single_rank():
+    bufs = _rand_buffers(1, 10)
+    out = ring_allreduce_exec(bufs)
+    assert np.array_equal(out[0], bufs[0])
+
+
+def test_tree_allreduce_exec_matches_sum():
+    bufs = _rand_buffers(9, 64, seed=3)
+    expected = np.sum(bufs, axis=0)
+    for out in tree_allreduce_exec(bufs):
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-5)
+
+
+def test_tree_allreduce_odd_buffer_size():
+    bufs = _rand_buffers(4, 7, seed=1)  # half split 3/4
+    expected = np.sum(bufs, axis=0)
+    for out in tree_allreduce_exec(bufs):
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-5)
+
+
+def test_exec_shape_mismatch_raises():
+    with pytest.raises(CollectiveError):
+        ring_allreduce_exec([np.zeros(3, np.float32), np.zeros(4, np.float32)])
+    with pytest.raises(CollectiveError):
+        tree_allreduce_exec([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_nodes=st.integers(1, 6),
+    gpus=st.sampled_from([2, 4, 8]),
+    dtype=st.sampled_from(["fp32", "fp16", "bf16"]),
+    nvlink=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+def test_property_hfreduce_exec_equals_global_sum(n_nodes, gpus, dtype, nvlink, seed):
+    rng = np.random.default_rng(seed)
+    codec = codec_for(dtype)
+    raw = [
+        [rng.uniform(-4, 4, size=24).astype(np.float32) for _ in range(gpus)]
+        for _ in range(n_nodes)
+    ]
+    wire = [[codec.encode(g) for g in node] for node in raw]
+    result = hfreduce_allreduce_exec(wire, dtype=dtype, nvlink=nvlink)
+
+    decoded_inputs = [codec.decode(g).astype(np.float64) for node in wire for g in node]
+    expected = np.sum(decoded_inputs, axis=0)
+    tol = {"fp32": 1e-3, "fp16": 0.5, "bf16": 2.0}[dtype]
+    for node in result:
+        assert len(node) == gpus
+        for g in node:
+            out = codec.decode(g).astype(np.float64)
+            assert np.all(np.abs(out - expected) <= tol)
+
+
+def test_hfreduce_exec_nvlink_same_answer_as_plain():
+    wire = [
+        [np.arange(16, dtype=np.float32) + i * 8 + g for g in range(8)]
+        for i in range(3)
+    ]
+    plain = hfreduce_allreduce_exec(wire, "fp32", nvlink=False)
+    nv = hfreduce_allreduce_exec(wire, "fp32", nvlink=True)
+    np.testing.assert_allclose(plain[0][0], nv[0][0], rtol=1e-6)
+
+
+def test_hfreduce_exec_validation():
+    with pytest.raises(CollectiveError):
+        hfreduce_allreduce_exec([])
+    with pytest.raises(CollectiveError):
+        hfreduce_allreduce_exec([[np.zeros(4, np.float32)], []])
+
+
+# ---------------------------------------------------------------------------
+# Cost primitives
+# ---------------------------------------------------------------------------
+
+
+def test_ring_transmissions_formula():
+    # Section IV-B1: (2n-1)/n units of PCIe bandwidth per byte.
+    assert ring_transmissions_per_byte(2) == pytest.approx(1.5)
+    assert ring_transmissions_per_byte(16) == pytest.approx(31 / 16)
+    with pytest.raises(CollectiveError):
+        ring_transmissions_per_byte(1)
+
+
+def test_pipeline_factor_monotone_in_depth():
+    f1 = pipeline_latency_factor(2, 40, chunk_service_time=1e-3)
+    f2 = pipeline_latency_factor(8, 40, chunk_service_time=1e-3)
+    assert 1.0 < f1 < f2
+    with pytest.raises(CollectiveError):
+        pipeline_latency_factor(-1, 10)
+
+
+def test_allreduce_config_validation():
+    with pytest.raises(CollectiveError):
+        AllreduceConfig(nbytes=0, n_nodes=1)
+    with pytest.raises(CollectiveError):
+        AllreduceConfig(nbytes=1, n_nodes=0)
+    cfg = AllreduceConfig(nbytes=10 * MiB, n_nodes=4)
+    assert cfg.world_size == 32
+    assert cfg.n_chunks == 3  # 10 MiB / 4 MiB
+
+
+# ---------------------------------------------------------------------------
+# HFReduce timing model (Figure 7 reproduction at model level)
+# ---------------------------------------------------------------------------
+
+
+def cfg_for(gpus: int) -> AllreduceConfig:
+    return AllreduceConfig(nbytes=186 * MiB, n_nodes=gpus // 8)
+
+
+def test_hfreduce_band_matches_figure7a():
+    model = HFReduceModel()
+    small = as_gBps(model.bandwidth(cfg_for(16)))
+    large = as_gBps(model.bandwidth(cfg_for(1440)))
+    # Paper: 6.3 - 8.1 GB/s over this range.
+    assert 7.5 <= small <= 8.3
+    assert 6.0 <= large <= 7.5
+    assert large < small
+
+
+def test_hfreduce_beats_nccl_everywhere():
+    hf = HFReduceModel()
+    nc = NCCLRingModel()
+    for gpus in (16, 64, 256, 1024, 1440):
+        assert hf.bandwidth(cfg_for(gpus)) > nc.bandwidth(cfg_for(gpus))
+
+
+def test_nccl_band_matches_figure7a():
+    model = NCCLRingModel()
+    small = as_gBps(model.bandwidth(cfg_for(16)))
+    large = as_gBps(model.bandwidth(cfg_for(1440)))
+    # Paper: 1.6 - 4.8 GB/s.
+    assert 4.3 <= small <= 5.2
+    assert 1.3 <= large <= 2.0
+
+
+def test_hfreduce_nvlink_exceeds_10GBps():
+    model = HFReduceModel(nvlink=True)
+    for gpus in (16, 512, 1440):
+        assert as_gBps(model.bandwidth(cfg_for(gpus))) > 10.0  # Figure 7b
+
+
+def test_hfreduce_terms_match_paper_analysis():
+    model = HFReduceModel()
+    assert as_gBps(model.memory_term()) == pytest.approx(12.0, abs=0.3)
+    # The shared GPU5/6 root port pins the PCIe term at ~8 GB/s.
+    assert as_gBps(model.pcie_term()) == pytest.approx(8.0, abs=0.3)
+    assert as_gBps(model.network_term()) == pytest.approx(12.5)
+
+
+def test_gdrcopy_ablation():
+    with_gdr = HFReduceModel(gdrcopy=True)
+    without = HFReduceModel(gdrcopy=False)
+    assert without.memory_term() < with_gdr.memory_term()
+    # 24x vs 30x memory ops.
+    assert with_gdr.memory_term() / without.memory_term() == pytest.approx(30 / 24)
+
+
+def test_nccl_p2p_cap_is_9GiB():
+    model = NCCLRingModel()
+    assert as_giBps(model.p2p_bandwidth()) == pytest.approx(9.0)
+
+
+def test_model_validation():
+    model = HFReduceModel()
+    with pytest.raises(CollectiveError):
+        model.bandwidth(AllreduceConfig(nbytes=1, n_nodes=1, gpus_per_node=4))
+    nc = NCCLRingModel()
+    with pytest.raises(CollectiveError):
+        nc.bandwidth(AllreduceConfig(nbytes=1, n_nodes=1, gpus_per_node=1))
+
+
+def test_breakdown_reports_all_terms():
+    model = HFReduceModel()
+    br = model.breakdown(cfg_for(64))
+    assert set(br) == {"memory", "pcie", "network", "achieved"}
+    assert br["achieved"] <= min(br["memory"], br["pcie"], br["network"])
+
+
+def test_cross_zone_costs_extra_latency():
+    model = HFReduceModel(zone_gpu_capacity=128)
+    in_zone = model.bandwidth(cfg_for(128))
+    cross = model.bandwidth(cfg_for(256))
+    assert cross < in_zone
+    assert model.crosses_zones(cfg_for(256))
+    assert not model.crosses_zones(cfg_for(128))

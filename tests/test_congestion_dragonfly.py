@@ -1,0 +1,96 @@
+"""Tests for the congestion experiment and the dragonfly comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.experiments import congestion_exp
+from repro.network.dragonfly import compare_with_fat_tree, dragonfly_counts
+
+
+# ---------------------------------------------------------------------------
+# Congestion under mixed traffic (Section VI-A)
+# ---------------------------------------------------------------------------
+
+
+def test_production_config_has_best_straggler():
+    rows = congestion_exp.run()
+    by_name = {r[0]: r[1:] for r in rows}
+    prod = by_name["production (VL + static + RTS)"]
+    for name, vals in by_name.items():
+        if name == "production (VL + static + RTS)":
+            continue
+        assert vals[0] <= prod[0] + 1e-9, name  # straggler never better
+
+
+def test_no_isolation_halves_hfreduce_share():
+    prod = congestion_exp.run_scenario(True, "static", True)
+    noiso = congestion_exp.run_scenario(False, "static", True)
+    assert noiso["hfreduce_min_GBps"] < 0.7 * prod["hfreduce_min_GBps"]
+
+
+def test_adaptive_routing_spreads_congestion():
+    # The paper: adaptive routing under incast "leads to more severe
+    # congestion spread"; the correlated burst collapses onto one spine.
+    prod = congestion_exp.run_scenario(True, "static", True)
+    adaptive = congestion_exp.run_scenario(True, "adaptive", True)
+    assert adaptive["storage_total_GBps"] < 0.3 * prod["storage_total_GBps"]
+    assert adaptive["hfreduce_min_GBps"] < prod["hfreduce_min_GBps"]
+
+
+def test_no_rts_hurts_the_straggler():
+    prod = congestion_exp.run_scenario(True, "static", True)
+    norts = congestion_exp.run_scenario(True, "static", False)
+    assert norts["hfreduce_min_GBps"] < prod["hfreduce_min_GBps"]
+
+
+def test_everything_off_is_worst():
+    rows = congestion_exp.run()
+    worst = rows[-1]
+    assert worst[0] == "everything off"
+    assert worst[1] == min(r[1] for r in rows)
+
+
+def test_congestion_render():
+    out = congestion_exp.render()
+    assert "Section VI-A" in out
+    assert "production" in out
+
+
+# ---------------------------------------------------------------------------
+# Dragonfly (Section III-B's rejected alternative)
+# ---------------------------------------------------------------------------
+
+
+def test_balanced_dragonfly_dimensions_for_qm8700():
+    df = dragonfly_counts(800)
+    # radix 40 -> p = h = 10, a = 20.
+    assert (df.p, df.a, df.h) == (10, 20, 10)
+    assert df.groups == 4  # 200 hosts/group
+    assert df.n_switches == 80
+
+
+def test_dragonfly_half_bisection():
+    df = dragonfly_counts(800)
+    assert df.relative_bisection == pytest.approx(0.5)
+
+
+def test_dragonfly_cost_comparable_but_bisection_inferior():
+    cmp = compare_with_fat_tree(800)
+    # "comparable cost-effectiveness": within ~1.5x on switches/host.
+    ratio = (cmp["dragonfly_switches_per_host"]
+             / cmp["fat_tree_switches_per_host"])
+    assert 0.5 <= ratio <= 1.5
+    # "lack of sufficient bisection bandwidth": half the fat-tree's.
+    assert cmp["dragonfly_relative_bisection"] < cmp["fat_tree_relative_bisection"]
+
+
+def test_dragonfly_scales_far_beyond_two_layer():
+    # A radix-40 dragonfly reaches 201 groups x 200 hosts = 40,200.
+    df = dragonfly_counts(40_000)
+    assert df.groups <= df.max_groups
+    with pytest.raises(TopologyError):
+        dragonfly_counts(50_000)
+    with pytest.raises(TopologyError):
+        dragonfly_counts(0)

@@ -1,0 +1,140 @@
+"""Tests for capex, power, and growth accounting (Tables II-III, Figs 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    cluster_power_watts,
+    co2_tonnes_per_year,
+    compute_demand_series,
+    energy_cost_per_year,
+    gemm_cost_comparison,
+    hardware_scaling_series,
+    memory_gap_series,
+    network_cost_comparison,
+    power_comparison,
+)
+from repro.costmodel.capex import cost_summary
+from repro.costmodel.growth import compute_doubling_months
+from repro.errors import ReproError
+from repro.hardware.node import fire_flyer_node
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+
+def test_table2_rows():
+    ours, dgx = gemm_cost_comparison()
+    assert ours.tf32_tflops == 107 and ours.fp16_tflops == 220
+    assert dgx.tf32_tflops == 131 and dgx.fp16_tflops == 263
+    assert ours.relative_performance == pytest.approx(0.83, abs=0.01)
+    assert dgx.relative_performance == 1.0
+    assert ours.node_relative_price == 0.60
+    # Cost-performance ratio 1.38 vs 1 (Table II).
+    assert ours.cost_performance_ratio == pytest.approx(1.38, abs=0.02)
+    assert dgx.cost_performance_ratio == pytest.approx(1.0)
+    assert ours.power_watts == 2500 and dgx.power_watts == 4200
+
+
+# ---------------------------------------------------------------------------
+# Table III
+# ---------------------------------------------------------------------------
+
+
+def test_table3_switch_counts():
+    ours, pcie3l, dgx = network_cost_comparison()
+    assert ours.n_switches == 122
+    assert pcie3l.n_switches == 200
+    assert dgx.n_switches == 1320
+
+
+def test_table3_prices_match_paper():
+    ours, pcie3l, dgx = network_cost_comparison()
+    assert ours.network_price == pytest.approx(350, abs=5)
+    assert pcie3l.network_price == pytest.approx(600, abs=10)
+    assert dgx.network_price == pytest.approx(4000, abs=100)
+    assert ours.server_price == pytest.approx(11250)
+    assert dgx.server_price == pytest.approx(19000)
+    assert ours.total_price == pytest.approx(11600, rel=0.01)
+    assert dgx.total_price == pytest.approx(23000, rel=0.01)
+
+
+def test_network_saving_vs_three_layer_about_40_percent():
+    ours, pcie3l, _ = network_cost_comparison()
+    saving = 1 - ours.network_price / pcie3l.network_price
+    assert saving == pytest.approx(0.42, abs=0.03)
+
+
+def test_headline_cost_summary():
+    s = cost_summary()
+    # "80% performance at half the cost".
+    assert 0.80 <= s["relative_performance"] <= 0.85
+    assert s["total_price_ratio"] == pytest.approx(0.5, abs=0.02)
+    assert s["cost_performance_ratio"] > 1.3
+
+
+# ---------------------------------------------------------------------------
+# Power / CO2
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_power_just_over_3MW():
+    p = power_comparison()
+    # Paper: "does not exceed 4 MW, approximately just over 3 MW".
+    assert 3.0 < p["fire_flyer_mw"] < 4.0
+    assert p["savings_fraction"] == pytest.approx(0.40, abs=0.05)
+    assert p["fire_flyer_co2_tonnes"] < p["dgx_co2_tonnes"]
+
+
+def test_power_validation():
+    with pytest.raises(ReproError):
+        cluster_power_watts(-1, fire_flyer_node())
+    with pytest.raises(ReproError):
+        energy_cost_per_year(1000.0, pue=0.9)
+
+
+def test_energy_cost_scales_with_pue():
+    base = energy_cost_per_year(1e6, pue=1.0)
+    high = energy_cost_per_year(1e6, pue=1.5)
+    assert high == pytest.approx(1.5 * base)
+
+
+def test_co2_positive_and_scales():
+    assert co2_tonnes_per_year(3.2e6) > 1000  # thousands of tonnes at MW scale
+
+
+# ---------------------------------------------------------------------------
+# Growth figures
+# ---------------------------------------------------------------------------
+
+
+def test_fig1_compute_growth_is_exponential():
+    pts = compute_demand_series()
+    assert pts[0][0] == "AlexNet"
+    vals = [c for _, _, c in pts]
+    assert vals == sorted(vals)  # monotone growth
+    # Doubling time well under Moore's-law 24 months.
+    assert compute_doubling_months() < 12.0
+
+
+def test_fig2_scaling_series():
+    series = hardware_scaling_series(years=10)
+    assert set(series) == {
+        "hw_flops", "dram_bandwidth", "interconnect_bandwidth", "model_demand"
+    }
+    # After 10 years: FLOPS 3^5 = 243x; interconnect only 1.4^5 ~ 5.4x.
+    assert series["hw_flops"][-1][1] == pytest.approx(243.0)
+    assert series["interconnect_bandwidth"][-1][1] == pytest.approx(5.38, abs=0.01)
+    # The widening gap: demand outgrows every hardware curve.
+    assert series["model_demand"][-1][1] > series["hw_flops"][-1][1]
+    with pytest.raises(ReproError):
+        hardware_scaling_series(years=0)
+
+
+def test_fig3_memory_gap_widens():
+    gaps = memory_gap_series()
+    assert gaps[0][1] < 1.0  # early models fit on one GPU
+    assert gaps[-1][1] > 10.0  # LLMs exceed any single accelerator

@@ -1,0 +1,158 @@
+"""CRAQ under failures injected mid-write: consistency properties.
+
+These are the hardest invariants of the storage layer, checked with
+hypothesis driving random interleavings of protocol steps, reads, and
+replica failures:
+
+* a read never returns a value that was not previously written,
+* committed versions are monotone — once version v is readable, no read
+  returns an older committed version,
+* after a write completes, all alive replicas agree,
+* recovery never resurrects stale data.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FS3NotFound, FS3Unavailable
+from repro.fs3 import CraqChain, StorageTarget
+
+
+def make_chain(n=3):
+    return CraqChain(
+        [StorageTarget(f"t{i}", f"node{i}", 0) for i in range(n)]
+    )
+
+
+def test_read_during_failed_tail_returns_committed():
+    chain = make_chain(3)
+    chain.write("c", b"v1")
+    op = chain.start_write("c", b"v2")
+    op.step()  # head dirty
+    chain.fail_replica(2)  # tail dies mid-write
+    # Replica 1 is now the tail; v2 never committed, so reads say v1.
+    assert chain.read("c", replica_index=0) == b"v1"
+    assert chain.read("c", replica_index=1) == b"v1"
+
+
+def test_write_completes_after_tail_failover():
+    chain = make_chain(3)
+    chain.write("c", b"v1")
+    chain.fail_replica(2)
+    v = chain.write("c", b"v2")  # new tail commits
+    assert chain.read("c") == b"v2"
+    chain.recover_replica(2)
+    # Recovery syncs the committed v2, not the stale v1.
+    assert chain.read("c", replica_index=2) == b"v2"
+    assert chain.committed_version("c") == v
+
+
+def test_recover_during_inflight_write_rejected():
+    from repro.errors import FS3Conflict
+
+    chain = make_chain(3)
+    chain.write("c", b"v1")
+    chain.fail_replica(1)
+    op = chain.start_write("c", b"v2")
+    op.step()
+    with pytest.raises(FS3Conflict):
+        chain.recover_replica(1)  # must quiesce first
+    op.run()
+    chain.recover_replica(1)  # fine once quiesced
+    assert chain.read("c", replica_index=1) == b"v2"
+
+
+def test_recovered_replica_never_serves_stale():
+    chain = make_chain(2)
+    chain.write("c", b"old")
+    chain.fail_replica(0)
+    chain.write("c", b"new")
+    chain.recover_replica(0)
+    for i in (0, 1):
+        assert chain.read("c", replica_index=i) == b"new"
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.binary(min_size=1, max_size=8)),
+        st.tuples(st.just("partial_write"), st.binary(min_size=1, max_size=8)),
+        st.tuples(st.just("read"), st.none()),
+        st.tuples(st.just("fail"), st.integers(0, 2)),
+        st.tuples(st.just("recover"), st.integers(0, 2)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops)
+def test_property_craq_linearizable_reads(sequence):
+    chain = make_chain(3)
+    written = set()  # every payload ever handed to a write
+    committed_floor = 0  # latest version a read has proven committed
+    alive = {0, 1, 2}
+    pending = []  # unfinished WriteOps
+
+    for kind, arg in sequence:
+        if kind == "write" and len(alive) >= 1:
+            try:
+                chain.write("c", arg)
+                written.add(bytes(arg))
+            except FS3Unavailable:
+                pass
+        elif kind == "partial_write" and len(alive) >= 1:
+            try:
+                op = chain.start_write("c", arg)
+                op.step()  # leave it dangling (dirty at the head)
+                written.add(bytes(arg))
+                pending.append(op)
+            except FS3Unavailable:
+                pass
+        elif kind == "read":
+            try:
+                data = chain.read("c")
+            except (FS3NotFound, FS3Unavailable):
+                continue
+            # 1. Never fabricated.
+            assert data in written
+            # 2. Monotone committed versions.
+            v = chain.committed_version("c")
+            if v is not None:
+                assert v >= committed_floor
+                committed_floor = v
+        elif kind == "fail":
+            if arg in alive and len(alive) > 1:
+                chain.fail_replica(arg)
+                alive.remove(arg)
+        elif kind == "recover":
+            if arg not in alive:
+                # Membership change: the manager quiesces in-flight
+                # writes before re-adding the replica.
+                for op in pending:
+                    while not op.done:
+                        op.step()
+                pending.clear()
+                chain.recover_replica(arg)
+                alive.add(arg)
+
+    # Quiesce: finish every dangling write whose route is still sane.
+    final = None
+    for op in pending:
+        try:
+            while not op.done:
+                op.step()
+            final = op
+        except Exception:
+            pass
+    # After quiescing, all alive replicas agree on the committed value.
+    try:
+        reference = chain.read("c", replica_index=chain.alive_indices()[0])
+    except FS3NotFound:
+        return
+    for i in chain.alive_indices():
+        assert chain.read("c", replica_index=i) == reference
+    assert reference in written

@@ -1,0 +1,106 @@
+"""Tests for the DES-based models: HFReduce chunk pipeline, RTS tradeoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import AllreduceConfig, HFReduceModel
+from repro.collectives.des_pipeline import HFReduceDesSim
+from repro.errors import CollectiveError, FS3Error
+from repro.fs3.rts_sim import RtsStats, rts_tradeoff, simulate_policy
+from repro.units import MiB, as_gBps
+
+
+# ---------------------------------------------------------------------------
+# HFReduce DES pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_des_bandwidth_in_figure7_band():
+    sim = HFReduceDesSim()
+    cfg = AllreduceConfig(nbytes=186 * MiB, n_nodes=8)
+    res = sim.run(cfg)
+    assert 6.5 <= as_gBps(res.bandwidth) <= 8.3
+    assert res.n_chunks == cfg.n_chunks
+
+
+@pytest.mark.parametrize("n_nodes", [2, 8, 64, 180])
+def test_des_cross_validates_analytic_model(n_nodes):
+    """The independent DES and the analytic model must agree within 10%."""
+    cfg = AllreduceConfig(nbytes=186 * MiB, n_nodes=n_nodes)
+    des = HFReduceDesSim().run(cfg).bandwidth
+    analytic = HFReduceModel().bandwidth(cfg)
+    assert des == pytest.approx(analytic, rel=0.10)
+
+
+def test_des_single_node_faster_than_multinode():
+    small = HFReduceDesSim().run(AllreduceConfig(nbytes=64 * MiB, n_nodes=1))
+    big = HFReduceDesSim().run(AllreduceConfig(nbytes=64 * MiB, n_nodes=64))
+    assert small.bandwidth > big.bandwidth
+
+
+def test_des_more_chunks_amortize_fill():
+    coarse = HFReduceDesSim().run(
+        AllreduceConfig(nbytes=64 * MiB, n_nodes=32, chunk_bytes=32 * MiB)
+    )
+    fine = HFReduceDesSim().run(
+        AllreduceConfig(nbytes=64 * MiB, n_nodes=32, chunk_bytes=2 * MiB)
+    )
+    assert fine.bandwidth > coarse.bandwidth
+
+
+def test_des_validates_gpu_count():
+    sim = HFReduceDesSim()
+    with pytest.raises(CollectiveError):
+        sim.run(AllreduceConfig(nbytes=MiB, n_nodes=2, gpus_per_node=4))
+
+
+# ---------------------------------------------------------------------------
+# RTS tradeoff DES
+# ---------------------------------------------------------------------------
+
+
+def test_rts_policy_stats_structure():
+    stats = simulate_policy("rts", n_senders=16, window=4)
+    assert isinstance(stats, RtsStats)
+    assert len(stats.completions) == 16
+    assert stats.goodput > 0
+    assert stats.p99_latency >= stats.mean_latency
+
+
+def test_rts_matches_ideal_throughput():
+    t = rts_tradeoff(n_senders=64, window=8)
+    # The admission window is work-conserving: same goodput as the fluid
+    # ideal (the client link is saturated either way).
+    assert t["rts"].goodput == pytest.approx(t["ideal"].goodput, rel=1e-6)
+
+
+def test_no_rts_loses_throughput():
+    t = rts_tradeoff(n_senders=64, window=8)
+    assert t["no_rts"].goodput < 0.7 * t["rts"].goodput
+
+
+def test_rts_increases_tail_latency_vs_ideal_mean():
+    # The paper's stated cost: early transfers finish fast, but the last
+    # admitted batch waits — p99 latency equals the makespan, while the
+    # ideal finishes everything simultaneously.
+    t = rts_tradeoff(n_senders=64, window=8)
+    assert t["rts"].p99_latency == pytest.approx(t["rts"].makespan)
+    assert t["rts"].mean_latency < t["ideal"].mean_latency  # batching helps the mean
+    assert t["rts"].completions[0] < t["ideal"].completions[0]
+
+
+def test_rts_small_fanin_no_penalty():
+    # Fan-in within the window: all three policies identical.
+    t = rts_tradeoff(n_senders=8, window=8)
+    assert t["no_rts"].goodput == pytest.approx(t["ideal"].goodput)
+    assert t["rts"].goodput == pytest.approx(t["ideal"].goodput)
+
+
+def test_rts_policy_validation():
+    with pytest.raises(FS3Error):
+        simulate_policy("magic")
+    with pytest.raises(FS3Error):
+        simulate_policy("rts", n_senders=0)
+    with pytest.raises(FS3Error):
+        simulate_policy("rts", window=0)

@@ -1,0 +1,118 @@
+"""Tests for the weighted max-min fair allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairshare import Constraint, bottleneck_throughput, maxmin_rates
+
+
+def test_single_link_equal_split():
+    rates = maxmin_rates(["a", "b"], [Constraint(10.0, {"a", "b"})])
+    assert rates == {"a": pytest.approx(5.0), "b": pytest.approx(5.0)}
+
+
+def test_weighted_split():
+    rates = maxmin_rates(
+        ["a", "b"],
+        [Constraint(12.0, {"a", "b"})],
+        weights={"a": 2.0, "b": 1.0},
+    )
+    assert rates["a"] == pytest.approx(8.0)
+    assert rates["b"] == pytest.approx(4.0)
+
+
+def test_classic_three_flow_maxmin():
+    # Two links: L1 (cap 10) carries f1,f2; L2 (cap 4) carries f2,f3.
+    # Max-min: f2,f3 bottlenecked at 2 on L2; f1 takes the rest of L1 = 8.
+    cons = [
+        Constraint(10.0, {"f1", "f2"}, name="L1"),
+        Constraint(4.0, {"f2", "f3"}, name="L2"),
+    ]
+    rates = maxmin_rates(["f1", "f2", "f3"], cons)
+    assert rates["f2"] == pytest.approx(2.0)
+    assert rates["f3"] == pytest.approx(2.0)
+    assert rates["f1"] == pytest.approx(8.0)
+
+
+def test_demand_caps_flow():
+    rates = maxmin_rates(
+        ["a", "b"],
+        [Constraint(10.0, {"a", "b"})],
+        demands={"a": 1.0},
+    )
+    assert rates["a"] == pytest.approx(1.0)
+    assert rates["b"] == pytest.approx(9.0)
+
+
+def test_unconstrained_flow_is_infinite():
+    rates = maxmin_rates(["lonely"], [])
+    assert rates["lonely"] == float("inf")
+
+
+def test_zero_weight_rejected():
+    with pytest.raises(ValueError):
+        maxmin_rates(["a"], [Constraint(1.0, {"a"})], weights={"a": 0.0})
+
+
+def test_nonpositive_capacity_rejected():
+    with pytest.raises(ValueError):
+        Constraint(0.0, {"a"})
+
+
+def test_bottleneck_throughput_sums_finite():
+    cons = [Constraint(6.0, {"a", "b", "c"})]
+    assert bottleneck_throughput(["a", "b", "c"], cons) == pytest.approx(6.0)
+
+
+def test_constraint_with_foreign_members_ignored():
+    # Constraints may mention flows not in this allocation round.
+    cons = [Constraint(10.0, {"a", "ghost"})]
+    rates = maxmin_rates(["a"], cons)
+    assert rates["a"] == pytest.approx(10.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_flows=st.integers(min_value=1, max_value=8),
+    caps=st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_no_constraint_violated_and_work_conserving(n_flows, caps, seed):
+    import random
+
+    rng = random.Random(seed)
+    flows = [f"f{i}" for i in range(n_flows)]
+    cons = []
+    for j, cap in enumerate(caps):
+        members = {f for f in flows if rng.random() < 0.6}
+        if not members:
+            members = {rng.choice(flows)}
+        cons.append(Constraint(cap, members, name=f"c{j}"))
+    # Ensure every flow is covered so no infinities appear.
+    cons.append(Constraint(1000.0, set(flows), name="cover"))
+
+    rates = maxmin_rates(flows, cons)
+
+    # 1. Feasibility: no constraint exceeded.
+    for c in cons:
+        used = sum(rates[f] for f in c.members if f in rates)
+        assert used <= c.capacity * (1 + 1e-9) + 1e-9
+
+    # 2. All rates positive.
+    assert all(r > 0 for r in rates.values())
+
+    # 3. Work conservation / Pareto efficiency: every flow is blocked by at
+    #    least one (approximately) saturated constraint it belongs to.
+    for f in flows:
+        saturated = False
+        for c in cons:
+            if f not in c.members:
+                continue
+            used = sum(rates[g] for g in c.members if g in rates)
+            if used >= c.capacity * (1 - 1e-6):
+                saturated = True
+                break
+        assert saturated, f"flow {f} could be increased"

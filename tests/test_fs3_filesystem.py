@@ -1,0 +1,333 @@
+"""Tests for the meta service, storage cluster, client, RTS, and 3FS-KV."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FS3Error, FS3Exists, FS3NotFound, FS3Unavailable
+from repro.fs3 import (
+    FS3Client,
+    FS3KV,
+    InodeType,
+    KVStore,
+    ManagerGroup,
+    MessageQueue,
+    MetaService,
+    ObjectStore,
+    RequestToSend,
+)
+from repro.fs3.rts import schedule_transfers
+from repro.fs3.storage import StorageCluster
+
+
+@pytest.fixture()
+def fs():
+    """A small but fully wired 3FS instance."""
+    storage = StorageCluster(n_nodes=3, ssds_per_node=4, replication=2,
+                             targets_per_ssd=2)
+    meta = MetaService(KVStore(), storage.chain_table)
+    managers = ManagerGroup(["m0", "m1", "m2"])
+    return FS3Client(meta, storage, managers=managers)
+
+
+# ---------------------------------------------------------------------------
+# Meta service
+# ---------------------------------------------------------------------------
+
+
+def test_mkdir_and_readdir(fs):
+    fs.mkdir("/data")
+    fs.mkdir("/data/train")
+    assert fs.listdir("/") == ["data"]
+    assert fs.listdir("/data") == ["train"]
+
+
+def test_makedirs_creates_ancestors(fs):
+    fs.makedirs("/a/b/c")
+    assert fs.exists("/a/b/c")
+    fs.makedirs("/a/b/c")  # idempotent
+
+
+def test_mkdir_duplicate_raises(fs):
+    fs.mkdir("/x")
+    with pytest.raises(FS3Exists):
+        fs.mkdir("/x")
+
+
+def test_resolve_missing_path(fs):
+    with pytest.raises(FS3NotFound):
+        fs.stat("/missing/file")
+
+
+def test_relative_path_rejected(fs):
+    with pytest.raises(FS3Error):
+        fs.stat("relative/path")
+
+
+def test_invalid_names_rejected(fs):
+    meta = fs.meta
+    with pytest.raises(FS3Error):
+        meta.mkdir("/..")
+
+
+def test_stat_reports_inode_fields(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/f", b"hello world")
+    ino = fs.stat("/d/f")
+    assert ino.itype is InodeType.FILE
+    assert ino.size == 11
+    assert ino.stripe >= 1
+    assert fs.stat("/d").itype is InodeType.DIR
+
+
+def test_unlink_and_rmdir(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/f", b"x")
+    with pytest.raises(FS3Error):
+        fs.meta.rmdir("/d")  # not empty
+    fs.unlink("/d/f")
+    assert not fs.exists("/d/f")
+    fs.meta.rmdir("/d")
+    assert not fs.exists("/d")
+    with pytest.raises(FS3Error):
+        fs.unlink("/")  # cannot unlink root
+
+
+def test_rename(fs):
+    fs.mkdir("/a")
+    fs.mkdir("/b")
+    fs.write_file("/a/f", b"payload")
+    fs.rename("/a/f", "/b/g")
+    assert not fs.exists("/a/f")
+    assert fs.read_file("/b/g") == b"payload"
+    fs.write_file("/a/h", b"other")
+    with pytest.raises(FS3Exists):
+        fs.rename("/a/h", "/b/g")
+
+
+def test_files_get_distinct_chain_offsets(fs):
+    fs.mkdir("/d")
+    i1 = fs.write_file("/d/f1", b"x")
+    i2 = fs.write_file("/d/f2", b"y")
+    assert i1.chain_offset != i2.chain_offset  # round-robin placement
+
+
+# ---------------------------------------------------------------------------
+# Data path
+# ---------------------------------------------------------------------------
+
+
+def test_write_read_roundtrip_small(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/f", b"the quick brown fox")
+    assert fs.read_file("/d/f") == b"the quick brown fox"
+
+
+def test_write_read_multi_chunk(fs):
+    fs.mkdir("/d")
+    data = bytes(range(256)) * 1000  # 256 KB
+    fs.write_file("/d/big", data, chunk_bytes=10_000)
+    assert fs.stat("/d/big").chunk_count() == 26
+    assert fs.read_file("/d/big") == data
+
+
+def test_overwrite_replaces_content(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/f", b"version one is long")
+    fs.write_file("/d/f", b"v2")
+    assert fs.read_file("/d/f") == b"v2"
+    assert fs.stat("/d/f").size == 2
+
+
+def test_empty_file(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/empty", b"")
+    assert fs.read_file("/d/empty") == b""
+    assert fs.stat("/d/empty").chunk_count() == 0
+
+
+def test_read_directory_raises(fs):
+    fs.mkdir("/d")
+    with pytest.raises(FS3Error):
+        fs.read_file("/d")
+    with pytest.raises(FS3Error):
+        fs.write_file("/d", b"x")
+
+
+def test_chunks_spread_over_stripe_chains(fs):
+    fs.mkdir("/d")
+    data = b"z" * 50_000
+    inode = fs.write_file("/d/f", data, chunk_bytes=10_000, stripe=3)
+    chains = {fs.meta.chain_for_chunk(inode, i) for i in range(5)}
+    assert len(chains) == 3  # stripe width
+
+
+def test_batch_write_and_read(fs):
+    fs.mkdir("/ckpt")
+    items = {f"/ckpt/t{i}": bytes([i]) * 100 for i in range(8)}
+    inodes = fs.batch_write(items)
+    assert len(inodes) == 8
+    back = fs.batch_read(sorted(items))
+    assert back == items
+
+
+def test_storage_replication_survives_node_failure(fs):
+    fs.mkdir("/d")
+    data = b"durable" * 1000
+    fs.write_file("/d/f", data)
+    dropped = fs.storage.fail_node("st0")
+    assert dropped > 0
+    assert fs.read_file("/d/f") == data  # mirror copy serves reads
+
+
+def test_storage_node_recovery_resyncs(fs):
+    fs.mkdir("/d")
+    fs.storage.fail_node("st1")
+    fs.write_file("/d/f", b"written while st1 down")
+    recovered = fs.storage.recover_node("st1")
+    assert recovered > 0
+    assert fs.read_file("/d/f") == b"written while st1 down"
+
+
+def test_storage_unknown_node(fs):
+    with pytest.raises(FS3Unavailable):
+        fs.storage.fail_node("ghost")
+    with pytest.raises(FS3Unavailable):
+        fs.storage.recover_node("ghost")
+
+
+def test_storage_accounting_and_balance(fs):
+    fs.mkdir("/d")
+    for i in range(12):
+        fs.write_file(f"/d/f{i}", bytes(1000))
+    # Replication 2: every byte stored twice.
+    assert fs.storage.total_used_bytes() == 2 * 12 * 1000
+    assert fs.storage.balance_ratio() < 2.0
+
+
+def test_manager_failover_keeps_fs_usable(fs):
+    fs.managers.fail("m0")
+    assert fs.managers.primary == "m1"
+    fs.mkdir("/still-works")
+    assert fs.exists("/still-works")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=5000),
+    chunk=st.integers(min_value=64, max_value=2048),
+)
+def test_property_roundtrip_any_size_and_chunking(data, chunk):
+    storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                             targets_per_ssd=1)
+    meta = MetaService(KVStore(), storage.chain_table)
+    client = FS3Client(meta, storage)
+    client.mkdir("/p")
+    client.write_file("/p/f", data, chunk_bytes=chunk)
+    assert client.read_file("/p/f") == data
+
+
+# ---------------------------------------------------------------------------
+# Request-to-send
+# ---------------------------------------------------------------------------
+
+
+def test_rts_window_grants_and_queues():
+    rts = RequestToSend(max_concurrent_senders=2)
+    assert rts.request("s0")
+    assert rts.request("s1")
+    assert not rts.request("s2")  # window full
+    assert rts.in_flight == 2
+    assert rts.queued == 1
+    nxt = rts.release("s0")
+    assert nxt == "s2"  # FIFO admission
+    assert rts.in_flight == 2
+    assert rts.peak_concurrency == 2
+
+
+def test_rts_never_exceeds_window():
+    rts = RequestToSend(max_concurrent_senders=3)
+    for i in range(10):
+        rts.request(f"s{i}")
+    assert rts.in_flight == 3
+    assert rts.peak_concurrency == 3
+    for s in list(rts.granted_senders()):
+        rts.release(s)
+    assert rts.in_flight == 3  # queue refilled the window
+
+
+def test_rts_validation():
+    with pytest.raises(FS3Error):
+        RequestToSend(0)
+    rts = RequestToSend(1)
+    rts.request("a")
+    with pytest.raises(FS3Error):
+        rts.request("a")  # duplicate
+    with pytest.raises(FS3Error):
+        rts.release("never-granted")
+
+
+def test_rts_schedule_transfers_batches():
+    starts = schedule_transfers(n_transfers=7, transfer_time=2.0, window=3)
+    assert starts == [0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 4.0]
+    with pytest.raises(FS3Error):
+        schedule_transfers(-1, 1.0, 1)
+
+
+# ---------------------------------------------------------------------------
+# 3FS-KV models
+# ---------------------------------------------------------------------------
+
+
+def test_kv_model_put_get_delete(fs):
+    kv = FS3KV(fs, "cache")
+    kv.put("prompt:123", b"cached context")
+    assert kv.get("prompt:123") == b"cached context"
+    assert kv.contains("prompt:123")
+    kv.delete("prompt:123")
+    assert not kv.contains("prompt:123")
+
+
+def test_kv_model_read_write_separation(fs):
+    rw = FS3KV(fs, "cache")
+    rw.put("k", b"v")
+    ro = FS3KV(fs, "cache", read_only=True)
+    assert ro.get("k") == b"v"
+    with pytest.raises(FS3Error):
+        ro.put("k", b"nope")
+    with pytest.raises(FS3Error):
+        ro.delete("k")
+
+
+def test_kv_model_weird_keys(fs):
+    kv = FS3KV(fs, "ns")
+    for key in ("a/b/c", "with space", "ünïcode", "x" * 200):
+        kv.put(key, key.encode())
+    for key in ("a/b/c", "with space", "ünïcode", "x" * 200):
+        assert kv.get(key) == key.encode()
+
+
+def test_message_queue_fifo(fs):
+    mq = MessageQueue(fs, "jobs")
+    mq.put(b"first")
+    mq.put(b"second")
+    assert len(mq) == 2
+    assert mq.get() == b"first"
+    assert mq.get() == b"second"
+    assert len(mq) == 0
+    with pytest.raises(FS3NotFound):
+        mq.get()
+
+
+def test_object_store(fs):
+    obj = ObjectStore(fs)
+    obj.create_bucket("models")
+    obj.put_object("models", "weights.bin", b"\x00\x01")
+    assert obj.get_object("models", "weights.bin") == b"\x00\x01"
+    assert len(obj.list_objects("models")) == 1
+    obj.delete_object("models", "weights.bin")
+    assert obj.list_objects("models") == []
+    with pytest.raises(FS3NotFound):
+        obj.put_object("ghost-bucket", "k", b"")

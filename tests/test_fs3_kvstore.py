@@ -1,0 +1,400 @@
+"""Tests for the KV store, cluster manager, chains, and CRAQ protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FS3Conflict, FS3Error, FS3NotFound, FS3Unavailable
+from repro.fs3 import (
+    ChainTable,
+    ClusterManager,
+    CraqChain,
+    KVStore,
+    ManagerGroup,
+    StorageTarget,
+)
+from repro.fs3.chain import build_chain_table
+
+
+# ---------------------------------------------------------------------------
+# KVStore
+# ---------------------------------------------------------------------------
+
+
+def test_kv_put_get_roundtrip():
+    kv = KVStore()
+    v1 = kv.put("a", 1)
+    got = kv.get("a")
+    assert got.value == 1
+    assert got.version == v1
+
+
+def test_kv_versions_increase():
+    kv = KVStore()
+    v1 = kv.put("a", 1)
+    v2 = kv.put("a", 2)
+    assert v2 > v1
+    assert kv.get("a").value == 2
+
+
+def test_kv_get_missing_raises():
+    kv = KVStore()
+    with pytest.raises(FS3NotFound):
+        kv.get("ghost")
+    assert kv.get_or_none("ghost") is None
+
+
+def test_kv_put_if_absent():
+    kv = KVStore()
+    kv.put_if_absent("a", 1)
+    with pytest.raises(FS3Conflict):
+        kv.put_if_absent("a", 2)
+
+
+def test_kv_cas_success_and_conflict():
+    kv = KVStore()
+    v1 = kv.put("a", 1)
+    v2 = kv.cas("a", 2, expected_version=v1)
+    assert kv.get("a").value == 2
+    with pytest.raises(FS3Conflict):
+        kv.cas("a", 3, expected_version=v1)  # stale version
+    with pytest.raises(FS3NotFound):
+        kv.cas("ghost", 1, expected_version=1)
+
+
+def test_kv_delete():
+    kv = KVStore()
+    kv.put("a", 1)
+    kv.delete("a")
+    assert "a" not in kv
+    with pytest.raises(FS3NotFound):
+        kv.delete("a")
+
+
+def test_kv_scan_prefix_ordered():
+    kv = KVStore()
+    for k in ("dir/2", "dir/1", "dir/10", "other/x"):
+        kv.put(k, k)
+    keys = [k for k, _ in kv.scan("dir/")]
+    assert keys == ["dir/1", "dir/10", "dir/2"]  # lexicographic
+    assert [k for k, _ in kv.scan("dir/", limit=2)] == ["dir/1", "dir/10"]
+
+
+def test_kv_snapshot():
+    kv = KVStore()
+    kv.put("a", 1)
+    kv.put("b", 2)
+    assert kv.snapshot() == {"a": 1, "b": 2}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=8), st.integers()), max_size=40))
+def test_kv_property_matches_dict(ops):
+    kv = KVStore()
+    ref = {}
+    for key, val in ops:
+        kv.put(key, val)
+        ref[key] = val
+    assert kv.snapshot() == ref
+    assert len(kv) == len(ref)
+
+
+# ---------------------------------------------------------------------------
+# Cluster manager
+# ---------------------------------------------------------------------------
+
+
+def test_manager_heartbeat_lifecycle():
+    cm = ClusterManager("m0", heartbeat_timeout=5.0)
+    cm.register("storage@st0", "storage", "st0", now=0.0)
+    cm.heartbeat("storage@st0", now=3.0)
+    assert cm.sweep(now=7.0) == []  # heartbeat at 3, timeout 5 -> alive at 7
+    assert cm.sweep(now=9.0) == ["storage@st0"]
+    assert not cm.lookup("storage@st0").alive
+    # A late heartbeat revives it.
+    cm.heartbeat("storage@st0", now=10.0)
+    assert cm.lookup("storage@st0").alive
+
+
+def test_manager_config_version_changes_on_events():
+    cm = ClusterManager("m0", heartbeat_timeout=1.0)
+    v0 = cm.config_version
+    cm.register("meta@a", "meta", "a", now=0.0)
+    assert cm.config_version > v0
+    v1 = cm.config_version
+    cm.sweep(now=10.0)
+    assert cm.config_version > v1
+
+
+def test_manager_service_filters():
+    cm = ClusterManager("m0")
+    cm.register("meta@a", "meta", "a", now=0.0)
+    cm.register("storage@b", "storage", "b", now=0.0)
+    assert [s.service_id for s in cm.services("meta")] == ["meta@a"]
+    assert len(cm.services()) == 2
+
+
+def test_manager_validation():
+    cm = ClusterManager("m0")
+    with pytest.raises(FS3Unavailable):
+        cm.heartbeat("ghost", now=0.0)
+    with pytest.raises(FS3Unavailable):
+        cm.register("x", "mystery", "n", now=0.0)
+    with pytest.raises(FS3Unavailable):
+        ClusterManager("m0", heartbeat_timeout=0)
+
+
+def test_manager_group_primary_election():
+    grp = ManagerGroup(["m2", "m0", "m1"])
+    assert grp.primary == "m0"  # lowest id
+    grp.fail("m0")
+    assert grp.primary == "m1"
+    grp.fail("m1")
+    assert grp.primary == "m2"
+    grp.recover("m0")
+    assert grp.primary == "m0"  # deterministic election
+    grp.fail("m0")
+    grp.fail("m2")
+    with pytest.raises(FS3Unavailable):
+        _ = grp.primary
+
+
+def test_manager_group_validation():
+    with pytest.raises(FS3Unavailable):
+        ManagerGroup([])
+    with pytest.raises(FS3Unavailable):
+        ManagerGroup(["a", "a"])
+    grp = ManagerGroup(["a"])
+    with pytest.raises(FS3Unavailable):
+        grp.fail("ghost")
+
+
+# ---------------------------------------------------------------------------
+# Chain table
+# ---------------------------------------------------------------------------
+
+
+def _tgt(i, node, ssd=0):
+    return StorageTarget(target_id=f"t{i}", node=node, ssd_index=ssd)
+
+
+def test_chain_table_basics():
+    ct = ChainTable([
+        [_tgt(0, "a"), _tgt(1, "b")],
+        [_tgt(2, "b"), _tgt(3, "c")],
+        [_tgt(4, "c"), _tgt(5, "a")],
+    ])
+    assert len(ct) == 3
+    assert ct.replication == 2
+    assert ct.chains_for_file(offset=1, stripe=2) == [1, 2]
+    assert ct.chains_for_file(offset=2, stripe=2) == [2, 0]  # wraps
+
+
+def test_chain_for_chunk_round_robins_over_stripe():
+    ct = ChainTable([
+        [_tgt(0, "a"), _tgt(1, "b")],
+        [_tgt(2, "b"), _tgt(3, "c")],
+        [_tgt(4, "c"), _tgt(5, "a")],
+    ])
+    idxs = [ct.chain_for_chunk(offset=0, stripe=2, chunk_index=i) for i in range(4)]
+    assert idxs == [0, 1, 0, 1]
+
+
+def test_chain_table_validation():
+    with pytest.raises(FS3Error):
+        ChainTable([])
+    with pytest.raises(FS3Error):
+        ChainTable([[_tgt(0, "a")], [_tgt(1, "a"), _tgt(2, "b")]])  # ragged
+    with pytest.raises(FS3Error):
+        ChainTable([[_tgt(0, "a"), _tgt(1, "a")]])  # same node twice
+    ct = ChainTable([[_tgt(0, "a"), _tgt(1, "b")]])
+    with pytest.raises(FS3Error):
+        ct.chains_for_file(0, stripe=0)
+    with pytest.raises(FS3Error):
+        ct.chains_for_file(0, stripe=9)
+    with pytest.raises(FS3Error):
+        ct.chain_for_chunk(0, 1, -1)
+
+
+def test_build_chain_table_spreads_targets_over_ssds():
+    ct = build_chain_table(["st0", "st1", "st2"], ssds_per_node=4,
+                           replication=2, targets_per_ssd=2)
+    # 3 nodes x 4 SSDs x 2 targets = 24 targets -> 12 chains.
+    assert len(ct) == 12
+    counts = ct.targets_per_ssd()
+    assert all(c >= 1 for c in counts.values())
+    # Replicas always on distinct nodes (validated by construction).
+
+
+def test_build_chain_table_validation():
+    with pytest.raises(FS3Error):
+        build_chain_table(["only"], replication=2)
+
+
+# ---------------------------------------------------------------------------
+# CRAQ protocol
+# ---------------------------------------------------------------------------
+
+
+def make_chain(n=3):
+    return CraqChain([_tgt(i, f"node{i}") for i in range(n)])
+
+
+def test_craq_write_then_read_any_replica():
+    chain = make_chain(3)
+    chain.write("c0", b"hello")
+    for i in range(3):
+        assert chain.read("c0", replica_index=i) == b"hello"
+
+
+def test_craq_versions_monotonic():
+    chain = make_chain(2)
+    v1 = chain.write("c0", b"one")
+    v2 = chain.write("c0", b"two")
+    assert v2 > v1
+    assert chain.read("c0") == b"two"
+    assert chain.committed_version("c0") == v2
+
+
+def test_craq_read_missing_chunk():
+    chain = make_chain(2)
+    with pytest.raises(FS3NotFound):
+        chain.read("ghost")
+
+
+def test_craq_dirty_read_goes_to_tail():
+    chain = make_chain(3)
+    chain.write("c0", b"committed")
+    op = chain.start_write("c0", b"pending")
+    op.step()  # head stores dirty; tail hasn't seen it
+    # Reading at the head mid-write must return the *committed* value
+    # (apportioned query to the tail), never the dirty one.
+    assert chain.read("c0", replica_index=0) == b"committed"
+    assert chain.replicas[0].version_queries == 1
+    op.run()
+    assert chain.read("c0", replica_index=0) == b"pending"
+
+
+def test_craq_clean_reads_served_locally():
+    chain = make_chain(3)
+    chain.write("c0", b"x")
+    chain.read("c0", replica_index=1)
+    assert chain.replicas[1].clean_reads == 1
+    assert chain.replicas[1].version_queries == 0
+
+
+def test_craq_read_any_round_robin_spreads_load():
+    chain = make_chain(3)
+    chain.write("c0", b"x")
+    for _ in range(6):
+        chain.read("c0")
+    reads = [r.clean_reads for r in chain.replicas]
+    assert reads == [2, 2, 2]  # write-all-read-any unleashes all replicas
+
+
+def test_craq_mid_write_step_semantics():
+    chain = make_chain(3)
+    op = chain.start_write("c0", b"v1")
+    op.step()  # head
+    assert chain.replicas[0].has_dirty("c0")
+    op.step()  # middle
+    assert chain.replicas[1].has_dirty("c0")
+    op.step()  # tail: commits
+    assert chain.replicas[2].latest_clean("c0") is not None
+    op.step()  # ack middle
+    assert not chain.replicas[1].has_dirty("c0")
+    op.step()  # ack head
+    assert op.done
+    assert not chain.replicas[0].has_dirty("c0")
+    with pytest.raises(FS3Error):
+        op.step()
+
+
+def test_craq_single_replica_chain():
+    chain = make_chain(1)
+    v = chain.write("c0", b"solo")
+    assert chain.read("c0") == b"solo"
+    assert chain.committed_version("c0") == v
+
+
+def test_craq_tail_failure_promotes_predecessor():
+    chain = make_chain(3)
+    chain.write("c0", b"x")
+    chain.fail_replica(2)
+    assert chain.tail() is chain.replicas[1]
+    chain.write("c0", b"y")  # now commits at replica 1
+    assert chain.read("c0") == b"y"
+
+
+def test_craq_head_failure_promotes_successor():
+    chain = make_chain(3)
+    chain.write("c0", b"x")
+    chain.fail_replica(0)
+    assert chain.head() is chain.replicas[1]
+    v = chain.write("c0", b"y")
+    assert v == 2
+    assert chain.read("c0") == b"y"
+
+
+def test_craq_recovery_resyncs_missed_writes():
+    chain = make_chain(3)
+    chain.write("c0", b"old")
+    chain.fail_replica(1)
+    chain.write("c0", b"new")
+    chain.write("c1", b"fresh")
+    chain.recover_replica(1)
+    assert chain.read("c0", replica_index=1) == b"new"
+    assert chain.read("c1", replica_index=1) == b"fresh"
+
+
+def test_craq_all_dead_raises():
+    chain = make_chain(2)
+    chain.fail_replica(0)
+    chain.fail_replica(1)
+    with pytest.raises(FS3Unavailable):
+        chain.write("c0", b"x")
+    with pytest.raises(FS3Unavailable):
+        chain.read("c0")
+
+
+def test_craq_read_dead_replica_raises():
+    chain = make_chain(2)
+    chain.write("c0", b"x")
+    chain.fail_replica(0)
+    with pytest.raises(FS3Unavailable):
+        chain.read("c0", replica_index=0)
+
+
+def test_craq_interleaved_writes_get_distinct_versions():
+    chain = make_chain(2)
+    op1 = chain.start_write("c0", b"a")
+    op2 = chain.start_write("c0", b"b")
+    assert op1.version != op2.version
+    op1.run()
+    op2.run()
+    # Later version wins.
+    assert chain.read("c0") == b"b"
+
+
+def test_craq_data_must_be_bytes():
+    chain = make_chain(2)
+    with pytest.raises(FS3Error):
+        chain.write("c0", "not-bytes")  # type: ignore[arg-type]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_replicas=st.integers(1, 5),
+    writes=st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=10),
+)
+def test_craq_property_last_write_wins_everywhere(n_replicas, writes):
+    chain = make_chain(n_replicas)
+    for data in writes:
+        chain.write("c", data)
+    for i in range(n_replicas):
+        assert chain.read("c", replica_index=i) == writes[-1]
+    # No dirty state remains after completed writes.
+    for r in chain.replicas:
+        assert not r.has_dirty("c")

@@ -1,0 +1,82 @@
+"""Tests for the executable FSDP (ZeRO-3) trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParallelismError
+from repro.haiscale.minitrain import FSDPTrainer, MLP, train_reference
+
+
+def make_data(n=64, seed=2):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 5)).astype(np.float32)
+    w = rng.standard_normal((5, 2)).astype(np.float32)
+    y = (x @ w).astype(np.float32)
+    return x, y
+
+
+def test_fsdp_equals_single_process():
+    x, y = make_data()
+    seed_model = MLP.init(5, 12, 2, seed=11)
+    ref = seed_model.copy()
+    ref_losses = train_reference(ref, x, y, steps=8, lr=0.05)
+
+    fsdp = FSDPTrainer(seed_model.copy(), world_size=4, lr=0.05)
+    fsdp_losses = [fsdp.train_step(x, y) for _ in range(8)]
+    for a, b in zip(ref_losses, fsdp_losses):
+        assert a == pytest.approx(b, rel=1e-5)
+    final = fsdp.materialized_model()
+    for k, v in ref.params().items():
+        np.testing.assert_allclose(final.params()[k], v, rtol=1e-4, atol=1e-6)
+
+
+def test_fsdp_shards_are_one_over_n():
+    model = MLP.init(5, 12, 2)
+    total = sum(p.size for p in model.params().values())
+    fsdp = FSDPTrainer(model, world_size=4)
+    sizes = fsdp.shard_sizes()
+    assert len(sizes) == 4
+    assert len(set(sizes)) == 1  # equal shards
+    assert sum(sizes) >= total  # padding only adds
+    assert sizes[0] <= total // 4 + 4
+
+
+def test_fsdp_world_size_one_degenerates_to_sgd():
+    x, y = make_data(n=16)
+    seed_model = MLP.init(5, 8, 2, seed=3)
+    ref = seed_model.copy()
+    train_reference(ref, x, y, steps=3, lr=0.1)
+    fsdp = FSDPTrainer(seed_model.copy(), world_size=1, lr=0.1)
+    for _ in range(3):
+        fsdp.train_step(x, y)
+    for k, v in ref.params().items():
+        np.testing.assert_allclose(fsdp.materialized_model().params()[k], v,
+                                   rtol=1e-5)
+
+
+def test_fsdp_validation():
+    with pytest.raises(ParallelismError):
+        FSDPTrainer(MLP.init(5, 8, 2), world_size=0)
+    fsdp = FSDPTrainer(MLP.init(5, 8, 2), world_size=4)
+    x, y = make_data(n=10)
+    with pytest.raises(ParallelismError):
+        fsdp.train_step(x, y)  # 10 % 4 != 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(world=st.integers(1, 6), seed=st.integers(0, 50))
+def test_property_fsdp_equivalence_any_world_size(world, seed):
+    x, y = make_data(n=world * 6, seed=seed)
+    seed_model = MLP.init(5, 8, 2, seed=seed)
+    ref = seed_model.copy()
+    train_reference(ref, x, y, steps=3, lr=0.05)
+    fsdp = FSDPTrainer(seed_model.copy(), world_size=world, lr=0.05)
+    for _ in range(3):
+        fsdp.train_step(x, y)
+    final = fsdp.materialized_model()
+    for k, v in ref.params().items():
+        np.testing.assert_allclose(final.params()[k], v, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,167 @@
+"""Tests for general collectives (reduce/broadcast/RS/AG) and NUMA model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import AllreduceConfig, HFReduceModel
+from repro.collectives.general_ops import (
+    GeneralOpsModel,
+    allgather_exec,
+    broadcast_exec,
+    reduce_exec,
+    reduce_scatter_exec,
+)
+from repro.errors import CollectiveError, HardwareConfigError
+from repro.hardware.node import fire_flyer_node, storage_node
+from repro.hardware.numa import NumaModel, NumaPolicy
+from repro.units import MiB
+
+
+# ---------------------------------------------------------------------------
+# Executable general ops
+# ---------------------------------------------------------------------------
+
+
+def _bufs(n, size=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(size).astype(np.float32) for _ in range(n)]
+
+
+def test_reduce_exec_matches_sum():
+    bufs = _bufs(7)
+    out = reduce_exec(bufs, root=0)
+    np.testing.assert_allclose(out, np.sum(bufs, axis=0), rtol=1e-5)
+
+
+def test_reduce_exec_single_rank():
+    bufs = _bufs(1)
+    assert np.array_equal(reduce_exec(bufs), bufs[0])
+
+
+def test_reduce_exec_validation():
+    with pytest.raises(CollectiveError):
+        reduce_exec([])
+    with pytest.raises(CollectiveError):
+        reduce_exec(_bufs(3), root=5)
+    with pytest.raises(CollectiveError):
+        reduce_exec([np.zeros(3, np.float32), np.zeros(4, np.float32)])
+
+
+def test_broadcast_exec_copies_to_all():
+    src = np.arange(10, dtype=np.float32)
+    out = broadcast_exec(src, n_ranks=5)
+    assert len(out) == 5
+    for o in out:
+        assert np.array_equal(o, src)
+        assert o is not src  # independent copies
+    with pytest.raises(CollectiveError):
+        broadcast_exec(src, n_ranks=0)
+
+
+def test_reduce_scatter_then_allgather_is_allreduce():
+    bufs = _bufs(4, size=32)
+    shards = reduce_scatter_exec(bufs)
+    assert len(shards) == 4
+    gathered = allgather_exec(shards)
+    expected = np.sum(bufs, axis=0)
+    for g in gathered:
+        np.testing.assert_allclose(g, expected, rtol=1e-5)
+
+
+def test_reduce_scatter_shards_partition():
+    bufs = _bufs(3, size=10)
+    shards = reduce_scatter_exec(bufs)
+    assert sum(len(s) for s in shards) == 10
+
+
+def test_allgather_validation():
+    with pytest.raises(CollectiveError):
+        allgather_exec([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 10), size=st.integers(2, 64), seed=st.integers(0, 999))
+def test_property_general_ops_consistent(n, size, seed):
+    bufs = _bufs(n, size, seed)
+    expected = np.sum(bufs, axis=0)
+    np.testing.assert_allclose(reduce_exec(bufs), expected, rtol=1e-4,
+                               atol=1e-5)
+    rs_ag = np.concatenate(
+        [reduce_scatter_exec(bufs)[i] for i in range(n)]
+    )
+    np.testing.assert_allclose(rs_ag, expected, rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# General ops timing model
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_at_least_as_fast_as_allreduce():
+    cfg = AllreduceConfig(nbytes=186 * MiB, n_nodes=32)
+    # On the plain node the shared root port binds both identically.
+    model = GeneralOpsModel()
+    assert model.reduce_bandwidth(cfg) >= HFReduceModel().bandwidth(cfg)
+    # On an NVLink node the network binds: a one-pass reduce moves each
+    # byte over the NIC once (full line rate) instead of up+down (half),
+    # so the gap appears.
+    nv = HFReduceModel(nvlink=True)
+    nv_model = GeneralOpsModel(hfreduce=nv)
+    assert nv_model.reduce_bandwidth(cfg) > 1.2 * nv.bandwidth(cfg)
+
+
+def test_broadcast_bandwidth_positive_and_network_bound():
+    model = GeneralOpsModel()
+    single = model.broadcast_bandwidth(AllreduceConfig(nbytes=MiB, n_nodes=1))
+    multi = model.broadcast_bandwidth(AllreduceConfig(nbytes=186 * MiB, n_nodes=32))
+    assert single > multi > 0
+
+
+def test_reduce_scatter_allgather_times_scale():
+    model = GeneralOpsModel()
+    small = model.reduce_scatter_time(AllreduceConfig(nbytes=MiB, n_nodes=4))
+    big = model.reduce_scatter_time(AllreduceConfig(nbytes=64 * MiB, n_nodes=4))
+    assert big > small
+    ag = model.allgather_time(AllreduceConfig(nbytes=64 * MiB, n_nodes=4))
+    assert ag > 0
+
+
+# ---------------------------------------------------------------------------
+# NUMA model
+# ---------------------------------------------------------------------------
+
+
+def test_numa_interleaved_has_highest_bandwidth():
+    m = NumaModel(fire_flyer_node())
+    inter = m.stream_bandwidth(NumaPolicy.INTERLEAVED)
+    local = m.stream_bandwidth(NumaPolicy.BOUND_LOCAL)
+    remote = m.stream_bandwidth(NumaPolicy.BOUND_REMOTE)
+    assert inter > local >= remote
+
+
+def test_numa_local_has_lowest_latency():
+    m = NumaModel(fire_flyer_node())
+    assert (
+        m.access_latency(NumaPolicy.BOUND_LOCAL)
+        < m.access_latency(NumaPolicy.INTERLEAVED)
+        < m.access_latency(NumaPolicy.BOUND_REMOTE)
+    )
+
+
+def test_numa_hfreduce_placement_matches_paper():
+    # D2H interleaved; results and RDMA buffers bound to the NIC's socket.
+    m = NumaModel(fire_flyer_node())
+    placement = m.hfreduce_placement()
+    assert placement["d2h_staging"] is NumaPolicy.INTERLEAVED
+    assert placement["reduce_results"] is NumaPolicy.BOUND_LOCAL
+    assert placement["rdma_buffers"] is NumaPolicy.BOUND_LOCAL
+    assert placement["nic_numa_node"] == 0  # nic0 hangs off socket 0
+
+
+def test_numa_requires_two_sockets():
+    with pytest.raises(HardwareConfigError):
+        NumaModel(storage_node())  # single-socket

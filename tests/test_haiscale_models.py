@@ -1,0 +1,94 @@
+"""Tests for the analytic model catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParallelismError
+from repro.haiscale.models import (
+    DEEPSEEK_MOE_16B,
+    GPT2_MEDIUM,
+    GPT3_175B,
+    LLAMA_13B,
+    MODEL_CATALOG,
+    VGG16,
+    model_by_name,
+)
+
+
+def test_vgg16_params():
+    assert VGG16.params == 138_000_000
+
+
+def test_gpt2_medium_params_near_345M():
+    assert GPT2_MEDIUM.params == pytest.approx(345e6, rel=0.05)
+
+
+def test_llama_13b_params():
+    assert LLAMA_13B.params == pytest.approx(13.0e9, rel=0.03)
+    assert LLAMA_13B.mlp_matrices == 3  # SwiGLU
+
+
+def test_gpt3_params_near_175B():
+    assert GPT3_175B.params == pytest.approx(175e9, rel=0.03)
+
+
+def test_deepseek_moe_total_and_active():
+    assert DEEPSEEK_MOE_16B.params == pytest.approx(16.4e9, rel=0.03)
+    # ~2.8B activated per token (paper's DeepSeekMoE-16B description).
+    assert DEEPSEEK_MOE_16B.active_params == pytest.approx(2.7e9, rel=0.1)
+    assert DEEPSEEK_MOE_16B.moe_layers == 27  # first layer dense
+
+
+def test_transformer_flops_scale_linearly_in_tokens():
+    f1 = GPT2_MEDIUM.forward_flops(1000, 1024)
+    f2 = GPT2_MEDIUM.forward_flops(2000, 1024)
+    assert f2 == pytest.approx(2 * f1)
+
+
+def test_transformer_flops_approx_2x_params_per_token():
+    # Classic rule of thumb: forward ~ 2 * params FLOPs/token (plus
+    # attention); our formula should sit within ~30% above 2P.
+    per_tok = LLAMA_13B.forward_flops(1, 2048)
+    assert 2 * LLAMA_13B.params <= per_tok <= 2.6 * LLAMA_13B.params
+
+
+def test_train_flops_recompute_factor():
+    t_no = GPT2_MEDIUM.train_flops(100, 512, activation_recompute=False)
+    t_rc = GPT2_MEDIUM.train_flops(100, 512, activation_recompute=True)
+    assert t_rc / t_no == pytest.approx(4 / 3)
+
+
+def test_attention_term_grows_with_seq_len():
+    short = LLAMA_13B.layer_flops_per_token(128)
+    long = LLAMA_13B.layer_flops_per_token(4096)
+    assert long > short
+
+
+def test_seq_len_validation():
+    with pytest.raises(ParallelismError):
+        LLAMA_13B.layer_flops_per_token(0)
+
+
+def test_moe_flops_below_dense_equivalent():
+    # Active-expert compute must be far below the all-experts figure.
+    active_based = DEEPSEEK_MOE_16B.forward_flops(1000, 4096)
+    dense_equiv = 2.0 * DEEPSEEK_MOE_16B.params * 1000
+    assert active_based < dense_equiv
+
+
+def test_moe_all2all_volume():
+    # 2 x top_k x hidden x bytes per token per layer.
+    v = DEEPSEEK_MOE_16B.all2all_bytes_per_token_per_layer(2)
+    assert v == 2 * 6 * 2048 * 2
+
+
+def test_convnet_train_flops():
+    assert VGG16.train_flops(10) == pytest.approx(3 * 15.5e9 * 10)
+
+
+def test_catalog_lookup():
+    assert model_by_name("VGG16") is VGG16
+    assert len(MODEL_CATALOG) >= 8
+    with pytest.raises(ParallelismError):
+        model_by_name("AlexNet-9000")

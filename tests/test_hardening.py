@@ -1,0 +1,144 @@
+"""Hardening tests: KV transactions, flow conservation, scheduler backfill."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FS3Conflict, FS3NotFound
+from repro.fs3 import FS3Client, KVStore, MetaService
+from repro.fs3.storage import StorageCluster
+from repro.hai import HAICluster, Task, TaskState, TimeSharingScheduler
+from repro.hardware.spec import QM8700_SWITCH
+from repro.network import Flow, FlowSim, two_layer_fat_tree
+
+
+# ---------------------------------------------------------------------------
+# KV transactions
+# ---------------------------------------------------------------------------
+
+
+def test_transact_applies_all_ops():
+    kv = KVStore()
+    kv.put("a", 1)
+    kv.transact([("delete", "a", None), ("put", "b", 2), ("put", "c", 3)])
+    assert "a" not in kv
+    assert kv.get("b").value == 2
+    assert kv.get("c").value == 3
+
+
+def test_transact_validates_before_applying():
+    kv = KVStore()
+    kv.put("a", 1)
+    with pytest.raises(FS3NotFound):
+        kv.transact([("put", "b", 2), ("delete", "ghost", None)])
+    # Nothing applied: validation precedes mutation.
+    assert "b" not in kv
+    assert kv.get("a").value == 1
+
+
+def test_transact_rejects_unknown_op():
+    kv = KVStore()
+    with pytest.raises(FS3Conflict):
+        kv.transact([("merge", "a", 1)])
+
+
+def test_rename_is_atomic_in_kv():
+    storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                             targets_per_ssd=1)
+    kv = KVStore()
+    meta = MetaService(kv, storage.chain_table)
+    client = FS3Client(meta, storage)
+    client.mkdir("/d")
+    client.write_file("/d/old", b"payload")
+    # A rename with a colliding destination fails without touching src.
+    client.write_file("/d/new", b"other")
+    from repro.errors import FS3Exists
+
+    with pytest.raises(FS3Exists):
+        client.rename("/d/old", "/d/new")
+    assert client.read_file("/d/old") == b"payload"
+
+
+# ---------------------------------------------------------------------------
+# Flow conservation properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_flows=st.integers(1, 12),
+    seed=st.integers(0, 1000),
+)
+def test_property_no_link_over_capacity(n_flows, seed):
+    import random
+
+    rng = random.Random(seed)
+    fab = two_layer_fat_tree(40, QM8700_SWITCH)
+    hosts = fab.hosts
+    flows = []
+    for i in range(n_flows):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(Flow(src, dst, size=1.0, flow_id=i))
+    sim = FlowSim(fab)
+    rates = sim.instantaneous_rates(flows)
+    # Reconstruct per-link loads and verify against capacity.
+    loads = {}
+    for f in flows:
+        for link in sim.router.route_links(f.src, f.dst, f.flow_id):
+            loads[link] = loads.get(link, 0.0) + rates[f.flow_id]
+    for link, load in loads.items():
+        assert load <= fab.capacity(link) * (1 + 1e-9)
+    # Every flow makes progress.
+    assert all(r > 0 for r in rates.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1e6, 1e9), min_size=1, max_size=6),
+    seed=st.integers(0, 100),
+)
+def test_property_flow_run_conserves_bytes(sizes, seed):
+    import random
+
+    rng = random.Random(seed)
+    fab = two_layer_fat_tree(40, QM8700_SWITCH)
+    hosts = fab.hosts
+    flows = []
+    for i, size in enumerate(sizes):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(Flow(src, dst, size=size, flow_id=i))
+    results = FlowSim(fab).run(flows)
+    assert len(results) == len(flows)
+    for r in results:
+        assert r.finish >= r.start
+        # Mean rate never exceeds the slowest link on the path.
+        assert r.mean_rate <= fab.capacity(("h0", "leaf0")) * (1 + 1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler backfill
+# ---------------------------------------------------------------------------
+
+
+def test_small_jobs_backfill_around_blocked_large_job():
+    sched = TimeSharingScheduler(HAICluster.two_zone(2))  # 4 nodes
+    sched.submit(Task("running", nodes_required=3, total_work=100.0))
+    # This large job cannot fit until 'running' finishes...
+    sched.submit(Task("blocked", nodes_required=4, total_work=10.0))
+    assert sched.tasks["blocked"].state is TaskState.QUEUED
+    # ...but a 1-node job submitted later backfills immediately.
+    sched.submit(Task("small", nodes_required=1, total_work=5.0))
+    assert sched.tasks["small"].state is TaskState.RUNNING
+    sched.run_until_idle()
+    assert sched.tasks["blocked"].state is TaskState.FINISHED
+
+
+def test_backfill_does_not_starve_higher_priority():
+    sched = TimeSharingScheduler(HAICluster.two_zone(2))
+    sched.submit(Task("low", nodes_required=4, total_work=50.0, priority=0))
+    sched.submit(Task("high", nodes_required=4, total_work=10.0, priority=9))
+    # High priority preempts immediately rather than waiting behind low.
+    assert sched.tasks["high"].state is TaskState.RUNNING
+    assert sched.tasks["low"].state is TaskState.INTERRUPTED

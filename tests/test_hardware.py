@@ -1,0 +1,278 @@
+"""Tests for hardware specs, node topologies, and contention models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import (
+    A100_PCIE,
+    A100_SXM,
+    CpuReduceModel,
+    EPYC_ROME_32C,
+    GpuComputeModel,
+    MemorySystem,
+    PCIeFabric,
+    TransferKind,
+    dgx_a100_node,
+    fire_flyer_node,
+    hfreduce_memory_ops_factor,
+    nextgen_node,
+    storage_node,
+)
+from repro.hardware.pcie import Transfer
+from repro.units import GiB, as_gBps, as_giBps, gBps
+
+
+# ---------------------------------------------------------------------------
+# Specs (Tables I, II, IV constants)
+# ---------------------------------------------------------------------------
+
+
+def test_table2_gemm_numbers():
+    assert A100_PCIE.tf32_tflops == 107.0
+    assert A100_PCIE.fp16_tflops == 220.0
+    assert A100_SXM.tf32_tflops == 131.0
+    assert A100_SXM.fp16_tflops == 263.0
+
+
+def test_relative_performance_is_about_83_percent():
+    rel = A100_PCIE.fp16_tflops / A100_SXM.fp16_tflops
+    assert rel == pytest.approx(0.8365, abs=0.01)
+
+
+def test_pcie_effective_bandwidth_is_27GBps():
+    assert as_gBps(A100_PCIE.pcie_bw) == pytest.approx(27.0)
+
+
+def test_memory_bandwidth_16ch_is_320GBps():
+    bw = EPYC_ROME_32C.memory_bandwidth(sockets=2)
+    assert as_gBps(bw) == pytest.approx(320.0, rel=0.01)
+
+
+def test_cpu_limitations_encoded():
+    assert not EPYC_ROME_32C.chained_write
+    assert as_giBps(EPYC_ROME_32C.p2p_bw_cap) == pytest.approx(9.0)
+    assert as_gBps(EPYC_ROME_32C.root_port_bw) == pytest.approx(37.5)
+
+
+# ---------------------------------------------------------------------------
+# Node builders
+# ---------------------------------------------------------------------------
+
+
+def test_fire_flyer_node_layout():
+    node = fire_flyer_node()
+    assert node.gpu_count == 8
+    assert node.nic_count == 1
+    assert node.memory_bytes == 512 * GiB
+    assert node.power_watts == 2500.0
+    # GPU5/GPU6 share a root port (Figure 4).
+    assert node.root_port_sharers("gpu5") == ["gpu6"]
+    assert node.root_port_sharers("gpu6") == ["gpu5"]
+    # NIC has its own root complex.
+    assert node.root_port_sharers("nic0") == []
+    assert node.gpus_on_numa(0) == [0, 1, 2, 3]
+    assert node.gpus_on_numa(1) == [4, 5, 6, 7]
+
+
+def test_fire_flyer_nvlink_retrofit():
+    node = fire_flyer_node(nvlink=True)
+    assert node.nvlink_pairs == ((0, 1), (2, 3), (4, 5), (6, 7))
+    assert node.nvlink_peer(4) == 5
+    assert node.nvlink_peer(1) == 0
+    assert node.gpu.nvlink_bw == gBps(600.0)
+
+
+def test_fire_flyer_no_nvlink_by_default():
+    node = fire_flyer_node()
+    assert node.nvlink_pairs == ()
+    assert node.nvlink_peer(0) is None
+
+
+def test_dgx_node_layout():
+    node = dgx_a100_node()
+    assert node.gpu_count == 8
+    assert node.nic_count == 9  # Table I
+    assert node.memory_bytes == 2048 * GiB
+    assert node.power_watts == 4200.0
+    assert node.nvlink_all_to_all
+    with pytest.raises(HardwareConfigError):
+        node.nvlink_peer(0)  # full-mesh has no single peer
+
+
+def test_storage_node_layout():
+    node = storage_node()
+    assert node.ssd_count == 16
+    assert node.nic_count == 2
+    assert node.ssd.capacity_bytes == 15_360_000_000_000
+    # 2 x 200 Gbps = 50 GB/s outbound per node.
+    assert as_gBps(node.network_bw) == pytest.approx(50.0)
+
+
+def test_nextgen_node_1to1_gpu_nic():
+    node = nextgen_node()
+    assert node.gpu_count == node.nic_count == 8
+
+
+def test_unknown_device_raises():
+    node = fire_flyer_node()
+    with pytest.raises(HardwareConfigError):
+        node.slot("gpu9")
+
+
+# ---------------------------------------------------------------------------
+# PCIe contention
+# ---------------------------------------------------------------------------
+
+
+def test_single_d2h_gets_full_link():
+    fab = PCIeFabric(fire_flyer_node())
+    rate = fab.rate_of([Transfer("gpu0", TransferKind.D2H)])
+    assert as_gBps(rate) == pytest.approx(27.0)
+
+
+def test_shared_root_port_splits_bandwidth():
+    fab = PCIeFabric(fire_flyer_node())
+    rates = fab.rates(
+        [Transfer("gpu5", TransferKind.D2H), Transfer("gpu6", TransferKind.D2H)]
+    )
+    # Two 27 GB/s links behind one 37.5 GB/s port -> 18.75 each.
+    assert as_gBps(rates[0]) == pytest.approx(18.75)
+    assert as_gBps(rates[1]) == pytest.approx(18.75)
+
+
+def test_unshared_gpus_unaffected_by_each_other():
+    fab = PCIeFabric(fire_flyer_node())
+    rates = fab.rates(
+        [Transfer("gpu0", TransferKind.D2H), Transfer("gpu1", TransferKind.D2H)]
+    )
+    assert as_gBps(rates[0]) == pytest.approx(27.0)
+    assert as_gBps(rates[1]) == pytest.approx(27.0)
+
+
+def test_bidirectional_same_port_degrades_further():
+    fab = PCIeFabric(fire_flyer_node())
+    rates = fab.rates(
+        [Transfer("gpu5", TransferKind.D2H), Transfer("gpu6", TransferKind.H2D)]
+    )
+    total = as_gBps(sum(rates.values()))
+    # Combined bidirectional ceiling sits *below* the unidirectional port
+    # cap ("decreases even further", Section IV-D3).
+    assert total < 37.5
+    assert total == pytest.approx(37.5 * 0.85, rel=1e-6)
+
+
+def test_aggregate_d2h_below_8x_link():
+    fab = PCIeFabric(fire_flyer_node())
+    agg = fab.all_gpus_d2h_bandwidth()
+    # 6 GPUs at full 27 + gpu5/6 sharing 37.5 -> 199.5 GB/s, not 216.
+    assert as_gBps(agg) == pytest.approx(6 * 27.0 + 37.5, rel=0.01)
+
+
+def test_p2p_capped_at_9GiB(subtests=None):
+    fab = PCIeFabric(fire_flyer_node())
+    assert as_giBps(fab.gpu_nic_p2p_bandwidth()) == pytest.approx(9.0)
+
+
+def test_p2p_not_capped_with_chained_write():
+    from dataclasses import replace
+
+    node = fire_flyer_node()
+    cpu = replace(node.cpu, chained_write=True)
+    node = replace(node, cpu=cpu)
+    fab = PCIeFabric(node)
+    assert as_gBps(fab.gpu_nic_p2p_bandwidth()) > 20.0
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting
+# ---------------------------------------------------------------------------
+
+
+def test_hfreduce_memory_factor_matches_paper():
+    # Paper: "the memory operations amount to 24 times the original data".
+    assert hfreduce_memory_ops_factor(8, gdrcopy=True) == 24.0
+    # MemcpyAsync H2D needs 8 reads instead of 2 -> 30.
+    assert hfreduce_memory_ops_factor(8, gdrcopy=False) == 30.0
+
+
+def test_hfreduce_ceiling_13_3GBps():
+    mem = MemorySystem(fire_flyer_node())
+    ceiling = mem.bandwidth / 24.0
+    assert as_gBps(ceiling) == pytest.approx(13.3, abs=0.1)
+    # With algorithm overhead the realistic value approximates 12 GB/s.
+    assert as_gBps(mem.hfreduce_ceiling()) == pytest.approx(12.0, abs=0.3)
+
+
+def test_nvlink_lifts_memory_ceiling():
+    mem = MemorySystem(fire_flyer_node(nvlink=True))
+    assert mem.hfreduce_ceiling(nvlink=True) > mem.hfreduce_ceiling(nvlink=False)
+    assert hfreduce_memory_ops_factor(8, nvlink=True) == 16.0
+
+
+def test_memory_breakdown_sums_to_factor():
+    mem = MemorySystem(fire_flyer_node())
+    br = mem.breakdown()
+    assert sum(br.values()) == hfreduce_memory_ops_factor(8)
+
+
+def test_bad_gpu_count_rejected():
+    with pytest.raises(HardwareConfigError):
+        hfreduce_memory_ops_factor(0)
+
+
+# ---------------------------------------------------------------------------
+# GPU / CPU models
+# ---------------------------------------------------------------------------
+
+
+def test_gemm_time_scales_with_dtype():
+    g = GpuComputeModel(A100_PCIE)
+    t16 = g.gemm_time(4096, 4096, 4096, dtype="fp16")
+    t32 = g.gemm_time(4096, 4096, 4096, dtype="tf32")
+    assert t32 > t16
+    assert t32 / t16 == pytest.approx(220.0 / 107.0, rel=1e-6)
+
+
+def test_sm_interference_slows_gemm():
+    g = GpuComputeModel(A100_PCIE)
+    base = g.gemm_time(1024, 1024, 1024)
+    degraded = g.gemm_time(1024, 1024, 1024, sm_interference=0.2)
+    assert degraded == pytest.approx(base / 0.8)
+
+
+def test_gemm_validation():
+    g = GpuComputeModel(A100_PCIE)
+    with pytest.raises(HardwareConfigError):
+        g.gemm_time(0, 1, 1)
+    with pytest.raises(HardwareConfigError):
+        g.gemm_time(1, 1, 1, sm_interference=1.0)
+    with pytest.raises(HardwareConfigError):
+        g.flops_rate("int8")
+
+
+def test_copy_time():
+    g = GpuComputeModel(A100_PCIE)
+    assert g.copy_time(27 * 10**9, gBps(27.0)) == pytest.approx(1.0)
+    with pytest.raises(HardwareConfigError):
+        g.copy_time(-1, 1.0)
+    with pytest.raises(HardwareConfigError):
+        g.copy_time(1, 0.0)
+
+
+def test_cpu_reduce_is_memory_bound():
+    m = CpuReduceModel(EPYC_ROME_32C, sockets=2)
+    # 8-way reduce: 320/9 GB/s of output.
+    assert as_gBps(m.reduce_rate(8)) == pytest.approx(320.0 / 9.0, rel=0.01)
+    assert m.memory_bound_rate(8) < m.compute_bound_rate("fp32")
+
+
+def test_cpu_reduce_time_and_validation():
+    m = CpuReduceModel(EPYC_ROME_32C, sockets=2)
+    t = m.reduce_time(int(gBps(320.0) / 9), 8)
+    assert t == pytest.approx(1.0, rel=0.01)
+    with pytest.raises(HardwareConfigError):
+        m.reduce_rate(0)
+    with pytest.raises(HardwareConfigError):
+        m.reduce_rate(8, dtype="int4")

@@ -1,0 +1,74 @@
+"""Tests for the hostping-style intra-host diagnoser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reliability.hostping import Diagnosis, HostPing, HostState
+
+
+def test_healthy_host_no_findings():
+    assert HostPing().diagnose(HostState()) == []
+
+
+def test_single_gpu_link_degradation_localized():
+    host = HostState(gpu_link_factor={3: 0.6})
+    findings = HostPing().diagnose(host)
+    assert [f.component for f in findings] == ["gpu3-link"]
+    assert findings[0].severity == pytest.approx(0.6)
+
+
+def test_root_port_degradation_blames_port_not_gpus():
+    # GPU5 and GPU6 share root port 5: degrading the *port* slows both
+    # uniformly — the diagnoser must implicate the port, not two links.
+    host = HostState(root_port_factor={5: 0.5})
+    findings = HostPing().diagnose(host)
+    assert [f.component for f in findings] == ["root-port-5"]
+    assert "5, 6" in findings[0].evidence or "[5, 6]" in findings[0].evidence
+
+
+def test_mixed_port_and_link_faults():
+    host = HostState(root_port_factor={5: 0.5}, gpu_link_factor={0: 0.7})
+    comps = {f.component for f in HostPing().diagnose(host)}
+    assert comps == {"root-port-5", "gpu0-link"}
+
+
+def test_nic_fault_detected_via_p2p():
+    host = HostState(nic_factor=0.4)
+    findings = HostPing().diagnose(host)
+    assert [f.component for f in findings] == ["nic"]
+
+
+def test_memory_fault_per_socket():
+    host = HostState(memory_factor={1: 0.7})
+    findings = HostPing().diagnose(host)
+    assert [f.component for f in findings] == ["socket1-memory"]
+
+
+def test_nvlink_pair_fault():
+    host = HostState(nvlink_factor={(2, 3): 0.5})
+    findings = HostPing().diagnose(host)
+    assert [f.component for f in findings] == ["nvlink-2-3"]
+
+
+def test_within_tolerance_silent():
+    host = HostState(gpu_link_factor={1: 0.95}, nic_factor=0.93)
+    assert HostPing(tolerance=0.10).diagnose(host) == []
+
+
+def test_tolerance_validation():
+    with pytest.raises(ReproError):
+        HostPing(tolerance=0)
+    with pytest.raises(ReproError):
+        HostPing(tolerance=1.0)
+
+
+def test_multiple_simultaneous_faults_all_reported():
+    host = HostState(
+        gpu_link_factor={2: 0.5},
+        memory_factor={0: 0.6},
+        nvlink_factor={(6, 7): 0.4},
+    )
+    comps = {f.component for f in HostPing().diagnose(host)}
+    assert comps == {"gpu2-link", "socket0-memory", "nvlink-6-7"}

@@ -1,0 +1,111 @@
+"""Tests for link-failure impact analysis and the TCO model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.tco import (
+    TcoAssumptions,
+    breakeven_years,
+    cloud_cost_per_year,
+    owned_cluster_costs,
+    tco_summary,
+)
+from repro.errors import ReproError, TopologyError
+from repro.network import Flow, two_layer_fat_tree
+from repro.network.linkfail import DegradedFabric, assess_link_failures
+from repro.network.routing import StaticRouter
+
+
+# ---------------------------------------------------------------------------
+# Link flash cuts
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def fabric():
+    return two_layer_fat_tree(40)
+
+
+def _flows(n=6):
+    return [Flow(f"h{i}", f"h{39 - i}", size=1.0, flow_id=i) for i in range(n)]
+
+
+def test_leaf_spine_failure_reroutes(fabric):
+    flows = _flows()
+    # Kill the spine link the first flow uses.
+    path = StaticRouter(fabric).route("h0", "h39", 0)
+    dead = [(path[1], path[2])]  # leaf -> spine hop
+    report = assess_link_failures(fabric, flows, dead)
+    assert report.tasks_killed == 0  # fat-tree redundancy
+    assert 0 in report.rerouted
+    assert report.min_rate_after > 0
+
+
+def test_access_link_failure_disconnects_host(fabric):
+    flows = _flows()
+    dead = [("h0", "leaf0")]  # h0's only NIC link
+    report = assess_link_failures(fabric, flows, dead)
+    assert 0 in report.disconnected
+    assert report.tasks_killed == 1
+    # Everyone else keeps running.
+    assert set(report.unaffected) | set(report.rerouted) == {1, 2, 3, 4, 5}
+
+
+def test_multiple_failures_combined(fabric):
+    flows = _flows()
+    p0 = StaticRouter(fabric).route("h0", "h39", 0)
+    dead = [(p0[1], p0[2]), ("h1", "leaf0")]
+    report = assess_link_failures(fabric, flows, dead)
+    assert 1 in report.disconnected
+    assert 0 in report.rerouted
+
+
+def test_unknown_link_rejected(fabric):
+    with pytest.raises(TopologyError):
+        DegradedFabric.from_fabric(fabric, [("h0", "h39")])
+
+
+def test_no_failures_no_impact(fabric):
+    report = assess_link_failures(fabric, _flows(), [])
+    assert not report.rerouted and not report.disconnected
+    assert report.min_rate_after == pytest.approx(report.min_rate_before)
+
+
+# ---------------------------------------------------------------------------
+# TCO
+# ---------------------------------------------------------------------------
+
+
+def test_owned_beats_cloud_within_two_years():
+    # The paper: "for long-term projects spanning around two years, these
+    # costs could amount to purchasing an entire dedicated cluster."
+    s = tco_summary(horizon_years=2.0)
+    assert s["owned_over_cloud"] < 1.0
+    assert s["breakeven_years"] < 2.0
+
+
+def test_cloud_wins_short_horizons():
+    s = tco_summary(horizon_years=0.25)
+    assert s["owned_total"] > s["cloud_total"]
+
+
+def test_breakeven_inf_when_cloud_is_free():
+    a = TcoAssumptions(cloud_gpu_hour=0.0001)
+    assert breakeven_years(a) == float("inf")
+
+
+def test_cost_components_positive():
+    own = owned_cluster_costs()
+    assert own["capex"] > 1e8  # a 10k-GPU fleet is nine figures
+    assert own["opex_per_year"] > 1e6
+    assert cloud_cost_per_year() > own["opex_per_year"]
+
+
+def test_tco_validation():
+    with pytest.raises(ReproError):
+        tco_summary(horizon_years=0)
+    with pytest.raises(ReproError):
+        TcoAssumptions(n_nodes=0)
+    with pytest.raises(ReproError):
+        TcoAssumptions(utilization=0)

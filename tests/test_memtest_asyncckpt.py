@@ -1,0 +1,137 @@
+"""Tests for the executable memory test and async checkpoint staging."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt.async_sim import compare_policies, simulate_checkpointing
+from repro.errors import CheckpointError, ValidationFailure
+from repro.reliability.memtest import (
+    FaultyMemory,
+    MemoryFault,
+    run_memory_test,
+)
+
+
+# ---------------------------------------------------------------------------
+# Memory byte-pattern test
+# ---------------------------------------------------------------------------
+
+
+def test_clean_memory_passes():
+    mem = FaultyMemory(4096)
+    assert run_memory_test(mem, block=512) == []
+
+
+def test_stuck_at_one_detected():
+    mem = FaultyMemory(4096)
+    mem.inject_stuck_at_one(1000, bit=3)
+    faults = run_memory_test(mem, block=512)
+    assert len(faults) == 1
+    assert faults[0].address == 1000
+    # Detected by the all-zeros pattern at latest.
+    assert faults[0].observed & 0x08
+
+
+def test_stuck_at_zero_detected():
+    mem = FaultyMemory(4096)
+    mem.inject_stuck_at_zero(2222, bit=7)
+    faults = run_memory_test(mem, block=512)
+    assert [f.address for f in faults] == [2222]
+    assert not faults[0].observed & 0x80
+
+
+def test_multiple_faults_all_found():
+    mem = FaultyMemory(8192)
+    addresses = [0, 100, 4095, 8191]
+    for i, a in enumerate(addresses):
+        mem.inject_stuck_at_one(a, bit=i % 8)
+    faults = run_memory_test(mem, block=1024)
+    assert [f.address for f in faults] == sorted(addresses)
+
+
+def test_fault_injection_validation():
+    with pytest.raises(ValidationFailure):
+        FaultyMemory(0)
+    mem = FaultyMemory(16)
+    with pytest.raises(ValidationFailure):
+        mem.inject_stuck_at_one(99, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.integers(64, 2048),
+    faults=st.lists(
+        st.tuples(st.integers(0, 2047), st.integers(0, 7), st.booleans()),
+        max_size=5,
+        unique_by=lambda t: t[0],
+    ),
+)
+def test_property_every_injected_fault_is_detected(size, faults):
+    mem = FaultyMemory(size)
+    injected = set()
+    for addr, bit, stuck_one in faults:
+        if addr >= size:
+            continue
+        if stuck_one:
+            mem.inject_stuck_at_one(addr, bit)
+        else:
+            mem.inject_stuck_at_zero(addr, bit)
+        injected.add(addr)
+    found = {f.address for f in run_memory_test(mem, block=256)}
+    assert found == injected  # no misses, no false positives
+
+
+# ---------------------------------------------------------------------------
+# Async checkpoint staging
+# ---------------------------------------------------------------------------
+
+
+def test_async_checkpointing_overhead_is_d2h_only():
+    stats = simulate_checkpointing("async", n_steps=100, step_time=10.0,
+                                   interval=300.0, d2h_time=0.5,
+                                   write_time=4.0)
+    # 100 steps x 10s = 1000s training; saves roughly every 30 steps.
+    assert stats.n_checkpoints >= 3
+    # Only the D2H copies block the loop.
+    expected = stats.ideal_time + stats.n_checkpoints * 0.5
+    assert stats.total_time == pytest.approx(expected)
+
+
+def test_sync_checkpointing_pays_the_write():
+    a, s = compare_policies(n_steps=100, step_time=10.0, interval=300.0,
+                            d2h_time=0.5, write_time=4.0)
+    assert a.policy == "async" and s.policy == "sync"
+    assert a.total_time < s.total_time
+    assert s.total_time - a.total_time == pytest.approx(
+        a.n_checkpoints * 4.0
+    )
+
+
+def test_async_overhead_fraction_is_minimal():
+    stats = simulate_checkpointing("async", n_steps=300, step_time=10.0,
+                                   interval=300.0, d2h_time=0.5,
+                                   write_time=4.0)
+    # The paper: "without impacting the training process" — sub-1%.
+    assert stats.overhead_fraction < 0.01
+
+
+def test_staging_buffer_backpressure():
+    # If writes are slower than the save cadence, the staging buffer
+    # forces the next D2H to wait (no unbounded queueing of state copies).
+    stats = simulate_checkpointing("async", n_steps=20, step_time=1.0,
+                                   interval=1.0, d2h_time=0.1,
+                                   write_time=5.0)
+    # Every step checkpoints, but writes take 5 steps: total stretches.
+    assert stats.total_time > stats.ideal_time + 10.0
+
+
+def test_async_sim_validation():
+    with pytest.raises(CheckpointError):
+        simulate_checkpointing("warp")
+    with pytest.raises(CheckpointError):
+        simulate_checkpointing("async", n_steps=0)
+    with pytest.raises(CheckpointError):
+        simulate_checkpointing("async", d2h_time=-1)

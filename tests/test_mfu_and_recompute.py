@@ -1,0 +1,71 @@
+"""Tests for the MFU metric and the activation-recomputation knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParallelismError
+from repro.haiscale import (
+    DEEPSEEK_MOE_16B,
+    LLAMA_13B,
+    ParallelPlan,
+    mfu,
+    model_flops_per_step,
+    plan_training,
+)
+from repro.hardware.spec import A100_PCIE, A100_SXM
+
+
+def test_model_flops_per_step_scale():
+    f1 = model_flops_per_step(LLAMA_13B, 1024, 2048)
+    f2 = model_flops_per_step(LLAMA_13B, 2048, 2048)
+    assert f2 == pytest.approx(2 * f1)
+    with pytest.raises(ParallelismError):
+        model_flops_per_step(LLAMA_13B, 0, 2048)
+
+
+def test_mfu_of_figure9a_run_is_realistic():
+    est = plan_training(LLAMA_13B, ParallelPlan(world_size=512, pp=4),
+                        global_batch=4096, seq_len=2048)
+    util = mfu(LLAMA_13B, 4096, 2048, est.step_time, 512)
+    # Against the measured 220 TFLOPS GEMM rate the paper's run implies a
+    # very high utilization; our reproduction must land in that region.
+    assert 0.55 <= util <= 0.85
+
+
+def test_mfu_moe_lower_than_dense():
+    dense = plan_training(LLAMA_13B, ParallelPlan(world_size=512, pp=4),
+                          global_batch=4096, seq_len=2048)
+    moe = plan_training(DEEPSEEK_MOE_16B,
+                        ParallelPlan(world_size=640, pp=10, ep=8),
+                        global_batch=4608, seq_len=4096,
+                        compute_efficiency=0.5, grad_bytes=4,
+                        allreduce_overlap=0.0)
+    u_dense = mfu(LLAMA_13B, 4096, 2048, dense.step_time, 512)
+    u_moe = mfu(DEEPSEEK_MOE_16B, 4608, 4096, moe.step_time, 640)
+    assert u_moe < u_dense
+
+
+def test_mfu_higher_peak_means_lower_utilization():
+    u_pcie = mfu(LLAMA_13B, 4096, 2048, 10.0, 512, gpu=A100_PCIE)
+    u_sxm = mfu(LLAMA_13B, 4096, 2048, 10.0, 512, gpu=A100_SXM)
+    assert u_sxm < u_pcie  # same throughput against a higher peak
+
+
+def test_mfu_validation():
+    with pytest.raises(ParallelismError):
+        mfu(LLAMA_13B, 4096, 2048, 0.0, 512)
+    with pytest.raises(ParallelismError):
+        mfu(LLAMA_13B, 4096, 2048, 1.0, 0)
+
+
+def test_recompute_trades_time_for_memory():
+    base = plan_training(LLAMA_13B, ParallelPlan(world_size=64, pp=4),
+                         global_batch=4096, seq_len=2048)
+    rc = plan_training(LLAMA_13B, ParallelPlan(world_size=64, pp=4),
+                       global_batch=4096, seq_len=2048,
+                       activation_recompute=True)
+    assert rc.step_time > base.step_time  # extra forward in backward
+    assert rc.memory_per_gpu < base.memory_per_gpu  # smaller footprint
+    # The time penalty is bounded by the extra forward pass: <= 4/3.
+    assert rc.step_time / base.step_time <= 4 / 3 + 0.02

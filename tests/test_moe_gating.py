@@ -1,0 +1,192 @@
+"""Tests for executable MoE gating, dispatch, and combine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParallelismError
+from repro.haiscale.moe_gating import (
+    GatingResult,
+    TopKGate,
+    combine,
+    dispatch,
+    moe_forward,
+    softmax,
+)
+
+
+def test_softmax_rows_sum_to_one():
+    x = np.random.default_rng(0).standard_normal((5, 8))
+    s = softmax(x)
+    np.testing.assert_allclose(s.sum(axis=1), np.ones(5), rtol=1e-6)
+    assert np.all(s > 0)
+
+
+def test_gate_picks_highest_logits():
+    gate = TopKGate(n_experts=4, top_k=2)
+    logits = np.array([[0.0, 3.0, 1.0, 2.0]])
+    r = gate.route(logits)
+    assert set(r.expert_ids[0]) == {1, 3}  # the two largest
+    assert r.weights[0].sum() == pytest.approx(1.0)
+    assert r.weights[0][0] > r.weights[0][1]  # renormalized, sorted
+
+
+def test_gate_capacity_drops_overflow():
+    gate = TopKGate(n_experts=4, top_k=1, capacity_factor=1.0)
+    # All 8 tokens want expert 0; capacity is 8*1*1/4 = 2.
+    logits = np.tile(np.array([[10.0, 0.0, 0.0, 0.0]]), (8, 1))
+    r = gate.route(logits)
+    assert gate.capacity(8) == 2
+    assert int((~r.dropped).sum()) == 2
+    assert r.drop_fraction == pytest.approx(6 / 8)
+
+
+def test_gate_no_drops_when_balanced():
+    gate = TopKGate(n_experts=4, top_k=1, capacity_factor=1.25)
+    logits = np.eye(4).repeat(2, axis=0) * 10.0  # 2 tokens per expert
+    r = gate.route(logits)
+    assert r.drop_fraction == 0.0
+    assert list(r.load) == [2, 2, 2, 2]
+
+
+def test_load_balance_loss_detects_skew():
+    gate = TopKGate(n_experts=4, top_k=1)
+    rng = np.random.default_rng(0)
+    balanced = rng.standard_normal((400, 4)) * 0.01  # near uniform
+    skewed = np.tile(np.array([[5.0, 0.0, 0.0, 0.0]]), (400, 1))
+    assert gate.load_balance_loss(balanced) == pytest.approx(1.0, abs=0.1)
+    assert gate.load_balance_loss(skewed) > 2.0
+
+
+def test_dispatch_combine_identity_with_identity_experts():
+    # If every expert is the identity, combine(dispatch(x)) == x
+    # (weights per token sum to 1 when nothing is dropped).
+    rng = np.random.default_rng(1)
+    tokens = rng.standard_normal((16, 8)).astype(np.float32)
+    gate = TopKGate(n_experts=4, top_k=2, capacity_factor=4.0)
+    logits = rng.standard_normal((16, 4))
+    out, routing = moe_forward(
+        tokens, gate, expert_fn=lambda e, x: x, rng_logits=logits
+    )
+    assert routing.drop_fraction == 0.0
+    np.testing.assert_allclose(out, tokens, rtol=1e-5, atol=1e-6)
+
+
+def test_shared_expert_applies_to_every_token():
+    rng = np.random.default_rng(2)
+    tokens = rng.standard_normal((8, 4)).astype(np.float32)
+    gate = TopKGate(n_experts=2, top_k=1, capacity_factor=8.0)
+    logits = rng.standard_normal((8, 2))
+    out, _ = moe_forward(
+        tokens, gate,
+        expert_fn=lambda e, x: np.zeros_like(x),  # routed experts silent
+        shared_expert_fn=lambda x: 2.0 * x,  # DeepSeekMoE shared expert
+        rng_logits=logits,
+    )
+    np.testing.assert_allclose(out, 2.0 * tokens, rtol=1e-6)
+
+
+def test_dropped_tokens_contribute_nothing():
+    gate = TopKGate(n_experts=2, top_k=1, capacity_factor=0.5)
+    tokens = np.ones((4, 3), dtype=np.float32)
+    logits = np.tile(np.array([[5.0, 0.0]]), (4, 1))  # all to expert 0
+    out, routing = moe_forward(
+        tokens, gate, expert_fn=lambda e, x: x, rng_logits=logits
+    )
+    assert routing.drop_fraction > 0
+    # Tokens whose single slot was dropped produce zero output.
+    dropped_tokens = routing.dropped[:, 0]
+    assert np.all(out[dropped_tokens] == 0.0)
+    assert np.all(out[~dropped_tokens] == 1.0)
+
+
+def test_gate_validation():
+    with pytest.raises(ParallelismError):
+        TopKGate(n_experts=0, top_k=1)
+    with pytest.raises(ParallelismError):
+        TopKGate(n_experts=4, top_k=5)
+    with pytest.raises(ParallelismError):
+        TopKGate(n_experts=4, top_k=2, capacity_factor=0)
+    gate = TopKGate(n_experts=4, top_k=2)
+    with pytest.raises(ParallelismError):
+        gate.route(np.zeros((3, 5)))
+    with pytest.raises(ParallelismError):
+        dispatch(np.zeros(3), GatingResult(
+            np.zeros((1, 1), np.int64), np.zeros((1, 1), np.float32),
+            np.zeros((1, 1), bool), np.zeros(4, np.int64)), 4)
+    with pytest.raises(ParallelismError):
+        moe_forward(np.zeros((2, 2), np.float32), gate,
+                    expert_fn=lambda e, x: x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_tokens=st.integers(1, 40),
+    n_experts=st.integers(1, 8),
+    seed=st.integers(0, 500),
+)
+def test_property_routing_invariants(n_tokens, n_experts, seed):
+    rng = np.random.default_rng(seed)
+    k = rng.integers(1, n_experts + 1)
+    gate = TopKGate(n_experts=n_experts, top_k=int(k))
+    logits = rng.standard_normal((n_tokens, n_experts))
+    r = gate.route(logits)
+    # Distinct experts per token.
+    for t in range(n_tokens):
+        assert len(set(r.expert_ids[t])) == k
+    # Weights normalized per token.
+    np.testing.assert_allclose(r.weights.sum(axis=1), np.ones(n_tokens),
+                               rtol=1e-5)
+    # Per-expert accepted count never exceeds capacity.
+    cap = gate.capacity(n_tokens)
+    accepted = np.zeros(n_experts, dtype=int)
+    for t in range(n_tokens):
+        for slot in range(int(k)):
+            if not r.dropped[t, slot]:
+                accepted[r.expert_ids[t, slot]] += 1
+    assert np.all(accepted <= cap)
+    # Pre-drop load sums to tokens * k.
+    assert r.load.sum() == n_tokens * k
+
+
+# ---------------------------------------------------------------------------
+# Gating statistics drive the EP timing model
+# ---------------------------------------------------------------------------
+
+
+def test_skewed_routing_slows_the_all_to_all():
+    from repro.haiscale.expert_parallel import ExpertParallelModel
+    from repro.hardware.node import fire_flyer_node
+
+    ep = ExpertParallelModel(node=fire_flyer_node(), ep_degree=16)
+    gate = TopKGate(n_experts=16, top_k=2, capacity_factor=8.0)
+    rng = np.random.default_rng(0)
+    n_tokens = 512
+    balanced = gate.route(rng.standard_normal((n_tokens, 16)) * 0.01)
+    skewed_logits = rng.standard_normal((n_tokens, 16)) * 0.01
+    skewed_logits[:, 0] += 4.0  # everyone loves expert 0
+    skewed = gate.route(skewed_logits)
+
+    t_balanced = ep.a2a_time_from_routing(balanced, hidden=2048)
+    t_skewed = ep.a2a_time_from_routing(skewed, hidden=2048)
+    # The hotspotted EP rank paces the exchange.
+    assert t_skewed > 1.5 * t_balanced
+
+
+def test_dropped_assignments_send_nothing():
+    from repro.haiscale.expert_parallel import ExpertParallelModel
+    from repro.hardware.node import fire_flyer_node
+
+    ep = ExpertParallelModel(node=fire_flyer_node(), ep_degree=16)
+    tight = TopKGate(n_experts=16, top_k=2, capacity_factor=0.5)
+    loose = TopKGate(n_experts=16, top_k=2, capacity_factor=8.0)
+    rng = np.random.default_rng(1)
+    logits = rng.standard_normal((256, 16))
+    r_tight = tight.route(logits)
+    r_loose = loose.route(logits)
+    assert r_tight.drop_fraction > 0
+    assert ep.a2a_time_from_routing(r_tight, 2048) < \
+        ep.a2a_time_from_routing(r_loose, 2048)

@@ -1,0 +1,256 @@
+"""Tests for routing, QoS, the fluid flow simulator, and double binary trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CollectiveError, RoutingError, TopologyError
+from repro.hardware.spec import QM8700_SWITCH
+from repro.network import (
+    AdaptiveRouter,
+    EcmpRouter,
+    Flow,
+    FlowSim,
+    ServiceLevel,
+    StaticRouter,
+    TrafficClassConfig,
+    build_tree,
+    double_binary_tree,
+    two_layer_fat_tree,
+)
+from repro.network.routing import make_router
+from repro.units import gbps
+
+
+@pytest.fixture()
+def small_fabric():
+    return two_layer_fat_tree(40, QM8700_SWITCH)
+
+
+# ---------------------------------------------------------------------------
+# Routers
+# ---------------------------------------------------------------------------
+
+
+def test_static_router_is_deterministic(small_fabric):
+    r = StaticRouter(small_fabric)
+    p1 = r.route("h0", "h39", flow_id=1)
+    p2 = r.route("h0", "h39", flow_id=999)
+    assert p1 == p2  # destination-based: flow id ignored
+
+
+def test_ecmp_router_spreads_flows(small_fabric):
+    r = EcmpRouter(small_fabric)
+    paths = {tuple(r.route("h0", "h39", flow_id=i)) for i in range(50)}
+    assert len(paths) > 5  # 20 candidate spines; hashing should hit many
+
+
+def test_adaptive_router_avoids_loaded_path(small_fabric):
+    loads = {}
+    r = AdaptiveRouter(small_fabric, load_view=lambda: loads)
+    first = r.route("h0", "h39", flow_id=0)
+    # Load only the spine hop (access links are shared by every candidate).
+    loads[(first[1], first[2])] = 1e12
+    second = r.route("h0", "h39", flow_id=0)
+    assert second != first
+    assert second[2] != first[2]  # chose a different spine
+
+
+def test_make_router_factory(small_fabric):
+    assert isinstance(make_router("static", small_fabric), StaticRouter)
+    assert isinstance(make_router("ecmp", small_fabric), EcmpRouter)
+    assert isinstance(make_router("adaptive", small_fabric), AdaptiveRouter)
+    with pytest.raises(RoutingError):
+        make_router("quantum", small_fabric)
+
+
+# ---------------------------------------------------------------------------
+# Flow simulation
+# ---------------------------------------------------------------------------
+
+
+def test_single_flow_gets_line_rate(small_fabric):
+    sim = FlowSim(small_fabric)
+    flow = Flow("h0", "h39", size=gbps(200.0))  # 1 second at line rate
+    res = sim.run([flow])[0]
+    assert res.duration == pytest.approx(1.0, rel=1e-6)
+    assert res.mean_rate == pytest.approx(gbps(200.0), rel=1e-6)
+
+
+def test_two_flows_share_host_link(small_fabric):
+    sim = FlowSim(small_fabric)
+    # Both flows originate at h0: its access link is the bottleneck.
+    flows = [
+        Flow("h0", "h20", size=gbps(100.0)),
+        Flow("h0", "h39", size=gbps(100.0)),
+    ]
+    results = sim.run(flows)
+    for r in results:
+        assert r.duration == pytest.approx(1.0, rel=1e-6)
+
+
+def test_incast_shares_receiver_link(small_fabric):
+    sim = FlowSim(small_fabric)
+    flows = [Flow(f"h{i}", "h39", size=gbps(50.0)) for i in range(4)]
+    results = sim.run(flows)
+    # 4 senders into one 25 GB/s access link -> each gets 1/4.
+    for r in results:
+        assert r.duration == pytest.approx(4 * gbps(50.0) / gbps(200.0), rel=1e-5)
+
+
+def test_flow_completion_frees_bandwidth(small_fabric):
+    sim = FlowSim(small_fabric)
+    flows = [
+        Flow("h0", "h39", size=gbps(100.0)),  # small
+        Flow("h1", "h39", size=gbps(300.0)),  # large, same receiver
+    ]
+    res = {r.flow.flow_id: r for r in sim.run(flows)}
+    small, large = flows
+    # Share until small finishes at t=1 (100 each), then large runs alone.
+    assert res[small.flow_id].finish == pytest.approx(1.0, rel=1e-5)
+    assert res[large.flow_id].finish == pytest.approx(2.0, rel=1e-5)
+
+
+def test_staggered_arrivals(small_fabric):
+    sim = FlowSim(small_fabric)
+    flows = [
+        Flow("h0", "h39", size=gbps(200.0), start=0.0),
+        Flow("h1", "h39", size=gbps(200.0), start=10.0),
+    ]
+    res = sim.run(flows)
+    assert res[0].finish == pytest.approx(1.0, rel=1e-5)
+    assert res[1].start == 10.0
+    assert res[1].finish == pytest.approx(11.0, rel=1e-5)
+
+
+def test_rate_cap_respected(small_fabric):
+    sim = FlowSim(small_fabric)
+    flow = Flow("h0", "h39", size=gbps(100.0), rate_cap=gbps(100.0))
+    res = sim.run([flow])[0]
+    assert res.duration == pytest.approx(1.0, rel=1e-5)
+
+
+def test_same_endpoint_flow_completes_instantly(small_fabric):
+    sim = FlowSim(small_fabric)
+    res = sim.run([Flow("h0", "h0", size=1.0, start=5.0)])[0]
+    assert res.finish == 5.0
+
+
+def test_flow_validation():
+    with pytest.raises(TopologyError):
+        Flow("a", "b", size=0.0)
+    with pytest.raises(TopologyError):
+        Flow("a", "b", size=1.0, start=-1.0)
+
+
+def test_qos_isolation_weights_favor_hfreduce(small_fabric):
+    qos = TrafficClassConfig(isolation=True)
+    sim = FlowSim(small_fabric, qos=qos)
+    flows = [
+        Flow("h0", "h39", size=1.0, sl=ServiceLevel.HFREDUCE),
+        Flow("h1", "h39", size=1.0, sl=ServiceLevel.OTHER),
+    ]
+    rates = sim.instantaneous_rates(flows)
+    # HFREDUCE weight 4 vs OTHER weight 1 on the shared receiver link.
+    assert rates[flows[0].flow_id] / rates[flows[1].flow_id] == pytest.approx(4.0)
+
+
+def test_no_isolation_applies_hol_penalty(small_fabric):
+    qos_on = TrafficClassConfig(isolation=True)
+    qos_off = TrafficClassConfig(isolation=False)
+    flows = [
+        Flow("h0", "h39", size=1.0, sl=ServiceLevel.HFREDUCE),
+        Flow("h1", "h39", size=1.0, sl=ServiceLevel.STORAGE),
+    ]
+    on = FlowSim(small_fabric, qos=qos_on).instantaneous_rates(flows)
+    flows2 = [
+        Flow("h0", "h39", size=1.0, sl=ServiceLevel.HFREDUCE),
+        Flow("h1", "h39", size=1.0, sl=ServiceLevel.STORAGE),
+    ]
+    off = FlowSim(small_fabric, qos=qos_off).instantaneous_rates(flows2)
+    assert sum(off.values()) < sum(on.values())  # HOL penalty shrinks total
+
+
+def test_qos_validation():
+    with pytest.raises(TopologyError):
+        TrafficClassConfig(weights={ServiceLevel.HFREDUCE: 0.0,
+                                    ServiceLevel.NCCL: 1.0,
+                                    ServiceLevel.STORAGE: 1.0,
+                                    ServiceLevel.OTHER: 1.0})
+    with pytest.raises(TopologyError):
+        TrafficClassConfig(hol_penalty=1.0)
+
+
+def test_aggregate_throughput(small_fabric):
+    sim = FlowSim(small_fabric)
+    flows = [Flow(f"h{i}", f"h{39 - i}", size=gbps(200.0)) for i in range(4)]
+    agg = sim.aggregate_throughput(flows)
+    # Four disjoint pairs: all run at line rate, aggregate = 4 x 25 GB/s.
+    assert agg == pytest.approx(4 * gbps(200.0), rel=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Double binary tree
+# ---------------------------------------------------------------------------
+
+
+def test_build_tree_even_ranks_are_leaves():
+    t = build_tree(8)
+    for r in range(0, 8, 2):
+        assert not t.is_interior(r)
+
+
+def test_tree_is_spanning_and_acyclic():
+    t = build_tree(13)
+    seen = set()
+    stack = [t.root]
+    while stack:
+        r = stack.pop()
+        assert r not in seen
+        seen.add(r)
+        stack.extend(t.children[r])
+    assert seen == set(range(13))
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=2, max_value=600))
+def test_double_tree_properties(n):
+    dt = double_binary_tree(n)
+    # Both trees span all ranks.
+    for t in (dt.t1, dt.t2):
+        seen = set()
+        stack = [t.root]
+        while stack:
+            r = stack.pop()
+            seen.add(r)
+            stack.extend(t.children[r])
+        assert seen == set(range(n))
+        # parent/children consistency
+        for r in range(n):
+            for c in t.children[r]:
+                assert t.parent[c] == r
+    # The crucial full-bandwidth property.
+    assert dt.interior_disjoint()
+    # Logarithmic depth (inorder trees are balanced within a factor).
+    assert dt.depth <= 2 * (n.bit_length() + 1)
+
+
+def test_double_tree_single_rank():
+    dt = double_binary_tree(1)
+    assert dt.n == 1
+    assert dt.depth == 0
+
+
+def test_tree_validation():
+    with pytest.raises(CollectiveError):
+        build_tree(0)
+    with pytest.raises(CollectiveError):
+        double_binary_tree(0)
+
+
+def test_depth_of_root_is_zero():
+    t = build_tree(16)
+    assert t.depth_of(t.root) == 0
+    assert t.depth >= 3

@@ -1,0 +1,240 @@
+"""Tests for fabric graphs and fat-tree builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.spec import QM8700_SWITCH, ROCE_400G_128P
+from repro.network import (
+    Fabric,
+    fire_flyer_network,
+    multi_plane_counts,
+    multi_plane_network,
+    three_layer_counts,
+    three_layer_fat_tree,
+    two_layer_counts,
+    two_layer_fat_tree,
+    two_zone_network,
+)
+from repro.units import gbps
+
+
+# ---------------------------------------------------------------------------
+# Fabric basics
+# ---------------------------------------------------------------------------
+
+
+def test_fabric_construction_and_queries():
+    fab = Fabric()
+    fab.add_switch("s0", tier="leaf")
+    fab.add_host("h0")
+    fab.add_host("h1", zone=1)
+    fab.add_link("h0", "s0", 100.0)
+    fab.add_link("h1", "s0", 100.0)
+    assert fab.hosts == ["h0", "h1"]
+    assert fab.switches() == ["s0"]
+    assert fab.zone_of("h1") == 1
+    assert fab.capacity(("h0", "s0")) == 100.0
+    assert fab.neighbors("s0") == ["h0", "h1"]
+    assert fab.degree("s0") == 2
+
+
+def test_fabric_validation():
+    fab = Fabric()
+    fab.add_host("h0")
+    with pytest.raises(TopologyError):
+        fab.add_host("h0")  # duplicate
+    with pytest.raises(TopologyError):
+        fab.add_switch("s0", tier="mystery")
+    with pytest.raises(TopologyError):
+        fab.add_link("h0", "ghost", 1.0)
+    fab.add_host("h1")
+    with pytest.raises(TopologyError):
+        fab.add_link("h0", "h1", 0.0)
+    fab.add_link("h0", "h1", 1.0)
+    with pytest.raises(TopologyError):
+        fab.add_link("h0", "h1", 1.0)  # duplicate link
+    with pytest.raises(TopologyError):
+        fab.capacity(("h0", "ghost"))
+    with pytest.raises(TopologyError):
+        fab.zone_of("ghost")
+
+
+def test_all_shortest_paths_and_missing_path():
+    fab = Fabric()
+    for n in ("a", "b"):
+        fab.add_host(n)
+    fab.add_switch("s0", tier="leaf")
+    fab.add_switch("s1", tier="leaf")
+    fab.add_link("a", "s0", 1.0)
+    fab.add_link("a", "s1", 1.0)
+    fab.add_link("b", "s0", 1.0)
+    fab.add_link("b", "s1", 1.0)
+    paths = fab.all_shortest_paths("a", "b")
+    assert len(paths) == 2
+    assert fab.all_shortest_paths("a", "a") == [["a"]]
+    fab.add_host("island")
+    with pytest.raises(TopologyError):
+        fab.all_shortest_paths("a", "island")
+
+
+# ---------------------------------------------------------------------------
+# Switch-count accounting (Table III)
+# ---------------------------------------------------------------------------
+
+
+def test_two_layer_800_ports_with_qm8700():
+    c = two_layer_counts(800, QM8700_SWITCH)
+    assert c.leaf == 40
+    assert c.spine == 20
+    assert c.total == 60
+    assert c.max_hosts == 800
+
+
+def test_two_layer_overflow_raises():
+    with pytest.raises(TopologyError):
+        two_layer_counts(801, QM8700_SWITCH)
+
+
+def test_fire_flyer_total_is_about_122_switches():
+    # Two zones x (40 leaf + 20 spine) = 120; Table III reports 122
+    # including the inter-zone interconnect hardware.
+    per_zone = two_layer_counts(800, QM8700_SWITCH).total
+    assert 2 * per_zone == 120
+
+
+def test_three_layer_1600_hosts_matches_table3():
+    # Table III middle column: 1600 access points -> 40 core, 160
+    # spine+leaf, 200 switches total.
+    c = three_layer_counts(1600, QM8700_SWITCH)
+    assert c.core == 40
+    assert c.leaf + c.spine == 160
+    assert c.total == 200
+
+
+def test_three_layer_10000_hosts_matches_table3_dgx_column():
+    # Table III right column: 10,000 access points -> 500 leaf, 500 spine,
+    # 320 core (core layer provisioned for 32 pods), 1320 switches.
+    c = three_layer_counts(10_000, QM8700_SWITCH, provisioned_pods=32)
+    assert c.leaf == 500
+    assert c.spine == 500
+    assert c.core == 320
+    assert c.total == 1320
+
+
+def test_three_layer_validation():
+    with pytest.raises(TopologyError):
+        three_layer_counts(10_000, QM8700_SWITCH, provisioned_pods=3)
+
+
+def test_multi_plane_32768_gpus_next_gen():
+    # Section IX: 128-port 400G switches, 4 planes -> up to 8192 GPUs/plane.
+    c = multi_plane_counts(8192, planes=4, switch=ROCE_400G_128P)
+    assert c.max_hosts == 8192
+    assert c.leaf == 128 * 4
+    assert c.spine == 64 * 4
+
+
+# ---------------------------------------------------------------------------
+# Graph builders
+# ---------------------------------------------------------------------------
+
+
+def test_two_layer_graph_structure():
+    fab = two_layer_fat_tree(80, QM8700_SWITCH)
+    assert len(fab.hosts) == 80
+    leaves = fab.switches("leaf")
+    spines = fab.switches("spine")
+    assert len(leaves) == 4
+    assert len(spines) == 20
+    # Every leaf connects to every spine.
+    for l in leaves:
+        assert fab.degree(l) == 20 + 20  # 20 hosts + 20 spines
+
+    # Any host pair is reachable in <= 4 hops (h-leaf-spine-leaf-h).
+    paths = fab.all_shortest_paths("h0", "h79")
+    assert all(len(p) - 1 <= 4 for p in paths)
+    assert len(paths) == 20  # one per spine
+
+
+def test_two_layer_custom_host_names():
+    fab = two_layer_fat_tree(2, QM8700_SWITCH, host_names=["alpha", "beta"])
+    assert fab.hosts == ["alpha", "beta"]
+    with pytest.raises(TopologyError):
+        two_layer_fat_tree(2, QM8700_SWITCH, host_names=["only-one"])
+
+
+def test_two_zone_network_interzone_paths():
+    fab = two_zone_network(40, QM8700_SWITCH, interzone_links=2)
+    z0_host = [h for h in fab.hosts if fab.zone_of(h) == 0][0]
+    z1_host = [h for h in fab.hosts if fab.zone_of(h) == 1][0]
+    paths = fab.all_shortest_paths(z0_host, z1_host)
+    # Cross-zone paths must traverse an interzone spine-spine link.
+    for p in paths:
+        crossings = [
+            (a, b)
+            for a, b in zip(p, p[1:])
+            if fab.zone_of(a) != fab.zone_of(b)
+        ]
+        assert len(crossings) == 1
+
+
+def test_two_zone_interzone_link_validation():
+    with pytest.raises(TopologyError):
+        two_zone_network(40, QM8700_SWITCH, interzone_links=0)
+    with pytest.raises(TopologyError):
+        two_zone_network(40, QM8700_SWITCH, interzone_links=99)
+
+
+def test_fire_flyer_network_scaled_down():
+    fab = fire_flyer_network(gpu_nodes=20, storage_nodes=4)
+    hosts = fab.hosts
+    # 20 compute NICs + 4 storage nodes x 2 NICs (dual-homed).
+    assert sum(1 for h in hosts if h.startswith("cn")) == 20
+    assert sum(1 for h in hosts if h.startswith("st")) == 8
+    # Storage node 0 is reachable from both zones without crossing zones.
+    assert fab.zone_of("st0.nic0") == 0
+    assert fab.zone_of("st0.nic1") == 1
+
+
+def test_fire_flyer_full_scale_shape():
+    fab = fire_flyer_network(gpu_nodes=1200, storage_nodes=180)
+    assert sum(1 for h in fab.hosts if h.startswith("cn")) == 1200
+    leaves = fab.switches("leaf")
+    spines = fab.switches("spine")
+    assert len(spines) == 40  # 20 per zone
+    # 600 GPU + 180 storage NICs per zone = 780 endpoints -> 39 leaves/zone.
+    assert len(leaves) == 2 * 39
+
+
+def test_fire_flyer_beyond_zone_capacity_raises():
+    with pytest.raises(TopologyError):
+        fire_flyer_network(gpu_nodes=1250, storage_nodes=180)
+
+
+def test_three_layer_graph_within_pod_and_cross_pod():
+    fab = three_layer_fat_tree(800, QM8700_SWITCH)
+    assert len(fab.hosts) == 800
+    # 800 hosts = 2 pods of 400.
+    assert len(fab.switches("spine")) == 40
+    assert len(fab.switches("core")) == 20  # 20 groups x ceil(2/2)
+    p = fab.all_shortest_paths("h0", "h1")[0]
+    assert len(p) - 1 == 2  # same leaf
+    p = fab.all_shortest_paths("h0", "h799")[0]
+    assert len(p) - 1 == 6  # cross-pod: h-leaf-spine-core-spine-leaf-h
+
+
+def test_multi_plane_network_builds_independent_planes():
+    planes = multi_plane_network(16, planes=2, switch=QM8700_SWITCH)
+    assert len(planes) == 2
+    assert "h0.nic0" in planes[0].hosts
+    assert "h0.nic1" in planes[1].hosts
+
+
+def test_bisection_bandwidth_two_layer():
+    fab = two_layer_fat_tree(40, QM8700_SWITCH)
+    # Split hosts in half: 2 leaves per side, bisection through spines.
+    half = set(fab.hosts[:20]) | {"leaf0"}
+    bisect = fab.bisection_bandwidth(half)
+    assert bisect > 0

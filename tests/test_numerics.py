@@ -1,0 +1,298 @@
+"""Tests for dtype codecs, reduce kernels, and chunking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CollectiveError
+from repro.numerics import (
+    ReduceKernel,
+    bf16_decode,
+    bf16_encode,
+    chunk_views,
+    codec_for,
+    fp8e4m3_decode,
+    fp8e4m3_encode,
+    fp8e5m2_decode,
+    fp8e5m2_encode,
+    iter_chunks,
+    num_chunks,
+    reduce_add,
+    reduce_inplace_fp32,
+)
+
+# ---------------------------------------------------------------------------
+# BF16
+# ---------------------------------------------------------------------------
+
+
+def test_bf16_roundtrip_exact_for_representable():
+    # Values with <= 8 significand bits are exactly representable in bf16.
+    x = np.array([0.0, 1.0, -2.5, 0.15625, 1024.0, -1572864.0], dtype=np.float32)
+    assert np.array_equal(bf16_decode(bf16_encode(x)), x)
+
+
+def test_bf16_round_to_nearest_even():
+    # 1 + 2^-8 is exactly halfway between bf16(1.0) and the next value
+    # 1 + 2^-7; RNE picks the even mantissa (1.0).
+    x = np.array([1.0 + 2.0**-8], dtype=np.float32)
+    assert bf16_decode(bf16_encode(x))[0] == 1.0
+    # Slightly above the midpoint rounds up.
+    x = np.array([1.0 + 2.0**-8 + 2.0**-16], dtype=np.float32)
+    assert bf16_decode(bf16_encode(x))[0] == np.float32(1.0 + 2.0**-7)
+
+
+def test_bf16_nan_and_inf():
+    x = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+    dec = bf16_decode(bf16_encode(x))
+    assert np.isnan(dec[0])
+    assert dec[1] == np.inf
+    assert dec[2] == -np.inf
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.integers(1, 64),
+        # Stay within bf16's finite range (larger magnitudes legitimately
+        # round to infinity) and skip subnormals (they flush toward zero).
+        elements=st.floats(
+            min_value=-3.3800000765064914e38,
+            max_value=3.3800000765064914e38,
+            width=32,
+            allow_nan=False,
+            allow_subnormal=False,
+        ),
+    )
+)
+def test_bf16_relative_error_bound(x):
+    dec = bf16_decode(bf16_encode(x))
+    # bf16 has 8 significand bits -> relative error <= 2^-8.
+    denom = np.maximum(np.abs(x), np.finfo(np.float32).tiny)
+    assert np.all(np.abs(dec - x) / denom <= 2.0**-8 + 1e-7)
+
+
+# ---------------------------------------------------------------------------
+# FP8
+# ---------------------------------------------------------------------------
+
+
+def test_fp8e4m3_exact_values():
+    x = np.array([0.0, 1.0, -1.0, 0.5, 448.0, -448.0, 2.0], dtype=np.float32)
+    assert np.array_equal(fp8e4m3_decode(fp8e4m3_encode(x)), x)
+
+
+def test_fp8e4m3_saturates():
+    x = np.array([1e9, -1e9], dtype=np.float32)
+    dec = fp8e4m3_decode(fp8e4m3_encode(x))
+    assert dec[0] == 448.0
+    assert dec[1] == -448.0
+
+
+def test_fp8e4m3_nan():
+    enc = fp8e4m3_encode(np.array([np.nan], dtype=np.float32))
+    assert enc[0] == 0x7F
+    assert np.isnan(fp8e4m3_decode(enc)[0])
+
+
+def test_fp8e4m3_subnormals():
+    # Smallest subnormal is 2^-9.
+    tiny = np.array([2.0**-9, 2.0**-9 / 4], dtype=np.float32)
+    dec = fp8e4m3_decode(fp8e4m3_encode(tiny))
+    assert dec[0] == 2.0**-9
+    assert dec[1] == 0.0  # rounds to zero
+
+
+def test_fp8e5m2_exact_values_and_inf():
+    x = np.array([0.0, 1.0, -1.5, 57344.0, np.inf, -np.inf], dtype=np.float32)
+    dec = fp8e5m2_decode(fp8e5m2_encode(x))
+    assert np.array_equal(dec[:4], x[:4])
+    assert dec[4] == np.inf
+    assert dec[5] == -np.inf
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.integers(1, 32),
+        elements=st.floats(-448.0, 448.0, width=32, allow_nan=False),
+    )
+)
+def test_fp8e4m3_is_nearest_value_rounding(x):
+    enc = fp8e4m3_encode(x)
+    dec = fp8e4m3_decode(enc)
+    # dec must be the closest representable value: any other code is no
+    # closer. Spot-check against the neighbours +-1 code.
+    table = fp8e4m3_decode(np.arange(256, dtype=np.uint8))
+    finite = table[np.isfinite(table)]
+    for xi, di in zip(x, dec):
+        best = np.min(np.abs(finite - xi))
+        assert abs(di - xi) <= best + 1e-6
+
+
+def test_fp8_roundtrip_idempotent():
+    # encode(decode(code)) == code for all finite codes (nearest-value).
+    codes = np.arange(256, dtype=np.uint8)
+    vals = fp8e4m3_decode(codes)
+    finite = np.isfinite(vals)
+    # -0.0 and 0.0 collapse; compare decoded values instead of raw codes.
+    re = fp8e4m3_decode(fp8e4m3_encode(vals[finite]))
+    assert np.array_equal(re, vals[finite])
+
+
+# ---------------------------------------------------------------------------
+# Codec registry
+# ---------------------------------------------------------------------------
+
+
+def test_codec_lookup():
+    assert codec_for("fp32").itemsize == 4
+    assert codec_for("fp16").itemsize == 2
+    assert codec_for("bf16").itemsize == 2
+    assert codec_for("fp8").itemsize == 1
+    assert codec_for("fp8").name == "fp8e4m3"
+    with pytest.raises(CollectiveError):
+        codec_for("int8")
+
+
+def test_fp16_codec_roundtrip():
+    c = codec_for("fp16")
+    x = np.array([1.0, -0.5, 65504.0], dtype=np.float32)
+    assert np.array_equal(c.decode(c.encode(x)), x)
+
+
+# ---------------------------------------------------------------------------
+# Reduce kernels
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_add_fp32_matches_numpy():
+    rng = np.random.default_rng(0)
+    bufs = [rng.normal(size=100).astype(np.float32) for _ in range(8)]
+    out = reduce_add(bufs, "fp32")
+    expected = bufs[0].astype(np.float32).copy()
+    for b in bufs[1:]:
+        expected += b
+    assert np.array_equal(out, expected)
+
+
+def test_reduce_add_bf16_accumulates_in_fp32():
+    # Summing 256 copies of 1 + eps in bf16-only arithmetic would lose the
+    # eps; fp32 accumulation keeps it until the final re-encode.
+    x = np.full(10, 1.0, dtype=np.float32)
+    bufs = [bf16_encode(x) for _ in range(256)]
+    out = bf16_decode(reduce_add(bufs, "bf16"))
+    assert np.all(out == 256.0)
+
+
+def test_reduce_add_fp8():
+    x = np.full(5, 2.0, dtype=np.float32)
+    bufs = [fp8e4m3_encode(x) for _ in range(8)]
+    out = fp8e4m3_decode(reduce_add(bufs, "fp8"))
+    assert np.all(out == 16.0)
+
+
+def test_reduce_add_validation():
+    with pytest.raises(CollectiveError):
+        reduce_add([], "fp32")
+    a = np.zeros(4, dtype=np.float32)
+    b = np.zeros(5, dtype=np.float32)
+    with pytest.raises(CollectiveError):
+        reduce_add([a, b], "fp32")
+    with pytest.raises(CollectiveError):
+        reduce_add([np.zeros(4, dtype=np.float64)], "fp32")
+
+
+def test_reduce_inplace_requires_fp32_acc():
+    with pytest.raises(CollectiveError):
+        reduce_inplace_fp32(np.zeros(3, dtype=np.float64), np.zeros(3))
+
+
+def test_reduce_kernel_lifecycle():
+    k = ReduceKernel(4, "fp16")
+    assert k.count == 0
+    k.accumulate(np.ones(4, dtype=np.float16))
+    k.accumulate(np.ones(4, dtype=np.float16))
+    k.accumulate_fp32(np.full(4, 0.5, dtype=np.float32))
+    assert k.count == 3
+    out = codec_for("fp16").decode(k.finish())
+    assert np.all(out == 2.5)
+    snap = k.snapshot_fp32()
+    assert np.all(snap == 2.5)
+    k.reset()
+    assert k.count == 0
+    with pytest.raises(CollectiveError):
+        k.finish()
+
+
+def test_reduce_kernel_validation():
+    with pytest.raises(CollectiveError):
+        ReduceKernel(0)
+    k = ReduceKernel(4, "fp32")
+    with pytest.raises(CollectiveError):
+        k.accumulate(np.zeros(5, dtype=np.float32))
+    with pytest.raises(CollectiveError):
+        k.accumulate(np.zeros(4, dtype=np.float16))
+    with pytest.raises(CollectiveError):
+        k.accumulate_fp32(np.zeros(5, dtype=np.float32))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_bufs=st.integers(1, 12),
+    dtype=st.sampled_from(["fp32", "fp16", "bf16"]),
+    seed=st.integers(0, 2**31),
+)
+def test_property_reduce_add_close_to_float64_sum(n_bufs, dtype, seed):
+    rng = np.random.default_rng(seed)
+    c = codec_for(dtype)
+    raw = [rng.uniform(-10, 10, size=32).astype(np.float32) for _ in range(n_bufs)]
+    wires = [c.encode(r) for r in raw]
+    decoded = [c.decode(w).astype(np.float64) for w in wires]
+    expected = np.sum(decoded, axis=0)
+    out = c.decode(reduce_add(wires, dtype)).astype(np.float64)
+    tol = {"fp32": 1e-4, "fp16": 0.25, "bf16": 1.5}[dtype]
+    assert np.all(np.abs(out - expected) <= tol)
+
+
+# ---------------------------------------------------------------------------
+# Chunking
+# ---------------------------------------------------------------------------
+
+
+def test_num_chunks():
+    assert num_chunks(0, 10) == 1
+    assert num_chunks(10, 10) == 1
+    assert num_chunks(11, 10) == 2
+    with pytest.raises(CollectiveError):
+        num_chunks(-1, 10)
+    with pytest.raises(CollectiveError):
+        num_chunks(10, 0)
+
+
+def test_iter_chunks_covers_everything():
+    ranges = list(iter_chunks(25, 10))
+    assert ranges == [(0, 0, 10), (1, 10, 10), (2, 20, 5)]
+    assert sum(length for _, _, length in ranges) == 25
+
+
+def test_chunk_views_are_views():
+    arr = np.arange(10, dtype=np.float32)
+    views = chunk_views(arr, 4)
+    assert [len(v) for v in views] == [4, 4, 2]
+    views[0][0] = 99.0
+    assert arr[0] == 99.0  # shares memory
+
+
+def test_chunk_views_validation():
+    with pytest.raises(CollectiveError):
+        chunk_views(np.zeros((2, 2)), 1)
+    with pytest.raises(CollectiveError):
+        chunk_views(np.zeros(4), 0)
+    assert len(chunk_views(np.zeros(0), 4)) == 1  # empty array -> one empty view

@@ -1,0 +1,37 @@
+"""Tests for the quarter-of-operations experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import operations_exp
+
+
+def test_operations_scorecard_shape():
+    r = operations_exp.run(n_nodes=16, weeks=4, seed=3)
+    assert r["nodes"] == 16
+    assert r["xid_events"] > 0
+    assert r["task_crashes"] <= r["node_fatal_events"]
+    assert 0 <= r["lost_fraction"] < 0.01
+    assert r["lost_gpu_hours"] >= 0
+
+
+def test_operations_utilization_near_one_under_backlog():
+    # The HAI platform claim: backlogged clusters run near 99%+.
+    r = operations_exp.run(n_nodes=32, weeks=13, seed=17)
+    assert r["utilization"] > 0.97
+
+
+def test_operations_loss_bounded_by_checkpoint_interval():
+    r = operations_exp.run(n_nodes=16, weeks=8, seed=9,
+                           checkpoint_interval=120.0)
+    if r["task_crashes"] > 0:
+        # Average loss per crash can't exceed the interval bound.
+        avg_loss_s = r["lost_gpu_hours"] * 3600.0 / (8 * 4) / r["task_crashes"]
+        assert avg_loss_s <= 120.0 + 1e-6
+
+
+def test_operations_render():
+    out = operations_exp.render()
+    assert "Section VII" in out
+    assert "utilization" in out

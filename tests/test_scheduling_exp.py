@@ -1,0 +1,40 @@
+"""Tests for the time-sharing vs static-partition experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scheduling_exp
+
+
+@pytest.fixture(scope="module")
+def results():
+    return scheduling_exp.run(n_nodes=16, seed=0)
+
+
+def test_time_sharing_beats_static_utilization(results):
+    ts = results["time_sharing"]
+    sp = results["static_partition"]
+    assert ts["utilization"] > sp["utilization"]
+
+
+def test_time_sharing_shorter_makespan(results):
+    ts = results["time_sharing"]
+    sp = results["static_partition"]
+    assert ts["makespan_hours"] < sp["makespan_hours"]
+
+
+def test_all_jobs_finish_under_both_policies(results):
+    assert results["time_sharing"]["jobs_finished"] == \
+        results["static_partition"]["jobs_finished"]
+    assert results["time_sharing"]["jobs_finished"] > 100
+
+
+def test_high_priority_jobs_start_promptly_under_time_sharing(results):
+    # Preemption lets the big runs start immediately.
+    assert results["time_sharing"]["high_prio_wait_hours"] < 0.5
+
+
+def test_render(results):
+    out = scheduling_exp.render()
+    assert "time-sharing" in out and "static partition" in out

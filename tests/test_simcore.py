@@ -1,0 +1,522 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Container, Environment, Interrupt, Resource, Store, Trace
+
+
+# ---------------------------------------------------------------------------
+# Environment / events
+# ---------------------------------------------------------------------------
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(5.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [5.0]
+    assert env.now == 5.0
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(0)
+        order.append(tag)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert order == ["a", "b"]
+    assert env.now == 0.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "result"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "result"
+    assert env.now == 3
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_process_waits_on_event_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        val = yield ev
+        got.append(val)
+
+    def firer():
+        yield env.timeout(2)
+        ev.succeed("payload")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield ev
+        return "handled"
+
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    p = env.process(waiter())
+    env.process(firer())
+    assert env.run(until=p) == "handled"
+
+
+def test_unhandled_failed_process_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_all_of_collects_values():
+    env = Environment()
+
+    def make(delay, val):
+        def p():
+            yield env.timeout(delay)
+            return val
+
+        return env.process(p())
+
+    procs = [make(1, "x"), make(2, "y"), make(3, "z")]
+
+    def waiter():
+        result = yield env.all_of(procs)
+        return sorted(result.values())
+
+    w = env.process(waiter())
+    assert env.run(until=w) == ["x", "y", "z"]
+    assert env.now == 3
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def make(delay, val):
+        def p():
+            yield env.timeout(delay)
+            return val
+
+        return env.process(p())
+
+    procs = [make(5, "slow"), make(1, "fast")]
+
+    def waiter():
+        result = yield env.any_of(procs)
+        return list(result.values())
+
+    w = env.process(waiter())
+    assert env.run(until=w) == ["fast"]
+    assert env.now == 1
+
+
+def test_process_can_wait_on_finished_process():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+        return 42
+
+    q = env.process(quick())
+
+    def late():
+        yield env.timeout(10)
+        val = yield q  # q finished long ago
+        return val
+
+    p = env.process(late())
+    assert env.run(until=p) == 42
+
+
+def test_yield_non_event_raises_inside_process():
+    env = Environment()
+
+    def bad():
+        yield "not an event"  # type: ignore[misc]
+
+    p = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run(until=p)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    observed = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            observed.append((env.now, intr.cause))
+
+    v = env.process(victim())
+
+    def attacker():
+        yield env.timeout(4)
+        v.interrupt("preempted")
+
+    env.process(attacker())
+    env.run()
+    assert observed == [(4.0, "preempted")]
+
+
+def test_interrupt_terminated_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    v = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        v.interrupt()
+
+
+def test_interrupted_process_can_resume_waiting():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5)
+        log.append(("resumed", env.now))
+
+    v = env.process(victim())
+
+    def attacker():
+        yield env.timeout(2)
+        v.interrupt()
+
+    env.process(attacker())
+    env.run(until=v)
+    assert log == [("interrupted", 2.0), ("resumed", 7.0)]
+    assert env.now == 7
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_deterministic_fifo_ordering_at_same_time():
+    env = Environment()
+    order = []
+
+    def p(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(20):
+        env.process(p(tag))
+    env.run()
+    assert order == list(range(20))
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+
+def test_resource_serializes_access():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        log.append(("start", tag, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append(("end", tag, env.now))
+
+    env.process(user("a", 3))
+    env.process(user("b", 2))
+    env.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 3.0),
+        ("start", "b", 3.0),
+        ("end", "b", 5.0),
+    ]
+
+
+def test_resource_capacity_two_allows_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        starts.append((tag, env.now))
+        yield env.timeout(1)
+        res.release(req)
+
+    for t in range(3):
+        env.process(user(t))
+    env.run()
+    assert starts == [(0, 0.0), (1, 0.0), (2, 1.0)]
+
+
+def test_resource_release_unheld_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+
+    def proc():
+        yield req
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    p = env.process(proc())
+    env.run(until=p)
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()  # grabs the slot synchronously
+    assert held.triggered
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # cancel while still queued
+    assert len(res.queue) == 0
+    res.release(held)
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(7.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put a", env.now))
+        yield store.put("b")  # blocks until 'a' consumed
+        log.append(("put b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        item = yield store.get()
+        log.append((f"got {item}", env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put a", 0.0) in log
+    assert ("put b", 5.0) in log
+
+
+def test_store_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    log = []
+
+    def consumer():
+        yield tank.get(30)
+        log.append(env.now)
+
+    def producer():
+        yield env.timeout(2)
+        yield tank.put(10)
+        yield env.timeout(2)
+        yield tank.put(25)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [4.0]
+    assert tank.level == pytest.approx(5.0)
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def producer():
+        yield tank.put(5)
+        log.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield tank.get(6)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [3.0]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5, init=9)
+    tank = Container(env, capacity=5)
+    with pytest.raises(SimulationError):
+        tank.put(0)
+    with pytest.raises(SimulationError):
+        tank.get(-1)
+
+
+# ---------------------------------------------------------------------------
+# Trace
+# ---------------------------------------------------------------------------
+
+
+def test_trace_select_and_series():
+    tr = Trace()
+    tr.record(0.0, "bw", gpus=16, value=8.0)
+    tr.record(1.0, "bw", gpus=32, value=7.5)
+    tr.record(2.0, "other", x=1)
+    assert len(tr) == 3
+    assert len(tr.select("bw")) == 2
+    assert tr.select("bw", gpus=32)[0]["value"] == 7.5
+    assert tr.series("bw", "gpus", "value") == [(16, 8.0), (32, 7.5)]
+    assert tr.last("other")["x"] == 1
+    assert tr.last("missing") is None
+    assert tr.sum("bw", "value") == pytest.approx(15.5)

@@ -1,0 +1,49 @@
+"""Tests for unit conversions (the auditability layer for paper constants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_binary_sizes():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+    assert units.mib(186) == 186 * 1024**2
+    assert units.gib(2) == 2 * 1024**3
+    assert units.tib(1) == 1024**4
+    assert units.kib(1) == 1024
+
+
+def test_network_rates():
+    # 200 Gbps = 25 GB/s — the CX6 line-rate conversion.
+    assert units.gbps(200) == 25e9
+    assert units.as_gBps(units.gbps(200)) == pytest.approx(25.0)
+
+
+def test_decimal_vs_binary_bandwidth():
+    assert units.gBps(1) == 1e9
+    assert units.giBps(1) == 1024**3
+    assert units.as_giBps(units.giBps(9)) == pytest.approx(9.0)
+    assert units.tBps(9) == 9e12
+
+
+def test_compute_rates():
+    assert units.tflops(220) == 2.2e14
+    assert units.as_tflops(2.2e14) == pytest.approx(220.0)
+
+
+def test_time_helpers():
+    assert units.us(6) == pytest.approx(6e-6)
+    assert units.ms(5) == pytest.approx(5e-3)
+    assert units.MINUTE == 60
+    assert units.HOUR == 3600
+    assert units.DAY == 86400
+
+
+def test_roundtrips():
+    for x in (1.0, 37.5, 320.0):
+        assert units.as_gBps(units.gBps(x)) == pytest.approx(x)
+        assert units.as_giBps(units.giBps(x)) == pytest.approx(x)
