@@ -1,0 +1,176 @@
+"""Flow-engine performance harness: reference vs vectorized.
+
+Times three representative workloads with both allocation engines and
+records the results in ``BENCH_flowsim.json`` at the repo root, so future
+PRs have a perf trajectory to compare against:
+
+* **fig7 sweep** — repeated steady-state ``instantaneous_rates`` queries
+  with an unchanged flow set (the allreduce-sweep calling pattern, where
+  memoization pays),
+* **3FS incast** — the §VI-B2 read pattern on a 180-node Fire-Flyer
+  fabric (160 compute + 20 storage nodes, 640 concurrent reads): one cold
+  allocation, the solver-bound case,
+* **congestion mix** — the §VI-A mixed-traffic scenario end to end
+  (fabric build + routing + allocation).
+
+The incast case carries the acceptance bar: vectorized must be ≥5x the
+reference engine with allocations matching to ≤1e-9.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.experiments.congestion_exp import run_scenario
+from repro.network import Flow, FlowSim, ServiceLevel, fire_flyer_network
+from repro.network.routing import EcmpRouter
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_flowsim.json"
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    yield
+    if _RESULTS:
+        payload = {
+            "benchmark": "flow-engine reference vs vectorized",
+            "unix_time": time.time(),
+            "workloads": _RESULTS,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {BENCH_PATH}")
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record(name: str, ref_s: float, vec_s: float, **extra: float) -> None:
+    _RESULTS[name] = {
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "speedup": ref_s / vec_s,
+        **extra,
+    }
+    print(f"\n{name}: reference {ref_s * 1e3:.2f} ms, "
+          f"vectorized {vec_s * 1e3:.2f} ms, {ref_s / vec_s:.1f}x")
+
+
+def _incast_flows(fab, reads_per_client: int = 4) -> List[Flow]:
+    """The storage_throughput read pattern: every compute node pulls from
+    ``reads_per_client`` zone-local storage NICs."""
+    storage_nics = [h for h in fab.hosts if h.startswith("st")]
+    clients = [h for h in fab.hosts if h.startswith("cn")]
+    flows: List[Flow] = []
+    for ci, client in enumerate(clients):
+        zone = fab.zone_of(client)
+        local = [s for s in storage_nics if fab.zone_of(s) == zone]
+        for k in range(reads_per_client):
+            idx = ci * reads_per_client + k
+            flows.append(
+                Flow(src=local[idx % len(local)], dst=client, size=1.0,
+                     sl=ServiceLevel.STORAGE, flow_id=idx)
+            )
+    return flows
+
+
+def test_bench_incast_180node_speedup():
+    """§VI-B2 incast: the acceptance-bar workload (≥5x, allocations ≤1e-9)."""
+    fab = fire_flyer_network(gpu_nodes=160, storage_nodes=20)  # 180 nodes
+    flows = _incast_flows(fab)
+    sims = {
+        eng: FlowSim(fab, router=EcmpRouter(fab), engine=eng)
+        for eng in ("reference", "vectorized")
+    }
+    rates = {}
+    for eng, sim in sims.items():
+        rates[eng] = sim.instantaneous_rates(flows)  # also warms route caches
+    for fid, r in rates["reference"].items():
+        assert math.isclose(rates["vectorized"][fid], r,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    def solve(sim):
+        sim._memo.clear()  # time the cold allocation, not the memo
+        return sim.instantaneous_rates(flows)
+
+    ref_s = _best_of(lambda: solve(sims["reference"]))
+    vec_s = _best_of(lambda: solve(sims["vectorized"]), repeats=5)
+    _record("incast_180node", ref_s, vec_s,
+            flows=len(flows), nodes=180)
+    assert ref_s / vec_s >= 5.0, (
+        f"vectorized engine only {ref_s / vec_s:.2f}x faster on 180-node incast"
+    )
+
+
+def test_bench_steady_state_sweep_memoized():
+    """Fig 7-style sweep: the same flow set queried repeatedly."""
+    fab = fire_flyer_network(gpu_nodes=160, storage_nodes=20)
+    flows = _incast_flows(fab)
+    queries = 20
+
+    def sweep(engine):
+        sim = FlowSim(fab, router=EcmpRouter(fab), engine=engine)
+        for _ in range(queries):
+            sim.instantaneous_rates(flows)
+        return sim
+
+    ref_s = _best_of(lambda: sweep("reference"), repeats=1)
+    vec_s = _best_of(lambda: sweep("vectorized"), repeats=3)
+    sim = sweep("vectorized")
+    assert sim.stats.counters["memo_hits"] == queries - 1
+    _record("steady_state_sweep_x20", ref_s, vec_s, queries=queries)
+    assert vec_s < ref_s
+
+
+def test_bench_congestion_mix_end_to_end():
+    """§VI-A mixed-traffic scenario, end to end (build + route + solve)."""
+    ref = run_scenario(True, "static", True, engine="reference")
+    vec = run_scenario(True, "static", True, engine="vectorized")
+    for key, val in ref.items():
+        assert math.isclose(vec[key], val, rel_tol=1e-9, abs_tol=1e-9)
+    ref_s = _best_of(lambda: run_scenario(True, "static", True,
+                                          engine="reference"))
+    vec_s = _best_of(lambda: run_scenario(True, "static", True,
+                                          engine="vectorized"))
+    _record("congestion_mix_end_to_end", ref_s, vec_s)
+    assert vec_s < ref_s * 1.1  # end-to-end includes fabric-build overhead
+
+
+def test_bench_fluid_run_staggered():
+    """Full fluid run() with staggered arrivals (incremental caches at work)."""
+    fab = fire_flyer_network(gpu_nodes=160, storage_nodes=20)
+
+    def flows():
+        return [
+            Flow(src=f"cn{i % 160}", dst=f"cn{(i * 13 + 40) % 160}",
+                 size=1e9, start=0.002 * i, flow_id=i)
+            for i in range(200)
+            if i % 160 != (i * 13 + 40) % 160
+        ]
+
+    finishes = {}
+    for eng in ("reference", "vectorized"):
+        res = FlowSim(fab, engine=eng).run(flows())
+        finishes[eng] = [r.finish for r in res]
+    for a, b in zip(finishes["reference"], finishes["vectorized"]):
+        assert math.isclose(a, b, rel_tol=1e-6)
+
+    ref_s = _best_of(lambda: FlowSim(fab, engine="reference").run(flows()),
+                     repeats=1)
+    vec_s = _best_of(lambda: FlowSim(fab, engine="vectorized").run(flows()),
+                     repeats=3)
+    _record("fluid_run_200flows", ref_s, vec_s)
+    assert vec_s < ref_s

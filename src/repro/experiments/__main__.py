@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments            # everything
     python -m repro.experiments fig7 table3
     python -m repro.experiments --list
+    python -m repro.experiments --perf congestion   # append a perf profile
+
+``--perf`` enables the global :mod:`repro.perf` aggregate and prints the
+combined counters/timings (flow-engine events, solver iterations, memo
+hits, solve wall time) after the requested experiments run.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, List
 
+from repro import perf
 from repro.experiments import (
     checkpoint_exp,
     congestion_exp,
@@ -54,6 +60,9 @@ def main(argv: List[str]) -> int:
     if "--list" in argv or "-l" in argv:
         print("\n".join(sorted(EXPERIMENTS)))
         return 0
+    profile = "--perf" in argv
+    if profile:
+        perf.enable()
     names = [a for a in argv if not a.startswith("-")] or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -64,6 +73,10 @@ def main(argv: List[str]) -> int:
         if i:
             print()
         print(EXPERIMENTS[name].render())
+    if profile:
+        print()
+        print(perf.report())
+        perf.disable()
     return 0
 
 

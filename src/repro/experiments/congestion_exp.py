@@ -79,14 +79,15 @@ def _mixed_flows(rts: bool) -> List[Flow]:
     return flows
 
 
-def run_scenario(isolation: bool, routing: str, rts: bool) -> Dict[str, float]:
+def run_scenario(isolation: bool, routing: str, rts: bool,
+                 engine: str = "vectorized") -> Dict[str, float]:
     """One configuration; returns straggler and aggregate metrics."""
     fab = _build_fabric()
     router = (
         StaticRouter(fab) if routing == "static" else AdaptiveRouter(fab)
     )
     sim = FlowSim(fab, router=router,
-                  qos=TrafficClassConfig(isolation=isolation))
+                  qos=TrafficClassConfig(isolation=isolation), engine=engine)
     flows = _mixed_flows(rts=rts)
     rates = sim.instantaneous_rates(flows)
     hf = [rates[f.flow_id] for f in flows if f.sl is ServiceLevel.HFREDUCE]

@@ -78,16 +78,18 @@ def flow_simulation(
     gpu_nodes: int = 120,
     storage_nodes: int = 18,
     reads_per_client: int = 4,
+    engine: str = "vectorized",
 ) -> Dict[str, float]:
     """Steady-state fluid read pattern on a scaled-down fabric.
 
     Every compute node reads from ``reads_per_client`` storage NICs
     (RTS-windowed), spread round-robin as the chain tables do. Reports
     aggregate throughput, per-storage-NIC utilization, and client
-    fairness.
+    fairness. ``engine`` selects the :class:`FlowSim` allocation engine
+    (the perf benchmarks compare ``vectorized`` against ``reference``).
     """
     fab = fire_flyer_network(gpu_nodes=gpu_nodes, storage_nodes=storage_nodes)
-    sim = FlowSim(fab, router=EcmpRouter(fab))
+    sim = FlowSim(fab, router=EcmpRouter(fab), engine=engine)
     storage_nics = [h for h in fab.hosts if h.startswith("st")]
     clients = [h for h in fab.hosts if h.startswith("cn")]
     flows: List[Flow] = []

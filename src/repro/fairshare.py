@@ -8,12 +8,26 @@ filling is the standard fluid abstraction for them.
 Each *flow* has a weight (QoS share); each *constraint* has a capacity and a
 set of member flows. The solver repeatedly saturates the tightest
 constraint, freezing its members' rates, until all flows are fixed.
+
+Two implementations share these semantics:
+
+* :func:`maxmin_rates` — the pure-Python reference (dicts and sets), kept
+  as the readable specification and property-test oracle;
+* :func:`maxmin_rates_vectorized` — a NumPy engine over a flow×constraint
+  incidence matrix in CSR-style index arrays, used by the flow simulator's
+  hot path. Weight sums, bottleneck selection, and capacity charging are
+  all array reductions, so per-iteration cost is a handful of O(nnz)
+  vector ops instead of Python-level set algebra.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.perf import PerfCounters
 
 FlowId = Hashable
 
@@ -108,6 +122,114 @@ def maxmin_rates(
         active -= fixed
 
     return rates
+
+
+def maxmin_rates_vectorized(
+    flows: Sequence[FlowId],
+    constraints: Sequence[Constraint],
+    weights: Optional[Mapping[FlowId, float]] = None,
+    demands: Optional[Mapping[FlowId, float]] = None,
+    perf: Optional[PerfCounters] = None,
+) -> Dict[FlowId, float]:
+    """NumPy progressive filling; same contract as :func:`maxmin_rates`.
+
+    The flow×constraint incidence matrix is held as two parallel index
+    arrays (one entry per membership), sorted by constraint so each
+    constraint's members are a contiguous slice (CSR). Each filling round
+    does vectorized weight sums per constraint (``bincount``), an
+    ``argmin`` bottleneck pick (first-index tie-break, matching the
+    reference), and a vectorized capacity charge.
+
+    ``perf``, if given, accumulates ``solver_iterations`` and
+    ``solver_calls``. Results match :func:`maxmin_rates` to float rounding
+    (≤1e-9 relative; the two sum member weights in different orders).
+    """
+    flow_list = list(flows)
+    index: Dict[FlowId, int] = {}
+    for f in flow_list:
+        if f not in index:
+            index[f] = len(index)
+    n = len(index)
+    if n == 0:
+        return {}
+
+    w = np.ones(n, dtype=np.float64)
+    if weights:
+        for f, i in index.items():
+            w[i] = weights.get(f, 1.0)
+    if np.any(w <= 0):
+        bad = next(f for f, i in index.items() if w[i] <= 0)
+        raise ValueError(f"flow {bad!r} weight must be > 0")
+
+    # Incidence entries: (constraint row, flow column), constraints with no
+    # member in this allocation round are dropped (they can never bind).
+    ent_cons: List[int] = []
+    ent_flow: List[int] = []
+    caps: List[float] = []
+    for c in constraints:
+        members = [index[f] for f in c.members if f in index]
+        if not members:
+            continue
+        row = len(caps)
+        caps.append(c.capacity)
+        ent_cons.extend([row] * len(members))
+        ent_flow.extend(members)
+    if demands:
+        for f, d in demands.items():
+            if f in index:
+                row = len(caps)
+                caps.append(max(d, 1e-30))
+                ent_cons.append(row)
+                ent_flow.append(index[f])
+
+    rates = np.zeros(n, dtype=np.float64)
+    active = np.ones(n, dtype=bool)
+    m = len(caps)
+    iterations = 0
+    if m == 0:
+        rates[:] = np.inf
+        active[:] = False
+
+    if m:
+        ec = np.asarray(ent_cons, dtype=np.intp)
+        ef = np.asarray(ent_flow, dtype=np.intp)
+        # CSR: entries are appended in row order already, so each row is a
+        # contiguous [indptr[r], indptr[r+1]) slice.
+        indptr = np.searchsorted(ec, np.arange(m + 1))
+        ew = w[ef]
+        remaining = np.asarray(caps, dtype=np.float64)
+
+        while active.any():
+            iterations += 1
+            act_ent = active[ef]
+            weight_sum = np.bincount(ec[act_ent], weights=ew[act_ent], minlength=m)
+            binding = weight_sum > 0
+            if not binding.any():
+                # Only unconstrained flows remain: infinite rate (caller
+                # caps via demands).
+                rates[active] = np.inf
+                break
+            ratio = np.full(m, np.inf)
+            np.divide(remaining, weight_sum, out=ratio, where=binding)
+            b = int(np.argmin(ratio))
+            seg = slice(indptr[b], indptr[b + 1])
+            fix = ef[seg][active[ef[seg]]]
+            rates[fix] = w[fix] * ratio[b]
+            active[fix] = False
+            # Charge the fixed flows against every constraint they traverse.
+            fixed_mask = np.zeros(n, dtype=bool)
+            fixed_mask[fix] = True
+            charged = fixed_mask[ef]
+            used = np.bincount(ec[charged], weights=rates[ef[charged]], minlength=m)
+            np.maximum(remaining - used, 0.0, out=remaining)
+
+    if perf is not None:
+        perf.bump("solver_calls")
+        perf.bump("solver_iterations", iterations)
+    return {
+        f: (float("inf") if np.isinf(rates[i]) else float(rates[i]))
+        for f, i in index.items()
+    }
 
 
 def bottleneck_throughput(

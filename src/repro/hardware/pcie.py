@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.errors import HardwareConfigError
-from repro.fairshare import Constraint, maxmin_rates
+from repro.fairshare import Constraint, maxmin_rates_vectorized
 from repro.hardware.node import NodeSpec
 
 
@@ -119,7 +119,7 @@ class PCIeFabric:
                         )
                     )
 
-        return maxmin_rates(flows, constraints, weights)
+        return maxmin_rates_vectorized(flows, constraints, weights)
 
     def rate_of(self, transfers: Sequence[Transfer], index: int = 0) -> float:
         """Convenience: the rate of one transfer in a concurrent set."""

@@ -9,21 +9,51 @@ abstraction for lossless credit-flow-controlled fabrics like InfiniBand.
 QoS enters in two ways (see :mod:`repro.network.qos`): Virtual-Lane
 isolation gives flows class weights, and disabling isolation applies a
 head-of-line-blocking efficiency penalty on links carrying mixed classes.
+
+The engine is *incremental* and *vectorized* (see ``docs/PERFORMANCE.md``):
+per-link membership and traffic-class counts are maintained across events
+(updated on admit/finish instead of rebuilt from every active flow),
+simultaneous completions are retired in one batch before the single
+recompute, repeated :meth:`FlowSim.instantaneous_rates` calls with an
+unchanged flow set are memoized, and the allocation itself runs on the
+NumPy incidence-matrix solver. ``engine="reference"`` selects the original
+pure-Python per-event rebuild (the specification the vectorized engine is
+property-tested against, and the baseline ``benchmarks/test_perf_flowsim.py``
+measures speedups over). :attr:`FlowSim.stats` exposes perf counters.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
-from repro.fairshare import Constraint, maxmin_rates
+from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
 from repro.network.routing import Router, StaticRouter
 from repro.network.topology import Fabric, LinkId
+from repro.perf import PerfCounters
 
 _ids = itertools.count()
+
+#: A flow counts as complete when its remaining bytes drop below this
+#: fraction of its size. The tolerance is *relative* so that float rounding
+#: in ``remaining -= rate * dt`` (which scales with flow size) terminates
+#: multi-TB 3FS transfers, while tiny control flows are not declared done
+#: while a meaningful fraction of their payload is still in flight — an
+#: absolute cutoff cannot serve both ends of that range.
+COMPLETION_EPS = 1e-9
+
+#: instantaneous_rates memo entries kept (steady-state sweeps re-query a
+#: handful of distinct flow sets).
+_MEMO_SIZE = 16
+
+#: Per-link capacity × HOL-efficiency constraint handed to the solver
+#: (duck-typed stand-in for :class:`~repro.fairshare.Constraint` that skips
+#: its defensive set copy on the per-event hot path).
+_LinkConstraint = namedtuple("_LinkConstraint", ["capacity", "members", "name"])
 
 
 @dataclass
@@ -65,21 +95,66 @@ class FlowResult:
 
 
 class FlowSim:
-    """Event-driven fluid simulator over a :class:`Fabric`."""
+    """Event-driven fluid simulator over a :class:`Fabric`.
+
+    ``engine`` selects the allocation path: ``"vectorized"`` (default) uses
+    the NumPy solver with incremental link caches and memoization;
+    ``"reference"`` reproduces the original pure-Python engine (per-event
+    dict rebuilds, no memo) for equivalence testing and benchmarking.
+
+    Link capacities are cached at first use, so the fabric should not be
+    mutated while a simulator is attached to it (build a new :class:`FlowSim`
+    for a degraded fabric, as :mod:`repro.network.linkfail` does).
+
+    :attr:`stats` is a :class:`~repro.perf.PerfCounters` accumulating
+    events, recomputes, memo/route-cache hits, solver iterations, and solve
+    wall time across this instance's lifetime.
+    """
 
     def __init__(
         self,
         fabric: Fabric,
         router: Optional[Router] = None,
         qos: Optional[TrafficClassConfig] = None,
+        engine: str = "vectorized",
     ) -> None:
+        if engine not in ("vectorized", "reference"):
+            raise TopologyError(f"unknown flow engine {engine!r}")
         self.fabric = fabric
         self.qos = qos if qos is not None else default_qos()
+        self.engine = engine
+        self.stats = PerfCounters()
         self._link_rates: Dict[LinkId, float] = {}
+        self._cap_cache: Dict[LinkId, float] = {}
+        self._route_memo: Dict[Tuple[str, str, object], List[LinkId]] = {}
+        self._memo: "OrderedDict[tuple, Tuple[Dict[int, float], Dict[LinkId, float]]]" = OrderedDict()
         self.router = router if router is not None else StaticRouter(fabric)
-        # Give adaptive routers a live load view if they want one.
-        if getattr(self.router, "_load_view", None) is not None:
-            self.router._load_view = lambda: self._link_rates  # type: ignore[attr-defined]
+        # Give adaptive routers a live load view.
+        self.router.set_load_view(lambda: self._link_rates)
+
+    # -- cached lookups ----------------------------------------------------------
+
+    def _capacity(self, link: LinkId) -> float:
+        cap = self._cap_cache.get(link)
+        if cap is None:
+            cap = self._cap_cache[link] = self.fabric.capacity(link)
+        return cap
+
+    def _route(self, f: Flow) -> List[LinkId]:
+        """Route a flow, caching per (src, dst, flow_id) when routing is
+        load-independent (adaptive choices must see fresh loads)."""
+        if self.router.load_dependent:
+            return self.router.route_links(f.src, f.dst, f.flow_id)
+        key = (f.src, f.dst, f.flow_id)
+        route = self._route_memo.get(key)
+        if route is None:
+            route = self.router.route_links(f.src, f.dst, f.flow_id)
+            if len(self._route_memo) >= 65536:
+                self._route_memo.clear()
+            self._route_memo[key] = route
+        else:
+            self.stats.bump("route_cache_hits")
+        return route
 
     # -- instantaneous allocation ------------------------------------------------
 
@@ -90,71 +165,166 @@ class FlowSim:
 
         Returns flow_id -> bytes/s. Useful for steady-state bandwidth
         studies (e.g. the allreduce sweeps) without running a full sim.
+        Results for an unchanged flow set are memoized (vectorized engine,
+        load-independent routers, default routing only).
         """
         if not flows:
             return {}
-        if routes is None:
-            routes = {
-                f.flow_id: self.router.route_links(f.src, f.dst, f.flow_id)
-                for f in flows
-            }
-        # Classes present per link (for the HOL penalty).
-        classes_on: Dict[LinkId, Set[ServiceLevel]] = {}
-        for f in flows:
-            for link in routes[f.flow_id]:
-                classes_on.setdefault(link, set()).add(f.sl)
-
-        members: Dict[LinkId, Set[int]] = {}
-        for f in flows:
-            for link in routes[f.flow_id]:
-                members.setdefault(link, set()).add(f.flow_id)
-        constraints = [
-            Constraint(
-                capacity=self.fabric.capacity(link)
-                * self.qos.link_efficiency(classes_on[link]),
-                members=mem,
-                name=f"{link[0]}->{link[1]}",
-            )
-            for link, mem in members.items()
-        ]
-        weights = {f.flow_id: self.qos.flow_weight(f.sl) for f in flows}
-        demands = {
-            f.flow_id: f.rate_cap for f in flows if f.rate_cap is not None
-        }
-        rates = maxmin_rates(
-            [f.flow_id for f in flows], constraints, weights, demands or None
+        self.stats.bump("rate_queries")
+        memo_ok = (
+            routes is None
+            and self.engine == "vectorized"
+            and not self.router.load_dependent
         )
+        key = None
+        if memo_ok:
+            key = tuple(
+                sorted(
+                    (f.flow_id, f.src, f.dst, f.sl.value,
+                     -1.0 if f.rate_cap is None else f.rate_cap)
+                    for f in flows
+                )
+            )
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._memo.move_to_end(key)
+                self.stats.bump("memo_hits")
+                rates, link_rates = hit
+                self._link_rates = dict(link_rates)
+                return dict(rates)
+        if routes is None:
+            routes = {f.flow_id: self._route(f) for f in flows}
+        rates = self._solve(flows, routes)
+        if memo_ok:
+            self._memo[key] = (dict(rates), dict(self._link_rates))
+            if len(self._memo) > _MEMO_SIZE:
+                self._memo.popitem(last=False)
+        return rates
+
+    def _solve(
+        self,
+        flows: Sequence[Flow],
+        routes: Dict[int, List[LinkId]],
+        link_members: Optional[Dict[LinkId, Set[int]]] = None,
+        link_classes: Optional[Dict[LinkId, Dict[ServiceLevel, int]]] = None,
+    ) -> Dict[int, float]:
+        """One allocation round. ``link_members``/``link_classes`` are the
+        incrementally-maintained caches from :meth:`run`; when absent they
+        are rebuilt from scratch (standalone queries, reference engine)."""
+        self.stats.bump("rate_recomputes")
+        with self.stats.timeit("solve_s"):
+            if link_members is None or link_classes is None:
+                link_members = {}
+                link_classes = {}
+                for f in flows:
+                    for link in routes[f.flow_id]:
+                        members = link_members.get(link)
+                        if members is None:
+                            members = link_members[link] = set()
+                            link_classes[link] = {}
+                        members.add(f.flow_id)
+                        counts = link_classes[link]
+                        counts[f.sl] = counts.get(f.sl, 0) + 1
+            qos = self.qos
+            flow_ids = [f.flow_id for f in flows]
+            weights = {f.flow_id: qos.flow_weight(f.sl) for f in flows}
+            demands = {
+                f.flow_id: f.rate_cap for f in flows if f.rate_cap is not None
+            }
+            if self.engine == "reference":
+                constraints = [
+                    Constraint(
+                        capacity=self._capacity(link)
+                        * qos.efficiency_for(len(link_classes[link])),
+                        members=members,
+                        name=f"{link[0]}->{link[1]}",
+                    )
+                    for link, members in link_members.items()
+                ]
+                rates = maxmin_rates(flow_ids, constraints, weights, demands or None)
+            else:
+                constraints = [
+                    _LinkConstraint(
+                        self._capacity(link)
+                        * qos.efficiency_for(len(link_classes[link])),
+                        members,
+                        link,
+                    )
+                    for link, members in link_members.items()
+                ]
+                rates = maxmin_rates_vectorized(
+                    flow_ids, constraints, weights, demands or None, perf=self.stats
+                )
         # Record link loads for adaptive routing decisions.
-        self._link_rates = {}
+        link_rates: Dict[LinkId, float] = {}
         for f in flows:
             r = rates[f.flow_id]
             if r == float("inf"):
                 continue
             for link in routes[f.flow_id]:
-                self._link_rates[link] = self._link_rates.get(link, 0.0) + r
+                link_rates[link] = link_rates.get(link, 0.0) + r
+        self._link_rates = link_rates
         return rates
 
     # -- full fluid simulation -----------------------------------------------------
 
     def run(self, flows: Sequence[Flow]) -> List[FlowResult]:
         """Simulate all flows to completion; returns per-flow results."""
+        with self.stats.timeit("run_s"):
+            return self._run(flows)
+
+    def _run(self, flows: Sequence[Flow]) -> List[FlowResult]:
         pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
         routes: Dict[int, List[LinkId]] = {}
         remaining: Dict[int, float] = {}
-        active: List[Flow] = []
+        active: Dict[int, Flow] = {}  # insertion-ordered, O(1) removal
+        # Incrementally-maintained per-link state (vectorized engine only;
+        # the reference engine rebuilds per event, as the original did).
+        link_members: Dict[LinkId, Set[int]] = {}
+        link_classes: Dict[LinkId, Dict[ServiceLevel, int]] = {}
         results: Dict[int, FlowResult] = {}
+        incremental = self.engine == "vectorized"
         now = 0.0
         i = 0
 
         # Flows between the same endpoint complete instantly (no fabric hop).
         def admit(f: Flow) -> None:
-            route = self.router.route_links(f.src, f.dst, f.flow_id)
+            self.stats.bump("admits")
+            route = self._route(f)
             if not route:
                 results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=f.start)
                 return
             routes[f.flow_id] = route
             remaining[f.flow_id] = f.size
-            active.append(f)
+            active[f.flow_id] = f
+            if incremental:
+                for link in route:
+                    members = link_members.get(link)
+                    if members is None:
+                        members = link_members[link] = set()
+                        link_classes[link] = {}
+                    members.add(f.flow_id)
+                    counts = link_classes[link]
+                    counts[f.sl] = counts.get(f.sl, 0) + 1
+
+        def retire(f: Flow) -> None:
+            fid = f.flow_id
+            if incremental:
+                for link in routes[fid]:
+                    members = link_members[link]
+                    members.discard(fid)
+                    if not members:
+                        del link_members[link]
+                        del link_classes[link]
+                    else:
+                        counts = link_classes[link]
+                        left = counts[f.sl] - 1
+                        if left:
+                            counts[f.sl] = left
+                        else:
+                            del counts[f.sl]
+            del active[fid]
+            del remaining[fid]
 
         while i < len(pending) or active:
             if not active:
@@ -164,10 +334,15 @@ class FlowSim:
                     i += 1
                 continue
 
-            rates = self.instantaneous_rates(active, routes)
+            self.stats.bump("events")
+            active_flows = list(active.values())
+            if incremental:
+                rates = self._solve(active_flows, routes, link_members, link_classes)
+            else:
+                rates = self.instantaneous_rates(active_flows, routes)
             # Earliest completion among active flows at current rates.
             t_complete = float("inf")
-            for f in active:
+            for f in active_flows:
                 r = rates[f.flow_id]
                 if r > 0 and r != float("inf"):
                     t_complete = min(t_complete, remaining[f.flow_id] / r)
@@ -178,7 +353,7 @@ class FlowSim:
             if dt == float("inf"):
                 raise TopologyError("simulation stalled: no progress possible")
 
-            for f in active:
+            for f in active_flows:
                 r = rates[f.flow_id]
                 if r == float("inf"):
                     remaining[f.flow_id] = 0.0
@@ -186,11 +361,18 @@ class FlowSim:
                     remaining[f.flow_id] = max(remaining[f.flow_id] - r * dt, 0.0)
             now += dt
 
-            finished = [f for f in active if remaining[f.flow_id] <= 1e-6]
+            # Batch every simultaneous completion into one retire pass, so
+            # the next iteration runs a single recompute for all of them.
+            finished = [
+                f for f in active_flows
+                if remaining[f.flow_id] <= f.size * COMPLETION_EPS
+            ]
             for f in finished:
                 results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=now)
-                active.remove(f)
-                del remaining[f.flow_id]
+                retire(f)
+            if finished:
+                self.stats.bump("completions", len(finished))
+                self.stats.bump("completion_batches")
             while i < len(pending) and pending[i].start <= now + 1e-12:
                 admit(pending[i])
                 i += 1
@@ -199,8 +381,13 @@ class FlowSim:
         return [results[f.flow_id] for f in ordered]
 
     def aggregate_throughput(self, flows: Sequence[Flow]) -> float:
-        """Total bytes moved / makespan for a flow set (convenience)."""
+        """Total bytes moved / makespan for a flow set (convenience).
+
+        An empty flow set moves no bytes: returns 0.0.
+        """
         res = self.run(flows)
+        if not res:
+            return 0.0
         makespan = max(r.finish for r in res) - min(r.start for r in res)
         total = sum(r.flow.size for r in res)
         return total / makespan if makespan > 0 else float("inf")

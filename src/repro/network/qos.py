@@ -64,7 +64,15 @@ class TrafficClassConfig:
 
     def link_efficiency(self, classes_on_link: Set[ServiceLevel]) -> float:
         """Capacity multiplier for a link given the classes it carries."""
-        if self.isolation or len(classes_on_link) <= 1:
+        return self.efficiency_for(len(classes_on_link))
+
+    def efficiency_for(self, n_classes: int) -> float:
+        """Capacity multiplier given only the *number* of classes present.
+
+        Fast path for the incremental flow engine, which maintains per-link
+        class counts across events instead of rebuilding class sets.
+        """
+        if self.isolation or n_classes <= 1:
             return 1.0
         return 1.0 - self.hol_penalty
 

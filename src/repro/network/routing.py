@@ -31,9 +31,23 @@ def _stable_hash(*parts: object) -> int:
 class Router(ABC):
     """Chooses a node path for each flow."""
 
+    #: Whether route choice depends on the live link-load view. Load-
+    #: independent routers return the same path for the same
+    #: (src, dst, flow_id) regardless of traffic, which lets the flow
+    #: simulator memoize allocations.
+    load_dependent: bool = False
+
     def __init__(self, fabric: Fabric) -> None:
         self.fabric = fabric
         self._paths_cache: Dict[tuple, List[List[str]]] = {}
+
+    def set_load_view(self, view: Optional[Callable[[], Mapping[LinkId, float]]]) -> None:
+        """Install a live link-load view (link -> bytes/s).
+
+        The flow simulator calls this once at construction so adaptive
+        routers see its instantaneous link loads. Load-independent routers
+        ignore it; :class:`AdaptiveRouter` overrides.
+        """
 
     def _candidates(self, src: str, dst: str) -> List[List[str]]:
         key = (src, dst)
@@ -81,6 +95,8 @@ class AdaptiveRouter(Router):
     congestion — the behaviour the paper observed and disabled.
     """
 
+    load_dependent = True
+
     def __init__(
         self,
         fabric: Fabric,
@@ -88,6 +104,9 @@ class AdaptiveRouter(Router):
     ) -> None:
         super().__init__(fabric)
         self._load_view = load_view or (lambda: {})
+
+    def set_load_view(self, view: Optional[Callable[[], Mapping[LinkId, float]]]) -> None:
+        self._load_view = view if view is not None else (lambda: {})
 
     def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
         cands = self._candidates(src, dst)

@@ -1,0 +1,107 @@
+"""Lightweight performance instrumentation: counters + wall-time accumulators.
+
+The flow engine (and anything else on a hot path) records *counters*
+(solver iterations, rate recomputes, memo hits, events) and *timers*
+(accumulated wall seconds per labelled section) into a
+:class:`PerfCounters` instance. :class:`~repro.network.flows.FlowSim`
+exposes its own instance as ``FlowSim.stats``.
+
+A process-global aggregate can additionally be enabled (``perf.enable()``)
+so that a whole experiment run — which may construct many simulators —
+reports one combined profile; ``python -m repro.experiments --perf``
+uses this. Mirroring into the global aggregate is a couple of dict
+operations per record and is off by default, so instrumentation stays
+cheap enough to leave permanently enabled on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PerfCounters:
+    """A named bag of integer counters and float second-accumulators."""
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, float] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        if _collect_global and self is not GLOBAL:
+            GLOBAL.bump(name, n)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to timer ``name``."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        if _collect_global and self is not GLOBAL:
+            GLOBAL.add_time(name, seconds)
+
+    @contextmanager
+    def timeit(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Copy of the current counters and timings."""
+        return {"counters": dict(self.counters), "timings_s": dict(self.timings)}
+
+    def reset(self) -> None:
+        """Zero all counters and timers."""
+        self.counters.clear()
+        self.timings.clear()
+
+    def report(self) -> str:
+        """Human-readable profile table."""
+        lines = ["perf counters:"]
+        if not self.counters and not self.timings:
+            lines.append("  (nothing recorded)")
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<24} {self.counters[name]:>12}")
+        if self.timings:
+            lines.append("perf timings:")
+            for name in sorted(self.timings):
+                lines.append(f"  {name:<24} {self.timings[name]:>12.6f} s")
+        return "\n".join(lines)
+
+
+#: Process-wide aggregate; only collects while :func:`enable` is in effect.
+GLOBAL = PerfCounters()
+_collect_global = False
+
+
+def enable(reset: bool = True) -> None:
+    """Start mirroring every :class:`PerfCounters` record into ``GLOBAL``."""
+    global _collect_global
+    if reset:
+        GLOBAL.reset()
+    _collect_global = True
+
+
+def disable() -> None:
+    """Stop global collection (instance-local stats keep recording)."""
+    global _collect_global
+    _collect_global = False
+
+
+def is_enabled() -> bool:
+    """Whether global aggregation is active."""
+    return _collect_global
+
+
+def report() -> str:
+    """Render the global aggregate profile."""
+    return GLOBAL.report()

@@ -1,0 +1,119 @@
+"""Equivalence tests: vectorized max-min solver vs the pure-Python reference.
+
+The NumPy engine must reproduce the reference allocation within 1e-9 on
+arbitrary topologies, weights, and demands — including demand-capped and
+unconstrained (infinite-rate) flows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
+from repro.perf import PerfCounters
+
+
+def _close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _assert_match(flows, cons, weights=None, demands=None):
+    ref = maxmin_rates(flows, cons, weights, demands)
+    vec = maxmin_rates_vectorized(flows, cons, weights, demands)
+    assert set(ref) == set(vec)
+    for f in ref:
+        assert _close(ref[f], vec[f]), (f, ref[f], vec[f])
+    return vec
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n_flows=st.integers(min_value=1, max_value=12),
+    n_cons=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_vectorized_matches_reference(n_flows, n_cons, seed):
+    rng = random.Random(seed)
+    flows = [f"f{i}" for i in range(n_flows)]
+    cons = []
+    for j in range(n_cons):
+        members = {f for f in flows if rng.random() < 0.5}
+        # Empty and foreign-member constraints are legal and must be
+        # ignored identically by both engines.
+        if rng.random() < 0.15:
+            members.add(f"ghost{j}")
+        cons.append(Constraint(rng.uniform(0.5, 100.0), members, name=f"c{j}"))
+    weights = {f: rng.uniform(0.1, 8.0) for f in flows if rng.random() < 0.7}
+    demands = {f: rng.uniform(0.01, 50.0) for f in flows if rng.random() < 0.4}
+    # Some flows may be covered by no constraint and no demand: both
+    # engines must report inf for exactly those.
+    _assert_match(flows, cons, weights or None, demands or None)
+
+
+def test_vectorized_empty_flows():
+    assert maxmin_rates_vectorized([], [Constraint(1.0, {"a"})]) == {}
+
+
+def test_vectorized_unconstrained_flow_is_infinite():
+    rates = maxmin_rates_vectorized(["lonely"], [])
+    assert rates["lonely"] == float("inf")
+
+
+def test_vectorized_mixed_constrained_and_unconstrained():
+    cons = [Constraint(10.0, {"a", "b"})]
+    rates = _assert_match(["a", "b", "free"], cons)
+    assert rates["a"] == pytest.approx(5.0)
+    assert rates["free"] == float("inf")
+
+
+def test_vectorized_demand_caps_flow():
+    rates = _assert_match(
+        ["a", "b"], [Constraint(10.0, {"a", "b"})], None, {"a": 1.0}
+    )
+    assert rates["a"] == pytest.approx(1.0)
+    assert rates["b"] == pytest.approx(9.0)
+
+
+def test_vectorized_demand_on_unconstrained_flow():
+    rates = _assert_match(["a"], [], None, {"a": 3.5})
+    assert rates["a"] == pytest.approx(3.5)
+
+
+def test_vectorized_classic_three_flow_maxmin():
+    cons = [
+        Constraint(10.0, {"f1", "f2"}, name="L1"),
+        Constraint(4.0, {"f2", "f3"}, name="L2"),
+    ]
+    rates = _assert_match(["f1", "f2", "f3"], cons)
+    assert rates["f1"] == pytest.approx(8.0)
+    assert rates["f2"] == pytest.approx(2.0)
+    assert rates["f3"] == pytest.approx(2.0)
+
+
+def test_vectorized_weighted_split():
+    rates = _assert_match(
+        ["a", "b"], [Constraint(12.0, {"a", "b"})], {"a": 2.0, "b": 1.0}
+    )
+    assert rates["a"] == pytest.approx(8.0)
+    assert rates["b"] == pytest.approx(4.0)
+
+
+def test_vectorized_zero_weight_rejected():
+    with pytest.raises(ValueError):
+        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})], weights={"a": 0.0})
+
+
+def test_vectorized_records_perf_counters():
+    perf = PerfCounters()
+    maxmin_rates_vectorized(
+        ["a", "b"], [Constraint(10.0, {"a", "b"})], perf=perf
+    )
+    assert perf.counters["solver_calls"] == 1
+    assert perf.counters["solver_iterations"] >= 1

@@ -191,6 +191,133 @@ def test_aggregate_throughput(small_fabric):
     assert agg == pytest.approx(4 * gbps(200.0), rel=1e-5)
 
 
+def test_aggregate_throughput_empty_flow_list_is_zero(small_fabric):
+    assert FlowSim(small_fabric).aggregate_throughput([]) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Engine selection, incremental caches, and perf instrumentation
+# ---------------------------------------------------------------------------
+
+
+def _shared_receiver_flows():
+    return [
+        Flow(f"h{i}", "h39", size=gbps(50.0) * (i + 1), flow_id=1000 + i)
+        for i in range(5)
+    ]
+
+
+def test_reference_engine_matches_vectorized_run(small_fabric):
+    ref = FlowSim(small_fabric, engine="reference").run(_shared_receiver_flows())
+    vec = FlowSim(small_fabric, engine="vectorized").run(_shared_receiver_flows())
+    for a, b in zip(ref, vec):
+        assert a.flow.flow_id == b.flow.flow_id
+        assert b.finish == pytest.approx(a.finish, rel=1e-9)
+
+
+def test_reference_engine_matches_vectorized_instantaneous(small_fabric):
+    flows = _shared_receiver_flows()
+    ref = FlowSim(small_fabric, engine="reference").instantaneous_rates(flows)
+    vec = FlowSim(small_fabric).instantaneous_rates(flows)
+    for fid in ref:
+        assert vec[fid] == pytest.approx(ref[fid], rel=1e-9)
+
+
+def test_unknown_engine_rejected(small_fabric):
+    with pytest.raises(TopologyError):
+        FlowSim(small_fabric, engine="quantum")
+
+
+def test_instantaneous_rates_memoized(small_fabric):
+    sim = FlowSim(small_fabric)
+    flows = _shared_receiver_flows()
+    first = sim.instantaneous_rates(flows)
+    second = sim.instantaneous_rates(flows)
+    assert first == second
+    assert sim.stats.counters["memo_hits"] == 1
+    assert sim.stats.counters["rate_recomputes"] == 1
+    # A different active set is a miss and recomputes.
+    sim.instantaneous_rates(flows[:3])
+    assert sim.stats.counters["rate_recomputes"] == 2
+
+
+def test_adaptive_router_disables_memoization(small_fabric):
+    sim = FlowSim(small_fabric, router=AdaptiveRouter(small_fabric))
+    flows = _shared_receiver_flows()
+    sim.instantaneous_rates(flows)
+    sim.instantaneous_rates(flows)
+    assert sim.stats.counters.get("memo_hits", 0) == 0
+    assert sim.stats.counters["rate_recomputes"] == 2
+
+
+def test_run_populates_perf_stats(small_fabric):
+    sim = FlowSim(small_fabric)
+    sim.run(_shared_receiver_flows())
+    c = sim.stats.counters
+    assert c["admits"] == 5
+    assert c["completions"] == 5
+    assert c["events"] >= 5
+    assert c["solver_iterations"] >= c["events"]
+    assert sim.stats.timings["run_s"] > 0
+    assert sim.stats.timings["solve_s"] > 0
+
+
+def test_simultaneous_completions_batched(small_fabric):
+    sim = FlowSim(small_fabric)
+    # Equal flows on one bottleneck finish at the same instant: one batch.
+    flows = [Flow(f"h{i}", "h39", size=gbps(50.0), flow_id=2000 + i)
+             for i in range(4)]
+    sim.run(flows)
+    assert sim.stats.counters["completions"] == 4
+    assert sim.stats.counters["completion_batches"] == 1
+
+
+def test_relative_completion_tolerance_handles_extreme_sizes(small_fabric):
+    sim = FlowSim(small_fabric)
+    huge = Flow("h0", "h39", size=4e12, flow_id=3000)   # multi-TB 3FS read
+    tiny = Flow("h20", "h21", size=1.0, flow_id=3001)   # control message
+    # (disjoint routes, so each flow holds line rate throughout)
+    res = {r.flow.flow_id: r for r in sim.run([huge, tiny])}
+    # 4 TB at 25 GB/s line rate -> 160 s; 1 B completes essentially instantly.
+    assert res[3000].duration == pytest.approx(4e12 / gbps(200.0), rel=1e-6)
+    assert res[3001].duration == pytest.approx(1.0 / gbps(200.0), rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Router load-view API
+# ---------------------------------------------------------------------------
+
+
+def test_set_load_view_noop_on_static_router(small_fabric):
+    r = StaticRouter(small_fabric)
+    r.set_load_view(lambda: {("h0", "leaf0"): 1e12})
+    assert not r.load_dependent
+    # Static choice is unaffected by any load view.
+    assert r.route("h0", "h39") == StaticRouter(small_fabric).route("h0", "h39")
+
+
+def test_set_load_view_on_adaptive_router(small_fabric):
+    loads = {}
+    r = AdaptiveRouter(small_fabric)
+    r.set_load_view(lambda: loads)
+    assert r.load_dependent
+    first = r.route("h0", "h39", flow_id=0)
+    loads[(first[1], first[2])] = 1e12
+    assert r.route("h0", "h39", flow_id=0) != first
+    r.set_load_view(None)  # reset to the empty view
+    assert r.route("h0", "h39", flow_id=0) == first
+
+
+def test_flowsim_wires_adaptive_router_load_view(small_fabric):
+    router = AdaptiveRouter(small_fabric)
+    sim = FlowSim(small_fabric, router=router)
+    flows = [Flow("h0", "h39", size=1.0, flow_id=4000)]
+    sim.instantaneous_rates(flows)
+    # The router's view now reflects the simulator's live link loads.
+    assert router._load_view() == sim._link_rates
+    assert any(v > 0 for v in router._load_view().values())
+
+
 # ---------------------------------------------------------------------------
 # Double binary tree
 # ---------------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Perf smoke checks for the flow engine (tier-1, marked ``perf_smoke``).
+
+These assert *generous* wall-clock ceilings — an order of magnitude above
+what the vectorized engine actually needs on any reasonable machine — so
+they catch a catastrophic hot-path regression (e.g. the engine silently
+falling back to per-event quadratic rebuilds) without ever flaking on a
+slow CI box. Real measurements live in ``benchmarks/test_perf_flowsim.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.hardware.spec import QM8700_SWITCH
+from repro.network import Flow, FlowSim, ServiceLevel, two_layer_fat_tree
+
+
+@pytest.mark.perf_smoke
+def test_incast_allocation_smoke():
+    """400-flow incast allocation completes well under a generous ceiling."""
+    fab = two_layer_fat_tree(200, QM8700_SWITCH)
+    flows = [
+        Flow(f"h{i}", f"h{160 + (i % 40)}", size=1.0,
+             sl=ServiceLevel.STORAGE, flow_id=i)
+        for i in range(160)
+    ]
+    sim = FlowSim(fab)
+    t0 = time.perf_counter()
+    rates = sim.instantaneous_rates(flows)
+    elapsed = time.perf_counter() - t0
+    assert len(rates) == 160
+    assert min(rates.values()) > 0
+    # Vectorized engine: ~10 ms. Ceiling is ~500x that.
+    assert elapsed < 5.0, f"incast allocation took {elapsed:.2f}s"
+
+
+@pytest.mark.perf_smoke
+def test_fluid_run_smoke():
+    """A staggered 120-flow fluid simulation stays under a generous ceiling."""
+    fab = two_layer_fat_tree(80, QM8700_SWITCH)
+    flows = [
+        Flow(f"h{i % 40}", f"h{40 + (i * 7) % 40}", size=1e9,
+             start=0.01 * i, flow_id=i)
+        for i in range(120)
+    ]
+    sim = FlowSim(fab)
+    t0 = time.perf_counter()
+    results = sim.run(flows)
+    elapsed = time.perf_counter() - t0
+    assert len(results) == 120
+    assert sim.stats.counters["completions"] == 120
+    assert elapsed < 10.0, f"fluid run took {elapsed:.2f}s"
