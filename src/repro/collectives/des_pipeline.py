@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.collectives.primitives import AllreduceConfig, RDMA_HOP_LATENCY
 from repro.errors import CollectiveError
 from repro.hardware.cpu import CpuReduceModel
@@ -90,10 +91,22 @@ class HFReduceDesSim:
         """Simulate one allreduce; returns timing."""
         if cfg.gpus_per_node != self.node.gpu_count:
             raise CollectiveError("config GPU count does not match the node")
-        env = Environment()
+        env = Environment(label="hfreduce_des")
         n_chunks = cfg.n_chunks
         chunk = cfg.nbytes / n_chunks
         depth = double_binary_tree(max(cfg.n_nodes, 1)).depth
+
+        sess = telemetry.session()
+        tracer = sess.tracer if sess is not None else None
+
+        def mark(stage: str, track: str, t0: float, c: int,
+                 async_id: Optional[int] = None) -> None:
+            # One finished stage span + one labelled histogram observation.
+            dur = env.now - t0
+            if tracer is not None:
+                tracer.complete(stage, t0, dur, track=track, cat="collectives",
+                                args={"chunk": c}, async_id=async_id)
+            sess.registry.histogram("hfreduce_stage_s", stage=stage).observe(dur)
 
         reduced: Store = Store(env)  # chunks ready for inter-node phase
         returned: Store = Store(env)  # chunks fully allreduced
@@ -104,9 +117,12 @@ class HFReduceDesSim:
             # Each GPU streams its chunks back-to-back at its fair rate,
             # paying the fixed dispatch cost per chunk.
             for c in range(n_chunks):
+                t0 = env.now
                 yield env.timeout(
                     chunk / self._d2h_rate[gpu] + self.CHUNK_OVERHEAD
                 )
+                if sess is not None:
+                    mark("d2h", f"hfreduce/gpu{gpu}", t0, c)
                 yield arrivals.put((c, gpu))
 
         # Chunk c is reducible once all GPUs delivered it; track arrivals.
@@ -125,9 +141,12 @@ class HFReduceDesSim:
                 c = yield reduced.get()
                 req = cpu.request()
                 yield req
+                t0 = env.now
                 yield env.timeout(
                     chunk / self._reduce_rate + self.CHUNK_OVERHEAD
                 )
+                if sess is not None:
+                    mark("cpu_reduce", "hfreduce/cpu", t0, c)
                 cpu.release(req)
                 env.process(network_phase(c))
 
@@ -143,15 +162,25 @@ class HFReduceDesSim:
             # here.
             nreq = nic.request()
             yield nreq
+            t0 = env.now
             yield env.timeout(chunk / self._nic_rate)
+            if sess is not None:
+                mark("nic_send", "hfreduce/nic", t0, c)
             nic.release(nreq)
             if cfg.n_nodes > 1:
+                t0 = env.now
                 yield env.timeout(
                     depth * (chunk / self._nic_rate + RDMA_HOP_LATENCY)
                 )
+                if sess is not None:
+                    # Tree transits of different chunks overlap: async spans.
+                    mark("rdma_tree", "hfreduce/net", t0, c, async_id=c)
             # H2D return to the slowest GPU gates chunk completion.
             slowest = min(self._h2d_rate.values())
+            t0 = env.now
             yield env.timeout(chunk / slowest)
+            if sess is not None:
+                mark("h2d", "hfreduce/h2d", t0, c, async_id=c)
             yield returned.put(c)
 
         def root():
@@ -165,4 +194,15 @@ class HFReduceDesSim:
 
         done = env.process(root())
         total = env.run(until=done)
-        return DesResult(total_time=total, nbytes=cfg.nbytes, n_chunks=n_chunks)
+        result = DesResult(total_time=total, nbytes=cfg.nbytes, n_chunks=n_chunks)
+        if sess is not None:
+            if tracer is not None:
+                tracer.complete(
+                    "allreduce", 0.0, total, track="hfreduce", cat="collectives",
+                    args={"bytes": cfg.nbytes, "chunks": n_chunks,
+                          "nodes": cfg.n_nodes},
+                )
+            sess.registry.histogram(
+                "allreduce_bandwidth_GBps", impl="hfreduce_des"
+            ).observe(result.bandwidth / 1e9)
+        return result

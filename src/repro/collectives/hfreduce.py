@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import telemetry
 from repro.collectives.primitives import (
     AllreduceConfig,
     RDMA_HOP_LATENCY,
@@ -120,7 +121,13 @@ class HFReduceModel:
             # One node pair traverses the inter-zone links: one extra hop
             # of fill latency on the critical path.
             factor += self.cross_zone_hop_latency / (cfg.n_chunks * chunk_service)
-        return base / factor
+        achieved = base / factor
+        sess = telemetry.session()
+        if sess is not None:
+            sess.registry.histogram(
+                "allreduce_bandwidth_GBps", impl="hfreduce"
+            ).observe(achieved / 1e9)
+        return achieved
 
     def allreduce_time(self, cfg: AllreduceConfig) -> float:
         """Wall-clock seconds for one allreduce."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.collectives.primitives import AllreduceConfig, ring_transmissions_per_byte
 from repro.errors import CollectiveError
 from repro.hardware.node import NodeSpec, fire_flyer_node
@@ -46,7 +47,13 @@ class NCCLRingModel:
         transmissions = ring_transmissions_per_byte(n)
         transfer_time = cfg.nbytes * transmissions / self.p2p_bandwidth()
         latency_time = 2.0 * (n - 1) * self.step_latency
-        return cfg.nbytes / (transfer_time + latency_time)
+        achieved = cfg.nbytes / (transfer_time + latency_time)
+        sess = telemetry.session()
+        if sess is not None:
+            sess.registry.histogram(
+                "allreduce_bandwidth_GBps", impl="nccl_ring"
+            ).observe(achieved / 1e9)
+        return achieved
 
     def allreduce_time(self, cfg: AllreduceConfig) -> float:
         """Wall-clock seconds for one allreduce."""

@@ -6,18 +6,27 @@ Usage::
     python -m repro.experiments fig7 table3
     python -m repro.experiments --list
     python -m repro.experiments --perf congestion   # append a perf profile
+    python -m repro.experiments congestion \\
+        --trace-out trace.json --metrics-out metrics.jsonl
 
 ``--perf`` enables the global :mod:`repro.perf` aggregate and prints the
 combined counters/timings (flow-engine events, solver iterations, memo
 hits, solve wall time) after the requested experiments run.
+
+``--trace-out`` / ``--metrics-out`` enable a :mod:`repro.telemetry`
+session around the run and export what the instrumented subsystems
+recorded: a Chrome/Perfetto ``trace_event`` JSON timeline of simulated
+time (open it at https://ui.perfetto.dev) and a JSONL dump of every
+labelled counter/gauge/histogram. See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro import perf
+from repro import perf, telemetry
 from repro.experiments import (
     checkpoint_exp,
     congestion_exp,
@@ -55,28 +64,84 @@ EXPERIMENTS: Dict[str, object] = {
 }
 
 
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (unknown flags are an error, not ignored)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Print reproduced Fire-Flyer paper tables and figures.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help="experiments to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", "-l", action="store_true",
+        help="list available experiment names and exit",
+    )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="print the combined repro.perf profile after the run",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome/Perfetto trace_event JSON timeline of the run",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write every recorded telemetry metric as JSONL",
+    )
+    parser.add_argument(
+        "--telemetry-summary", action="store_true",
+        help="print the human-readable telemetry digest after the run",
+    )
+    return parser
+
+
 def main(argv: List[str]) -> int:
     """Entry point; returns a process exit code."""
-    if "--list" in argv or "-l" in argv:
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse reports its own error message
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    if args.list:
         print("\n".join(sorted(EXPERIMENTS)))
         return 0
-    profile = "--perf" in argv
-    if profile:
-        perf.enable()
-    names = [a for a in argv if not a.startswith("-")] or sorted(EXPERIMENTS)
+    names = args.names or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    for i, name in enumerate(names):
-        if i:
+
+    collect = bool(args.trace_out or args.metrics_out or args.telemetry_summary)
+    session: Optional[telemetry.TelemetrySession] = None
+    if collect:
+        session = telemetry.start(trace=True)
+    if args.perf:
+        perf.enable()
+    try:
+        for i, name in enumerate(names):
+            if i:
+                print()
+            print(EXPERIMENTS[name].render())
+    finally:
+        if args.perf:
             print()
-        print(EXPERIMENTS[name].render())
-    if profile:
-        print()
-        print(perf.report())
-        perf.disable()
+            print(perf.report())
+            perf.disable()
+        if collect:
+            telemetry.stop()
+    if session is not None:
+        if args.trace_out:
+            n = telemetry.write_chrome_trace(args.trace_out, session)
+            print(f"trace: {n} events -> {args.trace_out}", file=sys.stderr)
+        if args.metrics_out:
+            n = telemetry.write_metrics_jsonl(args.metrics_out, session.registry)
+            print(f"metrics: {n} series -> {args.metrics_out}", file=sys.stderr)
+        if args.telemetry_summary:
+            print()
+            print(telemetry.summary(session))
     return 0
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro import telemetry
 from repro.experiments.fmt import render_table
 from repro.experiments.storage_throughput import incast_efficiency
 from repro.network import (
@@ -34,7 +35,7 @@ from repro.network import (
     two_zone_network,
 )
 from repro.network.routing import AdaptiveRouter, StaticRouter
-from repro.units import as_gBps
+from repro.units import MiB, as_gBps
 
 RTS_WINDOW = 8
 #: Without RTS a reader has every stripe's transfer outstanding at every
@@ -121,12 +122,59 @@ def run() -> List[List]:
     return rows
 
 
+def emit_timeline() -> None:
+    """Populate the active telemetry session with a time-domain view.
+
+    The steady-state table above answers "how much"; this answers "when":
+    with a telemetry session active it simulates the same integrated
+    scenario through time — the production mixed-traffic flow set run as
+    a fluid simulation (flow spans + per-link utilization samples), one
+    chunked HFReduce allreduce on the DES pipeline (D2H / CPU-reduce /
+    RDMA-tree / H2D stage spans), and the HAI scheduler placing the
+    training and storage-heavy jobs that generate that traffic (queued /
+    run / preempt spans). No-op when telemetry is off, so the printed
+    experiment costs nothing extra.
+    """
+    if not telemetry.active():
+        return
+    # 1. Scheduler: the jobs whose traffic the fabric carries. The debug
+    #    job is preempted by the high-priority training run mid-flight.
+    from repro.hai import HAICluster, Task, TimeSharingScheduler
+
+    sched = TimeSharingScheduler(HAICluster.two_zone(8))
+    sched.submit(Task("debug", nodes_required=12, total_work=1200.0,
+                      priority=0, checkpoint_interval=300.0))
+    sched.run(until=300.0)
+    sched.submit(Task("train-hfreduce", nodes_required=12, total_work=3600.0,
+                      priority=5, checkpoint_interval=300.0))
+    sched.submit(Task("ckpt-load", nodes_required=2, total_work=600.0,
+                      priority=1, checkpoint_interval=300.0))
+    sched.run_until_idle()
+    # 2. Collectives: one gradient-bucket allreduce, chunk by chunk.
+    from repro.collectives.des_pipeline import HFReduceDesSim
+    from repro.collectives.primitives import AllreduceConfig
+
+    HFReduceDesSim().run(AllreduceConfig(nbytes=32 * MiB, n_nodes=16))
+    # 3. Flows: the production scenario as a fluid run with real sizes,
+    #    so flow spans and link_util gauge curves share one clock.
+    fab = _build_fabric()
+    sim = FlowSim(fab, qos=TrafficClassConfig(isolation=True))
+    flows = [
+        Flow(f.src, f.dst, size=256 * MiB, sl=f.sl, flow_id=f.flow_id,
+             start=0.002 * (f.flow_id % 7))
+        for f in _mixed_flows(rts=True)
+    ]
+    sim.run(flows)
+
+
 def render() -> str:
     """Printable congestion study."""
-    return render_table(
+    out = render_table(
         ["configuration", "HFReduce straggler GB/s", "HFReduce mean GB/s",
          "storage total GB/s"],
         run(),
         title="Section VI-A: congestion under mixed traffic "
               "(production tuning vs ablations)",
     )
+    emit_timeline()
+    return out

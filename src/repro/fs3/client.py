@@ -16,11 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.errors import FS3Error, FS3NotFound
 from repro.fs3.cluster_manager import ManagerGroup
 from repro.fs3.meta import Inode, InodeType, MetaService
 from repro.fs3.rts import RequestToSend
 from repro.fs3.storage import StorageCluster
+
+#: Logical seconds per chain hop on the telemetry clock. The in-memory
+#: datapath has no simulated time, so client request spans advance a
+#: per-client logical clock by one unit per replication-chain hop — the
+#: trace shows true ordering and relative chain cost, not wall time.
+HOP_TIME = 1e-6
 
 
 class FS3Client:
@@ -37,6 +44,12 @@ class FS3Client:
         self.storage = storage
         self.managers = managers
         self.rts = rts if rts is not None else RequestToSend()
+        self._tele_clock = 0.0
+
+    def _chain_hops(self, chain_idx: int) -> int:
+        """Replication-chain length a chunk request traverses."""
+        chains = self.storage.chains
+        return len(chains[chain_idx % len(chains)].replicas)
 
     # -- namespace passthrough ----------------------------------------------------
 
@@ -93,10 +106,27 @@ class FS3Client:
                 kwargs["chunk_bytes"] = chunk_bytes
             inode = self.meta.create(path, **kwargs)
         cb = inode.chunk_bytes
-        for idx in range(max(1, -(-len(data) // cb)) if data else 0):
+        sess = telemetry.session()
+        t0, hops = self._tele_clock, 0
+        n_chunks = max(1, -(-len(data) // cb)) if data else 0
+        for idx in range(n_chunks):
             chunk = data[idx * cb : (idx + 1) * cb]
             chain_idx = self.meta.chain_for_chunk(inode, idx)
             self.storage.write_chunk(chain_idx, inode.chunk_id(idx), chunk)
+            if sess is not None:
+                h = self._chain_hops(chain_idx)
+                hops += h
+                self._tele_clock += h * HOP_TIME
+                sess.registry.histogram("fs3_chain_hops", op="write").observe(h)
+        if sess is not None:
+            if sess.tracer is not None:
+                sess.tracer.complete(
+                    "write", t0, self._tele_clock - t0, track="fs3/client",
+                    cat="fs3",
+                    args={"path": path, "bytes": len(data),
+                          "chunks": n_chunks, "hops": hops},
+                )
+            sess.registry.counter("fs3_bytes_written_total").inc(len(data))
         inode = self.meta.set_size(inode.inode_id, len(data))
         return inode
 
@@ -106,8 +136,15 @@ class FS3Client:
         if inode.itype is not InodeType.FILE:
             raise FS3Error(f"{path!r} is a directory")
         parts: List[bytes] = []
+        sess = telemetry.session()
+        t0, hops = self._tele_clock, 0
         for idx in range(inode.chunk_count()):
             chain_idx = self.meta.chain_for_chunk(inode, idx)
+            if sess is not None:
+                h = self._chain_hops(chain_idx)
+                hops += h
+                self._tele_clock += h * HOP_TIME
+                sess.registry.histogram("fs3_chain_hops", op="read").observe(h)
             sender = f"{path}#c{idx}"
             granted = self.rts.request(sender)
             # In the in-memory datapath grants resolve immediately once a
@@ -122,14 +159,40 @@ class FS3Client:
             parts.append(self.storage.read_chunk(chain_idx, inode.chunk_id(idx)))
             if sender in self.rts.granted_senders():
                 self.rts.release(sender)
-        return b"".join(parts)
+        data = b"".join(parts)
+        if sess is not None:
+            if sess.tracer is not None:
+                sess.tracer.complete(
+                    "read", t0, self._tele_clock - t0, track="fs3/client",
+                    cat="fs3",
+                    args={"path": path, "bytes": len(data),
+                          "chunks": inode.chunk_count(), "hops": hops},
+                )
+            sess.registry.counter("fs3_bytes_read_total").inc(len(data))
+        return data
 
     # -- batch APIs (checkpoint manager) ------------------------------------------------
 
     def batch_write(self, items: Dict[str, bytes]) -> Dict[str, Inode]:
         """Write many files in one call (deterministic path order)."""
-        return {path: self.write_file(path, items[path]) for path in sorted(items)}
+        sess = telemetry.session()
+        t0 = self._tele_clock
+        out = {path: self.write_file(path, items[path]) for path in sorted(items)}
+        if sess is not None and sess.tracer is not None:
+            sess.tracer.complete(
+                "batch_write", t0, self._tele_clock - t0, track="fs3/batch",
+                cat="fs3", args={"files": len(items)},
+            )
+        return out
 
     def batch_read(self, paths: Sequence[str]) -> Dict[str, bytes]:
         """Read many files in one call."""
-        return {p: self.read_file(p) for p in paths}
+        sess = telemetry.session()
+        t0 = self._tele_clock
+        out = {p: self.read_file(p) for p in paths}
+        if sess is not None and sess.tracer is not None:
+            sess.tracer.complete(
+                "batch_read", t0, self._tele_clock - t0, track="fs3/batch",
+                cat="fs3", args={"files": len(paths)},
+            )
+        return out

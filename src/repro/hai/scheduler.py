@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.errors import SchedulerError
 from repro.hai.cluster import HAICluster, NodeInfo
 from repro.hai.task import Task, TaskState
@@ -46,6 +47,10 @@ class TimeSharingScheduler:
         self._clock_started = 0.0
         #: task_id -> time its nodes become usable (checkpoint overheads).
         self._warmup_until: Dict[str, float] = {}
+        # Telemetry: the open queued/run span per task, valid for one
+        # session (invalidated if a different session becomes active).
+        self._tele_spans: Dict[str, object] = {}
+        self._tele_sess: Optional[object] = None
 
     # -- submission -----------------------------------------------------------
 
@@ -247,3 +252,48 @@ class TimeSharingScheduler:
         self.events.append(
             SchedulerEvent(time=self.now, kind=kind, task_id=task_id, detail=detail)
         )
+        sess = telemetry.session()
+        if sess is not None:
+            self._record_telemetry(sess, kind, task_id, detail)
+
+    def _record_telemetry(self, sess, kind: str, task_id: str, detail: str) -> None:
+        """Span per task lifecycle phase: queued -> run -> (finish|preempt).
+
+        Each task gets its own track (``scheduler/<task_id>``), so its
+        queued/run/interrupted phases line up as one swim-lane.
+        """
+        if self._tele_sess is not sess:
+            self._tele_sess = sess
+            self._tele_spans = {}
+        sess.registry.counter("sched_events_total", kind=kind).inc()
+        tracer = sess.tracer
+        if tracer is None:
+            return
+        now = self.now
+        track = f"scheduler/{task_id}"
+        closed = self._tele_spans.pop(task_id, None)
+        if kind == "submit":
+            self._tele_spans[task_id] = tracer.begin(
+                "queued", now, track=track, cat="scheduler"
+            )
+        elif kind in ("start", "requeue-start"):
+            tracer.end(closed, now)
+            if closed is not None and closed.name == "queued":
+                sess.registry.histogram(
+                    "task_queue_wait_s",
+                    priority=self.tasks[task_id].priority,
+                ).observe(now - closed.ts)
+            self._tele_spans[task_id] = tracer.begin(
+                "run", now, track=track, cat="scheduler",
+                args={"detail": detail} if detail else None,
+            )
+        elif kind == "finish":
+            tracer.end(closed, now)
+            sess.registry.counter("tasks_finished_total").inc()
+        elif kind in ("preempt", "crash"):
+            tracer.end(closed, now, reason=kind)
+            # The victim re-queues; its wait shows up as a new queued span.
+            self._tele_spans[task_id] = tracer.begin(
+                "queued", now, track=track, cat="scheduler",
+                args={"after": kind},
+            )

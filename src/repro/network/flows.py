@@ -29,6 +29,7 @@ from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.errors import TopologyError
 from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
@@ -124,6 +125,7 @@ class FlowSim:
         self.qos = qos if qos is not None else default_qos()
         self.engine = engine
         self.stats = PerfCounters()
+        self._sim_now = 0.0  # fluid-sim clock, read by telemetry samplers
         self._link_rates: Dict[LinkId, float] = {}
         self._cap_cache: Dict[LinkId, float] = {}
         self._route_memo: Dict[Tuple[str, str, object], List[LinkId]] = {}
@@ -171,6 +173,8 @@ class FlowSim:
         if not flows:
             return {}
         self.stats.bump("rate_queries")
+        if routes is None:
+            self._sim_now = 0.0  # standalone steady-state query
         memo_ok = (
             routes is None
             and self.engine == "vectorized"
@@ -264,7 +268,26 @@ class FlowSim:
             for link in routes[f.flow_id]:
                 link_rates[link] = link_rates.get(link, 0.0) + r
         self._link_rates = link_rates
+        sess = telemetry.session()
+        if sess is not None:
+            self._sample_link_utilization(sess, link_rates)
         return rates
+
+    def _sample_link_utilization(
+        self, sess: "telemetry.TelemetrySession", link_rates: Dict[LinkId, float]
+    ) -> None:
+        """One ``link_util`` gauge sample per loaded link at the sim clock.
+
+        Runs on every rate recompute, but only while a telemetry session is
+        active — the allocation hot path never pays for it otherwise.
+        """
+        registry = sess.registry
+        ts = self._sim_now
+        for link, rate in link_rates.items():
+            cap = self._capacity(link)
+            registry.gauge("link_util", link=f"{link[0]}->{link[1]}").set(
+                rate / cap if cap > 0 else 0.0, ts=ts
+            )
 
     # -- full fluid simulation -----------------------------------------------------
 
@@ -275,6 +298,9 @@ class FlowSim:
 
     def _run(self, flows: Sequence[Flow]) -> List[FlowResult]:
         pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
+        sess = telemetry.session()
+        tracer = sess.tracer if sess is not None else None
+        flow_spans: Dict[int, object] = {}
         routes: Dict[int, List[LinkId]] = {}
         remaining: Dict[int, float] = {}
         active: Dict[int, Flow] = {}  # insertion-ordered, O(1) removal
@@ -297,6 +323,17 @@ class FlowSim:
             routes[f.flow_id] = route
             remaining[f.flow_id] = f.size
             active[f.flow_id] = f
+            if tracer is not None:
+                # Flows overlap freely, so each is an async span on its
+                # service-level track.
+                flow_spans[f.flow_id] = tracer.begin(
+                    f"{f.src}->{f.dst}",
+                    max(now, f.start),
+                    track=f"flows/{f.sl.name.lower()}",
+                    cat="flows",
+                    args={"bytes": f.size, "links": len(route)},
+                    async_id=f.flow_id,
+                )
             if incremental:
                 for link in route:
                     members = link_members.get(link)
@@ -309,6 +346,15 @@ class FlowSim:
 
         def retire(f: Flow) -> None:
             fid = f.flow_id
+            if sess is not None:
+                if tracer is not None:
+                    tracer.end(flow_spans.pop(fid, None), now)
+                sess.registry.histogram(
+                    "flow_duration_s", sl=f.sl.name
+                ).observe(now - f.start)
+                sess.registry.counter(
+                    "flows_completed_total", sl=f.sl.name
+                ).inc()
             if incremental:
                 for link in routes[fid]:
                     members = link_members[link]
@@ -335,6 +381,7 @@ class FlowSim:
                 continue
 
             self.stats.bump("events")
+            self._sim_now = now
             active_flows = list(active.values())
             if incremental:
                 rates = self._solve(active_flows, routes, link_members, link_classes)
@@ -377,6 +424,12 @@ class FlowSim:
                 admit(pending[i])
                 i += 1
 
+        if tracer is not None and pending:
+            t0 = pending[0].start
+            tracer.complete(
+                "fluid_run", t0, max(now - t0, 0.0), track="flows",
+                cat="flows", args={"flows": len(pending)},
+            )
         ordered = sorted(flows, key=lambda f: f.flow_id)
         return [results[f.flow_id] for f in ordered]
 

@@ -6,12 +6,21 @@ The flow engine (and anything else on a hot path) records *counters*
 :class:`PerfCounters` instance. :class:`~repro.network.flows.FlowSim`
 exposes its own instance as ``FlowSim.stats``.
 
+Since the telemetry layer landed, :class:`PerfCounters` is a thin façade
+over :class:`repro.telemetry.MetricsRegistry` — each named counter/timer is
+a registry :class:`~repro.telemetry.metrics.Counter` — so the same data
+model backs both. The ``counters`` / ``timings`` dict views, ``snapshot``,
+``report``, and the process-global aggregate are unchanged. While a
+telemetry session is active, every record is additionally mirrored into the
+session's registry under ``perf.<name>`` so ``--metrics-out`` captures the
+engine profile alongside the simulation metrics.
+
 A process-global aggregate can additionally be enabled (``perf.enable()``)
 so that a whole experiment run — which may construct many simulators —
 reports one combined profile; ``python -m repro.experiments --perf``
-uses this. Mirroring into the global aggregate is a couple of dict
-operations per record and is off by default, so instrumentation stays
-cheap enough to leave permanently enabled on the hot path.
+uses this. Mirroring is a couple of dict operations per record and is off
+by default, so instrumentation stays cheap enough to leave permanently
+enabled on the hot path.
 """
 
 from __future__ import annotations
@@ -20,29 +29,45 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+
 
 class PerfCounters:
-    """A named bag of integer counters and float second-accumulators."""
+    """A named bag of integer counters and float second-accumulators.
 
-    __slots__ = ("counters", "timings")
+    Counters and timings live in two private
+    :class:`~repro.telemetry.MetricsRegistry` namespaces (so a timer and a
+    counter may share a name, as ``run_s``-style callers expect).
+    """
+
+    __slots__ = ("_counters", "_timings")
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.timings: Dict[str, float] = {}
+        self._counters = MetricsRegistry()
+        self._timings = MetricsRegistry()
 
     # -- recording -------------------------------------------------------------
 
     def bump(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        self.counters[name] = self.counters.get(name, 0) + n
-        if _collect_global and self is not GLOBAL:
-            GLOBAL.bump(name, n)
+        self._counters.counter(name).inc(n)
+        if self is not GLOBAL:
+            if _collect_global:
+                GLOBAL.bump(name, n)
+            sess = telemetry.session()
+            if sess is not None:
+                sess.registry.counter("perf." + name).inc(n)
 
     def add_time(self, name: str, seconds: float) -> None:
         """Add ``seconds`` to timer ``name``."""
-        self.timings[name] = self.timings.get(name, 0.0) + seconds
-        if _collect_global and self is not GLOBAL:
-            GLOBAL.add_time(name, seconds)
+        self._timings.counter(name).inc(seconds)
+        if self is not GLOBAL:
+            if _collect_global:
+                GLOBAL.add_time(name, seconds)
+            sess = telemetry.session()
+            if sess is not None:
+                sess.registry.counter("perf." + name).inc(seconds)
 
     @contextmanager
     def timeit(self, name: str) -> Iterator[None]:
@@ -55,26 +80,43 @@ class PerfCounters:
 
     # -- reading ---------------------------------------------------------------
 
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Current counter values by name."""
+        return {m.name: int(m.value) for m in self._counters.metrics()}
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Accumulated seconds by timer name."""
+        return {m.name: float(m.value) for m in self._timings.metrics()}
+
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Copy of the current counters and timings."""
-        return {"counters": dict(self.counters), "timings_s": dict(self.timings)}
+        return {"counters": self.counters, "timings_s": self.timings}
 
     def reset(self) -> None:
         """Zero all counters and timers."""
-        self.counters.clear()
-        self.timings.clear()
+        self._counters = MetricsRegistry()
+        self._timings = MetricsRegistry()
 
     def report(self) -> str:
-        """Human-readable profile table."""
-        lines = ["perf counters:"]
-        if not self.counters and not self.timings:
-            lines.append("  (nothing recorded)")
-        for name in sorted(self.counters):
-            lines.append(f"  {name:<24} {self.counters[name]:>12}")
-        if self.timings:
+        """Human-readable profile table (column width fits the names)."""
+        counters = self.counters
+        timings = self.timings
+        lines = []
+        width = max(
+            [len(n) for n in counters] + [len(n) for n in timings] + [24]
+        )
+        if counters:
+            lines.append("perf counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name:<{width}} {counters[name]:>12}")
+        if timings:
             lines.append("perf timings:")
-            for name in sorted(self.timings):
-                lines.append(f"  {name:<24} {self.timings[name]:>12.6f} s")
+            for name in sorted(timings):
+                lines.append(f"  {name:<{width}} {timings[name]:>12.6f} s")
+        if not lines:
+            lines.append("perf: (nothing recorded)")
         return "\n".join(lines)
 
 

@@ -4,13 +4,17 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import SimulationError
 from repro.simcore.events import AllOf, AnyOf, Event, Timeout
 from repro.simcore.process import ProcGen, Process
 
 _INFINITY = float("inf")
+
+StepHook = Callable[[float, Event], None]
+WakeupHook = Callable[[Process], None]
 
 
 class Environment:
@@ -19,13 +23,50 @@ class Environment:
     Events scheduled at equal times are processed in FIFO scheduling order
     (a monotonically increasing sequence number breaks ties), which makes
     simulations deterministic.
+
+    *Step hooks* run after every processed event with ``(time, event)``;
+    *wakeup hooks* run whenever a process is resumed. Both lists are empty
+    unless something registers (the check is a falsy-list test per event).
+    When a :mod:`repro.telemetry` session is active at construction time,
+    hooks that count steps and per-process wakeups into the session's
+    metrics registry are attached automatically; ``label`` names this
+    environment in those metrics.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, label: str = "env") -> None:
         self._now = float(initial_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self.label = label
+        self._step_hooks: List[StepHook] = []
+        self._wakeup_hooks: List[WakeupHook] = []
+        sess = telemetry.session()
+        if sess is not None:
+            self._attach_telemetry(sess)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def add_step_hook(self, hook: StepHook) -> None:
+        """Call ``hook(time, event)`` after every processed event."""
+        self._step_hooks.append(hook)
+
+    def add_wakeup_hook(self, hook: WakeupHook) -> None:
+        """Call ``hook(process)`` whenever a process is stepped."""
+        self._wakeup_hooks.append(hook)
+
+    def _attach_telemetry(self, sess: "telemetry.TelemetrySession") -> None:
+        steps = sess.registry.counter("sim_steps_total", env=self.label)
+        self.add_step_hook(lambda _t, _e: steps.inc())
+        registry = sess.registry
+        label = self.label
+
+        def count_wakeup(process: Process) -> None:
+            registry.counter(
+                "sim_process_wakeups_total", env=label, process=process.name
+            ).inc()
+
+        self.add_wakeup_hook(count_wakeup)
 
     # -- clock ---------------------------------------------------------------
 
@@ -76,6 +117,9 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        if self._step_hooks:
+            for hook in self._step_hooks:
+                hook(when, event)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for cb in callbacks:

@@ -78,6 +78,10 @@ class Process(Event):
 
     def _step(self, value: Any, throw: bool) -> None:
         env = self.env
+        hooks = getattr(env, "_wakeup_hooks", None)
+        if hooks:
+            for hook in hooks:
+                hook(self)
         env._active_process = self
         try:
             if throw:

@@ -3,12 +3,21 @@
 Experiments attach a :class:`Trace` to their simulations to collect typed
 rows (time, category, fields) which benchmark harnesses then aggregate into
 the paper's tables and figure series.
+
+``Trace(max_events=N)`` turns the log into a ring buffer keeping the N
+most recent rows, so open-ended simulations cannot grow memory without
+bound; evictions are counted in :attr:`Trace.dropped` and, when a
+:mod:`repro.telemetry` session is active, in its
+``trace_events_dropped_total`` counter.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro import telemetry
 
 
 @dataclass(frozen=True)
@@ -24,14 +33,29 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only log of :class:`TraceEvent` rows with simple queries."""
+    """An append-only log of :class:`TraceEvent` rows with simple queries.
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    With ``max_events`` set, the oldest rows are evicted past the bound
+    (ring-buffer semantics); queries then see only the retained window.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._events: "deque[TraceEvent] | List[TraceEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+        self.dropped = 0
 
     def record(self, time: float, category: str, **fields: Any) -> TraceEvent:
-        """Append one observation and return it."""
+        """Append one observation and return it (may evict the oldest)."""
         ev = TraceEvent(time=time, category=category, fields=dict(fields))
+        if self.max_events is not None and len(self._events) == self.max_events:
+            self.dropped += 1
+            sess = telemetry.session()
+            if sess is not None:
+                sess.registry.counter("trace_events_dropped_total").inc()
         self._events.append(ev)
         return ev
 

@@ -1,0 +1,112 @@
+"""Unified telemetry: sim-time span tracing + labelled metrics + exporters.
+
+See ``docs/OBSERVABILITY.md`` for the model and the exporter formats.
+Quick tour::
+
+    from repro import telemetry
+
+    with telemetry.capture() as session:
+        run_experiment()
+    telemetry.write_chrome_trace("trace.json", session)   # Perfetto
+    telemetry.write_metrics_jsonl("metrics.jsonl", session.registry)
+    print(telemetry.summary(session))
+
+Instrumented subsystems (``simcore`` kernel, ``network.flows``,
+``collectives`` DES pipeline, ``hai.scheduler``, ``fs3.client``) check
+:func:`session` on their hot paths and record nothing when it returns
+``None`` — the layer is a single ``None`` check when disabled, verified by
+the tier-1 perf-smoke tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.core import InstantEvent, Span, TelemetrySession, Tracer
+from repro.telemetry.export import (
+    chrome_trace_events,
+    summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "active",
+    "capture",
+    "chrome_trace_events",
+    "format_labels",
+    "session",
+    "start",
+    "stop",
+    "summary",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "write_spans_jsonl",
+]
+
+#: The single active session, or ``None`` (telemetry disabled).
+_session: Optional[TelemetrySession] = None
+
+
+def session() -> Optional[TelemetrySession]:
+    """The active session, or ``None`` — THE hot-path guard."""
+    return _session
+
+
+def active() -> bool:
+    """Whether a telemetry session is collecting."""
+    return _session is not None
+
+
+def start(
+    trace: bool = True,
+    capture_wall: bool = False,
+    max_events: int = 1_000_000,
+) -> TelemetrySession:
+    """Begin a session (replacing any active one) and return it."""
+    global _session
+    _session = TelemetrySession(
+        trace=trace, capture_wall=capture_wall, max_events=max_events
+    )
+    return _session
+
+
+def stop() -> Optional[TelemetrySession]:
+    """End collection; returns the finished session for export."""
+    global _session
+    finished, _session = _session, None
+    if finished is not None and finished.tracer is not None:
+        finished.tracer.close_open_spans()
+    return finished
+
+
+@contextmanager
+def capture(
+    trace: bool = True,
+    capture_wall: bool = False,
+    max_events: int = 1_000_000,
+) -> Iterator[TelemetrySession]:
+    """``with telemetry.capture() as session:`` — start/stop bracketing."""
+    sess = start(trace=trace, capture_wall=capture_wall, max_events=max_events)
+    try:
+        yield sess
+    finally:
+        if _session is sess:
+            stop()

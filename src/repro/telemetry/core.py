@@ -1,0 +1,211 @@
+"""Span tracing against simulated time, and the telemetry session.
+
+A :class:`Tracer` records *spans* — named intervals on named tracks — whose
+timestamps are **simulated seconds** supplied by the instrumented component
+(each simulator owns its own clock: ``Environment.now``, ``FlowSim``'s
+event clock, the scheduler's ``now``). Because all simulators here are
+single-threaded, a span handle is simply the span object; ``begin``/``end``
+carry explicit timestamps rather than sampling a global clock.
+
+Tracks are slash-separated strings (``"hfreduce/gpu3"``,
+``"scheduler/task-big42"``); the exporter maps the prefix to a Perfetto
+process and the full track to a thread, so each subsystem gets its own
+swim-lane group. Spans that may overlap on one track (e.g. concurrent
+flows) set ``async_id`` and are exported as Chrome async events instead of
+stack-nested ones.
+
+A :class:`TelemetrySession` bundles one tracer with one
+:class:`~repro.telemetry.metrics.MetricsRegistry`. Exactly one session can
+be *active* at a time (module state in :mod:`repro.telemetry`); every
+instrumentation site guards on ``telemetry.session() is None`` so that the
+whole layer costs one function call and a ``None`` check when disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Span:
+    """One traced interval. ``dur`` is ``None`` while the span is open."""
+
+    __slots__ = ("name", "track", "cat", "ts", "dur", "args", "async_id", "_wall0")
+
+    def __init__(
+        self,
+        name: str,
+        track: str,
+        cat: str,
+        ts: float,
+        args: Optional[Dict[str, Any]],
+        async_id: Optional[int],
+    ) -> None:
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.ts = ts
+        self.dur: Optional[float] = None
+        self.args = args
+        self.async_id = async_id
+        self._wall0: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been ended yet."""
+        return self.dur is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.open else f"dur={self.dur:.6g}"
+        return f"<Span {self.track}:{self.name} ts={self.ts:.6g} {state}>"
+
+
+class InstantEvent:
+    """A zero-duration marker."""
+
+    __slots__ = ("name", "track", "cat", "ts", "args")
+
+    def __init__(
+        self, name: str, track: str, cat: str, ts: float,
+        args: Optional[Dict[str, Any]],
+    ) -> None:
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.ts = ts
+        self.args = args
+
+
+class Tracer:
+    """Collects spans and instants; timestamps are simulated seconds.
+
+    ``capture_wall=True`` additionally measures the *wall* time between
+    ``begin`` and ``end`` of every span and stores it as the span arg
+    ``wall_s`` — useful for finding which simulated stage costs real CPU.
+    ``max_events`` bounds memory: past the bound, new spans/instants are
+    counted in :attr:`dropped` instead of stored.
+    """
+
+    def __init__(self, capture_wall: bool = False, max_events: int = 1_000_000) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[InstantEvent] = []
+        self.capture_wall = capture_wall
+        self.max_events = max_events
+        self.dropped = 0
+        self.max_ts = 0.0
+
+    # -- recording ---------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        ts: float,
+        track: str = "main",
+        cat: str = "",
+        args: Optional[Dict[str, Any]] = None,
+        async_id: Optional[int] = None,
+    ) -> Optional[Span]:
+        """Open a span; returns the handle (``None`` if over ``max_events``)."""
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return None
+        span = Span(name, track, cat, ts, args, async_id)
+        if self.capture_wall:
+            span._wall0 = time.perf_counter()
+        self.spans.append(span)
+        if ts > self.max_ts:
+            self.max_ts = ts
+        return span
+
+    def end(self, span: Optional[Span], ts: float, **extra: Any) -> None:
+        """Close a span at simulated time ``ts``, merging ``extra`` args."""
+        if span is None:
+            return
+        span.dur = max(0.0, ts - span.ts)
+        if extra:
+            if span.args is None:
+                span.args = dict(extra)
+            else:
+                span.args.update(extra)
+        if self.capture_wall and span._wall0 is not None:
+            wall = time.perf_counter() - span._wall0
+            if span.args is None:
+                span.args = {}
+            span.args["wall_s"] = wall
+        if ts > self.max_ts:
+            self.max_ts = ts
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        track: str = "main",
+        cat: str = "",
+        args: Optional[Dict[str, Any]] = None,
+        async_id: Optional[int] = None,
+    ) -> Optional[Span]:
+        """Record an already-finished span in one call."""
+        span = self.begin(name, ts, track=track, cat=cat, args=args,
+                          async_id=async_id)
+        if span is not None:
+            span._wall0 = None
+            self.end(span, ts + dur)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        track: str = "main",
+        cat: str = "",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration marker."""
+        if len(self.instants) >= self.max_events:
+            self.dropped += 1
+            return
+        self.instants.append(InstantEvent(name, track, cat, ts, args))
+        if ts > self.max_ts:
+            self.max_ts = ts
+
+    # -- finishing ---------------------------------------------------------------
+
+    def close_open_spans(self, ts: Optional[float] = None) -> int:
+        """End every still-open span (at ``ts`` or the latest seen time).
+
+        Called before export so tasks still running / flows still in flight
+        when the run stopped appear with a truthful ``unfinished`` marker.
+        """
+        at = self.max_ts if ts is None else ts
+        n = 0
+        for span in self.spans:
+            if span.dur is None:
+                self.end(span, max(at, span.ts), unfinished=True)
+                n += 1
+        return n
+
+    def tracks(self) -> List[str]:
+        """All track names seen, sorted."""
+        seen = {s.track for s in self.spans}
+        seen.update(i.track for i in self.instants)
+        return sorted(seen)
+
+
+class TelemetrySession:
+    """One tracer + one metrics registry, bundled for a run."""
+
+    def __init__(
+        self,
+        trace: bool = True,
+        capture_wall: bool = False,
+        max_events: int = 1_000_000,
+    ) -> None:
+        self.tracer: Optional[Tracer] = (
+            Tracer(capture_wall=capture_wall, max_events=max_events)
+            if trace else None
+        )
+        # Gauges keep time series only when there is a tracer to render them.
+        self.registry = MetricsRegistry(keep_samples=trace)

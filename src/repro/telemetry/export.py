@@ -1,0 +1,201 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, JSONL, summary table.
+
+The Chrome trace format (`ph`/`ts`/`dur`/`pid`/`tid` events, timestamps in
+microseconds) loads directly in https://ui.perfetto.dev and in
+``chrome://tracing``. Simulated seconds are scaled to microseconds, so one
+simulated second reads as one second on the Perfetto timeline.
+
+Track naming: a span's track ``"hfreduce/gpu3"`` becomes Perfetto process
+``hfreduce`` (pid) and thread ``gpu3`` (tid), declared via ``M`` metadata
+events, so each subsystem groups its lanes. Gauge time series (recorded
+when the registry keeps samples) are emitted as ``C`` counter events and
+render as value tracks — link utilization curves next to the flow spans
+they explain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO, Tuple
+
+from repro.telemetry.core import TelemetrySession, Tracer
+from repro.telemetry.metrics import Gauge, Histogram, MetricsRegistry
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+class _TrackIds:
+    """Assigns stable (pid, tid) pairs to slash-prefixed track names."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[str, int] = {}
+        self.meta: List[Dict[str, Any]] = []
+
+    def resolve(self, track: str) -> Tuple[int, int]:
+        process, _, thread = track.partition("/")
+        thread = thread or "main"
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+            self.meta.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = self._tids[track] = len(self._tids) + 1
+            self.meta.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": thread},
+            })
+        return pid, tid
+
+
+def chrome_trace_events(session: TelemetrySession) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for a session (spans, instants, counters)."""
+    tracks = _TrackIds()
+    events: List[Dict[str, Any]] = []
+
+    tracer = session.tracer
+    if tracer is not None:
+        tracer.close_open_spans()
+        for span in tracer.spans:
+            pid, tid = tracks.resolve(span.track)
+            common: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.cat or span.track.partition("/")[0],
+                "ts": span.ts * _US,
+                "pid": pid,
+                "tid": tid,
+            }
+            if span.args:
+                common["args"] = span.args
+            if span.async_id is None:
+                common["ph"] = "X"
+                common["dur"] = (span.dur or 0.0) * _US
+                events.append(common)
+            else:
+                # Overlapping spans on one track: async begin/end pairs.
+                begin = dict(common)
+                begin["ph"] = "b"
+                begin["id"] = span.async_id
+                end = {
+                    "name": span.name, "cat": common["cat"],
+                    "ts": (span.ts + (span.dur or 0.0)) * _US,
+                    "pid": pid, "tid": tid, "ph": "e", "id": span.async_id,
+                }
+                events.append(begin)
+                events.append(end)
+        for inst in tracer.instants:
+            pid, tid = tracks.resolve(inst.track)
+            ev: Dict[str, Any] = {
+                "name": inst.name,
+                "cat": inst.cat or inst.track.partition("/")[0],
+                "ts": inst.ts * _US,
+                "pid": pid,
+                "tid": tid,
+                "ph": "i",
+                "s": "t",
+            }
+            if inst.args:
+                ev["args"] = inst.args
+            events.append(ev)
+
+    # Gauge time series -> counter tracks under a "metrics" process.
+    for metric in session.registry.metrics():
+        if isinstance(metric, Gauge) and metric.samples:
+            pid, tid = tracks.resolve("metrics/" + metric.name)
+            for ts, value in metric.samples:
+                events.append({
+                    "name": metric.full_name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": ts * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"value": value},
+                })
+
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)))
+    return tracks.meta + events
+
+
+def write_chrome_trace(path: str, session: TelemetrySession) -> int:
+    """Write the Perfetto-loadable trace JSON; returns the event count."""
+    events = chrome_trace_events(session)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(events)
+
+
+def write_metrics_jsonl(path: str, registry: MetricsRegistry) -> int:
+    """Write one JSON object per metric; returns the line count."""
+    rows = registry.collect()
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+    return len(rows)
+
+
+def write_spans_jsonl(path: str, tracer: Tracer) -> int:
+    """Write raw spans as JSONL (one object per span); returns line count."""
+    tracer.close_open_spans()
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in tracer.spans:
+            row: Dict[str, Any] = {
+                "name": span.name, "track": span.track, "ts": span.ts,
+                "dur": span.dur,
+            }
+            if span.cat:
+                row["cat"] = span.cat
+            if span.args:
+                row["args"] = span.args
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+def summary(session: TelemetrySession) -> str:
+    """Human-readable digest: spans grouped by track/name, then metrics."""
+    lines: List[str] = []
+    tracer = session.tracer
+    if tracer is not None and (tracer.spans or tracer.instants):
+        tracer.close_open_spans()
+        groups: Dict[Tuple[str, str], List[float]] = {}
+        for span in tracer.spans:
+            groups.setdefault((span.track, span.name), []).append(span.dur or 0.0)
+        lines.append("spans (sim time):")
+        width = max(len(f"{t}:{n}") for t, n in groups)
+        lines.append(
+            f"  {'track:name':<{width}} {'count':>7} {'total_s':>12} {'mean_s':>12}"
+        )
+        for (track, name), durs in sorted(groups.items()):
+            label = f"{track}:{name}"
+            total = sum(durs)
+            lines.append(
+                f"  {label:<{width}} {len(durs):>7} {total:>12.6f} "
+                f"{total / len(durs):>12.6f}"
+            )
+        if tracer.dropped:
+            lines.append(f"  (dropped {tracer.dropped} events over the "
+                         f"{tracer.max_events}-event bound)")
+    metrics = session.registry.metrics()
+    if metrics:
+        lines.append("metrics:")
+        width = max(len(m.full_name) for m in metrics)
+        for m in metrics:
+            if isinstance(m, Histogram):
+                desc = (f"count={m.count} sum={m.total:.6g}"
+                        + (f" min={m.vmin:.6g} max={m.vmax:.6g} "
+                           f"mean={m.mean:.6g}" if m.count else ""))
+            elif isinstance(m, Gauge):
+                desc = f"last={m.value:.6g} samples={len(m.samples)}"
+            else:
+                desc = f"{m.value:.6g}"
+            lines.append(f"  {m.full_name:<{width}} {desc}")
+    if not lines:
+        lines.append("telemetry: (nothing recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""Labelled metrics: counters, gauges, and histograms in a registry.
+
+The model is deliberately Prometheus-shaped — a metric is identified by a
+name plus a dict of string labels, e.g. ``link_util{link="leaf0->spine1"}``
+— but everything lives in-process and is exported at the end of a run
+(:mod:`repro.telemetry.export`) instead of being scraped.
+
+Three metric kinds:
+
+* :class:`Counter` — a monotonically accumulating number (int or float).
+* :class:`Gauge` — a last-value sample; when the owning registry keeps
+  samples, every ``set`` with a timestamp is also recorded as a
+  ``(ts, value)`` time-series point (rendered as a Perfetto counter track).
+* :class:`Histogram` — cumulative-bucket value distribution with count,
+  sum, min, and max.
+
+Handles returned by :meth:`MetricsRegistry.counter` (etc.) are cached per
+``(name, labels)``, so hot paths can re-resolve them cheaply or hold on to
+the handle and skip the lookup entirely.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram bucket upper bounds: one per decade across the range
+#: of quantities the simulators record (microsecond stage times up to
+#: multi-hour task runtimes, and byte counts up to terabytes).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-7, 13))
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    """Render labels Prometheus-style: ``{a="1",b="x"}`` (empty -> '')."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: identity (kind, name, labels) shared by all metric types."""
+
+    kind = "metric"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def full_name(self) -> str:
+        """``name{labels}`` display form."""
+        return self.name + format_labels(self.labels)
+
+    def row(self) -> Dict[str, Any]:
+        """One export row (extended by subclasses)."""
+        return {"kind": self.kind, "name": self.name, "labels": dict(self.labels)}
+
+
+class Counter(Metric):
+    """Monotonic accumulator."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be >= 0 to stay a counter; not enforced on the
+        hot path)."""
+        self.value += n
+
+    def row(self) -> Dict[str, Any]:
+        r = super().row()
+        r["value"] = self.value
+        return r
+
+
+class Gauge(Metric):
+    """Last-value metric with an optional recorded time series."""
+
+    kind = "gauge"
+    __slots__ = ("value", "samples", "dropped_samples", "_max_samples")
+
+    def __init__(
+        self, name: str, labels: Dict[str, str], max_samples: int = 0
+    ) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+        self.samples: List[Tuple[float, float]] = []
+        self.dropped_samples = 0
+        self._max_samples = max_samples
+
+    def set(self, value: float, ts: Optional[float] = None) -> None:
+        """Record the current value; with ``ts`` also append a sample."""
+        self.value = value
+        if ts is not None and self._max_samples:
+            if len(self.samples) < self._max_samples:
+                self.samples.append((ts, value))
+            else:
+                self.dropped_samples += 1
+
+    def row(self) -> Dict[str, Any]:
+        r = super().row()
+        r["value"] = self.value
+        r["samples"] = len(self.samples)
+        if self.dropped_samples:
+            r["dropped_samples"] = self.dropped_samples
+        return r
+
+
+class Histogram(Metric):
+    """Cumulative-bucket distribution (+inf bucket implied)."""
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        super().__init__(name, labels)
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def row(self) -> Dict[str, Any]:
+        r = super().row()
+        r["count"] = self.count
+        r["sum"] = self.total
+        if self.count:
+            r["min"] = self.vmin
+            r["max"] = self.vmax
+        # Cumulative counts, Prometheus-style, skipping leading/trailing
+        # empty decades so rows stay readable.
+        cumulative = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": "inf", "count": self.count})
+        r["buckets"] = [
+            b for i, b in enumerate(cumulative)
+            if b["count"] > 0 and (i == 0 or cumulative[i - 1]["count"] < self.count)
+        ]
+        return r
+
+
+class MetricsRegistry:
+    """A namespace of labelled metrics.
+
+    ``keep_samples`` turns gauges into bounded time series (used when a
+    tracer is attached, so utilization curves land in the exported trace);
+    ``max_samples_per_gauge`` bounds their memory.
+    """
+
+    def __init__(
+        self, keep_samples: bool = False, max_samples_per_gauge: int = 8192
+    ) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelItems], Metric] = {}
+        self.keep_samples = keep_samples
+        self.max_samples_per_gauge = max_samples_per_gauge
+
+    # -- handle lookup (cached per identity) ------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter ``name{labels}``, created on first use."""
+        key = ("counter", name, _label_items(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Counter(name, dict(key[2]))
+        return m  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge ``name{labels}``, created on first use."""
+        key = ("gauge", name, _label_items(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Gauge(
+                name,
+                dict(key[2]),
+                max_samples=self.max_samples_per_gauge if self.keep_samples else 0,
+            )
+        return m  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None, **labels: Any
+    ) -> Histogram:
+        """The histogram ``name{labels}``, created on first use."""
+        key = ("histogram", name, _label_items(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Histogram(name, dict(key[2]), buckets=buckets)
+        return m  # type: ignore[return-value]
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> List[Metric]:
+        """All metrics, sorted by (kind, name, labels) for stable output."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """Export rows for every metric (JSONL lines, pre-serialization)."""
+        return [m.row() for m in self.metrics()]
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """Current value of a counter/gauge by identity, or ``None``."""
+        items = _label_items(labels)
+        for kind in ("counter", "gauge"):
+            m = self._metrics.get((kind, name, items))
+            if m is not None:
+                return m.value  # type: ignore[union-attr]
+        return None

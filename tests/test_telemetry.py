@@ -1,0 +1,243 @@
+"""Unit tests for :mod:`repro.telemetry` — tracer, metrics, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import perf, telemetry
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.export import chrome_trace_events
+
+
+class TestTracer:
+    def test_span_lifecycle(self):
+        tr = Tracer()
+        sp = tr.begin("work", 1.0, track="sys/lane", cat="c", args={"k": 1})
+        assert sp.open
+        tr.end(sp, 3.5, extra="v")
+        assert not sp.open
+        assert sp.dur == pytest.approx(2.5)
+        assert sp.args == {"k": 1, "extra": "v"}
+
+    def test_complete_and_instant(self):
+        tr = Tracer()
+        tr.complete("one", 0.0, 2.0, track="t")
+        tr.instant("marker", 1.0, track="t")
+        assert len(tr.spans) == 1 and len(tr.instants) == 1
+        assert tr.max_ts == pytest.approx(2.0)
+
+    def test_close_open_spans_marks_unfinished(self):
+        tr = Tracer()
+        sp = tr.begin("hang", 1.0)
+        tr.complete("done", 0.0, 5.0)
+        assert tr.close_open_spans() == 1
+        assert sp.dur == pytest.approx(4.0)  # closed at max_ts
+        assert sp.args["unfinished"] is True
+
+    def test_end_none_handle_is_noop(self):
+        Tracer().end(None, 1.0)
+
+    def test_max_events_bound(self):
+        tr = Tracer(max_events=2)
+        for i in range(5):
+            tr.begin("s", float(i))
+        assert len(tr.spans) == 2 and tr.dropped == 3
+
+    def test_wall_capture(self):
+        tr = Tracer(capture_wall=True)
+        sp = tr.begin("w", 0.0)
+        tr.end(sp, 1.0)
+        assert sp.args["wall_s"] >= 0.0
+
+
+class TestMetrics:
+    def test_counter_identity_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(2)
+        reg.counter("hits", zone="z1").inc(5)
+        assert reg.value("hits") == 3
+        assert reg.value("hits", zone="z1") == 5
+        assert reg.counter("hits", zone="z1").full_name == 'hits{zone="z1"}'
+
+    def test_gauge_samples_gated_by_keep_samples(self):
+        plain = MetricsRegistry()
+        plain.gauge("g").set(1.0, ts=0.5)
+        assert plain.gauge("g").samples == []
+        keeping = MetricsRegistry(keep_samples=True)
+        g = keeping.gauge("g")
+        g.set(1.0, ts=0.5)
+        g.set(2.0, ts=1.5)
+        g.set(3.0)  # no ts -> value only
+        assert g.value == 3.0
+        assert g.samples == [(0.5, 1.0), (1.5, 2.0)]
+
+    def test_gauge_sample_bound(self):
+        reg = MetricsRegistry(keep_samples=True, max_samples_per_gauge=2)
+        g = reg.gauge("g")
+        for i in range(5):
+            g.set(float(i), ts=float(i))
+        assert len(g.samples) == 2 and g.dropped_samples == 3
+        assert g.value == 4.0
+
+    def test_histogram_stats_and_row(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_s", sl="STORAGE")
+        for v in (0.5, 1.5, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(22.0 / 3)
+        assert h.vmin == 0.5 and h.vmax == 20.0
+        row = h.row()
+        assert row["kind"] == "histogram"
+        assert row["labels"] == {"sl": "STORAGE"}
+        assert row["count"] == 3 and row["sum"] == pytest.approx(22.0)
+        # Cumulative buckets reach the total count.
+        assert max(b["count"] for b in row["buckets"]) == 3
+
+    def test_collect_is_sorted_and_json_safe(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(1.0)
+        reg.counter("a").inc()
+        reg.histogram("c").observe(1.0)
+        rows = reg.collect()
+        assert [r["kind"] for r in rows] == ["counter", "gauge", "histogram"]
+        for row in rows:
+            json.dumps(row)  # must serialize
+
+
+class TestSessionState:
+    def test_start_stop_and_capture(self):
+        assert telemetry.session() is None
+        sess = telemetry.start()
+        assert telemetry.active() and telemetry.session() is sess
+        assert telemetry.stop() is sess
+        assert not telemetry.active()
+        with telemetry.capture() as s2:
+            assert telemetry.session() is s2
+        assert telemetry.session() is None
+
+    def test_trace_false_still_collects_metrics(self):
+        with telemetry.capture(trace=False) as sess:
+            assert sess.tracer is None
+            sess.registry.counter("x").inc()
+        assert sess.registry.value("x") == 1
+
+
+class TestChromeExport:
+    def _session(self):
+        sess = telemetry.TelemetrySession()
+        tr = sess.tracer
+        tr.complete("sync", 0.0, 1.0, track="sys/a", args={"k": "v"})
+        tr.complete("async", 0.5, 2.0, track="sys/b", async_id=7)
+        tr.instant("mark", 0.25, track="sys/a")
+        sess.registry.gauge("util", link="l0").set(0.5, ts=0.1)
+        return sess
+
+    def test_required_keys_and_phases(self):
+        events = chrome_trace_events(self._session())
+        assert events, "no events exported"
+        for ev in events:
+            assert "ph" in ev and "name" in ev and "pid" in ev
+            if ev["ph"] != "M":
+                assert "ts" in ev and "tid" in ev
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "b", "e", "i", "C"} <= phases
+
+    def test_timestamps_scaled_to_microseconds(self):
+        events = chrome_trace_events(self._session())
+        sync = next(e for e in events if e["ph"] == "X")
+        assert sync["ts"] == pytest.approx(0.0)
+        assert sync["dur"] == pytest.approx(1.0e6)
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["ts"] == pytest.approx(0.1e6)
+        assert counter["args"]["value"] == 0.5
+
+    def test_process_thread_metadata(self):
+        events = chrome_trace_events(self._session())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert "sys" in names and "metrics" in names
+
+    def test_async_pairing(self):
+        events = chrome_trace_events(self._session())
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["id"] == ends[0]["id"] == 7
+
+    def test_file_writers(self, tmp_path):
+        sess = self._session()
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.jsonl"
+        spans_path = tmp_path / "s.jsonl"
+        assert telemetry.write_chrome_trace(str(trace_path), sess) > 0
+        doc = json.loads(trace_path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert telemetry.write_metrics_jsonl(str(metrics_path), sess.registry) == 1
+        row = json.loads(metrics_path.read_text().splitlines()[0])
+        assert row["name"] == "util" and row["labels"] == {"link": "l0"}
+        assert telemetry.write_spans_jsonl(str(spans_path), sess.tracer) == 2
+
+    def test_summary_mentions_spans_and_metrics(self):
+        text = telemetry.summary(self._session())
+        assert "sys/a:sync" in text
+        assert 'util{link="l0"}' in text
+        empty = telemetry.summary(telemetry.TelemetrySession())
+        assert "nothing recorded" in empty
+
+
+class TestPerfFacade:
+    def test_counters_and_timings_views(self):
+        p = perf.PerfCounters()
+        p.bump("events")
+        p.bump("events", 4)
+        p.add_time("solve_s", 0.25)
+        assert p.counters == {"events": 5}
+        assert p.timings["solve_s"] == pytest.approx(0.25)
+        snap = p.snapshot()
+        assert snap["counters"]["events"] == 5
+        p.reset()
+        assert p.counters == {} and p.timings == {}
+
+    def test_report_widens_for_long_names(self):
+        p = perf.PerfCounters()
+        long_name = "a_really_long_counter_name_over_24_chars"
+        p.bump(long_name)
+        p.bump("short")
+        lines = p.report().splitlines()
+        assert lines[0] == "perf counters:"
+        values = [line.rsplit(None, 1)[1] for line in lines[1:]]
+        assert values == ["1", "1"]
+        # Both value columns align despite the long label.
+        positions = {line.rindex(v) for line, v in zip(lines[1:], values)}
+        assert len(positions) == 1
+
+    def test_report_headers_only_when_present(self):
+        empty = perf.PerfCounters()
+        assert "perf counters:" not in empty.report()
+        assert "nothing recorded" in empty.report()
+        timings_only = perf.PerfCounters()
+        timings_only.add_time("run_s", 1.0)
+        out = timings_only.report()
+        assert "perf counters:" not in out and "perf timings:" in out
+
+    def test_mirrors_into_active_session(self):
+        p = perf.PerfCounters()
+        with telemetry.capture() as sess:
+            p.bump("memo_hits", 3)
+            p.add_time("solve_s", 0.5)
+        assert sess.registry.value("perf.memo_hits") == 3
+        assert sess.registry.value("perf.solve_s") == pytest.approx(0.5)
+
+    def test_global_aggregate_unchanged(self):
+        perf.enable()
+        try:
+            p = perf.PerfCounters()
+            p.bump("x", 2)
+            assert perf.GLOBAL.counters["x"] == 2
+            assert "x" in perf.report()
+        finally:
+            perf.disable()

@@ -1,0 +1,86 @@
+"""Tier-1 smoke: the experiments CLI with telemetry sinks attached.
+
+Runs one small experiment with ``--trace-out``/``--metrics-out`` pointed
+at temp files and validates the Chrome ``trace_event`` schema (required
+keys ``ph``, ``ts``, ``name``, ``pid``/``tid``) plus JSONL parseability —
+the contract Perfetto and downstream tooling rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture()
+def outputs(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.jsonl"
+    assert main([
+        "congestion",
+        "--trace-out", str(trace_path),
+        "--metrics-out", str(metrics_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "congestion under mixed traffic" in captured.out
+    assert "trace:" in captured.err and "metrics:" in captured.err
+    return trace_path, metrics_path
+
+
+def test_trace_event_schema(outputs):
+    trace_path, _ = outputs
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) > 0
+    for ev in events:
+        assert "ph" in ev and "name" in ev and "pid" in ev
+        if ev["ph"] == "M":  # metadata events carry no timestamp
+            continue
+        assert "ts" in ev and "tid" in ev
+        assert isinstance(ev["ts"], (int, float))
+
+
+def test_trace_covers_three_subsystems(outputs):
+    trace_path, _ = outputs
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    span_cats = {e.get("cat") for e in events if e["ph"] in ("X", "b")}
+    assert {"flows", "collectives", "scheduler"} <= span_cats
+
+
+def test_metrics_jsonl_parseable_with_labelled_histogram(outputs):
+    _, metrics_path = outputs
+    rows = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+    assert len(rows) > 0
+    for row in rows:
+        assert {"kind", "name", "labels"} <= set(row)
+    labelled_hists = [
+        r for r in rows if r["kind"] == "histogram" and r["labels"]
+    ]
+    assert labelled_hists, "expected at least one labelled histogram"
+    kinds = {r["kind"] for r in rows}
+    assert {"counter", "gauge", "histogram"} <= kinds
+
+
+def test_session_closed_after_run(outputs):
+    assert telemetry.session() is None
+
+
+def test_unknown_flag_errors(capsys):
+    # Satellite regression: a typo like --pref must error, not be dropped.
+    assert main(["--pref", "congestion"]) == 2
+    assert "unrecognized arguments" in capsys.readouterr().err
+
+
+def test_unknown_experiment_still_exit_2(capsys):
+    assert main(["warp-drive"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_telemetry_summary_flag(capsys):
+    assert main(["table1", "--telemetry-summary"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
