@@ -1,0 +1,60 @@
+"""Static analysis + runtime sanitizer for the reproduction.
+
+Two halves, one goal — keep the simulation's determinism and the paper's
+constants mechanically enforced rather than review-enforced:
+
+* :mod:`repro.analysis.lint` — an AST lint framework with
+  project-specific rules (``DET001``, ``DET002``, ``DET003``,
+  ``UNIT001``, ``SIM001``) and a checked-in baseline
+  (:mod:`repro.analysis.baseline`). Run it with
+  ``python -m repro.analysis src/ --format=text|json``.
+* :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checks
+  (``REPRO_SANITIZE=1`` or :func:`enable_sanitizer`) hooked into the DES
+  kernel, the fluid flow engine, CRAQ, and the telemetry tracer.
+
+The sanitizer half is imported by simulation hot paths, so this package
+``__init__`` keeps its import footprint to stdlib + :mod:`repro.errors`;
+the lint framework loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.sanitizer import (
+    SanitizerError,
+    disable_sanitizer,
+    enable_sanitizer,
+    enabled as sanitizer_enabled,
+)
+
+__all__ = [
+    "SanitizerError",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "sanitizer_enabled",
+    # Lazily resolved (see __getattr__):
+    "Baseline",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]
+
+_LAZY = {
+    "Violation": ("repro.analysis.lint", "Violation"),
+    "lint_paths": ("repro.analysis.lint", "lint_paths"),
+    "lint_source": ("repro.analysis.lint", "lint_source"),
+    "all_rules": ("repro.analysis.lint", "all_rules"),
+    "Baseline": ("repro.analysis.baseline", "Baseline"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,137 @@
+"""CLI: ``python -m repro.analysis [paths...] --format=text|json``.
+
+Lints the given paths (default ``src``) with the project rules, compares
+against the checked-in baseline, and exits non-zero when *new*
+violations exist. ``--update-baseline`` rewrites the baseline to accept
+the current state (do this deliberately, with a ``why`` edit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.lint import Violation, all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The analysis CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism/unit lint for the Fire-Flyer reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE}; "
+             "missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline and report every violation as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file accepting the current violations",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rule codes and exit",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="CODE",
+        help="run only the named rule(s) (repeatable)",
+    )
+    return parser
+
+
+def _render_text(violations: List[Violation], new: List[Violation],
+                 baseline_used: bool) -> str:
+    lines = [v.render() for v in new]
+    accepted = len(violations) - len(new)
+    tail = f"{len(new)} new violation(s)"
+    if baseline_used and accepted:
+        tail += f", {accepted} accepted in baseline"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def _render_json(violations: List[Violation], new: List[Violation],
+                 baseline_path: Optional[str]) -> str:
+    def as_dict(v: Violation) -> dict:
+        return {
+            "rule": v.rule, "path": v.path, "line": v.line,
+            "col": v.col, "message": v.message,
+        }
+
+    return json.dumps(
+        {
+            "violations": [as_dict(v) for v in violations],
+            "new": [as_dict(v) for v in new],
+            "accepted": len(violations) - len(new),
+            "baseline": baseline_path,
+            "ok": not new,
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.title}")
+        return 0
+
+    rules = all_rules()
+    if args.rule:
+        wanted = set(args.rule)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.code in wanted]
+
+    violations = lint_paths(args.paths, rules)
+
+    if args.update_baseline:
+        old = Baseline.load(args.baseline)
+        fresh = Baseline.from_violations(violations)
+        # Preserve recorded rationale for entries that still exist.
+        for key, why in old.why.items():
+            if key in fresh.counts:
+                fresh.why[key] = why
+        fresh.save(args.baseline)
+        print(f"baseline {args.baseline} updated: "
+              f"{sum(fresh.counts.values())} accepted violation(s)")
+        return 0
+
+    if args.no_baseline:
+        baseline_path = None
+        new = list(violations)
+    else:
+        baseline_path = args.baseline
+        new = Baseline.load(args.baseline).new_violations(violations)
+
+    if args.format == "json":
+        print(_render_json(violations, new, baseline_path))
+    else:
+        print(_render_text(violations, new, baseline_path is not None))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

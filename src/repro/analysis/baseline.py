@@ -1,0 +1,114 @@
+"""Checked-in lint baseline: accepted debt that must not grow.
+
+The baseline file (``analysis-baseline.json`` at the repository root)
+records the violations the project has consciously accepted — each entry
+carries a ``why`` field explaining the exception. The tier-1 gate fails
+only on violations *not* covered by the baseline, so adopting a new rule
+never blocks unrelated PRs, while every regression does.
+
+Matching is by ``(rule, path, message)`` with per-key counts: messages
+name the offending construct rather than its line, so the baseline
+survives code motion but still notices a *second* occurrence of an
+accepted pattern in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.lint import Violation
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    """Accepted violations with counts, plus their recorded rationale."""
+
+    counts: Counter = field(default_factory=Counter)
+    why: Dict[Key, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            raw = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {p}: {exc}") from exc
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise BaselineError(f"baseline {p} has no 'entries' list")
+        out = cls()
+        for entry in raw["entries"]:
+            try:
+                key: Key = (entry["rule"], entry["path"], entry["message"])
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry {entry!r}"
+                ) from exc
+            out.counts[key] += count
+            if entry.get("why"):
+                out.why[key] = str(entry["why"])
+        return out
+
+    @classmethod
+    def from_violations(
+        cls, violations: Sequence[Violation], why: str = ""
+    ) -> "Baseline":
+        """Snapshot the current violations as the new accepted debt."""
+        out = cls()
+        for v in violations:
+            out.counts[v.key] += 1
+            if why:
+                out.why[v.key] = why
+        return out
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline file (sorted, one entry per distinct key)."""
+        entries = []
+        for key in sorted(self.counts):
+            rule, vpath, message = key
+            entry: Dict[str, object] = {
+                "rule": rule,
+                "path": vpath,
+                "message": message,
+                "count": self.counts[key],
+            }
+            if key in self.why:
+                entry["why"] = self.why[key]
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def new_violations(self, violations: Sequence[Violation]) -> List[Violation]:
+        """Violations not covered by the baseline (counts respected)."""
+        budget = Counter(self.counts)
+        fresh: List[Violation] = []
+        for v in violations:
+            if budget[v.key] > 0:
+                budget[v.key] -= 1
+            else:
+                fresh.append(v)
+        return fresh
+
+    def stale_entries(self, violations: Sequence[Violation]) -> List[Key]:
+        """Baseline keys no longer triggered (candidates for removal)."""
+        seen = Counter(v.key for v in violations)
+        return sorted(k for k, n in self.counts.items() if seen[k] < n)

@@ -1,0 +1,313 @@
+"""AST lint framework: rule registry, suppression comments, file walking.
+
+The framework is deliberately small: a *rule* is an object with a
+``code``, a one-line ``title``, an optional path filter, and a
+``check(ctx)`` generator yielding :class:`Violation`-shaped tuples. Rules
+register themselves with :func:`register` (see
+:mod:`repro.analysis.rules` for the project-specific set); the driver
+(:func:`lint_paths`) parses each file once and hands every rule the same
+:class:`FileContext`.
+
+Suppressions mirror flake8's ``noqa`` but are namespaced so they cannot
+collide with other tools:
+
+* ``# repro: noqa`` — suppress every rule on that line,
+* ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001,UNIT001]`` —
+  suppress the named rules on that line,
+* ``# repro: noqa-file[UNIT001]`` — anywhere in the file: suppress the
+  named rules for the whole file (``# repro: noqa-file`` for all rules).
+
+Accepted legacy exceptions belong in the checked-in baseline file
+(:mod:`repro.analysis.baseline`), not in suppression comments — noqa is
+for lines whose violation is *by design* and should never resurface in a
+review, the baseline is for debt the linter should keep counting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+
+
+class LintConfigError(ReproError):
+    """Raised for invalid lint configuration (duplicate codes, bad paths)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location.
+
+    ``message`` is stable across unrelated edits (it names the construct,
+    not the line number), so baseline matching survives code motion.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers excluded)."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text-format line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+_NOQA_LINE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# repro: noqa`` directives for one file."""
+
+    #: line -> set of rule codes (empty set = all rules) suppressed there.
+    lines: Dict[int, Set[str]]
+    #: file-wide suppressed codes; ``None`` element never occurs — an empty
+    #: set with :attr:`all_file` set means "everything".
+    file_rules: Set[str]
+    all_file: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` at ``line`` is suppressed."""
+        if self.all_file or rule in self.file_rules:
+            return True
+        at = self.lines.get(line)
+        if at is None:
+            return False
+        return not at or rule in at
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract noqa directives using the tokenizer (comments only).
+
+    Falling back to a regex over raw lines would also match directives
+    inside string literals; tokenizing restricts matching to real
+    comments.
+    """
+    lines: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    all_file = False
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (i, line)
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for lineno, text in comments:
+        m = _NOQA_LINE.search(text)
+        if m is None:
+            continue
+        codes = (
+            {c.strip() for c in m.group("rules").split(",") if c.strip()}
+            if m.group("rules")
+            else set()
+        )
+        if m.group("file"):
+            if codes:
+                file_rules.update(codes)
+            else:
+                all_file = True
+        else:
+            lines.setdefault(lineno, set()).update(codes)
+            if not codes:
+                lines[lineno] = set()
+    return Suppressions(lines=lines, file_rules=file_rules, all_file=all_file)
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Path expressed with forward slashes for stable matching.
+        self.posix_path = Path(path).as_posix()
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    def in_package(self, *parts: str) -> bool:
+        """Whether the file lives under ``repro/<part>`` for any part.
+
+        ``part`` may be a package (``"network"``) or a module file
+        (``"perf.py"``).
+        """
+        segments = self.posix_path.split("/")
+        for part in parts:
+            if part.endswith(".py"):
+                if segments[-1] == part:
+                    return True
+            elif part in segments[:-1]:
+                return True
+        return False
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (lazily indexed once)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+    def module_aliases(self, *modules: str) -> Set[str]:
+        """Local names bound to any of ``modules`` by import statements.
+
+        ``import numpy as np`` binds ``np`` -> ``numpy``;
+        ``from numpy import random as nr`` binds ``nr`` ->
+        ``numpy.random``. Only top-of-chain names are returned — attribute
+        resolution against them is the rule's job.
+        """
+        wanted = set(modules)
+        names: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in wanted:
+                        names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    full = f"{node.module}.{alias.name}"
+                    if full in wanted:
+                        names.add(alias.asname or alias.name)
+        return names
+
+
+class Rule:
+    """Base class for lint rules. Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    #: Unique code, e.g. ``"DET001"``.
+    code: str = ""
+    #: One-line description shown by ``--list-rules`` and the docs.
+    title: str = ""
+    #: Restrict to files under these ``repro`` sub-packages / module files
+    #: (empty tuple = every file).
+    applies_to: Tuple[str, ...] = ()
+    #: Sub-packages / module files exempt even when ``applies_to`` matches.
+    exempt: Tuple[str, ...] = ()
+
+    def interested(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path filtering)."""
+        if self.exempt and ctx.in_package(*self.exempt):
+            return False
+        if not self.applies_to:
+            return True
+        return ctx.in_package(*self.applies_to)
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` for each hit."""
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str
+                  ) -> Tuple[int, int, str]:
+        """Convenience: position a message at an AST node."""
+        return (node.lineno, node.col_offset, message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise LintConfigError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise LintConfigError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, sorted by code."""
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[c] for c in sorted(_REGISTRY)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns suppression-filtered violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="PARSE",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    suppress = parse_suppressions(source)
+    out: List[Violation] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.interested(ctx):
+            continue
+        for line, col, message in rule.check(ctx):
+            if suppress.covers(rule.code, line):
+                continue
+            out.append(
+                Violation(
+                    rule=rule.code, path=ctx.posix_path,
+                    line=line, col=col, message=message,
+                )
+            )
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        elif not p.exists():
+            raise LintConfigError(f"no such file or directory: {raw}")
+        else:
+            candidates = []
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths``."""
+    out: List[Violation] = []
+    for file in iter_python_files(paths):
+        out.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file), rules)
+        )
+    return out

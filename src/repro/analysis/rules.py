@@ -1,0 +1,407 @@
+"""Project-specific lint rules for the Fire-Flyer reproduction.
+
+Every rule encodes an invariant the reproduction's credibility rests on:
+
+* **DET001/DET002/DET003** — the DES must be bit-for-bit deterministic,
+  so randomness must be injected (seeded) through APIs, wall clocks must
+  not leak into simulated time, and order-sensitive hot paths must not
+  iterate unordered sets.
+* **UNIT001** — the paper's bandwidth-accounting arguments are built on
+  exact constants (37.5 GB/s host bridge, ~9 GiB/s chained-write limit,
+  320 GB/s DDR4); raw magic-number literals bypass the auditable
+  :mod:`repro.units` conversion layer.
+* **SIM001** — :mod:`repro.simcore` process misuse that the kernel only
+  reports at runtime (yielding non-events) or not at all (reaching into
+  private :class:`Environment` state).
+
+See ``docs/ANALYSIS.md`` for rationale and examples; run
+``python -m repro.analysis --list-rules`` for the live registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.lint import FileContext, Rule, register
+
+# Constructors / utilities on the random modules that are fine to call at
+# module scope because they produce (or manage) *seeded, injected* state.
+_SAFE_RANDOM_ATTRS = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+_SAFE_NP_RANDOM_ATTRS = frozenset(
+    {"default_rng", "Generator", "RandomState", "SeedSequence",
+     "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64"}
+)
+
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+     "monotonic_ns", "process_time", "process_time_ns"}
+)
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Bytes and bytes/s below this are ordinary scalars (chunk counts, port
+#: counts, small buffer sizes); at or above it a literal is a
+#: bandwidth/size constant that must come from :mod:`repro.units`.
+_UNIT_THRESHOLD = 1_000_000
+
+_ENV_PRIVATE_ATTRS = frozenset(
+    {"_heap", "_seq", "_now", "_active_process", "_schedule"}
+)
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET001 — unseeded module-level randomness in simulated code."""
+
+    code = "DET001"
+    title = (
+        "unseeded random.* / numpy.random module-level call; inject a "
+        "seeded random.Random / numpy Generator through the API instead"
+    )
+    # Everything under src/repro is simulated code; benchmarks are not.
+    exempt = ("benchmarks",)
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        random_names = ctx.module_aliases("random")
+        np_names = ctx.module_aliases("numpy")
+        np_random_names = ctx.module_aliases("numpy.random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                hit = self._call_violation(
+                    node, random_names, np_names, np_random_names
+                )
+                if hit is not None:
+                    yield self.violation(ctx, node, hit)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._local_imports(ctx, node)
+
+    def _call_violation(
+        self,
+        node: ast.Call,
+        random_names: Set[str],
+        np_names: Set[str],
+        np_random_names: Set[str],
+    ) -> Optional[str]:
+        chain = _attr_chain(node.func)
+        if chain is None or len(chain) < 2:
+            return None
+        head, attrs = chain[0], chain[1:]
+        if head in random_names and len(attrs) == 1:
+            fn = attrs[0]
+            if fn not in _SAFE_RANDOM_ATTRS:
+                return (
+                    f"call to module-level random.{fn}() draws from the "
+                    "shared unseeded global RNG; accept a seeded "
+                    "random.Random via the API"
+                )
+        np_fn = None
+        if head in np_names and len(attrs) == 2 and attrs[0] == "random":
+            np_fn = attrs[1]
+        elif head in np_random_names and len(attrs) == 1:
+            np_fn = attrs[0]
+        if np_fn is not None and np_fn not in _SAFE_NP_RANDOM_ATTRS:
+            return (
+                f"call to numpy.random.{np_fn}() uses the legacy global "
+                "RNG; accept a seeded numpy.random.Generator "
+                "(default_rng(seed)) via the API"
+            )
+        return None
+
+    def _local_imports(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Tuple[int, int, str]]:
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.name in ("random", "numpy.random"):
+                        yield self.violation(
+                            ctx, stmt,
+                            f"function-local 'import {alias.name}' hides a "
+                            "randomness dependency; thread a seeded "
+                            "generator through the function signature",
+                        )
+            elif (isinstance(stmt, ast.ImportFrom)
+                  and stmt.module in ("random", "numpy.random")):
+                yield self.violation(
+                    ctx, stmt,
+                    f"function-local 'from {stmt.module} import ...' hides "
+                    "a randomness dependency; thread a seeded generator "
+                    "through the function signature",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """DET002 — wall-clock reads outside the instrumentation layer."""
+
+    code = "DET002"
+    title = (
+        "wall-clock read (time.time/perf_counter/datetime.now) in "
+        "simulated code; simulations advance Environment.now, wall "
+        "timing belongs to repro.perf / repro.telemetry / benchmarks"
+    )
+    exempt = ("perf.py", "telemetry", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        time_names = ctx.module_aliases("time")
+        dt_mod_names = ctx.module_aliases("datetime")
+        dt_cls_names = ctx.module_aliases(
+            "datetime.datetime", "datetime.date"
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            head, attrs = chain[0], chain[1:]
+            if (head in time_names and len(attrs) == 1
+                    and attrs[0] in _WALL_CLOCK_TIME_ATTRS):
+                yield self.violation(
+                    ctx, node,
+                    f"time.{attrs[0]}() reads the wall clock; simulated "
+                    "components must use their environment's clock, and "
+                    "wall profiling must go through repro.perf",
+                )
+            elif (head in dt_mod_names and len(attrs) == 2
+                    and attrs[0] in ("datetime", "date")
+                    and attrs[1] in _WALL_CLOCK_DATETIME_ATTRS):
+                yield self.violation(
+                    ctx, node,
+                    f"datetime.{attrs[0]}.{attrs[1]}() reads the wall "
+                    "clock; derive timestamps from simulated time",
+                )
+            elif (head in dt_cls_names and len(attrs) == 1
+                    and attrs[0] in _WALL_CLOCK_DATETIME_ATTRS):
+                yield self.violation(
+                    ctx, node,
+                    f"{head}.{attrs[0]}() reads the wall clock; derive "
+                    "timestamps from simulated time",
+                )
+
+
+def _is_unordered_set_expr(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it evaluates to an unordered set, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain == ("set",) or chain == ("frozenset",):
+            return f"{chain[0]}()"
+        if chain is not None and chain[-1] in (
+            "union", "intersection", "difference", "symmetric_difference"
+        ):
+            return f".{chain[-1]}()"
+    return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — iterating unordered sets on order-sensitive hot paths."""
+
+    code = "DET003"
+    title = (
+        "iteration over an unordered set in simcore/network; event "
+        "scheduling and rate allocation must sort or use "
+        "insertion-ordered containers"
+    )
+    applies_to = ("simcore", "network")
+
+    _WRAPPERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (chain is not None and len(chain) == 1
+                        and chain[0] in self._WRAPPERS and node.args):
+                    iters.append(node.args[0])
+            for it in iters:
+                what = _is_unordered_set_expr(it)
+                if what is not None:
+                    yield (
+                        it.lineno, it.col_offset,
+                        f"iterating {what} has no deterministic order; "
+                        "sort it or keep an insertion-ordered container "
+                        "on this path",
+                    )
+
+
+def _literal_magnitude(node: ast.AST) -> Optional[float]:
+    """The value of a big-number expression, or None if not one.
+
+    Matches plain numeric constants, ``1 << n`` shifts with n >= 20, and
+    ``2 ** n`` / ``10 ** n`` powers landing at or beyond the threshold.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(abs(node.value))
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.LShift, ast.Pow)):
+        left, right = node.left, node.right
+        if (isinstance(left, ast.Constant) and isinstance(right, ast.Constant)
+                and isinstance(left.value, int)
+                and isinstance(right.value, int) and 0 <= right.value < 64):
+            if isinstance(node.op, ast.LShift):
+                return float(left.value << right.value)
+            return float(left.value ** right.value)
+    return None
+
+
+@register
+class RawUnitLiteralRule(Rule):
+    """UNIT001 — raw bandwidth/size magic numbers bypassing repro.units."""
+
+    code = "UNIT001"
+    title = (
+        "raw bandwidth/size literal (>= 1e6 or shifted/power form) in "
+        "hardware/network/collectives/fs3; route constants through "
+        "repro.units helpers (gbps, gBps, GiB, ...) so paper constants "
+        "stay auditable"
+    )
+    applies_to = ("hardware", "network", "collectives", "fs3")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        flagged: Set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            value = _literal_magnitude(node)
+            if value is None or value < _UNIT_THRESHOLD:
+                continue
+            # A shift/power expression contains its own constant operands;
+            # flag the outermost expression once.
+            if node in flagged:
+                continue
+            if isinstance(node, ast.BinOp):
+                flagged.update(ast.walk(node))
+            parent = ctx.parent(node)
+            if (isinstance(parent, ast.BinOp)
+                    and _literal_magnitude(parent) is not None):
+                continue
+            text = ast.get_source_segment(ctx.source, node) or str(value)
+            yield self.violation(
+                ctx, node,
+                f"raw numeric literal {text.strip()} looks like a "
+                "bandwidth/size constant; express it via repro.units "
+                "(e.g. gbps()/gBps()/GiB) or record a baseline exception",
+            )
+
+
+def _yields_env_events(fn: ast.AST) -> bool:
+    """Heuristic: is this generator a simcore process function?
+
+    True when any ``yield`` in the function yields a call or attribute
+    rooted at a name containing ``env``, or when the function has a
+    parameter named ``env``/``environment``.
+    """
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arg_names = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+        if {"env", "environment"} & arg_names:
+            return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Yield) and node.value is not None:
+            chain = _attr_chain(
+                node.value.func if isinstance(node.value, ast.Call)
+                else node.value
+            )
+            if chain is not None and any("env" in part for part in chain):
+                return True
+    return False
+
+
+@register
+class SimcoreMisuseRule(Rule):
+    """SIM001 — simcore process misuse detectable statically."""
+
+    code = "SIM001"
+    title = (
+        "simcore misuse: yielding a non-event constant from a process "
+        "generator, or touching private Environment state from outside "
+        "the kernel"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        uses_simcore = ctx.in_package("simcore") or bool(
+            ctx.module_aliases(
+                "repro.simcore", "repro.simcore.kernel",
+                "repro.simcore.kernel.Environment", "repro.simcore.Environment",
+            )
+        ) or self._imports_simcore(ctx)
+        if uses_simcore:
+            yield from self._constant_yields(ctx)
+        if not ctx.in_package("simcore"):
+            yield from self._private_env_access(ctx)
+
+    @staticmethod
+    def _imports_simcore(ctx: FileContext) -> bool:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro.simcore"):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(a.name.startswith("repro.simcore") for a in node.names):
+                    return True
+        return False
+
+    def _constant_yields(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _yields_env_events(fn):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Yield):
+                    continue
+                if node.value is None:
+                    yield self.violation(
+                        ctx, node,
+                        "bare 'yield' in a process generator suspends on "
+                        "nothing; processes must yield Event objects",
+                    )
+                elif (isinstance(node.value, ast.Constant)
+                      and node.value.value is not None):
+                    yield self.violation(
+                        ctx, node,
+                        f"process generator yields constant "
+                        f"{node.value.value!r}; the kernel only accepts "
+                        "Event objects (timeout(), process(), ...)",
+                    )
+
+    def _private_env_access(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _ENV_PRIVATE_ATTRS:
+                continue
+            chain = _attr_chain(node)
+            if chain is None:
+                continue
+            receiver = chain[-2] if len(chain) >= 2 else ""
+            if receiver in ("env", "environment") or (
+                len(chain) >= 3 and chain[-3:-1] == ("self", "env")
+            ):
+                yield self.violation(
+                    ctx, node,
+                    f"access to private Environment state '.{node.attr}' "
+                    "outside repro.simcore; use the public clock/schedule "
+                    "API (now, timeout, process, step hooks)",
+                )

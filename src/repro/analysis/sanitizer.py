@@ -1,0 +1,274 @@
+"""Runtime simulation sanitizer: DES invariants checked while you run.
+
+The paper's numbers are *accounting* results — bytes conserved across a
+fluid simulation, link loads never exceeding capacity, event time moving
+only forward, CRAQ versions only growing. Each of those is an invariant a
+bug can silently break while every printed table still looks plausible.
+The sanitizer turns them into hard assertions.
+
+Enable it with the environment variable ``REPRO_SANITIZE=1`` (read once,
+lazily) or programmatically::
+
+    from repro.analysis import enable_sanitizer, disable_sanitizer
+
+    enable_sanitizer()
+    try:
+        run_experiment()
+    finally:
+        disable_sanitizer()
+
+Instrumented subsystems (:mod:`repro.simcore.kernel`,
+:mod:`repro.network.flows`, :mod:`repro.fs3.craq`,
+:mod:`repro.telemetry.core`) check :func:`enabled` at construction / run
+start — exactly like the telemetry layer, the cost when disabled is one
+module-level function call returning a cached boolean.
+
+Violations raise :class:`SanitizerError`, which carries the failed
+``check`` name and a structured ``context`` dict (simulated time, flow or
+chunk identity, measured vs permitted values) so a failure pinpoints the
+offending span instead of printing a bare assertion.
+
+This module deliberately imports nothing from the simulation packages, so
+any of them can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+#: Relative slack for floating-point accounting checks (byte conservation,
+#: link feasibility). The fluid engine integrates ``rate * dt`` in float64;
+#: errors scale with flow size, so tolerances are relative, never absolute.
+REL_EPS = 1e-6
+
+
+class SanitizerError(ReproError):
+    """A simulation invariant was violated.
+
+    ``check`` names the invariant (``"event_monotonicity"``,
+    ``"byte_conservation"``, ...); ``context`` holds the offending values.
+    """
+
+    def __init__(self, check: str, message: str, **context: Any) -> None:
+        self.check = check
+        self.context: Dict[str, Any] = context
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(
+            f"[{check}] {message}" + (f" ({detail})" if detail else "")
+        )
+
+
+#: Tri-state: ``None`` = not yet resolved from the environment.
+_enabled: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is active — THE hot-path guard."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    return _enabled
+
+
+def enable_sanitizer() -> None:
+    """Turn the sanitizer on (overrides ``REPRO_SANITIZE``)."""
+    global _enabled
+    _enabled = True
+
+
+def disable_sanitizer() -> None:
+    """Turn the sanitizer off (overrides ``REPRO_SANITIZE``)."""
+    global _enabled
+    _enabled = False
+
+
+# --- DES kernel --------------------------------------------------------------
+
+
+class EnvironmentMonitor:
+    """Asserts event-time monotonicity on one simulation environment.
+
+    Attached as a step hook (:meth:`Environment.add_step_hook`): the event
+    heap guarantees non-decreasing pop times unless something schedules
+    into the past or rewinds the clock — both real bugs this catches.
+    """
+
+    __slots__ = ("label", "last_time", "steps")
+
+    def __init__(self, label: str = "env") -> None:
+        self.label = label
+        self.last_time = float("-inf")
+        self.steps = 0
+
+    def on_step(self, when: float, event: Any) -> None:
+        """Step-hook entry point; raises on time regression."""
+        self.steps += 1
+        if when < self.last_time:
+            raise SanitizerError(
+                "event_monotonicity",
+                "event processed at a time earlier than its predecessor",
+                env=self.label,
+                time=when,
+                previous_time=self.last_time,
+                step=self.steps,
+                event=repr(event),
+            )
+        self.last_time = when
+
+    def attach(self, env: Any) -> "EnvironmentMonitor":
+        """Register on ``env`` and return self (for chaining)."""
+        env.add_step_hook(self.on_step)
+        return self
+
+
+# --- fluid flow engine --------------------------------------------------------
+
+
+class FlowAudit:
+    """Byte conservation + duration sanity for one :class:`FlowSim` run.
+
+    The engine integrates ``remaining -= rate * dt`` per flow; this audit
+    integrates the same quantity independently (unclipped) and, when the
+    flow is retired, asserts the delivered bytes equal the demand within
+    :data:`REL_EPS`. It also rejects negative flow durations.
+    """
+
+    __slots__ = ("delivered",)
+
+    def __init__(self) -> None:
+        self.delivered: Dict[int, float] = {}
+
+    def note_progress(self, flow_id: int, nbytes: float) -> None:
+        """Record ``nbytes`` moved for a flow during one event interval."""
+        self.delivered[flow_id] = self.delivered.get(flow_id, 0.0) + nbytes
+
+    def note_instant(self, flow_id: int, size: float) -> None:
+        """An infinite-rate (uncongested) flow delivers its demand at once."""
+        self.delivered[flow_id] = size
+
+    def check_retire(self, flow: Any, start: float, finish: float) -> None:
+        """Assert conservation + non-negative duration at flow completion."""
+        if finish < start:
+            raise SanitizerError(
+                "negative_duration",
+                "flow finished before it started",
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                start=start,
+                finish=finish,
+            )
+        got = self.delivered.pop(flow.flow_id, 0.0)
+        if abs(got - flow.size) > flow.size * REL_EPS:
+            raise SanitizerError(
+                "byte_conservation",
+                "delivered bytes do not match flow demand",
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                delivered=got,
+                demand=flow.size,
+                finish=finish,
+            )
+
+
+def check_feasible_allocation(
+    constraints: Any, rates: Dict[int, float], now: float
+) -> None:
+    """Assert no link carries load beyond its effective capacity.
+
+    ``constraints`` are the solver inputs (each with ``capacity``,
+    ``members``, ``name`` — capacity already includes the QoS efficiency
+    factor), ``rates`` the allocation it returned. Max-min feasibility is
+    the solver's contract; a violation means the allocator over-committed
+    a link.
+    """
+    for c in constraints:
+        load = 0.0
+        for fid in c.members:
+            r = rates.get(fid, 0.0)
+            if r != float("inf"):
+                load += r
+        if load > c.capacity * (1.0 + REL_EPS):
+            raise SanitizerError(
+                "link_over_capacity",
+                "max-min allocation exceeds link capacity",
+                link=str(c.name),
+                load=load,
+                capacity=c.capacity,
+                flows=len(c.members),
+                time=now,
+            )
+
+
+# --- CRAQ / chain replication -------------------------------------------------
+
+
+class ChainAudit:
+    """Monotonic-versioning invariants for one CRAQ chain.
+
+    * the head must assign strictly increasing versions per chunk;
+    * the committed (clean) version visible on any replica must never go
+      backwards — committing must not lose a newer committed version.
+    """
+
+    __slots__ = ("assigned", "committed")
+
+    def __init__(self) -> None:
+        self.assigned: Dict[str, int] = {}
+        self.committed: Dict[Any, int] = {}
+
+    def note_assigned(self, chunk_id: str, version: int) -> None:
+        """Head assigned ``version`` to a new write of ``chunk_id``."""
+        prev = self.assigned.get(chunk_id, 0)
+        if version <= prev:
+            raise SanitizerError(
+                "version_monotonicity",
+                "head assigned a non-increasing write version",
+                chunk=chunk_id,
+                version=version,
+                previous=prev,
+            )
+        self.assigned[chunk_id] = version
+
+    def note_committed(self, replica: str, chunk_id: str,
+                       visible_version: int) -> None:
+        """After a commit, ``visible_version`` is the replica's newest
+        clean version; it must never regress."""
+        key = (replica, chunk_id)
+        prev = self.committed.get(key, 0)
+        if visible_version < prev:
+            raise SanitizerError(
+                "commit_monotonicity",
+                "replica's committed version went backwards",
+                replica=replica,
+                chunk=chunk_id,
+                version=visible_version,
+                previous=prev,
+            )
+        self.committed[key] = visible_version
+
+
+# --- telemetry spans ----------------------------------------------------------
+
+
+def check_span_end(name: str, track: str, ts_begin: float, ts_end: float) -> None:
+    """Assert a telemetry span does not end before it begins.
+
+    :meth:`repro.telemetry.core.Tracer.end` silently clamps negative
+    durations to zero (truthful rendering of a closed trace); under the
+    sanitizer a negative raw duration is an error in the instrumented
+    simulator's clock handling and raises instead.
+    """
+    if ts_end < ts_begin:
+        raise SanitizerError(
+            "negative_duration",
+            "span ended before it began",
+            span=name,
+            track=track,
+            begin=ts_begin,
+            end=ts_end,
+        )

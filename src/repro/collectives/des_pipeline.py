@@ -32,6 +32,7 @@ from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
 from repro.network.dbtree import double_binary_tree
 from repro.simcore import Environment, Resource, Store
+from repro.units import as_gBps
 
 
 @dataclass
@@ -204,5 +205,5 @@ class HFReduceDesSim:
                 )
             sess.registry.histogram(
                 "allreduce_bandwidth_GBps", impl="hfreduce_des"
-            ).observe(result.bandwidth / 1e9)
+            ).observe(as_gBps(result.bandwidth))
         return result

@@ -36,6 +36,7 @@ from repro.hardware.memory import MemorySystem
 from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
 from repro.network.dbtree import double_binary_tree
+from repro.units import as_gBps
 
 
 @dataclass
@@ -126,7 +127,7 @@ class HFReduceModel:
         if sess is not None:
             sess.registry.histogram(
                 "allreduce_bandwidth_GBps", impl="hfreduce"
-            ).observe(achieved / 1e9)
+            ).observe(as_gBps(achieved))
         return achieved
 
     def allreduce_time(self, cfg: AllreduceConfig) -> float:

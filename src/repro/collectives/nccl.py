@@ -20,7 +20,7 @@ from repro.collectives.primitives import AllreduceConfig, ring_transmissions_per
 from repro.errors import CollectiveError
 from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric
-from repro.units import us
+from repro.units import as_gBps, us
 
 
 @dataclass
@@ -52,7 +52,7 @@ class NCCLRingModel:
         if sess is not None:
             sess.registry.histogram(
                 "allreduce_bandwidth_GBps", impl="nccl_ring"
-            ).observe(achieved / 1e9)
+            ).observe(as_gBps(achieved))
         return achieved
 
     def allreduce_time(self, cfg: AllreduceConfig) -> float:

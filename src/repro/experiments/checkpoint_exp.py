@@ -13,7 +13,6 @@ Reproduced three ways:
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.experiments.fmt import render_table
 from repro.fs3 import FS3Client, KVStore, MetaService
 from repro.fs3.storage import StorageCluster
 from repro.hardware.node import fire_flyer_node, storage_node
+from repro.perf import PerfCounters
 from repro.reliability.failures import FailureGenerator
 from repro.units import GiB, as_giBps
 
@@ -84,17 +84,19 @@ def executed_save_load(n_tensors: int = 16, elems: int = 65536) -> Dict[str, flo
         for i in range(n_tensors)
     }
     nbytes = sum(v.nbytes for v in state.values())
-    t0 = time.perf_counter()
-    mgr.save(1, state)
-    t_save = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    loaded = mgr.load(1)
-    t_load = time.perf_counter() - t0
+    # Wall timing goes through the perf layer (DET002): PerfCounters is
+    # the sanctioned wall-clock path, and the timings feed telemetry too.
+    stats = PerfCounters()
+    with stats.timeit("save_s"):
+        mgr.save(1, state)
+    with stats.timeit("load_s"):
+        loaded = mgr.load(1)
     ok = all(np.array_equal(loaded[k], state[k]) for k in state)
+    timings = stats.timings
     return {
         "bytes": float(nbytes),
-        "save_seconds": t_save,
-        "load_seconds": t_load,
+        "save_seconds": timings["save_s"],
+        "load_seconds": timings["load_s"],
         "roundtrip_ok": float(ok),
     }
 

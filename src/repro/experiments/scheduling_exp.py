@@ -19,7 +19,7 @@ Reported: utilization, makespan, and mean high-priority queueing delay.
 
 from __future__ import annotations
 
-import math
+import random
 from typing import Dict, List, Tuple
 
 from repro.experiments.fmt import render_table
@@ -28,14 +28,15 @@ from repro.hai import HAICluster, Task, TaskState, TimeSharingScheduler
 HOUR = 3600.0
 
 
-def _workload(seed: int = 0) -> List[Tuple[float, Task]]:
+def _workload(rng: random.Random) -> List[Tuple[float, Task]]:
     """A deterministic bursty week: (arrival_time, task) pairs.
+
+    ``rng`` is the injected seeded generator (DET001): both policies must
+    replay the *same* arrivals, so each caller builds its own
+    ``random.Random(seed)`` rather than sharing one stream.
 
     Four teams; team 3 occasionally launches large high-priority runs.
     """
-    import random
-
-    rng = random.Random(seed)
     arrivals: List[Tuple[float, Task]] = []
     tid = 0
     for day in range(7):
@@ -74,7 +75,7 @@ def _workload(seed: int = 0) -> List[Tuple[float, Task]]:
 def _run_time_sharing(n_nodes: int, seed: int) -> Dict[str, float]:
     sched = TimeSharingScheduler(HAICluster.two_zone(n_nodes // 2))
     waits = []
-    for when, task in _workload(seed):
+    for when, task in _workload(random.Random(seed)):
         sched.run(until=when)
         sched.submit(task)
     sched.run_until_idle()
@@ -102,7 +103,7 @@ def _run_static_partition(n_nodes: int, seed: int, n_teams: int = 4) -> Dict[str
         for _ in range(n_teams)
     ]
     waits = []
-    for i, (when, task) in enumerate(_workload(seed)):
+    for i, (when, task) in enumerate(_workload(random.Random(seed))):
         team = i % n_teams
         s = scheds[team]
         if task.nodes_required > s.cluster.size:

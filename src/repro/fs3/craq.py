@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.errors import FS3Error, FS3NotFound, FS3Unavailable
 from repro.fs3.chain import StorageTarget
 
@@ -44,6 +45,8 @@ class CraqReplica:
         self._chunks: Dict[str, List[_Version]] = {}
         self.clean_reads = 0
         self.version_queries = 0
+        #: Set by :class:`CraqChain` when the runtime sanitizer is active.
+        self.audit: Optional[_sanitizer.ChainAudit] = None
 
     # -- storage ---------------------------------------------------------------
 
@@ -63,6 +66,13 @@ class CraqReplica:
             elif v.version > version:
                 kept.append(v)
         self._chunks[chunk_id] = kept
+        if self.audit is not None:
+            # Committed visibility must never move backwards on a replica.
+            latest = self.latest_clean(chunk_id)
+            self.audit.note_committed(
+                self.target.target_id, chunk_id,
+                latest.version if latest is not None else 0,
+            )
 
     # -- queries ----------------------------------------------------------------
 
@@ -153,6 +163,10 @@ class CraqChain:
         if not targets:
             raise FS3Error("chain needs at least one target")
         self.replicas = [CraqReplica(t) for t in targets]
+        self._audit = _sanitizer.ChainAudit() if _sanitizer.enabled() else None
+        if self._audit is not None:
+            for r in self.replicas:
+                r.audit = self._audit
         self._rr = 0  # read-any round-robin pointer
         # The head serializes version assignment; the counter lives with
         # the chain so interleaved WriteOps always get distinct versions.
@@ -229,6 +243,9 @@ class CraqChain:
         floor = latest.version if latest else 0
         nxt = max(self._version_counters.get(chunk_id, 0), floor) + 1
         self._version_counters[chunk_id] = nxt
+        if self._audit is not None:
+            # The head must hand out strictly increasing versions.
+            self._audit.note_assigned(chunk_id, nxt)
         return nxt
 
     def start_write(self, chunk_id: str, data: bytes) -> WriteOp:

@@ -28,6 +28,7 @@ from typing import Dict, List
 
 from repro.errors import FS3Error
 from repro.simcore import Environment, Resource
+from repro.units import MiB, gbps
 
 
 def _incast_efficiency(senders: int, window: int, alpha: float = 0.08) -> float:
@@ -68,8 +69,8 @@ class RtsStats:
 def simulate_policy(
     policy: str,
     n_senders: int = 64,
-    chunk_bytes: float = 4 * 2**20,
-    client_link: float = 25e9,
+    chunk_bytes: float = 4 * MiB,
+    client_link: float = gbps(200.0),
     window: int = 8,
 ) -> RtsStats:
     """Run one incast scenario on the DES kernel."""
@@ -127,8 +128,8 @@ def simulate_policy(
 
 def rts_tradeoff(
     n_senders: int = 64,
-    chunk_bytes: float = 4 * 2**20,
-    client_link: float = 25e9,
+    chunk_bytes: float = 4 * MiB,
+    client_link: float = gbps(200.0),
     window: int = 8,
 ) -> Dict[str, RtsStats]:
     """All three policies side by side."""

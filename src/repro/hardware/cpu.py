@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
 from repro.hardware.spec import CPUSpec
+from repro.units import ghz
 
 #: Bytes per element for the datatypes HFReduce's SIMD kernels support.
 DTYPE_BYTES = {"fp32": 4, "fp16": 2, "bf16": 2, "fp8": 1}
@@ -24,7 +25,7 @@ class CpuReduceModel:
     cpu: CPUSpec
     sockets: int = 2
     simd_bytes_per_cycle_per_core: float = 64.0  # one AVX2 FMA port stream
-    clock_hz: float = 2.6e9
+    clock_hz: float = ghz(2.6)
 
     def memory_bound_rate(self, n_inputs: int) -> float:
         """Output bytes/s limited by memory traffic (n reads + 1 write)."""

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
 from repro.hardware.node import NodeSpec, fire_flyer_node
-from repro.units import us
+from repro.units import gBps, us
 
 
 class NumaPolicy(enum.Enum):
@@ -35,7 +35,7 @@ class NumaPolicy(enum.Enum):
 
 
 #: Cross-socket (xGMI) bandwidth between EPYC sockets, bytes/s.
-XGMI_BW = 70e9
+XGMI_BW = gBps(70.0)
 #: Local vs remote DRAM access latency.
 LOCAL_LATENCY = us(0.09)
 REMOTE_LATENCY = us(0.14)

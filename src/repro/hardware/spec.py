@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
-from repro.units import GiB, gbps, gBps, giBps, tflops
+from repro.units import GB, GiB, gbps, gBps, giBps, tflops
 
 
 @dataclass(frozen=True)
@@ -196,7 +196,7 @@ CX6_NIC = NICSpec(name="Mellanox CX6 IB 200Gbps", line_rate=gbps(200.0))
 #: practical gen4 x4 ceiling; writes on enterprise TLC drives run lower.
 NVME_15T36 = SSDSpec(
     name="15.36TB NVMe PCIe4.0x4",
-    capacity_bytes=15_360_000_000_000,
+    capacity_bytes=15_360 * GB,
     read_bw=gBps(7.0),
     write_bw=gBps(4.4),
     pcie_gen=4,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import telemetry
+from repro.analysis import sanitizer as _sanitizer
 from repro.errors import TopologyError
 from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
@@ -259,6 +260,10 @@ class FlowSim:
                 rates = maxmin_rates_vectorized(
                     flow_ids, constraints, weights, demands or None, perf=self.stats
                 )
+        if _sanitizer.enabled():
+            # Max-min feasibility: the solver must never over-commit a link
+            # beyond its effective (QoS-scaled) capacity.
+            _sanitizer.check_feasible_allocation(constraints, rates, self._sim_now)
         # Record link loads for adaptive routing decisions.
         link_rates: Dict[LinkId, float] = {}
         for f in flows:
@@ -298,6 +303,7 @@ class FlowSim:
 
     def _run(self, flows: Sequence[Flow]) -> List[FlowResult]:
         pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
+        audit = _sanitizer.FlowAudit() if _sanitizer.enabled() else None
         sess = telemetry.session()
         tracer = sess.tracer if sess is not None else None
         flow_spans: Dict[int, object] = {}
@@ -346,6 +352,9 @@ class FlowSim:
 
         def retire(f: Flow) -> None:
             fid = f.flow_id
+            if audit is not None:
+                # Byte conservation + non-negative duration at completion.
+                audit.check_retire(f, f.start, now)
             if sess is not None:
                 if tracer is not None:
                     tracer.end(flow_spans.pop(fid, None), now)
@@ -403,8 +412,12 @@ class FlowSim:
             for f in active_flows:
                 r = rates[f.flow_id]
                 if r == float("inf"):
+                    if audit is not None:
+                        audit.note_progress(f.flow_id, remaining[f.flow_id])
                     remaining[f.flow_id] = 0.0
                 else:
+                    if audit is not None:
+                        audit.note_progress(f.flow_id, r * dt)
                     remaining[f.flow_id] = max(remaining[f.flow_id] - r * dt, 0.0)
             now += dt
 

@@ -7,6 +7,7 @@ from itertools import count
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro import telemetry
+from repro.analysis import sanitizer as _sanitizer
 from repro.errors import SimulationError
 from repro.simcore.events import AllOf, AnyOf, Event, Timeout
 from repro.simcore.process import ProcGen, Process
@@ -44,6 +45,10 @@ class Environment:
         sess = telemetry.session()
         if sess is not None:
             self._attach_telemetry(sess)
+        if _sanitizer.enabled():
+            # DES invariant checks (event-time monotonicity) ride the same
+            # step-hook API the telemetry layer uses.
+            _sanitizer.EnvironmentMonitor(self.label).attach(self)
 
     # -- hooks ---------------------------------------------------------------
 

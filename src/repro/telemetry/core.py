@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.telemetry.metrics import MetricsRegistry
 
 
@@ -120,9 +121,16 @@ class Tracer:
         return span
 
     def end(self, span: Optional[Span], ts: float, **extra: Any) -> None:
-        """Close a span at simulated time ``ts``, merging ``extra`` args."""
+        """Close a span at simulated time ``ts``, merging ``extra`` args.
+
+        A span ending before it began is clamped to zero duration for
+        export; under the runtime sanitizer it raises instead, since it
+        means the instrumented simulator's clock ran backwards.
+        """
         if span is None:
             return
+        if ts < span.ts and _sanitizer.enabled():
+            _sanitizer.check_span_end(span.name, span.track, span.ts, ts)
         span.dur = max(0.0, ts - span.ts)
         if extra:
             if span.args is None:

@@ -95,6 +95,19 @@ def as_tflops(flops: float) -> float:
     return flops / 1e12
 
 
+# --- frequency --------------------------------------------------------------
+
+
+def mhz(n: float) -> float:
+    """Convert MHz to Hz."""
+    return n * 1e6
+
+
+def ghz(n: float) -> float:
+    """Convert GHz to Hz."""
+    return n * 1e9
+
+
 # --- time -------------------------------------------------------------------
 
 US = 1e-6

@@ -1,0 +1,341 @@
+"""Unit tests for :mod:`repro.analysis` — lint rules, noqa, baseline, gate.
+
+Each rule gets positive fixtures (the violation fires), negative fixtures
+(correct code stays silent), and a suppression fixture (``# repro: noqa``
+silences it). The tier-1 gate test at the bottom lints the real source
+tree against the checked-in baseline — the same check the CLI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Violation, all_rules, lint_paths, lint_source
+from repro.analysis.baseline import DEFAULT_BASELINE, BaselineError
+from repro.analysis.lint import LintConfigError, parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(violations):
+    return [v.rule for v in violations]
+
+
+def lint(source: str, path: str = "src/repro/simcore/mod.py"):
+    """Lint a snippet as if it lived at ``path`` (rule path filters apply)."""
+    return lint_source(source, path)
+
+
+class TestFramework:
+    def test_registry_has_all_rules(self):
+        assert {r.code for r in all_rules()} >= {
+            "DET001", "DET002", "DET003", "UNIT001", "SIM001"
+        }
+
+    def test_syntax_error_reports_parse_violation(self):
+        out = lint("def broken(:\n")
+        assert codes(out) == ["PARSE"]
+        assert "syntax error" in out[0].message
+
+    def test_violation_render_format(self):
+        v = Violation("DET001", "a/b.py", 3, 7, "msg")
+        assert v.render() == "a/b.py:3:7: DET001 msg"
+        assert v.key == ("DET001", "a/b.py", "msg")
+
+    def test_lint_paths_rejects_missing_path(self):
+        with pytest.raises(LintConfigError):
+            lint_paths(["does/not/exist"])
+
+
+class TestNoqa:
+    SRC = "import random\nx = random.random()\n"
+
+    def test_line_noqa_all_rules(self):
+        out = lint(self.SRC.replace("()", "()  # repro: noqa"))
+        assert out == []
+
+    def test_line_noqa_named_rule(self):
+        out = lint(self.SRC.replace("()", "()  # repro: noqa[DET001]"))
+        assert out == []
+
+    def test_line_noqa_other_rule_does_not_cover(self):
+        out = lint(self.SRC.replace("()", "()  # repro: noqa[UNIT001]"))
+        assert codes(out) == ["DET001"]
+
+    def test_file_noqa(self):
+        out = lint("# repro: noqa-file[DET001]\n" + self.SRC)
+        assert out == []
+
+    def test_file_noqa_all(self):
+        out = lint("# repro: noqa-file\n" + self.SRC)
+        assert out == []
+
+    def test_directive_inside_string_is_ignored(self):
+        src = 's = "# repro: noqa-file"\nimport random\nx = random.random()\n'
+        assert codes(lint(src)) == ["DET001"]
+
+    def test_parse_suppressions_multiple_codes(self):
+        s = parse_suppressions("x = 1  # repro: noqa[DET001, UNIT001]\n")
+        assert s.covers("DET001", 1) and s.covers("UNIT001", 1)
+        assert not s.covers("DET002", 1)
+
+
+class TestDET001:
+    def test_module_random_call_flagged(self):
+        out = lint("import random\nv = random.uniform(0, 1)\n")
+        assert codes(out) == ["DET001"]
+        assert "random.uniform" in out[0].message
+
+    def test_numpy_random_flagged(self):
+        out = lint("import numpy as np\nv = np.random.rand(3)\n")
+        assert codes(out) == ["DET001"]
+
+    def test_seeded_instances_clean(self):
+        src = (
+            "import random\nimport numpy as np\n"
+            "rng = random.Random(0)\nv = rng.uniform(0, 1)\n"
+            "g = np.random.default_rng(0)\nw = g.standard_normal(3)\n"
+        )
+        assert lint(src) == []
+
+    def test_function_local_import_flagged(self):
+        src = "def f(seed):\n    import random\n    return random.Random(seed)\n"
+        out = lint(src)
+        assert codes(out) == ["DET001"]
+        assert "function-local" in out[0].message
+
+    def test_benchmarks_exempt(self):
+        src = "import random\nv = random.random()\n"
+        assert lint_source(src, "benchmarks/bench.py") == []
+
+
+class TestDET002:
+    def test_time_calls_flagged(self):
+        src = "import time\nt = time.time()\np = time.perf_counter()\n"
+        assert codes(lint(src)) == ["DET002", "DET002"]
+
+    def test_datetime_now_flagged(self):
+        assert codes(lint(
+            "import datetime\nt = datetime.datetime.now()\n"
+        )) == ["DET002"]
+        assert codes(lint(
+            "from datetime import datetime\nt = datetime.now()\n"
+        )) == ["DET002"]
+
+    def test_time_sleep_not_flagged(self):
+        assert lint("import time\ntime.sleep(0.1)\n") == []
+
+    def test_exempt_paths(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/perf.py") == []
+        assert lint_source(src, "src/repro/telemetry/core.py") == []
+        assert lint_source(src, "benchmarks/bench_flows.py") == []
+
+
+class TestDET003:
+    def test_for_over_set_literal(self):
+        out = lint("for x in {1, 2, 3}:\n    pass\n")
+        assert codes(out) == ["DET003"]
+
+    def test_comprehension_over_set_call(self):
+        out = lint("vals = [x for x in set(items)]\n")
+        assert codes(out) == ["DET003"]
+
+    def test_list_of_set_union(self):
+        out = lint("order = list(a.union(b))\n")
+        assert codes(out) == ["DET003"]
+
+    def test_sorted_set_is_clean(self):
+        assert lint("for x in sorted({3, 1, 2}):\n    pass\n") == []
+
+    def test_dict_iteration_is_clean(self):
+        assert lint("for k in {'a': 1}:\n    pass\n") == []
+
+    def test_only_applies_to_simcore_network(self):
+        src = "for x in {1, 2}:\n    pass\n"
+        assert lint_source(src, "src/repro/hai/scheduler.py") == []
+        assert codes(lint_source(src, "src/repro/network/fabric.py")) == ["DET003"]
+
+
+class TestUNIT001:
+    PATH = "src/repro/hardware/mod.py"
+
+    def test_large_literal_flagged(self):
+        out = lint_source("BW = 25e9\n", self.PATH)
+        assert codes(out) == ["UNIT001"]
+        assert "25e9" in out[0].message
+
+    def test_shift_form_flagged(self):
+        out = lint_source("CHUNK = 4 * (1 << 20)\n", self.PATH)
+        assert codes(out) == ["UNIT001"]
+
+    def test_power_form_flagged(self):
+        assert codes(lint_source("SZ = 2 ** 30\n", self.PATH)) == ["UNIT001"]
+
+    def test_flagged_once_not_per_operand(self):
+        # The shift expression's own operands must not double-report.
+        assert len(lint_source("X = 1 << 30\n", self.PATH)) == 1
+
+    def test_small_literals_clean(self):
+        assert lint_source("N_PORTS = 800\nEPS = 1e-6\n", self.PATH) == []
+
+    def test_units_helpers_clean(self):
+        src = "from repro.units import gbps, GiB\nBW = gbps(200.0)\nSZ = 4 * GiB\n"
+        assert lint_source(src, self.PATH) == []
+
+    def test_only_in_unit_sensitive_packages(self):
+        assert lint_source("BW = 25e9\n", "src/repro/hai/mod.py") == []
+
+
+class TestSIM001:
+    def test_constant_yield_in_process(self):
+        src = (
+            "from repro.simcore import Environment\n"
+            "def proc(env):\n"
+            "    yield env.timeout(1.0)\n"
+            "    yield 5\n"
+        )
+        out = lint_source(src, "src/repro/fs3/mod.py")
+        assert codes(out) == ["SIM001"]
+        assert "yields constant 5" in out[0].message
+
+    def test_bare_yield_in_process(self):
+        src = (
+            "from repro.simcore import Environment\n"
+            "def proc(env):\n"
+            "    yield env.timeout(1.0)\n"
+            "    yield\n"
+        )
+        out = lint_source(src, "src/repro/fs3/mod.py")
+        assert codes(out) == ["SIM001"]
+        assert "bare 'yield'" in out[0].message
+
+    def test_plain_generator_not_flagged(self):
+        # A data generator in a file that imports simcore is not a process.
+        src = (
+            "from repro.simcore import Environment\n"
+            "def naturals(n):\n"
+            "    for i in range(n):\n"
+            "        yield i\n"
+        )
+        assert lint_source(src, "src/repro/fs3/mod.py") == []
+
+    def test_private_env_access_flagged(self):
+        src = "def peek(env):\n    return env._heap[0]\n"
+        out = lint_source(src, "src/repro/network/mod.py")
+        assert codes(out) == ["SIM001"]
+        assert "_heap" in out[0].message
+
+    def test_private_access_allowed_inside_simcore(self):
+        src = "def peek(env):\n    return env._heap[0]\n"
+        assert lint_source(src, "src/repro/simcore/record.py") == []
+
+
+class TestBaseline:
+    def _violations(self):
+        return lint_source(
+            "import random\nv = random.random()\nw = random.random()\n"
+        )
+
+    def test_round_trip(self, tmp_path):
+        vs = self._violations()
+        b = Baseline.from_violations(vs, why="accepted for the test")
+        p = tmp_path / "base.json"
+        b.save(p)
+        loaded = Baseline.load(p)
+        assert loaded.counts == b.counts
+        assert loaded.why[vs[0].key] == "accepted for the test"
+        assert loaded.new_violations(vs) == []
+
+    def test_counts_catch_new_occurrence(self):
+        vs = self._violations()
+        assert len(vs) == 2
+        b = Baseline.from_violations(vs[:1])  # accept only one occurrence
+        assert len(b.new_violations(vs)) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        b = Baseline.load(tmp_path / "nope.json")
+        assert b.counts == {} and b.new_violations(self._violations())
+
+    def test_malformed_file_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("[1, 2]")
+        with pytest.raises(BaselineError):
+            Baseline.load(p)
+
+    def test_stale_entries_detected(self):
+        vs = self._violations()
+        b = Baseline.from_violations(vs)
+        assert b.stale_entries(vs) == []
+        assert b.stale_entries([]) == [vs[0].key]
+
+
+class TestTier1Gate:
+    """The real source tree must lint clean against the checked-in baseline."""
+
+    def test_src_tree_clean_against_baseline(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        violations = lint_paths(["src/repro"])
+        baseline = Baseline.load(DEFAULT_BASELINE)
+        new = baseline.new_violations(violations)
+        assert new == [], "new lint violations:\n" + "\n".join(
+            v.render() for v in new
+        )
+
+    def test_baseline_has_no_determinism_debt(self, monkeypatch):
+        # Acceptance criterion: DET001/DET002 findings were *fixed*, not
+        # baselined — determinism debt must never be accepted.
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = Baseline.load(DEFAULT_BASELINE)
+        det = [k for k in baseline.counts if k[0] in ("DET001", "DET002")]
+        assert det == []
+
+    def test_baseline_entries_carry_why(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = Baseline.load(DEFAULT_BASELINE)
+        for key in baseline.counts:
+            assert key in baseline.why, f"baseline entry {key} has no 'why'"
+
+    def test_baseline_is_not_stale(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        violations = lint_paths(["src/repro"])
+        baseline = Baseline.load(DEFAULT_BASELINE)
+        assert baseline.stale_entries(violations) == []
+
+
+class TestCli:
+    def run_cli(self, *args: str):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+
+    def test_json_clean_against_baseline(self):
+        proc = self.run_cli("src", "--format=json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+        assert payload["new"] == []
+
+    def test_exit_nonzero_without_baseline(self):
+        # The accepted spec.py entry resurfaces when the baseline is ignored.
+        proc = self.run_cli("src", "--no-baseline")
+        assert proc.returncode == 1
+        assert "UNIT001" in proc.stdout
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("DET001", "DET002", "DET003", "UNIT001", "SIM001"):
+            assert code in proc.stdout
+
+    def test_single_rule_filter(self):
+        proc = self.run_cli("src", "--no-baseline", "--rule", "DET001")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,263 @@
+"""Unit + integration tests for :mod:`repro.analysis.sanitizer`.
+
+Each invariant gets a violation-injection test asserting the raised
+:class:`SanitizerError` names the check and carries structured context,
+plus clean-path coverage proving instrumented subsystems run violation-
+free under the sanitizer. The golden-output test at the bottom is the
+acceptance criterion: enabling the sanitizer must not change a single
+byte of experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import SanitizerError, disable_sanitizer, enable_sanitizer
+from repro.analysis import sanitizer
+from repro.fs3 import CraqChain, StorageTarget
+from repro.hardware.spec import QM8700_SWITCH
+from repro.network import Flow, FlowSim, two_layer_fat_tree
+from repro.simcore import Environment
+
+
+@pytest.fixture()
+def sanitize():
+    """Enable the sanitizer for one test, always restoring the default."""
+    enable_sanitizer()
+    try:
+        yield
+    finally:
+        disable_sanitizer()
+
+
+@pytest.fixture(autouse=True)
+def _default_off():
+    # Tests must not leak an enabled sanitizer into the rest of the suite.
+    yield
+    disable_sanitizer()
+
+
+class TestEnabledSwitch:
+    def test_env_var_parsing(self, monkeypatch):
+        monkeypatch.setattr(sanitizer, "_enabled", None)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitizer.enabled() is True
+        monkeypatch.setattr(sanitizer, "_enabled", None)
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert sanitizer.enabled() is False
+        monkeypatch.setattr(sanitizer, "_enabled", None)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitizer.enabled() is False
+
+    def test_programmatic_override(self):
+        enable_sanitizer()
+        assert sanitizer.enabled()
+        disable_sanitizer()
+        assert not sanitizer.enabled()
+
+    def test_error_carries_check_and_context(self):
+        err = SanitizerError("my_check", "boom", a=1, b="x")
+        assert err.check == "my_check"
+        assert err.context == {"a": 1, "b": "x"}
+        assert "[my_check]" in str(err) and "a=1" in str(err)
+
+
+class TestEnvironmentMonitor:
+    def test_time_regression_raises(self):
+        mon = sanitizer.EnvironmentMonitor("test-env")
+        mon.on_step(1.0, "ev1")
+        mon.on_step(1.0, "ev2")  # equal times are fine
+        with pytest.raises(SanitizerError) as exc:
+            mon.on_step(0.5, "ev3")
+        assert exc.value.check == "event_monotonicity"
+        assert exc.value.context["env"] == "test-env"
+        assert exc.value.context["time"] == 0.5
+        assert exc.value.context["previous_time"] == 1.0
+
+    def test_attached_to_environment_when_enabled(self, sanitize):
+        env = Environment(label="san-test")
+        done = []
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [3.0]  # monotone run passes through the monitor
+
+    def test_not_attached_when_disabled(self):
+        disable_sanitizer()
+        env = Environment()
+        assert not any(
+            isinstance(getattr(h, "__self__", None), sanitizer.EnvironmentMonitor)
+            for h in env._step_hooks
+        )
+
+
+@dataclass
+class _FakeFlow:
+    flow_id: int
+    src: str
+    dst: str
+    size: float
+
+
+class TestFlowAudit:
+    def test_negative_duration_raises(self):
+        audit = sanitizer.FlowAudit()
+        f = _FakeFlow(1, "a", "b", 100.0)
+        with pytest.raises(SanitizerError) as exc:
+            audit.check_retire(f, start=5.0, finish=4.0)
+        assert exc.value.check == "negative_duration"
+        assert exc.value.context["flow_id"] == 1
+
+    def test_byte_conservation_violation_raises(self):
+        audit = sanitizer.FlowAudit()
+        f = _FakeFlow(7, "h0", "h1", 1000.0)
+        audit.note_progress(7, 500.0)  # only half delivered
+        with pytest.raises(SanitizerError) as exc:
+            audit.check_retire(f, start=0.0, finish=1.0)
+        assert exc.value.check == "byte_conservation"
+        assert exc.value.context["delivered"] == 500.0
+        assert exc.value.context["demand"] == 1000.0
+
+    def test_exact_delivery_passes(self):
+        audit = sanitizer.FlowAudit()
+        f = _FakeFlow(7, "h0", "h1", 1000.0)
+        audit.note_progress(7, 400.0)
+        audit.note_progress(7, 600.0)
+        audit.check_retire(f, start=0.0, finish=1.0)
+
+    def test_relative_tolerance(self):
+        audit = sanitizer.FlowAudit()
+        f = _FakeFlow(2, "a", "b", 1e12)
+        audit.note_progress(2, 1e12 * (1.0 + 1e-9))  # within REL_EPS
+        audit.check_retire(f, start=0.0, finish=1.0)
+
+
+@dataclass
+class _FakeConstraint:
+    name: str
+    capacity: float
+    members: tuple
+
+
+class TestFeasibility:
+    def test_over_capacity_raises(self):
+        c = _FakeConstraint("spine0->leaf1", 100.0, (1, 2))
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.check_feasible_allocation(
+                [c], {1: 60.0, 2: 60.0}, now=3.5
+            )
+        assert exc.value.check == "link_over_capacity"
+        assert exc.value.context["link"] == "spine0->leaf1"
+        assert exc.value.context["load"] == 120.0
+        assert exc.value.context["time"] == 3.5
+
+    def test_feasible_allocation_passes(self):
+        c = _FakeConstraint("l", 100.0, (1, 2))
+        sanitizer.check_feasible_allocation([c], {1: 50.0, 2: 50.0}, now=0.0)
+
+    def test_infinite_rates_ignored(self):
+        # inf marks uncongested flows retired instantly; not a link load.
+        c = _FakeConstraint("l", 100.0, (1,))
+        sanitizer.check_feasible_allocation([c], {1: float("inf")}, now=0.0)
+
+
+class TestChainAudit:
+    def test_version_regression_raises(self):
+        audit = sanitizer.ChainAudit()
+        audit.note_assigned("c1", 1)
+        audit.note_assigned("c1", 2)
+        with pytest.raises(SanitizerError) as exc:
+            audit.note_assigned("c1", 2)
+        assert exc.value.check == "version_monotonicity"
+        assert exc.value.context["chunk"] == "c1"
+        assert exc.value.context["previous"] == 2
+
+    def test_commit_regression_raises(self):
+        audit = sanitizer.ChainAudit()
+        audit.note_committed("t0", "c1", 3)
+        with pytest.raises(SanitizerError) as exc:
+            audit.note_committed("t0", "c1", 2)
+        assert exc.value.check == "commit_monotonicity"
+        assert exc.value.context["replica"] == "t0"
+
+    def test_independent_chunks_do_not_interfere(self):
+        audit = sanitizer.ChainAudit()
+        audit.note_assigned("c1", 5)
+        audit.note_assigned("c2", 1)  # fine: different chunk
+
+
+class TestSpanCheck:
+    def test_negative_span_raises(self):
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.check_span_end("solve", "flows", 2.0, 1.0)
+        assert exc.value.check == "negative_duration"
+        assert exc.value.context["span"] == "solve"
+
+    def test_tracer_raises_under_sanitizer(self, sanitize):
+        from repro.telemetry import Tracer
+
+        tr = Tracer()
+        sp = tr.begin("work", 5.0)
+        with pytest.raises(SanitizerError):
+            tr.end(sp, 4.0)
+
+    def test_tracer_clamps_without_sanitizer(self):
+        from repro.telemetry import Tracer
+
+        tr = Tracer()
+        sp = tr.begin("work", 5.0)
+        tr.end(sp, 4.0)
+        assert sp.dur == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Integration: instrumented subsystems run clean with checks active.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.sanitize
+class TestInstrumentedSubsystems:
+    def test_flowsim_run_clean(self, sanitize):
+        fabric = two_layer_fat_tree(40, QM8700_SWITCH)
+        sim = FlowSim(fabric)
+        flows = [
+            Flow(f"h{i}", f"h{39 - i}", size=1e9, flow_id=i, start=0.001 * i)
+            for i in range(8)
+        ]
+        results = sim.run(flows)
+        assert len(results) == 8
+        assert all(r.finish >= r.start for r in results)
+
+    def test_craq_chain_clean(self, sanitize):
+        chain = CraqChain(
+            [StorageTarget(f"t{i}", f"node{i}", 0) for i in range(3)]
+        )
+        for version in range(1, 4):
+            chain.write("chunk", bytes([version]) * 8)
+        assert chain.read("chunk") == bytes([3]) * 8
+
+    def test_congestion_experiment_clean_and_identical(self, sanitize):
+        """Acceptance: the congestion study (FlowSim + QoS + RTS, the
+        subsystem with the most invariant checks) runs violation-free
+        under the sanitizer, and enabling it does not perturb a single
+        output byte."""
+        from repro.experiments import congestion_exp
+
+        sanitized = congestion_exp.run_scenario(True, "static", True)
+        disable_sanitizer()
+        baseline = congestion_exp.run_scenario(True, "static", True)
+        assert sanitized == baseline
+
+    def test_scheduling_render_identical_with_sanitizer(self, sanitize):
+        from repro.experiments import scheduling_exp
+
+        sanitized = scheduling_exp.render()
+        disable_sanitizer()
+        assert scheduling_exp.render() == sanitized
