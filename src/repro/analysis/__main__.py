@@ -1,9 +1,17 @@
-"""CLI: ``python -m repro.analysis [paths...] --format=text|json``.
+"""CLI: ``python -m repro.analysis [paths...] --format=text|json|github``.
 
 Lints the given paths (default ``src``) with the project rules, compares
 against the checked-in baseline, and exits non-zero when *new*
 violations exist. ``--update-baseline`` rewrites the baseline to accept
 the current state (do this deliberately, with a ``why`` edit).
+
+``--format=github`` emits GitHub Actions workflow annotations
+(``::error file=...``) so new violations attach to the diff in CI logs.
+
+A second mode, ``python -m repro.analysis replay <experiment>``, is the
+runtime determinism certificate — see :mod:`repro.analysis.replay`.
+
+Both modes are also installed as the ``repro-lint`` console script.
 """
 
 from __future__ import annotations
@@ -28,8 +36,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text); 'github' emits workflow "
+             "::error annotations for new violations",
     )
     parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
@@ -86,8 +95,34 @@ def _render_json(violations: List[Violation], new: List[Violation],
     )
 
 
+def _render_github(new: List[Violation]) -> str:
+    """GitHub Actions workflow-command annotations for new violations.
+
+    Messages must stay single-line; GitHub terminates a command at the
+    first newline, and `%`/CR/LF in properties use its escape syntax.
+    """
+    def esc(text: str, *, prop: bool = False) -> str:
+        text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        if prop:
+            text = text.replace(":", "%3A").replace(",", "%2C")
+        return text
+
+    lines = [
+        f"::error file={esc(v.path, prop=True)},line={v.line},"
+        f"col={v.col},title={esc(v.rule, prop=True)}::{esc(v.message)}"
+        for v in new
+    ]
+    lines.append(f"::notice::repro.analysis: {len(new)} new violation(s)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["replay"]:
+        from repro.analysis.replay import main as replay_main
+
+        return replay_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
@@ -128,6 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(_render_json(violations, new, baseline_path))
+    elif args.format == "github":
+        print(_render_github(new))
     else:
         print(_render_text(violations, new, baseline_path is not None))
     return 1 if new else 0

@@ -1,0 +1,1033 @@
+"""Flow-sensitive dimension inference over the bandwidth-accounting core.
+
+Every headline number this repository reproduces — the 37.5 GB/s EPYC
+root-port ceiling, the ~9 GiB/s chained-write P2P limit, the HFReduce vs
+NCCL bandwidth curves — is the output of plain-float arithmetic over
+bytes, seconds, FLOPs and counts. A single ``Gbps``-where-``GB/s`` slip
+silently corrupts all of them. ``UNIT001`` polices raw magnitude
+literals; this module polices the *arithmetic*.
+
+The algebra is a vector of integer exponents over the base dimensions
+``(byte, second, flop, count)``:
+
+* ``byte/s``    is ``(1, -1, 0, 0)``,
+* ``flop/s``    is ``(0, -1, 1, 0)``,
+* ``1/s`` (Hz)  is ``(0, -1, 0, 0)``,
+* dimensionless is the zero vector.
+
+Dimensions are seeded from three sources:
+
+1. the :mod:`repro.units` constructors and constants (``gbps(x)`` is
+   byte/s, ``us(t)`` is seconds, ``4 * GiB`` is bytes, ...),
+2. signature annotations using the zero-cost :mod:`repro.units` aliases
+   (``Bytes``, ``Seconds``, ``BytesPerSec``, ``Flops``, ...), read on
+   parameters, returns, and dataclass fields,
+3. a conservative name-suffix convention: ``*_bytes`` is bytes, ``*_s``
+   is seconds, ``*_bps`` is byte/s (plus the idiomatic exact name
+   ``nbytes``).
+
+Within each function, dimensions propagate flow-sensitively through
+assignments, arithmetic, and calls to same-module (or units) functions
+whose signatures are annotated. Numeric literals are *polymorphic
+scalars*: they scale in ``*``/``/`` but never participate in an
+addition/comparison check, so ``now + 1e-12`` and ``2.0 * latency``
+stay silent. Only a contradiction between two *known* dimensions is
+reported:
+
+* **DIM001** — ``+``/``-``/comparison (and ``min``/``max``) over
+  incompatible dimensions,
+* **DIM002** — an argument whose dimension contradicts the callee's
+  parameter annotation,
+* **DIM003** — a return value whose dimension contradicts the
+  function's return annotation.
+
+All three report through the standard lint pipeline: ``# repro:
+noqa[DIM001]`` suppressions and ``analysis-baseline.json`` entries work
+exactly as for the determinism rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import FileContext, Rule, register
+
+# --- the algebra ------------------------------------------------------------
+
+#: Exponents over (byte, second, flop, count).
+DimVec = Tuple[int, int, int, int]
+
+SCALAR: DimVec = (0, 0, 0, 0)
+BYTE: DimVec = (1, 0, 0, 0)
+SECOND: DimVec = (0, 1, 0, 0)
+FLOP: DimVec = (0, 0, 1, 0)
+COUNT: DimVec = (0, 0, 0, 1)
+BYTES_PER_SEC: DimVec = (1, -1, 0, 0)
+FLOPS_PER_SEC: DimVec = (0, -1, 1, 0)
+HERTZ: DimVec = (0, -1, 0, 0)
+
+_BASE_NAMES = ("byte", "s", "flop", "count")
+
+
+def _normalize(byte: int, sec: int, flop: int, count: int) -> DimVec:
+    """Count behaves dimensionlessly in products.
+
+    Scaling a physical quantity by a count keeps its dimension
+    (``port_rate * ports`` is still byte/s, ``nbytes / chunks`` is still
+    bytes), and counts of counts stay counts (``nodes * gpus_per_node``).
+    Counts remain a *distinct* dimension for add/sub/compare, which is
+    where count-vs-bytes slips actually bite.
+    """
+    if byte or sec or flop:
+        count = 0
+    elif count:
+        count = 1 if count > 0 else -1
+    return (byte, sec, flop, count)
+
+
+def dim_mul(a: DimVec, b: DimVec) -> DimVec:
+    """Dimension of a product."""
+    return _normalize(a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
+
+
+def dim_div(a: DimVec, b: DimVec) -> DimVec:
+    """Dimension of a quotient."""
+    return _normalize(a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3])
+
+
+def dim_pow(a: DimVec, n: int) -> DimVec:
+    """Dimension of an integer power."""
+    return _normalize(a[0] * n, a[1] * n, a[2] * n, a[3] * n)
+
+
+def compatible(a: DimVec, b: DimVec) -> bool:
+    """Whether two known dimensions may legally meet in add/compare/bind.
+
+    Counts are physically dimensionless — ``nbytes // chunk_bytes`` is a
+    chunk count, ``1.0 + depth / chunks`` is a factor — so count and
+    scalar never contradict each other. Everything else must match
+    exactly.
+    """
+    if a == b:
+        return True
+    return {a, b} == {SCALAR, COUNT}
+
+
+def dim_name(vec: DimVec) -> str:
+    """Human-readable name of a dimension vector (``byte/s``, ``flop``...)."""
+    if vec == SCALAR:
+        return "scalar"
+    num = [
+        f"{n}" if e == 1 else f"{n}^{e}"
+        for n, e in zip(_BASE_NAMES, vec) if e > 0
+    ]
+    den = [
+        f"{n}" if e == -1 else f"{n}^{-e}"
+        for n, e in zip(_BASE_NAMES, vec) if e < 0
+    ]
+    head = "*".join(num) if num else "1"
+    return head + ("/" + "/".join(den) if den else "")
+
+
+@dataclass(frozen=True)
+class Dim:
+    """An inferred dimension. ``literal`` marks polymorphic number
+    literals, which scale freely and never trigger add/compare checks."""
+
+    vec: DimVec
+    literal: bool = False
+
+
+_LITERAL = Dim(SCALAR, literal=True)
+
+
+# --- seed tables ------------------------------------------------------------
+
+#: repro.units helper -> (accepted argument dims, return dim). Constructors
+#: accept plain scalars (and counts: ``gib(n_buffers)``-style sizing is
+#: legitimate); the ``as_*`` formatters demand the canonical dimension.
+UNITS_SIGNATURES: Dict[str, Tuple[Tuple[DimVec, ...], DimVec]] = {
+    "kib": ((SCALAR, COUNT), BYTE),
+    "mib": ((SCALAR, COUNT), BYTE),
+    "gib": ((SCALAR, COUNT), BYTE),
+    "tib": ((SCALAR, COUNT), BYTE),
+    "gbps": ((SCALAR, COUNT), BYTES_PER_SEC),
+    "gBps": ((SCALAR, COUNT), BYTES_PER_SEC),
+    "giBps": ((SCALAR, COUNT), BYTES_PER_SEC),
+    "tBps": ((SCALAR, COUNT), BYTES_PER_SEC),
+    "as_gBps": ((BYTES_PER_SEC,), SCALAR),
+    "as_giBps": ((BYTES_PER_SEC,), SCALAR),
+    "tflops": ((SCALAR, COUNT), FLOPS_PER_SEC),
+    "as_tflops": ((FLOPS_PER_SEC,), SCALAR),
+    "gflop": ((SCALAR, COUNT), FLOP),
+    "mhz": ((SCALAR, COUNT), HERTZ),
+    "ghz": ((SCALAR, COUNT), HERTZ),
+    "us": ((SCALAR, COUNT), SECOND),
+    "ms": ((SCALAR, COUNT), SECOND),
+}
+
+#: repro.units module constants.
+UNITS_CONSTANTS: Dict[str, DimVec] = {
+    "KB": BYTE, "MB": BYTE, "GB": BYTE, "TB": BYTE,
+    "KiB": BYTE, "MiB": BYTE, "GiB": BYTE, "TiB": BYTE, "PiB": BYTE,
+    "US": SECOND, "MS": SECOND, "MINUTE": SECOND, "HOUR": SECOND,
+    "DAY": SECOND,
+}
+
+#: Annotation alias -> dimension (the zero-cost aliases in repro.units).
+ANNOTATION_DIMS: Dict[str, DimVec] = {
+    "Bytes": BYTE,
+    "Seconds": SECOND,
+    "BytesPerSec": BYTES_PER_SEC,
+    "Flops": FLOP,
+    "FlopsPerSec": FLOPS_PER_SEC,
+    "Hertz": HERTZ,
+    "Count": COUNT,
+    "Scalar": SCALAR,
+}
+
+#: Conservative name-suffix convention for names with no annotation.
+SUFFIX_DIMS: Tuple[Tuple[str, DimVec], ...] = (
+    ("_bytes", BYTE),
+    ("_bps", BYTES_PER_SEC),
+    ("_s", SECOND),
+)
+
+#: Exact names too idiomatic to leave out of the suffix convention.
+EXACT_NAME_DIMS: Dict[str, DimVec] = {
+    "nbytes": BYTE,
+}
+
+#: Builtins whose result carries their argument's dimension.
+_PASS_THROUGH_BUILTINS = frozenset({"abs", "float", "round"})
+#: Builtins that compare their arguments (DIM001 on a known mismatch).
+_COMPARING_BUILTINS = frozenset({"min", "max"})
+
+
+def suffix_dim(name: str) -> Optional[DimVec]:
+    """Dimension implied by a bare name, or None."""
+    exact = EXACT_NAME_DIMS.get(name)
+    if exact is not None:
+        return exact
+    for suffix, vec in SUFFIX_DIMS:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return vec
+    return None
+
+
+def annotation_dim(node: Optional[ast.AST]) -> Optional[DimVec]:
+    """Dimension named by an annotation expression, or None.
+
+    Recognizes the bare alias (``Bytes``), the qualified form
+    (``units.Bytes``), string annotations, and ``Optional[X]`` /
+    ``X | None`` wrappers around any of those.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return ANNOTATION_DIMS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return ANNOTATION_DIMS.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ANNOTATION_DIMS.get(node.value.rsplit(".", 1)[-1])
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if name == "Optional":
+            return annotation_dim(node.slice)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = annotation_dim(node.left)
+        if left is not None:
+            return left
+        return annotation_dim(node.right)
+    return None
+
+
+# --- module-level tables -----------------------------------------------------
+
+
+@dataclass
+class Signature:
+    """Dimension-relevant view of one function definition."""
+
+    name: str
+    params: List[Tuple[str, Optional[DimVec]]]
+    returns: Optional[DimVec]
+    node: ast.AST
+
+    @property
+    def annotated(self) -> bool:
+        """Whether any part of the signature carries a dimension."""
+        return self.returns is not None or any(
+            d is not None for _, d in self.params
+        )
+
+    def param_dim(self, index: int, keyword: Optional[str]) -> Tuple[str, Optional[DimVec]]:
+        """(name, dim) of the parameter an argument binds to."""
+        if keyword is not None:
+            for pname, d in self.params:
+                if pname == keyword:
+                    return pname, d
+            return keyword, None
+        if 0 <= index < len(self.params):
+            return self.params[index]
+        return f"arg{index}", None
+
+
+_CONFLICT = object()
+
+
+class ModuleTables:
+    """Signatures, attribute dims, and module globals for one file."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.functions: Dict[str, Signature] = {}
+        self.methods: Dict[str, Dict[str, Signature]] = {}  # class -> name -> sig
+        #: Attribute name -> dim, from class-body AnnAssign (dataclass
+        #: fields) and annotated property returns. Conflicting
+        #: declarations across classes drop the name entirely.
+        self.attr_dims: Dict[str, object] = {}
+        #: Local alias -> units helper name, for imported constructors.
+        self.units_funcs: Dict[str, str] = {}
+        #: Local alias -> units constant dim.
+        self.units_consts: Dict[str, DimVec] = {}
+        #: Local names bound to the repro.units module itself.
+        self.units_modules: Set[str] = set()
+        self._collect_imports(ctx.tree)
+        self._collect_defs(ctx.tree)
+
+    # -- construction ------------------------------------------------------
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in ("repro.units", "units"):
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        if alias.name in UNITS_SIGNATURES:
+                            self.units_funcs[local] = alias.name
+                        elif alias.name in UNITS_CONSTANTS:
+                            self.units_consts[local] = UNITS_CONSTANTS[alias.name]
+                elif node.module == "repro":
+                    for alias in node.names:
+                        if alias.name == "units":
+                            self.units_modules.add(alias.asname or "units")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.units":
+                        self.units_modules.add(alias.asname or "repro")
+
+    def _signature(self, fn: ast.AST) -> Signature:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params: List[Tuple[str, Optional[DimVec]]] = []
+        args = fn.args
+        for a in args.posonlyargs + args.args:
+            dim = annotation_dim(a.annotation)
+            if dim is None:
+                dim = suffix_dim(a.arg)
+            params.append((a.arg, dim))
+        for a in args.kwonlyargs:
+            dim = annotation_dim(a.annotation)
+            if dim is None:
+                dim = suffix_dim(a.arg)
+            params.append((a.arg, dim))
+        return Signature(
+            name=fn.name,
+            params=params,
+            returns=annotation_dim(fn.returns),
+            node=fn,
+        )
+
+    def _record_attr(self, name: str, dim: Optional[DimVec]) -> None:
+        if dim is None:
+            return
+        seen = self.attr_dims.get(name)
+        if seen is None:
+            self.attr_dims[name] = dim
+        elif seen is not _CONFLICT and seen != dim:
+            self.attr_dims[name] = _CONFLICT
+
+    def _collect_defs(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = self._signature(node)
+            elif isinstance(node, ast.ClassDef):
+                methods: Dict[str, Signature] = {}
+                for item in node.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        self._record_attr(
+                            item.target.id, annotation_dim(item.annotation)
+                        )
+                    elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        sig = self._signature(item)
+                        methods[item.name] = sig
+                        if any(
+                            isinstance(d, ast.Name) and d.id == "property"
+                            for d in item.decorator_list
+                        ):
+                            # Property reads look like attribute access.
+                            self._record_attr(item.name, sig.returns)
+                self.methods[node.name] = methods
+        # A method name unique across the module's classes resolves even
+        # through a receiver of unknown class.
+        self._method_by_name: Dict[str, object] = {}
+        for methods in self.methods.values():
+            for name, sig in methods.items():
+                seen = self._method_by_name.get(name)
+                if seen is None:
+                    self._method_by_name[name] = sig
+                elif isinstance(seen, Signature) and (
+                    seen.params != sig.params or seen.returns != sig.returns
+                ):
+                    self._method_by_name[name] = _CONFLICT
+
+    # -- lookups -----------------------------------------------------------
+
+    def attr_dim(self, name: str) -> Optional[DimVec]:
+        """Dimension of an attribute by declared field/property, else suffix."""
+        seen = self.attr_dims.get(name)
+        if seen is _CONFLICT:
+            return None
+        if seen is not None:
+            return seen  # type: ignore[return-value]
+        return suffix_dim(name)
+
+    def method(self, name: str) -> Optional[Signature]:
+        """A module-wide unique method by name, or None."""
+        sig = self._method_by_name.get(name)
+        return sig if isinstance(sig, Signature) else None
+
+
+# --- the flow-sensitive pass -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One dimension diagnostic, tagged with its rule code."""
+
+    code: str
+    line: int
+    col: int
+    message: str
+
+
+class _FunctionPass:
+    """Infers dimensions through one function body, in statement order.
+
+    ``env`` maps local names to known dimension vectors; absent names are
+    unknown. Branches are analysed on copies and merged: a name whose
+    branches disagree becomes unknown, so only flow-certain knowledge
+    survives — the pass prefers silence over speculation.
+    """
+
+    def __init__(
+        self,
+        tables: ModuleTables,
+        module_env: Dict[str, DimVec],
+        fn: ast.AST,
+        enclosing_class: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        self.tables = tables
+        self.module_env = module_env
+        self.fn = fn
+        self.enclosing_class = enclosing_class
+        self.findings = findings
+        self.sig = tables._signature(fn)
+        self.env: Dict[str, DimVec] = {}
+        for name, dim in self.sig.params:
+            if dim is not None:
+                self.env[name] = dim
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> None:
+        assert isinstance(self.fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        self._exec_body(self.fn.body)
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _merge(self, *envs: Dict[str, DimVec]) -> None:
+        """Replace ``self.env`` with the agreement of branch environments."""
+        merged: Dict[str, DimVec] = {}
+        first, rest = envs[0], envs[1:]
+        for name, dim in first.items():
+            if all(e.get(name) == dim for e in rest):
+                merged[name] = dim
+        self.env = merged
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dim = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = annotation_dim(stmt.annotation)
+            if stmt.value is not None:
+                value = self.infer(stmt.value)
+                if (
+                    declared is not None
+                    and value is not None
+                    and not value.literal
+                    and not compatible(value.vec, declared)
+                ):
+                    self._report(
+                        "DIM001", stmt,
+                        f"assignment of {dim_name(value.vec)} to a name "
+                        f"annotated {dim_name(declared)}",
+                    )
+            if isinstance(stmt.target, ast.Name):
+                if declared is not None:
+                    self.env[stmt.target.id] = declared
+                else:
+                    self._bind(stmt.target, self.infer(stmt.value)
+                               if stmt.value is not None else None)
+        elif isinstance(stmt, ast.AugAssign):
+            target_dim = self._read_target(stmt.target)
+            value = self.infer(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_additive(stmt, target_dim, value, "+=/-=")
+            elif isinstance(stmt.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+                combined = self._combine_mul_div(target_dim, value, stmt.op)
+                self._bind(stmt.target, combined)
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            then_env = self.env
+            self.env = dict(before)
+            self._exec_body(stmt.orelse)
+            self._merge(then_env, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.infer(stmt.iter)
+            self._bind(stmt.target, None)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            self._merge(before, self.env)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            self._merge(before, self.env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None)
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            body_env = self.env
+            handler_envs = []
+            for handler in stmt.handlers:
+                self.env = dict(before)
+                self._exec_body(handler.body)
+                handler_envs.append(self.env)
+            self._merge(body_env, *handler_envs) if handler_envs else None
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are analysed separately (functions) or not
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+        # Remaining statements (pass, break, import, del, ...) carry no dims.
+
+    def _bind(self, target: ast.AST, dim: Optional[Dim]) -> None:
+        if isinstance(target, ast.Name):
+            if dim is not None and not dim.literal:
+                self.env[target.id] = dim.vec
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None)
+        # Attribute/subscript targets: no local binding.
+
+    def _read_target(self, target: ast.AST) -> Optional[Dim]:
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            return self.infer(target)
+        return None
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        declared = self.sig.returns
+        if stmt.value is None:
+            return
+        value = self.infer(stmt.value)
+        if (
+            declared is not None
+            and value is not None
+            and not value.literal
+            and not compatible(value.vec, declared)
+        ):
+            self._report(
+                "DIM003", stmt,
+                f"return of {self.sig.name}() is {dim_name(value.vec)} but "
+                f"the signature declares {dim_name(declared)}",
+            )
+
+    # -- expressions -------------------------------------------------------
+
+    def infer(self, node: Optional[ast.AST]) -> Optional[Dim]:
+        """Dimension of an expression, visiting children for checks."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return _LITERAL
+        if isinstance(node, ast.Name):
+            vec = self.env.get(node.id)
+            if vec is None:
+                vec = self.module_env.get(node.id)
+            if vec is None:
+                vec = self.tables.units_consts.get(node.id)
+            if vec is None and node.id not in self.env:
+                vec = suffix_dim(node.id)
+            return Dim(vec) if vec is not None else None
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            # units.GiB / repro.units.GiB qualified constants.
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in self.tables.units_modules:
+                const = UNITS_CONSTANTS.get(node.attr)
+                if const is not None:
+                    return Dim(const)
+            vec = self.tables.attr_dim(node.attr)
+            return Dim(vec) if vec is not None else None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Compare):
+            self._infer_compare(node)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            a = self.infer(node.body)
+            b = self.infer(node.orelse)
+            if a is not None and b is not None and a.vec == b.vec:
+                return Dim(a.vec, literal=a.literal and b.literal)
+            if a is not None and b is not None and not a.literal and not b.literal:
+                # Both branches known but contradictory: a conditional
+                # expression yields one or the other, so flag it.
+                self._report(
+                    "DIM001", node,
+                    f"conditional expression mixes {dim_name(a.vec)} and "
+                    f"{dim_name(b.vec)} branches",
+                )
+            return None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.infer(v)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt)
+            return None
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                self.infer(k)
+            for v in node.values:
+                self.infer(v)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.infer(node.value)
+            self.infer(node.slice)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            # Comprehension scopes are isolated; visit for nested checks
+            # without polluting the environment.
+            saved = dict(self.env)
+            for gen in node.generators:
+                self.infer(gen.iter)
+                self._bind(gen.target, None)
+                for cond in gen.ifs:
+                    self.infer(cond)
+            if isinstance(node, ast.DictComp):
+                self.infer(node.key)
+                self.infer(node.value)
+            else:
+                self.infer(node.elt)
+            self.env = saved
+            return None
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom, ast.Starred)):
+            child = getattr(node, "value", None)
+            if child is not None:
+                self.infer(child)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self.infer(v.value)
+            return None
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[Dim]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return self._check_additive(node, left, right,
+                                        "+" if isinstance(op, ast.Add) else "-")
+        if isinstance(op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            return self._combine_mul_div(left, right, op)
+        if isinstance(op, ast.Pow):
+            if (
+                left is not None and not left.literal
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return Dim(dim_pow(left.vec, node.right.value))
+            return None
+        return None
+
+    @staticmethod
+    def _combine_mul_div(
+        left: Optional[Dim], right: Optional[Dim], op: ast.operator
+    ) -> Optional[Dim]:
+        if left is None or right is None:
+            return None
+        if isinstance(op, ast.Mult):
+            return Dim(dim_mul(left.vec, right.vec),
+                       literal=left.literal and right.literal)
+        return Dim(dim_div(left.vec, right.vec),
+                   literal=left.literal and right.literal)
+
+    def _check_additive(
+        self,
+        node: ast.AST,
+        left: Optional[Dim],
+        right: Optional[Dim],
+        op: str,
+    ) -> Optional[Dim]:
+        if left is None or left.literal:
+            return right if right is not None and not right.literal else None
+        if right is None or right.literal:
+            return left
+        if not compatible(left.vec, right.vec):
+            self._report(
+                "DIM001", node,
+                f"'{op}' combines {dim_name(left.vec)} with "
+                f"{dim_name(right.vec)}; operands must share a dimension",
+            )
+            return None
+        return left
+
+    def _infer_compare(self, node: ast.Compare) -> None:
+        dims = [self.infer(node.left)] + [self.infer(c) for c in node.comparators]
+        ops = node.ops
+        for i, op in enumerate(ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                   ast.Eq, ast.NotEq)):
+                continue
+            a, b = dims[i], dims[i + 1]
+            if (
+                a is not None and b is not None
+                and not a.literal and not b.literal
+                and not compatible(a.vec, b.vec)
+            ):
+                self._report(
+                    "DIM001", node,
+                    f"comparison of {dim_name(a.vec)} against "
+                    f"{dim_name(b.vec)}; both sides must share a dimension",
+                )
+
+    # -- calls -------------------------------------------------------------
+
+    def _resolve_callee(self, func: ast.AST) -> Optional[Tuple[str, object]]:
+        """(display name, Signature | units-name) for a resolvable call."""
+        if isinstance(func, ast.Name):
+            units_name = self.tables.units_funcs.get(func.id)
+            if units_name is not None:
+                return units_name, units_name
+            sig = self.tables.functions.get(func.id)
+            if sig is not None:
+                return func.id, sig
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in self.tables.units_modules:
+                if func.attr in UNITS_SIGNATURES:
+                    return func.attr, func.attr
+                return None
+            if isinstance(base, ast.Name) and base.id == "self":
+                cls = self.enclosing_class
+                if cls is not None:
+                    sig = self.tables.methods.get(cls, {}).get(func.attr)
+                    if sig is not None:
+                        return f"self.{func.attr}", self._drop_self(sig)
+                return None
+            sig = self.tables.method(func.attr)
+            if sig is not None:
+                return func.attr, self._drop_self(sig)
+        return None
+
+    @staticmethod
+    def _drop_self(sig: Signature) -> Signature:
+        params = sig.params
+        if params and params[0][0] in ("self", "cls"):
+            params = params[1:]
+        return Signature(sig.name, params, sig.returns, sig.node)
+
+    def _infer_call(self, node: ast.Call) -> Optional[Dim]:
+        func = node.func
+        # Builtins with dimension behaviour.
+        if isinstance(func, ast.Name) and func.id in _PASS_THROUGH_BUILTINS:
+            dims = [self.infer(a) for a in node.args]
+            return dims[0] if dims else None
+        if isinstance(func, ast.Name) and func.id in _COMPARING_BUILTINS:
+            dims = [self.infer(a) for a in node.args]
+            known = [d for d in dims if d is not None and not d.literal]
+            if len(node.args) >= 2:
+                for d in known[1:]:
+                    if not compatible(d.vec, known[0].vec):
+                        self._report(
+                            "DIM001", node,
+                            f"{func.id}() over {dim_name(known[0].vec)} and "
+                            f"{dim_name(d.vec)}; arguments must share a "
+                            "dimension",
+                        )
+                        return None
+            for kw in node.keywords:
+                self.infer(kw.value)
+            return known[0] if known else None
+
+        resolved = self._resolve_callee(func)
+        if resolved is None:
+            # Still visit arguments (and the receiver) for nested checks.
+            self.infer(func) if isinstance(func, ast.Attribute) else None
+            for a in node.args:
+                self.infer(a)
+            for kw in node.keywords:
+                self.infer(kw.value)
+            return None
+
+        display, target = resolved
+        if isinstance(target, str):  # units helper
+            accepted, returns = UNITS_SIGNATURES[target]
+            for i, arg in enumerate(node.args):
+                dim = self.infer(arg)
+                if (
+                    i == 0 and dim is not None and not dim.literal
+                    and not any(compatible(dim.vec, a) for a in accepted)
+                ):
+                    self._report(
+                        "DIM002", arg,
+                        f"argument to units.{display}() is "
+                        f"{dim_name(dim.vec)}; the constructor expects a "
+                        "plain scalar magnitude",
+                    )
+            for kw in node.keywords:
+                self.infer(kw.value)
+            return Dim(returns)
+
+        sig = target
+        assert isinstance(sig, Signature)
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self.infer(arg)
+                continue
+            dim = self.infer(arg)
+            pname, expected = sig.param_dim(i, None)
+            self._check_arg(display, pname, expected, dim, arg)
+        for kw in node.keywords:
+            dim = self.infer(kw.value)
+            if kw.arg is None:
+                continue
+            pname, expected = sig.param_dim(-1, kw.arg)
+            self._check_arg(display, pname, expected, dim, kw.value)
+        return Dim(sig.returns) if sig.returns is not None else None
+
+    def _check_arg(
+        self,
+        display: str,
+        pname: str,
+        expected: Optional[DimVec],
+        dim: Optional[Dim],
+        node: ast.AST,
+    ) -> None:
+        if (
+            expected is not None
+            and dim is not None
+            and not dim.literal
+            and not compatible(dim.vec, expected)
+        ):
+            self._report(
+                "DIM002", node,
+                f"argument '{pname}' to {display}() is "
+                f"{dim_name(dim.vec)} but the signature declares "
+                f"{dim_name(expected)}",
+            )
+
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(code, getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0), message)
+        )
+
+
+# --- module driver -----------------------------------------------------------
+
+
+def _module_env(tables: ModuleTables, tree: ast.Module) -> Dict[str, DimVec]:
+    """Dims of module-level constants (``XGMI_BW = gBps(70.0)``...)."""
+    env: Dict[str, DimVec] = {}
+    sink: List[Finding] = []
+    probe = _FunctionPass.__new__(_FunctionPass)
+    probe.tables = tables
+    probe.module_env = env
+    probe.enclosing_class = None
+    probe.findings = sink
+    probe.env = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            dim = probe.infer(stmt.value)
+            if dim is not None and not dim.literal:
+                env[stmt.targets[0].id] = dim.vec
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            declared = annotation_dim(stmt.annotation)
+            if declared is not None:
+                env[stmt.target.id] = declared
+    return env
+
+
+def analyze_module(ctx: FileContext) -> List[Finding]:
+    """All DIM findings for one parsed file (cached on the context)."""
+    cached = getattr(ctx, "_dim_findings", None)
+    if cached is not None:
+        return cached
+    tables = ModuleTables(ctx)
+    module_env = _module_env(tables, ctx.tree)
+    findings: List[Finding] = []
+
+    def visit_functions(body, enclosing_class):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _FunctionPass(
+                    tables, module_env, node, enclosing_class, findings
+                ).run()
+            elif isinstance(node, ast.ClassDef):
+                visit_functions(node.body, node.name)
+
+    visit_functions(ctx.tree.body, None)
+    # Module-level expressions (constant definitions) also get checks.
+    probe = _FunctionPass.__new__(_FunctionPass)
+    probe.tables = tables
+    probe.module_env = module_env
+    probe.enclosing_class = None
+    probe.findings = findings
+    probe.env = {}
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.Expr)):
+            probe.infer(stmt.value)
+    ctx._dim_findings = findings  # type: ignore[attr-defined]
+    return findings
+
+
+#: The packages whose arithmetic the dimension pass audits — the
+#: bandwidth-accounting core plus the scale-up planners built on it.
+DIM_PACKAGES: Tuple[str, ...] = (
+    "hardware", "network", "collectives", "fs3", "haiscale", "units.py",
+)
+
+
+class _DimRule(Rule):
+    """Shared driver: each subclass filters one code out of the analysis."""
+
+    applies_to = DIM_PACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for finding in analyze_module(ctx):
+            if finding.code == self.code:
+                yield finding.line, finding.col, finding.message
+
+
+@register
+class DimAdditiveRule(_DimRule):
+    """DIM001 — additive/comparison mixing of incompatible dimensions."""
+
+    code = "DIM001"
+    title = (
+        "add/sub/compare over incompatible dimensions (byte vs s vs "
+        "byte/s ...); unit arithmetic must stay dimensionally consistent"
+    )
+
+
+@register
+class DimArgumentRule(_DimRule):
+    """DIM002 — argument dimension contradicts the callee's annotation."""
+
+    code = "DIM002"
+    title = (
+        "call argument whose inferred dimension contradicts the callee's "
+        "annotated parameter dimension (units aliases / suffix convention)"
+    )
+
+
+@register
+class DimReturnRule(_DimRule):
+    """DIM003 — return dimension contradicts the function's annotation."""
+
+    code = "DIM003"
+    title = (
+        "return value whose inferred dimension contradicts the "
+        "function's annotated return dimension"
+    )
+
+
+# --- annotation census (used by tests and docs) ------------------------------
+
+
+def annotated_signatures(tree: ast.Module) -> List[str]:
+    """Names of functions whose signature carries >= 1 dimension annotation.
+
+    Only alias-based annotations count (the suffix convention is implicit
+    and free); this is the census the acceptance test runs over the
+    annotated packages.
+    """
+    out: List[str] = []
+
+    def visit(body, prefix):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                has = annotation_dim(node.returns) is not None or any(
+                    annotation_dim(a.annotation) is not None
+                    for a in (node.args.posonlyargs + node.args.args
+                              + node.args.kwonlyargs)
+                )
+                if has:
+                    out.append(prefix + node.name)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, prefix + node.name + ".")
+
+    visit(tree.body, "")
+    return out

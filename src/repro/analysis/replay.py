@@ -1,0 +1,250 @@
+"""Replay differ: a determinism *certificate* for experiments.
+
+DET001–003 are static arguments that nothing nondeterministic crept into
+the simulation; this module is the empirical counterpart. It runs a
+telemetry-enabled experiment twice in one process — same code, same
+embedded seeds — and structurally diffs everything observable about the
+two runs:
+
+* the rendered experiment text,
+* every span (name, track, category, sim timestamp, duration, args),
+* every instant event,
+* every collected metric row (counters, gauges with sample series,
+  histograms).
+
+Any divergence means the run depends on something outside the seeded
+state — iteration order of an unordered container, an id from a shared
+global counter leaking into recorded *values*, wall-clock contamination —
+and the differ exits nonzero with the first divergent rows.
+
+One deliberate normalization: span ``async_id`` values are dropped from
+the comparison. They exist to pair begin/end events for Perfetto and are
+drawn from process-lifetime counters (e.g. flow ids), so back-to-back
+in-process runs see different *labels* for identical *behaviour*.
+Everything with physical meaning — timestamps, durations, byte counts,
+arguments — is compared exactly.
+
+CLI::
+
+    python -m repro.analysis replay congestion
+    repro-lint replay congestion --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# The replay driver is dev tooling that *measures* the stack above it;
+# like the lazy experiments import below, this is deliberate cross-layer
+# wiring, not an architecture dependency of the analysis layer.
+from repro import telemetry  # repro: noqa[ARCH001]
+
+#: Structural row: a stable JSON rendering used for comparison and display.
+Row = Tuple[str, str]  # (kind, canonical JSON)
+
+
+@dataclass
+class RunRecord:
+    """Everything observable about one telemetry-enabled run."""
+
+    text: str
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    instants: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    def rows(self) -> List[Row]:
+        """The run flattened to (kind, canonical-JSON) comparison rows."""
+        out: List[Row] = []
+        for kind, items in (("span", self.spans), ("instant", self.instants),
+                            ("metric", self.metrics)):
+            for item in items:
+                out.append((kind, json.dumps(item, sort_keys=True,
+                                             separators=(",", ":"))))
+        return out
+
+
+def _span_row(span: Any) -> Dict[str, Any]:
+    """Comparison view of one span (async_id deliberately excluded)."""
+    row: Dict[str, Any] = {
+        "name": span.name, "track": span.track, "ts": span.ts,
+        "dur": span.dur,
+    }
+    if span.cat:
+        row["cat"] = span.cat
+    if span.args:
+        row["args"] = span.args
+    return row
+
+
+def _instant_row(inst: Any) -> Dict[str, Any]:
+    row: Dict[str, Any] = {
+        "name": inst.name, "track": inst.track, "ts": inst.ts,
+    }
+    if inst.cat:
+        row["cat"] = inst.cat
+    if getattr(inst, "args", None):
+        row["args"] = inst.args
+    return row
+
+
+def capture_run(render: Callable[[], str]) -> RunRecord:
+    """Run ``render`` under a fresh telemetry session and record it.
+
+    The experiment's stdout is swallowed (the rendered return value is
+    what gets compared); the telemetry session active during the call is
+    torn down before returning, so captures never nest.
+    """
+    sink = io.StringIO()
+    telemetry.start(trace=True)
+    try:
+        with contextlib.redirect_stdout(sink):
+            text = render()
+    finally:
+        session = telemetry.stop()
+    record = RunRecord(text=text if isinstance(text, str) else repr(text))
+    if session is None:  # pragma: no cover - stop() after start() is non-None
+        return record
+    tracer = session.tracer
+    if tracer is not None:
+        record.spans = [_span_row(s) for s in tracer.spans]
+        record.instants = [_instant_row(i) for i in tracer.instants]
+    record.metrics = [
+        row for row in session.registry.collect()
+        if not _is_wall_metric(row)
+    ]
+    return record
+
+
+def _is_wall_metric(row: Dict[str, Any]) -> bool:
+    """Whether a collected metric row measures the *host*, not the sim.
+
+    The :mod:`repro.perf` facade mirrors its accumulators into the
+    session registry under ``perf.<name>``; its wall-second timers follow
+    the ``*_s`` convention (``run_s``, ``solve_s``). Those legitimately
+    differ between two identical runs — they time the machine — so the
+    determinism diff excludes them. Event/iteration counters under
+    ``perf.`` stay in: they must replay exactly.
+    """
+    name = row.get("name", "")
+    return name.startswith("perf.") and name.endswith("_s")
+
+
+def diff_runs(first: RunRecord, second: RunRecord,
+              limit: int = 10) -> List[str]:
+    """Human-readable divergences between two runs (empty = identical)."""
+    out: List[str] = []
+    if first.text != second.text:
+        a_lines = first.text.splitlines()
+        b_lines = second.text.splitlines()
+        for i, (a, b) in enumerate(zip(a_lines, b_lines), start=1):
+            if a != b:
+                out.append(f"text line {i}: run1 {a!r} != run2 {b!r}")
+                break
+        else:
+            out.append(
+                f"text length: run1 has {len(a_lines)} line(s), "
+                f"run2 has {len(b_lines)}"
+            )
+    a_rows, b_rows = first.rows(), second.rows()
+    if len(a_rows) != len(b_rows):
+        out.append(
+            f"event count: run1 recorded {len(a_rows)} row(s), "
+            f"run2 recorded {len(b_rows)}"
+        )
+    shown = 0
+    for i, (a, b) in enumerate(zip(a_rows, b_rows)):
+        if a == b:
+            continue
+        out.append(f"{a[0]} row {i}: run1 {a[1]} != run2 {b[1]}")
+        shown += 1
+        if shown >= limit:
+            out.append("... (further divergences suppressed)")
+            break
+    return out
+
+
+def replay(render: Callable[[], str], name: str = "<experiment>",
+           verbose: bool = False,
+           stream: Optional[Any] = None) -> int:
+    """Run twice, diff, report; returns a process exit code (0 = replayed)."""
+    stream = stream if stream is not None else sys.stdout
+    first = capture_run(render)
+    second = capture_run(render)
+    divergences = diff_runs(first, second)
+    rows = len(first.rows())
+    if not divergences:
+        print(
+            f"replay {name}: deterministic "
+            f"({rows} telemetry row(s), {len(first.text.splitlines())} "
+            "output line(s) identical across runs)",
+            file=stream,
+        )
+        if verbose:
+            for kind, payload in first.rows()[:20]:
+                print(f"  {kind}: {payload}", file=stream)
+        return 0
+    print(f"replay {name}: DIVERGED ({len(divergences)} difference(s))",
+          file=stream)
+    for line in divergences:
+        print(f"  {line}", file=stream)
+    return 1
+
+
+def _load_experiments() -> Dict[str, Any]:
+    """Name -> experiment module mapping from the experiments CLI.
+
+    Imported lazily: the analysis layer must not hard-depend on the
+    experiments layer (ARCH001), and the import is only meaningful when
+    the replay CLI actually runs.
+    """
+    from repro.experiments.__main__ import EXPERIMENTS  # repro: noqa[ARCH001]
+
+    return dict(EXPERIMENTS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``replay`` subcommand parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis replay",
+        description="Determinism certificate: run a telemetry-enabled "
+                    "experiment twice and structurally diff the event "
+                    "streams.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", metavar="EXPERIMENT",
+        help="experiment name (see python -m repro.experiments --list)",
+    )
+    parser.add_argument(
+        "--list", "-l", action="store_true",
+        help="list replayable experiment names and exit",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print the first recorded telemetry rows on success",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis replay ...``."""
+    args = build_parser().parse_args(argv)
+    experiments = _load_experiments()
+    if args.list:
+        print("\n".join(sorted(experiments)))
+        return 0
+    if not args.experiment:
+        print("error: an experiment name is required (try --list)",
+              file=sys.stderr)
+        return 2
+    exp = experiments.get(args.experiment)
+    if exp is None:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(experiments))}", file=sys.stderr)
+        return 2
+    return replay(exp.render, name=args.experiment, verbose=args.verbose)

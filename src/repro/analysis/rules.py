@@ -13,6 +13,14 @@ Every rule encodes an invariant the reproduction's credibility rests on:
 * **SIM001** — :mod:`repro.simcore` process misuse that the kernel only
   reports at runtime (yielding non-events) or not at all (reaching into
   private :class:`Environment` state).
+* **ARCH001** — the layer DAG declared under ``[tool.repro.layers]`` in
+  ``pyproject.toml``; leaf layers (``units``, ``errors``) must stay
+  import-free, the DES kernel must not grow upward dependencies on
+  ``network``/``hai``/``fs3``, and ``telemetry`` must never import
+  experiments.
+* **DIM001/DIM002/DIM003** — dimensional consistency of the
+  bandwidth-accounting arithmetic, inferred flow-sensitively; see
+  :mod:`repro.analysis.dimension`.
 
 See ``docs/ANALYSIS.md`` for rationale and examples; run
 ``python -m repro.analysis --list-rules`` for the live registry.
@@ -21,7 +29,10 @@ See ``docs/ANALYSIS.md`` for rationale and examples; run
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+import tomllib
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.lint import FileContext, Rule, register
 
@@ -275,11 +286,12 @@ class RawUnitLiteralRule(Rule):
     code = "UNIT001"
     title = (
         "raw bandwidth/size literal (>= 1e6 or shifted/power form) in "
-        "hardware/network/collectives/fs3; route constants through "
-        "repro.units helpers (gbps, gBps, GiB, ...) so paper constants "
-        "stay auditable"
+        "hardware/network/collectives/fs3/haiscale/ckpt; route constants "
+        "through repro.units helpers (gbps, gBps, GiB, ...) so paper "
+        "constants stay auditable"
     )
-    applies_to = ("hardware", "network", "collectives", "fs3")
+    applies_to = ("hardware", "network", "collectives", "fs3",
+                  "haiscale", "ckpt")
 
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
         flagged: Set[ast.AST] = set()
@@ -405,3 +417,131 @@ class SimcoreMisuseRule(Rule):
                     "outside repro.simcore; use the public clock/schedule "
                     "API (now, timeout, process, step hooks)",
                 )
+
+
+# --- import layering ---------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _load_layer_config(pyproject: str) -> Optional[Dict[str, Tuple[str, ...]]]:
+    """``[tool.repro.layers]`` from one pyproject.toml, or None."""
+    try:
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError):
+        return None
+    layers = data.get("tool", {}).get("repro", {}).get("layers")
+    if not isinstance(layers, dict):
+        return None
+    out: Dict[str, Tuple[str, ...]] = {}
+    for name, allowed in layers.items():
+        if isinstance(allowed, list):
+            out[str(name)] = tuple(str(a) for a in allowed)
+    return out
+
+
+def _find_pyproject(start: Path) -> Optional[str]:
+    """Nearest pyproject.toml at or above ``start``."""
+    try:
+        start = start.resolve()
+    except OSError:
+        return None
+    for candidate in [start, *start.parents]:
+        marker = candidate / "pyproject.toml"
+        if marker.is_file():
+            return str(marker)
+    return None
+
+
+@register
+class ImportLayeringRule(Rule):
+    """ARCH001 — imports must respect the declared layer DAG."""
+
+    code = "ARCH001"
+    title = (
+        "import crosses the layer DAG declared in [tool.repro.layers] "
+        "(pyproject.toml): a listed layer may only import the internal "
+        "modules on its allowlist; unlisted layers are unconstrained"
+    )
+
+    #: Test hook: assign a ``{layer: [allowed, ...]}`` mapping to bypass
+    #: pyproject.toml discovery entirely.
+    layers_override: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        layers = self._layers(ctx)
+        if not layers:
+            return
+        layer, pkg_parts = self._file_layer(ctx)
+        if layer is None or layer not in layers:
+            return
+        allowed = set(layers[layer]) | {layer}
+        for node in ast.walk(ctx.tree):
+            for target, stmt in self._imported_layers(node, pkg_parts):
+                if target not in allowed:
+                    yield self.violation(
+                        ctx, stmt,
+                        f"layer '{layer}' imports repro.{target}, which is "
+                        "not on its allowlist in [tool.repro.layers]; "
+                        "either the dependency is upside-down or the DAG "
+                        "needs a deliberate edit",
+                    )
+
+    def _layers(self, ctx: FileContext) -> Optional[Dict[str, Tuple[str, ...]]]:
+        if self.layers_override is not None:
+            return self.layers_override
+        pyproject = _find_pyproject(Path(ctx.path).parent)
+        if pyproject is None:
+            return None
+        return _load_layer_config(pyproject)
+
+    @staticmethod
+    def _file_layer(ctx: FileContext) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """(layer name, package parts under repro) for the linted file."""
+        segments = ctx.posix_path.split("/")
+        if "repro" not in segments[:-1]:
+            return None, ()
+        idx = segments.index("repro")
+        below = segments[idx + 1:]
+        if not below:
+            return None, ()
+        layer = below[0][:-3] if below[0].endswith(".py") else below[0]
+        return layer, tuple(below[:-1])
+
+    @staticmethod
+    def _imported_layers(
+        node: ast.AST, pkg_parts: Tuple[str, ...]
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        """Top-level repro layers imported by one statement."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield parts[1], node
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base: List[str] = list(pkg_parts)
+                for _ in range(node.level - 1):
+                    if not base:
+                        return  # escapes the repro package; not ours to judge
+                    base.pop()
+                target = base + (node.module.split(".") if node.module else [])
+                if target:
+                    yield target[0], node
+                else:
+                    for alias in node.names:
+                        yield alias.name, node
+            elif node.module:
+                parts = node.module.split(".")
+                if parts[0] != "repro":
+                    return
+                if len(parts) > 1:
+                    yield parts[1], node
+                else:
+                    for alias in node.names:
+                        yield alias.name, node
+
+
+# Importing the dimension module registers DIM001-003 alongside the rules
+# defined here, so ``all_rules()`` sees one complete registry.
+from repro.analysis import dimension as _dimension  # noqa: E402,F401

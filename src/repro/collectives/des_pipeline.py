@@ -32,19 +32,19 @@ from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
 from repro.network.dbtree import double_binary_tree
 from repro.simcore import Environment, Resource, Store
-from repro.units import as_gBps
+from repro.units import BytesPerSec, Seconds, as_gBps, us
 
 
 @dataclass
 class DesResult:
     """Outcome of one simulated allreduce."""
 
-    total_time: float
+    total_time: Seconds
     nbytes: int
     n_chunks: int
 
     @property
-    def bandwidth(self) -> float:
+    def bandwidth(self) -> BytesPerSec:
         """Algorithm bandwidth in bytes/s."""
         return self.nbytes / self.total_time
 
@@ -62,7 +62,7 @@ class HFReduceDesSim:
     #: Fixed per-chunk dispatch cost (copy-engine doorbell, kernel-side
     #: bookkeeping, verbs post): the term that penalizes very fine
     #: chunking and gives the chunk-size curve its interior optimum.
-    CHUNK_OVERHEAD = 20e-6
+    CHUNK_OVERHEAD = us(20.0)
 
     def __init__(self, node: Optional[NodeSpec] = None) -> None:
         self.node = node if node is not None else fire_flyer_node()

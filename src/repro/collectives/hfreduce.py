@@ -36,7 +36,7 @@ from repro.hardware.memory import MemorySystem
 from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
 from repro.network.dbtree import double_binary_tree
-from repro.units import as_gBps
+from repro.units import BytesPerSec, Seconds, as_gBps
 
 
 @dataclass
@@ -48,7 +48,7 @@ class HFReduceModel:
     gdrcopy: bool = True
     #: Extra one-way latency when the double tree's single crossing pair
     #: traverses the inter-zone links (Section III-B).
-    cross_zone_hop_latency: float = RDMA_HOP_LATENCY
+    cross_zone_hop_latency: Seconds = RDMA_HOP_LATENCY
     #: GPUs per zone before a job must span both zones. Tasks under 128
     #: GPUs are kept zone-local by platform defaults (Figure 7 caption).
     zone_gpu_capacity: int = 4800
@@ -59,13 +59,13 @@ class HFReduceModel:
 
     # -- component terms ---------------------------------------------------------
 
-    def memory_term(self) -> float:
+    def memory_term(self) -> BytesPerSec:
         """Memory-bound allreduce bandwidth (bytes/s)."""
         return MemorySystem(self.node).hfreduce_ceiling(
             gdrcopy=self.gdrcopy, nvlink=self.nvlink
         )
 
-    def pcie_term(self) -> float:
+    def pcie_term(self) -> BytesPerSec:
         """Steady-state per-GPU D2H+H2D rate through the PCIe fabric.
 
         All GPUs stream both directions at once (pipelined chunks); the
@@ -89,7 +89,7 @@ class HFReduceModel:
         ]
         return min(d2h_rates)
 
-    def network_term(self) -> float:
+    def network_term(self) -> BytesPerSec:
         """Inter-node tree allreduce bandwidth through one NIC (bytes/s).
 
         Each byte is sent up and down the tree once; with a full-duplex
@@ -101,7 +101,7 @@ class HFReduceModel:
 
     # -- headline API --------------------------------------------------------------
 
-    def bandwidth(self, cfg: AllreduceConfig) -> float:
+    def bandwidth(self, cfg: AllreduceConfig) -> BytesPerSec:
         """Achieved allreduce (algorithm) bandwidth in bytes/s."""
         if cfg.gpus_per_node != self.node.gpu_count:
             raise CollectiveError(
@@ -130,7 +130,7 @@ class HFReduceModel:
             ).observe(as_gBps(achieved))
         return achieved
 
-    def allreduce_time(self, cfg: AllreduceConfig) -> float:
+    def allreduce_time(self, cfg: AllreduceConfig) -> Seconds:
         """Wall-clock seconds for one allreduce."""
         return cfg.nbytes / self.bandwidth(cfg)
 

@@ -20,7 +20,7 @@ from repro.collectives.primitives import AllreduceConfig, ring_transmissions_per
 from repro.errors import CollectiveError
 from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric
-from repro.units import as_gBps, us
+from repro.units import BytesPerSec, Scalar, Seconds, as_gBps, us
 
 
 @dataclass
@@ -30,16 +30,16 @@ class NCCLRingModel:
     node: NodeSpec = field(default_factory=fire_flyer_node)
     #: Per-ring-step latency: kernel launch, proxy progression, and one
     #: network hop. Calibrated against Figure 7a's large-scale tail.
-    step_latency: float = us(30.0)
+    step_latency: Seconds = us(30.0)
     #: Fraction of GPU compute lost while NCCL reduction kernels run
     #: (Section IV-B2 — HFReduce has none).
-    sm_interference: float = 0.05
+    sm_interference: Scalar = 0.05
 
-    def p2p_bandwidth(self) -> float:
+    def p2p_bandwidth(self) -> BytesPerSec:
         """GPU<->NIC peer-to-peer ceiling on this node (bytes/s)."""
         return PCIeFabric(self.node).gpu_nic_p2p_bandwidth()
 
-    def bandwidth(self, cfg: AllreduceConfig) -> float:
+    def bandwidth(self, cfg: AllreduceConfig) -> BytesPerSec:
         """Achieved allreduce (algorithm) bandwidth in bytes/s."""
         n = cfg.world_size
         if n < 2:
@@ -55,6 +55,6 @@ class NCCLRingModel:
             ).observe(as_gBps(achieved))
         return achieved
 
-    def allreduce_time(self, cfg: AllreduceConfig) -> float:
+    def allreduce_time(self, cfg: AllreduceConfig) -> Seconds:
         """Wall-clock seconds for one allreduce."""
         return cfg.nbytes / self.bandwidth(cfg)

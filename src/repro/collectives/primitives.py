@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CollectiveError
-from repro.units import MiB, us
+from repro.units import Count, MiB, Scalar, Seconds, us
 
 #: Default pipeline chunk size. 4 MiB balances per-chunk overhead against
 #: pipeline depth for the 100-200 MiB gradient buckets typical in training.
@@ -20,8 +20,8 @@ class AllreduceConfig:
     """Parameters of one allreduce invocation."""
 
     nbytes: int
-    n_nodes: int
-    gpus_per_node: int = 8
+    n_nodes: Count = 1
+    gpus_per_node: Count = 8
     chunk_bytes: int = CHUNK_BYTES_DEFAULT
     dtype: str = "fp32"
 
@@ -36,17 +36,17 @@ class AllreduceConfig:
             raise CollectiveError("chunk_bytes must be positive")
 
     @property
-    def world_size(self) -> int:
+    def world_size(self) -> Count:
         """Total GPU count."""
         return self.n_nodes * self.gpus_per_node
 
     @property
-    def n_chunks(self) -> int:
+    def n_chunks(self) -> Count:
         """Pipeline chunks covering the buffer."""
         return max(1, -(-self.nbytes // self.chunk_bytes))
 
 
-def ring_transmissions_per_byte(n: int) -> float:
+def ring_transmissions_per_byte(n: int) -> Scalar:
     """PCIe transactions per byte in a ring allreduce over ``n`` GPUs.
 
     Section IV-B1: each unit of data makes ``2n - 1`` hops, costing
@@ -58,9 +58,9 @@ def ring_transmissions_per_byte(n: int) -> float:
     return (2.0 * n - 1.0) / n
 
 
-def pipeline_latency_factor(depth_hops: int, n_chunks: int,
-                            per_hop_latency: float = RDMA_HOP_LATENCY,
-                            chunk_service_time: float = 0.0) -> float:
+def pipeline_latency_factor(depth_hops: Count, n_chunks: Count,
+                            per_hop_latency: Seconds = RDMA_HOP_LATENCY,
+                            chunk_service_time: Seconds = 0.0) -> Scalar:
     """Throughput divisor from pipeline fill/drain over a tree of depth D.
 
     A chunked pipeline over D hops completes in (C + D) stages instead of

@@ -22,12 +22,13 @@ from repro.fs3.cluster_manager import ManagerGroup
 from repro.fs3.meta import Inode, InodeType, MetaService
 from repro.fs3.rts import RequestToSend
 from repro.fs3.storage import StorageCluster
+from repro.units import us
 
 #: Logical seconds per chain hop on the telemetry clock. The in-memory
 #: datapath has no simulated time, so client request spans advance a
 #: per-client logical clock by one unit per replication-chain hop — the
 #: trace shows true ordering and relative chain cost, not wall time.
-HOP_TIME = 1e-6
+HOP_TIME = us(1.0)
 
 
 class FS3Client:

@@ -28,7 +28,7 @@ from typing import Dict, List
 
 from repro.errors import FS3Error
 from repro.simcore import Environment, Resource
-from repro.units import MiB, gbps
+from repro.units import Bytes, BytesPerSec, MiB, Seconds, gbps
 
 
 def _incast_efficiency(senders: int, window: int, alpha: float = 0.08) -> float:
@@ -45,22 +45,22 @@ class RtsStats:
     total_bytes: float
 
     @property
-    def makespan(self) -> float:
+    def makespan(self) -> Seconds:
         """Time of the last completion."""
         return self.completions[-1]
 
     @property
-    def goodput(self) -> float:
+    def goodput(self) -> BytesPerSec:
         """Aggregate bytes/s delivered."""
         return self.total_bytes / self.makespan
 
     @property
-    def mean_latency(self) -> float:
+    def mean_latency(self) -> Seconds:
         """Mean per-transfer completion time."""
         return sum(self.completions) / len(self.completions)
 
     @property
-    def p99_latency(self) -> float:
+    def p99_latency(self) -> Seconds:
         """99th-percentile completion time."""
         idx = min(len(self.completions) - 1, int(0.99 * len(self.completions)))
         return self.completions[idx]
@@ -69,8 +69,8 @@ class RtsStats:
 def simulate_policy(
     policy: str,
     n_senders: int = 64,
-    chunk_bytes: float = 4 * MiB,
-    client_link: float = gbps(200.0),
+    chunk_bytes: Bytes = 4 * MiB,
+    client_link: BytesPerSec = gbps(200.0),
     window: int = 8,
 ) -> RtsStats:
     """Run one incast scenario on the DES kernel."""
@@ -128,8 +128,8 @@ def simulate_policy(
 
 def rts_tradeoff(
     n_senders: int = 64,
-    chunk_bytes: float = 4 * MiB,
-    client_link: float = gbps(200.0),
+    chunk_bytes: Bytes = 4 * MiB,
+    client_link: BytesPerSec = gbps(200.0),
     window: int = 8,
 ) -> Dict[str, RtsStats]:
     """All three policies side by side."""

@@ -9,6 +9,7 @@ from repro.errors import FS3Error, FS3Unavailable
 from repro.fs3.chain import ChainTable, StorageTarget, build_chain_table
 from repro.fs3.craq import CraqChain
 from repro.hardware.node import NodeSpec, storage_node
+from repro.units import Bytes
 
 
 @dataclass
@@ -20,7 +21,7 @@ class StorageNode:
     alive: bool = True
     used_bytes_per_ssd: Dict[int, int] = field(default_factory=dict)
 
-    def charge(self, ssd_index: int, nbytes: int) -> None:
+    def charge(self, ssd_index: int, nbytes: Bytes) -> None:
         """Account ``nbytes`` written to one SSD; enforces capacity."""
         if not 0 <= ssd_index < self.spec.ssd_count:
             raise FS3Error(f"{self.name}: no SSD {ssd_index}")
@@ -30,7 +31,7 @@ class StorageNode:
         self.used_bytes_per_ssd[ssd_index] = used
 
     @property
-    def used_bytes(self) -> int:
+    def used_bytes(self) -> Bytes:
         """Total bytes stored on this node."""
         return sum(self.used_bytes_per_ssd.values())
 
@@ -143,7 +144,7 @@ class StorageCluster:
 
     # -- introspection ---------------------------------------------------------------
 
-    def total_used_bytes(self) -> int:
+    def total_used_bytes(self) -> Bytes:
         """Bytes stored across the fleet (all replicas)."""
         return sum(n.used_bytes for n in self.nodes.values())
 

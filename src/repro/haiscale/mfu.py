@@ -16,13 +16,14 @@ from typing import Union
 from repro.errors import ParallelismError
 from repro.haiscale.models import MoESpec, TransformerSpec
 from repro.hardware.spec import A100_PCIE, GPUSpec
+from repro.units import Flops, Scalar, Seconds
 
 
 def model_flops_per_step(
     model: Union[TransformerSpec, MoESpec],
     global_batch: int,
     seq_len: int,
-) -> float:
+) -> Flops:
     """Fwd+bwd model FLOPs for one optimization step (no recompute)."""
     if global_batch < 1 or seq_len < 1:
         raise ParallelismError("batch and seq_len must be >= 1")
@@ -34,11 +35,11 @@ def mfu(
     model: Union[TransformerSpec, MoESpec],
     global_batch: int,
     seq_len: int,
-    step_time: float,
+    step_time: Seconds,
     world_size: int,
     gpu: GPUSpec = A100_PCIE,
     dtype: str = "fp16",
-) -> float:
+) -> Scalar:
     """Observed MFU of a training configuration.
 
     ``gpu`` peak uses the measured GEMM rate of the spec catalog (the

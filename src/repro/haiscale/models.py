@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.errors import ParallelismError
+from repro.units import gflop
 
 
 @dataclass(frozen=True)
@@ -182,20 +183,20 @@ class ConvNetSpec:
 VGG16 = ConvNetSpec(
     name="VGG16",
     params=138_000_000,
-    forward_flops_per_image=15.5e9,  # 224x224
+    forward_flops_per_image=gflop(15.5),  # 224x224
 )
 
 RESNET50 = ConvNetSpec(
     name="ResNet50",
     params=25_600_000,
-    forward_flops_per_image=4.1e9,
+    forward_flops_per_image=gflop(4.1),
     compute_efficiency=0.45,
 )
 
 MASK_RCNN = ConvNetSpec(
     name="Mask-RCNN",
     params=44_000_000,
-    forward_flops_per_image=260e9,
+    forward_flops_per_image=gflop(260.0),
     compute_efficiency=0.3,
 )
 

@@ -21,6 +21,7 @@ from repro.haiscale.tensor_parallel import TensorParallelModel
 from repro.haiscale.zero import ZeroStage, memory_per_gpu
 from repro.hardware.gpu import GpuComputeModel
 from repro.hardware.node import NodeSpec, fire_flyer_node
+from repro.units import Bytes, Scalar, Seconds
 
 
 @dataclass(frozen=True)
@@ -51,15 +52,15 @@ class ParallelPlan:
 class TrainingEstimate:
     """Step-time estimate and its components."""
 
-    step_time: float
-    makespan: float
-    bubble_fraction: float
-    fwd_time: float
-    bwd_time: float
+    step_time: Seconds
+    makespan: Seconds
+    bubble_fraction: Scalar
+    fwd_time: Seconds
+    bwd_time: Seconds
     n_microbatches: int
-    allreduce_time: float
-    a2a_time_per_mb: float
-    memory_per_gpu: float
+    allreduce_time: Seconds
+    a2a_time_per_mb: Seconds
+    memory_per_gpu: Bytes
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for tables."""
@@ -83,12 +84,12 @@ def plan_training(
     seq_len: int,
     micro_batch: int = 1,
     node: Optional[NodeSpec] = None,
-    compute_efficiency: float = 0.75,
+    compute_efficiency: Scalar = 0.75,
     schedule: ScheduleKind = ScheduleKind.ONE_F_ONE_B,
     stagger: bool = True,
     hfreduce: Optional[HFReduceModel] = None,
     grad_bytes: int = 2,
-    allreduce_overlap: float = 0.6,
+    allreduce_overlap: Scalar = 0.6,
     activation_recompute: bool = False,
 ) -> TrainingEstimate:
     """Estimate one training step under a parallel plan.

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
 from repro.hardware.spec import CPUSpec
-from repro.units import ghz
+from repro.units import Bytes, BytesPerSec, Hertz, Seconds, ghz
 
 #: Bytes per element for the datatypes HFReduce's SIMD kernels support.
 DTYPE_BYTES = {"fp32": 4, "fp16": 2, "bf16": 2, "fp8": 1}
@@ -25,27 +25,28 @@ class CpuReduceModel:
     cpu: CPUSpec
     sockets: int = 2
     simd_bytes_per_cycle_per_core: float = 64.0  # one AVX2 FMA port stream
-    clock_hz: float = ghz(2.6)
+    clock_hz: Hertz = ghz(2.6)
 
-    def memory_bound_rate(self, n_inputs: int) -> float:
+    def memory_bound_rate(self, n_inputs: int) -> BytesPerSec:
         """Output bytes/s limited by memory traffic (n reads + 1 write)."""
         if n_inputs < 1:
             raise HardwareConfigError("n_inputs must be >= 1")
         bw = self.cpu.memory_bandwidth(sockets=self.sockets)
         return bw / (n_inputs + 1)
 
-    def compute_bound_rate(self, dtype: str = "fp32") -> float:
+    def compute_bound_rate(self, dtype: str = "fp32") -> BytesPerSec:
         """Output bytes/s limited by SIMD arithmetic."""
         if dtype not in DTYPE_BYTES:
             raise HardwareConfigError(f"unsupported dtype {dtype!r}")
         total = self.cpu.cores * self.sockets * self.simd_bytes_per_cycle_per_core
         return total * self.clock_hz
 
-    def reduce_rate(self, n_inputs: int, dtype: str = "fp32") -> float:
+    def reduce_rate(self, n_inputs: int, dtype: str = "fp32") -> BytesPerSec:
         """Achievable reduce-add output bytes/s."""
         return min(self.memory_bound_rate(n_inputs), self.compute_bound_rate(dtype))
 
-    def reduce_time(self, out_bytes: int, n_inputs: int, dtype: str = "fp32") -> float:
+    def reduce_time(self, out_bytes: Bytes, n_inputs: int,
+                    dtype: str = "fp32") -> Seconds:
         """Seconds to reduce ``n_inputs`` buffers of ``out_bytes`` each."""
         if out_bytes < 0:
             raise HardwareConfigError("negative buffer size")

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
 from repro.hardware.spec import GPUSpec
+from repro.units import Bytes, BytesPerSec, Flops, FlopsPerSec, Scalar, Seconds
 
 
 @dataclass
@@ -19,27 +20,27 @@ class GpuComputeModel:
     """
 
     spec: GPUSpec
-    efficiency: float = 1.0  # already folded into measured TFLOPS by default
+    efficiency: Scalar = 1.0  # already folded into measured TFLOPS by default
 
     def __post_init__(self) -> None:
         if not 0 < self.efficiency <= 1:
             raise HardwareConfigError(f"efficiency must be in (0,1], got {self.efficiency}")
 
-    def gemm_flops(self, m: int, n: int, k: int) -> float:
+    def gemm_flops(self, m: int, n: int, k: int) -> Flops:
         """FLOPs of an m x n x k GEMM (multiply-add counted as 2)."""
         if min(m, n, k) <= 0:
             raise HardwareConfigError("GEMM dims must be positive")
         return 2.0 * m * n * k
 
     def gemm_time(self, m: int, n: int, k: int, dtype: str = "fp16",
-                  sm_interference: float = 0.0) -> float:
+                  sm_interference: Scalar = 0.0) -> Seconds:
         """Seconds to run a GEMM, optionally degraded by kernel interference."""
         if not 0 <= sm_interference < 1:
             raise HardwareConfigError("sm_interference must be in [0,1)")
         rate = self.flops_rate(dtype) * self.efficiency * (1.0 - sm_interference)
         return self.gemm_flops(m, n, k) / rate
 
-    def flops_rate(self, dtype: str = "fp16") -> float:
+    def flops_rate(self, dtype: str = "fp16") -> FlopsPerSec:
         """Sustained GEMM FLOP/s for a dtype."""
         if dtype in ("fp16", "bf16"):
             return self.spec.fp16_flops
@@ -50,7 +51,7 @@ class GpuComputeModel:
             return self.spec.fp16_flops
         raise HardwareConfigError(f"unknown dtype {dtype!r}")
 
-    def copy_time(self, nbytes: int, bandwidth: float) -> float:
+    def copy_time(self, nbytes: Bytes, bandwidth: BytesPerSec) -> Seconds:
         """Seconds for a Copy Engine transfer at ``bandwidth`` bytes/s.
 
         Copy engines are fully asynchronous: this never adds

@@ -26,13 +26,14 @@ from typing import Dict
 
 from repro.errors import HardwareConfigError
 from repro.hardware.node import NodeSpec
+from repro.units import BytesPerSec, Scalar
 
 
 def hfreduce_memory_ops_factor(
     gpus_per_node: int = 8,
     gdrcopy: bool = True,
     nvlink: bool = False,
-) -> float:
+) -> Scalar:
     """Bytes of memory traffic per gradient byte for one HFReduce pass.
 
     ``nvlink`` models HFReduce-with-NVLink: paired GPUs pre-reduce over the
@@ -58,7 +59,7 @@ class MemorySystem:
     node: NodeSpec
 
     @property
-    def bandwidth(self) -> float:
+    def bandwidth(self) -> BytesPerSec:
         """Practical host memory bandwidth in bytes/s."""
         return self.node.memory_bandwidth
 
@@ -66,8 +67,8 @@ class MemorySystem:
         self,
         gdrcopy: bool = True,
         nvlink: bool = False,
-        algo_efficiency: float = 0.9,
-    ) -> float:
+        algo_efficiency: Scalar = 0.9,
+    ) -> BytesPerSec:
         """Memory-bound HFReduce bandwidth ceiling in bytes/s.
 
         ``algo_efficiency`` folds in pipeline fill/drain and allreduce

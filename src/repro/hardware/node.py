@@ -23,7 +23,7 @@ from repro.hardware.spec import (
     NVME_15T36,
     SSDSpec,
 )
-from repro.units import GiB, gBps
+from repro.units import BytesPerSec, GiB, gBps
 
 
 @dataclass(frozen=True)
@@ -113,12 +113,12 @@ class NodeSpec:
         return None
 
     @property
-    def memory_bandwidth(self) -> float:
+    def memory_bandwidth(self) -> BytesPerSec:
         """Practical host memory bandwidth in bytes/s."""
         return self.cpu.memory_bandwidth(sockets=self.cpu_sockets)
 
     @property
-    def network_bw(self) -> float:
+    def network_bw(self) -> BytesPerSec:
         """Aggregate NIC bandwidth in bytes/s."""
         return self.nic.bw * self.nic_count
 

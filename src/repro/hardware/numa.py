@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
 from repro.hardware.node import NodeSpec, fire_flyer_node
-from repro.units import gBps, us
+from repro.units import BytesPerSec, Seconds, gBps, us
 
 
 class NumaPolicy(enum.Enum):
@@ -52,11 +52,11 @@ class NumaModel:
             raise HardwareConfigError("NUMA model needs a 2-socket node")
 
     @property
-    def socket_bw(self) -> float:
+    def socket_bw(self) -> BytesPerSec:
         """One socket's memory bandwidth."""
         return self.node.cpu.memory_bandwidth(sockets=1)
 
-    def stream_bandwidth(self, policy: NumaPolicy) -> float:
+    def stream_bandwidth(self, policy: NumaPolicy) -> BytesPerSec:
         """Achievable bandwidth for a large sequential stream (bytes/s)."""
         if policy is NumaPolicy.INTERLEAVED:
             # Both sockets' channels in play; the half of traffic crossing
@@ -69,7 +69,7 @@ class NumaModel:
         # Bound remote: every access crosses xGMI.
         return min(self.socket_bw, XGMI_BW)
 
-    def access_latency(self, policy: NumaPolicy) -> float:
+    def access_latency(self, policy: NumaPolicy) -> Seconds:
         """Average DRAM access latency (seconds)."""
         if policy is NumaPolicy.INTERLEAVED:
             return (LOCAL_LATENCY + REMOTE_LATENCY) / 2.0

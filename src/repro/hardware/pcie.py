@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 from repro.errors import HardwareConfigError
 from repro.fairshare import Constraint, maxmin_rates_vectorized
 from repro.hardware.node import NodeSpec
+from repro.units import BytesPerSec
 
 
 class TransferKind(enum.Enum):
@@ -59,7 +60,7 @@ class PCIeFabric:
     def __init__(self, node: NodeSpec) -> None:
         self.node = node
 
-    def rates(self, transfers: Sequence[Transfer]) -> Dict[int, float]:
+    def rates(self, transfers: Sequence[Transfer]) -> Dict[int, BytesPerSec]:
         """Max-min fair bytes/s for each transfer (keyed by index)."""
         if not transfers:
             return {}
@@ -121,11 +122,11 @@ class PCIeFabric:
 
         return maxmin_rates_vectorized(flows, constraints, weights)
 
-    def rate_of(self, transfers: Sequence[Transfer], index: int = 0) -> float:
+    def rate_of(self, transfers: Sequence[Transfer], index: int = 0) -> BytesPerSec:
         """Convenience: the rate of one transfer in a concurrent set."""
         return self.rates(transfers)[index]
 
-    def _link_bw(self, device: str) -> float:
+    def _link_bw(self, device: str) -> BytesPerSec:
         node = self.node
         if device.startswith("gpu"):
             if node.gpu is None:
@@ -141,7 +142,7 @@ class PCIeFabric:
 
     # -- headline figures -------------------------------------------------------
 
-    def all_gpus_d2h_bandwidth(self) -> float:
+    def all_gpus_d2h_bandwidth(self) -> BytesPerSec:
         """Aggregate D2H rate when all GPUs stream to host simultaneously.
 
         This is HFReduce's D2H phase. GPU5/6 sharing one root port means
@@ -150,7 +151,7 @@ class PCIeFabric:
         transfers = [Transfer(f"gpu{i}", TransferKind.D2H) for i in range(self.node.gpu_count)]
         return sum(self.rates(transfers).values())
 
-    def gpu_nic_p2p_bandwidth(self) -> float:
+    def gpu_nic_p2p_bandwidth(self) -> BytesPerSec:
         """Single GPU<->NIC P2P rate (the NCCL path). ~9 GiB/s on Rome."""
         t = [Transfer("gpu0", TransferKind.P2P), Transfer("nic0", TransferKind.P2P)]
         return min(self.rates(t).values())

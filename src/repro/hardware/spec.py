@@ -10,7 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
-from repro.units import GB, GiB, gbps, gBps, giBps, tflops
+from repro.units import (
+    GB,
+    BytesPerSec,
+    Count,
+    FlopsPerSec,
+    GiB,
+    Scalar,
+    gbps,
+    gBps,
+    giBps,
+    tflops,
+)
 
 
 @dataclass(frozen=True)
@@ -28,11 +39,11 @@ class GPUSpec:
     fp16_tflops: float
     pcie_gen: int
     pcie_lanes: int
-    nvlink_bw: float  # bytes/s of NVLink attach (0 when absent)
+    nvlink_bw: BytesPerSec  # NVLink attach rate (0 when absent)
     tdp_watts: float
 
     @property
-    def pcie_bw(self) -> float:
+    def pcie_bw(self) -> BytesPerSec:
         """Effective unidirectional PCIe bandwidth in bytes/s.
 
         PCIe 4.0 x16 achieves ~27 GB/s GPU->CPU in practice (Section IV-D3);
@@ -43,12 +54,12 @@ class GPUSpec:
         return per_lane * self.pcie_lanes * gen_scale
 
     @property
-    def fp16_flops(self) -> float:
+    def fp16_flops(self) -> FlopsPerSec:
         """FP16 GEMM rate in FLOP/s."""
         return tflops(self.fp16_tflops)
 
     @property
-    def tf32_flops(self) -> float:
+    def tf32_flops(self) -> FlopsPerSec:
         """TF32 GEMM rate in FLOP/s."""
         return tflops(self.tf32_tflops)
 
@@ -64,13 +75,14 @@ class CPUSpec:
     # Maximum bandwidth from one PCIe root-complex port to the internal
     # fabric. On EPYC Rome/Milan this is ~37.5 GB/s and is *shared* by
     # devices behind the same root port (Section IV-D3).
-    root_port_bw: float
+    root_port_bw: BytesPerSec
     # Whether the IO die supports PCIe chained writes. Rome/Milan do not,
     # capping GPU<->NIC P2P at ~9 GiB/s (Section IV-D2).
     chained_write: bool
-    p2p_bw_cap: float  # GPU<->NIC peer-to-peer ceiling in bytes/s
+    p2p_bw_cap: BytesPerSec  # GPU<->NIC peer-to-peer ceiling
 
-    def memory_bandwidth(self, sockets: int = 1, efficiency: float = 0.78125) -> float:
+    def memory_bandwidth(self, sockets: Count = 1,
+                         efficiency: Scalar = 0.78125) -> BytesPerSec:
         """Practical memory bandwidth in bytes/s for ``sockets`` sockets.
 
         DDR4-3200 peak is 25.6 GB/s/channel; the paper's "practical
@@ -86,11 +98,11 @@ class NICSpec:
     """A network interface card."""
 
     name: str
-    line_rate: float  # bytes/s
-    ports: int = 1
+    line_rate: BytesPerSec
+    ports: Count = 1
 
     @property
-    def bw(self) -> float:
+    def bw(self) -> BytesPerSec:
         """Total bytes/s across ports."""
         return self.line_rate * self.ports
 
@@ -101,8 +113,8 @@ class SSDSpec:
 
     name: str
     capacity_bytes: int
-    read_bw: float  # bytes/s sequential read
-    write_bw: float  # bytes/s sequential write
+    read_bw: BytesPerSec  # sequential read
+    write_bw: BytesPerSec  # sequential write
     pcie_gen: int
     pcie_lanes: int
 
@@ -112,12 +124,12 @@ class SwitchSpec:
     """A network switch."""
 
     name: str
-    ports: int
-    port_rate: float  # bytes/s per port
+    ports: Count
+    port_rate: BytesPerSec  # per port
     relative_price: float  # arbitrary units consistent with Table III
 
     @property
-    def bisection_bw(self) -> float:
+    def bisection_bw(self) -> BytesPerSec:
         """Full-bisection bytes/s through the switch."""
         return self.ports * self.port_rate / 2.0
 

@@ -34,6 +34,7 @@ from repro.analysis import sanitizer as _sanitizer
 from repro.errors import TopologyError
 from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
+from repro.units import Bytes, BytesPerSec, Seconds
 from repro.network.routing import Router, StaticRouter
 from repro.network.topology import Fabric, LinkId
 from repro.perf import PerfCounters
@@ -64,10 +65,10 @@ class Flow:
 
     src: str
     dst: str
-    size: float  # bytes
+    size: Bytes
     sl: ServiceLevel = ServiceLevel.OTHER
-    start: float = 0.0
-    rate_cap: Optional[float] = None  # source NIC / application limit
+    start: Seconds = 0.0
+    rate_cap: Optional[BytesPerSec] = None  # source NIC / application limit
     flow_id: int = field(default_factory=lambda: next(_ids))
 
     def __post_init__(self) -> None:
@@ -82,16 +83,16 @@ class FlowResult:
     """Outcome of one flow."""
 
     flow: Flow
-    start: float
-    finish: float
+    start: Seconds
+    finish: Seconds
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         """Seconds from start to completion."""
         return self.finish - self.start
 
     @property
-    def mean_rate(self) -> float:
+    def mean_rate(self) -> BytesPerSec:
         """Average achieved bytes/s."""
         return self.flow.size / self.duration if self.duration > 0 else float("inf")
 
@@ -137,7 +138,7 @@ class FlowSim:
 
     # -- cached lookups ----------------------------------------------------------
 
-    def _capacity(self, link: LinkId) -> float:
+    def _capacity(self, link: LinkId) -> BytesPerSec:
         cap = self._cap_cache.get(link)
         if cap is None:
             cap = self._cap_cache[link] = self.fabric.capacity(link)
@@ -446,7 +447,7 @@ class FlowSim:
         ordered = sorted(flows, key=lambda f: f.flow_id)
         return [results[f.flow_id] for f in ordered]
 
-    def aggregate_throughput(self, flows: Sequence[Flow]) -> float:
+    def aggregate_throughput(self, flows: Sequence[Flow]) -> BytesPerSec:
         """Total bytes moved / makespan for a flow set (convenience).
 
         An empty flow set moves no bytes: returns 0.0.

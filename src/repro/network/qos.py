@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 from repro.errors import TopologyError
+from repro.units import Scalar
 
 
 class ServiceLevel(enum.Enum):
@@ -47,7 +48,7 @@ class TrafficClassConfig:
     #: Fraction of link capacity lost to HOL blocking when classes mix on a
     #: single lane (no isolation). Calibrated so that mixed HFReduce+storage
     #: traffic shows the congestion the paper works to avoid.
-    hol_penalty: float = 0.25
+    hol_penalty: Scalar = 0.25
 
     def __post_init__(self) -> None:
         for sl, w in self.weights.items():
@@ -56,17 +57,17 @@ class TrafficClassConfig:
         if not 0 <= self.hol_penalty < 1:
             raise TopologyError("hol_penalty must be in [0,1)")
 
-    def flow_weight(self, sl: ServiceLevel) -> float:
+    def flow_weight(self, sl: ServiceLevel) -> Scalar:
         """Max-min weight for a flow of class ``sl``."""
         if self.isolation:
             return self.weights[sl]
         return 1.0
 
-    def link_efficiency(self, classes_on_link: Set[ServiceLevel]) -> float:
+    def link_efficiency(self, classes_on_link: Set[ServiceLevel]) -> Scalar:
         """Capacity multiplier for a link given the classes it carries."""
         return self.efficiency_for(len(classes_on_link))
 
-    def efficiency_for(self, n_classes: int) -> float:
+    def efficiency_for(self, n_classes: int) -> Scalar:
         """Capacity multiplier given only the *number* of classes present.
 
         Fast path for the incremental flow engine, which maintains per-link

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.units import BytesPerSec
 from repro.errors import TopologyError
 
 #: A directed link is identified by its (src, dst) node names.
@@ -44,7 +45,7 @@ class Fabric:
         self.g.add_node(name, kind=tier, **attrs)
         self._zone[name] = zone
 
-    def add_link(self, a: str, b: str, capacity: float) -> None:
+    def add_link(self, a: str, b: str, capacity: BytesPerSec) -> None:
         """Connect two nodes with a full-duplex link of ``capacity`` B/s."""
         if a not in self.g or b not in self.g:
             raise TopologyError(f"link endpoints must exist: {a!r}, {b!r}")
@@ -73,7 +74,7 @@ class Fabric:
         except KeyError:
             raise TopologyError(f"unknown node {node!r}")
 
-    def capacity(self, link: LinkId) -> float:
+    def capacity(self, link: LinkId) -> BytesPerSec:
         """Capacity in bytes/s of one direction of a link."""
         a, b = link
         try:

@@ -11,9 +11,36 @@ The library's canonical units are:
 The paper mixes GB/s (decimal), GiB/s (binary), Gbps (bits), MiB and TB;
 these helpers keep every conversion explicit so constants lifted from the
 paper stay auditable.
+
+The type aliases below (:data:`Bytes`, :data:`Seconds`,
+:data:`BytesPerSec`, ...) are zero-cost: they are plain ``float``/``int``
+at runtime and exist so signatures can declare which unit a quantity
+carries. The static dimension checker (:mod:`repro.analysis.dimension`)
+reads them to propagate dimensions across call boundaries; see
+``docs/ANALYSIS.md`` for the annotation guide.
 """
 
 from __future__ import annotations
+
+# --- dimension-carrying type aliases ---------------------------------------
+# Zero-cost annotations consumed by repro.analysis.dimension (DIM001-003).
+
+#: A data size in bytes.
+Bytes = float
+#: A duration in seconds (simulated or derived).
+Seconds = float
+#: A bandwidth in bytes per second.
+BytesPerSec = float
+#: A quantity of floating-point operations.
+Flops = float
+#: A compute rate in FLOP/s.
+FlopsPerSec = float
+#: A frequency in 1/s.
+Hertz = float
+#: A discrete count (chunks, ports, hops, parameters).
+Count = int
+#: A dimensionless ratio/factor (efficiencies, multipliers, MFU).
+Scalar = float
 
 # --- data sizes -------------------------------------------------------------
 
@@ -29,22 +56,22 @@ TiB = 1 << 40
 PiB = 1 << 50
 
 
-def kib(n: float) -> float:
+def kib(n: float) -> Bytes:
     """Convert KiB to bytes."""
     return n * KiB
 
 
-def mib(n: float) -> float:
+def mib(n: float) -> Bytes:
     """Convert MiB to bytes."""
     return n * MiB
 
 
-def gib(n: float) -> float:
+def gib(n: float) -> Bytes:
     """Convert GiB to bytes."""
     return n * GiB
 
 
-def tib(n: float) -> float:
+def tib(n: float) -> Bytes:
     """Convert TiB to bytes."""
     return n * TiB
 
@@ -52,32 +79,32 @@ def tib(n: float) -> float:
 # --- bandwidth --------------------------------------------------------------
 
 
-def gbps(n: float) -> float:
+def gbps(n: float) -> BytesPerSec:
     """Convert gigabits/s (network line rate) to bytes/s."""
     return n * 1e9 / 8.0
 
 
-def gBps(n: float) -> float:
+def gBps(n: float) -> BytesPerSec:
     """Convert decimal gigabytes/s to bytes/s."""
     return n * GB
 
 
-def giBps(n: float) -> float:
+def giBps(n: float) -> BytesPerSec:
     """Convert binary gibibytes/s to bytes/s."""
     return n * GiB
 
 
-def tBps(n: float) -> float:
+def tBps(n: float) -> BytesPerSec:
     """Convert decimal terabytes/s to bytes/s."""
     return n * TB
 
 
-def as_gBps(bytes_per_s: float) -> float:
+def as_gBps(bytes_per_s: BytesPerSec) -> Scalar:
     """Express a bytes/s figure in decimal GB/s (for report tables)."""
     return bytes_per_s / GB
 
 
-def as_giBps(bytes_per_s: float) -> float:
+def as_giBps(bytes_per_s: BytesPerSec) -> Scalar:
     """Express a bytes/s figure in binary GiB/s (for report tables)."""
     return bytes_per_s / GiB
 
@@ -85,25 +112,32 @@ def as_giBps(bytes_per_s: float) -> float:
 # --- compute ----------------------------------------------------------------
 
 
-def tflops(n: float) -> float:
+def tflops(n: float) -> FlopsPerSec:
     """Convert TFLOP/s to FLOP/s."""
     return n * 1e12
 
 
-def as_tflops(flops: float) -> float:
+def as_tflops(flops: FlopsPerSec) -> Scalar:
     """Express FLOP/s in TFLOP/s."""
-    return flops / 1e12
+    # Dividing by the canonical-unit magnitude erases the dimension by
+    # convention; the checker cannot know 1e12 is "the unit" here.
+    return flops / 1e12  # repro: noqa[DIM003]
+
+
+def gflop(n: float) -> Flops:
+    """Convert GFLOPs (a work quantity, not a rate) to FLOPs."""
+    return n * 1e9
 
 
 # --- frequency --------------------------------------------------------------
 
 
-def mhz(n: float) -> float:
+def mhz(n: float) -> Hertz:
     """Convert MHz to Hz."""
     return n * 1e6
 
 
-def ghz(n: float) -> float:
+def ghz(n: float) -> Hertz:
     """Convert GHz to Hz."""
     return n * 1e9
 
@@ -117,11 +151,11 @@ HOUR = 3600.0
 DAY = 86400.0
 
 
-def us(n: float) -> float:
+def us(n: float) -> Seconds:
     """Convert microseconds to seconds."""
     return n * US
 
 
-def ms(n: float) -> float:
+def ms(n: float) -> Seconds:
     """Convert milliseconds to seconds."""
     return n * MS

@@ -1,0 +1,324 @@
+"""Tests for :mod:`repro.analysis.dimension` — algebra, rules, sweep.
+
+Three layers of coverage:
+
+1. **Algebra** — hypothesis property tests pin the exponent-vector algebra
+   to the *runtime* units helpers: whatever ``gbps(x) * us(t)`` computes,
+   the static algebra must assign it the byte dimension, and so on.
+2. **Rules** — DIM001/DIM002/DIM003 positive and negative fixtures through
+   ``lint_source``, plus noqa and baseline interaction.
+3. **Sweep** — the annotation census over the real tree (the acceptance
+   floor is 25 alias-annotated hot-path signatures) and the tier-1 gate
+   that keeps the DIM rules clean against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Baseline, lint_paths, lint_source
+from repro.analysis.baseline import DEFAULT_BASELINE
+from repro.analysis.dimension import (
+    BYTE,
+    BYTES_PER_SEC,
+    COUNT,
+    FLOP,
+    FLOPS_PER_SEC,
+    SCALAR,
+    SECOND,
+    annotated_signatures,
+    compatible,
+    dim_div,
+    dim_mul,
+    dim_name,
+    dim_pow,
+)
+from repro import units
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SWEEP_PACKAGES = ("hardware", "network", "collectives", "fs3", "haiscale")
+
+
+def codes(violations):
+    return [v.rule for v in violations]
+
+
+def lint(source: str, path: str = "src/repro/network/mod.py"):
+    return lint_source(source, path)
+
+
+# ---------------------------------------------------------------------------
+# 1. Algebra <-> runtime helpers
+# ---------------------------------------------------------------------------
+
+finite = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestAlgebraMatchesRuntime:
+    """The static algebra mirrors what the units helpers compute."""
+
+    @given(finite, finite)
+    def test_rate_times_time_is_bytes(self, x, t):
+        # gbps(x) * us(t) is a byte quantity at runtime; the algebra agrees.
+        assert units.gbps(x) * units.us(t) >= 0.0
+        assert dim_mul(BYTES_PER_SEC, SECOND) == BYTE
+
+    @given(finite, finite)
+    def test_bytes_over_rate_is_seconds(self, b, r):
+        assert units.GiB * b / units.gBps(r) > 0.0
+        assert dim_div(BYTE, BYTES_PER_SEC) == SECOND
+
+    @given(finite, finite)
+    def test_flops_over_flops_rate_is_seconds(self, f, r):
+        assert units.gflop(f) / units.tflops(r) > 0.0
+        assert dim_div(FLOP, FLOPS_PER_SEC) == SECOND
+
+    @given(finite)
+    def test_as_gBps_round_trip_is_scalar(self, x):
+        # as_gBps(gBps(x)) ~= x: rate / rate-unit erases the dimension.
+        assert abs(units.as_gBps(units.gBps(x)) - x) < 1e-6 * max(x, 1.0)
+        assert dim_div(BYTES_PER_SEC, BYTES_PER_SEC) == SCALAR
+
+    @given(finite)
+    def test_mul_div_inverse(self, _):
+        for d in (BYTE, SECOND, FLOP, BYTES_PER_SEC, FLOPS_PER_SEC):
+            assert dim_div(dim_mul(d, SECOND), SECOND) == d
+            assert dim_mul(dim_div(d, SECOND), SECOND) == d
+
+    def test_mul_commutes(self):
+        for a in (BYTE, SECOND, FLOP, SCALAR, BYTES_PER_SEC):
+            for b in (BYTE, SECOND, FLOP, SCALAR, BYTES_PER_SEC):
+                assert dim_mul(a, b) == dim_mul(b, a)
+
+    def test_pow_is_iterated_mul(self):
+        assert dim_pow(SECOND, 2) == dim_mul(SECOND, SECOND)
+        assert dim_pow(BYTES_PER_SEC, 1) == BYTES_PER_SEC
+        assert dim_pow(BYTE, 0) == SCALAR
+
+    def test_counts_are_transparent_in_products(self):
+        # port_rate * n_ports stays a rate; node * gpus_per_node stays a count.
+        assert dim_mul(BYTES_PER_SEC, COUNT) == BYTES_PER_SEC
+        assert dim_mul(COUNT, COUNT) == COUNT
+        assert dim_div(BYTE, COUNT) == BYTE
+
+    def test_compatible_semantics(self):
+        assert compatible(BYTE, BYTE)
+        assert compatible(COUNT, SCALAR)  # a count is an acceptable scalar
+        assert not compatible(BYTE, SECOND)
+        assert not compatible(BYTES_PER_SEC, FLOPS_PER_SEC)
+
+    def test_dim_name_is_readable(self):
+        assert dim_name(BYTE) == "byte"
+        assert dim_name(BYTES_PER_SEC) == "byte/s"
+        assert dim_name(SCALAR) == "scalar"
+
+
+# ---------------------------------------------------------------------------
+# 2. DIM rule fixtures
+# ---------------------------------------------------------------------------
+
+
+class TestDIM001Additive:
+    def test_add_bytes_and_seconds_flagged(self):
+        src = (
+            "from repro.units import GiB, us\n"
+            "x = 4 * GiB + us(10.0)\n"
+        )
+        out = lint(src)
+        assert "DIM001" in codes(out)
+        assert "byte" in out[0].message and "s" in out[0].message
+
+    def test_compare_rate_and_bytes_flagged(self):
+        src = (
+            "from repro.units import gbps, GiB\n"
+            "def f(ok: bool) -> bool:\n"
+            "    return gbps(200.0) < 4 * GiB\n"
+        )
+        assert "DIM001" in codes(lint(src))
+
+    def test_suffix_inference_catches_mixed_sum(self):
+        src = (
+            "def f(total_bytes: float, delay_s: float) -> float:\n"
+            "    return total_bytes + delay_s\n"
+        )
+        assert "DIM001" in codes(lint(src))
+
+    def test_consistent_sum_is_clean(self):
+        src = (
+            "from repro.units import gbps\n"
+            "a = gbps(100.0)\n"
+            "b = gbps(200.0)\n"
+            "total = a + b\n"
+        )
+        assert lint(src) == []
+
+    def test_literal_operand_is_polymorphic(self):
+        # now + 1e-12 style epsilon nudges must not fire.
+        src = (
+            "from repro.units import us\n"
+            "t = us(5.0) + 1e-12\n"
+        )
+        assert lint(src) == []
+
+    def test_min_max_mixing_flagged(self):
+        src = (
+            "from repro.units import gbps, us\n"
+            "worst = min(gbps(100.0), us(3.0))\n"
+        )
+        assert "DIM001" in codes(lint(src))
+
+    def test_division_changes_dimension_silently(self):
+        # bytes / seconds is a *rate*, not an error.
+        src = (
+            "from repro.units import GiB, us\n"
+            "rate = 4 * GiB / us(100.0)\n"
+        )
+        assert lint(src) == []
+
+
+class TestDIM002Arguments:
+    def test_wrong_arg_dimension_flagged(self):
+        src = (
+            "from repro.units import Bytes, BytesPerSec, Seconds, gbps\n"
+            "def copy_time(nbytes: Bytes, bw: BytesPerSec) -> Seconds:\n"
+            "    return nbytes / bw\n"
+            "t = copy_time(gbps(100.0), gbps(200.0))\n"
+        )
+        out = lint(src)
+        assert "DIM002" in codes(out)
+
+    def test_correct_call_is_clean(self):
+        src = (
+            "from repro.units import Bytes, BytesPerSec, Seconds, GiB, gbps\n"
+            "def copy_time(nbytes: Bytes, bw: BytesPerSec) -> Seconds:\n"
+            "    return nbytes / bw\n"
+            "t = copy_time(4 * GiB, gbps(100.0))\n"
+        )
+        assert lint(src) == []
+
+    def test_units_constructor_misuse_flagged(self):
+        # Feeding an already-dimensioned value into a constructor.
+        src = (
+            "from repro.units import gbps\n"
+            "bw = gbps(gbps(100.0))\n"
+        )
+        assert "DIM002" in codes(lint(src))
+
+    def test_keyword_argument_checked(self):
+        src = (
+            "from repro.units import Bytes, BytesPerSec, Seconds, us\n"
+            "def copy_time(nbytes: Bytes, bw: BytesPerSec) -> Seconds:\n"
+            "    return nbytes / bw\n"
+            "t = copy_time(nbytes=us(3.0), bw=us(4.0))\n"
+        )
+        assert "DIM002" in codes(lint(src))
+
+
+class TestDIM003Returns:
+    def test_return_contradicts_annotation(self):
+        src = (
+            "from repro.units import Seconds, gbps\n"
+            "def latency() -> Seconds:\n"
+            "    return gbps(100.0)\n"
+        )
+        out = lint(src)
+        assert "DIM003" in codes(out)
+        assert "byte/s" in out[0].message
+
+    def test_derived_return_checked_interprocedurally(self):
+        src = (
+            "from repro.units import Bytes, BytesPerSec, Seconds\n"
+            "def duration(size: Bytes, bw: BytesPerSec) -> Bytes:\n"
+            "    return size / bw\n"
+        )
+        assert "DIM003" in codes(lint(src))
+
+    def test_correct_return_is_clean(self):
+        src = (
+            "from repro.units import Bytes, BytesPerSec, Seconds\n"
+            "def duration(size: Bytes, bw: BytesPerSec) -> Seconds:\n"
+            "    return size / bw\n"
+        )
+        assert lint(src) == []
+
+    def test_count_return_accepts_scalar_arithmetic(self):
+        src = (
+            "from repro.units import Count\n"
+            "def world(n_nodes: Count, gpus: Count) -> Count:\n"
+            "    return n_nodes * gpus\n"
+        )
+        assert lint(src) == []
+
+    def test_only_in_dim_packages(self):
+        src = (
+            "from repro.units import Seconds, gbps\n"
+            "def latency() -> Seconds:\n"
+            "    return gbps(100.0)\n"
+        )
+        assert lint_source(src, "src/repro/hai/mod.py") == []
+
+
+class TestDimSuppression:
+    SRC = (
+        "from repro.units import GiB, us\n"
+        "x = 4 * GiB + us(10.0)\n"
+    )
+
+    def test_line_noqa_silences(self):
+        src = self.SRC.replace("us(10.0)", "us(10.0)  # repro: noqa[DIM001]")
+        assert lint(src) == []
+
+    def test_file_noqa_silences(self):
+        assert lint("# repro: noqa-file[DIM001]\n" + self.SRC) == []
+
+    def test_other_code_does_not_cover(self):
+        src = self.SRC.replace("us(10.0)", "us(10.0)  # repro: noqa[DIM002]")
+        assert "DIM001" in codes(lint(src))
+
+    def test_baseline_accepts_dim_finding(self):
+        vs = lint(self.SRC)
+        assert vs
+        b = Baseline.from_violations(vs, why="fixture debt")
+        assert b.new_violations(vs) == []
+        assert b.new_violations(lint(self.SRC + "y = 4 * GiB + us(3.0)\n"))
+
+
+# ---------------------------------------------------------------------------
+# 3. The sweep over the real tree
+# ---------------------------------------------------------------------------
+
+
+class TestAnnotationSweep:
+    def test_at_least_25_annotated_hot_path_signatures(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        per_pkg = {}
+        for pkg in SWEEP_PACKAGES:
+            n = 0
+            for f in sorted((REPO_ROOT / "src" / "repro" / pkg).glob("*.py")):
+                n += len(annotated_signatures(ast.parse(f.read_text())))
+            per_pkg[pkg] = n
+        assert all(per_pkg[p] > 0 for p in SWEEP_PACKAGES), per_pkg
+        assert sum(per_pkg.values()) >= 25, per_pkg
+
+    def test_dim_rules_clean_against_baseline(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        violations = [
+            v for v in lint_paths(["src/repro"])
+            if v.rule in ("DIM001", "DIM002", "DIM003")
+        ]
+        baseline = Baseline.load(DEFAULT_BASELINE)
+        new = baseline.new_violations(violations)
+        assert new == [], "new DIM violations:\n" + "\n".join(
+            v.render() for v in new
+        )
+
+    def test_real_chain_copy_time_infers_seconds(self):
+        # The annotated hardware/gpu.py signature and an actual call chain:
+        # inference must accept nbytes/bandwidth -> Seconds with no finding.
+        src = (REPO_ROOT / "src" / "repro" / "hardware" / "gpu.py").read_text()
+        out = lint_source(src, "src/repro/hardware/gpu.py")
+        assert [v for v in out if v.rule.startswith("DIM")] == []

@@ -339,3 +339,56 @@ class TestCli:
     def test_single_rule_filter(self):
         proc = self.run_cli("src", "--no-baseline", "--rule", "DET001")
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestGithubFormat:
+    def run_cli(self, *args: str):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+
+    def test_annotations_for_new_violations(self):
+        # Ignoring the baseline resurfaces the accepted UNIT001 entries as
+        # ::error workflow commands with file/line/col/title properties.
+        proc = self.run_cli("src", "--no-baseline", "--format=github")
+        assert proc.returncode == 1
+        lines = proc.stdout.strip().splitlines()
+        errors = [ln for ln in lines if ln.startswith("::error ")]
+        assert errors, proc.stdout
+        assert all("file=" in ln and "line=" in ln and "title=UNIT001" in ln
+                   for ln in errors)
+        assert lines[-1].startswith("::notice::")
+
+    def test_clean_run_emits_only_notice(self):
+        proc = self.run_cli("src", "--format=github")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        lines = proc.stdout.strip().splitlines()
+        assert lines == ["::notice::repro.analysis: 0 new violation(s)"]
+
+    def test_message_newlines_escaped(self):
+        from repro.analysis.__main__ import _render_github
+        v = Violation("X001", "a,b.py", 2, 1, "multi\nline % msg")
+        out = _render_github([v])
+        first = out.splitlines()[0]
+        assert "\n" not in first or out.count("\n") == 1  # only the notice split
+        assert "%0A" in first and "%25" in first and "a%2Cb.py" in first
+
+
+class TestConsoleScript:
+    def test_pyproject_declares_repro_lint(self):
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover
+            import tomli as tomllib
+        data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        assert data["project"]["scripts"]["repro-lint"] == (
+            "repro.analysis.__main__:main"
+        )
+
+    def test_entry_point_callable_resolves(self):
+        from repro.analysis.__main__ import main
+        assert callable(main)
+        # The callable accepts an argv list, as console scripts require.
+        assert main(["--list-rules"]) == 0

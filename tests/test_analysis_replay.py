@@ -1,0 +1,150 @@
+"""Replay differ tests: determinism certificates for experiments.
+
+Covers the capture/diff machinery on synthetic render functions (one
+deterministic, one with injected nondeterminism), the wall-metric
+normalization, and the CLI — including the tier-1 requirement that the
+congestion experiment replays deterministically.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import telemetry
+from repro.analysis.replay import (
+    RunRecord,
+    _is_wall_metric,
+    capture_run,
+    diff_runs,
+    replay,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def deterministic_render() -> str:
+    sess = telemetry.session()
+    sess.registry.counter("chunks_total").inc(3)
+    sess.tracer.complete("phase", 0.0, 1.5, track="t", cat="c",
+                         args={"bytes": 64})
+    return "result: 42\n"
+
+
+class TestCapture:
+    def test_capture_records_text_and_rows(self):
+        rec = capture_run(deterministic_render)
+        assert rec.text == "result: 42\n"
+        kinds = {k for k, _ in rec.rows()}
+        assert kinds == {"span", "metric"}
+
+    def test_capture_tears_down_session(self):
+        capture_run(deterministic_render)
+        assert telemetry.session() is None
+
+    def test_stdout_is_swallowed(self, capsys):
+        capture_run(lambda: print("noise") or "text")
+        assert capsys.readouterr().out == ""
+
+    def test_wall_metrics_excluded(self):
+        def render() -> str:
+            reg = telemetry.session().registry
+            reg.counter("perf.run_s").inc(0.123)  # wall seconds: excluded
+            reg.counter("perf.events_total").inc(7)  # event count: kept
+            return "ok"
+
+        rec = capture_run(render)
+        names = [m["name"] for m in rec.metrics]
+        assert "perf.events_total" in names
+        assert "perf.run_s" not in names
+
+    def test_is_wall_metric_shape(self):
+        assert _is_wall_metric({"name": "perf.solve_s"})
+        assert not _is_wall_metric({"name": "perf.iterations"})
+        assert not _is_wall_metric({"name": "allreduce_bandwidth_GBps"})
+
+
+class TestDiff:
+    def test_identical_runs_replay(self):
+        stream = io.StringIO()
+        assert replay(deterministic_render, "fixture", stream=stream) == 0
+        assert "deterministic" in stream.getvalue()
+
+    def test_injected_nondeterminism_diverges(self):
+        # The canonical failure: a process-lifetime counter leaking into
+        # recorded *values*. Each call renders a different run id.
+        run_ids = itertools.count()
+
+        def tainted_render() -> str:
+            rid = next(run_ids)
+            telemetry.session().registry.counter("run_id").inc(rid)
+            return f"run {rid}\n"
+
+        stream = io.StringIO()
+        assert replay(tainted_render, "tainted", stream=stream) == 1
+        out = stream.getvalue()
+        assert "DIVERGED" in out
+        assert "text line 1" in out
+
+    def test_metric_only_divergence_detected(self):
+        flips = itertools.cycle([1, 2])
+
+        def render() -> str:
+            telemetry.session().registry.counter("n").inc(next(flips))
+            return "stable text\n"
+
+        stream = io.StringIO()
+        assert replay(render, "metric-taint", stream=stream) == 1
+        assert "metric row" in stream.getvalue()
+
+    def test_async_id_label_drift_is_normalized(self):
+        # Same span, different async pairing labels -> still deterministic.
+        ids = itertools.count(100)
+
+        def render() -> str:
+            telemetry.session().tracer.complete(
+                "hop", 0.0, 1.0, track="net", async_id=next(ids)
+            )
+            return "ok\n"
+
+        assert replay(render, "async-labels", stream=io.StringIO()) == 0
+
+    def test_row_count_divergence_reported(self):
+        a = RunRecord(text="x", metrics=[{"name": "m", "value": 1}])
+        b = RunRecord(text="x")
+        out = diff_runs(a, b)
+        assert any("event count" in line for line in out)
+
+
+class TestCli:
+    def run_cli(self, *args: str):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+
+    def test_list_names_experiments(self):
+        proc = self.run_cli("replay", "--list")
+        assert proc.returncode == 0, proc.stderr
+        assert "congestion" in proc.stdout
+
+    def test_congestion_replays_deterministically(self):
+        # The tier-1 determinism certificate from the ISSUE: the congestion
+        # scenario must replay exactly.
+        proc = self.run_cli("replay", "congestion")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "deterministic" in proc.stdout
+
+    def test_unknown_experiment_errors(self):
+        proc = self.run_cli("replay", "no-such-experiment")
+        assert proc.returncode != 0
+        assert "unknown experiment" in (proc.stdout + proc.stderr)
+
+    def test_missing_experiment_argument_errors(self):
+        proc = self.run_cli("replay")
+        assert proc.returncode != 0
