@@ -36,7 +36,7 @@ def main() -> None:
     now = 0.0
     while now < horizon:
         # Failure events this week (scaled empirical stream).
-        for ev in gen.xid_events(week):
+        for ev in gen.failure_stream(week):
             info = classify_xid(ev.xid)
             if info.action in (Action.NODE_REBOOT, Action.RMA):
                 node = cluster.nodes()[crashes % n_nodes].name

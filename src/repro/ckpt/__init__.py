@@ -9,6 +9,7 @@ from repro.ckpt.async_sim import (
     AsyncCkptStats,
     compare_policies,
     simulate_checkpointing,
+    simulate_training,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "TensorRecord",
     "compare_policies",
     "simulate_checkpointing",
+    "simulate_training",
 ]

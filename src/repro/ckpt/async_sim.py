@@ -11,14 +11,26 @@ path stages state D2H (brief, synchronous with the step boundary) and
 then writes to 3FS in the background while training continues. Compare
 with a synchronous policy where the write blocks the loop — the paper's
 design rationale, quantified.
+
+:func:`simulate_training` additionally accepts a
+:class:`~repro.faults.FaultPlan`: node faults crash the run at the next
+step boundary, training rolls back to the last *durable* checkpoint
+(async checkpoints only become durable once their background write
+lands), pays a restart cost, and requeues — which is how the paper gets
+"loss of training progress ... no more than 5 minutes" from frequent
+checkpointing. :func:`simulate_checkpointing` is the legacy fault-free
+signature, kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from repro import telemetry
 from repro.errors import CheckpointError
+from repro.faults import FaultPlan
 from repro.simcore import Environment, Resource
 
 
@@ -31,44 +43,104 @@ class AsyncCkptStats:
     total_time: float
     n_checkpoints: int
     ideal_time: float
+    failures: int = 0  # crashes delivered from the fault plan
+    lost_time: float = 0.0  # step-time redone after rollbacks
 
     @property
     def overhead_fraction(self) -> float:
         """Extra wall-clock beyond pure training."""
         return self.total_time / self.ideal_time - 1.0
 
+    @property
+    def goodput(self) -> float:
+        """Useful training time per wall-clock second (1.0 is ideal)."""
+        return self.ideal_time / self.total_time
 
-def simulate_checkpointing(
+
+def simulate_training(
     policy: str,
     n_steps: int = 200,
     step_time: float = 10.0,
     interval: float = 300.0,
     d2h_time: float = 0.5,
     write_time: float = 4.0,
+    plan: Optional[FaultPlan] = None,
+    restart_time: float = 60.0,
 ) -> AsyncCkptStats:
-    """Run the loop under ``async`` or ``sync`` checkpointing."""
+    """Run the loop under ``async`` or ``sync`` checkpointing.
+
+    With a ``plan``, its node faults (``gpu_xid``, ``ecc_error``,
+    ``nic_down``, ``host_hang``) each crash the run at the next step
+    boundary: progress rolls back to the last durable checkpoint, the
+    redone step-time accrues into ``lost_time``, and the loop resumes
+    after ``restart_time``. A sync checkpoint is durable when its write
+    returns; an async one only when the background write completes — a
+    crash mid-write invalidates the staged state, so the rollback falls
+    through to the previous checkpoint.
+    """
     if policy not in ("async", "sync"):
         raise CheckpointError(f"unknown policy {policy!r}")
     if n_steps < 1 or step_time <= 0 or interval <= 0:
         raise CheckpointError("invalid simulation parameters")
     if d2h_time < 0 or write_time < 0:
         raise CheckpointError("checkpoint costs must be >= 0")
+    if restart_time < 0:
+        raise CheckpointError("restart_time must be >= 0")
 
+    pending = (
+        list(plan.of_kind("gpu_xid", "ecc_error", "nic_down", "host_hang"))
+        if plan is not None else []
+    )
+    sess = telemetry.session()
     env = Environment()
     n_ckpts = 0
+    failures = 0
+    lost_time = 0.0
     # One staging buffer: the next D2H must wait until the previous
     # background write drained it.
     staging = Resource(env, capacity=1)
+    # durable: steps covered by the newest checkpoint that is safe on
+    # 3FS; epoch invalidates in-flight background writes across crashes.
+    state = {"durable": 0, "epoch": 0}
 
-    def background_write(held) -> "Generator":
+    def background_write(held, step: int, epoch: int) -> "Generator":
         yield env.timeout(write_time)
         staging.release(held)
+        if state["epoch"] == epoch:
+            state["durable"] = step
 
     def trainer():
-        nonlocal n_ckpts
+        nonlocal n_ckpts, failures, lost_time
         last_save = 0.0
-        for _ in range(n_steps):
+        done_steps = 0
+        while done_steps < n_steps:
             yield env.timeout(step_time)
+            done_steps += 1
+            if pending and pending[0].time <= env.now:
+                event = pending.pop(0)
+                failures += 1
+                state["epoch"] += 1  # staged-but-unwritten state is lost
+                lost_steps = done_steps - state["durable"]
+                lost = lost_steps * step_time
+                lost_time += lost
+                done_steps = state["durable"]
+                if sess is not None:
+                    sess.registry.counter(
+                        "faults_injected", kind=event.kind
+                    ).inc()
+                    sess.registry.histogram(
+                        "recovery_time_s", layer="ckpt"
+                    ).observe(restart_time + lost)
+                    if sess.tracer is not None:
+                        sess.tracer.instant(
+                            f"fault:{event.kind}", env.now,
+                            track="faults/ckpt", cat="faults",
+                            args={"lost_steps": lost_steps,
+                                  "rollback_to": state["durable"]},
+                        )
+                yield env.timeout(restart_time)
+                last_save = env.now  # restored state counts as saved
+                continue
             if env.now - last_save >= interval:
                 last_save = env.now
                 n_ckpts += 1
@@ -76,10 +148,13 @@ def simulate_checkpointing(
                 yield req  # wait for a free staging buffer
                 yield env.timeout(d2h_time)  # synchronous D2H copy
                 if policy == "async":
-                    env.process(background_write(req))
+                    env.process(
+                        background_write(req, done_steps, state["epoch"])
+                    )
                 else:
                     yield env.timeout(write_time)
                     staging.release(req)
+                    state["durable"] = done_steps
         return env.now
 
     done = env.process(trainer())
@@ -90,9 +165,36 @@ def simulate_checkpointing(
         total_time=total,
         n_checkpoints=n_ckpts,
         ideal_time=n_steps * step_time,
+        failures=failures,
+        lost_time=lost_time,
+    )
+
+
+def simulate_checkpointing(
+    policy: str,
+    n_steps: int = 200,
+    step_time: float = 10.0,
+    interval: float = 300.0,
+    d2h_time: float = 0.5,
+    write_time: float = 4.0,
+) -> AsyncCkptStats:
+    """Deprecated fault-free entry point; use :func:`simulate_training`."""
+    warnings.warn(
+        "simulate_checkpointing is deprecated; call simulate_training, "
+        "which also accepts a repro.faults.FaultPlan",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return simulate_training(
+        policy,
+        n_steps=n_steps,
+        step_time=step_time,
+        interval=interval,
+        d2h_time=d2h_time,
+        write_time=write_time,
     )
 
 
 def compare_policies(**kwargs) -> List[AsyncCkptStats]:
     """Both policies with identical parameters."""
-    return [simulate_checkpointing(p, **kwargs) for p in ("async", "sync")]
+    return [simulate_training(p, **kwargs) for p in ("async", "sync")]

@@ -26,13 +26,14 @@ from typing import Dict, List, Optional
 from repro import telemetry
 from repro.collectives.primitives import AllreduceConfig, RDMA_HOP_LATENCY
 from repro.errors import CollectiveError
+from repro.faults import FaultPlan
 from repro.hardware.cpu import CpuReduceModel
 from repro.hardware.memory import MemorySystem
 from repro.hardware.node import NodeSpec, fire_flyer_node
 from repro.hardware.pcie import PCIeFabric, Transfer, TransferKind
-from repro.network.dbtree import double_binary_tree
+from repro.network.dbtree import double_binary_tree, rebuild_double_binary_tree
 from repro.simcore import Environment, Resource, Store
-from repro.units import BytesPerSec, Seconds, as_gBps, us
+from repro.units import BytesPerSec, Seconds, as_gBps, ms, us
 
 
 @dataclass
@@ -42,6 +43,9 @@ class DesResult:
     total_time: Seconds
     nbytes: int
     n_chunks: int
+    faults_injected: int = 0  # node losses delivered mid-allreduce
+    tree_rebuilds: int = 0  # double-tree reconstructions performed
+    final_nodes: int = 0  # surviving tree width (0 = no faults path)
 
     @property
     def bandwidth(self) -> BytesPerSec:
@@ -63,6 +67,11 @@ class HFReduceDesSim:
     #: bookkeeping, verbs post): the term that penalizes very fine
     #: chunking and gives the chunk-size curve its interior optimum.
     CHUNK_OVERHEAD = us(20.0)
+
+    #: Stall while survivors detect a dead peer and re-form the double
+    #: binary tree (timeout detection + reconnect + root handoff). The
+    #: pipeline halts inter-node traffic for this long per node loss.
+    TREE_REBUILD_TIME = ms(50.0)
 
     def __init__(self, node: Optional[NodeSpec] = None) -> None:
         self.node = node if node is not None else fire_flyer_node()
@@ -88,8 +97,18 @@ class HFReduceDesSim:
         ).reduce_rate(self.node.gpu_count)
         self._nic_rate = self.node.nic.bw / 2.0  # tree up+down per byte
 
-    def run(self, cfg: AllreduceConfig) -> DesResult:
-        """Simulate one allreduce; returns timing."""
+    def run(self, cfg: AllreduceConfig,
+            plan: Optional[FaultPlan] = None) -> DesResult:
+        """Simulate one allreduce; returns timing.
+
+        ``plan`` injects node losses mid-allreduce (``nic_down``,
+        ``gpu_xid``, ``ecc_error``, ``host_hang`` events, times in
+        simulated seconds of *this* allreduce): each loss stalls the
+        inter-node phase for :attr:`TREE_REBUILD_TIME` while the double
+        binary tree is rebuilt over the survivors, after which remaining
+        chunks ride the (shallower but narrower) rebuilt tree — the
+        paper's HFReduce degraded-continuation behaviour.
+        """
         if cfg.gpus_per_node != self.node.gpu_count:
             raise CollectiveError("config GPU count does not match the node")
         env = Environment(label="hfreduce_des")
@@ -99,6 +118,57 @@ class HFReduceDesSim:
 
         sess = telemetry.session()
         tracer = sess.tracer if sess is not None else None
+
+        # Mutable tree state shared between the fault driver and the
+        # network phase; rebuilt on node loss.
+        tree = {
+            "depth": depth,
+            "nodes": max(cfg.n_nodes, 1),
+            "dead": (),  # original ranks lost so far
+            "stall_until": 0.0,
+            "rebuilds": 0,
+            "faults": 0,
+        }
+
+        def fault_driver():
+            losses = plan.of_kind(
+                "nic_down", "gpu_xid", "ecc_error", "host_hang"
+            )
+            for event in losses:
+                delay = event.time - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                tree["faults"] += 1
+                if tree["nodes"] <= 1:
+                    continue  # last node standing: nothing left to rebuild
+                # Deterministic victim: the highest still-alive rank.
+                victim = max(
+                    r for r in range(max(cfg.n_nodes, 1))
+                    if r not in tree["dead"]
+                )
+                tree["dead"] = tree["dead"] + (victim,)
+                rebuilt = rebuild_double_binary_tree(
+                    max(cfg.n_nodes, 1), tree["dead"]
+                )
+                tree["nodes"] = rebuilt.n_alive
+                tree["depth"] = rebuilt.tree.depth
+                tree["stall_until"] = env.now + self.TREE_REBUILD_TIME
+                tree["rebuilds"] += 1
+                if sess is not None:
+                    sess.registry.counter(
+                        "faults_injected", kind=event.kind
+                    ).inc()
+                    sess.registry.histogram(
+                        "recovery_time_s", layer="collective"
+                    ).observe(self.TREE_REBUILD_TIME)
+                    if tracer is not None:
+                        tracer.instant(
+                            f"fault:{event.kind}", env.now,
+                            track="faults/collective", cat="faults",
+                            args={"victim_rank": victim,
+                                  "nodes_left": tree["nodes"],
+                                  "new_depth": tree["depth"]},
+                        )
 
         def mark(stage: str, track: str, t0: float, c: int,
                  async_id: Optional[int] = None) -> None:
@@ -163,15 +233,19 @@ class HFReduceDesSim:
             # here.
             nreq = nic.request()
             yield nreq
+            if env.now < tree["stall_until"]:
+                # Survivors hold inter-node traffic while the double tree
+                # re-forms around the lost rank.
+                yield env.timeout(tree["stall_until"] - env.now)
             t0 = env.now
             yield env.timeout(chunk / self._nic_rate)
             if sess is not None:
                 mark("nic_send", "hfreduce/nic", t0, c)
             nic.release(nreq)
-            if cfg.n_nodes > 1:
+            if tree["nodes"] > 1:
                 t0 = env.now
                 yield env.timeout(
-                    depth * (chunk / self._nic_rate + RDMA_HOP_LATENCY)
+                    tree["depth"] * (chunk / self._nic_rate + RDMA_HOP_LATENCY)
                 )
                 if sess is not None:
                     # Tree transits of different chunks overlap: async spans.
@@ -189,13 +263,19 @@ class HFReduceDesSim:
                 env.process(gpu_d2h(g, arrivals))
             env.process(collector())
             env.process(reducer_and_network())
+            if plan is not None and len(plan):
+                env.process(fault_driver())
             for _ in range(n_chunks):
                 yield returned.get()
             return env.now
 
         done = env.process(root())
         total = env.run(until=done)
-        result = DesResult(total_time=total, nbytes=cfg.nbytes, n_chunks=n_chunks)
+        result = DesResult(
+            total_time=total, nbytes=cfg.nbytes, n_chunks=n_chunks,
+            faults_injected=tree["faults"], tree_rebuilds=tree["rebuilds"],
+            final_nodes=tree["nodes"] if tree["rebuilds"] else 0,
+        )
         if sess is not None:
             if tracer is not None:
                 tracer.complete(

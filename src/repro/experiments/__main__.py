@@ -5,9 +5,17 @@ Usage::
     python -m repro.experiments            # everything
     python -m repro.experiments fig7 table3
     python -m repro.experiments --list
+    python -m repro.experiments chaos --seed 11
     python -m repro.experiments --perf congestion   # append a perf profile
     python -m repro.experiments congestion \\
         --trace-out trace.json --metrics-out metrics.jsonl
+
+Experiments self-register via the declarative
+:mod:`repro.experiments.registry` (``@experiment(name, description,
+telemetry=...)``); this module only imports the experiment modules so
+their decorators run, then dispatches through the registry. ``--list``
+is rendered from the same registry, including each experiment's
+telemetry surface.
 
 ``--perf`` enables the global :mod:`repro.perf` aggregate and prints the
 combined counters/timings (flow-engine events, solver iterations, memo
@@ -27,7 +35,8 @@ import sys
 from typing import Dict, List, Optional
 
 from repro import perf, telemetry
-from repro.experiments import (
+from repro.experiments import (  # noqa: F401  (imported for registration)
+    chaos,
     checkpoint_exp,
     congestion_exp,
     failures_exp,
@@ -44,24 +53,12 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.experiments.registry import ExperimentSpec, registry, render_listing
 
-EXPERIMENTS: Dict[str, object] = {
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "table4": table4,
-    "fig1_2_3": fig1_2_3,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "storage": storage_throughput,
-    "congestion": congestion_exp,
-    "checkpoint": checkpoint_exp,
-    "failures": failures_exp,
-    "future": future_arch,
-    "operations": operations_exp,
-    "scheduling": scheduling_exp,
-}
+#: Name -> spec dispatch table, built from the registry the experiment
+#: modules populated at import. Kept as a module attribute because the
+#: replay differ and tests resolve experiments through it.
+EXPERIMENTS: Dict[str, ExperimentSpec] = registry()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,7 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list", "-l", action="store_true",
-        help="list available experiment names and exit",
+        help="list available experiments (from the registry) and exit",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="seed override for experiments that take one (see --list)",
     )
     parser.add_argument(
         "--perf", action="store_true",
@@ -105,7 +106,7 @@ def main(argv: List[str]) -> int:
         code = exc.code
         return code if isinstance(code, int) else 2
     if args.list:
-        print("\n".join(sorted(EXPERIMENTS)))
+        print(render_listing())
         return 0
     names = args.names or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -113,6 +114,13 @@ def main(argv: List[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+    if args.seed is not None:
+        unseeded = [n for n in names if not EXPERIMENTS[n].seeded]
+        if unseeded:
+            print(
+                f"--seed has no effect on: {', '.join(unseeded)}",
+                file=sys.stderr,
+            )
 
     collect = bool(args.trace_out or args.metrics_out or args.telemetry_summary)
     session: Optional[telemetry.TelemetrySession] = None
@@ -124,7 +132,8 @@ def main(argv: List[str]) -> int:
         for i, name in enumerate(names):
             if i:
                 print()
-            print(EXPERIMENTS[name].render())
+            spec = EXPERIMENTS[name]
+            print(spec.run(seed=args.seed if spec.seeded else None))
     finally:
         if args.perf:
             print()

@@ -1,0 +1,280 @@
+"""Chaos replay: the paper's weekly failure mix through every recovery path.
+
+Section VII's operational story in one experiment: a seeded
+:class:`~repro.faults.FaultPlan` replaying the appendix's weekly failure
+profile (GPU Xids, ECC errors, IB flash cuts, NIC deaths, storage-node
+loss, host hangs) is compiled once and injected into all four recovery
+layers —
+
+* **network** — flows reroute around flapped links or drain when a
+  single-NIC host loses its access links,
+* **collective** — HFReduce drops the dead rank and continues on a
+  rebuilt double binary tree,
+* **scheduler** — the victim task checkpoint-crashes, re-queues, and
+  restarts when the node returns,
+* **storage** — the 3FS client backs off through its retry schedule
+  while the CRAQ chain re-forms around the dead replica,
+
+and finally into a week-long training loop, where the checkpoint-interval
+sweep reproduces the paper's bound: with 5-minute saves, a failure costs
+"no more than 5 minutes" of progress.
+
+Seeds with few natural events of some kind get a deterministic *coverage
+floor* — one synthetic event per missing kind — so every recovery path is
+exercised for any ``--seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.experiments.fmt import render_table
+from repro.experiments.registry import experiment
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    LinkFlap,
+    RetryPolicy,
+    WEEK_SECONDS,
+    weekly_profile,
+)
+from repro.network import Flow, two_zone_network
+from repro.network.linkfail import assess_fault_plan
+
+#: Compute-node pool faults land on (labels only; layers map them onto
+#: their own entity sets deterministically).
+N_NODES = 16
+
+#: Week-long training loop parameters for the goodput sweep.
+STEP_TIME = 10.0
+N_STEPS = int(WEEK_SECONDS / STEP_TIME)
+RESTART_TIME = 300.0  # detection + requeue + resume overhead per crash
+
+
+def _fabric():
+    zone0 = [f"cn{i}" for i in range(8)]
+    zone1 = [f"cn{i}" for i in range(8, 16)]
+    return two_zone_network(8, zone0_hosts=zone0, zone1_hosts=zone1)
+
+
+def _switch_links(fabric) -> List[Tuple[str, str]]:
+    """Non-access links (both ends are switches), in sorted order."""
+    return sorted(
+        (a, b) if a < b else (b, a)
+        for a, b in fabric.g.edges
+        if fabric.g.degree(a) > 1 and fabric.g.degree(b) > 1
+    )
+
+
+def build_plan(seed: int) -> FaultPlan:
+    """The seeded weekly plan, floored so every fault kind appears."""
+    nodes = [f"cn{i}" for i in range(N_NODES)]
+    links = _switch_links(_fabric())
+    plan = weekly_profile(seed, nodes=nodes, links=links)
+    have = plan.counts()
+    extras = []
+    t = 3601.0  # distinct off-grid times, one per missing kind
+    for kind in sorted(FAULT_KINDS):
+        if have.get(kind):
+            continue
+        if kind == "link_flap":
+            extras.append(LinkFlap(time=t, link=links[0], duration=30.0))
+        else:
+            extras.append(FAULT_KINDS[kind](time=t, node=nodes[0]))
+        t += 3600.0
+    return plan.merge(FaultPlan(extras)) if extras else plan
+
+
+def _rescale(plan: FaultPlan, horizon: float) -> FaultPlan:
+    """The plan's events compressed onto ``[0, horizon)`` in order."""
+    if not len(plan):
+        return plan
+    f = horizon / (plan.horizon() + 1.0)
+    return FaultPlan(
+        [replace(e, time=e.time * f, event_id=-1) for e in plan],
+        seed=plan.seed,
+    )
+
+
+def run_network(plan: FaultPlan) -> List[List]:
+    """Replay link/NIC events against a live mixed-flow population."""
+    fabric = _fabric()
+    flows = [
+        Flow(f"cn{i}", f"cn{(i + 8) % 16}", size=1.0, flow_id=i)
+        for i in range(8)
+    ]
+    pa = assess_fault_plan(fabric, flows, plan)
+    return [
+        ["events replayed", float(len(pa.impacts))],
+        ["flows rerouted", float(pa.flows_rerouted)],
+        ["flows drained (task kill)", float(pa.flows_disconnected)],
+        ["min surviving rate GB/s", pa.min_rate_floor / 1e9],
+    ]
+
+
+def run_collective(plan: FaultPlan) -> List[List]:
+    """Node losses mid-allreduce: drop rank, rebuild tree, continue."""
+    from repro.collectives.des_pipeline import HFReduceDesSim
+    from repro.collectives.primitives import AllreduceConfig
+    from repro.units import MiB
+
+    sim = HFReduceDesSim()
+    cfg = AllreduceConfig(nbytes=64 * MiB, n_nodes=16)
+    base = sim.run(cfg)
+    losses = plan.of_kind("nic_down", "gpu_xid", "ecc_error", "host_hang")
+    # At most 3 rank losses inside this one allreduce (16 -> 13 ranks).
+    scoped = FaultPlan(
+        [replace(e, event_id=-1) for e in list(losses)[:3]], seed=plan.seed
+    )
+    faulty = sim.run(cfg, plan=_rescale(scoped, base.total_time * 0.8))
+    return [
+        ["fault-free time ms", base.total_time * 1e3],
+        ["with faults ms", faulty.total_time * 1e3],
+        ["rank losses injected", float(faulty.faults_injected)],
+        ["tree rebuilds", float(faulty.tree_rebuilds)],
+        ["surviving ranks", float(faulty.final_nodes)],
+    ]
+
+
+def run_scheduler(plan: FaultPlan) -> List[List]:
+    """Crash/requeue through the checkpoint-interrupt protocol."""
+    from repro.hai import HAICluster, Task, TimeSharingScheduler
+
+    sched = TimeSharingScheduler(HAICluster.two_zone(4))
+    for i in range(4):
+        sched.submit(Task(
+            task_id=f"train{i}", nodes_required=2, total_work=20000.0,
+            checkpoint_interval=300.0,
+        ))
+    node_plan = _rescale(
+        plan.of_kind("gpu_xid", "ecc_error", "nic_down", "host_hang"),
+        16000.0,
+    )
+    recoveries = sched.inject_faults(node_plan, repair_after=600.0)
+    sched.run_until_idle()
+    crashes = sum(1 for e in sched.events if e.kind == "crash")
+    mean_rec = (
+        sum(recoveries.values()) / len(recoveries) if recoveries else 0.0
+    )
+    return [
+        ["faults delivered", float(len(node_plan))],
+        ["task crashes", float(crashes)],
+        ["crash->requeue recoveries", float(len(recoveries))],
+        ["mean recovery s", mean_rec],
+        ["makespan s", sched.now],
+        ["utilization", sched.utilization()],
+    ]
+
+
+def run_storage(plan: FaultPlan) -> List[List]:
+    """Kill storage nodes under live I/O; client retries through re-chain."""
+    from repro.fs3 import FS3Client, KVStore, MetaService
+    from repro.fs3.storage import StorageCluster
+
+    storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                             targets_per_ssd=1)
+    meta = MetaService(KVStore(), storage.chain_table)
+    repaired = [0]
+
+    def on_retry(client: FS3Client, chain_idx: int, attempt: int) -> None:
+        # Ops repairs the fleet while the client backs off; by the third
+        # attempt the dead nodes are back and re-chain can succeed.
+        if attempt == 3:
+            for name in sorted(storage.nodes):
+                if not storage.nodes[name].alive:
+                    repaired[0] += storage.recover_node(name)
+
+    client = FS3Client(meta, storage, retry=RetryPolicy(), on_retry=on_retry)
+    payload = b"\x5a" * 4096
+    client.makedirs("/ckpt")
+    client.write_file("/ckpt/shard0", payload)
+    losses = plan.of_kind("storage_node_loss")
+    outages = 0
+    backoff_total = 0.0
+    for event in losses:
+        storage.apply_event(event)
+        # Take the *other* node down too: a whole-chain outage is what
+        # exercises retry + re-chain rather than CRAQ's read-any.
+        for name in sorted(storage.nodes):
+            if storage.nodes[name].alive:
+                storage.fail_node(name)
+        t0 = client._tele_clock
+        data = client.read_file("/ckpt/shard0")
+        assert data == payload
+        backoff_total += client._tele_clock - t0
+        outages += 1
+    return [
+        ["storage-node losses", float(outages)],
+        ["reads recovered", float(outages)],
+        ["client backoff s", backoff_total],
+        ["replicas resynced", float(repaired[0])],
+    ]
+
+
+def run_goodput(plan: FaultPlan) -> List[List]:
+    """Week-long training: goodput loss vs checkpoint interval."""
+    from repro.ckpt import simulate_training
+
+    node_plan = plan.of_kind(
+        "gpu_xid", "ecc_error", "nic_down", "host_hang"
+    )
+    rows = []
+    for interval in (120.0, 300.0, 600.0, 1800.0):
+        s = simulate_training(
+            "async", n_steps=N_STEPS, step_time=STEP_TIME,
+            interval=interval, plan=node_plan, restart_time=RESTART_TIME,
+        )
+        per_failure = s.lost_time / s.failures if s.failures else 0.0
+        rows.append([
+            f"{interval:.0f}",
+            float(s.failures),
+            s.lost_time / 60.0,
+            per_failure / 60.0,
+            (1.0 - s.goodput) * 100.0,
+        ])
+    return rows
+
+
+@experiment(
+    "chaos",
+    "Weekly failure mix replayed through every recovery path",
+    telemetry=("faults_injected", "recovery_time_s", "fs3_retries_total"),
+    seeded=True,
+)
+def render(seed: int = 7) -> str:
+    """Printable chaos replay."""
+    plan = build_plan(seed)
+    counts = plan.counts()
+    parts = [
+        render_table(
+            ["fault kind", "events/week"],
+            [[k, float(v)] for k, v in counts.items()],
+            title=f"Chaos replay, seed {seed}: the paper's weekly failure "
+                  f"profile ({len(plan)} events)",
+        ),
+        render_table(
+            ["network recovery", "value"], run_network(plan),
+            title="IB flash cuts: reroute or drain (Section VII-C2)",
+        ),
+        render_table(
+            ["collective recovery", "value"], run_collective(plan),
+            title="HFReduce: continue on a rebuilt double tree",
+        ),
+        render_table(
+            ["scheduler recovery", "value"], run_scheduler(plan),
+            title="HAI: checkpoint-crash, requeue, restart (Section VI-C)",
+        ),
+        render_table(
+            ["storage recovery", "value"], run_storage(plan),
+            title="3FS: client backoff + CRAQ re-chain (Section VI-B3)",
+        ),
+        render_table(
+            ["ckpt interval s", "failures", "lost min/week",
+             "lost min/failure", "goodput loss %"],
+            run_goodput(plan),
+            title="Goodput loss vs checkpoint interval: 5-minute saves "
+                  "bound loss per failure to ~5 minutes (Section VII-A)",
+        ),
+    ]
+    return "\n\n".join(parts)

@@ -17,6 +17,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.experiments.registry import experiment
 from repro.ckpt import CheckpointManager
 from repro.experiments.fmt import render_table
 from repro.fs3 import FS3Client, KVStore, MetaService
@@ -112,7 +113,7 @@ def recovery_loss_statistics(days: int = 30, interval_s: float = 300.0,
     """
     gen = FailureGenerator(n_nodes=1250, seed=seed)
     horizon = days * 86400.0
-    events = gen.xid_events(horizon)
+    events = gen.failure_stream(horizon)
     rng = np.random.default_rng(seed)
     lost = float(np.sum(rng.uniform(0.0, interval_s, size=len(events))))
     return {
@@ -123,6 +124,7 @@ def recovery_loss_statistics(days: int = 30, interval_s: float = 300.0,
     }
 
 
+@experiment('checkpoint', 'Section VII-A: checkpoint performance and recovery bounds')
 def render() -> str:
     """Printable checkpoint experiment."""
     bw = save_bandwidth_model()

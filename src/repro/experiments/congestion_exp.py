@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro import telemetry
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.experiments.storage_throughput import incast_efficiency
 from repro.network import (
@@ -167,6 +168,7 @@ def emit_timeline() -> None:
     sim.run(flows)
 
 
+@experiment('congestion', 'Section VI-A: congestion under mixed traffic', telemetry=('link_util', 'hfreduce_stage_s'))
 def render() -> str:
     """Printable congestion study."""
     out = render_table(

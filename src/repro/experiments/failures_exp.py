@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.reliability import (
     FailureGenerator,
@@ -47,7 +48,7 @@ def run_fig11() -> List:
 def run_synthetic_year(seed: int = 7) -> Dict[str, float]:
     """Generate a synthetic year and verify it reproduces the census."""
     gen = FailureGenerator(seed=seed)
-    events = gen.xid_events(365 * 86400.0)
+    events = gen.failure_stream(365 * 86400.0)
     n74 = sum(1 for e in events if e.xid == 74)
     return {
         "events": float(len(events)),
@@ -55,6 +56,7 @@ def run_synthetic_year(seed: int = 7) -> Dict[str, float]:
     }
 
 
+@experiment('failures', 'Tables V-VIII / Figures 10-11: failure characterization')
 def render() -> str:
     """Printable failure characterization."""
     parts = [

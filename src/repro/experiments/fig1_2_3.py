@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.experiments.registry import experiment
 from repro.costmodel.growth import (
     ACCELERATOR_MEMORY,
     MODEL_SIZES,
@@ -34,6 +35,7 @@ def run_fig3() -> Dict[str, list]:
     }
 
 
+@experiment('fig1_2_3', 'Figures 1-3: compute demand growth and the memory wall')
 def render() -> str:
     """Printable summary of all three background figures."""
     parts = [

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.collectives import AllreduceConfig, HFReduceModel, NCCLRingModel
 from repro.experiments.fmt import render_table
 from repro.units import MiB, as_gBps
@@ -48,6 +49,7 @@ def run(gpu_counts: List[int] = GPU_COUNTS) -> List[Dict[str, float]]:
     return rows
 
 
+@experiment('fig7', 'Figure 7: allreduce bandwidth — HFReduce vs NCCL')
 def render() -> str:
     """Printable Figure 7 series."""
     rows = run()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.haiscale import (
     GPT2_MEDIUM,
@@ -70,6 +71,7 @@ def run_fsdp(per_gpu_batch: int = 8) -> List[Dict[str, float]]:
     return rows
 
 
+@experiment('fig8', 'Figure 8: weak scalability of DDP and FSDP')
 def render() -> str:
     """Printable Figure 8 tables."""
     a = render_table(

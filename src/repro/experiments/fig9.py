@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.haiscale import DEEPSEEK_MOE_16B, LLAMA_13B
 from repro.haiscale.planner import ParallelPlan, plan_training
@@ -75,6 +76,7 @@ def run_moe(gpu_counts: List[int] = MOE_GPUS) -> List[Dict[str, float]]:
     return rows
 
 
+@experiment('fig9', 'Figure 9: strong scalability of LLM training')
 def render() -> str:
     """Printable Figure 9 tables."""
     a = render_table(

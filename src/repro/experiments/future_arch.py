@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.hardware.node import nextgen_node
 from repro.hardware.spec import QM8700_SWITCH, ROCE_400G_128P
@@ -43,6 +44,7 @@ def run(n_gpus: int = 32_768, planes: int = 4) -> Dict[str, float]:
     }
 
 
+@experiment('future', 'Figure 12 / Section IX: next-gen multi-plane architecture')
 def render() -> str:
     """Printable Section IX projection."""
     r = run()

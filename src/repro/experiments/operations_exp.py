@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.hai import HAICluster, Task, TaskState, TimeSharingScheduler
 from repro.reliability.failures import FailureGenerator
@@ -46,7 +47,7 @@ def run(
         )
 
     gen = FailureGenerator(n_nodes=n_nodes, seed=seed)
-    events = gen.xid_events(horizon)
+    events = gen.failure_stream(horizon)
     # Node-fatal events: uncorrectable + GSP classes, plus ECC events
     # needing a GPU reset (brief but disruptive at task level).
     fatal = [
@@ -91,6 +92,7 @@ def run(
     }
 
 
+@experiment('operations', 'Section VII: a quarter of cluster operations, end to end')
 def render() -> str:
     """Printable operations scorecard."""
     r = run()

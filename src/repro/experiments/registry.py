@@ -1,0 +1,116 @@
+"""Declarative experiment registry.
+
+Experiments self-register with the :func:`experiment` decorator instead
+of being string-dispatched from a hand-maintained table in
+``__main__``::
+
+    @experiment("chaos", "Weekly failure mix vs checkpoint cadence",
+                telemetry=("faults_injected", "recovery_time_s"),
+                seeded=True)
+    def render(seed: int = 7) -> str: ...
+
+The CLI builds its dispatch table and ``--list`` output from
+:func:`registry`, the replay differ resolves names through the same
+table, and a spec records whether its renderer accepts a ``--seed``
+override and which telemetry series a run populates — so the listing
+doubles as documentation of the observable surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class RegistryError(ReproError):
+    """Bad experiment registration or lookup."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: a name, a renderer, and its metadata."""
+
+    name: str
+    description: str
+    render: Callable[..., str]
+    module: str
+    telemetry: Tuple[str, ...] = ()  # metric series a run populates
+    seeded: bool = False  # renderer accepts render(seed=...)
+
+    def run(self, seed: Optional[int] = None) -> str:
+        """Render, forwarding ``seed`` when the experiment takes one."""
+        if seed is not None:
+            if not self.seeded:
+                raise RegistryError(
+                    f"experiment {self.name!r} does not take a seed"
+                )
+            return self.render(seed=seed)
+        return self.render()
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def experiment(
+    name: str,
+    description: str,
+    telemetry: Tuple[str, ...] = (),
+    seeded: bool = False,
+) -> Callable[[Callable[..., str]], Callable[..., str]]:
+    """Registration decorator for ``render`` callables."""
+
+    def decorate(fn: Callable[..., str]) -> Callable[..., str]:
+        register(ExperimentSpec(
+            name=name,
+            description=description,
+            render=fn,
+            module=fn.__module__,
+            telemetry=tuple(telemetry),
+            seeded=seeded,
+        ))
+        return fn
+
+    return decorate
+
+
+def register(spec: ExperimentSpec) -> None:
+    """Add a spec; duplicate names are a programming error."""
+    if spec.name in _REGISTRY:
+        raise RegistryError(
+            f"experiment {spec.name!r} already registered "
+            f"(by {_REGISTRY[spec.name].module})"
+        )
+    _REGISTRY[spec.name] = spec
+
+
+def registry() -> Dict[str, ExperimentSpec]:
+    """Snapshot of the registered experiments, keyed by name."""
+    return dict(_REGISTRY)
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up one experiment."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise RegistryError(f"unknown experiment {name!r}")
+
+
+def render_listing() -> str:
+    """The ``--list`` text: name, description, telemetry surface."""
+    lines: List[str] = []
+    width = max((len(n) for n in _REGISTRY), default=0)
+    for name in sorted(_REGISTRY):
+        spec = _REGISTRY[name]
+        line = f"{name:<{width}}  {spec.description}"
+        extras = []
+        if spec.seeded:
+            extras.append("--seed")
+        if spec.telemetry:
+            extras.append("telemetry: " + ", ".join(spec.telemetry))
+        if extras:
+            line += f"  [{'; '.join(extras)}]"
+        lines.append(line)
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Tuple
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.hai import HAICluster, Task, TaskState, TimeSharingScheduler
 
@@ -148,6 +149,7 @@ def run(n_nodes: int = 16, seed: int = 0) -> Dict[str, Dict[str, float]]:
     }
 
 
+@experiment('scheduling', 'Section VI-C: time-sharing vs static partitioning', telemetry=('sched_events_total',))
 def render() -> str:
     """Printable scheduling comparison."""
     r = run()

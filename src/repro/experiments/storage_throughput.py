@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.errors import FS3Error
 from repro.experiments.fmt import render_table
 from repro.hardware.node import storage_node
@@ -128,6 +129,7 @@ def flow_simulation(
     }
 
 
+@experiment('storage', 'Section VI-B2: 3FS aggregate read throughput')
 def render() -> str:
     """Printable throughput experiment."""
     cap = capacity_analysis()

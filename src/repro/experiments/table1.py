@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.hardware.node import dgx_a100_node, fire_flyer_node
 from repro.units import GiB
@@ -32,6 +33,7 @@ def run() -> List[Tuple[str, str, str]]:
     return [(k, a[k], b[k]) for k in a]
 
 
+@experiment('table1', 'Table I: server hardware — PCIe arch vs DGX-A100')
 def render() -> str:
     """Printable Table I."""
     return render_table(

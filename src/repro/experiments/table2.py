@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.registry import experiment
 from repro.costmodel.capex import gemm_cost_comparison
 from repro.experiments.fmt import render_table
 
@@ -33,6 +34,7 @@ def run() -> List[List]:
     ]
 
 
+@experiment('table2', 'Table II: A100 PCIe vs DGX-A100 performance/cost/power')
 def render() -> str:
     """Printable Table II."""
     return render_table(

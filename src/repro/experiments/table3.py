@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.experiments.registry import experiment
 from repro.costmodel.capex import network_cost_comparison
 from repro.experiments.fmt import render_table
 
@@ -27,6 +28,7 @@ def run() -> List[List]:
     ]
 
 
+@experiment('table3', 'Table III: relative network/server cost comparison')
 def render() -> str:
     """Printable Table III."""
     return render_table(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.experiments.registry import experiment
 from repro.experiments.fmt import render_table
 from repro.hardware.node import storage_node
 from repro.units import GiB
@@ -24,6 +25,7 @@ def run() -> List[Tuple[str, str]]:
     ]
 
 
+@experiment('table4', 'Table IV: 3FS storage node hardware details')
 def render() -> str:
     """Printable Table IV."""
     return render_table(

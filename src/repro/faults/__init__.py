@@ -1,0 +1,62 @@
+"""Deterministic fault injection and recovery (Section VI / VII-C).
+
+The paper's operations story — GPU Xid and ECC errors, IB link flash
+cuts, storage-node loss — is answered by cheap *recovery* at every
+layer: checkpoint restart, HFReduce degradation, CRAQ chain repair, HAI
+task requeue. This package is the cross-layer harness that drives those
+recovery paths deterministically:
+
+* :class:`FaultPlan` — a seeded, totally-ordered schedule of typed fault
+  events (:class:`GpuXid`, :class:`EccError`, :class:`LinkFlap`,
+  :class:`NicDown`, :class:`StorageNodeLoss`, :class:`HostHang`);
+* :class:`FaultInjector` — compiles a plan onto a
+  :mod:`repro.simcore` kernel and dispatches each event to registered
+  per-kind handlers at its simulated time;
+* :class:`RetryPolicy` — deterministic retry/timeout/exponential-backoff
+  schedule used by client-side recovery paths (3FS reads/writes);
+* :func:`weekly_profile` — the paper-calibrated weekly failure mix used
+  by the ``chaos`` experiment.
+
+The layer DAG (``[tool.repro.layers]``) restricts this package to
+``errors``/``units``/``simcore``: recovery itself — and the telemetry it
+emits — lives in the layer that owns the failing subsystem (``network``,
+``collectives``, ``hai``, ``fs3``, ``ckpt``); those layers accept a
+``FaultPlan`` and react. See ``docs/RELIABILITY.md``.
+"""
+
+from repro.faults.backoff import RetryPolicy
+from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.plan import (
+    FAULT_KINDS,
+    EccError,
+    FaultEvent,
+    FaultPlan,
+    GpuXid,
+    HostHang,
+    LinkFlap,
+    NicDown,
+    StorageNodeLoss,
+    generate_plan,
+)
+from repro.faults.plan import FaultPlanError
+from repro.faults.profiles import WEEK_SECONDS, WEEKLY_RATES, weekly_profile
+
+__all__ = [
+    "FAULT_KINDS",
+    "EccError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "GpuXid",
+    "HostHang",
+    "InjectionRecord",
+    "LinkFlap",
+    "NicDown",
+    "RetryPolicy",
+    "StorageNodeLoss",
+    "WEEK_SECONDS",
+    "WEEKLY_RATES",
+    "generate_plan",
+    "weekly_profile",
+]

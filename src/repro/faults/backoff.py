@@ -1,0 +1,62 @@
+"""Deterministic retry/timeout/exponential-backoff schedule.
+
+The 3FS client path retries chunk operations against a chain that lost a
+replica: wait, poll the cluster manager for a repaired configuration,
+try again. Production backoff jitters; here the schedule is a pure
+function of its parameters so recovery traces replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * factor**attempt``, capped, bounded.
+
+    ``max_attempts`` counts *retries* (the initial try is free);
+    ``deadline`` bounds the cumulative backoff so a dead chain fails the
+    operation in bounded time rather than retrying forever.
+    """
+
+    base_delay: float = 0.1
+    factor: float = 2.0
+    max_delay: float = 5.0
+    max_attempts: int = 6
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.factor < 1.0:
+            raise ReproError("backoff needs base_delay > 0 and factor >= 1")
+        if self.max_delay < self.base_delay:
+            raise ReproError("max_delay must be >= base_delay")
+        if self.max_attempts < 0 or self.deadline <= 0:
+            raise ReproError("max_attempts must be >= 0, deadline > 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        if attempt < 0:
+            raise ReproError("attempt must be >= 0")
+        return min(self.base_delay * self.factor ** attempt, self.max_delay)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, honouring attempts and deadline."""
+        spent = 0.0
+        for attempt in range(self.max_attempts):
+            d = self.delay(attempt)
+            if spent + d > self.deadline:
+                return
+            spent += d
+            yield d
+
+    def schedule(self) -> List[float]:
+        """The schedule as a list (for logs and tests)."""
+        return list(self.delays())
+
+    def total_backoff(self) -> float:
+        """Worst-case cumulative waiting before giving up."""
+        return sum(self.delays())

@@ -1,0 +1,311 @@
+"""Typed fault events and the deterministic :class:`FaultPlan` schedule.
+
+A plan is a *value*: an immutable, totally-ordered sequence of events.
+Ordering is by ``(time, event_id)`` — the id is assigned at construction
+in input order, so plans with duplicate timestamps (several failures in
+the same flash-cut burst) replay in one stable order, and an empty plan
+is a valid (no-op) schedule. ``to_json``/``from_json`` round-trip
+byte-identically, which is what the replay certificate and the
+hypothesis property tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """Invalid fault plan or event."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault occurrence: a kind, a time, and a stable id.
+
+    ``event_id`` breaks ties between events at the same timestamp; the
+    plan assigns ids in input order when events are created without one
+    (``event_id=-1``).
+    """
+
+    time: float
+    event_id: int = -1
+
+    #: Subclass tag; also the ``kind`` label on injected-fault metrics.
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultPlanError(f"event time must be >= 0, got {self.time}")
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        """Stable total order: time, then assigned id."""
+        return (self.time, self.event_id)
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-safe field dict (kind included, id excluded)."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):
+            if f.name != "event_id":
+                out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class GpuXid(FaultEvent):
+    """A GPU Xid error on one node (Table VI: Xid 63/64/74/79/94/95...)."""
+
+    node: str = ""
+    xid: int = 63
+
+    kind = "gpu_xid"
+
+
+@dataclass(frozen=True)
+class EccError(FaultEvent):
+    """An uncorrectable memory ECC error on one node (Section VII-C1)."""
+
+    node: str = ""
+
+    kind = "ecc_error"
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """An IB link flash cut: the link drops, then returns (Table VIII)."""
+
+    link: Tuple[str, str] = ("", "")
+    duration: float = 30.0
+
+    kind = "link_flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration < 0:
+            raise FaultPlanError("link flap duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class NicDown(FaultEvent):
+    """A node's NIC dies; on single-NIC nodes this kills the task."""
+
+    node: str = ""
+
+    kind = "nic_down"
+
+
+@dataclass(frozen=True)
+class StorageNodeLoss(FaultEvent):
+    """A 3FS storage node drops out of its replication chains."""
+
+    node: str = ""
+
+    kind = "storage_node_loss"
+
+
+@dataclass(frozen=True)
+class HostHang(FaultEvent):
+    """A host stops responding (hostping failure) for ``duration``."""
+
+    node: str = ""
+    duration: float = 120.0
+
+    kind = "host_hang"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration < 0:
+            raise FaultPlanError("host hang duration must be >= 0")
+
+
+#: kind tag -> event class, for deserialization and generators.
+FAULT_KINDS: Dict[str, Type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (GpuXid, EccError, LinkFlap, NicDown, StorageNodeLoss, HostHang)
+}
+
+
+class FaultPlan:
+    """An immutable, deterministically-ordered schedule of fault events.
+
+    Events are sorted by ``(time, event_id)``; events arriving without an
+    id (``event_id=-1``) are assigned ids in input order *before*
+    sorting, so duplicate timestamps keep their submission order and the
+    same input always yields the same schedule.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: Optional[int] = None) -> None:
+        stamped: List[FaultEvent] = []
+        next_id = max(
+            (e.event_id for e in events if e.event_id >= 0), default=-1
+        ) + 1
+        for e in events:
+            if not isinstance(e, FaultEvent):
+                raise FaultPlanError(f"not a fault event: {e!r}")
+            if e.event_id < 0:
+                e = replace(e, event_id=next_id)
+                next_id += 1
+            stamped.append(e)
+        ids = [e.event_id for e in stamped]
+        if len(set(ids)) != len(ids):
+            raise FaultPlanError("duplicate event ids in plan")
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(stamped, key=lambda e: e.sort_key)
+        )
+        self.seed = seed
+
+    # -- sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, i: int) -> FaultEvent:
+        return self._events[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._events == other._events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        span = f"0..{self.horizon():g}s" if self._events else "empty"
+        return f"<FaultPlan {len(self._events)} event(s) {span}>"
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The ordered schedule."""
+        return self._events
+
+    # -- queries -----------------------------------------------------------------
+
+    def horizon(self) -> float:
+        """Time of the last event (0.0 for an empty plan)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def of_kind(self, *kinds: str) -> "FaultPlan":
+        """Sub-plan with only the named kinds (ids preserved)."""
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise FaultPlanError(f"unknown fault kind(s): {unknown}")
+        return FaultPlan([e for e in self._events if e.kind in kinds],
+                         seed=self.seed)
+
+    def between(self, start: float, end: float) -> "FaultPlan":
+        """Sub-plan of events with ``start <= time < end``."""
+        if end < start:
+            raise FaultPlanError(f"empty window: end {end} < start {start}")
+        return FaultPlan([e for e in self._events if start <= e.time < end],
+                         seed=self.seed)
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind, sorted by kind."""
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans; ids are re-assigned in merged time order."""
+        merged = sorted(
+            list(self._events) + list(other._events), key=lambda e: e.sort_key
+        )
+        return FaultPlan([replace(e, event_id=-1) for e in merged])
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (byte-identical for equal plans)."""
+        rows = []
+        for e in self._events:
+            row = e.payload()
+            row["event_id"] = e.event_id
+            rows.append(row)
+        doc: Dict[str, object] = {"events": rows}
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan serialized by :meth:`to_json`."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"invalid plan JSON: {exc}")
+        events: List[FaultEvent] = []
+        for row in doc.get("events", []):
+            kind = row.pop("kind", None)
+            etype = FAULT_KINDS.get(kind)
+            if etype is None:
+                raise FaultPlanError(f"unknown fault kind {kind!r}")
+            if "link" in row:
+                row["link"] = tuple(row["link"])
+            events.append(etype(**row))
+        return cls(events, seed=doc.get("seed"))
+
+
+def generate_plan(
+    seed: int,
+    horizon: float,
+    rates: Dict[str, float],
+    nodes: Sequence[str],
+    links: Sequence[Tuple[str, str]] = (),
+) -> FaultPlan:
+    """Sample a seeded Poisson fault schedule.
+
+    ``rates`` maps fault kinds to mean events per second over
+    ``horizon``; arrival times are exponential inter-arrivals from one
+    ``random.Random(seed)`` stream consumed in sorted-kind order, so the
+    same arguments always produce the identical plan. ``nodes`` (and
+    ``links`` for ``link_flap``) are the affected-entity pools, sampled
+    from the same stream.
+    """
+    if horizon <= 0:
+        raise FaultPlanError("horizon must be positive")
+    if not nodes:
+        raise FaultPlanError("generate_plan needs a node pool")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for kind in sorted(rates):
+        etype = FAULT_KINDS.get(kind)
+        if etype is None:
+            raise FaultPlanError(f"unknown fault kind {kind!r}")
+        rate = rates[kind]
+        if rate < 0:
+            raise FaultPlanError(f"negative rate for {kind}")
+        if rate == 0:
+            continue
+        if kind == "link_flap" and not links:
+            raise FaultPlanError("link_flap rate set but no links given")
+        t = rng.expovariate(rate)
+        while t < horizon:
+            if kind == "link_flap":
+                link = links[rng.randrange(len(links))]
+                events.append(LinkFlap(time=t, link=link,
+                                       duration=rng.uniform(5.0, 60.0)))
+            elif kind == "host_hang":
+                events.append(HostHang(time=t,
+                                       node=nodes[rng.randrange(len(nodes))],
+                                       duration=rng.uniform(30.0, 300.0)))
+            elif kind == "gpu_xid":
+                # Table VI's two dominant codes: NVLink (74) vs app (13/31
+                # bucketed as 63 here) — the split matters only as a label.
+                xid = 74 if rng.random() < 0.45 else 63
+                events.append(GpuXid(time=t,
+                                     node=nodes[rng.randrange(len(nodes))],
+                                     xid=xid))
+            else:
+                events.append(etype(time=t,
+                                    node=nodes[rng.randrange(len(nodes))]))
+            t += rng.expovariate(rate)
+    # Sort by time before id assignment so ids follow schedule order.
+    events.sort(key=lambda e: e.time)
+    return FaultPlan(events, seed=seed)

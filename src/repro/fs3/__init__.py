@@ -25,8 +25,8 @@ flow-level network model in :mod:`repro.experiments`.
 from repro.fs3.kvstore import KVStore, Versioned
 from repro.fs3.cluster_manager import ClusterManager, ManagerGroup, ServiceInfo
 from repro.fs3.chain import ChainTable, StorageTarget
-from repro.fs3.craq import CraqChain, CraqReplica
-from repro.fs3.storage import StorageNode, StorageService
+from repro.fs3.craq import CraqChain, CraqReplica, RechainReport
+from repro.fs3.storage import StorageCluster, StorageNode, StorageService
 from repro.fs3.meta import Inode, InodeType, MetaService
 from repro.fs3.client import FS3Client
 from repro.fs3.rts import RequestToSend
@@ -49,9 +49,11 @@ __all__ = [
     "MessageQueue",
     "MetaService",
     "ObjectStore",
+    "RechainReport",
     "RequestToSend",
     "RtsStats",
     "ServiceInfo",
+    "StorageCluster",
     "StorageNode",
     "StorageService",
     "StorageTarget",

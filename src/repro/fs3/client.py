@@ -14,10 +14,11 @@ pipelined across chains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
-from repro.errors import FS3Error, FS3NotFound
+from repro.errors import FS3Error, FS3NotFound, FS3Unavailable
+from repro.faults import RetryPolicy
 from repro.fs3.cluster_manager import ManagerGroup
 from repro.fs3.meta import Inode, InodeType, MetaService
 from repro.fs3.rts import RequestToSend
@@ -40,17 +41,69 @@ class FS3Client:
         storage: StorageCluster,
         managers: Optional[ManagerGroup] = None,
         rts: Optional[RequestToSend] = None,
+        retry: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[["FS3Client", int, int], None]] = None,
     ) -> None:
         self.meta = meta
         self.storage = storage
         self.managers = managers
         self.rts = rts if rts is not None else RequestToSend()
+        #: Backoff schedule for chunk ops against a dead chain; ``None``
+        #: keeps the legacy fail-fast behaviour.
+        self.retry = retry
+        #: Test/experiment hook ``(client, chain_idx, attempt)`` called
+        #: after each backoff — where a chaos run repairs the node that
+        #: the client is waiting out.
+        self.on_retry = on_retry
         self._tele_clock = 0.0
 
     def _chain_hops(self, chain_idx: int) -> int:
         """Replication-chain length a chunk request traverses."""
         chains = self.storage.chains
         return len(chains[chain_idx % len(chains)].replicas)
+
+    def _chunk_op(self, op: str, fn, chain_idx: int, *args):
+        """One chunk operation through the retry/backoff recovery path.
+
+        On :class:`~repro.errors.FS3Unavailable` the client backs off
+        through :attr:`retry`'s schedule (advancing its logical clock),
+        asks the storage cluster to re-chain around dead replicas, and
+        tries again; the deadline bounds how long a dead chain can stall
+        the operation. Success after >=1 retries records the outage as
+        ``recovery_time_s{layer="fs3"}``.
+        """
+        if self.retry is None:
+            return fn(chain_idx, *args)
+        sess = telemetry.session()
+        t0 = self._tele_clock
+        attempt = 0
+        for delay in self.retry.delays():
+            try:
+                result = fn(chain_idx, *args)
+            except FS3Unavailable:
+                attempt += 1
+                self._tele_clock += delay
+                if sess is not None:
+                    sess.registry.counter("fs3_retries_total", op=op).inc()
+                if self.on_retry is not None:
+                    self.on_retry(self, chain_idx, attempt)
+                try:
+                    self.storage.rechain(chain_idx)
+                except FS3Unavailable:
+                    pass  # still dead; next backoff round
+                continue
+            if attempt and sess is not None:
+                sess.registry.histogram(
+                    "recovery_time_s", layer="fs3"
+                ).observe(self._tele_clock - t0)
+                if sess.tracer is not None:
+                    sess.tracer.instant(
+                        "fs3:recovered", self._tele_clock,
+                        track="faults/storage", cat="faults",
+                        args={"op": op, "attempts": attempt},
+                    )
+            return result
+        return fn(chain_idx, *args)  # past the deadline: let it raise
 
     # -- namespace passthrough ----------------------------------------------------
 
@@ -113,7 +166,10 @@ class FS3Client:
         for idx in range(n_chunks):
             chunk = data[idx * cb : (idx + 1) * cb]
             chain_idx = self.meta.chain_for_chunk(inode, idx)
-            self.storage.write_chunk(chain_idx, inode.chunk_id(idx), chunk)
+            self._chunk_op(
+                "write", self.storage.write_chunk, chain_idx,
+                inode.chunk_id(idx), chunk,
+            )
             if sess is not None:
                 h = self._chain_hops(chain_idx)
                 hops += h
@@ -157,7 +213,12 @@ class FS3Client:
                     # Pop the oldest in-flight sender to free a slot.
                     oldest = self.rts.granted_senders()[0]
                     released = self.rts.release(oldest)
-            parts.append(self.storage.read_chunk(chain_idx, inode.chunk_id(idx)))
+            parts.append(
+                self._chunk_op(
+                    "read", self.storage.read_chunk, chain_idx,
+                    inode.chunk_id(idx),
+                )
+            )
             if sender in self.rts.granted_senders():
                 self.rts.release(sender)
         data = b"".join(parts)

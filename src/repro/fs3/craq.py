@@ -105,6 +105,15 @@ class CraqReplica:
         """Whether any uncommitted version exists for a chunk."""
         return any(not v.clean for v in self._chunks.get(chunk_id, []))
 
+    def discard(self, chunk_id: str, version: int) -> None:
+        """Drop a *dirty* version (aborted write); committed data stays."""
+        versions = self._chunks.get(chunk_id)
+        if not versions:
+            return
+        self._chunks[chunk_id] = [
+            v for v in versions if v.clean or v.version != version
+        ]
+
 
 class WriteOp:
     """A steppable CRAQ write: one protocol message per :meth:`step`."""
@@ -154,6 +163,20 @@ class WriteOp:
         while not self.done:
             self.step()
         return self.version
+
+
+@dataclass(frozen=True)
+class RechainReport:
+    """Outcome of one :meth:`CraqChain.rechain` recovery pass."""
+
+    dead: Tuple[int, ...]  # replica indices currently offline
+    promoted: int  # dirty chunks committed by the new tail
+    aborted: int  # in-flight writes rolled back (client retries)
+
+    @property
+    def changed(self) -> bool:
+        """Whether the pass altered any replica state."""
+        return bool(self.promoted or self.aborted)
 
 
 class CraqChain:
@@ -293,3 +316,70 @@ class CraqChain:
         """The chunk's committed version per the tail (None if absent)."""
         v = self.tail().latest_clean(chunk_id)
         return v.version if v else None
+
+    # -- failure recovery ------------------------------------------------------
+
+    def rechain(self) -> RechainReport:
+        """Re-form the chain around its dead replicas (tail-failure rule).
+
+        CRAQ membership recovery: when a suffix of the chain (including
+        the old tail) dies mid-write, the surviving tail may hold dirty
+        versions whose acknowledgement was lost. Chain order guarantees
+        every alive predecessor already stored those versions, so the new
+        tail *promotes* them to committed — the committed version number
+        can only move forward, which the ``REPRO_SANITIZE=1`` chain audit
+        checks. Writes whose forwarding had not yet reached the new tail
+        are aborted (dirty versions discarded); the client sees a timeout
+        and retries through its backoff schedule.
+
+        Raises :class:`~repro.errors.FS3Conflict` if writes are in flight
+        on a fully-alive route (live traffic must be quiesced, same rule
+        as :meth:`recover_replica`), and
+        :class:`~repro.errors.FS3Unavailable` if no replica survives.
+        """
+        alive = self.alive_indices()
+        if not alive:
+            raise FS3Unavailable("no replica alive in chain")
+        dead = tuple(
+            i for i in range(len(self.replicas)) if i not in alive
+        )
+        self._inflight = [op for op in self._inflight if not op.done]
+        blocked = [
+            op for op in self._inflight
+            if all(self.replicas[i].alive for i in op._route)
+        ]
+        if blocked:
+            from repro.errors import FS3Conflict
+
+            raise FS3Conflict(
+                f"{len(blocked)} write(s) in flight on alive routes; "
+                "quiesce the chain before re-chaining"
+            )
+        aborted = 0
+        for op in self._inflight:
+            alive_route = [i for i in op._route if self.replicas[i].alive]
+            fully_stored = alive_route and all(
+                self.replicas[i].version_of(op.chunk_id, op.version)
+                is not None
+                for i in alive_route
+            )
+            if not fully_stored:
+                for i in alive_route:
+                    self.replicas[i].discard(op.chunk_id, op.version)
+                aborted += 1
+            op.done = True  # promoted by the tail sweep, or aborted
+        self._inflight = []
+        # New-tail sweep: commit the tail's dirty frontier on every
+        # surviving replica that stored it, acks tail-first.
+        promoted = 0
+        tail = self.replicas[alive[-1]]
+        for chunk_id in tail.chunk_ids():
+            latest = tail.latest(chunk_id)
+            if latest is None or latest.clean:
+                continue
+            for i in reversed(alive):
+                if (self.replicas[i].version_of(chunk_id, latest.version)
+                        is not None):
+                    self.replicas[i].commit(chunk_id, latest.version)
+            promoted += 1
+        return RechainReport(dead=dead, promoted=promoted, aborted=aborted)

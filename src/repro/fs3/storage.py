@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import FS3Error, FS3Unavailable
+from repro.faults import FaultEvent
 from repro.fs3.chain import ChainTable, StorageTarget, build_chain_table
-from repro.fs3.craq import CraqChain
+from repro.fs3.craq import CraqChain, RechainReport
 from repro.hardware.node import NodeSpec, storage_node
 from repro.units import Bytes
 
@@ -128,6 +131,48 @@ class StorageCluster:
                     chain.fail_replica(i)
                     dropped += 1
         return dropped
+
+    def apply_event(self, event: FaultEvent) -> int:
+        """Apply a plan's ``storage_node_loss`` event to the fleet.
+
+        The event's node label is hashed deterministically onto this
+        cluster's (smaller) node set, so the same plan always kills the
+        same storage node. Returns replicas dropped; emits
+        ``faults_injected{kind}`` and a telemetry instant.
+        """
+        if event.kind != "storage_node_loss":
+            raise FS3Error(
+                f"event kind {event.kind!r} has no storage effect"
+            )
+        names = sorted(self.nodes)
+        name = names[zlib.crc32(event.node.encode("utf-8")) % len(names)]
+        dropped = self.fail_node(name)
+        sess = telemetry.session()
+        if sess is not None:
+            sess.registry.counter("faults_injected", kind=event.kind).inc()
+            if sess.tracer is not None:
+                sess.tracer.instant(
+                    f"fault:{event.kind}", event.time, track="faults/storage",
+                    cat="faults",
+                    args={"node": name, "replicas_dropped": dropped},
+                )
+        return dropped
+
+    def rechain(self, chain_index: int) -> RechainReport:
+        """Run dead-replica detection + CRAQ re-chain on one chain."""
+        report = self.chains[chain_index % len(self.chains)].rechain()
+        sess = telemetry.session()
+        if sess is not None and report.changed:
+            sess.registry.counter("fs3_rechains_total").inc()
+        return report
+
+    def rechain_all(self) -> List[RechainReport]:
+        """Re-chain every chain that currently has a dead replica."""
+        out: List[RechainReport] = []
+        for i, chain in enumerate(self.chains):
+            if len(chain.alive_indices()) < len(chain.replicas):
+                out.append(self.rechain(i))
+        return out
 
     def recover_node(self, name: str) -> int:
         """Bring a node back; resyncs its replicas from chain peers."""

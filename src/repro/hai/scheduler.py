@@ -14,11 +14,14 @@ An event-driven scheduler over :class:`~repro.hai.cluster.HAICluster`:
 
 from __future__ import annotations
 
+import heapq
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.errors import SchedulerError
+from repro.faults import FaultEvent, FaultPlan
 from repro.hai.cluster import HAICluster, NodeInfo
 from repro.hai.task import Task, TaskState
 
@@ -180,6 +183,89 @@ class TimeSharingScheduler:
             self._advance_to(now)
         self.cluster.mark_healthy(name)
         self._schedule()
+
+    #: Plan kinds that take a compute node out of the pool.
+    FAULT_KINDS = ("gpu_xid", "ecc_error", "nic_down", "host_hang")
+
+    def inject_faults(
+        self,
+        plan: FaultPlan,
+        repair_after: float = 600.0,
+        node_for=None,
+    ) -> Dict[str, float]:
+        """Replay a fault plan through the checkpoint-interrupt protocol.
+
+        Every node-affecting event (:attr:`FAULT_KINDS`) is mapped onto a
+        cluster node — deterministically by hashing the plan's node label,
+        or via the ``node_for(event)`` callable — which crashes its task
+        (losing at most one checkpoint interval) and re-queues it; the
+        node rejoins after ``repair_after`` seconds (``host_hang`` clears
+        after its own duration, matching hostping auto-recovery).
+
+        Returns crash→requeue-start recovery times observed within the
+        replay horizon, keyed ``"<event_id>:<task_id>"``; each is also
+        recorded as ``recovery_time_s{layer="scheduler"}``.
+        """
+        names = sorted(n.name for n in self.cluster.nodes())
+        if not names:
+            raise SchedulerError("cannot inject faults into an empty cluster")
+
+        def default_map(event: FaultEvent) -> str:
+            return names[zlib.crc32(event.node.encode("utf-8")) % len(names)]
+
+        mapper = node_for if node_for is not None else default_map
+        sess = telemetry.session()
+
+        # (time, phase, seq, node, event): phase 0 = fail, 1 = repair;
+        # seq makes the heap order total so events never get compared.
+        timeline: List[Tuple[float, int, int, str, Optional[FaultEvent]]] = []
+        seq = 0
+        for event in plan.of_kind(*self.FAULT_KINDS):
+            heapq.heappush(timeline, (event.time, 0, seq, mapper(event), event))
+            seq += 1
+        crashes: List[Tuple[float, str, FaultEvent]] = []
+        while timeline:
+            t, phase, _seq, name, event = heapq.heappop(timeline)
+            if t > self.now:
+                self.run(until=t)  # drain completions due before the fault
+            if phase == 0:
+                assert event is not None
+                victim = self.fail_node(name, now=t)
+                back = event.duration if event.kind == "host_hang" else repair_after
+                heapq.heappush(timeline, (t + back, 1, seq, name, None))
+                seq += 1
+                if victim is not None:
+                    crashes.append((t, victim, event))
+                if sess is not None:
+                    sess.registry.counter(
+                        "faults_injected", kind=event.kind
+                    ).inc()
+                    if sess.tracer is not None:
+                        sess.tracer.instant(
+                            f"fault:{event.kind}", t, track="faults/scheduler",
+                            cat="faults",
+                            args={"node": name, "victim": victim or ""},
+                        )
+            else:
+                self.repair_node(name, now=t)
+
+        # Match each crash to the next requeue-start of the same task.
+        recovery: Dict[str, float] = {}
+        cursor: Dict[str, int] = {}
+        for t, task_id, event in crashes:
+            for idx in range(cursor.get(task_id, 0), len(self.events)):
+                ev = self.events[idx]
+                if (ev.task_id == task_id and ev.time >= t
+                        and ev.kind == "requeue-start"):
+                    dt = ev.time - t
+                    recovery[f"{event.event_id}:{task_id}"] = dt
+                    cursor[task_id] = idx + 1
+                    if sess is not None:
+                        sess.registry.histogram(
+                            "recovery_time_s", layer="scheduler"
+                        ).observe(dt)
+                    break
+        return recovery
 
     # -- core policy --------------------------------------------------------------
 

@@ -31,9 +31,24 @@ from repro.network.routing import (
 )
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
 from repro.network.flows import Flow, FlowResult, FlowSim
-from repro.network.dbtree import DoubleBinaryTree, TreeSpec, build_tree, double_binary_tree
+from repro.network.dbtree import (
+    DoubleBinaryTree,
+    RebuiltTree,
+    TreeSpec,
+    build_tree,
+    double_binary_tree,
+    rebuild_double_binary_tree,
+)
 from repro.network.dragonfly import DragonflyCounts, compare_with_fat_tree, dragonfly_counts
-from repro.network.linkfail import DegradedFabric, ImpactReport, assess_link_failures
+from repro.network.linkfail import (
+    DegradedFabric,
+    FaultImpact,
+    ImpactReport,
+    PlanAssessment,
+    assess_fault_plan,
+    assess_link_failures,
+    links_for_event,
+)
 
 __all__ = [
     "AdaptiveRouter",
@@ -41,8 +56,14 @@ __all__ = [
     "DoubleBinaryTree",
     "DragonflyCounts",
     "EcmpRouter",
+    "FaultImpact",
     "ImpactReport",
+    "PlanAssessment",
+    "RebuiltTree",
+    "assess_fault_plan",
     "assess_link_failures",
+    "links_for_event",
+    "rebuild_double_binary_tree",
     "Fabric",
     "FatTreeCounts",
     "Flow",

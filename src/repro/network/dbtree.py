@@ -137,3 +137,48 @@ def double_binary_tree(n: int) -> DoubleBinaryTree:
     t1 = build_tree(n)
     t2 = build_tree(n, shift=1) if n > 1 else t1
     return DoubleBinaryTree(t1=t1, t2=t2)
+
+
+@dataclass(frozen=True)
+class RebuiltTree:
+    """A double binary tree rebuilt over the ranks surviving a failure.
+
+    HFReduce's degradation path (Section VI-C / VII-C): when a node
+    drops mid-allreduce, the survivors re-form the double tree over the
+    remaining ranks and continue at reduced width. ``survivors[v]`` maps
+    the rebuilt tree's virtual rank ``v`` back to the original rank.
+    """
+
+    tree: DoubleBinaryTree
+    survivors: Tuple[int, ...]
+
+    @property
+    def n_alive(self) -> int:
+        """Ranks still participating."""
+        return len(self.survivors)
+
+    def virtual_rank(self, original: int) -> int:
+        """The rebuilt-tree rank of an original rank (raises if dead)."""
+        try:
+            return self.survivors.index(original)
+        except ValueError:
+            raise CollectiveError(f"rank {original} did not survive")
+
+
+def rebuild_double_binary_tree(n: int, dead: Tuple[int, ...]) -> RebuiltTree:
+    """Rebuild the double tree after losing ``dead`` ranks out of ``n``.
+
+    The survivors keep their relative order (virtual rank = index among
+    survivors), so the rebuilt construction — and therefore the interior
+    -disjointness property — is deterministic.
+    """
+    dead_set = set(dead)
+    for r in dead_set:
+        if not 0 <= r < n:
+            raise CollectiveError(f"dead rank {r} out of range 0..{n - 1}")
+    survivors = tuple(r for r in range(n) if r not in dead_set)
+    if not survivors:
+        raise CollectiveError("no rank survived; cannot rebuild tree")
+    return RebuiltTree(
+        tree=double_binary_tree(len(survivors)), survivors=survivors
+    )

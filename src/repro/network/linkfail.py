@@ -12,16 +12,25 @@ static routes around them, and classifies the impact on a set of flows:
 * **disconnected** — no path remains (a host's single access link died);
   on Fire-Flyer this kills the task on that node, which is why single-NIC
   nodes make IB flash cuts so visible in the failure telemetry.
+
+The unified entry point is :func:`assess_fault_plan`: it consumes a
+:class:`~repro.faults.FaultPlan` (``link_flap`` and ``nic_down`` events),
+replays the failure/recovery timeline, and reroutes or drains every flow
+per event, emitting ``faults_injected{kind}`` counters, per-event
+telemetry instants, and ``recovery_time_s{layer="network"}``
+observations. :func:`assess_link_failures` is the legacy one-shot
+signature, kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import networkx as nx
-
+from repro import telemetry
 from repro.errors import TopologyError
+from repro.faults import FaultEvent, FaultPlan
 from repro.network.flows import Flow, FlowSim
 from repro.network.routing import StaticRouter
 from repro.network.topology import Fabric
@@ -60,12 +69,17 @@ class DegradedFabric(Fabric):
         return view
 
 
-def assess_link_failures(
+def _classify(
     fabric: Fabric,
     flows: Sequence[Flow],
     dead_links: Sequence[Tuple[str, str]],
 ) -> ImpactReport:
-    """Classify every flow's fate under the given link failures."""
+    """Classify every flow's fate under the given link failures.
+
+    This is the reroute/drain core: surviving flows are re-solved on the
+    degraded fabric (rerouted ones on their new paths), disconnected
+    flows are drained from the population.
+    """
     router_before = StaticRouter(fabric)
     sim_before = FlowSim(fabric, router=router_before)
     rates_before = sim_before.instantaneous_rates(list(flows))
@@ -103,3 +117,145 @@ def assess_link_failures(
         min_rate_before=min(rates_before.values()) if rates_before else 0.0,
         min_rate_after=min_after,
     )
+
+
+def assess_link_failures(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    dead_links: Sequence[Tuple[str, str]],
+) -> ImpactReport:
+    """Deprecated one-shot entry point; use :func:`assess_fault_plan`.
+
+    Equivalent to a plan with simultaneous ``LinkFlap`` events at t=0.
+    """
+    warnings.warn(
+        "assess_link_failures is deprecated; build a repro.faults.FaultPlan "
+        "of LinkFlap events and call assess_fault_plan",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _classify(fabric, flows, dead_links)
+
+
+# -- fault-plan API ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """One plan event's impact on the flow population."""
+
+    event: FaultEvent
+    dead_links: Tuple[Tuple[str, str], ...]  # links down at event time
+    report: ImpactReport
+    recovered_at: Optional[float]  # link-restoration time (flaps only)
+
+
+@dataclass(frozen=True)
+class PlanAssessment:
+    """Aggregate outcome of replaying a plan's network events."""
+
+    impacts: Tuple[FaultImpact, ...]
+
+    @property
+    def flows_rerouted(self) -> int:
+        """Distinct flows that changed path at least once."""
+        ids: Set[int] = set()
+        for i in self.impacts:
+            ids.update(i.report.rerouted)
+        return len(ids)
+
+    @property
+    def flows_disconnected(self) -> int:
+        """Distinct flows drained (no path) at least once."""
+        ids: Set[int] = set()
+        for i in self.impacts:
+            ids.update(i.report.disconnected)
+        return len(ids)
+
+    @property
+    def min_rate_floor(self) -> float:
+        """Worst surviving-flow rate across all events (0 if none alive)."""
+        if not self.impacts:
+            return 0.0
+        return min(i.report.min_rate_after for i in self.impacts)
+
+
+def links_for_event(fabric: Fabric, event: FaultEvent) -> List[Tuple[str, str]]:
+    """The fabric links an event takes down.
+
+    ``link_flap`` names its link directly; ``nic_down`` kills every
+    access link of the named host (all of them on single-NIC nodes —
+    the paper's reason these dominate task kills).
+    """
+    if event.kind == "link_flap":
+        a, b = event.link
+        if not fabric.g.has_edge(a, b):
+            raise TopologyError(f"no link {a!r}-{b!r} to fail")
+        return [(a, b)]
+    if event.kind == "nic_down":
+        if event.node not in fabric.g:
+            raise TopologyError(f"no host {event.node!r} in fabric")
+        return sorted((event.node, nbr) for nbr in fabric.g.neighbors(event.node))
+    raise TopologyError(f"event kind {event.kind!r} has no network effect")
+
+
+def assess_fault_plan(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    plan: FaultPlan,
+) -> PlanAssessment:
+    """Replay a plan's network events against a flow population.
+
+    At each ``link_flap``/``nic_down`` event the set of links that are
+    *currently* down is recomputed (flaps expire after their duration,
+    NIC losses persist), flows are rerouted or drained on the degraded
+    fabric, and telemetry records the injection and the link-restoration
+    recovery time.
+    """
+    events = list(plan.of_kind("link_flap", "nic_down"))
+    sess = telemetry.session()
+    impacts: List[FaultImpact] = []
+    #: (expiry, links) for active flaps; None expiry = permanent.
+    active: List[Tuple[Optional[float], Tuple[Tuple[str, str], ...]]] = []
+    for event in events:
+        taken_down = links_for_event(fabric, event)
+        if event.kind == "link_flap":
+            expiry: Optional[float] = event.time + event.duration
+        else:
+            expiry = None
+        active = [
+            (exp, links) for exp, links in active
+            if exp is None or exp > event.time
+        ]
+        active.append((expiry, tuple(taken_down)))
+        dead_now: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+        for _exp, links in active:
+            for link in links:
+                if link not in seen:
+                    seen.add(link)
+                    dead_now.append(link)
+        report = _classify(fabric, flows, dead_now)
+        impacts.append(
+            FaultImpact(
+                event=event,
+                dead_links=tuple(dead_now),
+                report=report,
+                recovered_at=expiry,
+            )
+        )
+        if sess is not None:
+            sess.registry.counter("faults_injected", kind=event.kind).inc()
+            if event.kind == "link_flap":
+                sess.registry.histogram(
+                    "recovery_time_s", layer="network"
+                ).observe(event.duration)
+            if sess.tracer is not None:
+                sess.tracer.instant(
+                    f"fault:{event.kind}", event.time, track="faults/network",
+                    cat="faults",
+                    args={"links": len(dead_now),
+                          "rerouted": len(report.rerouted),
+                          "drained": len(report.disconnected)},
+                )
+    return PlanAssessment(impacts=tuple(impacts))

@@ -9,12 +9,14 @@ against realistic failure streams.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.faults import FaultPlan, GpuXid
 from repro.reliability.xid import TABLE_VI_COUNTS, classify_xid
 
 #: Table VII — monthly failure counts, October 2023 .. March 2024.
@@ -106,8 +108,7 @@ class FailureGenerator:
         weights /= weights.sum()
         return [int(c) for c in self.rng.choice(codes, size=n, p=weights)]
 
-    def xid_events(self, duration_seconds: float) -> List[FailureEvent]:
-        """Poisson Xid arrivals over ``duration_seconds``."""
+    def _xid_events(self, duration_seconds: float) -> List[FailureEvent]:
         if duration_seconds <= 0:
             raise ReproError("duration must be positive")
         rate = self.xid_rate_per_second()
@@ -123,6 +124,33 @@ class FailureGenerator:
             )
             for t, c in zip(times, codes)
         ]
+
+    def failure_stream(self, duration_seconds: float) -> List[FailureEvent]:
+        """Poisson Xid arrivals over ``duration_seconds``."""
+        return self._xid_events(duration_seconds)
+
+    def xid_events(self, duration_seconds: float) -> List[FailureEvent]:
+        """Deprecated alias of :meth:`failure_stream`."""
+        warnings.warn(
+            "xid_events is deprecated; use failure_stream, or fault_plan "
+            "for a typed repro.faults schedule",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._xid_events(duration_seconds)
+
+    def fault_plan(self, duration_seconds: float) -> FaultPlan:
+        """The calibrated Xid stream as a typed, injectable fault plan.
+
+        Same generator state and statistics as :meth:`failure_stream`,
+        rendered as :class:`~repro.faults.GpuXid` events that the
+        cross-layer injectors (scheduler, HFReduce DES, checkpoint
+        engine) consume directly.
+        """
+        return FaultPlan([
+            GpuXid(time=ev.time, node=ev.node, xid=ev.xid)
+            for ev in self._xid_events(duration_seconds)
+        ])
 
     # -- monthly classes --------------------------------------------------------------
 

@@ -140,6 +140,15 @@ class TestCli:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "deterministic" in proc.stdout
 
+    def test_chaos_replays_deterministically(self):
+        # The fault-injection certificate: the chaos experiment replays
+        # the weekly failure profile through every recovery path, and
+        # both its output and its telemetry must be byte-identical
+        # across runs.
+        proc = self.run_cli("replay", "chaos")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "deterministic" in proc.stdout
+
     def test_unknown_experiment_errors(self):
         proc = self.run_cli("replay", "no-such-experiment")
         assert proc.returncode != 0

@@ -41,4 +41,28 @@ def test_all_experiments_render(capsys):
 
 
 def test_registry_is_complete():
-    assert len(EXPERIMENTS) == 15
+    assert len(EXPERIMENTS) == 16
+    # Every entry is a registry spec with the metadata --list renders.
+    for name, spec in EXPERIMENTS.items():
+        assert spec.name == name
+        assert spec.description
+        assert callable(spec.render)
+
+
+def test_list_shows_descriptions(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos" in out and "Weekly failure mix" in out
+    assert "--seed" in out  # seeded experiments advertise the flag
+
+
+def test_seed_flag_on_seeded_experiment(capsys):
+    assert main(["chaos", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "seed 3" in out
+
+
+def test_seed_flag_warns_on_unseeded(capsys):
+    assert main(["table1", "--seed", "3"]) == 0
+    err = capsys.readouterr().err
+    assert "no effect" in err

@@ -1,0 +1,213 @@
+"""Property tests for the deterministic fault schedule (repro.faults).
+
+The ISSUE's replay contract, pinned down with hypothesis: any seeded
+plan serializes byte-identically across round-trips, duplicate
+timestamps keep a stable submission order, and an empty plan is a valid
+no-op schedule. Plus the retry-policy arithmetic and the paper-calibrated
+weekly profile.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    EccError,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    GpuXid,
+    HostHang,
+    LinkFlap,
+    NicDown,
+    RetryPolicy,
+    StorageNodeLoss,
+    WEEK_SECONDS,
+    WEEKLY_RATES,
+    generate_plan,
+    weekly_profile,
+)
+from repro.simcore import Environment
+
+NODES = ["cn0", "cn1", "cn2", "cn3"]
+LINKS = [("s0", "s1"), ("s1", "s2")]
+
+times = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+node = st.sampled_from(NODES)
+events = st.one_of(
+    st.builds(GpuXid, time=times, node=node, xid=st.sampled_from([63, 74])),
+    st.builds(EccError, time=times, node=node),
+    st.builds(LinkFlap, time=times, link=st.sampled_from(LINKS),
+              duration=st.floats(0.0, 120.0, allow_nan=False)),
+    st.builds(NicDown, time=times, node=node),
+    st.builds(StorageNodeLoss, time=times, node=node),
+    st.builds(HostHang, time=times, node=node,
+              duration=st.floats(0.0, 600.0, allow_nan=False)),
+)
+
+
+class TestPlanProperties:
+    @given(st.lists(events, max_size=40))
+    @settings(max_examples=60)
+    def test_json_round_trip_is_byte_identical(self, evs):
+        plan = FaultPlan(evs, seed=11)
+        text = plan.to_json()
+        back = FaultPlan.from_json(text)
+        assert back == plan
+        assert back.to_json() == text
+        assert back.seed == 11
+
+    @given(st.lists(events, max_size=40))
+    @settings(max_examples=60)
+    def test_schedule_is_totally_ordered(self, evs):
+        plan = FaultPlan(evs)
+        keys = [e.sort_key for e in plan]
+        assert keys == sorted(keys)
+        assert len({e.event_id for e in plan}) == len(plan)
+
+    @given(st.lists(events, max_size=30), st.lists(events, max_size=30))
+    @settings(max_examples=40)
+    def test_merge_keeps_every_event(self, a, b):
+        merged = FaultPlan(a).merge(FaultPlan(b))
+        assert len(merged) == len(a) + len(b)
+        want = {}
+        for e in a + b:
+            want[e.kind] = want.get(e.kind, 0) + 1
+        assert merged.counts() == dict(sorted(want.items()))
+
+    def test_duplicate_timestamps_keep_submission_order(self):
+        burst = [
+            NicDown(time=5.0, node="cn2"),
+            GpuXid(time=5.0, node="cn0"),
+            EccError(time=5.0, node="cn1"),
+        ]
+        plan = FaultPlan(burst)
+        assert [e.kind for e in plan] == ["nic_down", "gpu_xid", "ecc_error"]
+        # ... and replay identically through serialization.
+        assert [e.kind for e in FaultPlan.from_json(plan.to_json())] == \
+            ["nic_down", "gpu_xid", "ecc_error"]
+
+    def test_empty_plan_is_a_valid_noop_schedule(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.horizon() == 0.0
+        assert plan.counts() == {}
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        env = Environment()
+        inj = FaultInjector(env, plan)
+        inj.start()
+        env.run()
+        assert inj.records == []
+
+    def test_window_and_kind_filters(self):
+        plan = FaultPlan([
+            GpuXid(time=1.0, node="cn0"),
+            NicDown(time=2.0, node="cn1"),
+            GpuXid(time=3.0, node="cn2"),
+        ])
+        assert [e.time for e in plan.between(1.5, 3.0)] == [2.0]
+        assert len(plan.of_kind("gpu_xid")) == 2
+        with pytest.raises(FaultPlanError):
+            plan.of_kind("meteor_strike")
+        with pytest.raises(FaultPlanError):
+            plan.between(3.0, 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            GpuXid(time=-1.0, node="cn0")
+
+
+class TestGenerators:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_generate_plan_replays_byte_identically(self, seed):
+        kwargs = dict(
+            horizon=3600.0,
+            rates={"gpu_xid": 1 / 600.0, "link_flap": 1 / 900.0},
+            nodes=NODES, links=LINKS,
+        )
+        a = generate_plan(seed, **kwargs)
+        b = generate_plan(seed, **kwargs)
+        assert a.to_json() == b.to_json()
+
+    def test_generate_plan_validates_inputs(self):
+        with pytest.raises(FaultPlanError):
+            generate_plan(1, horizon=0.0, rates={}, nodes=NODES)
+        with pytest.raises(FaultPlanError):
+            generate_plan(1, horizon=10.0, rates={"gpu_xid": 1.0}, nodes=[])
+        with pytest.raises(FaultPlanError):
+            generate_plan(1, horizon=10.0, rates={"link_flap": 1.0},
+                          nodes=NODES, links=[])
+        with pytest.raises(FaultPlanError):
+            generate_plan(1, horizon=10.0, rates={"gpu_xid": -1.0},
+                          nodes=NODES)
+
+    def test_weekly_profile_is_deterministic_and_calibrated(self):
+        a = weekly_profile(7, nodes=NODES, links=LINKS)
+        b = weekly_profile(7, nodes=NODES, links=LINKS)
+        assert a.to_json() == b.to_json()
+        assert a.horizon() <= WEEK_SECONDS
+        # Every kind with a configured weekly rate can appear.
+        assert set(a.counts()) <= set(WEEKLY_RATES)
+
+    def test_weekly_profile_without_links_drops_flaps(self):
+        plan = weekly_profile(7, nodes=NODES, links=[])
+        assert "link_flap" not in plan.counts()
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        assert list(RetryPolicy().delays()) == \
+            [0.1, 0.2, 0.4, 0.8, 1.6, 3.2]
+
+    def test_max_delay_clamps(self):
+        delays = list(RetryPolicy(base_delay=1.0, factor=2.0, max_delay=3.0,
+                                  max_attempts=5, deadline=100.0).delays())
+        assert delays == [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_deadline_truncates(self):
+        delays = list(RetryPolicy(base_delay=1.0, factor=2.0, max_delay=64.0,
+                                  max_attempts=20, deadline=7.5).delays())
+        assert sum(delays) <= 7.5
+        assert delays == [1.0, 2.0, 4.0]
+
+
+class TestInjector:
+    def test_delivery_order_and_unhandled_tracking(self):
+        plan = FaultPlan([
+            GpuXid(time=2.0, node="cn0"),
+            NicDown(time=1.0, node="cn1"),
+            EccError(time=3.0, node="cn2"),
+        ])
+        env = Environment()
+        inj = FaultInjector(env, plan)
+        seen = []
+        inj.on("gpu_xid", lambda e: seen.append((env.now, e.kind)))
+        inj.on("nic_down", lambda e: seen.append((env.now, e.kind)))
+        inj.start()
+        env.run()
+        assert seen == [(1.0, "nic_down"), (2.0, "gpu_xid")]
+        assert [e.kind for e in inj.unhandled()] == ["ecc_error"]
+        assert inj.counts() == {"ecc_error": 1, "gpu_xid": 1, "nic_down": 1}
+
+    def test_recovery_attribution(self):
+        plan = FaultPlan([GpuXid(time=1.0, node="cn0")])
+        env = Environment()
+        inj = FaultInjector(env, plan)
+        inj.on("gpu_xid", lambda e: inj.report_recovery(42.0))
+        inj.start()
+        env.run()
+        assert inj.records[0].recovery_time == 42.0
+        assert math.isclose(inj.records[0].injected_at, 1.0)
+
+    def test_every_kind_has_a_registered_class(self):
+        assert set(FAULT_KINDS) == {
+            "gpu_xid", "ecc_error", "link_flap", "nic_down",
+            "storage_node_loss", "host_hang",
+        }

@@ -1,0 +1,387 @@
+"""Per-layer recovery under injected faults, plus the deprecation shims.
+
+One test class per recovery path the chaos experiment drives:
+
+* network — reroute/drain partitions the flow population and conserves it,
+* collectives — the rebuilt double binary tree keeps its interior
+  -disjointness and still reduces correctly (checked on repro.numerics),
+* scheduler — crash -> requeue through the checkpoint-interrupt protocol,
+* storage — CRAQ re-chain promotes, aborts, and keeps committed versions
+  monotone under the ``REPRO_SANITIZE=1`` chain audit,
+* checkpoint — training rolls back to the last durable save and pays the
+  restart cost, and the fault-free path matches the legacy API exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import disable_sanitizer, enable_sanitizer
+from repro.analysis import sanitizer as _sanitizer
+from repro.errors import FS3Conflict
+from repro.faults import (
+    FaultPlan,
+    GpuXid,
+    HostHang,
+    LinkFlap,
+    NicDown,
+    RetryPolicy,
+    StorageNodeLoss,
+)
+from repro.network import (
+    Flow,
+    rebuild_double_binary_tree,
+    two_zone_network,
+)
+from repro.network.linkfail import (
+    assess_fault_plan,
+    assess_link_failures,
+    links_for_event,
+)
+
+
+def make_fabric():
+    zone0 = [f"cn{i}" for i in range(4)]
+    zone1 = [f"cn{i}" for i in range(4, 8)]
+    return two_zone_network(4, zone0_hosts=zone0, zone1_hosts=zone1)
+
+
+def make_flows(n=4):
+    return [Flow(f"cn{i}", f"cn{(i + 4) % 8}", size=1.0, flow_id=i)
+            for i in range(n)]
+
+
+def switch_links(fabric):
+    return sorted(
+        (a, b) if a < b else (b, a)
+        for a, b in fabric.g.edges
+        if fabric.g.degree(a) > 1 and fabric.g.degree(b) > 1
+    )
+
+
+class TestNetworkRecovery:
+    def test_flap_partitions_and_conserves_the_population(self):
+        fabric = make_fabric()
+        flows = make_flows()
+        link = switch_links(fabric)[0]
+        pa = assess_fault_plan(
+            fabric, flows,
+            FaultPlan([LinkFlap(time=10.0, link=link, duration=30.0)]),
+        )
+        assert len(pa.impacts) == 1
+        rep = pa.impacts[0].report
+        # Conservation: every flow is exactly one of rerouted /
+        # disconnected / unaffected.
+        buckets = (set(rep.rerouted) | set(rep.disconnected)
+                   | set(rep.unaffected))
+        assert buckets == {f.flow_id for f in flows}
+        assert (len(rep.rerouted) + len(rep.disconnected)
+                + len(rep.unaffected)) == len(flows)
+        # A spine-layer flap is survivable: nothing drains, rates stay up.
+        assert rep.disconnected == ()
+        assert pa.min_rate_floor > 0.0
+        assert pa.impacts[0].recovered_at == 40.0
+
+    def test_nic_down_drains_only_that_hosts_flows(self):
+        fabric = make_fabric()
+        flows = make_flows()
+        pa = assess_fault_plan(
+            fabric, flows, FaultPlan([NicDown(time=5.0, node="cn0")])
+        )
+        rep = pa.impacts[0].report
+        # cn0 appears in flow 0 (src) and flow 4 would be (4+4)%8 -> cn0,
+        # but we only created flows 0..3; cn0 is dst of none of them here.
+        assert 0 in rep.disconnected
+        assert pa.impacts[0].recovered_at is None  # NIC loss persists
+
+    def test_flap_expires_nic_loss_persists(self):
+        fabric = make_fabric()
+        flows = make_flows()
+        link = switch_links(fabric)[0]
+        plan = FaultPlan([
+            LinkFlap(time=0.0, link=link, duration=10.0),
+            NicDown(time=5.0, node="cn0"),
+            # After the flap expired: only cn0's access links stay down.
+            LinkFlap(time=100.0, link=link, duration=10.0),
+        ])
+        pa = assess_fault_plan(fabric, flows, plan)
+        assert [len(i.dead_links) for i in pa.impacts] == [
+            1,
+            1 + len(links_for_event(fabric, plan[1])),
+            1 + len(links_for_event(fabric, plan[1])),
+        ]
+
+    def test_legacy_signature_warns_and_matches(self):
+        fabric = make_fabric()
+        flows = make_flows()
+        link = switch_links(fabric)[0]
+        with pytest.warns(DeprecationWarning):
+            legacy = assess_link_failures(fabric, flows, [link])
+        pa = assess_fault_plan(
+            fabric, flows,
+            FaultPlan([LinkFlap(time=0.0, link=link, duration=1.0)]),
+        )
+        assert legacy == pa.impacts[0].report
+
+
+class TestCollectiveRecovery:
+    @pytest.mark.parametrize("n,dead", [
+        (16, (3,)), (16, (0, 7, 15)), (8, (1, 2)), (5, (4,)), (2, (0,)),
+    ])
+    def test_rebuilt_tree_keeps_interior_disjointness(self, n, dead):
+        rebuilt = rebuild_double_binary_tree(n, dead)
+        assert rebuilt.n_alive == n - len(dead)
+        assert rebuilt.tree.interior_disjoint()
+        # Virtual ranks are a dense relabelling of the survivors.
+        assert sorted(rebuilt.survivors) == list(rebuilt.survivors)
+        for v, orig in enumerate(rebuilt.survivors):
+            assert rebuilt.virtual_rank(orig) == v
+
+    def test_rebuilt_tree_reduces_correctly_on_numerics(self):
+        # Reduce real buffers up the rebuilt tree with the HFReduce
+        # kernels; the root must hold exactly the survivors' sum.
+        from repro.numerics import reduce_add
+
+        n, dead = 12, (2, 9)
+        rebuilt = rebuild_double_binary_tree(n, dead)
+        rng = np.random.default_rng(7)
+        buffers = {r: rng.normal(size=64).astype(np.float32)
+                   for r in range(n)}
+        t1 = rebuilt.tree.t1
+
+        def subtree_sum(v: int) -> np.ndarray:
+            mine = buffers[rebuilt.survivors[v]]
+            parts = [subtree_sum(c) for c in t1.children[v]]
+            return reduce_add([mine, *parts]) if parts else mine
+
+        got = subtree_sum(t1.root)
+        want = np.sum(
+            [buffers[r] for r in rebuilt.survivors], axis=0,
+            dtype=np.float32,
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_des_pipeline_degrades_and_continues(self):
+        from repro.collectives.des_pipeline import HFReduceDesSim
+        from repro.collectives.primitives import AllreduceConfig
+        from repro.units import MiB
+
+        sim = HFReduceDesSim()
+        cfg = AllreduceConfig(nbytes=16 * MiB, n_nodes=8)
+        base = sim.run(cfg)
+        plan = FaultPlan([
+            GpuXid(time=base.total_time * 0.2, node="cn1"),
+            NicDown(time=base.total_time * 0.5, node="cn5"),
+        ])
+        faulty = sim.run(cfg, plan=plan)
+        assert faulty.faults_injected == 2
+        assert faulty.tree_rebuilds == 2
+        assert faulty.final_nodes == 6
+        assert faulty.total_time > base.total_time  # rebuild stalls cost time
+
+
+class TestSchedulerRecovery:
+    def make_sched(self):
+        from repro.hai import HAICluster, Task, TimeSharingScheduler
+
+        sched = TimeSharingScheduler(HAICluster.two_zone(2))
+        for i in range(2):
+            sched.submit(Task(task_id=f"t{i}", nodes_required=2,
+                              total_work=5000.0,
+                              checkpoint_interval=300.0))
+        return sched
+
+    def test_crash_requeue_recovery_times(self):
+        sched = self.make_sched()
+        plan = FaultPlan([
+            GpuXid(time=1000.0, node="cn0"),
+            HostHang(time=2500.0, node="cn1", duration=120.0),
+        ])
+        recoveries = sched.inject_faults(plan, repair_after=600.0)
+        sched.run_until_idle()
+        crashes = [e for e in sched.events if e.kind == "crash"]
+        assert crashes, "faults must crash at least one task"
+        assert recoveries, "every crash within horizon must requeue"
+        assert all(dt > 0 for dt in recoveries.values())
+        # Tasks still finish: recovery means progress resumes.
+        from repro.hai import TaskState
+
+        assert all(t.state == TaskState.FINISHED
+                   for t in sched.tasks.values())
+
+    def test_replay_is_deterministic(self):
+        plan = FaultPlan([
+            GpuXid(time=800.0, node="cn0"),
+            NicDown(time=1700.0, node="cn1"),
+        ])
+        runs = []
+        for _ in range(2):
+            sched = self.make_sched()
+            rec = sched.inject_faults(plan, repair_after=400.0)
+            sched.run_until_idle()
+            runs.append((rec, [(e.time, e.kind, e.task_id)
+                               for e in sched.events]))
+        assert runs[0] == runs[1]
+
+
+@pytest.fixture()
+def sanitize(monkeypatch):
+    monkeypatch.setattr(_sanitizer, "_enabled", None)
+    enable_sanitizer()
+    yield
+    disable_sanitizer()
+    monkeypatch.setattr(_sanitizer, "_enabled", None)
+
+
+class TestStorageRecovery:
+    def make_chain(self, n=3):
+        from repro.fs3 import CraqChain, StorageTarget
+
+        return CraqChain(
+            [StorageTarget(f"t{i}", f"node{i}", 0) for i in range(n)]
+        )
+
+    def test_rechain_promotes_tail_stored_writes(self, sanitize):
+        chain = self.make_chain(3)
+        chain.write("c", b"v1")
+        v_before = chain.committed_version("c")
+        op = chain.start_write("c", b"v2")
+        op.step(); op.step(); op.step()  # stored on all three, no acks yet
+        chain.fail_replica(2)
+        report = chain.rechain()
+        assert report.dead == (2,)
+        assert report.promoted == 1
+        assert report.aborted == 0
+        # Monotone under the chain audit: committed only moves forward.
+        assert chain.committed_version("c") > v_before
+        assert chain.read("c") == b"v2"
+
+    def test_rechain_aborts_partially_forwarded_writes(self, sanitize):
+        chain = self.make_chain(3)
+        chain.write("c", b"v1")
+        op = chain.start_write("c", b"v2")
+        op.step()  # stored on the head only
+        chain.fail_replica(0)  # ... which then dies: v2 never forwarded
+        report = chain.rechain()
+        assert report.aborted == 1
+        assert report.promoted == 0
+        # The aborted write leaves no dirty state; v1 still committed.
+        assert chain.read("c") == b"v1"
+        v = chain.write("c", b"v3")  # survivors keep accepting writes
+        assert chain.read("c") == b"v3"
+        assert v > 1
+
+    def test_rechain_requires_quiesced_alive_routes(self, sanitize):
+        chain = self.make_chain(3)
+        chain.write("c", b"v1")
+        chain.fail_replica(0)
+        chain.start_write("d", b"x").step()  # in flight on an alive route
+        with pytest.raises(FS3Conflict):
+            chain.rechain()
+
+    def test_client_retry_through_whole_chain_outage(self, sanitize):
+        from repro.fs3 import FS3Client, KVStore, MetaService
+        from repro.fs3.storage import StorageCluster
+
+        storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                                 targets_per_ssd=1)
+        meta = MetaService(KVStore(), storage.chain_table)
+
+        def on_retry(client, chain_idx, attempt):
+            if attempt == 2:
+                for name in sorted(storage.nodes):
+                    if not storage.nodes[name].alive:
+                        storage.recover_node(name)
+
+        client = FS3Client(meta, storage, retry=RetryPolicy(),
+                          on_retry=on_retry)
+        client.makedirs("/d")
+        client.write_file("/d/f", b"payload")
+        storage.apply_event(StorageNodeLoss(time=1.0, node="burst"))
+        for name in sorted(storage.nodes):  # take the rest down too
+            if storage.nodes[name].alive:
+                storage.fail_node(name)
+        assert client.read_file("/d/f") == b"payload"
+        assert client._tele_clock > 0.0  # backoff delays were paid
+
+    def test_fail_fast_without_retry_policy(self):
+        from repro.errors import FS3Unavailable
+        from repro.fs3 import FS3Client, KVStore, MetaService
+        from repro.fs3.storage import StorageCluster
+
+        storage = StorageCluster(n_nodes=2, ssds_per_node=2, replication=2,
+                                 targets_per_ssd=1)
+        meta = MetaService(KVStore(), storage.chain_table)
+        client = FS3Client(meta, storage)  # legacy behavior: no retries
+        client.makedirs("/d")
+        client.write_file("/d/f", b"x")
+        for name in sorted(storage.nodes):
+            storage.fail_node(name)
+        with pytest.raises(FS3Unavailable):
+            client.read_file("/d/f")
+
+
+class TestCheckpointRecovery:
+    def test_crash_rolls_back_to_durable_and_pays_restart(self):
+        from repro.ckpt import simulate_training
+
+        plan = FaultPlan([GpuXid(time=505.0, node="cn0")])
+        s = simulate_training("async", n_steps=100, step_time=10.0,
+                              interval=300.0, plan=plan,
+                              restart_time=60.0)
+        assert s.failures == 1
+        assert s.steps == 100  # the run still completes all steps
+        # Loss is bounded by the durability lag: one interval of work
+        # plus the in-flight step and write.
+        assert 0.0 < s.lost_time <= 300.0 + 10.0 + 4.0
+        assert s.total_time >= s.ideal_time + 60.0 + s.lost_time
+        assert s.goodput < 1.0
+
+    def test_shorter_interval_bounds_loss_tighter(self):
+        from repro.ckpt import simulate_training
+
+        plan = FaultPlan([GpuXid(time=1501.0, node="cn0"),
+                          NicDown(time=2993.0, node="cn1")])
+        losses = {}
+        for interval in (120.0, 600.0):
+            s = simulate_training("async", n_steps=400, step_time=10.0,
+                                  interval=interval, plan=plan,
+                                  restart_time=30.0)
+            assert s.failures == 2
+            losses[interval] = s.lost_time
+        assert losses[120.0] < losses[600.0]
+
+    def test_faultless_run_matches_legacy_api(self):
+        from repro.ckpt import simulate_training
+        from repro.ckpt.async_sim import simulate_checkpointing
+
+        new = simulate_training("async", n_steps=50)
+        with pytest.warns(DeprecationWarning):
+            old = simulate_checkpointing("async", n_steps=50)
+        assert old == new
+        assert old.failures == 0 and old.lost_time == 0.0
+
+
+class TestReliabilityShims:
+    def test_xid_events_warns_and_matches_failure_stream(self):
+        from repro.reliability.failures import FailureGenerator
+
+        gen = FailureGenerator(n_nodes=8, seed=3)
+        stream = gen.failure_stream(7 * 86400.0)
+        gen2 = FailureGenerator(n_nodes=8, seed=3)
+        with pytest.warns(DeprecationWarning):
+            legacy = gen2.xid_events(7 * 86400.0)
+        assert legacy == stream
+
+    def test_fault_plan_bridge(self):
+        from repro.reliability.failures import FailureGenerator
+
+        gen = FailureGenerator(n_nodes=8, seed=3)
+        plan = gen.fault_plan(7 * 86400.0)
+        stream = FailureGenerator(n_nodes=8, seed=3).failure_stream(
+            7 * 86400.0
+        )
+        assert len(plan) == len(stream)
+        assert all(e.kind == "gpu_xid" for e in plan)
+        assert [e.time for e in plan] == sorted(e.time for e in stream)
