@@ -56,7 +56,8 @@ _WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 _UNIT_THRESHOLD = 1_000_000
 
 _ENV_PRIVATE_ATTRS = frozenset(
-    {"_heap", "_seq", "_now", "_active_process", "_schedule"}
+    {"_heap", "_seq", "_now", "_active_process", "_schedule",
+     "_schedule_batch"}
 )
 
 

@@ -118,9 +118,32 @@ class EnvironmentMonitor:
             )
         self.last_time = when
 
+    def on_batch(self, when: float, events: Any) -> None:
+        """Batch-hook entry point: one check per popped heap entry.
+
+        A coalesced batch shares a single timestamp, so checking it once
+        is exactly as strong as checking every member.
+        """
+        self.steps += len(events)
+        if when < self.last_time:
+            raise SanitizerError(
+                "event_monotonicity",
+                "event processed at a time earlier than its predecessor",
+                env=self.label,
+                time=when,
+                previous_time=self.last_time,
+                step=self.steps,
+                event=repr(events[0]),
+            )
+        self.last_time = when
+
     def attach(self, env: Any) -> "EnvironmentMonitor":
         """Register on ``env`` and return self (for chaining)."""
-        env.add_step_hook(self.on_step)
+        add_batch = getattr(env, "add_batch_hook", None)
+        if add_batch is not None:
+            add_batch(self.on_batch)
+        else:  # pragma: no cover - pre-batching environments
+            env.add_step_hook(self.on_step)
         return self
 
 

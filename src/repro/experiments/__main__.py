@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments chaos --seed 11
     python -m repro.experiments --perf congestion   # append a perf profile
+    python -m repro.experiments --profile fig7      # cProfile hot spots
     python -m repro.experiments congestion \\
         --trace-out trace.json --metrics-out metrics.jsonl
 
@@ -21,6 +22,11 @@ telemetry surface.
 combined counters/timings (flow-engine events, solver iterations, memo
 hits, solve wall time) after the requested experiments run.
 
+``--profile`` runs the selected experiments under :mod:`cProfile` and
+prints the 25 most expensive functions by cumulative time — the
+"where did the wall clock go" view that the aggregate counters of
+``--perf`` deliberately abstract away. The two flags compose.
+
 ``--trace-out`` / ``--metrics-out`` enable a :mod:`repro.telemetry`
 session around the run and export what the instrumented subsystems
 recorded: a Chrome/Perfetto ``trace_event`` JSON timeline of simulated
@@ -31,6 +37,8 @@ labelled counter/gauge/histogram. See ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 from typing import Dict, List, Optional
 
@@ -84,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the combined repro.perf profile after the run",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions "
+             "by cumulative time",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH",
         help="write a Chrome/Perfetto trace_event JSON timeline of the run",
     )
@@ -128,6 +141,10 @@ def main(argv: List[str]) -> int:
         session = telemetry.start(trace=True)
     if args.perf:
         perf.enable()
+    profiler: Optional[cProfile.Profile] = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         for i, name in enumerate(names):
             if i:
@@ -135,6 +152,11 @@ def main(argv: List[str]) -> int:
             spec = EXPERIMENTS[name]
             print(spec.run(seed=args.seed if spec.seeded else None))
     finally:
+        if profiler is not None:
+            profiler.disable()
+            print()
+            pstats.Stats(profiler, stream=sys.stdout) \
+                .sort_stats("cumulative").print_stats(25)
         if args.perf:
             print()
             print(perf.report())

@@ -44,20 +44,27 @@ RTS_WINDOW = 8
 NO_RTS_CONCURRENT_SENDERS = 32
 
 
-def _build_fabric():
-    zone0 = [f"cn{i}" for i in range(60)] + [f"st{i}.nic0" for i in range(4)]
-    zone1 = [f"cn{i}" for i in range(60, 120)] + [f"st{i}.nic1" for i in range(4)]
-    return two_zone_network(64, interzone_links=2,
+def _build_fabric(scale: int = 1):
+    zone0 = (
+        [f"cn{i}" for i in range(60 * scale)]
+        + [f"st{i}.nic0" for i in range(4 * scale)]
+    )
+    zone1 = (
+        [f"cn{i}" for i in range(60 * scale, 120 * scale)]
+        + [f"st{i}.nic1" for i in range(4 * scale)]
+    )
+    return two_zone_network(64 * scale, interzone_links=2,
                             zone0_hosts=zone0, zone1_hosts=zone1)
 
 
-def _mixed_flows(rts: bool) -> List[Flow]:
+def _mixed_flows(rts: bool, scale: int = 1) -> List[Flow]:
     """Mixed traffic with deliberately shared receiver nodes."""
     flows: List[Flow] = []
     fid = 0
     # HFReduce: cross-leaf tree flows into cn40..cn51 (20 hosts per leaf,
-    # so sources and receivers sit on different leaves).
-    receivers = [f"cn{40 + i}" for i in range(12)]
+    # so sources and receivers sit on different leaves). At scale > 1 the
+    # same shape stretches proportionally across the larger zone.
+    receivers = [f"cn{40 * scale + i}" for i in range(12 * scale)]
     for i, dst in enumerate(receivers):
         flows.append(Flow(f"cn{i}", dst, size=1.0,
                           sl=ServiceLevel.HFREDUCE, flow_id=fid))
@@ -66,7 +73,7 @@ def _mixed_flows(rts: bool) -> List[Flow]:
     # data fetches during training — the integrated-network scenario).
     for r_idx, reader in enumerate(receivers):
         sources = (
-            [f"st{r_idx % 4}.nic0"] if rts
+            [f"st{r_idx % (4 * scale)}.nic0"] if rts
             else [f"st{k}.nic0" for k in range(4)]
         )
         for src in sources:
@@ -74,23 +81,29 @@ def _mixed_flows(rts: bool) -> List[Flow]:
                               sl=ServiceLevel.STORAGE, flow_id=fid))
             fid += 1
     # Background chatter crossing the same leaves.
-    for i in range(20, 26):
-        flows.append(Flow(f"cn{i}", f"cn{40 + (i - 20)}", size=1.0,
-                          sl=ServiceLevel.OTHER, flow_id=fid))
+    for i in range(20 * scale, 26 * scale):
+        flows.append(Flow(f"cn{i}", f"cn{40 * scale + (i - 20 * scale)}",
+                          size=1.0, sl=ServiceLevel.OTHER, flow_id=fid))
         fid += 1
     return flows
 
 
 def run_scenario(isolation: bool, routing: str, rts: bool,
-                 engine: str = "vectorized") -> Dict[str, float]:
-    """One configuration; returns straggler and aggregate metrics."""
-    fab = _build_fabric()
+                 engine: str = "vectorized",
+                 scale: int = 1) -> Dict[str, float]:
+    """One configuration; returns straggler and aggregate metrics.
+
+    ``scale`` stretches the fabric and the flow mix proportionally (the
+    printed experiment uses 1; the perf benchmarks measure larger scales
+    where allocation cost, not fabric construction, dominates).
+    """
+    fab = _build_fabric(scale)
     router = (
         StaticRouter(fab) if routing == "static" else AdaptiveRouter(fab)
     )
     sim = FlowSim(fab, router=router,
                   qos=TrafficClassConfig(isolation=isolation), engine=engine)
-    flows = _mixed_flows(rts=rts)
+    flows = _mixed_flows(rts=rts, scale=scale)
     rates = sim.instantaneous_rates(flows)
     hf = [rates[f.flow_id] for f in flows if f.sl is ServiceLevel.HFREDUCE]
     st_total = sum(

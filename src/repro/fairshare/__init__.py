@@ -1,0 +1,93 @@
+"""Weighted max-min fair allocation — the repo's single solver seam.
+
+Three engines share one contract (PR 6 consolidated the entry points that
+were previously duplicated across ``repro.fairshare`` and
+``repro.network.flows._solve``):
+
+* :func:`~repro.fairshare.reference.maxmin_rates` — pure-Python oracle,
+  the readable specification every other engine is tested against;
+* :func:`~repro.fairshare.vectorized.solve_cold` — one-shot NumPy solve
+  built on the shared :func:`~repro.fairshare.vectorized.progressive_fill`
+  kernel;
+* :class:`~repro.fairshare.warm.WarmMaxMin` — incremental solver that
+  keeps the incidence and fixpoint across flow admit/retire events and
+  re-relaxes only the affected connected component.
+
+:func:`solve_maxmin` is the façade: pick an engine by name, keep the
+``maxmin_rates`` call contract. ``maxmin_rates_vectorized`` survives as a
+deprecation shim per the PR 5 convention.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.fairshare.reference import (
+    Constraint,
+    FlowId,
+    bottleneck_throughput,
+    maxmin_rates,
+)
+from repro.fairshare.vectorized import progressive_fill, solve_cold
+from repro.fairshare.warm import WarmMaxMin
+from repro.perf import PerfCounters
+
+__all__ = [
+    "Constraint",
+    "FlowId",
+    "WarmMaxMin",
+    "bottleneck_throughput",
+    "maxmin_rates",
+    "maxmin_rates_vectorized",
+    "progressive_fill",
+    "solve_cold",
+    "solve_maxmin",
+]
+
+#: Engines accepted by :func:`solve_maxmin`.
+ENGINES = ("reference", "vectorized")
+
+
+def solve_maxmin(
+    flows: Sequence[FlowId],
+    constraints: Sequence[Constraint],
+    weights: Optional[Mapping[FlowId, float]] = None,
+    demands: Optional[Mapping[FlowId, float]] = None,
+    *,
+    engine: str = "vectorized",
+    perf: Optional[PerfCounters] = None,
+) -> Dict[FlowId, float]:
+    """Weighted max-min rates via the named one-shot engine.
+
+    ``engine="reference"`` runs the pure-Python oracle (no perf
+    accounting); ``engine="vectorized"`` runs the NumPy kernel. For
+    event-driven incremental use, hold a :class:`WarmMaxMin` instead.
+    """
+    if engine == "vectorized":
+        return solve_cold(flows, constraints, weights, demands, perf=perf)
+    if engine == "reference":
+        return maxmin_rates(flows, constraints, weights, demands)
+    raise ValueError(f"unknown max-min engine {engine!r}; expected one of {ENGINES}")
+
+
+def maxmin_rates_vectorized(
+    flows: Sequence[FlowId],
+    constraints: Sequence[Constraint],
+    weights: Optional[Mapping[FlowId, float]] = None,
+    demands: Optional[Mapping[FlowId, float]] = None,
+    perf: Optional[PerfCounters] = None,
+) -> Dict[FlowId, float]:
+    """Deprecated alias for :func:`solve_cold`.
+
+    .. deprecated:: PR 6
+        Use ``solve_maxmin(..., engine="vectorized")`` or
+        :func:`solve_cold` directly.
+    """
+    warnings.warn(
+        "maxmin_rates_vectorized is deprecated; use "
+        "repro.fairshare.solve_maxmin(..., engine='vectorized') or solve_cold",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return solve_cold(flows, constraints, weights, demands, perf=perf)

@@ -1,0 +1,117 @@
+"""Pure-Python reference max-min solver: the readable specification.
+
+This module is the oracle the vectorized and warm-started engines are
+property-tested against (``tests/test_fairshare_vectorized.py``,
+``tests/test_fairshare_warm.py``). It favours clarity over speed: dicts,
+sets, and explicit loops, exactly mirroring the progressive-filling
+definition of weighted max-min fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set
+
+FlowId = Hashable
+
+
+@dataclass
+class Constraint:
+    """A shared capacity over a set of flows (a link, port, or bus)."""
+
+    capacity: float
+    members: Set[FlowId]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"constraint {self.name!r} capacity must be > 0")
+        self.members = set(self.members)
+
+
+def maxmin_rates(
+    flows: Sequence[FlowId],
+    constraints: Sequence[Constraint],
+    weights: Optional[Mapping[FlowId, float]] = None,
+    demands: Optional[Mapping[FlowId, float]] = None,
+) -> Dict[FlowId, float]:
+    """Compute weighted max-min fair rates by progressive filling.
+
+    Parameters
+    ----------
+    flows:
+        All flows to allocate. Flows not covered by any constraint (and
+        without a demand cap) receive ``inf``.
+    constraints:
+        Shared capacities. A flow may appear in any number of constraints.
+    weights:
+        Relative shares; missing entries default to 1.0.
+    demands:
+        Optional per-flow rate caps (e.g. source application limits),
+        modelled as single-flow constraints.
+
+    Returns
+    -------
+    dict
+        Flow id -> allocated rate. Sum of rates through any constraint never
+        exceeds its capacity (up to float tolerance).
+    """
+    w = {f: (weights.get(f, 1.0) if weights else 1.0) for f in flows}
+    for f, wt in w.items():
+        if wt <= 0:
+            raise ValueError(f"flow {f!r} weight must be > 0")
+
+    cons: List[Constraint] = [
+        Constraint(capacity=c.capacity, members=set(c.members) & set(flows), name=c.name)
+        for c in constraints
+    ]
+    if demands:
+        for f, d in demands.items():
+            if f in w:
+                cons.append(Constraint(capacity=max(d, 1e-30), members={f}, name=f"demand:{f}"))
+
+    remaining = {c_i: c.capacity for c_i, c in enumerate(cons)}
+    active: Set[FlowId] = set(flows)
+    rates: Dict[FlowId, float] = {}
+
+    while active:
+        # Find the bottleneck: smallest fair-share increment over constraints
+        # that still have active members.
+        best_ratio = None
+        best_idx = None
+        for idx, c in enumerate(cons):
+            members = c.members & active
+            if not members:
+                continue
+            weight_sum = sum(w[f] for f in members)
+            ratio = remaining[idx] / weight_sum
+            if best_ratio is None or ratio < best_ratio:
+                best_ratio = ratio
+                best_idx = idx
+        if best_idx is None:
+            # Unconstrained flows: infinite rate (caller caps via demands).
+            for f in active:
+                rates[f] = float("inf")
+            break
+
+        bottleneck = cons[best_idx]
+        fixed = bottleneck.members & active
+        for f in fixed:
+            rates[f] = w[f] * best_ratio
+        # Charge the fixed flows against every constraint they traverse.
+        for idx, c in enumerate(cons):
+            used = sum(rates[f] for f in (c.members & fixed))
+            remaining[idx] = max(remaining[idx] - used, 0.0)
+        active -= fixed
+
+    return rates
+
+
+def bottleneck_throughput(
+    flows: Sequence[FlowId],
+    constraints: Sequence[Constraint],
+    weights: Optional[Mapping[FlowId, float]] = None,
+) -> float:
+    """Aggregate throughput of a max-min allocation (convenience helper)."""
+    rates = maxmin_rates(flows, constraints, weights)
+    return sum(r for r in rates.values() if r != float("inf"))

@@ -1,0 +1,298 @@
+"""Warm-started incremental max-min: reuse the previous fixpoint.
+
+:class:`WarmMaxMin` owns the flow×constraint incidence *across* allocation
+rounds. Flows are admitted and retired by integer slot; constraints are
+integer rows with mutable effective capacity. On :meth:`solve`, only the
+connected component(s) of the incidence graph touched since the previous
+fixpoint are re-relaxed:
+
+* admit/retire marks the flow's rows *dirty*;
+* capacity changes (QoS efficiency shifts, degraded links) mark their row
+  dirty;
+* solve computes the closure of dirty rows over the bipartite
+  constraint↔flow graph (alternating frontier expansion, one ``O(nnz)``
+  pass per bipartite hop) and runs the shared
+  :func:`~repro.fairshare.vectorized.progressive_fill` kernel on that
+  sub-problem only. Rates of untouched components are reused verbatim.
+
+Because the weighted max-min allocation decomposes exactly over connected
+components (two flows that share no constraint, transitively, cannot
+influence each other's rate), the warm result equals a cold solve of the
+full problem — property-tested to ≤1e-9 in
+``tests/test_fairshare_warm.py`` (the tolerance covers summation-order
+round-off only).
+
+Incidence entries are appended flow-major on admit and logically deleted
+on retire; the store compacts itself when more than half the entries are
+garbage. All mutation is array slicing — no per-flow dict or set churn —
+which is what lets :class:`repro.network.flows.FlowSim` run full-cluster
+fluid simulations event by event without rebuilding solver state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.fairshare.vectorized import progressive_fill
+from repro.perf import PerfCounters
+
+_MIN_ENTRIES = 1024
+
+
+def _grown(arr: np.ndarray, need: int) -> np.ndarray:
+    """Return ``arr`` or an enlarged copy with capacity >= ``need``."""
+    if arr.shape[0] >= need:
+        return arr
+    new = np.empty(max(need, 2 * arr.shape[0], 64), dtype=arr.dtype)
+    new[: arr.shape[0]] = arr
+    return new
+
+
+class WarmMaxMin:
+    """Incremental weighted max-min solver over integer slots and rows.
+
+    Typical lifecycle::
+
+        solver = WarmMaxMin()
+        row = solver.new_constraint(capacity)
+        slot = solver.admit([row, ...], weight=2.0, demand=None)
+        rates = solver.solve()          # full first solve
+        solver.retire(slot)
+        rates = solver.solve()          # re-relaxes only the touched component
+
+    ``solve`` returns the internal rates array indexed by slot — treat it
+    as read-only; it is overwritten by subsequent solves.
+    """
+
+    def __init__(self) -> None:
+        # Constraint rows.
+        self._cap = np.empty(0, dtype=np.float64)
+        self._m = 0
+        # Incidence entries, flow-major append-only (+ logical deletes).
+        self._ec = np.empty(0, dtype=np.intp)
+        self._ef = np.empty(0, dtype=np.intp)
+        self._nnz = 0
+        self._garbage = 0
+        # Flow slots.
+        self._w = np.empty(0, dtype=np.float64)
+        self._start = np.empty(0, dtype=np.intp)
+        self._count = np.empty(0, dtype=np.intp)
+        self._active = np.empty(0, dtype=bool)
+        self._rates = np.empty(0, dtype=np.float64)
+        self._n = 0
+        self._n_active = 0
+        # Fixpoint invalidation.
+        self._dirty = np.empty(0, dtype=bool)
+        self._any_dirty = False
+        self._solved = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Slots ever admitted (including retired ones)."""
+        return self._n
+
+    @property
+    def n_active(self) -> int:
+        """Currently active flows."""
+        return self._n_active
+
+    @property
+    def n_constraints(self) -> int:
+        """Constraint rows ever created (including demand rows)."""
+        return self._m
+
+    def rate_of(self, slot: int) -> float:
+        """Last solved rate of ``slot`` (stale until :meth:`solve`)."""
+        return float(self._rates[slot])
+
+    def is_active(self, slot: int) -> bool:
+        """Whether ``slot`` is currently admitted."""
+        return bool(self._active[slot])
+
+    # -- constraints -----------------------------------------------------------
+
+    def new_constraint(self, capacity: float) -> int:
+        """Allocate a constraint row; returns its id."""
+        if capacity <= 0:
+            raise ValueError(f"constraint capacity must be > 0, got {capacity}")
+        row = self._m
+        self._cap = _grown(self._cap, row + 1)
+        self._dirty = _grown(self._dirty, row + 1)
+        self._cap[row] = capacity
+        self._dirty[row] = False
+        self._m = row + 1
+        return row
+
+    def set_capacity(self, row: int, capacity: float) -> None:
+        """Change a row's effective capacity (marks its component dirty)."""
+        if not 0 <= row < self._m:
+            raise IndexError(f"unknown constraint row {row}")
+        if capacity <= 0:
+            raise ValueError(f"constraint capacity must be > 0, got {capacity}")
+        if self._cap[row] != capacity:
+            self._cap[row] = capacity
+            self._dirty[row] = True
+            self._any_dirty = True
+
+    def capacity_of(self, row: int) -> float:
+        """Current capacity of ``row``."""
+        return float(self._cap[row])
+
+    # -- flows -----------------------------------------------------------------
+
+    def admit(
+        self,
+        rows: Union[Sequence[int], np.ndarray],
+        weight: float = 1.0,
+        demand: Optional[float] = None,
+    ) -> int:
+        """Admit a flow traversing ``rows``; returns its slot.
+
+        ``demand`` (a rate cap) becomes a dedicated single-member row, as
+        the reference solver models it. ``rows`` must not repeat a row.
+        """
+        if weight <= 0:
+            raise ValueError(f"flow weight must be > 0, got {weight}")
+        rows_arr = np.asarray(rows, dtype=np.intp)
+        if demand is not None:
+            drow = self.new_constraint(max(float(demand), 1e-30))
+            rows_arr = np.append(rows_arr, drow)
+        k = rows_arr.shape[0]
+        if k and (int(rows_arr.max()) >= self._m or int(rows_arr.min()) < 0):
+            raise IndexError("admit() references an unknown constraint row")
+
+        slot = self._n
+        need = slot + 1
+        self._w = _grown(self._w, need)
+        self._start = _grown(self._start, need)
+        self._count = _grown(self._count, need)
+        self._active = _grown(self._active, need)
+        self._rates = _grown(self._rates, need)
+        self._w[slot] = weight
+        self._start[slot] = self._nnz
+        self._count[slot] = k
+        self._active[slot] = True
+        self._n = need
+        self._n_active += 1
+
+        if k:
+            end = self._nnz + k
+            self._ec = _grown(self._ec, end)
+            self._ef = _grown(self._ef, end)
+            self._ec[self._nnz:end] = rows_arr
+            self._ef[self._nnz:end] = slot
+            self._nnz = end
+            self._dirty[rows_arr] = True
+            self._any_dirty = True
+            self._rates[slot] = 0.0
+        else:
+            # No constraint and no demand: unconstrained from the start.
+            self._rates[slot] = np.inf
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Retire an active flow; its capacity share returns to its component."""
+        if not 0 <= slot < self._n or not self._active[slot]:
+            raise ValueError(f"retire() of unknown or inactive slot {slot}")
+        self._active[slot] = False
+        self._n_active -= 1
+        k = int(self._count[slot])
+        if k:
+            s = int(self._start[slot])
+            self._dirty[self._ec[s:s + k]] = True
+            self._any_dirty = True
+            self._garbage += k
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, perf: Optional[PerfCounters] = None) -> np.ndarray:
+        """Rates for all slots (read-only view; inactive slots are stale).
+
+        Returns the cached fixpoint untouched when nothing changed;
+        otherwise re-relaxes exactly the dirty components.
+        """
+        if perf is not None:
+            perf.bump("solver_calls")
+        if self._solved and not self._any_dirty:
+            if perf is not None:
+                perf.bump("warm_cache_hits")
+            return self._rates
+        if self._garbage * 2 > self._nnz and self._nnz > _MIN_ENTRIES:
+            self._compact()
+
+        nnz = self._nnz
+        n = self._n
+        ec = self._ec[:nnz]
+        ef = self._ef[:nnz]
+        alive = self._active[ef]
+        if self._solved:
+            # Closure of dirty rows over the bipartite incidence graph:
+            # alternate constraint->flow and flow->constraint frontiers.
+            aff_c = self._dirty[: self._m].copy()
+            aff_f = np.zeros(n, dtype=bool)
+            ec_a = ec[alive]
+            ef_a = ef[alive]
+            while True:
+                new_f = aff_c[ec_a] & ~aff_f[ef_a]
+                if not new_f.any():
+                    break
+                aff_f[ef_a[new_f]] = True
+                new_c = aff_f[ef_a] & ~aff_c[ec_a]
+                if not new_c.any():
+                    break
+                aff_c[ec_a[new_c]] = True
+        else:
+            aff_f = self._active[:n].copy()
+
+        sub = np.flatnonzero(aff_f)
+        if perf is not None:
+            perf.bump("warm_solves")
+            perf.bump("warm_affected_flows", int(sub.shape[0]))
+            perf.bump("warm_active_flows", self._n_active)
+        if sub.shape[0]:
+            sel = alive & aff_f[ef]
+            ec_sel = ec[sel]
+            ef_sel = ef[sel]
+            sub_rows = np.unique(ec_sel)
+            finv = np.empty(n, dtype=np.intp)
+            finv[sub] = np.arange(sub.shape[0], dtype=np.intp)
+            rates_sub = np.empty(sub.shape[0], dtype=np.float64)
+            iterations = progressive_fill(
+                np.searchsorted(sub_rows, ec_sel),
+                finv[ef_sel],
+                self._w[sub],
+                self._cap[sub_rows],
+                rates_sub,
+            )
+            if perf is not None:
+                perf.bump("solver_iterations", iterations)
+            self._rates[sub] = rates_sub
+        self._dirty[: self._m] = False
+        self._any_dirty = False
+        self._solved = True
+        return self._rates
+
+    # -- housekeeping ----------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Drop retired flows' incidence entries, preserving slot order."""
+        nnz = self._nnz
+        keep = self._active[self._ef[:nnz]]
+        new_ec = self._ec[:nnz][keep]
+        new_ef = self._ef[:nnz][keep]
+        kept = new_ec.shape[0]
+        self._ec = _grown(np.empty(0, dtype=np.intp), max(2 * kept, _MIN_ENTRIES))
+        self._ef = _grown(np.empty(0, dtype=np.intp), max(2 * kept, _MIN_ENTRIES))
+        self._ec[:kept] = new_ec
+        self._ef[:kept] = new_ef
+        # Entries stay flow-major contiguous (boolean masking preserves
+        # order) and slot starts stay monotone in slot id.
+        act = np.flatnonzero(self._active[: self._n])
+        counts = self._count[act]
+        self._start[act] = np.cumsum(counts) - counts
+        self._nnz = kept
+        self._garbage = 0

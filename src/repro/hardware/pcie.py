@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.errors import HardwareConfigError
-from repro.fairshare import Constraint, maxmin_rates_vectorized
+from repro.fairshare import Constraint, solve_maxmin
 from repro.hardware.node import NodeSpec
 from repro.units import BytesPerSec
 
@@ -120,7 +120,7 @@ class PCIeFabric:
                         )
                     )
 
-        return maxmin_rates_vectorized(flows, constraints, weights)
+        return solve_maxmin(flows, constraints, weights)
 
     def rate_of(self, transfers: Sequence[Transfer], index: int = 0) -> BytesPerSec:
         """Convenience: the rate of one transfer in a concurrent set."""

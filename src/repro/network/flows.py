@@ -11,15 +11,20 @@ isolation gives flows class weights, and disabling isolation applies a
 head-of-line-blocking efficiency penalty on links carrying mixed classes.
 
 The engine is *incremental* and *vectorized* (see ``docs/PERFORMANCE.md``):
-per-link membership and traffic-class counts are maintained across events
-(updated on admit/finish instead of rebuilt from every active flow),
-simultaneous completions are retired in one batch before the single
-recompute, repeated :meth:`FlowSim.instantaneous_rates` calls with an
-unchanged flow set are memoized, and the allocation itself runs on the
-NumPy incidence-matrix solver. ``engine="reference"`` selects the original
-pure-Python per-event rebuild (the specification the vectorized engine is
-property-tested against, and the baseline ``benchmarks/test_perf_flowsim.py``
-measures speedups over). :attr:`FlowSim.stats` exposes perf counters.
+:meth:`FlowSim.run` keeps the flow×link incidence and the previous
+allocation fixpoint inside a warm-started solver
+(:class:`repro.fairshare.WarmMaxMin`) across events — admits and retires
+mutate solver state in place and each event re-relaxes only the affected
+connected component instead of rebuilding constraints from every active
+flow. Per-flow progress, completion detection, and simultaneous-completion
+batching run on NumPy arrays. Repeated
+:meth:`FlowSim.instantaneous_rates` calls with an unchanged flow set are
+memoized, and one-shot queries run on the NumPy incidence-matrix solver
+(:func:`repro.fairshare.solve_cold`). ``engine="reference"`` selects the
+original pure-Python per-event rebuild (the specification the vectorized
+engine is property-tested against, and the baseline
+``benchmarks/test_perf_flowsim.py`` measures speedups over).
+:attr:`FlowSim.stats` exposes perf counters.
 """
 
 from __future__ import annotations
@@ -29,10 +34,12 @@ from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro import telemetry
 from repro.analysis import sanitizer as _sanitizer
 from repro.errors import TopologyError
-from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
+from repro.fairshare import Constraint, WarmMaxMin, maxmin_rates, solve_cold
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
 from repro.units import Bytes, BytesPerSec, Seconds
 from repro.network.routing import Router, StaticRouter
@@ -110,8 +117,11 @@ class FlowSim:
     for a degraded fabric, as :mod:`repro.network.linkfail` does).
 
     :attr:`stats` is a :class:`~repro.perf.PerfCounters` accumulating
-    events, recomputes, memo/route-cache hits, solver iterations, and solve
-    wall time across this instance's lifetime.
+    events, recomputes, memo/route-cache hits, and solver iterations across
+    this instance's lifetime, plus per-phase wall time: ``run_s`` (whole
+    event loop), ``solve_s`` (allocation solves), and ``invalidate_s``
+    (admit/retire bookkeeping — the cache-invalidation phase). Event churn
+    is the remainder ``run_s - solve_s - invalidate_s``.
     """
 
     def __init__(
@@ -258,7 +268,7 @@ class FlowSim:
                     )
                     for link, members in link_members.items()
                 ]
-                rates = maxmin_rates_vectorized(
+                rates = solve_cold(
                     flow_ids, constraints, weights, demands or None, perf=self.stats
                 )
         if _sanitizer.enabled():
@@ -300,9 +310,12 @@ class FlowSim:
     def run(self, flows: Sequence[Flow]) -> List[FlowResult]:
         """Simulate all flows to completion; returns per-flow results."""
         with self.stats.timeit("run_s"):
-            return self._run(flows)
+            if self.engine == "vectorized":
+                return self._run_warm(flows)
+            return self._run_reference(flows)
 
-    def _run(self, flows: Sequence[Flow]) -> List[FlowResult]:
+    def _run_reference(self, flows: Sequence[Flow]) -> List[FlowResult]:
+        """Original pure-Python event loop: dict state, cold solve per event."""
         pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
         audit = _sanitizer.FlowAudit() if _sanitizer.enabled() else None
         sess = telemetry.session()
@@ -311,12 +324,7 @@ class FlowSim:
         routes: Dict[int, List[LinkId]] = {}
         remaining: Dict[int, float] = {}
         active: Dict[int, Flow] = {}  # insertion-ordered, O(1) removal
-        # Incrementally-maintained per-link state (vectorized engine only;
-        # the reference engine rebuilds per event, as the original did).
-        link_members: Dict[LinkId, Set[int]] = {}
-        link_classes: Dict[LinkId, Dict[ServiceLevel, int]] = {}
         results: Dict[int, FlowResult] = {}
-        incremental = self.engine == "vectorized"
         now = 0.0
         i = 0
 
@@ -341,15 +349,6 @@ class FlowSim:
                     args={"bytes": f.size, "links": len(route)},
                     async_id=f.flow_id,
                 )
-            if incremental:
-                for link in route:
-                    members = link_members.get(link)
-                    if members is None:
-                        members = link_members[link] = set()
-                        link_classes[link] = {}
-                    members.add(f.flow_id)
-                    counts = link_classes[link]
-                    counts[f.sl] = counts.get(f.sl, 0) + 1
 
         def retire(f: Flow) -> None:
             fid = f.flow_id
@@ -365,38 +364,22 @@ class FlowSim:
                 sess.registry.counter(
                     "flows_completed_total", sl=f.sl.name
                 ).inc()
-            if incremental:
-                for link in routes[fid]:
-                    members = link_members[link]
-                    members.discard(fid)
-                    if not members:
-                        del link_members[link]
-                        del link_classes[link]
-                    else:
-                        counts = link_classes[link]
-                        left = counts[f.sl] - 1
-                        if left:
-                            counts[f.sl] = left
-                        else:
-                            del counts[f.sl]
             del active[fid]
             del remaining[fid]
 
         while i < len(pending) or active:
             if not active:
                 now = max(now, pending[i].start)
-                while i < len(pending) and pending[i].start <= now:
-                    admit(pending[i])
-                    i += 1
+                with self.stats.timeit("invalidate_s"):
+                    while i < len(pending) and pending[i].start <= now:
+                        admit(pending[i])
+                        i += 1
                 continue
 
             self.stats.bump("events")
             self._sim_now = now
             active_flows = list(active.values())
-            if incremental:
-                rates = self._solve(active_flows, routes, link_members, link_classes)
-            else:
-                rates = self.instantaneous_rates(active_flows, routes)
+            rates = self.instantaneous_rates(active_flows, routes)
             # Earliest completion among active flows at current rates.
             t_complete = float("inf")
             for f in active_flows:
@@ -428,15 +411,20 @@ class FlowSim:
                 f for f in active_flows
                 if remaining[f.flow_id] <= f.size * COMPLETION_EPS
             ]
-            for f in finished:
-                results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=now)
-                retire(f)
             if finished:
+                with self.stats.timeit("invalidate_s"):
+                    for f in finished:
+                        results[f.flow_id] = FlowResult(
+                            flow=f, start=f.start, finish=now
+                        )
+                        retire(f)
                 self.stats.bump("completions", len(finished))
                 self.stats.bump("completion_batches")
-            while i < len(pending) and pending[i].start <= now + 1e-12:
-                admit(pending[i])
-                i += 1
+            if i < len(pending) and pending[i].start <= now + 1e-12:
+                with self.stats.timeit("invalidate_s"):
+                    while i < len(pending) and pending[i].start <= now + 1e-12:
+                        admit(pending[i])
+                        i += 1
 
         if tracer is not None and pending:
             t0 = pending[0].start
@@ -446,6 +434,290 @@ class FlowSim:
             )
         ordered = sorted(flows, key=lambda f: f.flow_id)
         return [results[f.flow_id] for f in ordered]
+
+    def _run_warm(self, flows: Sequence[Flow]) -> List[FlowResult]:
+        """Warm-started event loop: solver state persists across events.
+
+        Flows become integer slots in a :class:`WarmMaxMin`; links become
+        constraint rows allocated on first use. Admits append incidence
+        entries, retires mark them garbage, and each event re-relaxes only
+        the dirty connected component. Progress/completion bookkeeping is
+        NumPy over slot arrays instead of per-flow dict updates.
+
+        QoS class accounting (the HOL efficiency factor) only exists when
+        isolation is off: per-row class counts live in one integer matrix
+        and a row's capacity is touched only when its distinct-class count
+        crosses the 1↔2 boundary.
+        """
+        pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
+        audit = _sanitizer.FlowAudit() if _sanitizer.enabled() else None
+        sess = telemetry.session()
+        tracer = sess.tracer if sess is not None else None
+        flow_spans: Dict[int, object] = {}
+        results: Dict[int, FlowResult] = {}
+
+        warm = WarmMaxMin()
+        qos = self.qos
+        track_classes = not qos.isolation
+        hol_eff = 1.0 - qos.hol_penalty
+        sl_col = {sl: k for k, sl in enumerate(ServiceLevel)}
+
+        link_row: Dict[LinkId, int] = {}
+        row_link: Dict[int, LinkId] = {}
+        base_cap = np.zeros(64, dtype=np.float64)  # indexed by row id
+        class_cnt = np.zeros((64, len(sl_col)), dtype=np.int64)
+        n_class = np.zeros(64, dtype=np.int64)
+
+        # Slot-indexed flow state (grown in lockstep with warm's slots).
+        flow_by_slot: List[Flow] = []
+        route_by_slot: List[List[LinkId]] = []
+        rows_by_slot: List[np.ndarray] = []
+        size_arr = np.zeros(64, dtype=np.float64)
+        rem_arr = np.zeros(64, dtype=np.float64)
+        act = np.zeros(64, dtype=bool)
+        n_active = 0
+        # Only maintained when the sanitizer needs feasibility inputs.
+        link_members: Optional[Dict[LinkId, Set[int]]] = (
+            {} if audit is not None else None
+        )
+        # Adaptive routing / telemetry need per-link loads every event;
+        # nobody else pays for them.
+        want_link_rates = self.router.load_dependent or sess is not None
+
+        def grow_rows(need: int) -> None:
+            nonlocal base_cap, class_cnt, n_class
+            if need <= base_cap.shape[0]:
+                return
+            cap = max(need, 2 * base_cap.shape[0])
+            base_cap = np.concatenate(
+                [base_cap, np.zeros(cap - base_cap.shape[0], dtype=np.float64)]
+            )
+            class_cnt = np.concatenate(
+                [class_cnt,
+                 np.zeros((cap - class_cnt.shape[0], len(sl_col)), dtype=np.int64)]
+            )
+            n_class = np.concatenate(
+                [n_class, np.zeros(cap - n_class.shape[0], dtype=np.int64)]
+            )
+
+        def grow_slots(need: int) -> None:
+            nonlocal size_arr, rem_arr, act
+            if need <= size_arr.shape[0]:
+                return
+            cap = max(need, 2 * size_arr.shape[0])
+            size_arr = np.concatenate(
+                [size_arr, np.zeros(cap - size_arr.shape[0], dtype=np.float64)]
+            )
+            rem_arr = np.concatenate(
+                [rem_arr, np.zeros(cap - rem_arr.shape[0], dtype=np.float64)]
+            )
+            act = np.concatenate(
+                [act, np.zeros(cap - act.shape[0], dtype=bool)]
+            )
+
+        def admit(f: Flow, now: float) -> None:
+            nonlocal n_active
+            self.stats.bump("admits")
+            route = self._route(f)
+            if not route:
+                # Same-endpoint flows complete instantly (no fabric hop).
+                results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=f.start)
+                return
+            rows = np.empty(len(route), dtype=np.intp)
+            for j, link in enumerate(route):
+                row = link_row.get(link)
+                if row is None:
+                    row = warm.new_constraint(self._capacity(link))
+                    link_row[link] = row
+                    row_link[row] = link
+                    grow_rows(row + 1)
+                    base_cap[row] = warm.capacity_of(row)
+                rows[j] = row
+            if track_classes:
+                col = sl_col[f.sl]
+                first = class_cnt[rows, col] == 0
+                class_cnt[rows, col] += 1
+                if first.any():
+                    bumped = rows[first]
+                    n_class[bumped] += 1
+                    for row in bumped[n_class[bumped] == 2]:
+                        # Second distinct class on the row: HOL penalty on.
+                        warm.set_capacity(int(row), base_cap[row] * hol_eff)
+            slot = warm.admit(rows, qos.flow_weight(f.sl), demand=f.rate_cap)
+            grow_slots(slot + 1)
+            flow_by_slot.append(f)
+            route_by_slot.append(route)
+            rows_by_slot.append(rows)
+            size_arr[slot] = f.size
+            rem_arr[slot] = f.size
+            act[slot] = True
+            n_active += 1
+            if link_members is not None:
+                for link in route:
+                    link_members.setdefault(link, set()).add(f.flow_id)
+            if tracer is not None:
+                flow_spans[f.flow_id] = tracer.begin(
+                    f"{f.src}->{f.dst}",
+                    max(now, f.start),
+                    track=f"flows/{f.sl.name.lower()}",
+                    cat="flows",
+                    args={"bytes": f.size, "links": len(route)},
+                    async_id=f.flow_id,
+                )
+
+        def retire(slot: int, now: float) -> None:
+            nonlocal n_active
+            f = flow_by_slot[slot]
+            fid = f.flow_id
+            if audit is not None:
+                audit.check_retire(f, f.start, now)
+            if sess is not None:
+                if tracer is not None:
+                    tracer.end(flow_spans.pop(fid, None), now)
+                sess.registry.histogram(
+                    "flow_duration_s", sl=f.sl.name
+                ).observe(now - f.start)
+                sess.registry.counter(
+                    "flows_completed_total", sl=f.sl.name
+                ).inc()
+            if track_classes:
+                rows = rows_by_slot[slot]
+                col = sl_col[f.sl]
+                class_cnt[rows, col] -= 1
+                emptied = rows[class_cnt[rows, col] == 0]
+                if emptied.shape[0]:
+                    n_class[emptied] -= 1
+                    for row in emptied[n_class[emptied] == 1]:
+                        # Back to a single class: full capacity restored.
+                        warm.set_capacity(int(row), float(base_cap[row]))
+            if link_members is not None:
+                for link in route_by_slot[slot]:
+                    members = link_members[link]
+                    members.discard(fid)
+                    if not members:
+                        del link_members[link]
+            warm.retire(slot)
+            act[slot] = False
+            n_active -= 1
+
+        now = 0.0
+        i = 0
+        while i < len(pending) or n_active:
+            if not n_active:
+                now = max(now, pending[i].start)
+                with self.stats.timeit("invalidate_s"):
+                    while i < len(pending) and pending[i].start <= now:
+                        admit(pending[i], now)
+                        i += 1
+                continue
+
+            self.stats.bump("events")
+            self.stats.bump("rate_recomputes")
+            self._sim_now = now
+            with self.stats.timeit("solve_s"):
+                rates_all = warm.solve(perf=self.stats)
+            slots = np.flatnonzero(act[: warm.n_flows])
+            r = rates_all[slots]
+            rem = rem_arr[slots]
+
+            inf_mask = np.isinf(r)
+            if inf_mask.any():
+                t_complete = 0.0
+            else:
+                # Zero rates (a fully-consumed bottleneck) cannot complete;
+                # they wait for an arrival or another completion.
+                pos = r > 0.0
+                if pos.all():
+                    t_complete = float(np.min(rem / r))
+                elif pos.any():
+                    t_complete = float(np.min(rem[pos] / r[pos]))
+                else:
+                    t_complete = float("inf")
+            t_arrival = pending[i].start - now if i < len(pending) else float("inf")
+            dt = min(t_complete, t_arrival)
+            if dt == float("inf"):
+                raise TopologyError("simulation stalled: no progress possible")
+
+            moved = np.where(inf_mask, rem, r * dt)
+            if audit is not None:
+                for s, nbytes in zip(slots, moved):
+                    audit.note_progress(flow_by_slot[int(s)].flow_id, float(nbytes))
+            new_rem = np.maximum(rem - moved, 0.0)
+            rem_arr[slots] = new_rem
+            now += dt
+
+            if audit is not None or want_link_rates:
+                self._publish_warm_link_rates(
+                    sess, slots, rates_all, flow_by_slot, route_by_slot,
+                    link_members, link_row, warm,
+                )
+
+            # Batch every simultaneous completion into one retire pass, so
+            # the next iteration runs a single recompute for all of them.
+            fin = slots[new_rem <= size_arr[slots] * COMPLETION_EPS]
+            if fin.shape[0]:
+                with self.stats.timeit("invalidate_s"):
+                    for s in fin:
+                        slot = int(s)
+                        f = flow_by_slot[slot]
+                        results[f.flow_id] = FlowResult(
+                            flow=f, start=f.start, finish=now
+                        )
+                        retire(slot, now)
+                self.stats.bump("completions", int(fin.shape[0]))
+                self.stats.bump("completion_batches")
+            if i < len(pending) and pending[i].start <= now + 1e-12:
+                with self.stats.timeit("invalidate_s"):
+                    while i < len(pending) and pending[i].start <= now + 1e-12:
+                        admit(pending[i], now)
+                        i += 1
+
+        if tracer is not None and pending:
+            t0 = pending[0].start
+            tracer.complete(
+                "fluid_run", t0, max(now - t0, 0.0), track="flows",
+                cat="flows", args={"flows": len(pending)},
+            )
+        ordered = sorted(flows, key=lambda f: f.flow_id)
+        return [results[f.flow_id] for f in ordered]
+
+    def _publish_warm_link_rates(
+        self,
+        sess: Optional["telemetry.TelemetrySession"],
+        slots: np.ndarray,
+        rates_all: np.ndarray,
+        flow_by_slot: List[Flow],
+        route_by_slot: List[List[LinkId]],
+        link_members: Optional[Dict[LinkId, Set[int]]],
+        link_row: Dict[LinkId, int],
+        warm: WarmMaxMin,
+    ) -> None:
+        """Slow-path per-event link loads for the warm engine.
+
+        Only called when an adaptive router, a telemetry session, or the
+        sanitizer needs them — the plain hot path never builds the dict.
+        """
+        link_rates: Dict[LinkId, float] = {}
+        rates_by_id: Dict[int, float] = {}
+        for s in slots:
+            slot = int(s)
+            rate = float(rates_all[slot])
+            rates_by_id[flow_by_slot[slot].flow_id] = rate
+            if rate == float("inf"):
+                continue
+            for link in route_by_slot[slot]:
+                link_rates[link] = link_rates.get(link, 0.0) + rate
+        self._link_rates = link_rates
+        if link_members is not None:
+            constraints = [
+                _LinkConstraint(warm.capacity_of(link_row[link]), members, link)
+                for link, members in link_members.items()
+            ]
+            _sanitizer.check_feasible_allocation(
+                constraints, rates_by_id, self._sim_now
+            )
+        if sess is not None:
+            self._sample_link_utilization(sess, link_rates)
 
     def aggregate_throughput(self, flows: Sequence[Flow]) -> BytesPerSec:
         """Total bytes moved / makespan for a flow set (convenience).

@@ -74,16 +74,19 @@ class StaticRouter(Router):
     """
 
     def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
-        cands = self._candidates(src, dst)
-        return cands[_stable_hash(dst) % len(cands)]
+        # Unrank the hashed choice directly — no candidate enumeration.
+        n = self.fabric.shortest_path_count(src, dst)
+        return self.fabric.shortest_path_by_index(src, dst, _stable_hash(dst) % n)
 
 
 class EcmpRouter(Router):
     """Per-flow ECMP: hash (src, dst, flow_id) across equal-cost paths."""
 
     def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
-        cands = self._candidates(src, dst)
-        return cands[_stable_hash(src, dst, flow_id) % len(cands)]
+        n = self.fabric.shortest_path_count(src, dst)
+        return self.fabric.shortest_path_by_index(
+            src, dst, _stable_hash(src, dst, flow_id) % n
+        )
 
 
 class AdaptiveRouter(Router):

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.units import BytesPerSec
 from repro.errors import TopologyError
@@ -22,12 +23,29 @@ class Fabric:
     edge is an independent :data:`LinkId` with the edge's capacity.
     """
 
+    #: Per-destination BFS distance maps kept before a full clear. A map
+    #: costs O(V); the cap only matters for pathological many-destination
+    #: sweeps over huge fabrics.
+    _DIST_CACHE_MAX = 4096
+
     def __init__(self, name: str = "fabric") -> None:
         self.name = name
         self.g = nx.Graph()
         self._zone: Dict[str, int] = {}
+        # Routing fast path (see all_shortest_paths): an index-space CSR
+        # view of the graph plus per-destination BFS levels and path
+        # counts, shared by every source that routes to the same
+        # destination. Invalidated on any topology mutation.
+        self._csr_cache = None
+        self._dist_cache: Dict[int, List[int]] = {}
+        self._spc_cache: Dict[int, List[int]] = {}
 
     # -- construction ----------------------------------------------------------
+
+    def _invalidate_routing_caches(self) -> None:
+        self._csr_cache = None
+        self._dist_cache.clear()
+        self._spc_cache.clear()
 
     def add_host(self, name: str, zone: int = 0, **attrs) -> None:
         """Add an endpoint (compute or storage node NIC port)."""
@@ -35,6 +53,7 @@ class Fabric:
             raise TopologyError(f"duplicate node {name!r}")
         self.g.add_node(name, kind="host", **attrs)
         self._zone[name] = zone
+        self._invalidate_routing_caches()
 
     def add_switch(self, name: str, tier: str, zone: int = 0, **attrs) -> None:
         """Add a switch at tier ``leaf`` / ``spine`` / ``core``."""
@@ -44,6 +63,7 @@ class Fabric:
             raise TopologyError(f"unknown switch tier {tier!r}")
         self.g.add_node(name, kind=tier, **attrs)
         self._zone[name] = zone
+        self._invalidate_routing_caches()
 
     def add_link(self, a: str, b: str, capacity: BytesPerSec) -> None:
         """Connect two nodes with a full-duplex link of ``capacity`` B/s."""
@@ -54,6 +74,7 @@ class Fabric:
         if self.g.has_edge(a, b):
             raise TopologyError(f"duplicate link {a!r}-{b!r}")
         self.g.add_edge(a, b, capacity=float(capacity))
+        self._invalidate_routing_caches()
 
     # -- queries ---------------------------------------------------------------
 
@@ -99,18 +120,189 @@ class Fabric:
             links.append((a, b))
         return links
 
+    def _csr(self) -> Tuple[List[str], Dict[str, int], "np.ndarray", "np.ndarray", List[List[int]]]:
+        """Index-space topology view for the routing fast path.
+
+        Returns ``(names, index, indptr, indices, adj)``: node names in
+        insertion order, the name→index map, CSR adjacency as NumPy arrays
+        (for the vectorized BFS), and the same adjacency as Python int
+        lists (for per-route DFS/unranking, where list indexing beats
+        NumPy scalar access). Neighbours are ordered by *name* so every
+        index-space traversal reproduces the lexicographic path order of
+        the original string-space enumeration.
+        """
+        csr = self._csr_cache
+        if csr is None:
+            names = list(self.g.nodes)
+            index = {n: i for i, n in enumerate(names)}
+            adj: List[List[int]] = [
+                [index[nbr] for nbr in sorted(self.g.neighbors(n))]
+                for n in names
+            ]
+            counts = np.array([len(a) for a in adj], dtype=np.intp)
+            indptr = np.zeros(len(names) + 1, dtype=np.intp)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.array(
+                [j for a in adj for j in a], dtype=np.intp
+            ) if names else np.zeros(0, dtype=np.intp)
+            csr = self._csr_cache = (names, index, indptr, indices, adj)
+        return csr
+
+    def _levels_to(self, di: int) -> List[int]:
+        """BFS hop counts toward node index ``di`` (-1 = unreachable).
+
+        One vectorized BFS serves every source routing to the same
+        destination — this is what makes full-fabric flow mixes affordable
+        (IB-style destination-rooted forwarding), versus one graph
+        traversal per (src, dst) pair.
+        """
+        lev = self._dist_cache.get(di)
+        if lev is None:
+            names, _, indptr, indices, _ = self._csr()
+            if len(self._dist_cache) >= self._DIST_CACHE_MAX:
+                self._dist_cache.clear()
+                self._spc_cache.clear()
+            larr = np.full(len(names), -1, dtype=np.int64)
+            larr[di] = 0
+            frontier = np.array([di], dtype=np.intp)
+            scratch = np.zeros(len(names), dtype=bool)
+            d = 0
+            while frontier.size:
+                d += 1
+                starts = indptr[frontier]
+                counts = indptr[frontier + 1] - starts
+                total = int(counts.sum())
+                if not total:
+                    break
+                cum = np.cumsum(counts) - counts
+                nbrs = indices[np.repeat(starts - cum, counts)
+                               + np.arange(total)]
+                cand = nbrs[larr[nbrs] < 0]
+                if not cand.size:
+                    break
+                # Deduplicate via boolean scatter (cheaper than np.unique).
+                scratch[cand] = True
+                fresh = np.flatnonzero(scratch)
+                scratch[fresh] = False
+                larr[fresh] = d
+                frontier = fresh
+            lev = self._dist_cache[di] = larr.tolist()
+        return lev
+
+    def _counts_to(self, di: int) -> List[int]:
+        """Per-destination shortest-path multiplicity memo (-1 = unknown).
+
+        Entries are filled on demand by :meth:`_count_from`, so only nodes
+        actually on queried routes are ever computed.
+        """
+        counts = self._spc_cache.get(di)
+        if counts is None:
+            names, _, _, _, _ = self._csr()
+            counts = self._spc_cache[di] = [-1] * len(names)
+            counts[di] = 1
+        return counts
+
+    def _count_from(
+        self, i: int, lev: List[int], counts: List[int], adj: List[List[int]]
+    ) -> int:
+        c = counts[i]
+        if c >= 0:
+            return c
+        d = lev[i]
+        c = 0
+        for j in adj[i]:
+            if lev[j] == d - 1:
+                c += self._count_from(j, lev, counts, adj)
+        counts[i] = c
+        return c
+
     def all_shortest_paths(self, src: str, dst: str) -> List[List[str]]:
-        """All equal-cost shortest node paths, deterministically ordered."""
+        """All equal-cost shortest node paths, deterministically ordered.
+
+        Paths are enumerated from the destination-rooted BFS levels
+        (:meth:`_levels_to`): from ``src``, every neighbour one level
+        closer to ``dst`` extends a shortest path. Visiting name-ordered
+        neighbours depth-first yields the paths in lexicographic order —
+        byte-identical to the previous ``networkx`` enumeration + sort.
+        """
+        if src not in self.g:
+            raise TopologyError(f"unknown node {src!r}")
+        if dst not in self.g:
+            raise TopologyError(f"unknown node {dst!r}")
         if src == dst:
             return [[src]]
-        try:
-            paths = list(nx.all_shortest_paths(self.g, src, dst))
-        except nx.NetworkXNoPath:
+        names, index, _, _, adj = self._csr()
+        lev = self._levels_to(index[dst])
+        si = index[src]
+        if lev[si] < 0:
             raise TopologyError(f"no path {src!r} -> {dst!r}")
-        except nx.NodeNotFound as exc:
-            raise TopologyError(str(exc))
-        paths.sort()
-        return paths
+        out: List[List[str]] = []
+        path: List[int] = [si]
+
+        def _extend(i: int, d: int) -> None:
+            if d == 0:
+                out.append([names[j] for j in path])
+                return
+            for j in adj[i]:
+                if lev[j] == d - 1:
+                    path.append(j)
+                    _extend(j, d - 1)
+                    path.pop()
+
+        _extend(si, lev[si])
+        return out
+
+    def shortest_path_count(self, src: str, dst: str) -> int:
+        """Number of equal-cost shortest paths from ``src`` to ``dst``."""
+        if src not in self.g:
+            raise TopologyError(f"unknown node {src!r}")
+        if dst not in self.g:
+            raise TopologyError(f"unknown node {dst!r}")
+        if src == dst:
+            return 1
+        _, index, _, _, adj = self._csr()
+        di = index[dst]
+        lev = self._levels_to(di)
+        si = index[src]
+        if lev[si] < 0:
+            raise TopologyError(f"no path {src!r} -> {dst!r}")
+        return self._count_from(si, lev, self._counts_to(di), adj)
+
+    def shortest_path_by_index(self, src: str, dst: str, k: int) -> List[str]:
+        """The ``k``-th shortest path in the :meth:`all_shortest_paths` order.
+
+        Materializes exactly one path by unranking ``k`` against the
+        per-node path counts — O(hops × degree) instead of enumerating
+        every equal-cost path. This is the hashed-selection fast path for
+        :class:`~repro.network.routing.StaticRouter` and
+        :class:`~repro.network.routing.EcmpRouter`.
+        """
+        total = self.shortest_path_count(src, dst)
+        if not 0 <= k < total:
+            raise TopologyError(
+                f"path index {k} out of range for {src!r} -> {dst!r} "
+                f"({total} paths)"
+            )
+        if src == dst:
+            return [src]
+        names, index, _, _, adj = self._csr()
+        di = index[dst]
+        lev = self._levels_to(di)
+        counts = self._counts_to(di)
+        path = [index[src]]
+        i = path[0]
+        d = lev[i]
+        while d > 0:
+            for j in adj[i]:
+                if lev[j] == d - 1:
+                    c = self._count_from(j, lev, counts, adj)
+                    if k < c:
+                        path.append(j)
+                        i = j
+                        d -= 1
+                        break
+                    k -= c
+        return [names[j] for j in path]
 
     def bisection_bandwidth(self, partition: Set[str]) -> float:
         """Total capacity crossing a node partition (one direction)."""

@@ -56,12 +56,22 @@ class Event:
 
     # -- triggering ----------------------------------------------------------
 
-    def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
+    def _set_ok(self, value: Any = None) -> "Event":
+        """Mark succeeded *without* scheduling (the batch-coalescing path).
+
+        Callers must hand the event to ``Environment._schedule_batch`` in
+        the same tick; an outcome set but never scheduled would strand any
+        waiters.
+        """
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
+        return self
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._set_ok(value)
         self.env._schedule(self)
         return self
 
@@ -92,14 +102,18 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 *, _defer: bool = False) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        # _defer: Environment.timeouts() schedules the whole group as one
+        # coalesced heap entry instead of one push per Timeout.
+        if not _defer:
+            env._schedule(self, delay=delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay}>"

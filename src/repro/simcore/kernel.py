@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.analysis import sanitizer as _sanitizer
@@ -15,6 +15,7 @@ from repro.simcore.process import ProcGen, Process
 _INFINITY = float("inf")
 
 StepHook = Callable[[float, Event], None]
+BatchHook = Callable[[float, Tuple[Event, ...]], None]
 WakeupHook = Callable[[Process], None]
 
 
@@ -23,24 +24,34 @@ class Environment:
 
     Events scheduled at equal times are processed in FIFO scheduling order
     (a monotonically increasing sequence number breaks ties), which makes
-    simulations deterministic.
+    simulations deterministic. Events triggered together at the same
+    timestamp (a resource granting several waiters, a store handoff, a
+    group of :meth:`timeouts`) are *coalesced*: one heap entry carries the
+    whole group, so a burst costs one push/pop instead of one per event,
+    and batch hooks see it as a single dispatch.
 
     *Step hooks* run after every processed event with ``(time, event)``;
-    *wakeup hooks* run whenever a process is resumed. Both lists are empty
-    unless something registers (the check is a falsy-list test per event).
-    When a :mod:`repro.telemetry` session is active at construction time,
-    hooks that count steps and per-process wakeups into the session's
-    metrics registry are attached automatically; ``label`` names this
-    environment in those metrics.
+    *batch hooks* run once per popped heap entry with
+    ``(time, events_tuple)`` (singles arrive as 1-tuples); *wakeup hooks*
+    run whenever a process is resumed. All lists are empty unless
+    something registers (the check is a falsy-list test per event). When a
+    :mod:`repro.telemetry` session is active at construction time, hooks
+    that count steps and per-process wakeups into the session's metrics
+    registry are attached automatically; ``label`` names this environment
+    in those metrics.
     """
 
     def __init__(self, initial_time: float = 0.0, label: str = "env") -> None:
         self._now = float(initial_time)
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Heap entries are (time, seq, payload) where payload is one Event
+        # or a tuple of same-timestamp events; seq is unique, so payloads
+        # are never compared.
+        self._heap: List[Tuple[float, int, Any]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
         self.label = label
         self._step_hooks: List[StepHook] = []
+        self._batch_hooks: List[BatchHook] = []
         self._wakeup_hooks: List[WakeupHook] = []
         sess = telemetry.session()
         if sess is not None:
@@ -56,13 +67,26 @@ class Environment:
         """Call ``hook(time, event)`` after every processed event."""
         self._step_hooks.append(hook)
 
+    def add_batch_hook(self, hook: BatchHook) -> None:
+        """Call ``hook(time, events)`` once per popped heap entry.
+
+        A coalesced group arrives as one tuple; an individually scheduled
+        event arrives as a 1-tuple. Observers that only need per-tick
+        aggregates (counters, monotonicity checks) should prefer this over
+        :meth:`add_step_hook` — it is dispatched once per pop, not once
+        per event.
+        """
+        self._batch_hooks.append(hook)
+
     def add_wakeup_hook(self, hook: WakeupHook) -> None:
         """Call ``hook(process)`` whenever a process is stepped."""
         self._wakeup_hooks.append(hook)
 
     def _attach_telemetry(self, sess: "telemetry.TelemetrySession") -> None:
+        # One dispatch per heap pop: a coalesced batch of n events counts
+        # n steps through a single hook call.
         steps = sess.registry.counter("sim_steps_total", env=self.label)
-        self.add_step_hook(lambda _t, _e: steps.inc())
+        self.add_batch_hook(lambda _t, evs: steps.inc(len(evs)))
         registry = sess.registry
         label = self.label
 
@@ -95,6 +119,18 @@ class Environment:
         """Create an event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeouts(self, delay: float, values: Iterable[Any]) -> List[Timeout]:
+        """Create one timeout per value, all firing ``delay`` from now.
+
+        The group is coalesced into a single heap entry (one push, one
+        pop, one batch-hook dispatch) instead of one entry per timeout —
+        the cheap way to fan a burst of same-timestamp work into the
+        event loop. Events fire in ``values`` order.
+        """
+        events = [Timeout(self, delay, v, _defer=True) for v in values]
+        self._schedule_batch(events, delay=delay)
+        return events
+
     def process(self, generator: ProcGen, name: str = "") -> Process:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
@@ -112,28 +148,58 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
 
+    def _schedule_batch(self, events: Sequence[Event], delay: float = 0.0) -> None:
+        """Schedule same-timestamp ``events`` as one coalesced heap entry.
+
+        The events must already carry their outcome (``_set_ok`` /
+        deferred :class:`Timeout`); they are applied in sequence order
+        under a single pop, with batch hooks dispatched once for the
+        whole group.
+        """
+        if not events:
+            return
+        if len(events) == 1:
+            self._schedule(events[0], delay)
+            return
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._seq), tuple(events))
+        )
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else _INFINITY
 
     def step(self) -> None:
-        """Process exactly one event; raises if the queue is empty."""
+        """Process the next heap entry; raises if the queue is empty.
+
+        An entry is a single event or a coalesced same-timestamp batch;
+        batch members are applied in their scheduling order, so behaviour
+        is identical to n individually scheduled events — minus n-1 heap
+        operations and the per-event hook dispatches.
+        """
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
+        when, _, payload = heapq.heappop(self._heap)
         self._now = when
-        if self._step_hooks:
-            for hook in self._step_hooks:
-                hook(when, event)
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            for cb in callbacks:
-                cb(event)
-        if not event._ok and not event._defused:
-            # An unhandled failed event (nobody waited on it) is an error —
-            # mirrors SimPy semantics so silent failures can't hide.
-            if not callbacks:
-                raise event._value
+        events = payload if type(payload) is tuple else (payload,)
+        if self._batch_hooks:
+            for hook in self._batch_hooks:
+                hook(when, events)
+        step_hooks = self._step_hooks
+        for event in events:
+            if step_hooks:
+                for hook in step_hooks:
+                    hook(when, event)
+            callbacks, event.callbacks = event.callbacks, None
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
+            if not event._ok and not event._defused:
+                # An unhandled failed event (nobody waited on it) is an
+                # error — mirrors SimPy semantics so silent failures can't
+                # hide.
+                if not callbacks:
+                    raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

@@ -67,10 +67,13 @@ class Resource:
                 return
             except ValueError:
                 raise SimulationError("release() of a request not held or queued")
+        granted: List[_Request] = []
         while self.queue and len(self.users) < self.capacity:
             nxt = self.queue.popleft()
             self.users.append(nxt)
-            nxt.succeed()
+            granted.append(nxt._set_ok())
+        # All grants happen at the same instant: one coalesced heap entry.
+        self.env._schedule_batch(granted)
 
 
 class Store:
@@ -93,9 +96,9 @@ class Store:
         """Insert ``item``; the returned event fires when accepted."""
         ev = Event(self.env)
         if self._getters:
+            # Direct handoff wakes getter and putter together: one entry.
             getter = self._getters.popleft()
-            getter.succeed(item)
-            ev.succeed()
+            self.env._schedule_batch((getter._set_ok(item), ev._set_ok()))
         elif len(self.items) < self.capacity:
             self.items.append(item)
             ev.succeed()
@@ -107,15 +110,17 @@ class Store:
         """Remove the oldest item; the returned event fires with it."""
         ev = Event(self.env)
         if self.items:
-            ev.succeed(self.items.popleft())
             if self._putters:
                 pev, pitem = self._putters.popleft()
                 self.items.append(pitem)
-                pev.succeed()
+                self.env._schedule_batch(
+                    (ev._set_ok(self.items.popleft()), pev._set_ok())
+                )
+            else:
+                ev.succeed(self.items.popleft())
         elif self._putters:
             pev, pitem = self._putters.popleft()
-            pev.succeed()
-            ev.succeed(pitem)
+            self.env._schedule_batch((pev._set_ok(), ev._set_ok(pitem)))
         else:
             self._getters.append(ev)
         return ev
@@ -167,6 +172,7 @@ class Container:
         return ev
 
     def _settle(self) -> None:
+        fired: List[Event] = []
         progressed = True
         while progressed:
             progressed = False
@@ -175,12 +181,14 @@ class Container:
                 if self._level + amt <= self.capacity:
                     self._putters.popleft()
                     self._level += amt
-                    ev.succeed()
+                    fired.append(ev._set_ok())
                     progressed = True
             if self._getters:
                 ev, amt = self._getters[0]
                 if amt <= self._level:
                     self._getters.popleft()
                     self._level -= amt
-                    ev.succeed(amt)
+                    fired.append(ev._set_ok(amt))
                     progressed = True
+        # The whole settle cascade happens at one instant: coalesce it.
+        self.env._schedule_batch(fired)

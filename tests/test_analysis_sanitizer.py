@@ -89,12 +89,21 @@ class TestEnvironmentMonitor:
         env.run()
         assert done == [3.0]  # monotone run passes through the monitor
 
+    def test_batch_counts_every_member_and_checks_time(self):
+        mon = sanitizer.EnvironmentMonitor("test-env")
+        mon.on_batch(1.0, ("ev1", "ev2", "ev3"))
+        assert mon.steps == 3
+        with pytest.raises(SanitizerError) as exc:
+            mon.on_batch(0.5, ("ev4",))
+        assert exc.value.check == "event_monotonicity"
+        assert exc.value.context["previous_time"] == 1.0
+
     def test_not_attached_when_disabled(self):
         disable_sanitizer()
         env = Environment()
         assert not any(
             isinstance(getattr(h, "__self__", None), sanitizer.EnvironmentMonitor)
-            for h in env._step_hooks
+            for h in env._step_hooks + env._batch_hooks
         )
 
 

@@ -66,3 +66,19 @@ def test_seed_flag_warns_on_unseeded(capsys):
     assert main(["table1", "--seed", "3"]) == 0
     err = capsys.readouterr().err
     assert "no effect" in err
+
+
+def test_profile_flag_prints_cprofile_top25(capsys):
+    assert main(["table1", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out  # the experiment itself still renders
+    assert "Ordered by: cumulative time" in out
+    assert "ncalls" in out
+    assert "List reduced from" in out  # pstats applied the 25-entry cap
+
+
+def test_profile_composes_with_perf(capsys):
+    assert main(["table1", "--profile", "--perf"]) == 0
+    out = capsys.readouterr().out
+    assert "Ordered by: cumulative time" in out
+    assert "perf:" in out  # the repro.perf report still follows

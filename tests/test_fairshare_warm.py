@@ -1,0 +1,285 @@
+"""Property tests for the warm-started incremental max-min solver.
+
+The load-bearing claim (see ``repro.fairshare.warm``) is that a
+:class:`WarmMaxMin` carried through an arbitrary admit/retire/capacity
+sequence produces, after every mutation, exactly the rates a cold solve
+of the current problem would — the warm path only skips work, never
+changes the fixpoint. The oracle is the pure-Python reference engine;
+agreement must hold to ≤1e-9 (summation-order round-off only), including
+when link failures reroute flows mid-sequence via a
+:class:`~repro.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, LinkFlap
+from repro.fairshare import Constraint, WarmMaxMin, maxmin_rates
+from repro.hardware.spec import QM8700_SWITCH, SwitchSpec
+from repro.network import Flow, FlowSim, two_layer_fat_tree
+from repro.network.linkfail import DegradedFabric, links_for_event
+from repro.network.routing import StaticRouter
+from repro.perf import PerfCounters
+
+#: Low-radix switch so a 16-host fat-tree spreads over 4 leaves and
+#: 4 spines — every cross-leaf route then traverses a failable link.
+TINY_SWITCH = SwitchSpec(
+    name="tiny8", ports=8, port_rate=QM8700_SWITCH.port_rate,
+    relative_price=1.0,
+)
+
+
+def _cold_oracle(
+    flows: Dict[int, Tuple[Tuple[int, ...], float, Optional[float]]],
+    caps: Dict[int, float],
+) -> Dict[int, float]:
+    """Reference solve of the model tracked alongside the warm solver."""
+    ids = sorted(flows)
+    constraints = []
+    for row, cap in caps.items():
+        members = {s for s, (rows, _, _) in flows.items() if row in rows}
+        if members:
+            constraints.append(Constraint(cap, members, name=f"r{row}"))
+    weights = {s: w for s, (_, w, _) in flows.items()}
+    demands = {s: d for s, (_, _, d) in flows.items() if d is not None}
+    return maxmin_rates(ids, constraints, weights, demands or None)
+
+
+def _assert_rates_match(warm: WarmMaxMin, flows, caps) -> None:
+    expected = _cold_oracle(flows, caps)
+    rates = warm.solve()
+    for slot, want in expected.items():
+        got = float(rates[slot])
+        if math.isinf(want):
+            assert math.isinf(got), f"slot {slot}: {got} != inf"
+        else:
+            assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+                f"slot {slot}: warm {got} != cold {want}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Direct unit coverage
+# ---------------------------------------------------------------------------
+
+
+def test_single_row_weighted_split_and_incremental_retire():
+    warm = WarmMaxMin()
+    row = warm.new_constraint(12.0)
+    a = warm.admit([row], weight=2.0)
+    b = warm.admit([row], weight=1.0)
+    rates = warm.solve()
+    assert rates[a] == pytest.approx(8.0)
+    assert rates[b] == pytest.approx(4.0)
+    warm.retire(a)
+    rates = warm.solve()
+    assert rates[b] == pytest.approx(12.0)
+    assert warm.n_active == 1 and not warm.is_active(a)
+
+
+def test_demand_becomes_dedicated_row():
+    warm = WarmMaxMin()
+    row = warm.new_constraint(10.0)
+    a = warm.admit([row], demand=1.0)
+    b = warm.admit([row])
+    rates = warm.solve()
+    assert rates[a] == pytest.approx(1.0)
+    assert rates[b] == pytest.approx(9.0)
+
+
+def test_unconstrained_flow_is_infinite():
+    warm = WarmMaxMin()
+    slot = warm.admit([])
+    assert math.isinf(warm.solve()[slot])
+
+
+def test_unchanged_solve_is_a_cache_hit():
+    warm = WarmMaxMin()
+    row = warm.new_constraint(5.0)
+    warm.admit([row])
+    perf = PerfCounters()
+    warm.solve(perf=perf)
+    warm.set_capacity(row, 5.0)  # no-op change must not invalidate
+    warm.solve(perf=perf)
+    assert perf.counters["warm_cache_hits"] == 1
+
+
+def test_invalid_arguments_rejected():
+    warm = WarmMaxMin()
+    with pytest.raises(ValueError):
+        warm.new_constraint(0.0)
+    row = warm.new_constraint(1.0)
+    with pytest.raises(ValueError):
+        warm.admit([row], weight=0.0)
+    with pytest.raises(IndexError):
+        warm.admit([row + 99])
+    with pytest.raises(IndexError):
+        warm.set_capacity(row + 99, 1.0)
+    slot = warm.admit([row])
+    warm.retire(slot)
+    with pytest.raises(ValueError):
+        warm.retire(slot)
+
+
+def test_compaction_preserves_rates():
+    # Enough churn to trip the garbage threshold (nnz > 1024 with more
+    # than half the entries retired), then verify against the oracle.
+    warm = WarmMaxMin()
+    rows = [warm.new_constraint(10.0 + r) for r in range(8)]
+    caps = {r: 10.0 + r for r in range(8)}
+    flows: Dict[int, Tuple[Tuple[int, ...], float, Optional[float]]] = {}
+    rng = random.Random(7)
+    slots = []
+    for i in range(400):
+        use = tuple(sorted(rng.sample(range(8), 4)))
+        slot = warm.admit([rows[r] for r in use], weight=1.0 + i % 3)
+        flows[slot] = (use, 1.0 + i % 3, None)
+        slots.append(slot)
+        warm.solve()
+    for slot in slots[:300]:
+        warm.retire(slot)
+        del flows[slot]
+    _assert_rates_match(warm, flows, caps)
+
+
+# ---------------------------------------------------------------------------
+# Property: arbitrary mutation sequences match cold solves
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_rows=st.integers(min_value=1, max_value=6),
+    n_ops=st.integers(min_value=1, max_value=25),
+)
+def test_property_incremental_sequence_matches_cold(seed, n_rows, n_ops):
+    rng = random.Random(seed)
+    warm = WarmMaxMin()
+    rows = [warm.new_constraint(rng.uniform(0.5, 100.0)) for _ in range(n_rows)]
+    caps = {r: warm.capacity_of(r) for r in rows}
+    #: slot -> (constraint rows, weight, demand) — the oracle's model.
+    flows: Dict[int, Tuple[Tuple[int, ...], float, Optional[float]]] = {}
+
+    def admit() -> None:
+        k = rng.randint(1, n_rows)
+        use = tuple(sorted(rng.sample(rows, k)))
+        weight = rng.choice([1.0, 2.0, 3.0, 4.0])
+        demand = rng.uniform(0.5, 50.0) if rng.random() < 0.25 else None
+        slot = warm.admit(list(use), weight=weight, demand=demand)
+        flows[slot] = (use, weight, demand)
+
+    admit()  # never start empty
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not flows:
+            admit()
+        elif op < 0.70:
+            slot = rng.choice(sorted(flows))
+            warm.retire(slot)
+            del flows[slot]
+        else:
+            row = rng.choice(rows)
+            caps[row] = rng.uniform(0.5, 100.0)
+            warm.set_capacity(row, caps[row])
+        _assert_rates_match(warm, flows, caps)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_failures=st.integers(min_value=1, max_value=3),
+)
+def test_property_fault_plan_reroutes_match_cold(seed, n_failures):
+    """Link failures mid-sequence: flows over a dead link are rerouted
+    (retire + re-admit on the degraded fabric's routes) and the warm
+    fixpoint still matches a cold solve after every event."""
+    rng = random.Random(seed)
+    fab = two_layer_fat_tree(16, switch=TINY_SWITCH)
+    hosts = fab.hosts
+    router = StaticRouter(fab)
+    warm = WarmMaxMin()
+
+    link_rows: Dict[Tuple[str, str], int] = {}
+    caps: Dict[int, float] = {}
+    flows: Dict[int, Tuple[Tuple[int, ...], float, Optional[float]]] = {}
+    flow_ends: Dict[int, Tuple[str, str]] = {}
+
+    def rows_for(route) -> Tuple[int, ...]:
+        out = []
+        for link in route:
+            row = link_rows.get(link)
+            if row is None:
+                row = link_rows[link] = warm.new_constraint(fab.capacity(link))
+                caps[row] = warm.capacity_of(row)
+            out.append(row)
+        return tuple(sorted(out))
+
+    def admit_between(active_router, src: str, dst: str) -> None:
+        route = active_router.route_links(src, dst, len(flows))
+        use = rows_for(route)
+        weight = rng.choice([1.0, 2.0])
+        slot = warm.admit(list(use), weight=weight)
+        flows[slot] = (use, weight, None)
+        flow_ends[slot] = (src, dst)
+
+    for _ in range(10):
+        src, dst = rng.sample(hosts, 2)
+        admit_between(router, src, dst)
+    _assert_rates_match(warm, flows, caps)
+
+    # A fault plan of leaf-spine flaps (always reroutable in a fat-tree).
+    leaves = fab.switches("leaf")
+    spines = fab.switches("spine")
+    plan = FaultPlan([
+        LinkFlap(time=float(i + 1), link=(rng.choice(leaves), rng.choice(spines)))
+        for i in range(n_failures)
+    ])
+    for event in plan.of_kind("link_flap"):
+        dead = links_for_event(fab, event)
+        degraded = DegradedFabric.from_fabric(fab, dead)
+        degraded_router = StaticRouter(degraded)
+        dead_rows = {
+            link_rows[l] for l in dead if l in link_rows
+        } | {
+            link_rows[(b, a)] for a, b in dead if (b, a) in link_rows
+        }
+        for slot in sorted(flows):
+            if not dead_rows.intersection(flows[slot][0]):
+                continue
+            src, dst = flow_ends[slot]
+            warm.retire(slot)
+            del flows[slot]
+            admit_between(degraded_router, src, dst)
+        _assert_rates_match(warm, flows, caps)
+
+
+# ---------------------------------------------------------------------------
+# FlowSim-level equivalence on a degraded fabric
+# ---------------------------------------------------------------------------
+
+
+def test_flowsim_engines_agree_on_degraded_fabric():
+    fab = two_layer_fat_tree(24)
+    plan = FaultPlan([LinkFlap(time=1.0, link=("leaf0", "spine1"))])
+    dead = links_for_event(fab, plan.of_kind("link_flap")[0])
+    degraded = DegradedFabric.from_fabric(fab, dead)
+    flows = [
+        Flow(f"h{i}", f"h{(i * 7 + 11) % 24}", size=1e8,
+             start=0.001 * (i % 5), flow_id=i)
+        for i in range(24)
+        if i != (i * 7 + 11) % 24
+    ]
+    finishes = {}
+    for engine in ("reference", "vectorized"):
+        res = FlowSim(degraded, engine=engine).run(list(flows))
+        finishes[engine] = [r.finish for r in res]
+    for a, b in zip(finishes["reference"], finishes["vectorized"]):
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)

@@ -13,6 +13,7 @@ import time
 
 import pytest
 
+from repro.experiments.congestion_exp import run_scenario
 from repro.hardware.spec import QM8700_SWITCH
 from repro.network import Flow, FlowSim, ServiceLevel, two_layer_fat_tree
 
@@ -52,3 +53,28 @@ def test_fluid_run_smoke():
     assert len(results) == 120
     assert sim.stats.counters["completions"] == 120
     assert elapsed < 10.0, f"fluid run took {elapsed:.2f}s"
+
+
+@pytest.mark.perf_smoke
+def test_congestion_mix_vectorized_at_least_matches_reference():
+    """The vectorized engine never loses to the reference on the §VI-A mix.
+
+    At ``scale=8`` the benchmark headroom is ~2.6x (see
+    ``BENCH_flowsim.json``), so best-of-3 each way gives a comparison
+    that cannot flake on scheduler noise while still catching the engine
+    silently degrading to reference-class behaviour.
+    """
+    def best_of(engine: str, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_scenario(True, "static", True, engine=engine, scale=8)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    ref_s = best_of("reference")
+    vec_s = best_of("vectorized")
+    assert vec_s <= ref_s, (
+        f"vectorized ({vec_s * 1e3:.1f} ms) slower than reference "
+        f"({ref_s * 1e3:.1f} ms) on the congestion mix"
+    )

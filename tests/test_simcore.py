@@ -520,3 +520,131 @@ def test_trace_select_and_series():
     assert tr.last("other")["x"] == 1
     assert tr.last("missing") is None
     assert tr.sum("bw", "value") == pytest.approx(15.5)
+
+
+# ---------------------------------------------------------------------------
+# Batched (coalesced) event application
+# ---------------------------------------------------------------------------
+
+
+def test_timeouts_fire_in_order_from_one_heap_entry():
+    env = Environment()
+    events = env.timeouts(2.0, ["a", "b", "c"])
+    assert len(env._heap) == 1  # coalesced: one entry for the group
+    seen = []
+    for ev in events:
+        ev.callbacks.append(lambda e: seen.append((env.now, e.value)))
+    env.run()
+    assert seen == [(2.0, "a"), (2.0, "b"), (2.0, "c")]
+
+
+def test_timeouts_empty_and_single():
+    env = Environment()
+    assert env.timeouts(1.0, []) == []
+    assert not env._heap
+    (ev,) = env.timeouts(1.0, ["only"])
+    env.run()
+    assert ev.value == "only" and env.now == 1.0
+
+
+def test_batch_hook_fires_once_per_pop():
+    env = Environment()
+    batches = []
+    env.add_batch_hook(lambda t, evs: batches.append((t, len(evs))))
+    env.timeouts(1.0, ["x", "y", "z"])
+    env.timeout(2.0)
+    env.run()
+    assert batches == [(1.0, 3), (2.0, 1)]
+
+
+def test_step_hooks_still_run_per_event_in_a_batch():
+    env = Environment()
+    stepped = []
+    env.add_step_hook(lambda t, e: stepped.append(t))
+    env.timeouts(1.0, ["x", "y", "z"])
+    env.run()
+    assert stepped == [1.0, 1.0, 1.0]
+
+
+def test_batch_and_singles_interleave_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def tag(label):
+        return lambda e: order.append(label)
+
+    t1 = env.timeout(1.0)
+    t1.callbacks.append(tag("single-first"))
+    for ev, lbl in zip(env.timeouts(1.0, [1, 2]), ["batch-1", "batch-2"]):
+        ev.callbacks.append(tag(lbl))
+    t2 = env.timeout(1.0)
+    t2.callbacks.append(tag("single-last"))
+    env.run()
+    assert order == ["single-first", "batch-1", "batch-2", "single-last"]
+
+
+def test_store_handoff_coalesces_getter_and_putter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put("payload")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(1.0, "payload")]
+
+
+def test_resource_release_batch_grants_fifo():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def worker(tag, hold):
+        req = res.request()
+        yield req
+        order.append(("start", tag, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        order.append(("end", tag, env.now))
+
+    for i, hold in enumerate([5.0, 5.0, 1.0, 1.0]):
+        env.process(worker(i, hold))
+    env.run()
+    # Workers 2 and 3 queue behind the first two; slots free at t=5 and
+    # grants wake them in FIFO order.
+    assert [o for o in order if o[0] == "start"] == [
+        ("start", 0, 0.0), ("start", 1, 0.0),
+        ("start", 2, 5.0), ("start", 3, 5.0),
+    ]
+
+
+def test_batched_run_matches_unbatched_semantics():
+    # The same workload expressed as individual timeouts and as one
+    # coalesced group must produce identical completion times.
+    def run_variant(batched):
+        env = Environment()
+        finished = {}
+
+        def job(tag, start_ev):
+            yield start_ev
+            yield env.timeout(1.0 + tag)
+            finished[tag] = env.now
+
+        if batched:
+            starts = env.timeouts(3.0, range(4))
+        else:
+            starts = [env.timeout(3.0, v) for v in range(4)]
+        for tag, ev in enumerate(starts):
+            env.process(job(tag, ev))
+        env.run()
+        return finished
+
+    assert run_variant(True) == run_variant(False)
