@@ -543,6 +543,85 @@ class ImportLayeringRule(Rule):
                         yield alias.name, node
 
 
+# --- monitor thresholds ------------------------------------------------------
+
+
+#: Dimension-carrying suffixes whose defaults must be units expressions.
+_MON_SUFFIXES = ("_s", "_bytes", "_bps")
+
+
+def _bare_numeric(node: ast.AST) -> Optional[float]:
+    """The value of a bare numeric constant (incl. unary minus), or None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _bare_numeric(node.operand)
+        return None if inner is None else inner
+    if (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)):
+        return float(node.value)
+    return None
+
+
+@register
+class MonitorThresholdRule(Rule):
+    """MON001 — detector thresholds must be repro.units expressions."""
+
+    code = "MON001"
+    title = (
+        "dimension-carrying monitor threshold (name ending _s/_bytes/_bps) "
+        "defaulted to a raw numeric literal; express it via repro.units "
+        "(MINUTE, ms(), gbps(), ...) so alert tuning stays auditable"
+    )
+    applies_to = ("monitor",)
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._defaults(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._class_attrs(ctx, node)
+
+    def _flag(
+        self, ctx: FileContext, name: str, default: ast.AST
+    ) -> Iterator[Tuple[int, int, str]]:
+        value = _bare_numeric(default)
+        if value is None or value == 0.0:
+            return  # zero is a valid "disabled" sentinel in any unit
+        yield self.violation(
+            ctx, default,
+            f"threshold {name!r} defaults to raw literal {value:g}; spell "
+            "the unit out with repro.units (e.g. 2 * MINUTE, ms(5))",
+        )
+
+    def _defaults(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Tuple[int, int, str]]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = fn.args
+        pos = args.posonlyargs + args.args
+        for arg, default in zip(pos[len(pos) - len(args.defaults):], args.defaults):
+            if arg.arg.endswith(_MON_SUFFIXES):
+                yield from self._flag(ctx, arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and arg.arg.endswith(_MON_SUFFIXES):
+                yield from self._flag(ctx, arg.arg, default)
+
+    def _class_attrs(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Tuple[int, int, str]]:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            elif isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id.endswith(_MON_SUFFIXES)):
+                    yield from self._flag(ctx, target.id, stmt.value)
+
+
 # Importing the dimension module registers DIM001-003 alongside the rules
 # defined here, so ``all_rules()`` sees one complete registry.
 from repro.analysis import dimension as _dimension  # noqa: E402,F401

@@ -177,7 +177,9 @@ class HFReduceDesSim:
             if tracer is not None:
                 tracer.complete(stage, t0, dur, track=track, cat="collectives",
                                 args={"chunk": c}, async_id=async_id)
-            sess.registry.histogram("hfreduce_stage_s", stage=stage).observe(dur)
+            sess.registry.histogram("hfreduce_stage_s", stage=stage).observe(
+                dur, ts=t0 + dur
+            )
 
         reduced: Store = Store(env)  # chunks ready for inter-node phase
         returned: Store = Store(env)  # chunks fully allreduced

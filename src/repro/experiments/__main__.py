@@ -32,6 +32,12 @@ session around the run and export what the instrumented subsystems
 recorded: a Chrome/Perfetto ``trace_event`` JSON timeline of simulated
 time (open it at https://ui.perfetto.dev) and a JSONL dump of every
 labelled counter/gauge/histogram. See ``docs/OBSERVABILITY.md``.
+
+``--alerts-out`` additionally attaches the streaming cluster monitor
+(:mod:`repro.monitor`) to the session for the whole run and exports
+every alert its detectors raised — firing/resolution sim-timestamps,
+severity, entity, and detector evidence — as JSONL. Alert lifecycle
+instants also land on ``alerts/<detector>`` tracks in the trace.
 """
 
 from __future__ import annotations
@@ -108,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-summary", action="store_true",
         help="print the human-readable telemetry digest after the run",
     )
+    parser.add_argument(
+        "--alerts-out", metavar="PATH",
+        help="attach the streaming cluster monitor and write every alert "
+             "it raises as JSONL",
+    )
     return parser
 
 
@@ -135,10 +146,18 @@ def main(argv: List[str]) -> int:
                 file=sys.stderr,
             )
 
-    collect = bool(args.trace_out or args.metrics_out or args.telemetry_summary)
+    collect = bool(
+        args.trace_out or args.metrics_out or args.telemetry_summary
+        or args.alerts_out
+    )
     session: Optional[telemetry.TelemetrySession] = None
+    monitor = None
     if collect:
         session = telemetry.start(trace=True)
+    if args.alerts_out:
+        from repro.monitor import Monitor
+
+        monitor = Monitor(session).attach()
     if args.perf:
         perf.enable()
     profiler: Optional[cProfile.Profile] = None
@@ -161,6 +180,9 @@ def main(argv: List[str]) -> int:
             print()
             print(perf.report())
             perf.disable()
+        if monitor is not None:
+            monitor.finish()
+            monitor.detach()
         if collect:
             telemetry.stop()
     if session is not None:
@@ -170,6 +192,11 @@ def main(argv: List[str]) -> int:
         if args.metrics_out:
             n = telemetry.write_metrics_jsonl(args.metrics_out, session.registry)
             print(f"metrics: {n} series -> {args.metrics_out}", file=sys.stderr)
+        if args.alerts_out:
+            from repro.monitor import write_alerts_jsonl
+
+            n = write_alerts_jsonl(args.alerts_out, monitor.alerts)
+            print(f"alerts: {n} -> {args.alerts_out}", file=sys.stderr)
         if args.telemetry_summary:
             print()
             print(telemetry.summary(session))

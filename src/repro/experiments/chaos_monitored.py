@@ -1,0 +1,303 @@
+"""The monitored chaos week: stream symptoms, score every detector.
+
+Where :mod:`repro.experiments.chaos` replays the weekly fault plan
+through each recovery path *in isolation*, this harness replays the
+whole week once, minute by minute, emitting the **symptoms** each fault
+produces into the live telemetry session — sustained ``link_util``
+hotspots while traffic drains around a flapped link, bursts of Xid
+instants on ``health/<node>`` tracks, HFReduce ``d2h`` rounds where the
+hung host's rank straggles, 3FS read spans stretched by the client
+retry schedule, and a *real* :class:`~repro.hai.TimeSharingScheduler`
+whose queue waits balloon when capacity goes missing.
+
+A :class:`~repro.monitor.Monitor` attached to the session watches the
+stream exactly as production monitoring would — it never sees the plan.
+A :class:`~repro.monitor.SchedulerActuator` closes the loop: node-
+convicting Xid alerts drain the mapped scheduler node and resolution
+returns it. At the end of the week every detector is graded against the
+injected ground truth via :func:`~repro.monitor.score_detections`.
+
+Everything is keyed on simulated time and a single seeded RNG, so two
+runs of :func:`run_monitored` with the same plan and seed produce
+byte-identical scores (the replay certificate pins this down).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.experiments.chaos import N_NODES, _fabric, _switch_links
+from repro.faults import FaultPlan, RetryPolicy, WEEK_SECONDS
+from repro.hai import HAICluster, Task, TimeSharingScheduler
+from repro.monitor import (
+    Alert,
+    DetectionScore,
+    Monitor,
+    SchedulerActuator,
+    score_detections,
+)
+from repro.units import MINUTE, Seconds, ms, us
+
+__all__ = ["MonitoredWeek", "run_monitored"]
+
+#: Emission cadences (simulated time).
+TICK = MINUTE  # gauge/health sampling grain
+ROUND_INTERVAL = 10 * MINUTE  # HFReduce round cadence
+STORAGE_INTERVAL = 2 * MINUTE  # 3FS read cadence
+
+#: Healthy baselines.
+D2H_BASE = ms(50.0)  # per-round d2h stage duration
+READ_BASE = us(400.0)  # 3FS read service time
+
+#: Symptom windows around each fault kind.
+LINK_RELAX = 4 * MINUTE  # congestion persists while traffic drains back
+NIC_OUTAGE = 20 * MINUTE  # reroute pressure until the NIC is swapped
+STORAGE_OUTAGE = 30 * MINUTE  # retries until the chain re-forms
+HANG_TURNAROUND = 45 * MINUTE  # ops turnaround before a hung host returns
+
+#: Scheduler workload: two zone-wide task slots, arrivals sized so the
+#: queue is empty at full capacity and visibly backed up one node short.
+TASK_ARRIVAL = 25 * MINUTE
+TASK_WORK = 45 * MINUTE
+
+#: How many switch links the harness samples ``link_util`` for.
+N_WATCHED_LINKS = 6
+
+
+def _crc_pick(label: str, n: int) -> int:
+    """Deterministic label -> [0, n) mapping (stable across processes)."""
+    return zlib.crc32(label.encode("utf-8")) % n
+
+
+@dataclass(frozen=True)
+class MonitoredWeek:
+    """Outcome of one monitored chaos week."""
+
+    scores: List[DetectionScore]
+    alerts: List[Alert]
+    #: Closed-loop actuation counters.
+    drains: int
+    undrains: int
+    displaced: int
+    #: Scheduler-side ground truth for the loop.
+    drain_events: int
+    tasks_submitted: int
+    tasks_finished: int
+    #: Online queue-wait aggregates (the monitor's sketch, not a post-pass).
+    queue_p50_s: Optional[Seconds]
+    queue_p99_s: Optional[Seconds]
+
+    @property
+    def alerts_fired(self) -> int:
+        return len(self.alerts)
+
+    @property
+    def alerts_resolved(self) -> int:
+        return sum(1 for a in self.alerts if a.resolved_at is not None)
+
+
+def run_monitored(plan: FaultPlan, seed: int) -> MonitoredWeek:
+    """Stream one week of symptoms from ``plan`` through a live monitor.
+
+    Reuses the active telemetry session if one is running (so CLI trace/
+    metric exports include the monitored week); otherwise starts and
+    stops a private one.
+    """
+    sess = telemetry.session()
+    owned = sess is None
+    if owned:
+        sess = telemetry.start(trace=True)
+    try:
+        return _run_week(sess, plan, seed)
+    finally:
+        if owned:
+            telemetry.stop()
+
+
+# -- symptom schedules --------------------------------------------------------------
+
+
+def _link_windows(
+    plan: FaultPlan, labels: List[str]
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Hot windows per watched-link index: congestion while rerouted."""
+    windows: Dict[int, List[Tuple[float, float]]] = {}
+    for ev in plan.of_kind("link_flap"):
+        label = f"{ev.link[0]}->{ev.link[1]}"
+        idx = _crc_pick(label, len(labels))
+        windows.setdefault(idx, []).append(
+            (ev.time, ev.time + ev.duration + LINK_RELAX)
+        )
+    for ev in plan.of_kind("nic_down"):
+        idx = _crc_pick(ev.node, len(labels))
+        windows.setdefault(idx, []).append(
+            (ev.time, ev.time + NIC_OUTAGE + LINK_RELAX)
+        )
+    return windows
+
+
+def _xid_actions(plan: FaultPlan) -> List[Tuple[float, str, int]]:
+    """(time, node, code) health instants: each fault shows as a burst."""
+    out: List[Tuple[float, str, int]] = []
+    for ev in plan.of_kind("gpu_xid"):
+        for k in range(3):
+            out.append((ev.time + 20.0 * k, ev.node, ev.xid))
+    for ev in plan.of_kind("ecc_error"):
+        for k in range(3):
+            out.append((ev.time + 20.0 * k, ev.node, 94))
+    return sorted(out)
+
+
+def _hang_windows(plan: FaultPlan) -> List[Tuple[float, float, str]]:
+    """Degraded-rank windows: the hung host straggles past its hang."""
+    return [
+        (ev.time, ev.time + ev.duration + ROUND_INTERVAL, ev.node)
+        for ev in plan.of_kind("host_hang")
+    ]
+
+
+def _storage_windows(plan: FaultPlan) -> List[Tuple[float, float]]:
+    return [
+        (ev.time, ev.time + STORAGE_OUTAGE)
+        for ev in plan.of_kind("storage_node_loss")
+    ]
+
+
+def _in_any(t: float, windows: List[Tuple[float, float]]) -> bool:
+    return any(s <= t < e for s, e in windows)
+
+
+# -- the week -----------------------------------------------------------------------
+
+
+def _run_week(sess, plan: FaultPlan, seed: int) -> MonitoredWeek:
+    rng = Random(seed)
+    tracer = sess.tracer
+
+    labels = [
+        f"{a}->{b}" for a, b in _switch_links(_fabric())[:N_WATCHED_LINKS]
+    ]
+    link_hot = _link_windows(plan, labels)
+    xids = _xid_actions(plan)
+    hangs = _hang_windows(plan)
+    storage_hot = _storage_windows(plan)
+    retry_stretch = RetryPolicy().total_backoff()
+
+    # The real scheduler: faults land on its cluster through a stable
+    # crc map from plan node ids, exactly like the actuator's drains.
+    sched = TimeSharingScheduler(HAICluster.two_zone(4))
+    sched_nodes = sorted(n.name for n in sched.cluster.nodes())
+
+    def sched_node_for(entity: str) -> str:
+        return sched_nodes[_crc_pick(entity, len(sched_nodes))]
+
+    #: (time, op, payload) in time order; op "fail"/"repair" drive the
+    #: scheduler, "xid" emits a health instant.
+    actions: List[Tuple[float, int, str, object]] = []
+    for t, node, code in xids:
+        actions.append((t, len(actions), "xid", (node, code)))
+    for ev in plan.of_kind("host_hang"):
+        node = sched_node_for(ev.node)
+        actions.append((ev.time, len(actions), "fail", node))
+        actions.append(
+            (ev.time + ev.duration + HANG_TURNAROUND, len(actions),
+             "repair", node)
+        )
+    actions.sort(key=lambda a: (a[0], a[1]))
+
+    actuator = SchedulerActuator(sched, node_for=sched_node_for)
+    monitor = Monitor(sess, actuators=[actuator]).attach()
+    try:
+        ai = 0
+        next_arrival = 0.0
+        n_tasks = 0
+        n_ticks = int(WEEK_SECONDS / TICK)
+        for k in range(n_ticks):
+            t = k * TICK
+            # Timed fault-side effects due by this tick, in time order.
+            while ai < len(actions) and actions[ai][0] <= t:
+                at, _, op, payload = actions[ai]
+                ai += 1
+                if op == "xid":
+                    node, code = payload
+                    tracer.instant(
+                        "xid", at, track=f"health/{node}", cat="health",
+                        args={"code": code, "node": node},
+                    )
+                elif op == "fail":
+                    sched.fail_node(payload, now=max(at, sched.now))
+                else:
+                    sched.repair_node(payload, now=max(at, sched.now))
+            # Steady task arrivals keep the queue-wait stream flowing.
+            while next_arrival <= t:
+                sched.submit(
+                    Task(
+                        task_id=f"job{n_tasks}", nodes_required=4,
+                        total_work=TASK_WORK, checkpoint_interval=5 * MINUTE,
+                    ),
+                    now=max(next_arrival, sched.now),
+                )
+                n_tasks += 1
+                next_arrival += TASK_ARRIVAL
+            if t > sched.now:
+                sched.run(until=t)
+            # Link utilization samples: hot inside an outage window,
+            # noisy-healthy otherwise (rare one-tick spikes the hold
+            # hysteresis must reject).
+            for i, label in enumerate(labels):
+                if _in_any(t, link_hot.get(i, [])):
+                    util = rng.uniform(0.93, 0.99)
+                elif rng.random() < 0.01:
+                    util = 0.92
+                else:
+                    util = rng.uniform(0.35, 0.75)
+                sess.registry.gauge("link_util", link=label).set(util, ts=t)
+            # HFReduce round: 16 ranks' d2h stage spans; the hung host's
+            # rank straggles by ~8x while degraded.
+            if k % int(ROUND_INTERVAL / TICK) == 0:
+                for g in range(N_NODES):
+                    node = f"cn{g}"
+                    dur = D2H_BASE * rng.uniform(0.9, 1.1)
+                    if any(s <= t < e for s, e, n in hangs if n == node):
+                        dur *= 8.0
+                    tracer.complete(
+                        "d2h", t, dur, track=f"hfreduce/gpu{g}",
+                        cat="collectives", args={"node": node},
+                    )
+            # 3FS reads: retry backoff stretches latency during an outage.
+            if k % int(STORAGE_INTERVAL / TICK) == 0:
+                dur = READ_BASE * rng.uniform(0.8, 1.2)
+                if _in_any(t, storage_hot):
+                    dur += retry_stretch
+                tracer.complete("read", t, dur, track="fs3/client", cat="fs3")
+            # Benign background noise: single app-level Xids (Table V
+            # "check application") that must never convict a node.
+            if rng.random() < 0.02:
+                node = f"cn{rng.randrange(N_NODES)}"
+                code = 13 if rng.random() < 0.5 else 31
+                tracer.instant(
+                    "xid", t, track=f"health/{node}", cat="health",
+                    args={"code": code, "node": node},
+                )
+            monitor.advance(t)
+        monitor.finish(float(WEEK_SECONDS))
+    finally:
+        monitor.detach()
+
+    queue = monitor.series("task_queue_wait_s")
+    return MonitoredWeek(
+        scores=score_detections(monitor.detectors, monitor.alerts, plan),
+        alerts=monitor.alerts,
+        drains=actuator.drains,
+        undrains=actuator.undrains,
+        displaced=len(actuator.displaced),
+        drain_events=sum(1 for e in sched.events if e.kind == "drain"),
+        tasks_submitted=n_tasks,
+        tasks_finished=sum(1 for e in sched.events if e.kind == "finish"),
+        queue_p50_s=queue.sketch.quantile(0.5) if queue is not None else None,
+        queue_p99_s=queue.sketch.quantile(0.99) if queue is not None else None,
+    )

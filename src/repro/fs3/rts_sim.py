@@ -23,11 +23,12 @@ outright once fan-in exceeds the window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.errors import FS3Error
 from repro.simcore import Environment, Resource
+from repro.telemetry.metrics import Histogram
 from repro.units import Bytes, BytesPerSec, MiB, Seconds, gbps
 
 
@@ -43,6 +44,10 @@ class RtsStats:
     policy: str
     completions: tuple  # sorted completion times
     total_bytes: float
+    #: Online latency distribution, populated sender-by-sender as the DES
+    #: runs — the same streaming shape the cluster monitor consumes, so
+    #: percentiles need no sorted-sample pass.
+    latency_hist: Histogram = field(compare=False, repr=False, default=None)
 
     @property
     def makespan(self) -> Seconds:
@@ -61,9 +66,10 @@ class RtsStats:
 
     @property
     def p99_latency(self) -> Seconds:
-        """99th-percentile completion time."""
-        idx = min(len(self.completions) - 1, int(0.99 * len(self.completions)))
-        return self.completions[idx]
+        """99th-percentile completion time (online histogram estimate;
+        exact at the distribution extremes, which is where incast tails
+        live)."""
+        return self.latency_hist.quantile(0.99)
 
 
 def simulate_policy(
@@ -80,6 +86,7 @@ def simulate_policy(
         raise FS3Error("n_senders and window must be >= 1")
     env = Environment()
     completions: List[float] = []
+    hist = Histogram("rts_completion_s", {})
 
     if policy == "ideal":
         # Perfect fluid sharing: all senders finish together at the
@@ -87,6 +94,7 @@ def simulate_policy(
         def sender():
             yield env.timeout(n_senders * chunk_bytes / client_link)
             completions.append(env.now)
+            hist.observe(env.now, ts=env.now)
 
         for _ in range(n_senders):
             env.process(sender())
@@ -103,6 +111,7 @@ def simulate_policy(
             yield env.timeout(chunk_bytes / active_rate)
             slots.release(req)
             completions.append(env.now)
+            hist.observe(env.now, ts=env.now)
 
         for _ in range(n_senders):
             env.process(sender())
@@ -114,6 +123,7 @@ def simulate_policy(
             rate = client_link * eff / n_senders
             yield env.timeout(chunk_bytes / rate)
             completions.append(env.now)
+            hist.observe(env.now, ts=env.now)
 
         for _ in range(n_senders):
             env.process(sender())
@@ -123,6 +133,7 @@ def simulate_policy(
         policy=policy,
         completions=tuple(sorted(completions)),
         total_bytes=n_senders * chunk_bytes,
+        latency_hist=hist,
     )
 
 

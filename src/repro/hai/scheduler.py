@@ -50,6 +50,8 @@ class TimeSharingScheduler:
         self._clock_started = 0.0
         #: task_id -> time its nodes become usable (checkpoint overheads).
         self._warmup_until: Dict[str, float] = {}
+        #: Nodes held out of the pool by health monitoring (see drain_node).
+        self.drained: Set[str] = set()
         # Telemetry: the open queued/run span per task, valid for one
         # session (invalidated if a different session becomes active).
         self._tele_spans: Dict[str, object] = {}
@@ -182,6 +184,50 @@ class TimeSharingScheduler:
         if now is not None:
             self._advance_to(now)
         self.cluster.mark_healthy(name)
+        self._schedule()
+
+    # -- health-driven drains (Section VII validator / monitor closed loop) -------
+
+    def drain_node(
+        self, name: str, now: Optional[float] = None, reason: str = ""
+    ) -> Optional[str]:
+        """Remove a suspect node from the pool *gracefully*.
+
+        Unlike :meth:`fail_node` — the node is still up, just convicted
+        by health monitoring — the resident task checkpoint-interrupts
+        (no work lost beyond the save overhead) and re-queues. Returns
+        the displaced task id, if any. Idempotent while drained.
+        """
+        if now is not None:
+            self._advance_to(now)
+        if name in self.drained:
+            return None
+        self.drained.add(name)
+        victim_id = self.cluster.mark_unhealthy(name)
+        if victim_id is None:
+            self._log("drain", name, reason)
+            self._schedule()
+            return None
+        task = self.tasks[victim_id]
+        overhead = task.interrupt()
+        self.cluster.release(victim_id)
+        self._warmup_until.pop(victim_id, None)
+        detail = f"node={name} save={overhead:.0f}s"
+        if reason:
+            detail += f" {reason}"
+        self._log("drain", victim_id, detail)
+        self._schedule()
+        return victim_id
+
+    def undrain_node(self, name: str, now: Optional[float] = None) -> None:
+        """Return a drained node to the pool (no-op if not drained)."""
+        if now is not None:
+            self._advance_to(now)
+        if name not in self.drained:
+            return
+        self.drained.discard(name)
+        self.cluster.mark_healthy(name)
+        self._log("undrain", name)
         self._schedule()
 
     #: Plan kinds that take a compute node out of the pool.
@@ -368,7 +414,7 @@ class TimeSharingScheduler:
                 sess.registry.histogram(
                     "task_queue_wait_s",
                     priority=self.tasks[task_id].priority,
-                ).observe(now - closed.ts)
+                ).observe(now - closed.ts, ts=now)
             self._tele_spans[task_id] = tracer.begin(
                 "run", now, track=track, cat="scheduler",
                 args={"detail": detail} if detail else None,
@@ -376,10 +422,13 @@ class TimeSharingScheduler:
         elif kind == "finish":
             tracer.end(closed, now)
             sess.registry.counter("tasks_finished_total").inc()
-        elif kind in ("preempt", "crash"):
-            tracer.end(closed, now, reason=kind)
-            # The victim re-queues; its wait shows up as a new queued span.
-            self._tele_spans[task_id] = tracer.begin(
-                "queued", now, track=track, cat="scheduler",
-                args={"after": kind},
-            )
+        elif kind in ("preempt", "crash", "drain"):
+            # A "drain" may name a node with no resident task; only real
+            # tasks get their run span closed and a new queued span.
+            if task_id in self.tasks:
+                tracer.end(closed, now, reason=kind)
+                # The victim re-queues; its wait shows up as a new queued span.
+                self._tele_spans[task_id] = tracer.begin(
+                    "queued", now, track=track, cat="scheduler",
+                    args={"after": kind},
+                )

@@ -1,0 +1,61 @@
+"""Streaming cluster-health monitoring (Fire-Flyer paper, Section VII).
+
+The paper's operations platform watches hardware metrics continuously,
+classifies Xid/ECC anomalies into the Table-V/VI repair actions, and
+automatically removes sick nodes from scheduling. This package is that
+loop for the simulated cluster: it *subscribes* to the live telemetry
+session (:class:`~repro.telemetry.metrics.MetricsRegistry` observer +
+:class:`~repro.telemetry.core.Tracer` observer) and turns the raw stream
+into
+
+* windowed time-series and online quantiles (:mod:`repro.monitor.windows`),
+* anomaly detections from a small ``@detector`` registry
+  (:mod:`repro.monitor.detectors`),
+* deduplicated firing/resolved alerts with sim-timestamps and trace
+  instants on an ``alerts/...`` track (:mod:`repro.monitor.alerts`),
+* closed-loop scheduler actions — draining the nodes the detectors
+  convict, as the paper's validator does (:mod:`repro.monitor.actuator`),
+* precision/recall/time-to-detect scoring of every detector against an
+  injected :class:`~repro.faults.FaultPlan` ground truth
+  (:mod:`repro.monitor.scoring`).
+
+Everything is sim-time: detectors never read a wall clock, so a monitored
+run replays byte-identically (``python -m repro.analysis replay chaos``).
+"""
+
+from repro.monitor.actuator import SchedulerActuator
+from repro.monitor.alerts import Alert, AlertManager, write_alerts_jsonl
+from repro.monitor.detectors import (
+    Detector,
+    default_detectors,
+    detector,
+    detector_registry,
+)
+from repro.monitor.engine import Monitor
+from repro.monitor.scoring import DetectionScore, score_detections
+from repro.monitor.windows import (
+    QuantileSketch,
+    RollingWindow,
+    TimeWindow,
+    TumblingWindow,
+    WindowStat,
+)
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "DetectionScore",
+    "Detector",
+    "Monitor",
+    "QuantileSketch",
+    "RollingWindow",
+    "SchedulerActuator",
+    "TimeWindow",
+    "TumblingWindow",
+    "WindowStat",
+    "default_detectors",
+    "detector",
+    "detector_registry",
+    "score_detections",
+    "write_alerts_jsonl",
+]

@@ -1,0 +1,76 @@
+"""The closed loop: node-health alerts drive scheduler drains.
+
+Section VII's validator removes nodes that fail hardware checks from
+the scheduling pool; here the :class:`SchedulerActuator` does the same
+from *streaming* evidence — when a node-convicting detector (by default
+``xid_ecc_burst``) fires, the actuator drains the node out of the HAI
+scheduler (gracefully checkpointing whatever ran there), and when the
+alert resolves it returns the node to the pool.
+
+The actuator is duck-typed against ``drain_node(name, now=, reason=)`` /
+``undrain_node(name, now=)`` rather than importing :mod:`repro.hai`, so
+the monitor layer stays below the schedulers in the import DAG and any
+scheduler implementing the two methods can close the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.monitor.alerts import Alert
+
+__all__ = ["SchedulerActuator"]
+
+
+class SchedulerActuator:
+    """Drain/undrain scheduler nodes from node-health alerts.
+
+    ``node_for`` maps an alert entity to a scheduler node name (identity
+    by default — the chaos harness uses it to translate fault-plan node
+    ids onto the scheduler's cluster). Returning ``None`` skips the
+    alert. Only alerts from ``detectors`` act; everything else is
+    ignored so link- or storage-scoped alerts never drain compute nodes.
+    """
+
+    def __init__(
+        self,
+        scheduler: object,
+        node_for: Optional[Callable[[str], Optional[str]]] = None,
+        detectors: Tuple[str, ...] = ("xid_ecc_burst",),
+    ) -> None:
+        self.scheduler = scheduler
+        self.node_for = node_for if node_for is not None else lambda entity: entity
+        self.detectors = detectors
+        #: entity -> drained scheduler node, for symmetric undrain.
+        self.drained: Dict[str, str] = {}
+        self.drains = 0
+        self.undrains = 0
+        #: Task ids displaced (gracefully interrupted) by drains.
+        self.displaced: List[str] = []
+
+    def on_alert(self, alert: Alert) -> None:
+        """A new alert fired; drain the convicted node if it maps to one."""
+        if alert.detector not in self.detectors or alert.entity in self.drained:
+            return
+        node = self.node_for(alert.entity)
+        if node is None:
+            return
+        victim = self.scheduler.drain_node(  # type: ignore[attr-defined]
+            node,
+            now=alert.fired_at,
+            reason=f"{alert.detector}:{alert.severity}",
+        )
+        self.drained[alert.entity] = node
+        self.drains += 1
+        if victim is not None:
+            self.displaced.append(victim)
+
+    def on_resolve(self, alert: Alert) -> None:
+        """The alert cleared; return the node to the scheduling pool."""
+        node = self.drained.pop(alert.entity, None)
+        if node is None:
+            return
+        self.scheduler.undrain_node(  # type: ignore[attr-defined]
+            node, now=alert.resolved_at
+        )
+        self.undrains += 1

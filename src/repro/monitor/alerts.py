@@ -1,0 +1,164 @@
+"""Alert lifecycle: firing/resolved, dedup, severity, export.
+
+An alert is identified by ``(detector, entity)`` — e.g.
+``("link_congestion", "sw0->sw4")``. Re-firing an active alert dedups
+into the existing one (bumping its ``count`` and escalating severity if
+the new report is worse) instead of spamming; resolving closes it and a
+later fire on the same identity opens a fresh alert. Every transition is
+stamped with *simulated* time and, when a tracer is attached, mirrored
+as an instant on the ``alerts/<detector>`` track so firings line up with
+the fault timeline in the exported trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.telemetry import TelemetrySession
+from repro.units import Seconds
+
+__all__ = ["Alert", "AlertManager", "SEVERITIES", "write_alerts_jsonl"]
+
+#: Recognised severities, mildest first (index = escalation order).
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "critical")
+
+
+@dataclass
+class Alert:
+    """One alert instance across its firing->resolved lifecycle."""
+
+    detector: str
+    entity: str
+    severity: str
+    fired_at: Seconds
+    summary: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    resolved_at: Optional[Seconds] = None
+    count: int = 1
+
+    @property
+    def active(self) -> bool:
+        """Whether the alert has not been resolved yet."""
+        return self.resolved_at is None
+
+    def to_row(self) -> Dict[str, Any]:
+        """One stable-keyed export row (JSONL line, pre-serialization)."""
+        row: Dict[str, Any] = {
+            "detector": self.detector,
+            "entity": self.entity,
+            "severity": self.severity,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "count": self.count,
+            "summary": self.summary,
+        }
+        if self.data:
+            row["data"] = {k: self.data[k] for k in sorted(self.data)}
+        return row
+
+
+class AlertManager:
+    """Owns every alert of one monitored run and its dedup state."""
+
+    def __init__(self, session: Optional[TelemetrySession] = None) -> None:
+        self.session = session
+        self.alerts: List[Alert] = []
+        self._active: Dict[Tuple[str, str], Alert] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def fire(
+        self,
+        detector: str,
+        entity: str,
+        ts: Seconds,
+        severity: str = "warning",
+        summary: str = "",
+        **data: Any,
+    ) -> Tuple[Alert, bool]:
+        """Raise (or re-report) an alert; returns ``(alert, created)``.
+
+        ``created`` is False when an active alert with the same
+        ``(detector, entity)`` identity absorbed this firing.
+        """
+        if severity not in SEVERITIES:
+            raise ReproError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        key = (detector, entity)
+        existing = self._active.get(key)
+        if existing is not None:
+            existing.count += 1
+            if SEVERITIES.index(severity) > SEVERITIES.index(existing.severity):
+                existing.severity = severity
+            if data:
+                existing.data.update(data)
+            return existing, False
+        alert = Alert(
+            detector=detector, entity=entity, severity=severity,
+            fired_at=ts, summary=summary, data=dict(data),
+        )
+        self._active[key] = alert
+        self.alerts.append(alert)
+        self._record(alert, state="fired", ts=ts)
+        return alert, True
+
+    def resolve(self, detector: str, entity: str, ts: Seconds) -> Optional[Alert]:
+        """Close the active ``(detector, entity)`` alert, if any."""
+        alert = self._active.pop((detector, entity), None)
+        if alert is None:
+            return None
+        alert.resolved_at = ts
+        self._record(alert, state="resolved", ts=ts)
+        return alert
+
+    def resolve_all(self, ts: Seconds) -> int:
+        """Close every still-active alert (end of run); returns how many."""
+        n = 0
+        for detector, entity in sorted(self._active):
+            self.resolve(detector, entity, ts)
+            n += 1
+        return n
+
+    # -- reading -----------------------------------------------------------------
+
+    def active(self) -> List[Alert]:
+        """Currently firing alerts, in identity order."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    def by_detector(self, detector: str) -> List[Alert]:
+        """All alerts (any state) raised by one detector, in firing order."""
+        return [a for a in self.alerts if a.detector == detector]
+
+    # -- telemetry mirror --------------------------------------------------------
+
+    def _record(self, alert: Alert, state: str, ts: Seconds) -> None:
+        sess = self.session
+        if sess is None:
+            return
+        sess.registry.counter(
+            "alerts_total", detector=alert.detector, state=state
+        ).inc(ts=ts)
+        if sess.tracer is not None:
+            prefix = "alert" if state == "fired" else "resolved"
+            sess.tracer.instant(
+                f"{prefix}:{alert.detector}",
+                ts,
+                track=f"alerts/{alert.detector}",
+                cat="alert",
+                args={"entity": alert.entity, "severity": alert.severity,
+                      "summary": alert.summary},
+            )
+
+
+def write_alerts_jsonl(path: str, alerts: List[Alert]) -> int:
+    """Write alerts as JSONL in firing order; returns the line count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for alert in alerts:
+            fh.write(json.dumps(alert.to_row(), separators=(",", ":")) + "\n")
+            n += 1
+    return n

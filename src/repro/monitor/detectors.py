@@ -1,0 +1,402 @@
+"""Anomaly detectors and their ``@detector`` registry.
+
+A detector is a small stateful stream processor: the
+:class:`~repro.monitor.engine.Monitor` routes metric samples (by metric
+name), spans and instants (by track prefix), and periodic time ticks to
+the hooks each detector declares, and the detector raises/resolves
+alerts through the monitor. All state is keyed on simulated time — no
+wall clock — so detection is replay-deterministic.
+
+Each detector declares ``kinds``: the :class:`~repro.faults.FaultPlan`
+event kinds whose *symptoms* it watches for, used by
+:mod:`repro.monitor.scoring` to line alerts up with injected ground
+truth, and ``match_window_s``: how long after injection a detection
+still counts (the physical lag between a fault and its symptom —
+congestion persists while traffic drains back, queue waits build over
+hours as a drained node's capacity is missed).
+
+Built-in detectors (the paper's Section-VII checklist):
+
+* ``link_congestion`` — sustained ``link_util`` above threshold
+  (hotspots from reroutes around flapped links / dead NICs).
+* ``collective_straggler`` — an HFReduce rank whose stage duration is an
+  outlier vs its peers in the same round (hung host).
+* ``xid_ecc_burst`` — repeated Xid/ECC events on one node inside a
+  window, classified through :mod:`repro.reliability.xid` into the
+  Table-V operator action.
+* ``queue_wait_slo`` — scheduler queue waits breach the SLO (capacity
+  lost to failed/drained nodes).
+* ``storage_latency`` — 3FS request latency regresses vs its own
+  rolling baseline (storage-node loss forcing retries/rechains).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
+from repro.monitor.windows import QuantileSketch, RollingWindow, TimeWindow
+from repro.reliability.xid import Action, classify_xid
+from repro.telemetry.core import InstantEvent, Span
+from repro.telemetry.metrics import Metric
+from repro.units import MINUTE, Count, Scalar, Seconds, ms
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.monitor.engine import Monitor
+
+__all__ = [
+    "Detector",
+    "default_detectors",
+    "detector",
+    "detector_registry",
+]
+
+
+class Detector:
+    """Base class: declare routing interests, receive stream callbacks."""
+
+    #: Registry name; set by the ``@detector`` decorator.
+    name: str = ""
+    #: Metric names whose recordings this detector wants (``on_sample``).
+    metric_names: Tuple[str, ...] = ()
+    #: Track prefixes whose spans/instants this detector wants.
+    track_prefixes: Tuple[str, ...] = ()
+    #: FaultPlan kinds whose symptoms this detector watches (scoring).
+    kinds: Tuple[str, ...] = ()
+    #: Max lag between fault injection and a creditable detection (scoring).
+    match_window_s: Seconds = 15 * MINUTE
+
+    def on_sample(
+        self, mon: "Monitor", metric: Metric, value: Scalar, ts: Optional[Seconds]
+    ) -> None:
+        """A metric this detector subscribed to recorded ``value``."""
+
+    def on_span(self, mon: "Monitor", span: Span) -> None:
+        """A span on a subscribed track prefix completed."""
+
+    def on_instant(self, mon: "Monitor", ev: InstantEvent) -> None:
+        """An instant on a subscribed track prefix was recorded."""
+
+    def on_time(self, mon: "Monitor", ts: Seconds) -> None:
+        """Periodic sim-time tick (quiet-period resolution, timeouts)."""
+
+    def finish(self, mon: "Monitor", ts: Seconds) -> None:
+        """End of run: flush pending window state."""
+
+
+_REGISTRY: Dict[str, Type[Detector]] = {}
+
+
+def detector(name: str) -> Callable[[Type[Detector]], Type[Detector]]:
+    """Class decorator: register a :class:`Detector` under ``name``."""
+
+    def wrap(cls: Type[Detector]) -> Type[Detector]:
+        if not issubclass(cls, Detector):
+            raise ReproError(f"@detector({name!r}) needs a Detector subclass")
+        if name in _REGISTRY:
+            raise ReproError(f"detector {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def detector_registry() -> Dict[str, Type[Detector]]:
+    """Name -> class for every registered detector."""
+    return dict(_REGISTRY)
+
+
+def default_detectors() -> List[Detector]:
+    """Fresh instances of every registered detector, in name order."""
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+@detector("link_congestion")
+class LinkCongestionDetector(Detector):
+    """Sustained ``link_util`` above threshold on one link.
+
+    Hysteresis: a link becomes *hot* at ``util_threshold`` and must fall
+    back below ``clear_threshold`` to reset; the alert fires only after
+    the link has stayed hot for ``hold_s`` of sim-time, so single-sample
+    spikes (bursty but healthy traffic) never fire.
+    """
+
+    metric_names = ("link_util",)
+    kinds = ("link_flap", "nic_down")
+    match_window_s = 15 * MINUTE
+
+    def __init__(
+        self,
+        util_threshold: Scalar = 0.9,
+        clear_threshold: Scalar = 0.8,
+        hold_s: Seconds = 2 * MINUTE,
+    ) -> None:
+        self.util_threshold = util_threshold
+        self.clear_threshold = clear_threshold
+        self.hold_s = hold_s
+        self._hot_since: Dict[str, float] = {}
+        self._recent: Dict[str, TimeWindow] = {}
+
+    def on_sample(
+        self, mon: "Monitor", metric: Metric, value: Scalar, ts: Optional[Seconds]
+    ) -> None:
+        if ts is None:
+            return
+        link = metric.labels.get("link", metric.full_name)
+        window = self._recent.get(link)
+        if window is None:
+            window = self._recent[link] = TimeWindow(5 * MINUTE)
+        window.add(ts, value)
+        if value >= self.util_threshold:
+            since = self._hot_since.setdefault(link, ts)
+            if ts - since >= self.hold_s:
+                mon.fire(
+                    self.name, link, ts,
+                    severity="warning",
+                    summary=f"link {link} utilization sustained >= "
+                            f"{self.util_threshold:.2f}",
+                    util=value, window_mean=window.mean,
+                    hot_for_s=ts - since,
+                )
+        elif value <= self.clear_threshold:
+            self._hot_since.pop(link, None)
+            mon.resolve(self.name, link, ts)
+
+
+@detector("collective_straggler")
+class CollectiveStragglerDetector(Detector):
+    """An HFReduce rank far slower than its peers in the same round.
+
+    Rounds are recognised by the shared start timestamp of the ``d2h``
+    stage spans across ranks; when the round's span set is complete (the
+    next round begins, or the run ends) each rank's duration is compared
+    against the round median — a hung host drags its rank out by an
+    order of magnitude while peers stay tight.
+    """
+
+    track_prefixes = ("hfreduce/",)
+    kinds = ("host_hang",)
+    match_window_s = 30 * MINUTE
+
+    def __init__(self, ratio: Scalar = 3.0, min_peers: Count = 4) -> None:
+        self.ratio = ratio
+        self.min_peers = min_peers
+        self._round_ts: Optional[float] = None
+        self._round: List[Tuple[str, float]] = []
+
+    def on_span(self, mon: "Monitor", span: Span) -> None:
+        if span.name != "d2h" or span.dur is None:
+            return
+        entity = str((span.args or {}).get("node", span.track))
+        if self._round_ts is not None and span.ts != self._round_ts:
+            self._evaluate(mon)
+        self._round_ts = span.ts
+        self._round.append((entity, span.dur))
+
+    def finish(self, mon: "Monitor", ts: Seconds) -> None:
+        self._evaluate(mon)
+
+    def _evaluate(self, mon: "Monitor") -> None:
+        round_ts, ranks = self._round_ts, self._round
+        self._round_ts, self._round = None, []
+        if round_ts is None or len(ranks) < self.min_peers:
+            return
+        durs = sorted(d for _, d in ranks)
+        mid = len(durs) // 2
+        median = durs[mid] if len(durs) % 2 else 0.5 * (durs[mid - 1] + durs[mid])
+        if median <= 0.0:
+            return
+        for entity, dur in ranks:
+            if dur >= self.ratio * median:
+                mon.fire(
+                    self.name, entity, round_ts + dur,
+                    severity="warning",
+                    summary=f"rank on {entity} is {dur / median:.1f}x the "
+                            f"round median d2h duration",
+                    dur_s=dur, median_s=median,
+                )
+            else:
+                mon.resolve(self.name, entity, round_ts + dur)
+
+
+@detector("xid_ecc_burst")
+class XidEccBurstDetector(Detector):
+    """Repeated Xid/ECC events on one node within a burst window.
+
+    Each event is classified through the Table-V taxonomy
+    (:func:`repro.reliability.xid.classify_xid`); *serious* means any
+    action beyond CHECK_APPLICATION (the paper treats those as user-code
+    noise). Two serious events — or three of any kind — inside
+    ``burst_window_s`` convict the node; severity escalates to critical
+    when the worst action is NODE_REBOOT or RMA. The alert resolves
+    after the node stays quiet for ``quiet_s``.
+    """
+
+    track_prefixes = ("health/",)
+    kinds = ("gpu_xid", "ecc_error")
+    match_window_s = 10 * MINUTE
+
+    #: Escalation order of Table-V actions (index = badness).
+    _ACTION_RANK = (
+        Action.CHECK_APPLICATION, Action.STRESS_TEST, Action.GPU_RESET,
+        Action.NODE_REBOOT, Action.RMA,
+    )
+
+    def __init__(
+        self,
+        burst_window_s: Seconds = 5 * MINUTE,
+        quiet_s: Seconds = 8 * MINUTE,
+        serious_count: Count = 2,
+        total_count: Count = 3,
+    ) -> None:
+        self.burst_window_s = burst_window_s
+        self.quiet_s = quiet_s
+        self.serious_count = serious_count
+        self.total_count = total_count
+        self._events: Dict[str, Deque[Tuple[float, int, bool]]] = {}
+        self._last_event: Dict[str, float] = {}
+
+    def on_instant(self, mon: "Monitor", ev: InstantEvent) -> None:
+        if ev.name != "xid" or not ev.args:
+            return
+        node = str(ev.args.get("node", ev.track.rsplit("/", 1)[-1]))
+        code = int(ev.args["code"])
+        info = classify_xid(code)
+        serious = info.action is not Action.CHECK_APPLICATION
+        events = self._events.setdefault(node, deque())
+        events.append((ev.ts, code, serious))
+        cutoff = ev.ts - self.burst_window_s
+        while events and events[0][0] < cutoff:
+            events.popleft()
+        self._last_event[node] = ev.ts
+        n_serious = sum(1 for _, _, s in events if s)
+        if n_serious < self.serious_count and len(events) < self.total_count:
+            return
+        codes = sorted({c for _, c, _ in events})
+        worst = max(
+            (classify_xid(c).action for c in codes),
+            key=self._ACTION_RANK.index,
+        )
+        severity = (
+            "critical" if worst in (Action.NODE_REBOOT, Action.RMA)
+            else "warning"
+        )
+        mon.fire(
+            self.name, node, ev.ts,
+            severity=severity,
+            summary=f"xid burst on {node}: {len(events)} events "
+                    f"({n_serious} serious) -> {worst.value}",
+            action=worst.value, codes=codes,
+        )
+
+    def on_time(self, mon: "Monitor", ts: Seconds) -> None:
+        for node, last in list(self._last_event.items()):
+            if ts - last >= self.quiet_s:
+                mon.resolve(self.name, node, ts)
+                del self._last_event[node]
+                self._events.pop(node, None)
+
+
+@detector("queue_wait_slo")
+class QueueWaitSloDetector(Detector):
+    """Scheduler queue waits breach the SLO.
+
+    Every ``task_queue_wait_s`` observation feeds an online
+    :class:`~repro.monitor.windows.QuantileSketch` (the p50/p99 the
+    multi-tenant SLO accounting needs); any single wait beyond ``slo_s``
+    fires. The alert resolves once ``clear_after_s`` passes with every
+    observed wait back under the SLO.
+    """
+
+    metric_names = ("task_queue_wait_s",)
+    kinds = ("host_hang", "gpu_xid", "ecc_error")
+    match_window_s = 3 * 60 * MINUTE
+
+    def __init__(
+        self,
+        slo_s: Seconds = 15 * MINUTE,
+        clear_after_s: Seconds = 30 * MINUTE,
+    ) -> None:
+        self.slo_s = slo_s
+        self.clear_after_s = clear_after_s
+        self.waits = QuantileSketch()
+        self._last_breach: Optional[float] = None
+
+    def _maybe_resolve(self, mon: "Monitor", ts: Seconds) -> None:
+        if (
+            self._last_breach is not None
+            and ts - self._last_breach >= self.clear_after_s
+        ):
+            mon.resolve(self.name, "scheduler", ts)
+            self._last_breach = None
+
+    def on_sample(
+        self, mon: "Monitor", metric: Metric, value: Scalar, ts: Optional[Seconds]
+    ) -> None:
+        if ts is None:
+            return
+        self.waits.add(value)
+        if value > self.slo_s:
+            self._last_breach = ts
+            mon.fire(
+                self.name, "scheduler", ts,
+                severity="warning",
+                summary=f"task queue wait {value:.0f}s breaches the "
+                        f"{self.slo_s:.0f}s SLO",
+                wait_s=value,
+                p50_s=self.waits.quantile(0.5),
+                p99_s=self.waits.quantile(0.99),
+            )
+        else:
+            self._maybe_resolve(mon, ts)
+
+    def on_time(self, mon: "Monitor", ts: Seconds) -> None:
+        self._maybe_resolve(mon, ts)
+
+
+@detector("storage_latency")
+class StorageLatencyDetector(Detector):
+    """3FS request latency regresses vs its own rolling baseline.
+
+    Healthy request durations feed a :class:`RollingWindow` baseline;
+    once the baseline is warm, a request slower than ``ratio`` times the
+    baseline median (and above an absolute ``floor_s``, so microsecond
+    jitter can't fire) raises the alert. A healthy request resolves it.
+    """
+
+    track_prefixes = ("fs3/",)
+    kinds = ("storage_node_loss",)
+    match_window_s = 15 * MINUTE
+
+    def __init__(
+        self,
+        ratio: Scalar = 4.0,
+        baseline_len: Count = 64,
+        warmup: Count = 8,
+        floor_s: Seconds = ms(1.0),
+    ) -> None:
+        self.ratio = ratio
+        self.warmup = warmup
+        self.floor_s = floor_s
+        self.baseline = RollingWindow(baseline_len)
+
+    def on_span(self, mon: "Monitor", span: Span) -> None:
+        if span.name not in ("read", "write") or span.dur is None:
+            return
+        end_ts = span.ts + span.dur
+        if len(self.baseline) >= self.warmup:
+            threshold = max(self.floor_s, self.ratio * self.baseline.median())
+            if span.dur >= threshold:
+                mon.fire(
+                    self.name, "fs3", end_ts,
+                    severity="warning",
+                    summary=f"fs3 {span.name} latency {span.dur * 1e3:.2f}ms "
+                            f"is {span.dur / max(self.baseline.median(), 1e-12):.1f}x "
+                            f"the rolling baseline",
+                    dur_s=span.dur, baseline_s=self.baseline.median(),
+                )
+                return
+            mon.resolve(self.name, "fs3", end_ts)
+        self.baseline.add(span.dur)

@@ -1,0 +1,191 @@
+"""The :class:`Monitor`: session subscription, routing, and aggregation.
+
+``Monitor(session).attach()`` subscribes to the session's metrics
+registry and tracer; from then on every counter increment, gauge set,
+histogram observation, completed span, and instant streams through the
+monitor *as it is recorded*, with no second pass over stored telemetry.
+The monitor keeps per-metric online aggregates (tumbling windows + a
+quantile sketch) and routes each event to the detectors that declared an
+interest; detectors raise alerts through :meth:`Monitor.fire`, which
+dedups via the :class:`~repro.monitor.alerts.AlertManager` and forwards
+newly created alerts to any attached actuators (the closed loop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.monitor.alerts import Alert, AlertManager
+from repro.monitor.detectors import Detector, default_detectors
+from repro.monitor.windows import QuantileSketch, TumblingWindow, WindowStat
+from repro.telemetry import TelemetrySession
+from repro.telemetry.core import InstantEvent, Span
+from repro.telemetry.metrics import Metric
+from repro.units import MINUTE, Scalar, Seconds
+
+__all__ = ["Monitor", "SeriesAgg"]
+
+
+class SeriesAgg:
+    """Online aggregate of one metric name: quantile sketch + windows."""
+
+    __slots__ = ("sketch", "window", "closed")
+
+    def __init__(self, window_s: Seconds) -> None:
+        self.sketch = QuantileSketch()
+        self.window = TumblingWindow(window_s)
+        self.closed: List[WindowStat] = []
+
+    def add(self, ts: Optional[Seconds], value: Scalar) -> None:
+        self.sketch.add(value)
+        if ts is not None:
+            stat = self.window.add(ts, value)
+            if stat is not None:
+                self.closed.append(stat)
+
+
+class Monitor:
+    """Streaming observer over one telemetry session.
+
+    ``detectors`` defaults to fresh instances of every registered
+    detector; ``actuators`` are objects with ``on_alert(alert)`` /
+    ``on_resolve(alert)`` (see :class:`~repro.monitor.actuator.
+    SchedulerActuator`). ``aggregate`` names the metrics to keep online
+    windows/sketches for (beyond whatever the detectors consume).
+    """
+
+    def __init__(
+        self,
+        session: TelemetrySession,
+        detectors: Optional[Sequence[Detector]] = None,
+        actuators: Sequence[object] = (),
+        aggregate: Iterable[str] = ("task_queue_wait_s", "flow_duration_s"),
+        window_s: Seconds = 5 * MINUTE,
+    ) -> None:
+        self.session = session
+        self.detectors: List[Detector] = (
+            list(detectors) if detectors is not None else default_detectors()
+        )
+        self.actuators = list(actuators)
+        self.alert_manager = AlertManager(session)
+        self.window_s = window_s
+        self._aggregate_names = set(aggregate)
+        self._series: Dict[str, SeriesAgg] = {}
+        self._by_metric: Dict[str, List[Detector]] = {}
+        for det in self.detectors:
+            for name in det.metric_names:
+                self._by_metric.setdefault(name, []).append(det)
+        self._span_dets: List[Tuple[Tuple[str, ...], Detector]] = [
+            (det.track_prefixes, det)
+            for det in self.detectors if det.track_prefixes
+        ]
+        self._attached = False
+        self.now: Seconds = 0.0
+
+    # -- session wiring ----------------------------------------------------------
+
+    def attach(self) -> "Monitor":
+        """Subscribe to the session's registry and tracer; returns self."""
+        if self._attached:
+            raise ReproError("monitor is already attached")
+        self.session.registry.subscribe(self._on_metric)
+        if self.session.tracer is not None:
+            self.session.tracer.subscribe(self._on_trace)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe (idempotent)."""
+        if not self._attached:
+            return
+        self.session.registry.unsubscribe(self._on_metric)
+        if self.session.tracer is not None:
+            self.session.tracer.unsubscribe(self._on_trace)
+        self._attached = False
+
+    # -- stream callbacks --------------------------------------------------------
+
+    def _on_metric(
+        self, metric: Metric, value: Scalar, ts: Optional[Seconds]
+    ) -> None:
+        if ts is not None and ts > self.now:
+            self.now = ts
+        if metric.name in self._aggregate_names:
+            agg = self._series.get(metric.name)
+            if agg is None:
+                agg = self._series[metric.name] = SeriesAgg(self.window_s)
+            agg.add(ts, value)
+        dets = self._by_metric.get(metric.name)
+        if dets:
+            for det in dets:
+                det.on_sample(self, metric, value, ts)
+
+    def _on_trace(self, kind: str, ev: Union[Span, InstantEvent]) -> None:
+        if ev.ts > self.now:
+            self.now = ev.ts
+        for prefixes, det in self._span_dets:
+            if not ev.track.startswith(prefixes):
+                continue
+            if kind == "span":
+                det.on_span(self, ev)  # type: ignore[arg-type]
+            else:
+                det.on_instant(self, ev)  # type: ignore[arg-type]
+
+    def advance(self, ts: Seconds) -> None:
+        """Drive detectors' time-based logic to simulated time ``ts``."""
+        if ts > self.now:
+            self.now = ts
+        for det in self.detectors:
+            det.on_time(self, ts)
+
+    def finish(self, ts: Optional[Seconds] = None) -> None:
+        """Flush detector state and close every still-active alert."""
+        at = self.now if ts is None else ts
+        for det in self.detectors:
+            det.finish(self, at)
+        self.alert_manager.resolve_all(at)
+
+    # -- detector-facing alert API -----------------------------------------------
+
+    def fire(
+        self,
+        detector: str,
+        entity: str,
+        ts: Seconds,
+        severity: str = "warning",
+        summary: str = "",
+        **data: object,
+    ) -> Alert:
+        """Raise an alert (deduped); new firings reach the actuators."""
+        alert, created = self.alert_manager.fire(
+            detector, entity, ts, severity=severity, summary=summary, **data
+        )
+        if created:
+            for actuator in self.actuators:
+                actuator.on_alert(alert)  # type: ignore[attr-defined]
+        return alert
+
+    def resolve(self, detector: str, entity: str, ts: Seconds) -> Optional[Alert]:
+        """Resolve an active alert; resolutions reach the actuators."""
+        alert = self.alert_manager.resolve(detector, entity, ts)
+        if alert is not None:
+            for actuator in self.actuators:
+                actuator.on_resolve(alert)  # type: ignore[attr-defined]
+        return alert
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Every alert raised so far, in firing order."""
+        return self.alert_manager.alerts
+
+    def series(self, name: str) -> Optional[SeriesAgg]:
+        """The online aggregate for one metric name, if any samples landed."""
+        return self._series.get(name)
+
+    def quantile(self, name: str, q: Scalar) -> Optional[Scalar]:
+        """Online quantile of an aggregated metric (None before samples)."""
+        agg = self._series.get(name)
+        return agg.sketch.quantile(q) if agg is not None else None

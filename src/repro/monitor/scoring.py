@@ -1,0 +1,127 @@
+"""Score detectors against injected :class:`~repro.faults.FaultPlan` truth.
+
+Because the chaos experiment *knows* what it injected, every detector
+can be graded like a classifier: an alert is a true positive when it can
+be matched one-to-one to an injected fault of a kind the detector
+watches, inside that detector's ``match_window_s`` after the injection
+time. Matching is greedy in time order (earliest alert takes the
+earliest compatible event), which is the standard assignment for
+interval matching and — crucially here — deterministic.
+
+A detector may watch several fault kinds whose symptoms are
+indistinguishable at its vantage point (a queue-wait breach looks the
+same whether the capacity went missing to a host hang or an Xid drain),
+so matching runs *jointly* over the union of the detector's kinds:
+precision is per detector (``matched / alerts``), while recall and
+median time-to-detect are reported per kind against that kind's own
+event count.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults import FaultPlan
+from repro.monitor.alerts import Alert
+from repro.monitor.detectors import Detector
+from repro.units import Count, Scalar, Seconds
+
+__all__ = ["DetectionScore", "score_detections"]
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """One detector's grade against one fault kind's ground truth."""
+
+    detector: str
+    kind: str
+    events: Count
+    alerts: Count
+    matched: Count
+    precision: Scalar
+    recall: Scalar
+    median_ttd_s: Optional[Seconds]
+
+    def row(self) -> List[object]:
+        """Table row for the chaos report."""
+        return [
+            self.detector, self.kind, self.events, self.alerts, self.matched,
+            self.precision, self.recall,
+            self.median_ttd_s if self.median_ttd_s is not None else "-",
+        ]
+
+
+def _match(
+    alerts: Sequence[Alert],
+    events: Sequence[Tuple[float, str]],
+    window_s: Seconds,
+) -> List[Tuple[int, int, float]]:
+    """Greedy one-to-one (alert, event) pairs within the match window.
+
+    Both sequences must be time-sorted. Returns ``(alert_idx,
+    event_idx, ttd)`` triples; an alert firing before its candidate
+    event (or after every window) stays unmatched.
+    """
+    pairs: List[Tuple[int, int, float]] = []
+    ei = 0
+    taken = [False] * len(events)
+    for ai, alert in enumerate(alerts):
+        # Skip events whose window closed before this alert fired; they
+        # can never match a later (even later-firing) alert either.
+        while ei < len(events) and events[ei][0] + window_s < alert.fired_at:
+            ei += 1
+        for j in range(ei, len(events)):
+            etime = events[j][0]
+            if etime > alert.fired_at:
+                break  # events are sorted; the rest are all in the future
+            if not taken[j]:
+                taken[j] = True
+                pairs.append((ai, j, alert.fired_at - etime))
+                break
+    return pairs
+
+
+def score_detections(
+    detectors: Sequence[Detector],
+    alerts: Sequence[Alert],
+    plan: FaultPlan,
+) -> List[DetectionScore]:
+    """Grade every detector against the plan; rows sorted for stable output.
+
+    Empty denominators score 1.0 (a detector with nothing to find and no
+    false alarms is perfect, not undefined).
+    """
+    by_detector: Dict[str, List[Alert]] = {}
+    for alert in alerts:
+        by_detector.setdefault(alert.detector, []).append(alert)
+
+    scores: List[DetectionScore] = []
+    for det in sorted(detectors, key=lambda d: d.name):
+        det_alerts = sorted(
+            by_detector.get(det.name, []), key=lambda a: a.fired_at
+        )
+        events: List[Tuple[float, str]] = sorted(
+            (ev.time, ev.kind)
+            for ev in plan.events if ev.kind in det.kinds
+        )
+        pairs = _match(det_alerts, events, det.match_window_s)
+        precision = len(pairs) / len(det_alerts) if det_alerts else 1.0
+        matched_by_kind: Dict[str, List[float]] = {k: [] for k in det.kinds}
+        for _, j, ttd in pairs:
+            matched_by_kind[events[j][1]].append(ttd)
+        for kind in det.kinds:
+            kind_events = sum(1 for _, k in events if k == kind)
+            ttds = matched_by_kind[kind]
+            scores.append(DetectionScore(
+                detector=det.name,
+                kind=kind,
+                events=kind_events,
+                alerts=len(det_alerts),
+                matched=len(ttds),
+                precision=precision,
+                recall=len(ttds) / kind_events if kind_events else 1.0,
+                median_ttd_s=statistics.median(ttds) if ttds else None,
+            ))
+    return scores

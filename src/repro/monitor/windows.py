@@ -1,0 +1,284 @@
+"""Streaming aggregation primitives: windows and a quantile sketch.
+
+Everything here is O(1) memory per series (or O(window) for the explicit
+rolling forms) and keyed on *simulated* timestamps supplied by the caller
+— no wall clock is ever read, so monitored runs stay replay-deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.units import Count, Scalar, Seconds
+
+__all__ = [
+    "QuantileSketch",
+    "RollingWindow",
+    "TimeWindow",
+    "TumblingWindow",
+    "WindowStat",
+]
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """Summary of one closed tumbling window."""
+
+    start: Seconds
+    end: Seconds
+    count: Count
+    total: Scalar
+    vmin: Scalar
+    vmax: Scalar
+
+    @property
+    def mean(self) -> Scalar:
+        """Mean of the window's samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TumblingWindow:
+    """Fixed-width, non-overlapping sim-time windows over one series.
+
+    ``add(ts, value)`` accumulates into the window containing ``ts``;
+    when a sample lands past the current window's end, the finished
+    window's :class:`WindowStat` is returned (and ``None`` otherwise).
+    Windows are aligned to multiples of the width so identical streams
+    produce identical window boundaries regardless of the first ts.
+    """
+
+    __slots__ = ("width", "_start", "_count", "_total", "_vmin", "_vmax")
+
+    def __init__(self, width_s: Seconds) -> None:
+        if width_s <= 0:
+            raise ReproError(f"window width must be positive, got {width_s}")
+        self.width = width_s
+        self._start: Optional[float] = None
+        self._count = 0
+        self._total = 0.0
+        self._vmin = math.inf
+        self._vmax = -math.inf
+
+    def _close(self) -> WindowStat:
+        assert self._start is not None
+        stat = WindowStat(
+            start=self._start, end=self._start + self.width,
+            count=self._count, total=self._total,
+            vmin=self._vmin, vmax=self._vmax,
+        )
+        self._count = 0
+        self._total = 0.0
+        self._vmin = math.inf
+        self._vmax = -math.inf
+        return stat
+
+    def add(self, ts: Seconds, value: Scalar) -> Optional[WindowStat]:
+        """Accumulate one sample; returns the previous window if it closed."""
+        start = math.floor(ts / self.width) * self.width
+        closed: Optional[WindowStat] = None
+        if self._start is None:
+            self._start = start
+        elif start > self._start:
+            closed = self._close()
+            self._start = start
+        self._count += 1
+        self._total += value
+        if value < self._vmin:
+            self._vmin = value
+        if value > self._vmax:
+            self._vmax = value
+        return closed
+
+    def flush(self) -> Optional[WindowStat]:
+        """Close and return the in-progress window (``None`` if empty)."""
+        if self._start is None or not self._count:
+            return None
+        stat = self._close()
+        self._start = None
+        return stat
+
+
+class RollingWindow:
+    """Last-``capacity`` samples of one series (count-bounded)."""
+
+    __slots__ = ("capacity", "_vals", "_total")
+
+    def __init__(self, capacity: Count) -> None:
+        if capacity <= 0:
+            raise ReproError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._vals: Deque[float] = deque(maxlen=capacity)
+        self._total = 0.0
+
+    def add(self, value: Scalar) -> None:
+        """Append a sample, evicting the oldest past capacity."""
+        if len(self._vals) == self.capacity:
+            self._total -= self._vals[0]
+        self._vals.append(value)
+        self._total += value
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds ``capacity`` samples."""
+        return len(self._vals) == self.capacity
+
+    @property
+    def mean(self) -> Scalar:
+        """Mean of the held samples (0.0 when empty)."""
+        return self._total / len(self._vals) if self._vals else 0.0
+
+    @property
+    def vmax(self) -> Scalar:
+        """Max of the held samples (0.0 when empty)."""
+        return max(self._vals) if self._vals else 0.0
+
+    def median(self) -> Scalar:
+        """Median of the held samples (0.0 when empty)."""
+        if not self._vals:
+            return 0.0
+        vals = sorted(self._vals)
+        mid = len(vals) // 2
+        if len(vals) % 2:
+            return vals[mid]
+        return 0.5 * (vals[mid - 1] + vals[mid])
+
+
+class TimeWindow:
+    """Samples from the trailing ``width_s`` of sim-time (ts-bounded)."""
+
+    __slots__ = ("width", "_vals", "_total")
+
+    def __init__(self, width_s: Seconds) -> None:
+        if width_s <= 0:
+            raise ReproError(f"window width must be positive, got {width_s}")
+        self.width = width_s
+        self._vals: Deque[Tuple[float, float]] = deque()
+        self._total = 0.0
+
+    def add(self, ts: Seconds, value: Scalar) -> None:
+        """Append a sample and evict everything older than ``ts - width``."""
+        self._vals.append((ts, value))
+        self._total += value
+        self.prune(ts)
+
+    def prune(self, now: Seconds) -> None:
+        """Evict samples older than ``now - width``."""
+        cutoff = now - self.width
+        vals = self._vals
+        while vals and vals[0][0] < cutoff:
+            self._total -= vals.popleft()[1]
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    @property
+    def mean(self) -> Scalar:
+        """Mean of the retained samples (0.0 when empty)."""
+        return self._total / len(self._vals) if self._vals else 0.0
+
+    @property
+    def vmax(self) -> Scalar:
+        """Max of the retained samples (0.0 when empty)."""
+        return max(v for _, v in self._vals) if self._vals else 0.0
+
+
+class QuantileSketch:
+    """Streaming p50/p99 without storing samples: fixed log-spaced buckets.
+
+    Positive values land in geometric buckets (``bins_per_decade`` per
+    decade between ``lo`` and ``hi``); zero/negative values and overflows
+    get dedicated under/overflow buckets. ``quantile`` interpolates
+    linearly inside the target bucket and clamps to the exactly-tracked
+    ``[vmin, vmax]``, so the relative error is bounded by one bucket
+    ratio (~15% at the default 16 bins/decade) and the extremes are exact.
+    Memory is one int per bucket regardless of stream length — the
+    fixed-bucket alternative to a P² sketch, chosen because bucket counts
+    sum deterministically and merge trivially.
+    """
+
+    __slots__ = (
+        "lo", "hi", "bins_per_decade", "_ratio_log", "_nbuckets",
+        "counts", "count", "total", "vmin", "vmax",
+    )
+
+    def __init__(
+        self,
+        lo: Scalar = 1e-9,
+        hi: Scalar = 1e9,
+        bins_per_decade: Count = 16,
+    ) -> None:
+        if not 0 < lo < hi:
+            raise ReproError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+        if bins_per_decade <= 0:
+            raise ReproError(f"bins_per_decade must be positive, got {bins_per_decade}")
+        self.lo = lo
+        self.hi = hi
+        self.bins_per_decade = bins_per_decade
+        self._ratio_log = math.log(10.0) / bins_per_decade
+        decades = math.log10(hi / lo)
+        # +2: underflow bucket (<= lo, incl. zero/negatives) and overflow (> hi).
+        self._nbuckets = int(math.ceil(decades * bins_per_decade)) + 2
+        self.counts: List[int] = [0] * self._nbuckets
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def _bucket(self, value: Scalar) -> int:
+        if value <= self.lo:
+            return 0
+        if value > self.hi:
+            return self._nbuckets - 1
+        return 1 + min(
+            self._nbuckets - 3,
+            int(math.log(value / self.lo) / self._ratio_log),
+        )
+
+    def _edges(self, i: int) -> Tuple[float, float]:
+        if i == 0:
+            return (0.0, self.lo)
+        if i == self._nbuckets - 1:
+            return (self.hi, self.vmax if self.vmax > self.hi else self.hi)
+        lo = self.lo * math.exp((i - 1) * self._ratio_log)
+        return (lo, lo * math.exp(self._ratio_log))
+
+    def add(self, value: Scalar) -> None:
+        """Record one observation."""
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> Scalar:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: Scalar) -> Scalar:
+        """Estimate the q-quantile (q in (0, 1]); 0.0 when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ReproError(f"quantile fraction must be in (0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        running = 0
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            if running + n >= rank:
+                lo, hi = self._edges(i)
+                frac = (rank - running) / n
+                est = lo + (hi - lo) * frac
+                return max(self.vmin, min(est, self.vmax))
+            running += n
+        return self.vmax  # unreachable: running totals to self.count

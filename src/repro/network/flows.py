@@ -130,6 +130,7 @@ class FlowSim:
         router: Optional[Router] = None,
         qos: Optional[TrafficClassConfig] = None,
         engine: str = "vectorized",
+        util_sample_interval: float = 0.0,
     ) -> None:
         if engine not in ("vectorized", "reference"):
             raise TopologyError(f"unknown flow engine {engine!r}")
@@ -138,6 +139,12 @@ class FlowSim:
         self.engine = engine
         self.stats = PerfCounters()
         self._sim_now = 0.0  # fluid-sim clock, read by telemetry samplers
+        # Minimum sim-time between link_util gauge sweeps while a telemetry
+        # session is active. 0.0 keeps the historical sample-every-recompute
+        # behaviour; cluster-scale monitored runs set a coarser cadence so
+        # per-event sampling cannot dominate the event loop.
+        self.util_sample_interval = util_sample_interval
+        self._last_util_sample = float("-inf")
         self._link_rates: Dict[LinkId, float] = {}
         self._cap_cache: Dict[LinkId, float] = {}
         self._route_memo: Dict[Tuple[str, str, object], List[LinkId]] = {}
@@ -289,14 +296,24 @@ class FlowSim:
             self._sample_link_utilization(sess, link_rates)
         return rates
 
+    def _util_sample_due(self) -> bool:
+        """Whether the next link_util sweep is due at the current sim clock."""
+        return (
+            self._sim_now - self._last_util_sample >= self.util_sample_interval
+        )
+
     def _sample_link_utilization(
         self, sess: "telemetry.TelemetrySession", link_rates: Dict[LinkId, float]
     ) -> None:
         """One ``link_util`` gauge sample per loaded link at the sim clock.
 
-        Runs on every rate recompute, but only while a telemetry session is
+        Runs on every rate recompute (throttled to ``util_sample_interval``
+        of sim-time when set), but only while a telemetry session is
         active — the allocation hot path never pays for it otherwise.
         """
+        if not self._util_sample_due():
+            return
+        self._last_util_sample = self._sim_now
         registry = sess.registry
         ts = self._sim_now
         for link, rate in link_rates.items():
@@ -321,6 +338,10 @@ class FlowSim:
         sess = telemetry.session()
         tracer = sess.tracer if sess is not None else None
         flow_spans: Dict[int, object] = {}
+        # Registry lookups sort labels per call; one retire per flow makes
+        # that the dominant telemetry cost, so handles are cached per SL.
+        dur_hist: Dict[str, object] = {}
+        done_ctr: Dict[str, object] = {}
         routes: Dict[int, List[LinkId]] = {}
         remaining: Dict[int, float] = {}
         active: Dict[int, Flow] = {}  # insertion-ordered, O(1) removal
@@ -358,12 +379,17 @@ class FlowSim:
             if sess is not None:
                 if tracer is not None:
                     tracer.end(flow_spans.pop(fid, None), now)
-                sess.registry.histogram(
-                    "flow_duration_s", sl=f.sl.name
-                ).observe(now - f.start)
-                sess.registry.counter(
-                    "flows_completed_total", sl=f.sl.name
-                ).inc()
+                sl = f.sl.name
+                hist = dur_hist.get(sl)
+                if hist is None:
+                    hist = dur_hist[sl] = sess.registry.histogram(
+                        "flow_duration_s", sl=sl
+                    )
+                    done_ctr[sl] = sess.registry.counter(
+                        "flows_completed_total", sl=sl
+                    )
+                hist.observe(now - f.start, ts=now)
+                done_ctr[sl].inc()
             del active[fid]
             del remaining[fid]
 
@@ -454,6 +480,10 @@ class FlowSim:
         sess = telemetry.session()
         tracer = sess.tracer if sess is not None else None
         flow_spans: Dict[int, object] = {}
+        # Same per-SL handle cache as the reference loop: one registry
+        # lookup per service level instead of two per retired flow.
+        dur_hist: Dict[str, object] = {}
+        done_ctr: Dict[str, object] = {}
         results: Dict[int, FlowResult] = {}
 
         warm = WarmMaxMin()
@@ -480,9 +510,10 @@ class FlowSim:
         link_members: Optional[Dict[LinkId, Set[int]]] = (
             {} if audit is not None else None
         )
-        # Adaptive routing / telemetry need per-link loads every event;
-        # nobody else pays for them.
-        want_link_rates = self.router.load_dependent or sess is not None
+        # Adaptive routing needs per-link loads every event; telemetry
+        # needs them only when a link_util sweep is due (every event by
+        # default, throttled by util_sample_interval). Nobody else pays.
+        always_link_rates = self.router.load_dependent
 
         def grow_rows(need: int) -> None:
             nonlocal base_cap, class_cnt, n_class
@@ -574,12 +605,17 @@ class FlowSim:
             if sess is not None:
                 if tracer is not None:
                     tracer.end(flow_spans.pop(fid, None), now)
-                sess.registry.histogram(
-                    "flow_duration_s", sl=f.sl.name
-                ).observe(now - f.start)
-                sess.registry.counter(
-                    "flows_completed_total", sl=f.sl.name
-                ).inc()
+                sl = f.sl.name
+                hist = dur_hist.get(sl)
+                if hist is None:
+                    hist = dur_hist[sl] = sess.registry.histogram(
+                        "flow_duration_s", sl=sl
+                    )
+                    done_ctr[sl] = sess.registry.counter(
+                        "flows_completed_total", sl=sl
+                    )
+                hist.observe(now - f.start, ts=now)
+                done_ctr[sl].inc()
             if track_classes:
                 rows = rows_by_slot[slot]
                 col = sl_col[f.sl]
@@ -646,7 +682,9 @@ class FlowSim:
             rem_arr[slots] = new_rem
             now += dt
 
-            if audit is not None or want_link_rates:
+            if audit is not None or always_link_rates or (
+                sess is not None and self._util_sample_due()
+            ):
                 self._publish_warm_link_rates(
                     sess, slots, rates_all, flow_by_slot, route_by_slot,
                     link_members, link_row, warm,

@@ -249,7 +249,7 @@ def assess_fault_plan(
             if event.kind == "link_flap":
                 sess.registry.histogram(
                     "recovery_time_s", layer="network"
-                ).observe(event.duration)
+                ).observe(event.duration, ts=event.time)
             if sess.tracer is not None:
                 sess.tracer.instant(
                     f"fault:{event.kind}", event.time, track="faults/network",

@@ -41,11 +41,32 @@ class PerfCounters:
     counter may share a name, as ``run_s``-style callers expect).
     """
 
-    __slots__ = ("_counters", "_timings")
+    __slots__ = ("_counters", "_timings", "_mirror_sess", "_mirror")
 
     def __init__(self) -> None:
         self._counters = MetricsRegistry()
         self._timings = MetricsRegistry()
+        self._mirror_sess: object = None
+        self._mirror: Dict[str, object] = {}
+
+    def _mirror_counter(self, name: str):
+        """The session-registry ``perf.<name>`` counter, or None.
+
+        Registry lookups sort labels and hash a composite key; at one
+        mirror write per engine event that lookup dominates the cost of
+        instrumentation, so handles are cached per (session, name) and
+        the cache dropped whenever the active session changes.
+        """
+        sess = telemetry.session()
+        if sess is None:
+            return None
+        if sess is not self._mirror_sess:
+            self._mirror_sess = sess
+            self._mirror = {}
+        handle = self._mirror.get(name)
+        if handle is None:
+            handle = self._mirror[name] = sess.registry.counter("perf." + name)
+        return handle
 
     # -- recording -------------------------------------------------------------
 
@@ -55,9 +76,9 @@ class PerfCounters:
         if self is not GLOBAL:
             if _collect_global:
                 GLOBAL.bump(name, n)
-            sess = telemetry.session()
-            if sess is not None:
-                sess.registry.counter("perf." + name).inc(n)
+            mirror = self._mirror_counter(name)
+            if mirror is not None:
+                mirror.inc(n)
 
     def add_time(self, name: str, seconds: float) -> None:
         """Add ``seconds`` to timer ``name``."""
@@ -65,9 +86,9 @@ class PerfCounters:
         if self is not GLOBAL:
             if _collect_global:
                 GLOBAL.add_time(name, seconds)
-            sess = telemetry.session()
-            if sess is not None:
-                sess.registry.counter("perf." + name).inc(seconds)
+            mirror = self._mirror_counter(name)
+            if mirror is not None:
+                mirror.inc(seconds)
 
     @contextmanager
     def timeit(self, name: str) -> Iterator[None]:

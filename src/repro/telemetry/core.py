@@ -24,10 +24,16 @@ whole layer costs one function call and a ``None`` check when disabled.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.telemetry.metrics import MetricsRegistry
+
+#: Observer signature: ``fn(kind, event)`` where ``kind`` is ``"span"``
+#: (event is a closed :class:`Span`) or ``"instant"`` (an
+#: :class:`InstantEvent`). Spans notify at *end* time, so observers see
+#: the duration; dropped events past ``max_events`` never notify.
+TraceObserver = Callable[[str, Union["Span", "InstantEvent"]], None]
 
 
 class Span:
@@ -96,6 +102,21 @@ class Tracer:
         self.max_events = max_events
         self.dropped = 0
         self.max_ts = 0.0
+        self._obs: List[TraceObserver] = []
+
+    # -- streaming observers -----------------------------------------------------
+
+    def subscribe(self, fn: TraceObserver) -> None:
+        """Stream completed spans and instants to ``fn(kind, event)``."""
+        if fn not in self._obs:
+            self._obs.append(fn)
+
+    def unsubscribe(self, fn: TraceObserver) -> None:
+        """Remove a previously subscribed observer (missing fn is a no-op)."""
+        try:
+            self._obs.remove(fn)
+        except ValueError:
+            pass
 
     # -- recording ---------------------------------------------------------------
 
@@ -144,6 +165,9 @@ class Tracer:
             span.args["wall_s"] = wall
         if ts > self.max_ts:
             self.max_ts = ts
+        if self._obs:
+            for fn in self._obs:
+                fn("span", span)
 
     def complete(
         self,
@@ -175,9 +199,13 @@ class Tracer:
         if len(self.instants) >= self.max_events:
             self.dropped += 1
             return
-        self.instants.append(InstantEvent(name, track, cat, ts, args))
+        ev = InstantEvent(name, track, cat, ts, args)
+        self.instants.append(ev)
         if ts > self.max_ts:
             self.max_ts = ts
+        if self._obs:
+            for fn in self._obs:
+                fn("instant", ev)
 
     # -- finishing ---------------------------------------------------------------
 

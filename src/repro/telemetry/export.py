@@ -179,9 +179,14 @@ def summary(session: TelemetrySession) -> str:
                 f"  {label:<{width}} {len(durs):>7} {total:>12.6f} "
                 f"{total / len(durs):>12.6f}"
             )
-        if tracer.dropped:
-            lines.append(f"  (dropped {tracer.dropped} events over the "
-                         f"{tracer.max_events}-event bound)")
+    # Outside the spans guard: a ring buffer can drop *everything* past the
+    # bound, and a truncated trace must be visible even when what survived
+    # is empty or instants-only.
+    if tracer is not None and tracer.dropped:
+        lines.append(
+            f"dropped: {tracer.dropped} trace events over the "
+            f"{tracer.max_events}-event ring bound (trace truncated)"
+        )
     metrics = session.registry.metrics()
     if metrics:
         lines.append("metrics:")

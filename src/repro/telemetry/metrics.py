@@ -21,8 +21,19 @@ the handle and skip the lookup entirely.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Observer signature: ``fn(metric, value, ts)``. ``value`` is the
+#: *increment* for counters, the new value for gauges, and the observed
+#: value for histograms; ``ts`` is the simulated timestamp when the
+#: recording site supplied one, else ``None``.
+MetricObserver = Callable[["Metric", float, Optional[float]], None]
+
+#: Shared sentinel for "no observers": a falsy immutable that costs one
+#: attribute load + truth test on every un-observed recording.
+_NO_OBSERVERS: Tuple[MetricObserver, ...] = ()
 
 #: Default histogram bucket upper bounds: one per decade across the range
 #: of quantities the simulators record (microsecond stage times up to
@@ -48,11 +59,14 @@ class Metric:
     """Base: identity (kind, name, labels) shared by all metric types."""
 
     kind = "metric"
-    __slots__ = ("name", "labels")
+    __slots__ = ("name", "labels", "_obs")
 
     def __init__(self, name: str, labels: Dict[str, str]) -> None:
         self.name = name
         self.labels = labels
+        # The owning registry replaces this with its live observer list so
+        # subscriptions made after metric creation still reach every handle.
+        self._obs: Iterable[MetricObserver] = _NO_OBSERVERS
 
     @property
     def full_name(self) -> str:
@@ -74,10 +88,13 @@ class Counter(Metric):
         super().__init__(name, labels)
         self.value: float = 0
 
-    def inc(self, n: float = 1) -> None:
+    def inc(self, n: float = 1, ts: Optional[float] = None) -> None:
         """Add ``n`` (must be >= 0 to stay a counter; not enforced on the
         hot path)."""
         self.value += n
+        if self._obs:
+            for fn in self._obs:
+                fn(self, n, ts)
 
     def row(self) -> Dict[str, Any]:
         r = super().row()
@@ -108,6 +125,9 @@ class Gauge(Metric):
                 self.samples.append((ts, value))
             else:
                 self.dropped_samples += 1
+        if self._obs:
+            for fn in self._obs:
+                fn(self, value, ts)
 
     def row(self) -> Dict[str, Any]:
         r = super().row()
@@ -140,7 +160,7 @@ class Histogram(Metric):
         self.vmin = float("inf")
         self.vmax = float("-inf")
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, ts: Optional[float] = None) -> None:
         """Record one observation."""
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
@@ -149,11 +169,39 @@ class Histogram(Metric):
             self.vmin = value
         if value > self.vmax:
             self.vmax = value
+        if self._obs:
+            for fn in self._obs:
+                fn(self, value, ts)
 
     @property
     def mean(self) -> float:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Online quantile estimate from the cumulative buckets.
+
+        Uses the upper-edge nearest-rank estimator: the rank-``ceil(q*n)``
+        observation is located in its bucket and reported as that bucket's
+        upper bound, clamped to the exactly-tracked ``[vmin, vmax]`` range.
+        The clamp makes the estimate *exact* whenever the target rank falls
+        in the first or last non-empty bucket (e.g. a p99 over a batch
+        whose stragglers share the final bucket), and otherwise bounds the
+        error by one bucket width. Returns 0.0 when empty; ``q`` outside
+        ``(0, 1]`` raises ``ValueError``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile fraction must be in (0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        running = 0
+        for i, n in enumerate(self.bucket_counts):
+            running += n
+            if running >= rank:
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                return max(self.vmin, min(hi, self.vmax))
+        return self.vmax  # unreachable: running totals to self.count
 
     def row(self) -> Dict[str, Any]:
         r = super().row()
@@ -191,6 +239,42 @@ class MetricsRegistry:
         self._metrics: Dict[Tuple[str, str, LabelItems], Metric] = {}
         self.keep_samples = keep_samples
         self.max_samples_per_gauge = max_samples_per_gauge
+        # Live observer list, shared (by reference) into every metric the
+        # registry creates: recording sites hold metric handles, so the
+        # fan-out has to live on the metric itself, while subscribe /
+        # unsubscribe mutate this one list and reach all handles at once.
+        self._observers: List[MetricObserver] = []
+
+    # -- streaming observers -----------------------------------------------------
+
+    def subscribe(self, fn: MetricObserver) -> None:
+        """Stream every recording to ``fn(metric, value, ts)``.
+
+        ``value`` is the increment for counters, the new value for gauges,
+        and the observation for histograms. Recording sites that know the
+        simulated time pass it as ``ts``; others pass ``None``. Observers
+        run synchronously on the recording hot path — keep them cheap.
+        """
+        if fn not in self._observers:
+            self._observers.append(fn)
+        if len(self._observers) == 1:
+            for m in self._metrics.values():
+                m._obs = self._observers
+
+    def unsubscribe(self, fn: MetricObserver) -> None:
+        """Remove a previously subscribed observer (missing fn is a no-op)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            return
+        if not self._observers:
+            for m in self._metrics.values():
+                m._obs = _NO_OBSERVERS
+
+    def _adopt(self, m: Metric) -> Metric:
+        if self._observers:
+            m._obs = self._observers
+        return m
 
     # -- handle lookup (cached per identity) ------------------------------------
 
@@ -199,7 +283,7 @@ class MetricsRegistry:
         key = ("counter", name, _label_items(labels))
         m = self._metrics.get(key)
         if m is None:
-            m = self._metrics[key] = Counter(name, dict(key[2]))
+            m = self._metrics[key] = self._adopt(Counter(name, dict(key[2])))
         return m  # type: ignore[return-value]
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
@@ -207,11 +291,11 @@ class MetricsRegistry:
         key = ("gauge", name, _label_items(labels))
         m = self._metrics.get(key)
         if m is None:
-            m = self._metrics[key] = Gauge(
+            m = self._metrics[key] = self._adopt(Gauge(
                 name,
                 dict(key[2]),
                 max_samples=self.max_samples_per_gauge if self.keep_samples else 0,
-            )
+            ))
         return m  # type: ignore[return-value]
 
     def histogram(
@@ -221,7 +305,9 @@ class MetricsRegistry:
         key = ("histogram", name, _label_items(labels))
         m = self._metrics.get(key)
         if m is None:
-            m = self._metrics[key] = Histogram(name, dict(key[2]), buckets=buckets)
+            m = self._metrics[key] = self._adopt(
+                Histogram(name, dict(key[2]), buckets=buckets)
+            )
         return m  # type: ignore[return-value]
 
     # -- reading -----------------------------------------------------------------

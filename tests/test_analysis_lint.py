@@ -237,6 +237,49 @@ class TestSIM001:
         assert lint_source(src, "src/repro/simcore/record.py") == []
 
 
+class TestMON001:
+    PATH = "src/repro/monitor/mod.py"
+
+    def test_raw_literal_default_flagged(self):
+        src = "def detect(hold_s=120.0):\n    pass\n"
+        out = lint_source(src, self.PATH)
+        assert codes(out) == ["MON001"]
+        assert "hold_s" in out[0].message and "repro.units" in out[0].message
+
+    def test_kwonly_and_negative_literals_flagged(self):
+        src = "def detect(*, window_s=-300):\n    pass\n"
+        assert codes(lint_source(src, self.PATH)) == ["MON001"]
+
+    def test_class_attribute_threshold_flagged(self):
+        src = "class D:\n    match_window_s = 900.0\n"
+        assert codes(lint_source(src, self.PATH)) == ["MON001"]
+        src_ann = "class D:\n    match_window_s: float = 900.0\n"
+        assert codes(lint_source(src_ann, self.PATH)) == ["MON001"]
+
+    def test_units_expression_clean(self):
+        src = (
+            "from repro.units import MINUTE, ms\n"
+            "class D:\n"
+            "    match_window_s = 15 * MINUTE\n"
+            "def detect(hold_s=2 * MINUTE, floor_s=ms(1.0)):\n"
+            "    pass\n"
+        )
+        assert lint_source(src, self.PATH) == []
+
+    def test_zero_disabled_sentinel_clean(self):
+        assert lint_source(
+            "def detect(hold_s=0.0):\n    pass\n", self.PATH
+        ) == []
+
+    def test_dimensionless_names_clean(self):
+        src = "def detect(ratio=3.0, min_peers=4):\n    pass\n"
+        assert lint_source(src, self.PATH) == []
+
+    def test_only_applies_to_monitor_layer(self):
+        src = "def detect(hold_s=120.0):\n    pass\n"
+        assert lint_source(src, "src/repro/network/mod.py") == []
+
+
 class TestBaseline:
     def _violations(self):
         return lint_source(

@@ -1,0 +1,574 @@
+"""Unit tests for the streaming cluster-health monitor (repro.monitor)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.monitor import (
+    AlertManager,
+    Monitor,
+    QuantileSketch,
+    RollingWindow,
+    SchedulerActuator,
+    TimeWindow,
+    TumblingWindow,
+    default_detectors,
+    detector_registry,
+    score_detections,
+    write_alerts_jsonl,
+)
+from repro.monitor.detectors import (
+    LinkCongestionDetector,
+    QueueWaitSloDetector,
+    StorageLatencyDetector,
+    XidEccBurstDetector,
+)
+from repro.telemetry import TelemetrySession
+from repro.telemetry.metrics import Histogram
+from repro.faults import EccError, FaultPlan, GpuXid, LinkFlap
+from repro.units import MINUTE, ms
+
+
+def make_session() -> TelemetrySession:
+    return TelemetrySession(trace=True)
+
+
+class TestTumblingWindow:
+    def test_windows_align_to_width_multiples(self):
+        w = TumblingWindow(10.0)
+        assert w.add(13.0, 1.0) is None
+        assert w.add(17.0, 3.0) is None
+        closed = w.add(21.0, 5.0)  # sample past [10, 20) closes it
+        assert closed is not None
+        assert (closed.start, closed.end) == (10.0, 20.0)
+        assert closed.count == 2
+        assert closed.mean == pytest.approx(2.0)
+        assert (closed.vmin, closed.vmax) == (1.0, 3.0)
+
+    def test_flush_closes_partial_window(self):
+        w = TumblingWindow(10.0)
+        w.add(5.0, 4.0)
+        stat = w.flush()
+        assert stat is not None and stat.count == 1 and stat.total == 4.0
+        assert w.flush() is None  # nothing buffered anymore
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ReproError):
+            TumblingWindow(0.0)
+
+
+class TestRollingWindow:
+    def test_evicts_past_capacity(self):
+        w = RollingWindow(3)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            w.add(v)
+        assert len(w) == 3 and w.full
+        assert w.mean == pytest.approx((2.0 + 3.0 + 10.0) / 3)
+        assert w.median() == 3.0
+        assert w.vmax == 10.0
+
+    def test_even_median_averages(self):
+        w = RollingWindow(4)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            w.add(v)
+        assert w.median() == pytest.approx(2.5)
+
+
+class TestTimeWindow:
+    def test_prunes_by_timestamp(self):
+        w = TimeWindow(60.0)
+        w.add(0.0, 1.0)
+        w.add(30.0, 2.0)
+        w.add(100.0, 3.0)  # evicts the t=0 and t=30 samples
+        assert len(w) == 1
+        assert w.mean == 3.0
+
+
+class TestQuantileSketch:
+    def test_uniform_stream_quantiles(self):
+        s = QuantileSketch()
+        for i in range(1, 1001):
+            s.add(float(i))
+        assert s.quantile(0.5) == pytest.approx(500.0, rel=0.15)
+        assert s.quantile(0.99) == pytest.approx(990.0, rel=0.15)
+        assert s.quantile(1.0) == 1000.0  # exact at the tracked max
+        assert s.mean == pytest.approx(500.5)
+
+    def test_extremes_are_exact(self):
+        s = QuantileSketch()
+        s.add(0.25)
+        assert s.quantile(0.5) == 0.25
+        assert s.quantile(1.0) == 0.25
+
+    def test_zero_lands_in_underflow_bucket(self):
+        s = QuantileSketch()
+        s.add(0.0)
+        s.add(0.0)
+        assert s.quantile(0.5) == 0.0
+
+    def test_rejects_bad_fraction_and_config(self):
+        s = QuantileSketch()
+        assert s.quantile(0.5) == 0.0  # empty sketch
+        with pytest.raises(ReproError):
+            s.quantile(0.0)
+        with pytest.raises(ReproError):
+            s.quantile(1.5)
+        with pytest.raises(ReproError):
+            QuantileSketch(lo=1.0, hi=0.5)
+
+
+class TestHistogramQuantile:
+    def test_quantiles_are_monotone_and_clamped(self):
+        h = Histogram("lat_s", {})
+        for v in (0.001, 0.002, 0.004, 0.008, 0.5):
+            h.observe(v)
+        assert h.quantile(0.5) <= h.quantile(0.99) <= h.quantile(1.0)
+        assert h.quantile(1.0) == 0.5  # clamped to the exact max
+
+    def test_single_value_is_exact(self):
+        h = Histogram("lat_s", {})
+        h.observe(3.7)
+        assert h.quantile(0.99) == 3.7
+
+    def test_empty_and_invalid(self):
+        h = Histogram("lat_s", {})
+        assert h.quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+
+
+class TestObserverFanout:
+    def test_registry_streams_all_metric_types(self):
+        sess = make_session()
+        seen = []
+        sess.registry.subscribe(
+            lambda m, v, ts: seen.append((m.name, v, ts))
+        )
+        sess.registry.counter("c", kind="x").inc(2, ts=1.0)
+        sess.registry.gauge("g").set(0.5, ts=2.0)
+        sess.registry.histogram("h").observe(3.0, ts=2.5)
+        assert seen == [("c", 2, 1.0), ("g", 0.5, 2.0), ("h", 3.0, 2.5)]
+
+    def test_unsubscribe_stops_delivery(self):
+        sess = make_session()
+        seen = []
+        fn = lambda m, v, ts: seen.append(v)  # noqa: E731
+        sess.registry.subscribe(fn)
+        sess.registry.counter("c").inc()
+        sess.registry.unsubscribe(fn)
+        sess.registry.counter("c").inc()
+        assert seen == [1]
+
+    def test_preexisting_metrics_notify_after_subscribe(self):
+        sess = make_session()
+        counter = sess.registry.counter("early")
+        seen = []
+        sess.registry.subscribe(lambda m, v, ts: seen.append(m.name))
+        counter.inc()
+        assert seen == ["early"]
+
+    def test_tracer_streams_spans_and_instants(self):
+        sess = make_session()
+        seen = []
+        sess.tracer.subscribe(lambda kind, ev: seen.append((kind, ev.name)))
+        sess.tracer.complete("op", 0.0, 1.0, track="t")
+        sess.tracer.instant("tick", 2.0, track="t")
+        assert seen == [("span", "op"), ("instant", "tick")]
+
+    def test_dropped_trace_events_never_notify(self):
+        sess = TelemetrySession(trace=True, max_events=1)
+        seen = []
+        sess.tracer.subscribe(lambda kind, ev: seen.append(kind))
+        sess.tracer.complete("a", 0.0, 1.0, track="t")
+        sess.tracer.complete("b", 1.0, 1.0, track="t")  # over the ring bound
+        assert sess.tracer.dropped == 1
+        assert seen == ["span"]
+
+
+class TestAlertManager:
+    def test_dedup_escalation_and_refire(self):
+        am = AlertManager()
+        first, created = am.fire("d", "e", 1.0, severity="warning", summary="s")
+        assert created
+        again, created = am.fire("d", "e", 2.0, severity="critical", util=0.99)
+        assert not created and again is first
+        assert first.count == 2
+        assert first.severity == "critical"  # escalated, never downgraded
+        assert first.data["util"] == 0.99
+        resolved = am.resolve("d", "e", 3.0)
+        assert resolved is first and first.resolved_at == 3.0
+        fresh, created = am.fire("d", "e", 4.0)
+        assert created and fresh is not first
+
+    def test_resolve_unknown_is_none(self):
+        am = AlertManager()
+        assert am.resolve("d", "nope", 1.0) is None
+
+    def test_rejects_unknown_severity(self):
+        am = AlertManager()
+        with pytest.raises(ReproError):
+            am.fire("d", "e", 1.0, severity="apocalyptic")
+
+    def test_resolve_all_closes_in_identity_order(self):
+        am = AlertManager()
+        am.fire("d", "b", 1.0)
+        am.fire("d", "a", 2.0)
+        assert am.resolve_all(9.0) == 2
+        assert not am.active()
+        assert all(a.resolved_at == 9.0 for a in am.alerts)
+
+    def test_telemetry_mirror(self):
+        sess = make_session()
+        am = AlertManager(sess)
+        am.fire("link_congestion", "l0", 5.0)
+        am.resolve("link_congestion", "l0", 6.0)
+        assert sess.registry.value(
+            "alerts_total", detector="link_congestion", state="fired"
+        ) == 1
+        assert sess.registry.value(
+            "alerts_total", detector="link_congestion", state="resolved"
+        ) == 1
+        names = [i.name for i in sess.tracer.instants]
+        assert names == ["alert:link_congestion", "resolved:link_congestion"]
+        assert sess.tracer.instants[0].track == "alerts/link_congestion"
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        am = AlertManager()
+        am.fire("d", "e", 1.0, severity="warning", summary="s", util=0.5)
+        am.resolve("d", "e", 2.0)
+        path = tmp_path / "alerts.jsonl"
+        assert write_alerts_jsonl(str(path), am.alerts) == 1
+        row = json.loads(path.read_text().strip())
+        assert row["detector"] == "d"
+        assert row["fired_at"] == 1.0 and row["resolved_at"] == 2.0
+        assert row["data"] == {"util": 0.5}
+
+
+class TestMonitorWiring:
+    def test_attach_twice_raises_detach_idempotent(self):
+        mon = Monitor(make_session())
+        mon.attach()
+        with pytest.raises(ReproError):
+            mon.attach()
+        mon.detach()
+        mon.detach()  # no-op
+
+    def test_detached_monitor_sees_nothing(self):
+        sess = make_session()
+        mon = Monitor(sess).attach()
+        mon.detach()
+        sess.registry.gauge("link_util", link="l0").set(0.99, ts=0.0)
+        assert mon.alerts == []
+
+    def test_aggregate_series_and_quantiles(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[], aggregate=("task_queue_wait_s",))
+        mon.attach()
+        for i in range(10):
+            sess.registry.histogram("task_queue_wait_s").observe(
+                float(i), ts=float(i)
+            )
+        assert mon.series("task_queue_wait_s").sketch.count == 10
+        assert mon.quantile("task_queue_wait_s", 1.0) == 9.0
+        assert mon.quantile("flow_duration_s", 0.5) is None
+        assert mon.now == 9.0
+
+    def test_default_detectors_cover_registry(self):
+        names = {d.name for d in default_detectors()}
+        assert names == set(detector_registry())
+        assert {
+            "link_congestion", "collective_straggler", "xid_ecc_burst",
+            "queue_wait_slo", "storage_latency",
+        } <= names
+
+
+class TestLinkCongestionDetector:
+    def run_stream(self, samples, **kwargs):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[LinkCongestionDetector(**kwargs)])
+        mon.attach()
+        for ts, util in samples:
+            sess.registry.gauge("link_util", link="l0").set(util, ts=ts)
+        return mon
+
+    def test_sustained_hotspot_fires(self):
+        samples = [(60.0 * k, 0.95) for k in range(5)]
+        mon = self.run_stream(samples)
+        assert len(mon.alerts) == 1
+        alert = mon.alerts[0]
+        assert alert.entity == "l0"
+        assert alert.fired_at == 120.0  # hold_s after the first hot sample
+        assert alert.data["hot_for_s"] >= 2 * MINUTE
+
+    def test_single_spike_is_rejected(self):
+        samples = [(0.0, 0.5), (60.0, 0.95), (120.0, 0.5), (180.0, 0.95)]
+        mon = self.run_stream(samples)
+        assert mon.alerts == []
+
+    def test_cooldown_resolves(self):
+        samples = [(60.0 * k, 0.95) for k in range(5)] + [(300.0, 0.4)]
+        mon = self.run_stream(samples)
+        assert mon.alerts[0].resolved_at == 300.0
+
+
+class TestCollectiveStragglerDetector:
+    def emit_round(self, sess, t, durs):
+        for i, dur in enumerate(durs):
+            sess.tracer.complete(
+                "d2h", t, dur, track=f"hfreduce/gpu{i}",
+                args={"node": f"cn{i}"},
+            )
+
+    def test_outlier_rank_fires_and_recovers(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[]).attach()
+        det = [d for d in default_detectors()
+               if d.name == "collective_straggler"][0]
+        mon.detectors.append(det)
+        mon._span_dets.append((det.track_prefixes, det))
+        base = [0.05] * 8
+        slow = [0.05] * 7 + [0.5]
+        self.emit_round(sess, 0.0, base)
+        self.emit_round(sess, 600.0, slow)  # evaluates round at t=0: healthy
+        self.emit_round(sess, 1200.0, base)  # evaluates t=600: cn7 straggles
+        mon.finish(1800.0)  # flushes the final (healthy) round
+        assert len(mon.alerts) == 1
+        alert = mon.alerts[0]
+        assert alert.entity == "cn7"
+        assert alert.fired_at == pytest.approx(600.5)
+        assert alert.resolved_at == pytest.approx(1200.05)
+
+    def test_small_rounds_never_fire(self):
+        sess = make_session()
+        mon = Monitor(sess).attach()
+        self.emit_round(sess, 0.0, [0.05, 0.5])  # below min_peers
+        self.emit_round(sess, 600.0, [0.05, 0.5])
+        mon.finish(1200.0)
+        assert mon.alerts == []
+
+
+class TestXidEccBurstDetector:
+    def emit(self, sess, ts, node, code):
+        sess.tracer.instant(
+            "xid", ts, track=f"health/{node}", args={"code": code, "node": node}
+        )
+
+    def test_serious_burst_convicts_node(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        self.emit(sess, 0.0, "cn3", 63)
+        assert mon.alerts == []  # one serious event is not a burst
+        self.emit(sess, 20.0, "cn3", 63)
+        assert len(mon.alerts) == 1
+        assert mon.alerts[0].entity == "cn3"
+        assert mon.alerts[0].data["action"] == "gpu_reset"
+
+    def test_benign_codes_never_convict(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        for k in range(2):
+            self.emit(sess, 20.0 * k, "cn3", 13)  # CHECK_APPLICATION
+        assert mon.alerts == []
+
+    def test_three_of_any_kind_convict(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        for k in range(3):
+            self.emit(sess, 20.0 * k, "cn3", 13)
+        assert len(mon.alerts) == 1
+
+    def test_node_reboot_codes_are_critical(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        self.emit(sess, 0.0, "cn3", 79)
+        self.emit(sess, 20.0, "cn3", 79)
+        assert mon.alerts[0].severity == "critical"
+
+    def test_quiet_period_resolves(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        self.emit(sess, 0.0, "cn3", 63)
+        self.emit(sess, 20.0, "cn3", 63)
+        mon.advance(20.0 + 8 * MINUTE)
+        assert mon.alerts[0].resolved_at == 20.0 + 8 * MINUTE
+
+    def test_events_outside_burst_window_age_out(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[XidEccBurstDetector()]).attach()
+        self.emit(sess, 0.0, "cn3", 63)
+        self.emit(sess, 6 * MINUTE, "cn3", 63)  # first already aged out
+        assert mon.alerts == []
+
+
+class TestQueueWaitSloDetector:
+    def test_breach_fires_with_online_percentiles(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[QueueWaitSloDetector()]).attach()
+        h = sess.registry.histogram("task_queue_wait_s", priority="0")
+        for k in range(20):
+            h.observe(10.0, ts=60.0 * k)
+        assert mon.alerts == []
+        h.observe(1000.0, ts=1500.0)
+        assert len(mon.alerts) == 1
+        alert = mon.alerts[0]
+        assert alert.entity == "scheduler"
+        assert alert.data["wait_s"] == 1000.0
+        assert alert.data["p99_s"] > alert.data["p50_s"]
+
+    def test_clears_after_quiet_period(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[QueueWaitSloDetector()]).attach()
+        h = sess.registry.histogram("task_queue_wait_s")
+        h.observe(1000.0, ts=0.0)
+        mon.advance(29 * MINUTE)
+        assert mon.alerts[0].active
+        mon.advance(31 * MINUTE)
+        assert mon.alerts[0].resolved_at == 31 * MINUTE
+
+
+class TestStorageLatencyDetector:
+    def test_regression_vs_baseline_fires(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[StorageLatencyDetector()]).attach()
+        for k in range(10):
+            sess.tracer.complete("read", 10.0 * k, 0.0004, track="fs3/client")
+        assert mon.alerts == []
+        sess.tracer.complete("read", 100.0, 3.1, track="fs3/client")
+        assert len(mon.alerts) == 1
+        assert mon.alerts[0].entity == "fs3"
+        sess.tracer.complete("read", 110.0, 0.0004, track="fs3/client")
+        assert mon.alerts[0].resolved_at == pytest.approx(110.0004)
+
+    def test_warmup_never_fires(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[StorageLatencyDetector()]).attach()
+        for k in range(4):  # below the warmup count
+            sess.tracer.complete("read", 10.0 * k, 3.1, track="fs3/client")
+        assert mon.alerts == []
+
+    def test_microsecond_jitter_under_floor_is_ignored(self):
+        sess = make_session()
+        mon = Monitor(sess, detectors=[StorageLatencyDetector()]).attach()
+        for k in range(10):
+            sess.tracer.complete("read", 10.0 * k, 1e-5, track="fs3/client")
+        sess.tracer.complete("read", 100.0, 9e-4, track="fs3/client")
+        assert mon.alerts == []  # 90x the baseline but under the 1ms floor
+
+
+class TestScoring:
+    def score_one(self, alerts, plan, name="link_congestion"):
+        det = [d for d in default_detectors() if d.name == name][0]
+        am = AlertManager()
+        for ts in alerts:
+            am.fire(name, f"e{ts}", ts)
+        return score_detections([det], am.alerts, plan)
+
+    def test_perfect_detection(self):
+        plan = FaultPlan([LinkFlap(time=100.0, link=("a", "b"))])
+        scores = self.score_one([150.0], plan)
+        flap = [s for s in scores if s.kind == "link_flap"][0]
+        assert (flap.precision, flap.recall) == (1.0, 1.0)
+        assert flap.median_ttd_s == 50.0
+
+    def test_false_positive_costs_precision(self):
+        plan = FaultPlan([LinkFlap(time=100.0, link=("a", "b"))])
+        scores = self.score_one([150.0, 5000.0], plan)
+        flap = [s for s in scores if s.kind == "link_flap"][0]
+        assert flap.precision == 0.5
+        assert flap.recall == 1.0
+
+    def test_missed_event_costs_recall(self):
+        plan = FaultPlan([
+            LinkFlap(time=100.0, link=("a", "b")),
+            LinkFlap(time=50000.0, link=("a", "b")),
+        ])
+        scores = self.score_one([150.0], plan)
+        flap = [s for s in scores if s.kind == "link_flap"][0]
+        assert flap.recall == 0.5
+
+    def test_alert_outside_window_never_matches(self):
+        plan = FaultPlan([LinkFlap(time=100.0, link=("a", "b"))])
+        scores = self.score_one([100.0 + 16 * MINUTE], plan)
+        flap = [s for s in scores if s.kind == "link_flap"][0]
+        assert flap.matched == 0
+
+    def test_empty_denominators_score_perfect(self):
+        scores = self.score_one([], FaultPlan())
+        assert all(s.precision == 1.0 and s.recall == 1.0 for s in scores)
+        assert all(s.median_ttd_s is None for s in scores)
+
+    def test_joint_matching_across_kinds(self):
+        plan = FaultPlan([
+            GpuXid(time=100.0, node="cn0"),
+            EccError(time=200.0, node="cn1"),
+        ])
+        scores = self.score_one([110.0, 210.0], plan, name="xid_ecc_burst")
+        by_kind = {s.kind: s for s in scores}
+        assert by_kind["gpu_xid"].matched == 1
+        assert by_kind["ecc_error"].matched == 1
+        assert by_kind["gpu_xid"].precision == 1.0  # joint, per detector
+
+
+class FakeScheduler:
+    def __init__(self):
+        self.calls = []
+
+    def drain_node(self, name, now=None, reason=""):
+        self.calls.append(("drain", name, now, reason))
+        return f"task-on-{name}"
+
+    def undrain_node(self, name, now=None):
+        self.calls.append(("undrain", name, now))
+
+
+class TestSchedulerActuator:
+    def test_drain_and_undrain_follow_alert_lifecycle(self):
+        sched = FakeScheduler()
+        act = SchedulerActuator(sched, node_for=lambda e: f"z0-{e}")
+        mon = Monitor(
+            make_session(), detectors=[XidEccBurstDetector()],
+            actuators=[act],
+        ).attach()
+        sess = mon.session
+        for k in range(2):
+            sess.tracer.instant(
+                "xid", 20.0 * k, track="health/cn3",
+                args={"code": 63, "node": "cn3"},
+            )
+        assert act.drains == 1
+        assert act.displaced == ["task-on-z0-cn3"]
+        assert sched.calls[0] == (
+            "drain", "z0-cn3", 20.0, "xid_ecc_burst:warning"
+        )
+        mon.advance(20.0 + 8 * MINUTE)
+        assert act.undrains == 1
+        assert sched.calls[-1] == ("undrain", "z0-cn3", 20.0 + 8 * MINUTE)
+
+    def test_other_detectors_never_drain(self):
+        sched = FakeScheduler()
+        act = SchedulerActuator(sched)
+        mon = Monitor(
+            make_session(), detectors=[LinkCongestionDetector()],
+            actuators=[act],
+        ).attach()
+        for k in range(5):
+            mon.session.registry.gauge("link_util", link="l0").set(
+                0.95, ts=60.0 * k
+            )
+        assert mon.alerts  # the detector fired...
+        assert act.drains == 0 and sched.calls == []  # ...but no drain
+
+    def test_node_for_none_skips(self):
+        sched = FakeScheduler()
+        act = SchedulerActuator(sched, node_for=lambda e: None)
+        mon = Monitor(
+            make_session(), detectors=[XidEccBurstDetector()],
+            actuators=[act],
+        ).attach()
+        for k in range(2):
+            mon.session.tracer.instant(
+                "xid", 20.0 * k, track="health/cn3",
+                args={"code": 63, "node": "cn3"},
+            )
+        assert act.drains == 0 and sched.calls == []

@@ -1,0 +1,108 @@
+"""The monitored chaos week: detector grades vs injected ground truth.
+
+These are the ISSUE's acceptance gates: on the seeded weekly profile
+every registered detector is scored against the
+:class:`~repro.faults.FaultPlan`, the link-failure and Xid-burst
+detectors clear recall >= 0.9 at precision >= 0.8, the alert->scheduler
+loop actually drains and returns nodes, and the whole thing replays
+byte-identically.
+"""
+
+import json
+
+from repro.experiments.chaos import build_plan, render
+from repro.experiments.chaos_monitored import run_monitored
+from repro.monitor import detector_registry
+
+SEED = 7
+
+
+def week():
+    # One run per module: the week is ~1.5s of wall clock.
+    global _WEEK
+    try:
+        return _WEEK
+    except NameError:
+        _WEEK = run_monitored(build_plan(SEED), SEED)
+        return _WEEK
+
+
+def scores_by_detector():
+    by = {}
+    for s in week().scores:
+        by.setdefault(s.detector, []).append(s)
+    return by
+
+
+class TestScoresAgainstGroundTruth:
+    def test_every_registered_detector_is_scored(self):
+        assert set(scores_by_detector()) == set(detector_registry())
+
+    def test_every_watched_kind_has_events(self):
+        # The coverage floor guarantees ground truth for every kind, so
+        # no detector is graded against an empty denominator.
+        assert all(s.events > 0 for s in week().scores)
+
+    def test_link_failure_detector_clears_the_gate(self):
+        for s in scores_by_detector()["link_congestion"]:
+            assert s.recall >= 0.9, s
+            assert s.precision >= 0.8, s
+            assert s.median_ttd_s is not None and s.median_ttd_s > 0
+
+    def test_xid_burst_detector_clears_the_gate(self):
+        for s in scores_by_detector()["xid_ecc_burst"]:
+            assert s.recall >= 0.9, s
+            assert s.precision >= 0.8, s
+
+    def test_background_noise_never_costs_precision(self):
+        # Benign single Xids and one-tick util spikes are injected all
+        # week; the burst/hold logic must reject them outright.
+        for name in ("link_congestion", "xid_ecc_burst"):
+            for s in scores_by_detector()[name]:
+                assert s.precision == 1.0, s
+
+    def test_straggler_and_storage_detect_their_faults(self):
+        by = scores_by_detector()
+        assert all(s.matched > 0 for s in by["collective_straggler"])
+        assert all(s.matched > 0 for s in by["storage_latency"])
+
+
+class TestClosedLoop:
+    def test_alerts_drain_and_return_nodes(self):
+        w = week()
+        assert w.drains > 0
+        assert w.undrains == w.drains  # every conviction eventually clears
+        assert w.drain_events >= w.drains  # scheduler logged each drain
+        assert w.displaced > 0  # drains gracefully interrupted real tasks
+
+    def test_cluster_stays_productive_through_the_week(self):
+        w = week()
+        assert w.tasks_finished >= w.tasks_submitted - 3
+        assert w.alerts_resolved == w.alerts_fired
+
+    def test_online_queue_percentiles_exist(self):
+        w = week()
+        assert w.queue_p50_s is not None and w.queue_p99_s is not None
+        assert w.queue_p99_s >= w.queue_p50_s
+
+
+class TestReplayDeterminism:
+    def test_scores_are_byte_identical_across_replays(self):
+        plan = build_plan(SEED)
+        a = run_monitored(plan, SEED)
+        b = run_monitored(plan, SEED)
+        dump = lambda w: json.dumps(  # noqa: E731
+            [s.row() for s in w.scores], default=str
+        )
+        assert dump(a) == dump(b)
+        alert_rows = lambda w: json.dumps(  # noqa: E731
+            [al.to_row() for al in w.alerts]
+        )
+        assert alert_rows(a) == alert_rows(b)
+
+    def test_rendered_chaos_report_includes_monitor_tables(self):
+        text = render(seed=SEED)
+        assert "Streaming detection scored against injected ground" in text
+        assert "Closed loop" in text
+        for name in detector_registry():
+            assert name in text
