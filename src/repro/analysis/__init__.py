@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.analysis.sanitizer import (
     SanitizerError,
+    SharedStateTracker,
     disable_sanitizer,
     enable_sanitizer,
     enabled as sanitizer_enabled,
@@ -30,13 +31,17 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "SanitizerError",
+    "SharedStateTracker",
     "disable_sanitizer",
     "enable_sanitizer",
     "sanitizer_enabled",
     # Lazily resolved (see __getattr__):
     "Baseline",
+    "ConcurrencyModel",
     "Violation",
     "all_rules",
+    "build_project",
+    "crosscheck",
     "lint_paths",
     "lint_source",
 ]
@@ -47,6 +52,9 @@ _LAZY = {
     "lint_source": ("repro.analysis.lint", "lint_source"),
     "all_rules": ("repro.analysis.lint", "all_rules"),
     "Baseline": ("repro.analysis.baseline", "Baseline"),
+    "ConcurrencyModel": ("repro.analysis.concurrency", "ConcurrencyModel"),
+    "crosscheck": ("repro.analysis.concurrency", "crosscheck"),
+    "build_project": ("repro.analysis.callgraph", "build_project"),
 }
 
 

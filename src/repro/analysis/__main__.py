@@ -19,10 +19,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from collections import Counter
 from typing import List, Optional
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
 from repro.analysis.lint import Violation, all_rules, lint_paths
+
+EXIT_CONTRACT = """\
+exit status:
+  0  clean: no violations beyond the baseline (and, with
+     --strict-baseline, no stale baseline entries)
+  1  new violations found, or --strict-baseline detected baseline
+     drift (stale entries that no longer fire — prune them, or rerun
+     --update-baseline deliberately)
+  2  usage error (unknown rule, bad arguments)
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Determinism/unit lint for the Fire-Flyer reproduction.",
+        epilog=EXIT_CONTRACT,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], metavar="PATH",
@@ -60,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rule", action="append", default=None, metavar="CODE",
         help="run only the named rule(s) (repeatable)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule violation counts and lint wall time to stderr",
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail (exit 1) when baseline entries no longer fire, "
+             "so accepted-debt drift is pruned deliberately",
     )
     return parser
 
@@ -140,7 +163,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         rules = [r for r in rules if r.code in wanted]
 
+    # Wall time, not simulated time: this measures the linter itself.
+    t0 = time.perf_counter()  # repro: noqa[DET002]
     violations = lint_paths(args.paths, rules)
+    elapsed = time.perf_counter() - t0  # repro: noqa[DET002]
+
+    if args.stats:
+        per_rule = Counter(v.rule for v in violations)
+        for rule in rules:
+            print(f"stats: {rule.code:8s} {per_rule.get(rule.code, 0)}",
+                  file=sys.stderr)
+        print(f"stats: wall time {elapsed:.2f}s "
+              f"({len(rules)} rule(s), {len(violations)} violation(s))",
+              file=sys.stderr)
 
     if args.update_baseline:
         old = Baseline.load(args.baseline)
@@ -154,12 +189,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{sum(fresh.counts.values())} accepted violation(s)")
         return 0
 
+    stale = []
     if args.no_baseline:
         baseline_path = None
         new = list(violations)
     else:
         baseline_path = args.baseline
-        new = Baseline.load(args.baseline).new_violations(violations)
+        baseline = Baseline.load(args.baseline)
+        new = baseline.new_violations(violations)
+        if args.strict_baseline:
+            stale = baseline.stale_entries(violations)
 
     if args.format == "json":
         print(_render_json(violations, new, baseline_path))
@@ -167,7 +206,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_render_github(new))
     else:
         print(_render_text(violations, new, baseline_path is not None))
-    return 1 if new else 0
+    for rule, path, message in stale:
+        print(f"stale baseline entry: {rule} {path}: {message}",
+              file=sys.stderr)
+    if stale:
+        print(f"{len(stale)} stale baseline entr(y/ies); prune them or "
+              "rerun --update-baseline deliberately", file=sys.stderr)
+    return 1 if new or stale else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,1122 @@
+"""Cross-module call graph + alias summaries for the DES concurrency rules.
+
+This module upgrades the within-module interprocedural machinery of
+:mod:`repro.analysis.rules` to a whole-project model:
+
+* **Call graph** — every ``ast.Call`` is recorded with its dotted name
+  chain and resolved against the project's function index: bare names
+  (nested functions, module functions, ``from`` imports), ``module.fn``
+  through import aliases, ``self.method`` / ``self.attr.method`` through
+  a one-level instance map, and ``Cls()`` constructions.
+* **Process-generator classification** — generator functions whose
+  objects are handed to ``Environment.process`` / ``Process(env, ...)``
+  become *process roots*; a root started inside a loop (or from several
+  call sites) is *multi-instance*, i.e. it races against copies of
+  itself. ``@experiment`` / ``@detector`` functions are indexed as
+  registry entry points.
+* **Shared-state effect summaries** — per function: reads, writes,
+  mutations and iterations of ``self.*`` attributes, module globals,
+  closure captures, aliased object attributes, and mutable default
+  arguments. Effects propagate through resolved call edges (with
+  argument-to-parameter alias bindings run to a fixpoint) up to each
+  process root, so a helper mutating a shared dict implicates every
+  generator that calls it.
+
+The model is deliberately *under*-approximate where precision is
+impossible (unresolvable calls contribute nothing) and *over*-approximate
+where instances are conflated (all instances of a class share one
+abstract ``self``): the RACE rules built on top in
+:mod:`repro.analysis.concurrency` only fire when at least two distinct
+process roots (or two instances of one) write the same location, which
+keeps false positives to patterns a reviewer should look at anyway.
+
+Internals of the trusted runtime (``repro.simcore``, ``repro.telemetry``)
+are excluded from effect summaries: the kernel's stores and resources
+*are* the ordering mechanism the rules reason about, and metric objects
+are commutative aggregations — treating their self-mutation as user
+state would flag every simulation in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Method names that mutate their receiver in place. Deliberately a fixed
+#: allowlist of builtin-container mutators: telemetry-ish verbs
+#: (``observe``, ``inc``, ``complete``) must NOT count as shared-state
+#: writes.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "update", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "setdefault",
+    "__setitem__", "__delitem__",
+})
+
+#: Yielded calls whose completion imposes a deterministic FIFO ordering
+#: between the waiters (a store handoff). ``timeout`` is *not* here: two
+#: processes writing after equal timeouts is the canonical tie-break race.
+HANDOFF_METHODS = frozenset({"get", "put"})
+
+#: Modules whose internal effects are not user-visible shared state.
+TRUSTED_PREFIXES = ("repro.simcore", "repro.telemetry", "repro.analysis")
+
+#: Decorators that register a function with a runtime dispatch registry.
+ENTRY_POINT_DECORATORS = frozenset({"experiment", "detector"})
+
+# A resolved shared-state location is a tuple:
+#   ("closure", owner_fn_qual, var)   closure cell owned by a function
+#   ("global",  module, name)         module-level binding
+#   ("attr",    class_qual, attr)     instance attribute (all instances)
+#   ("obj",     obj_key)              the object itself (container mutation)
+#   ("objattr", obj_key, attr)        attribute of an aliased object
+#   ("default", fn_qual, param)       mutable default argument
+Loc = Tuple[str, ...]
+
+
+@dataclass
+class CallSite:
+    """One ``ast.Call`` with its resolution state."""
+
+    chain: Tuple[str, ...]
+    lineno: int
+    args: Tuple[Optional[Tuple[str, ...]], ...]
+    loop_depth: int
+    #: Whether the call sits under ``yield from`` — the only way a
+    #: generator callee's body actually runs in the caller's process.
+    yielded_from: bool = False
+    resolved: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class RawEffect:
+    """A pre-resolution access recorded while walking one function."""
+
+    kind: str  # "write" | "mutate" | "read" | "iterate"
+    target: Tuple[str, ...]
+    lineno: int
+    #: For "iterate": whether the loop body suspends (contains a yield).
+    yields_inside: bool = False
+    #: For "iterate": (start, end) line extent of the loop.
+    extent: Tuple[int, int] = (0, 0)
+
+
+@dataclass
+class YieldInfo:
+    """One yield point with its ordering classification."""
+
+    lineno: int
+    #: Object key of a store handoff (``yield store.get()``) or ``None``.
+    handoff: Optional[str] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Scope, effect, and call summary for one function."""
+
+    qual: str
+    module: str
+    path: str
+    name: str
+    node: ast.AST
+    parent: Optional[str] = None
+    cls: Optional[str] = None
+    params: Tuple[str, ...] = ()
+    assigned: Set[str] = field(default_factory=set)
+    globals_decl: Set[str] = field(default_factory=set)
+    nonlocals_decl: Set[str] = field(default_factory=set)
+    is_generator: bool = False
+    yields: List[YieldInfo] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    raw_effects: List[RawEffect] = field(default_factory=list)
+    mutable_defaults: Dict[str, int] = field(default_factory=dict)
+    #: Local ``x = f(...)`` bindings (name -> callee chain), used to
+    #: resolve ``env.process(x)`` and ``yield req`` handoffs.
+    call_locals: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    decorators: Tuple[str, ...] = ()
+    #: Locals of *this* function captured by nested functions (computed
+    #: in a second pass) — effects on them are closure-cell effects.
+    captured: Set[str] = field(default_factory=set)
+
+    @property
+    def display(self) -> str:
+        """Short human name (last qualname component)."""
+        return self.qual.rsplit(":", 1)[-1].rsplit(".", 1)[-1]
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Dotted name chain of an expression, piercing subscripts.
+
+    ``a.b.c`` -> ``("a","b","c")``; ``tree["dead"].append`` ->
+    ``("tree","append")`` (the subscript is transparent so mutation roots
+    resolve). Returns ``None`` for anything rooted in a call or literal.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        else:
+            return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _own_nodes(node: ast.AST) -> Iterable[ast.AST]:
+    """All descendants of ``node`` in the same function scope."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield child
+        yield from _own_nodes(child)
+
+
+def _scope_nodes(stmts: Sequence[ast.AST]) -> Iterable[ast.AST]:
+    for stmt in stmts:
+        yield stmt
+        yield from _own_nodes(stmt)
+
+
+def _has_own_yield(stmts: Sequence[ast.AST]) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _scope_nodes(stmts)
+    )
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name from a (possibly fake) source path.
+
+    The name is anchored at the last ``repro`` path segment when present
+    (``src/repro/fs3/rts_sim.py`` -> ``repro.fs3.rts_sim``), otherwise
+    it is the file stem — enough to give fixture files a stable identity.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[idx:]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else "<module>"
+
+
+class _ModuleIndex:
+    """Per-module symbol tables built in one AST pass."""
+
+    def __init__(self, name: str, path: str, tree: ast.Module) -> None:
+        self.name = name
+        self.path = path
+        self.tree = tree
+        self.globals: Set[str] = set()
+        #: local alias -> dotted module path (``import x.y as z``).
+        self.import_modules: Dict[str, str] = {}
+        #: local name -> ``module:attr`` (``from m import a``).
+        self.import_names: Dict[str, str] = {}
+        #: ``module:Class`` -> {method name -> qual}.
+        self.classes: Dict[str, Dict[str, str]] = {}
+        #: ``module:Class`` -> {self attr -> class qual of its instance}.
+        self.instance_attrs: Dict[str, Dict[str, str]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+
+class _FunctionCollector:
+    """Fills one :class:`FunctionInfo` from its AST, tracking loop depth."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self.loop_depth = 0
+        self.yield_from_depth = 0
+
+    def run(self) -> None:
+        node = self.info.node
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        self.info.params = tuple(params)
+        defaults = args.defaults
+        for param_node, default in zip(args.args[len(args.args) - len(defaults):],
+                                       defaults):
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                self.info.mutable_defaults[param_node.arg] = default.lineno
+        for stmt in node.body:
+            self._visit(stmt)
+        self.info.is_generator = bool(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _has_own_yield(node.body)
+        )
+
+    # -- statement walk (own scope only) --------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return
+        handler = getattr(self, f"_on_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+        loop = isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+        yf = isinstance(node, ast.YieldFrom)
+        if loop:
+            self.loop_depth += 1
+        if yf:
+            self.yield_from_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        if loop:
+            self.loop_depth -= 1
+        if yf:
+            self.yield_from_depth -= 1
+
+    # -- scope bookkeeping -----------------------------------------------------
+
+    def _on_Global(self, node: ast.Global) -> None:
+        self.info.globals_decl.update(node.names)
+
+    def _on_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.info.nonlocals_decl.update(node.names)
+
+    def _bind_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.info.assigned.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value)
+
+    # -- effects ---------------------------------------------------------------
+
+    def _record_store(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            self.info.assigned.add(target.id)
+            self.info.raw_effects.append(
+                RawEffect("write", ("name", target.id), lineno)
+            )
+        elif isinstance(target, ast.Attribute):
+            chain = _attr_chain(target)
+            if chain is None:
+                return
+            if len(chain) == 2:
+                self.info.raw_effects.append(
+                    RawEffect("write", ("attr", chain[0], chain[1]), lineno)
+                )
+            else:
+                # self.x.y = v mutates the object held in self.x / x.
+                self.info.raw_effects.append(
+                    RawEffect("mutate", ("base", chain[0], chain[1]), lineno)
+                )
+        elif isinstance(target, ast.Subscript):
+            chain = _attr_chain(target.value)
+            if chain is None:
+                return
+            if len(chain) == 1:
+                self.info.raw_effects.append(
+                    RawEffect("mutate", ("name", chain[0]), lineno)
+                )
+            else:
+                self.info.raw_effects.append(
+                    RawEffect("mutate", ("base", chain[0], chain[1]), lineno)
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, lineno)
+        elif isinstance(target, ast.Starred):
+            self._record_store(target.value, lineno)
+
+    def _on_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store(target, node.lineno)
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            chain = _attr_chain(node.value.func)
+            if chain is not None:
+                self.info.call_locals[node.targets[0].id] = chain
+
+    def _on_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, node.lineno)
+        self._record_load(node.target, node.lineno)
+
+    def _on_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_store(node.target, node.lineno)
+            if isinstance(node.target, ast.Name) and isinstance(
+                node.value, ast.Call
+            ):
+                chain = _attr_chain(node.value.func)
+                if chain is not None:
+                    self.info.call_locals[node.target.id] = chain
+        elif isinstance(node.target, ast.Name):
+            self.info.assigned.add(node.target.id)
+
+    def _on_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_store(target, node.lineno)
+
+    def _record_load(self, node: ast.AST, lineno: int) -> None:
+        if isinstance(node, ast.Name):
+            self.info.raw_effects.append(
+                RawEffect("read", ("name", node.id), lineno)
+            )
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain = _attr_chain(node)
+            if chain is None:
+                return
+            if len(chain) >= 2:
+                self.info.raw_effects.append(
+                    RawEffect("read", ("attr", chain[0], chain[1]), lineno)
+                )
+            else:
+                self.info.raw_effects.append(
+                    RawEffect("read", ("name", chain[0]), lineno)
+                )
+
+    def _on_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.info.raw_effects.append(
+                RawEffect("read", ("name", node.id), node.lineno)
+            )
+
+    def _on_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            chain = _attr_chain(node)
+            if chain is not None and len(chain) >= 2:
+                self.info.raw_effects.append(
+                    RawEffect("read", ("attr", chain[0], chain[1]), node.lineno)
+                )
+
+    def _on_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if chain[-1] in MUTATOR_METHODS and len(chain) >= 2:
+            if len(chain) == 2:
+                self.info.raw_effects.append(
+                    RawEffect("mutate", ("name", chain[0]), node.lineno)
+                )
+            else:
+                self.info.raw_effects.append(
+                    RawEffect("mutate", ("base", chain[0], chain[1]), node.lineno)
+                )
+        arg_refs: List[Optional[Tuple[str, ...]]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                arg_refs.append(("name", arg.id))
+            elif isinstance(arg, ast.Call):
+                sub = _attr_chain(arg.func)
+                arg_refs.append(("call",) + sub if sub is not None else None)
+            elif isinstance(arg, ast.Attribute):
+                sub = _attr_chain(arg)
+                arg_refs.append(("ref",) + sub if sub is not None else None)
+            else:
+                arg_refs.append(None)
+        self.info.calls.append(
+            CallSite(
+                chain=chain,
+                lineno=node.lineno,
+                args=tuple(arg_refs),
+                loop_depth=self.loop_depth,
+                yielded_from=self.yield_from_depth > 0,
+            )
+        )
+
+    def _on_For(self, node: ast.For) -> None:
+        self._bind_target(node.target)
+        self._iterate_effect(node.iter, node)
+
+    def _on_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._on_For(node)  # type: ignore[arg-type]
+
+    def _on_comprehension(self, node: ast.comprehension) -> None:
+        self._bind_target(node.target)
+
+    def _on_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._bind_target(node.optional_vars)
+
+    def _on_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.info.assigned.add(node.name)
+
+    def _on_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self._bind_target(node.target)
+
+    def _iterate_effect(self, iter_expr: ast.AST, loop: ast.For) -> None:
+        if isinstance(iter_expr, ast.Call):
+            # list(x), sorted(x), range(...): the snapshot is the fix.
+            return
+        chain = _attr_chain(iter_expr)
+        if chain is None:
+            return
+        target = ("name", chain[0]) if len(chain) == 1 else (
+            "attr", chain[0], chain[1]
+        )
+        self.info.raw_effects.append(
+            RawEffect(
+                "iterate",
+                target,
+                loop.lineno,
+                yields_inside=_has_own_yield(loop.body),
+                extent=(loop.lineno, getattr(loop, "end_lineno", loop.lineno)),
+            )
+        )
+
+    def _on_Yield(self, node: ast.Yield) -> None:
+        handoff: Optional[str] = None
+        value = node.value
+        chain: Optional[Tuple[str, ...]] = None
+        if isinstance(value, ast.Call):
+            chain = _attr_chain(value.func)
+        elif isinstance(value, ast.Name):
+            chain = self.info.call_locals.get(value.id)
+        if chain is not None and len(chain) >= 2 and (
+            chain[-1] in HANDOFF_METHODS or chain[-1] == "request"
+        ):
+            handoff = ".".join(chain[:-1])
+            if chain[-1] == "request":
+                # Resource grants serialize FIFO only at capacity 1, which
+                # is not statically known — requests do not order writes.
+                handoff = None
+        self.info.yields.append(YieldInfo(node.lineno, handoff))
+
+    def _on_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.info.yields.append(YieldInfo(node.lineno, None))
+
+
+def _decorator_names(node: ast.AST) -> Tuple[str, ...]:
+    names = []
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = _attr_chain(target)
+        if chain:
+            names.append(chain[-1])
+    return tuple(names)
+
+
+def _index_module(name: str, path: str, tree: ast.Module) -> _ModuleIndex:
+    idx = _ModuleIndex(name, path, tree)
+
+    def unique_qual(qual: str) -> str:
+        if qual not in idx.functions:
+            return qual
+        n = 2
+        while f"{qual}#{n}" in idx.functions:
+            n += 1
+        return f"{qual}#{n}"
+
+    def add_function(node: ast.AST, local: str, parent: Optional[str],
+                     cls: Optional[str]) -> FunctionInfo:
+        qual = unique_qual(f"{name}:{local}")
+        short = local.rsplit(".", 1)[-1]
+        if "#" in qual:
+            short += "#" + qual.rsplit("#", 1)[-1]
+        info = FunctionInfo(
+            qual=qual, module=name, path=path, name=short, node=node,
+            parent=parent, cls=cls, decorators=_decorator_names(node),
+        )
+        idx.functions[qual] = info
+        _FunctionCollector(info).run()
+        # Nested functions share the local path (not the #n suffix: a
+        # redefined outer function's inner names stay distinguishable
+        # through their parent link).
+        inner_prefix = qual.rsplit(":", 1)[-1]
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _enclosing_function(node, child) is node:
+                    add_function(child, f"{inner_prefix}.{child.name}", qual, cls)
+        return info
+
+    def _enclosing_function(root: ast.AST, target: ast.AST) -> Optional[ast.AST]:
+        # Nearest function ancestor of ``target`` under ``root``.
+        found: List[ast.AST] = []
+
+        def descend(node: ast.AST, owner: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if child is target:
+                    found.append(owner)
+                    return
+                next_owner = child if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) else owner
+                descend(child, next_owner)
+
+        descend(root, root)
+        return found[0] if found else None
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                idx.import_modules[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parent_parts = name.split(".")[: -node.level or None]
+                parent = ".".join(parent_parts[: len(parent_parts)])
+                base = f"{parent}.{base}" if base else parent
+            for alias in node.names:
+                local = alias.asname or alias.name
+                idx.import_names[local] = f"{base}:{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(node, node.name, None, None)
+            idx.globals.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            cls_qual = f"{name}:{node.name}"
+            idx.classes[cls_qual] = {}
+            idx.instance_attrs[cls_qual] = {}
+            idx.globals.add(node.name)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = add_function(
+                        item, f"{node.name}.{item.name}", None, cls_qual
+                    )
+                    idx.classes[cls_qual][item.name] = info.qual
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else (
+                [node.target] if node.value is not None else []
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    idx.globals.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            idx.globals.add(elt.id)
+    return idx
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed module handed to :func:`build_project`."""
+
+    name: str
+    path: str
+    tree: ast.Module
+
+
+@dataclass
+class Effect:
+    """A resolved shared-state access attributed to one function."""
+
+    kind: str
+    loc: Loc
+    fn: str
+    path: str
+    lineno: int
+    yields_inside: bool = False
+    extent: Tuple[int, int] = (0, 0)
+
+
+class ProjectModel:
+    """The resolved whole-project view the RACE rules query."""
+
+    def __init__(self, sources: Sequence[ModuleSource]) -> None:
+        self.modules: Dict[str, _ModuleIndex] = {}
+        for src in sources:
+            self.modules[src.name] = _index_module(src.name, src.path, src.tree)
+        self.functions: Dict[str, FunctionInfo] = {}
+        for idx in self.modules.values():
+            self.functions.update(idx.functions)
+        #: process root qual -> started-in-a-loop / multiple-start-sites.
+        self.process_roots: Dict[str, bool] = {}
+        #: functions registered via @experiment / @detector decorators.
+        self.entry_points: Dict[str, str] = {}
+        self._reachable_memo: Dict[str, Set[str]] = {}
+        self._effects_memo: Dict[str, List[Effect]] = {}
+        self._bindings: Dict[Tuple[str, str], Set[str]] = {}
+        self._compute_captured()
+        self._resolve_instance_attrs()
+        self._resolve_calls()
+        self._find_entry_points()
+        self._find_roots()
+        self._propagate_bindings()
+
+    # -- scope resolution ------------------------------------------------------
+
+    def _ancestors(self, fn: FunctionInfo) -> Iterable[FunctionInfo]:
+        cur = fn.parent
+        while cur is not None:
+            anc = self.functions.get(cur)
+            if anc is None:
+                return
+            yield anc
+            cur = anc.parent
+
+    def base_loc(self, fn: FunctionInfo, name: str) -> Optional[Loc]:
+        """Classify a bare name in ``fn``: its shared location, or ``None``
+        for plain locals / parameters / imports / builtins.
+
+        Parameters return ``("param", fn_qual, name)`` and captured locals
+        ``("closure", fn_qual, name)`` so callers can alias-resolve them.
+        """
+        idx = self.modules.get(fn.module)
+        if name in fn.globals_decl:
+            return ("global", fn.module, name)
+        if name in fn.nonlocals_decl:
+            for anc in self._ancestors(fn):
+                if name in anc.assigned or name in anc.params:
+                    return ("closure", anc.qual, name)
+            return ("global", fn.module, name)
+        if name in fn.params:
+            return ("param", fn.qual, name)
+        if name in fn.assigned:
+            if name in fn.captured:
+                return ("closure", fn.qual, name)
+            return None
+        for anc in self._ancestors(fn):
+            if name in anc.params or name in anc.assigned:
+                return ("closure", anc.qual, name)
+        if idx is not None and name in idx.globals and (
+            name not in idx.import_modules and name not in idx.import_names
+        ):
+            return ("global", fn.module, name)
+        return None
+
+    def _compute_captured(self) -> None:
+        for fn in self.functions.values():
+            if fn.parent is None:
+                continue
+            referenced: Set[str] = set()
+            for eff in fn.raw_effects:
+                if eff.target[0] == "name":
+                    referenced.add(eff.target[1])
+                elif eff.target[0] in ("attr", "base"):
+                    referenced.add(eff.target[1])
+            for call in fn.calls:
+                referenced.add(call.chain[0])
+            local = fn.params + tuple(fn.assigned)
+            free = referenced - set(local) | fn.nonlocals_decl
+            for anc in self._ancestors(fn):
+                hits = free & (set(anc.params) | anc.assigned)
+                anc.captured.update(hits)
+                free -= hits
+
+    def _resolve_instance_attrs(self) -> None:
+        for idx in self.modules.values():
+            for cls_qual, methods in idx.classes.items():
+                init = methods.get("__init__")
+                info = self.functions.get(init) if init else None
+                if info is None:
+                    continue
+                for node in ast.walk(info.node):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"
+                        and isinstance(node.value, ast.Call)
+                    ):
+                        chain = _attr_chain(node.value.func)
+                        if chain is None:
+                            continue
+                        cls = self._resolve_class(info, chain)
+                        if cls is not None:
+                            idx.instance_attrs[cls_qual][
+                                node.targets[0].attr
+                            ] = cls
+
+    def _resolve_class(self, fn: FunctionInfo,
+                       chain: Tuple[str, ...]) -> Optional[str]:
+        idx = self.modules[fn.module]
+        if len(chain) == 1:
+            name = chain[0]
+            if f"{fn.module}:{name}" in idx.classes:
+                return f"{fn.module}:{name}"
+            target = idx.import_names.get(name)
+            if target is not None:
+                mod, _, attr = target.partition(":")
+                other = self.modules.get(mod)
+                if other is not None and f"{mod}:{attr}" in other.classes:
+                    return f"{mod}:{attr}"
+            return None
+        mod = self._resolve_module_prefix(idx, chain[:-1])
+        if mod is not None:
+            other = self.modules.get(mod)
+            if other is not None and f"{mod}:{chain[-1]}" in other.classes:
+                return f"{mod}:{chain[-1]}"
+        return None
+
+    def _resolve_module_prefix(self, idx: _ModuleIndex,
+                               chain: Tuple[str, ...]) -> Optional[str]:
+        if not chain:
+            return None
+        root = chain[0]
+        base = idx.import_modules.get(root)
+        if base is None:
+            target = idx.import_names.get(root)
+            if target is not None and target.endswith(":" + root.split(".")[-1]):
+                mod, _, attr = target.partition(":")
+                candidate = f"{mod}.{attr}"
+                if candidate in self.modules:
+                    base = candidate
+        if base is None:
+            return None
+        full = ".".join((base,) + chain[1:])
+        # Greedy longest-prefix match against the module index.
+        parts = full.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules and cut == len(parts):
+                return candidate
+        return full if full in self.modules else None
+
+    def resolve_callable(self, fn: FunctionInfo,
+                         chain: Tuple[str, ...]) -> Set[str]:
+        """Function quals a call chain may target (empty when unknown)."""
+        idx = self.modules[fn.module]
+        out: Set[str] = set()
+        if len(chain) == 1:
+            name = chain[0]
+            prefix_owners = [fn] + list(self._ancestors(fn))
+            for owner in prefix_owners:
+                local = owner.qual.rsplit(":", 1)[-1].split("#")[0]
+                base = f"{owner.module}:{local}.{name}"
+                for qual, info in self.functions.items():
+                    if info.parent == owner.qual and (
+                        qual == base or qual.startswith(base + "#")
+                    ):
+                        out.add(qual)
+                if out:
+                    return out
+            direct = f"{fn.module}:{name}"
+            if direct in self.functions:
+                return {direct}
+            target = idx.import_names.get(name)
+            if target is not None:
+                mod, _, attr = target.partition(":")
+                qual = f"{mod}:{attr}"
+                if qual in self.functions:
+                    return {qual}
+                other = self.modules.get(mod)
+                if other is not None and qual in other.classes:
+                    init = other.classes[qual].get("__init__")
+                    return {init} if init else set()
+            if f"{fn.module}:{name}" in idx.classes:
+                init = idx.classes[f"{fn.module}:{name}"].get("__init__")
+                return {init} if init else set()
+            return out
+        root = chain[0]
+        if root == "self" and fn.cls is not None:
+            own = self.modules.get(fn.cls.split(":")[0])
+            methods = own.classes.get(fn.cls, {}) if own else {}
+            if len(chain) == 2:
+                qual = methods.get(chain[1])
+                return {qual} if qual else set()
+            if len(chain) == 3:
+                attrs = own.instance_attrs.get(fn.cls, {}) if own else {}
+                target_cls = attrs.get(chain[1])
+                if target_cls is not None:
+                    other = self.modules.get(target_cls.split(":")[0])
+                    if other is not None:
+                        qual = other.classes.get(target_cls, {}).get(chain[2])
+                        return {qual} if qual else set()
+            return set()
+        # obj.method() through a locally constructed instance.
+        owner_chain = fn.call_locals.get(root)
+        if owner_chain is not None and len(chain) == 2:
+            cls = self._resolve_class(fn, owner_chain)
+            if cls is not None:
+                other = self.modules.get(cls.split(":")[0])
+                if other is not None:
+                    qual = other.classes.get(cls, {}).get(chain[1])
+                    return {qual} if qual else set()
+        mod = self._resolve_module_prefix(idx, chain[:-1])
+        if mod is not None:
+            qual = f"{mod}:{chain[-1]}"
+            if qual in self.functions:
+                return {qual}
+            other = self.modules.get(mod)
+            if other is not None and qual in other.classes:
+                init = other.classes[qual].get("__init__")
+                return {init} if init else set()
+        return out
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions.values():
+            for call in fn.calls:
+                call.resolved = {
+                    q for q in self.resolve_callable(fn, call.chain)
+                    if q in self.functions
+                }
+
+    def _find_entry_points(self) -> None:
+        for qual, fn in self.functions.items():
+            hit = set(fn.decorators) & ENTRY_POINT_DECORATORS
+            if hit:
+                self.entry_points[qual] = sorted(hit)[0]
+
+    # -- process roots ---------------------------------------------------------
+
+    def _generator_target(self, fn: FunctionInfo,
+                          ref: Optional[Tuple[str, ...]]) -> Set[str]:
+        if ref is None:
+            return set()
+        if ref[0] == "call":
+            quals = self.resolve_callable(fn, ref[1:])
+        elif ref[0] == "name":
+            chain = fn.call_locals.get(ref[1])
+            quals = self.resolve_callable(fn, chain) if chain else set()
+        elif ref[0] == "ref":
+            quals = self.resolve_callable(fn, ref[1:])
+        else:
+            return set()
+        return {
+            q for q in quals
+            if q in self.functions and self.functions[q].is_generator
+        }
+
+    def _find_roots(self) -> None:
+        starts: Dict[str, List[Tuple[str, int]]] = {}
+        for fn in self.functions.values():
+            for call in fn.calls:
+                targets: Set[str] = set()
+                if call.chain[-1] == "process" and len(call.chain) >= 2:
+                    if call.args:
+                        targets = self._generator_target(fn, call.args[0])
+                elif call.chain == ("Process",) and len(call.args) >= 2:
+                    imported = self.modules[fn.module].import_names.get("Process", "")
+                    if imported.startswith("repro.simcore"):
+                        targets = self._generator_target(fn, call.args[1])
+                for qual in targets:
+                    starts.setdefault(qual, []).append(
+                        (fn.qual, call.loop_depth)
+                    )
+        for qual, sites in starts.items():
+            multi = len(sites) > 1 or any(depth > 0 for _, depth in sites)
+            self.process_roots[qual] = multi
+
+    # -- alias bindings --------------------------------------------------------
+
+    def _obj_keys_for_ref(self, fn: FunctionInfo,
+                          ref: Optional[Tuple[str, ...]]) -> Set[str]:
+        if ref is None or ref[0] == "call":
+            return set()
+        if ref[0] == "name":
+            return self._obj_keys_for_name(fn, ref[1])
+        if ref[0] == "ref" and len(ref) == 3 and ref[1] == "self" and fn.cls:
+            return {f"selfattr:{fn.cls}:{ref[2]}"}
+        return set()
+
+    def _obj_keys_for_name(self, fn: FunctionInfo, name: str) -> Set[str]:
+        if name == "self" and fn.cls is not None:
+            return {f"instance:{fn.cls}"}
+        loc = self.base_loc(fn, name)
+        if loc is None:
+            if name in fn.assigned:
+                return {f"local:{fn.qual}:{name}"}
+            return set()
+        if loc[0] == "param":
+            bound = self._bindings.get((fn.qual, name))
+            return set(bound) if bound else {f"param:{fn.qual}:{name}"}
+        if loc[0] == "closure":
+            return {f"closure:{loc[1]}:{loc[2]}"}
+        if loc[0] == "global":
+            return {f"global:{loc[1]}:{loc[2]}"}
+        return set()
+
+    def _propagate_bindings(self) -> None:
+        for _ in range(20):
+            changed = False
+            for fn in self.functions.values():
+                for call in fn.calls:
+                    for callee_qual in call.resolved:
+                        callee = self.functions[callee_qual]
+                        params = list(callee.params)
+                        if callee.cls is not None and params[:1] == ["self"]:
+                            key = (callee_qual, "self")
+                            objs = {f"instance:{callee.cls}"}
+                            if not objs <= self._bindings.get(key, set()):
+                                self._bindings.setdefault(key, set()).update(objs)
+                                changed = True
+                            params = params[1:]
+                        for i, ref in enumerate(call.args):
+                            if i >= len(params):
+                                break
+                            objs = self._obj_keys_for_ref(fn, ref)
+                            if not objs:
+                                continue
+                            key = (callee_qual, params[i])
+                            have = self._bindings.setdefault(key, set())
+                            if not objs <= have:
+                                have.update(objs)
+                                changed = True
+            if not changed:
+                break
+
+    # -- effect resolution -----------------------------------------------------
+
+    def resolve_effect_loc(self, fn: FunctionInfo, target: Tuple[str, ...],
+                           access: str = "mutate") -> List[Loc]:
+        """Shared locations a raw effect target denotes (possibly none)."""
+        kind = target[0]
+        if kind == "name":
+            loc = self.base_loc(fn, target[1])
+            if loc is None:
+                return []
+            if loc[0] == "param":
+                if access == "write":
+                    # Rebinding a parameter is local; it does not touch
+                    # the caller's object.
+                    return []
+                out: List[Loc] = [
+                    ("obj", key) for key in self._obj_keys_for_name(fn, target[1])
+                ]
+                if target[1] in fn.mutable_defaults and access == "mutate":
+                    out.append(("default", fn.qual, target[1]))
+                return out
+            if loc[0] in ("closure", "global"):
+                return [loc]
+            return []
+        if kind == "attr":
+            base, attr = target[1], target[2]
+            if base == "self" and fn.cls is not None:
+                return [("attr", fn.cls, attr)]
+            keys = self._obj_keys_for_name(fn, base)
+            return [("objattr", key, attr) for key in keys]
+        if kind == "base":
+            base, attr = target[1], target[2]
+            if base == "self" and fn.cls is not None:
+                return [("attr", fn.cls, attr)]
+            keys = self._obj_keys_for_name(fn, base)
+            return [("objattr", key, attr) for key in keys]
+        return []
+
+    def effects_of(self, qual: str) -> List[Effect]:
+        """Resolved shared-state effects of one function (no propagation)."""
+        cached = self._effects_memo.get(qual)
+        if cached is not None:
+            return cached
+        fn = self.functions[qual]
+        out: List[Effect] = []
+        if not fn.module.startswith(TRUSTED_PREFIXES):
+            for raw in fn.raw_effects:
+                for loc in self.resolve_effect_loc(fn, raw.target, raw.kind):
+                    out.append(
+                        Effect(
+                            kind=raw.kind, loc=loc, fn=qual, path=fn.path,
+                            lineno=raw.lineno,
+                            yields_inside=raw.yields_inside,
+                            extent=raw.extent,
+                        )
+                    )
+        self._effects_memo[qual] = out
+        return out
+
+    def reachable(self, qual: str) -> Set[str]:
+        """Functions reachable from ``qual`` through resolved calls."""
+        memo = self._reachable_memo.get(qual)
+        if memo is not None:
+            return memo
+        seen: Set[str] = set()
+        stack = [qual]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            fn = self.functions.get(cur)
+            if fn is None or fn.module.startswith(TRUSTED_PREFIXES):
+                continue
+            for call in fn.calls:
+                for target in call.resolved:
+                    if target in seen:
+                        continue
+                    callee = self.functions.get(target)
+                    # Calling a generator function only builds the
+                    # generator object; its body runs in the caller's
+                    # process only when driven via ``yield from``.
+                    if (
+                        callee is not None
+                        and callee.is_generator
+                        and not call.yielded_from
+                    ):
+                        continue
+                    stack.append(target)
+        self._reachable_memo[qual] = seen
+        return seen
+
+    def roots_of(self, qual: str) -> Set[str]:
+        """Process roots from which ``qual`` is reachable."""
+        return {
+            root for root in self.process_roots if qual in self.reachable(root)
+        }
+
+    def describe_loc(self, loc: Loc) -> str:
+        """Stable human-readable description of a shared location."""
+        kind = loc[0]
+        if kind == "closure":
+            return f"'{loc[2]}' (closure of {loc[1]})"
+        if kind == "global":
+            return f"module global '{loc[2]}' of {loc[1]}"
+        if kind == "attr":
+            return f"self.{loc[2]} ({loc[1]})"
+        if kind == "default":
+            return f"mutable default '{loc[2]}' of {loc[1]}"
+        if kind == "obj":
+            return self._describe_obj(loc[1])
+        if kind == "objattr":
+            return f"attribute '{loc[2]}' of {self._describe_obj(loc[1])}"
+        return repr(loc)
+
+    @staticmethod
+    def _describe_obj(key: str) -> str:
+        kind, _, rest = key.partition(":")
+        owner, _, name = rest.rpartition(":")
+        if kind in ("local", "param", "closure") and owner:
+            return f"'{name}' (object from {owner})"
+        if kind == "global" and owner:
+            return f"module global '{name}' of {owner}"
+        if kind == "instance":
+            return f"instances of {rest}"
+        if kind == "selfattr" and owner:
+            return f"self.{name} ({owner})"
+        return key
+
+
+def build_project(sources: Sequence[ModuleSource]) -> ProjectModel:
+    """Parse-free constructor: callers hand in already-parsed modules."""
+    return ProjectModel(sources)
+
+
+def sources_from_paths(paths: Iterable[str]) -> List[ModuleSource]:
+    """Parse ``.py`` files into :class:`ModuleSource` entries.
+
+    Unparseable files are skipped — the lint driver reports syntax errors
+    separately and the model should still cover the rest of the tree.
+    """
+    out: List[ModuleSource] = []
+    for raw in paths:
+        p = Path(raw)
+        try:
+            tree = ast.parse(p.read_text(encoding="utf-8"), filename=str(p))
+        except (OSError, SyntaxError):
+            continue
+        out.append(
+            ModuleSource(
+                name=module_name_for_path(str(p)), path=str(p), tree=tree
+            )
+        )
+    return out

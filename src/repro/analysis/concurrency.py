@@ -1,0 +1,457 @@
+"""RACE rules: order-hazard analysis of DES process generators.
+
+Built on the whole-project model of :mod:`repro.analysis.callgraph`,
+three rules flag the patterns that make a simulation's result depend on
+same-timestamp event tie-break order — exactly the hazards the kernel's
+coalesced batches (``Environment.timeouts`` / ``_schedule_batch``) and
+the monitor's observer fanout make easy to write:
+
+* **RACE001** — shared mutable state written by two or more distinct
+  process generators (or two instances of one) with no common store
+  handoff ordering the writes. The runs *are* reproducible (the heap
+  tie-break is deterministic), but the result silently depends on
+  process start order: reordering two ``env.process`` calls changes the
+  answer.
+* **RACE002** — check-then-act across a yield: an ``if`` in a process
+  generator tests shared state another generator writes, then suspends
+  inside the guarded branch. By the time the process resumes, the guard
+  may be stale. A ``while`` re-checking the condition after each resume
+  is the sanctioned form and is never flagged.
+* **RACE003** — iteration over a container that a *different* reachable
+  process generator mutates while the loop is suspended at a yield, or
+  that the loop body itself mutates mid-iteration. Generalizes DET003
+  (literal ``set`` iteration) to any shared dict/list/set the call graph
+  can see. Iterating a snapshot — ``list(x)`` / ``sorted(x)`` — is the
+  fix and is never flagged.
+
+False positives and the baseline workflow are documented in
+``docs/ANALYSIS.md``; benign-by-design sites take a
+``# repro: noqa[RACE00x]`` with a comment, accepted debt goes in
+``analysis-baseline.json`` with a mandatory ``why``.
+
+:func:`crosscheck` is the runtime leg: it compares the racing pairs a
+:class:`repro.analysis.sanitizer.SharedStateTracker` observed under
+``REPRO_SANITIZE=1`` against the static report and returns any
+dynamically-observed race the model missed (the tier-1 suite asserts the
+answer is empty for the fixture corpus).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    Effect,
+    FunctionInfo,
+    Loc,
+    ModuleSource,
+    ProjectModel,
+    YieldInfo,
+    _attr_chain,
+    _scope_nodes,
+    module_name_for_path,
+    sources_from_paths,
+)
+from repro.analysis.lint import FileContext, Rule, register
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One rule hit, located and carrying a baseline-stable message."""
+
+    rule: str
+    path: str
+    lineno: int
+    col: int
+    message: str
+
+
+class ConcurrencyModel:
+    """RACE analysis over one :class:`ProjectModel`."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self._writer_index: Optional[Dict[Loc, List[Tuple[str, Effect]]]] = None
+        self._reports: Optional[List[RaceReport]] = None
+        self._by_path: Optional[Dict[str, List[RaceReport]]] = None
+
+    # -- shared-location indexes ----------------------------------------------
+
+    def _loc_is_shared(self, loc: Loc) -> bool:
+        """Whether a location can actually be shared across processes.
+
+        Frame locals of a function that itself runs *inside* a process
+        are created per invocation — two roots calling the same helper
+        each mutate a fresh object, not shared state. Unbound-parameter
+        objects (no call site resolved an argument for them) have
+        unknown identity; conflating them across callers would be pure
+        false positives, so they are dropped (under-approximation by
+        design).
+        """
+        if loc[0] not in ("obj", "objattr"):
+            return True
+        kind, _, rest = loc[1].partition(":")
+        if kind == "param":
+            return False
+        if kind == "local":
+            owner = rest.rpartition(":")[0]
+            return not any(
+                owner in self.project.reachable(root)
+                for root in self.project.process_roots
+            )
+        return True
+
+    def writers_by_loc(self) -> Dict[Loc, List[Tuple[str, Effect]]]:
+        """Shared location -> [(root, write/mutate effect), ...]."""
+        if self._writer_index is not None:
+            return self._writer_index
+        index: Dict[Loc, List[Tuple[str, Effect]]] = {}
+        for root in sorted(self.project.process_roots):
+            for qual in sorted(self.project.reachable(root)):
+                for eff in self.project.effects_of(qual):
+                    if eff.kind in ("write", "mutate") and self._loc_is_shared(
+                        eff.loc
+                    ):
+                        index.setdefault(eff.loc, []).append((root, eff))
+        self._writer_index = index
+        return index
+
+    def writer_roots(self, loc: Loc) -> Set[str]:
+        return {root for root, _ in self.writers_by_loc().get(loc, [])}
+
+    def _instances(self, root: str) -> int:
+        return 2 if self.project.process_roots.get(root, False) else 1
+
+    def _writer_names(self, roots: Set[str]) -> str:
+        names = []
+        for root in sorted(roots):
+            fn = self.project.functions[root]
+            label = fn.display
+            if self.project.process_roots.get(root, False):
+                label += " (xN)"
+            names.append(label)
+        return ", ".join(names)
+
+    # -- RACE001 ---------------------------------------------------------------
+
+    def _handoff_token(self, eff: Effect) -> Optional[str]:
+        """Store-handoff object ordering this write, if any.
+
+        The nearest yield preceding the write in its function: a
+        ``yield store.get()/put()`` serializes the writer behind the
+        store's FIFO, which is submission-order deterministic.
+        """
+        fn = self.project.functions.get(eff.fn)
+        if fn is None:
+            return None
+        best: Optional[YieldInfo] = None
+        for y in fn.yields:
+            if y.lineno <= eff.lineno and (best is None or y.lineno > best.lineno):
+                best = y
+        return best.handoff if best is not None else None
+
+    def race001(self) -> Iterator[RaceReport]:
+        for loc, entries in sorted(self.writers_by_loc().items()):
+            roots = {root for root, _ in entries}
+            weight = sum(self._instances(root) for root in roots)
+            if weight < 2:
+                continue
+            tokens = {self._handoff_token(eff) for _, eff in entries}
+            if None not in tokens and len(tokens) == 1:
+                continue  # every write ordered behind the same store
+            desc = self.project.describe_loc(loc)
+            message = (
+                f"shared state {desc} is written by {weight} process "
+                f"generator instance(s) ({self._writer_names(roots)}) with no "
+                "common store handoff ordering the writes; the result "
+                "depends on same-timestamp event tie-break order"
+            )
+            per_path: Dict[str, Effect] = {}
+            for _, eff in entries:
+                cur = per_path.get(eff.path)
+                if cur is None or eff.lineno < cur.lineno:
+                    per_path[eff.path] = eff
+            for path, eff in sorted(per_path.items()):
+                yield RaceReport("RACE001", path, eff.lineno, 0, message)
+
+    # -- RACE002 ---------------------------------------------------------------
+
+    def _locs_read_in(self, fn: FunctionInfo, expr: ast.AST) -> List[Loc]:
+        """Shared locations an expression reads, in source order."""
+        out: List[Loc] = []
+        nodes = [expr]
+        nodes.extend(_scope_nodes([expr]))
+        seen: Set[Loc] = set()
+        for node in nodes:
+            target: Optional[Tuple[str, ...]] = None
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                target = ("name", node.id)
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                chain = _attr_chain(node)
+                if chain is not None and len(chain) >= 2:
+                    target = ("attr", chain[0], chain[1])
+                elif chain is not None:
+                    target = ("name", chain[0])
+            if target is None:
+                continue
+            for loc in self.project.resolve_effect_loc(fn, target, "read"):
+                if loc not in seen:
+                    seen.add(loc)
+                    out.append(loc)
+        return out
+
+    def _foreign_writers(self, fn_qual: str, loc: Loc) -> Set[str]:
+        """Roots that write ``loc`` and can interleave with ``fn_qual``.
+
+        A root interleaves when it is not among the roots running
+        ``fn_qual`` — or when it *is* but runs as multiple instances
+        (the function races against copies of itself).
+        """
+        writer_roots = self.writer_roots(loc)
+        own = self.project.roots_of(fn_qual)
+        others = writer_roots - own
+        if others:
+            return others
+        return {
+            r for r in (writer_roots & own)
+            if self.project.process_roots.get(r, False)
+        }
+
+    def race002(self) -> Iterator[RaceReport]:
+        for qual in self._analyzed_functions():
+            fn = self.project.functions[qual]
+            for node in _scope_nodes(getattr(fn.node, "body", [])):
+                if not isinstance(node, ast.If):
+                    continue
+                branch_stmts = list(node.body) + list(node.orelse)
+                if not any(
+                    isinstance(n, (ast.Yield, ast.YieldFrom))
+                    for n in _scope_nodes(branch_stmts)
+                ):
+                    continue
+                for loc in self._locs_read_in(fn, node.test):
+                    foreign = self._foreign_writers(qual, loc)
+                    if not foreign:
+                        continue
+                    desc = self.project.describe_loc(loc)
+                    message = (
+                        f"check-then-act across a yield in {fn.display}: the "
+                        f"branch tests {desc}, which "
+                        f"{self._writer_names(foreign)} also writes, then "
+                        "suspends inside the guarded branch; the check is "
+                        "stale after resumption — re-check in a while loop "
+                        "or after the yield"
+                    )
+                    yield RaceReport(
+                        "RACE002", fn.path, node.lineno, node.col_offset, message
+                    )
+                    break  # one report per if-statement
+        return
+
+    # -- RACE003 ---------------------------------------------------------------
+
+    def race003(self) -> Iterator[RaceReport]:
+        for qual in self._analyzed_functions():
+            fn = self.project.functions[qual]
+            own_effects = self.project.effects_of(qual)
+            for eff in own_effects:
+                if eff.kind != "iterate":
+                    continue
+                loc = eff.loc
+                desc = self.project.describe_loc(loc)
+                start, end = eff.extent
+                mutated_inside = any(
+                    other.kind in ("write", "mutate")
+                    and other.loc == loc
+                    and start <= other.lineno <= end
+                    for other in own_effects
+                )
+                if mutated_inside:
+                    message = (
+                        f"{fn.display} mutates {desc} while iterating over "
+                        "it; iterate over a snapshot (list(...) / "
+                        "sorted(...)) instead"
+                    )
+                    yield RaceReport(
+                        "RACE003", fn.path, eff.lineno, 0, message
+                    )
+                    continue
+                if not eff.yields_inside:
+                    continue
+                foreign = self._foreign_writers(qual, loc)
+                if not foreign:
+                    continue
+                message = (
+                    f"{fn.display} iterates over {desc} with a yield in the "
+                    f"loop body while {self._writer_names(foreign)} can "
+                    "mutate it mid-iteration; iterate over a snapshot "
+                    "(list(...) / sorted(...)) instead"
+                )
+                yield RaceReport("RACE003", fn.path, eff.lineno, 0, message)
+
+    # -- driver ----------------------------------------------------------------
+
+    def _analyzed_functions(self) -> List[str]:
+        """Functions reachable from any process root, sorted for stable
+        report order."""
+        out: Set[str] = set()
+        for root in self.project.process_roots:
+            out.update(self.project.reachable(root))
+        return sorted(q for q in out if q in self.project.functions)
+
+    def reports(self) -> List[RaceReport]:
+        """All RACE reports, computed once."""
+        if self._reports is None:
+            reports = list(self.race001())
+            reports.extend(self.race002())
+            reports.extend(self.race003())
+            reports.sort(key=lambda r: (r.path, r.lineno, r.rule, r.message))
+            self._reports = reports
+        return self._reports
+
+    def reports_for_path(self, path: str) -> List[RaceReport]:
+        """Reports whose site lives in ``path`` (resolved comparison)."""
+        if self._by_path is None:
+            index: Dict[str, List[RaceReport]] = {}
+            for rep in self.reports():
+                index.setdefault(_canonical(rep.path), []).append(rep)
+            self._by_path = index
+        return self._by_path.get(_canonical(path), [])
+
+
+def _canonical(path: str) -> str:
+    p = Path(path)
+    try:
+        if p.is_file():
+            return str(p.resolve())
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    return p.as_posix()
+
+
+# -- model construction & caching ---------------------------------------------
+
+
+def model_from_source(source: str, path: str) -> ConcurrencyModel:
+    """Single-file model for in-memory sources (tests, fixtures)."""
+    tree = ast.parse(source, filename=path)
+    project = ProjectModel(
+        [ModuleSource(name=module_name_for_path(path), path=path, tree=tree)]
+    )
+    return ConcurrencyModel(project)
+
+
+def _find_project_root(path: Path) -> Optional[Path]:
+    """Nearest ancestor containing a ``repro`` package."""
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - exotic filesystems
+        return None
+    for anc in resolved.parents:
+        if (anc / "repro" / "__init__.py").is_file():
+            return anc
+    return None
+
+
+@lru_cache(maxsize=4)
+def _project_model_for_root(root: str) -> ConcurrencyModel:
+    files = sorted(str(p) for p in (Path(root) / "repro").rglob("*.py"))
+    return ConcurrencyModel(ProjectModel(sources_from_paths(files)))
+
+
+def invalidate_model_cache() -> None:
+    """Drop cached project models (tests that rewrite sources call this)."""
+    _project_model_for_root.cache_clear()
+
+
+def model_for(ctx: FileContext) -> ConcurrencyModel:
+    """The concurrency model covering ``ctx``.
+
+    Files inside a ``repro`` source tree share one whole-project model
+    (parsed once per sweep and cached, so the full-``src`` run stays in
+    budget); anything else — fixture strings, standalone files — gets a
+    single-file model.
+    """
+    p = Path(ctx.path)
+    if p.is_file():
+        root = _find_project_root(p)
+        if root is not None:
+            return _project_model_for_root(str(root))
+    return model_from_source(ctx.source, ctx.path)
+
+
+# -- registered rules ----------------------------------------------------------
+
+
+class _RaceRule(Rule):
+    applies_to: Tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        model = model_for(ctx)
+        for rep in model.reports_for_path(ctx.path):
+            if rep.rule == self.code:
+                yield (rep.lineno, rep.col, rep.message)
+
+
+@register
+class SharedWriteRace(_RaceRule):
+    code = "RACE001"
+    title = ("shared state written by >=2 process generators with no "
+             "ordering handoff between the writes")
+
+
+@register
+class CheckThenActAcrossYield(_RaceRule):
+    code = "RACE002"
+    title = ("branch on shared state suspends at a yield before acting: "
+             "the check is stale after resumption")
+
+
+@register
+class IterateWhileMutated(_RaceRule):
+    code = "RACE003"
+    title = ("iteration over a container another process generator (or the "
+             "loop body) mutates mid-iteration")
+
+
+# -- runtime cross-check -------------------------------------------------------
+
+_QUOTED = re.compile(r"'([A-Za-z_][A-Za-z0-9_]*)'")
+_SELF_ATTR = re.compile(r"self\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _static_names(messages: Iterable[str]) -> Set[str]:
+    names: Set[str] = set()
+    for msg in messages:
+        names.update(_QUOTED.findall(msg))
+        names.update(_SELF_ATTR.findall(msg))
+    return names
+
+
+def crosscheck(
+    static_reports: Sequence,
+    tracker,
+) -> List[str]:
+    """Dynamic racing keys the static report does not cover.
+
+    ``static_reports`` may be :class:`RaceReport` objects or
+    :class:`repro.analysis.lint.Violation` objects — anything with a
+    ``message``. ``tracker`` is a
+    :class:`repro.analysis.sanitizer.SharedStateTracker`. A tracked key
+    (``"shared"`` or ``"shared.count"``) is covered when any of its
+    dotted components is named by a static RACE message. The returned
+    list must be empty for the dynamic races to be a subset of the
+    static model — the fixture suite asserts exactly that.
+    """
+    names = _static_names(getattr(r, "message") for r in static_reports)
+    unmatched: List[str] = []
+    for key in sorted(tracker.racing_pairs()):
+        parts = key.split(".")
+        if not any(part in names for part in parts):
+            unmatched.append(key)
+    return unmatched

@@ -622,6 +622,8 @@ class MonitorThresholdRule(Rule):
                     yield from self._flag(ctx, target.id, stmt.value)
 
 
-# Importing the dimension module registers DIM001-003 alongside the rules
-# defined here, so ``all_rules()`` sees one complete registry.
+# Importing the dimension and concurrency modules registers DIM001-003
+# and RACE001-003 alongside the rules defined here, so ``all_rules()``
+# sees one complete registry.
 from repro.analysis import dimension as _dimension  # noqa: E402,F401
+from repro.analysis import concurrency as _concurrency  # noqa: E402,F401

@@ -35,7 +35,7 @@ any of them can import it without cycles.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import ReproError
 
@@ -273,6 +273,218 @@ class ChainAudit:
                 previous=prev,
             )
         self.committed[key] = visible_version
+
+
+# --- shared-state race tracking ----------------------------------------------
+
+
+class SharedStateTracker:
+    """Records which process touches which shared object at which time.
+
+    The dynamic leg of the concurrency analyzer
+    (:mod:`repro.analysis.concurrency`): wrap the shared objects of a
+    simulation in :meth:`wrap_object` / :meth:`wrap_dict` /
+    :meth:`wrap_list` proxies, attach the tracker to the environment, and
+    every attribute / item access is recorded against the active
+    :class:`Process` (resolved via ``env.active_process``, with the
+    wakeup hook assigning stable per-instance names and the batch hook
+    counting dispatch groups). After the run, :meth:`racing_pairs` lists
+    the keys two distinct processes touched at the same simulated time
+    with at least one write — the observed races that must be a subset
+    of the static RACE report.
+
+    Like the rest of this module it imports nothing from the simulation
+    packages: the environment is duck-typed through the same hook API
+    the telemetry layer uses.
+    """
+
+    def __init__(self) -> None:
+        self._env: Any = None
+        #: key -> [(time, batch, process, op)] in observation order.
+        self.accesses: Dict[str, list] = {}
+        self._proc_names: Dict[int, str] = {}
+        self._name_counts: Dict[str, int] = {}
+        self._batches = 0
+
+    def attach(self, env: Any) -> "SharedStateTracker":
+        """Register hooks on ``env`` and return self (for chaining)."""
+        self._env = env
+        env.add_wakeup_hook(self._on_wakeup)
+        env.add_batch_hook(self._on_batch)
+        return self
+
+    def _on_wakeup(self, process: Any) -> None:
+        if id(process) not in self._proc_names:
+            base = getattr(process, "name", "process")
+            n = self._name_counts.get(base, 0)
+            self._name_counts[base] = n + 1
+            self._proc_names[id(process)] = base if n == 0 else f"{base}#{n + 1}"
+
+    def _on_batch(self, when: float, events: Any) -> None:
+        self._batches += 1
+
+    def note(self, key: str, op: str) -> None:
+        """Record one ``op`` ("read"/"write") on ``key`` by the active
+        process."""
+        env = self._env
+        if env is None:
+            return
+        proc = getattr(env, "active_process", None)
+        if proc is None:
+            name = "<setup>"
+        else:
+            self._on_wakeup(proc)
+            name = self._proc_names[id(proc)]
+        self.accesses.setdefault(key, []).append(
+            (env.now, self._batches, name, op)
+        )
+
+    def racing_pairs(self) -> Dict[str, Set[Tuple[str, str]]]:
+        """key -> {(proc_a, proc_b), ...} for same-time conflicting access.
+
+        A conflict is two *distinct* processes touching the key at the
+        same simulated time with at least one write — the situation whose
+        outcome rides on heap tie-break order. Setup-time accesses
+        (outside any process) are ignored.
+        """
+        out: Dict[str, Set[Tuple[str, str]]] = {}
+        for key, records in self.accesses.items():
+            by_time: Dict[float, list] = {}
+            for when, _batch, proc, op in records:
+                if proc == "<setup>":
+                    continue
+                by_time.setdefault(when, []).append((proc, op))
+            pairs: Set[Tuple[str, str]] = set()
+            for group in by_time.values():
+                for i, (pa, oa) in enumerate(group):
+                    for pb, ob in group[i + 1:]:
+                        if pa == pb:
+                            continue
+                        if oa == "write" or ob == "write":
+                            pairs.add((min(pa, pb), max(pa, pb)))
+            if pairs:
+                out[key] = pairs
+        return out
+
+    # -- proxy factories -------------------------------------------------------
+
+    def wrap_object(self, label: str, target: Any) -> "TrackedObject":
+        """Attribute-level tracking proxy around ``target``."""
+        return TrackedObject(self, label, target)
+
+    def wrap_dict(self, label: str, target: Dict[Any, Any]) -> "TrackedDict":
+        """Container-level tracking proxy around a dict."""
+        return TrackedDict(self, label, target)
+
+    def wrap_list(self, label: str, target: list) -> "TrackedList":
+        """Container-level tracking proxy around a list."""
+        return TrackedList(self, label, target)
+
+
+class TrackedObject:
+    """Proxy recording attribute reads/writes as ``label.attr`` accesses."""
+
+    __slots__ = ("_tracker", "_label", "_target")
+
+    def __init__(self, tracker: SharedStateTracker, label: str,
+                 target: Any) -> None:
+        object.__setattr__(self, "_tracker", tracker)
+        object.__setattr__(self, "_label", label)
+        object.__setattr__(self, "_target", target)
+
+    def __getattr__(self, name: str) -> Any:
+        self._tracker.note(f"{self._label}.{name}", "read")
+        return getattr(self._target, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self._tracker.note(f"{self._label}.{name}", "write")
+        setattr(self._target, name, value)
+
+
+class TrackedDict(dict):
+    """Dict proxy recording container-level reads/writes/iteration."""
+
+    def __init__(self, tracker: SharedStateTracker, label: str,
+                 target: Dict[Any, Any]) -> None:
+        super().__init__(target)
+        self._tracker = tracker
+        self._label = label
+
+    def _note(self, op: str) -> None:
+        self._tracker.note(self._label, op)
+
+    def __getitem__(self, key: Any) -> Any:
+        self._note("read")
+        return super().__getitem__(key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._note("read")
+        return super().get(key, default)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._note("write")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._note("write")
+        super().__delitem__(key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._note("write")
+        super().update(*args, **kwargs)
+
+    def __iter__(self):
+        # Lazily note one read per step so mid-iteration mutation by
+        # another process lands at the observing timestamp.
+        for key in list(super().keys()):
+            self._note("read")
+            yield key
+
+    def items(self):
+        self._note("read")
+        return list(super().items())
+
+    def keys(self):
+        self._note("read")
+        return list(super().keys())
+
+    def values(self):
+        self._note("read")
+        return list(super().values())
+
+
+class TrackedList(list):
+    """List proxy recording container-level reads/writes."""
+
+    def __init__(self, tracker: SharedStateTracker, label: str,
+                 target: list) -> None:
+        super().__init__(target)
+        self._tracker = tracker
+        self._label = label
+
+    def _note(self, op: str) -> None:
+        self._tracker.note(self._label, op)
+
+    def append(self, item: Any) -> None:
+        self._note("write")
+        super().append(item)
+
+    def extend(self, items: Any) -> None:
+        self._note("write")
+        super().extend(items)
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._note("write")
+        super().__setitem__(index, value)
+
+    def __getitem__(self, index: Any) -> Any:
+        self._note("read")
+        return super().__getitem__(index)
+
+    def __iter__(self):
+        for item in list(super().__iter__()):
+            self._note("read")
+            yield item
 
 
 # --- telemetry spans ----------------------------------------------------------

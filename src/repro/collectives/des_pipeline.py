@@ -235,16 +235,23 @@ class HFReduceDesSim:
             # here.
             nreq = nic.request()
             yield nreq
-            if env.now < tree["stall_until"]:
+            while env.now < tree["stall_until"]:
                 # Survivors hold inter-node traffic while the double tree
-                # re-forms around the lost rank.
+                # re-forms around the lost rank. Re-checked after each
+                # resume: another loss during the stall extends
+                # ``stall_until``, and sending against the stale deadline
+                # would leak traffic into the new rebuild window.
                 yield env.timeout(tree["stall_until"] - env.now)
             t0 = env.now
             yield env.timeout(chunk / self._nic_rate)
             if sess is not None:
                 mark("nic_send", "hfreduce/nic", t0, c)
             nic.release(nreq)
-            if tree["nodes"] > 1:
+            # Chunks already past the NIC ride the tree shape they entered
+            # with even if a rebuild lands mid-transit — the paper's
+            # degraded-continuation behaviour, so the stale read is the
+            # intended semantics.
+            if tree["nodes"] > 1:  # repro: noqa[RACE002]
                 t0 = env.now
                 yield env.timeout(
                     tree["depth"] * (chunk / self._nic_rate + RDMA_HOP_LATENCY)

@@ -48,6 +48,12 @@ __all__ = [
 #: Engines accepted by :func:`solve_maxmin`.
 ENGINES = ("reference", "vectorized")
 
+#: One-shot latch for the :func:`maxmin_rates_vectorized` deprecation
+#: warning: hot solver loops call the shim thousands of times per run,
+#: and repeating the warning buries real warnings in the log. One
+#: warning per process is enough to drive the migration.
+_shim_warned = False
+
 
 def solve_maxmin(
     flows: Sequence[FlowId],
@@ -83,11 +89,17 @@ def maxmin_rates_vectorized(
     .. deprecated:: PR 6
         Use ``solve_maxmin(..., engine="vectorized")`` or
         :func:`solve_cold` directly.
+
+    Warns :class:`DeprecationWarning` exactly once per process (see
+    :data:`_shim_warned`).
     """
-    warnings.warn(
-        "maxmin_rates_vectorized is deprecated; use "
-        "repro.fairshare.solve_maxmin(..., engine='vectorized') or solve_cold",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    global _shim_warned
+    if not _shim_warned:
+        _shim_warned = True
+        warnings.warn(
+            "maxmin_rates_vectorized is deprecated; use "
+            "repro.fairshare.solve_maxmin(..., engine='vectorized') or solve_cold",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return solve_cold(flows, constraints, weights, demands, perf=perf)

@@ -52,6 +52,10 @@ class TimeSharingScheduler:
         self._warmup_until: Dict[str, float] = {}
         #: Nodes held out of the pool by health monitoring (see drain_node).
         self.drained: Set[str] = set()
+        #: Nodes down with an unrepaired hardware fault (see fail_node).
+        #: Tracked separately from ``drained`` so repair and undrain each
+        #: clear only their own reason for exclusion.
+        self._failed: Set[str] = set()
         # Telemetry: the open queued/run span per task, valid for one
         # session (invalidated if a different session becomes active).
         self._tele_spans: Dict[str, object] = {}
@@ -168,6 +172,7 @@ class TimeSharingScheduler:
         """A node fails: its task crashes (bounded loss) and re-queues."""
         if now is not None:
             self._advance_to(now)
+        self._failed.add(name)
         victim_id = self.cluster.mark_unhealthy(name)
         if victim_id is None:
             self._schedule()
@@ -180,10 +185,20 @@ class TimeSharingScheduler:
         return victim_id
 
     def repair_node(self, name: str, now: Optional[float] = None) -> None:
-        """A repaired node rejoins the pool."""
+        """A repaired node rejoins the pool.
+
+        A repair clears only the *failure*: if health monitoring drained
+        the node in the meantime, it stays out of the pool until the
+        alert resolves. Marking it healthy unconditionally would let the
+        fault-replay repair path silently undo a monitor conviction —
+        the outcome of a chaos run would then depend on the interleaving
+        of repairs and drains rather than on either signal.
+        """
         if now is not None:
             self._advance_to(now)
-        self.cluster.mark_healthy(name)
+        self._failed.discard(name)
+        if name not in self.drained:
+            self.cluster.mark_healthy(name)
         self._schedule()
 
     # -- health-driven drains (Section VII validator / monitor closed loop) -------
@@ -220,13 +235,20 @@ class TimeSharingScheduler:
         return victim_id
 
     def undrain_node(self, name: str, now: Optional[float] = None) -> None:
-        """Return a drained node to the pool (no-op if not drained)."""
+        """Return a drained node to the pool (no-op if not drained).
+
+        Symmetric with :meth:`repair_node`: undraining clears only the
+        conviction. A node that failed while drained and has not been
+        repaired yet stays out of the pool — otherwise an alert resolving
+        after a crash would resurrect a dead node.
+        """
         if now is not None:
             self._advance_to(now)
         if name not in self.drained:
             return
         self.drained.discard(name)
-        self.cluster.mark_healthy(name)
+        if name not in self._failed:
+            self.cluster.mark_healthy(name)
         self._log("undrain", name)
         self._schedule()
 

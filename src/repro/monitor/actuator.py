@@ -49,27 +49,44 @@ class SchedulerActuator:
         self.displaced: List[str] = []
 
     def on_alert(self, alert: Alert) -> None:
-        """A new alert fired; drain the convicted node if it maps to one."""
+        """A new alert fired; drain the convicted node if it maps to one.
+
+        The dedup is per *node*, not per entity: several entities (two
+        GPUs of one host, say) may map onto the same scheduler node, and
+        the check-then-act on ``alert.entity`` alone would re-drain the
+        node and miscount — worse, the first entity to resolve would
+        undrain a node other entities still convict.
+        """
         if alert.detector not in self.detectors or alert.entity in self.drained:
             return
         node = self.node_for(alert.entity)
         if node is None:
             return
+        already_held = node in self.drained.values()
+        self.drained[alert.entity] = node
+        if already_held:
+            return  # another entity already holds this node out of the pool
         victim = self.scheduler.drain_node(  # type: ignore[attr-defined]
             node,
             now=alert.fired_at,
             reason=f"{alert.detector}:{alert.severity}",
         )
-        self.drained[alert.entity] = node
         self.drains += 1
         if victim is not None:
             self.displaced.append(victim)
 
     def on_resolve(self, alert: Alert) -> None:
-        """The alert cleared; return the node to the scheduling pool."""
+        """The alert cleared; return the node to the scheduling pool.
+
+        The node goes back only when *no* firing alert still maps to it
+        — resolution order between entities sharing a node must not
+        change the outcome.
+        """
         node = self.drained.pop(alert.entity, None)
         if node is None:
             return
+        if node in self.drained.values():
+            return  # still convicted through another entity
         self.scheduler.undrain_node(  # type: ignore[attr-defined]
             node, now=alert.resolved_at
         )

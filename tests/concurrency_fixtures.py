@@ -1,0 +1,125 @@
+"""Deliberately-racy toy processes for the concurrency analyzer tests.
+
+Each ``run_*`` function is a self-contained simulation exercising exactly
+one hazard class; :mod:`tests.test_analysis_concurrency` checks every
+fixture **both ways**:
+
+* statically — linting this file's source must flag the known-bad lines
+  with the matching RACE rule (and nothing in :func:`run_store_handoff`);
+* dynamically — running the fixture with a
+  :class:`repro.analysis.sanitizer.SharedStateTracker` wrapped around its
+  shared state must observe the race, and
+  :func:`repro.analysis.concurrency.crosscheck` must find every observed
+  racing key covered by the static report.
+
+Keep the hazards obvious and minimal: these are the analyzer's ground
+truth, not examples of good simulation style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.simcore import Environment, Store
+
+
+def run_write_race(tracker: Optional[Any] = None) -> int:
+    """RACE001: two process generators increment ``shared`` at the same
+    timestamps with no handoff; the final count is order-independent but
+    intermediate reads are not."""
+    env = Environment(label="fixture_write_race")
+    shared = {"count": 0}
+    if tracker is not None:
+        shared = tracker.wrap_dict("shared", shared)
+        tracker.attach(env)
+
+    def writer_a():
+        for _ in range(3):
+            yield env.timeout(1.0)
+            shared["count"] = shared["count"] + 1
+
+    def writer_b():
+        for _ in range(3):
+            yield env.timeout(1.0)
+            shared["count"] = shared["count"] * 2
+
+    env.process(writer_a())
+    env.process(writer_b())
+    env.run(until=10.0)
+    return shared["count"]
+
+
+def run_check_then_act(tracker: Optional[Any] = None) -> int:
+    """RACE002: both grabbers see ``slots['free'] > 0``, suspend, then
+    both act on the stale check — the slot is double-acquired."""
+    env = Environment(label="fixture_check_act")
+    slots = {"free": 1, "acquired": 0}
+    if tracker is not None:
+        slots = tracker.wrap_dict("slots", slots)
+        tracker.attach(env)
+
+    def grabber():
+        yield env.timeout(1.0)
+        if slots["free"] > 0:
+            yield env.timeout(1.0)  # decision is stale after this resume
+            slots["free"] = slots["free"] - 1
+            slots["acquired"] = slots["acquired"] + 1
+
+    env.process(grabber())
+    env.process(grabber())
+    env.run(until=10.0)
+    return slots["acquired"]
+
+
+def run_iterate_mutate(tracker: Optional[Any] = None) -> int:
+    """RACE003: the scanner suspends mid-iteration over ``jobs`` while
+    the mutator appends to it."""
+    env = Environment(label="fixture_iter_mut")
+    jobs = ["a", "b"]
+    if tracker is not None:
+        jobs = tracker.wrap_list("jobs", jobs)
+        tracker.attach(env)
+    seen = []
+
+    def mutator():
+        for i in range(3):
+            yield env.timeout(1.0)
+            jobs.append(f"x{i}")
+
+    def scanner():
+        yield env.timeout(1.0)
+        for job in jobs:
+            seen.append(job)
+            yield env.timeout(1.0)  # suspends with the iterator live
+
+    env.process(mutator())
+    env.process(scanner())
+    env.run(until=20.0)
+    return len(seen)
+
+
+def run_store_handoff(tracker: Optional[Any] = None) -> int:
+    """Clean control: both workers write ``state`` only after winning the
+    same ``box.get()`` handoff, which orders the writes — no RACE."""
+    env = Environment(label="fixture_clean")
+    box: Store = Store(env)
+    state = {"value": 0}
+    if tracker is not None:
+        state = tracker.wrap_dict("state", state)
+        tracker.attach(env)
+
+    def producer():
+        for i in range(4):
+            yield env.timeout(1.0)  # one item per timestamp
+            yield box.put(i + 1)
+
+    def worker():
+        for _ in range(2):
+            item = yield box.get()
+            state["value"] = state["value"] + item
+
+    env.process(producer())
+    env.process(worker())
+    env.process(worker())
+    env.run(until=20.0)
+    return state["value"]

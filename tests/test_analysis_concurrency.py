@@ -1,0 +1,284 @@
+"""Tests for :mod:`repro.analysis.concurrency` — the DES race analyzer.
+
+Three legs, mirroring the analyzer's acceptance criteria:
+
+1. **Static**: each RACE rule flags its dedicated known-bad fixture in
+   :mod:`tests.concurrency_fixtures` at the expected line, the clean
+   store-handoff control stays silent, and ``# repro: noqa[...]``
+   suppression works per line.
+2. **Dynamic**: running the same fixtures under the sanitizer with a
+   :class:`~repro.analysis.sanitizer.SharedStateTracker` observes each
+   race at runtime, and :func:`~repro.analysis.concurrency.crosscheck`
+   proves the observed racing keys are a subset of the static report.
+3. **Gate**: the full ``src/`` sweep is clean against the checked-in
+   baseline, every baselined RACE entry carries a ``why``, and the whole
+   analysis finishes inside the tier-1 wall-time budget.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import disable_sanitizer, enable_sanitizer
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.concurrency import (
+    crosscheck,
+    invalidate_model_cache,
+    model_from_source,
+)
+from repro.analysis.lint import all_rules, lint_paths, lint_source
+from repro.analysis.sanitizer import SharedStateTracker
+
+from tests import concurrency_fixtures as fixtures
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURE_PATH = Path(fixtures.__file__)
+
+
+def race_rules():
+    return [r for r in all_rules() if r.code.startswith("RACE")]
+
+
+@pytest.fixture(scope="module")
+def fixture_violations():
+    """Static RACE findings for the fixture module, linted once."""
+    src = FIXTURE_PATH.read_text(encoding="utf-8")
+    return lint_source(src, str(FIXTURE_PATH), race_rules())
+
+
+class TestStaticFixtures:
+    def test_race001_flags_write_race(self, fixture_violations):
+        hits = [v for v in fixture_violations
+                if v.rule == "RACE001" and "'shared'" in v.message]
+        assert len(hits) == 1
+        assert "writer_a" in hits[0].message
+        assert "writer_b" in hits[0].message
+        assert "tie-break" in hits[0].message
+
+    def test_race002_flags_check_then_act(self, fixture_violations):
+        hits = [v for v in fixture_violations if v.rule == "RACE002"]
+        assert len(hits) == 1
+        assert "'slots'" in hits[0].message
+        # The report anchors at the stale branch, not the later write.
+        src_lines = FIXTURE_PATH.read_text(encoding="utf-8").splitlines()
+        assert "if slots" in src_lines[hits[0].line - 1]
+
+    def test_race003_flags_iterate_while_mutated(self, fixture_violations):
+        hits = [v for v in fixture_violations if v.rule == "RACE003"]
+        assert len(hits) == 1
+        assert "'jobs'" in hits[0].message
+        src_lines = FIXTURE_PATH.read_text(encoding="utf-8").splitlines()
+        assert "for job in jobs" in src_lines[hits[0].line - 1]
+
+    def test_store_handoff_control_is_clean(self, fixture_violations):
+        assert not [v for v in fixture_violations if "'state'" in v.message]
+
+    def test_noqa_suppresses_on_the_flagged_line(self, fixture_violations):
+        src = FIXTURE_PATH.read_text(encoding="utf-8")
+        lines = src.splitlines()
+        target = next(v for v in fixture_violations if v.rule == "RACE002")
+        lines[target.line - 1] += "  # repro: noqa[RACE002]"
+        redone = lint_source("\n".join(lines), str(FIXTURE_PATH), race_rules())
+        assert not [v for v in redone if v.rule == "RACE002"]
+        # The other rules must be untouched by the suppression.
+        assert [v.rule for v in redone if v.rule == "RACE003"] == ["RACE003"]
+
+
+class TestModelSemantics:
+    """Unit-level checks on the call-graph/effect model."""
+
+    def test_plain_generator_call_does_not_propagate_effects(self):
+        # Calling a generator function only builds the generator object;
+        # without yield-from or a process start its body never runs, so
+        # its writes must not be attributed to the caller.
+        src = (
+            "from repro.simcore import Environment\n"
+            "def run():\n"
+            "    env = Environment()\n"
+            "    shared = {'n': 0}\n"
+            "    def writes():\n"
+            "        yield env.timeout(1.0)\n"
+            "        shared['n'] = 1\n"
+            "    def benign():\n"
+            "        _unused = writes()\n"
+            "        yield env.timeout(1.0)\n"
+            "    env.process(benign())\n"
+            "    env.process(benign())\n"
+            "    env.run()\n"
+        )
+        model = model_from_source(src, "toy.py")
+        assert not [r for r in model.reports() if r.rule == "RACE001"]
+
+    def test_yield_from_does_propagate_effects(self):
+        src = (
+            "from repro.simcore import Environment\n"
+            "def run():\n"
+            "    env = Environment()\n"
+            "    shared = {'n': 0}\n"
+            "    def writes():\n"
+            "        yield env.timeout(1.0)\n"
+            "        shared['n'] = 1\n"
+            "    def wrapper():\n"
+            "        yield from writes()\n"
+            "    env.process(wrapper())\n"
+            "    env.process(wrapper())\n"
+            "    env.run()\n"
+        )
+        model = model_from_source(src, "toy.py")
+        hits = [r for r in model.reports() if r.rule == "RACE001"]
+        assert hits and "'shared'" in hits[0].message
+
+    def test_single_writer_is_not_a_race(self):
+        src = (
+            "from repro.simcore import Environment\n"
+            "def run():\n"
+            "    env = Environment()\n"
+            "    shared = {'n': 0}\n"
+            "    def only_writer():\n"
+            "        yield env.timeout(1.0)\n"
+            "        shared['n'] = 1\n"
+            "    def reader():\n"
+            "        yield env.timeout(1.0)\n"
+            "        _ = shared['n']\n"
+            "    env.process(only_writer())\n"
+            "    env.process(reader())\n"
+            "    env.run()\n"
+        )
+        model = model_from_source(src, "toy.py")
+        assert not [r for r in model.reports() if r.rule == "RACE001"]
+
+    def test_loop_started_generator_counts_as_multiple_instances(self):
+        src = (
+            "from repro.simcore import Environment\n"
+            "def run():\n"
+            "    env = Environment()\n"
+            "    shared = {'n': 0}\n"
+            "    def writer():\n"
+            "        yield env.timeout(1.0)\n"
+            "        shared['n'] += 1\n"
+            "    for _ in range(4):\n"
+            "        env.process(writer())\n"
+            "    env.run()\n"
+        )
+        model = model_from_source(src, "toy.py")
+        hits = [r for r in model.reports() if r.rule == "RACE001"]
+        assert hits and "(xN)" in hits[0].message
+
+
+@pytest.mark.sanitize
+class TestDynamicCrosscheck:
+    """The runtime leg: observed races ⊆ static report, per fixture."""
+
+    @pytest.fixture(autouse=True)
+    def _sanitized(self):
+        enable_sanitizer()
+        try:
+            yield
+        finally:
+            disable_sanitizer()
+
+    @pytest.mark.parametrize("runner,key", [
+        (fixtures.run_write_race, "shared"),
+        (fixtures.run_check_then_act, "slots"),
+        (fixtures.run_iterate_mutate, "jobs"),
+    ])
+    def test_fixture_race_observed_and_covered(self, runner, key,
+                                               fixture_violations):
+        tracker = SharedStateTracker()
+        runner(tracker=tracker)
+        pairs = tracker.racing_pairs()
+        assert key in pairs and pairs[key], (
+            f"fixture {runner.__name__} did not race dynamically"
+        )
+        assert crosscheck(fixture_violations, tracker) == []
+
+    def test_clean_fixture_never_races(self, fixture_violations):
+        tracker = SharedStateTracker()
+        total = fixtures.run_store_handoff(tracker=tracker)
+        assert total == sum(range(1, 5))  # all four items consumed
+        assert tracker.racing_pairs() == {}
+
+    def test_crosscheck_reports_uncovered_dynamic_race(self):
+        # An observed race with no static finding must surface, not pass.
+        tracker = SharedStateTracker()
+        fixtures.run_write_race(tracker=tracker)
+        assert crosscheck([], tracker) == ["shared"]
+
+
+class TestFullSourceGate:
+    def test_src_sweep_clean_or_baselined(self, monkeypatch):
+        # Baseline paths are repo-relative; lint from the repo root so
+        # the keys line up, exactly as the CLI and CI invoke it.
+        monkeypatch.chdir(REPO)
+        invalidate_model_cache()
+        violations = lint_paths(["src"], all_rules())
+        baseline = Baseline.load(REPO / DEFAULT_BASELINE)
+        new = baseline.new_violations(violations)
+        assert new == [], "\n".join(v.render() for v in new)
+
+    def test_every_baselined_race_entry_has_a_why(self):
+        raw = json.loads((REPO / DEFAULT_BASELINE).read_text())
+        race_entries = [e for e in raw["entries"]
+                        if e["rule"].startswith("RACE")]
+        assert race_entries, "expected the known RACE001 debt to be recorded"
+        for entry in race_entries:
+            assert entry.get("why"), f"baseline entry without why: {entry}"
+
+    @pytest.mark.perf_smoke
+    def test_full_src_analysis_under_ten_seconds(self):
+        invalidate_model_cache()
+        t0 = time.perf_counter()  # repro: noqa[DET002]
+        lint_paths([str(REPO / "src")], all_rules())
+        elapsed = time.perf_counter() - t0  # repro: noqa[DET002]
+        assert elapsed < 10.0, f"full-src analysis took {elapsed:.1f}s"
+
+
+class TestCli:
+    def test_stats_flag_prints_per_rule_counts(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        code = lint_main(["src/repro/analysis/lint.py", "--stats"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "stats: RACE001" in err
+        assert "wall time" in err
+
+    def test_help_documents_exit_contract(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit status" in out
+        assert "--strict-baseline" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert lint_main(["--rule", "NOPE001", str(FIXTURE_PATH)]) == 2
+
+    def test_strict_baseline_fails_on_drift(self, tmp_path, capsys):
+        # A baseline entry that no longer fires anywhere is drift.
+        stale = Baseline()
+        stale.counts[("RACE001", "gone.py", "never fires")] = 1
+        baseline_file = tmp_path / "baseline.json"
+        stale.save(baseline_file)
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        ok = lint_main([str(clean), "--baseline", str(baseline_file)])
+        strict = lint_main([str(clean), "--baseline", str(baseline_file),
+                            "--strict-baseline"])
+        assert ok == 0
+        assert strict == 1
+        assert "stale baseline entr" in capsys.readouterr().err
+
+    def test_fixtures_fail_without_baseline(self, capsys):
+        code = lint_main([str(FIXTURE_PATH), "--no-baseline",
+                          "--rule", "RACE001", "--rule", "RACE002",
+                          "--rule", "RACE003", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {v["rule"] for v in payload["new"]} == {
+            "RACE001", "RACE002", "RACE003"
+        }

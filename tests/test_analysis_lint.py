@@ -393,15 +393,17 @@ class TestGithubFormat:
         )
 
     def test_annotations_for_new_violations(self):
-        # Ignoring the baseline resurfaces the accepted UNIT001 entries as
-        # ::error workflow commands with file/line/col/title properties.
+        # Ignoring the baseline resurfaces the accepted entries (UNIT001
+        # literals and RACE001 shared-write findings) as ::error workflow
+        # commands with file/line/col/title properties.
         proc = self.run_cli("src", "--no-baseline", "--format=github")
         assert proc.returncode == 1
         lines = proc.stdout.strip().splitlines()
         errors = [ln for ln in lines if ln.startswith("::error ")]
         assert errors, proc.stdout
-        assert all("file=" in ln and "line=" in ln and "title=UNIT001" in ln
-                   for ln in errors)
+        assert all("file=" in ln and "line=" in ln for ln in errors)
+        titles = {ln.split("title=")[1].split("::")[0] for ln in errors}
+        assert titles == {"UNIT001", "RACE001"}
         assert lines[-1].startswith("::notice::")
 
     def test_clean_run_emits_only_notice(self):

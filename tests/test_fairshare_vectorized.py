@@ -117,3 +117,21 @@ def test_vectorized_records_perf_counters():
     )
     assert perf.counters["solver_calls"] == 1
     assert perf.counters["solver_iterations"] >= 1
+
+
+def test_deprecation_shim_warns_exactly_once_per_process(monkeypatch):
+    import warnings
+
+    import repro.fairshare as fairshare
+
+    # Reset the process-wide latch so this test is order-independent.
+    monkeypatch.setattr(fairshare, "_shim_warned", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
+        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
+        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, "shim must warn exactly once per process"
+    assert "solve_maxmin" in str(dep[0].message)
+    assert fairshare._shim_warned is True

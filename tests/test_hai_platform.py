@@ -246,3 +246,44 @@ def test_high_utilization_with_backlog():
         s.submit(Task(f"t{i}", nodes_required=4, total_work=50))
     s.run_until_idle()
     assert s.utilization() > 0.99
+
+
+# ---------------------------------------------------------------------------
+# Failure vs drain: independent exclusion reasons (concurrency analyzer PR)
+# ---------------------------------------------------------------------------
+
+
+def test_repair_does_not_undo_monitor_drain():
+    s = make_sched(nodes_per_zone=2)
+    s.fail_node("z0n0", now=1.0)
+    s.drain_node("z0n0", now=2.0, reason="xid_ecc_burst")
+    s.repair_node("z0n0", now=3.0)
+    # The repair clears only the hardware failure; the monitor conviction
+    # still holds the node out of the pool.
+    assert not s.cluster.node("z0n0").healthy
+    s.undrain_node("z0n0", now=4.0)
+    assert s.cluster.node("z0n0").healthy
+
+
+def test_undrain_does_not_resurrect_failed_node():
+    s = make_sched(nodes_per_zone=2)
+    s.drain_node("z0n0", now=1.0, reason="xid_ecc_burst")
+    s.fail_node("z0n0", now=2.0)
+    s.undrain_node("z0n0", now=3.0)
+    # The alert resolving must not bring back a node that is still down.
+    assert not s.cluster.node("z0n0").healthy
+    s.repair_node("z0n0", now=4.0)
+    assert s.cluster.node("z0n0").healthy
+
+
+def test_fail_drain_recovery_interleavings_converge():
+    # Whatever order the two exclusion reasons clear in, the node is back
+    # exactly when both have cleared — recovery order cannot matter.
+    for first, second in (("repair", "undrain"), ("undrain", "repair")):
+        s = make_sched(nodes_per_zone=2)
+        s.fail_node("z0n0", now=1.0)
+        s.drain_node("z0n0", now=1.0)
+        getattr(s, f"{first}_node")("z0n0", now=2.0)
+        assert not s.cluster.node("z0n0").healthy, (first, second)
+        getattr(s, f"{second}_node")("z0n0", now=3.0)
+        assert s.cluster.node("z0n0").healthy, (first, second)

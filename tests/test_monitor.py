@@ -572,3 +572,62 @@ class TestSchedulerActuator:
                 args={"code": 63, "node": "cn3"},
             )
         assert act.drains == 0 and sched.calls == []
+
+
+class TestActuatorNodeAliasing:
+    """Entities sharing one scheduler node: per-node drain/undrain dedup.
+
+    Two GPUs of one host both convicting it must not double-drain the
+    node, and the first entity to resolve must not return a node other
+    entities still convict — resolution order cannot change the outcome.
+    """
+
+    def _alert(self, entity, fired_at=10.0, resolved_at=None):
+        from repro.monitor.alerts import Alert
+
+        return Alert(
+            detector="xid_ecc_burst", entity=entity, severity="warning",
+            fired_at=fired_at, summary="burst", resolved_at=resolved_at,
+        )
+
+    def _actuator(self):
+        sched = FakeScheduler()
+        # gpu0/gpu1 are two entities of the same host node.
+        act = SchedulerActuator(sched, node_for=lambda e: "host0")
+        return sched, act
+
+    def test_second_entity_does_not_double_drain(self):
+        sched, act = self._actuator()
+        act.on_alert(self._alert("gpu0", fired_at=10.0))
+        act.on_alert(self._alert("gpu1", fired_at=11.0))
+        assert act.drains == 1
+        assert [c for c in sched.calls if c[0] == "drain"] == [
+            ("drain", "host0", 10.0, "xid_ecc_burst:warning")
+        ]
+        # Both entities hold the node, so undrain needs both to resolve.
+        assert act.drained == {"gpu0": "host0", "gpu1": "host0"}
+
+    def test_first_resolve_keeps_convicted_node_out(self):
+        sched, act = self._actuator()
+        act.on_alert(self._alert("gpu0", fired_at=10.0))
+        act.on_alert(self._alert("gpu1", fired_at=11.0))
+        act.on_resolve(self._alert("gpu0", fired_at=10.0, resolved_at=20.0))
+        assert act.undrains == 0  # gpu1 still convicts host0
+        assert not [c for c in sched.calls if c[0] == "undrain"]
+        act.on_resolve(self._alert("gpu1", fired_at=11.0, resolved_at=25.0))
+        assert act.undrains == 1
+        assert sched.calls[-1] == ("undrain", "host0", 25.0)
+
+    def test_resolution_order_is_immaterial(self):
+        outcomes = []
+        for order in (("gpu0", "gpu1"), ("gpu1", "gpu0")):
+            sched, act = self._actuator()
+            act.on_alert(self._alert("gpu0", fired_at=10.0))
+            act.on_alert(self._alert("gpu1", fired_at=11.0))
+            for i, entity in enumerate(order):
+                act.on_resolve(self._alert(
+                    entity, fired_at=10.0, resolved_at=20.0 + i
+                ))
+            outcomes.append((act.drains, act.undrains,
+                             [c[:2] for c in sched.calls]))
+        assert outcomes[0] == outcomes[1]
