@@ -36,9 +36,10 @@ from typing import Dict, List
 
 import pytest
 
-from repro import telemetry
+from repro import perf, telemetry
+from repro.experiments.workloads import PRODUCTION, cluster_flows
 from repro.monitor import Monitor
-from repro.network import Flow, FlowSim, ServiceLevel, fire_flyer_network
+from repro.network import FlowSim, fire_flyer_network
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
@@ -61,15 +62,10 @@ MAX_REPEATS = 16
 CONVERGED_PCT = 5.0
 
 #: Production shape: 620 GPU nodes per zone (the paper's ~600) and the
-#: full dual-homed storage tier; 1,240 x 8 = 9,920 GPUs.
-GPU_NODES = 1240
-GPUS_PER_NODE = 8
-STORAGE_NODES = 180
-
-TRAINING_JOBS = 16
-NODES_PER_JOB = 62
-EP_JOBS = 2
-EP_NODES = 16
+#: full dual-homed storage tier; 1,240 x 8 = 9,920 GPUs. The workload
+#: itself lives in repro.experiments.workloads so the hot-path profile
+#: crosscheck exercises the identical traffic.
+SHAPE = PRODUCTION
 
 _RESULTS: Dict[str, object] = {}
 
@@ -80,68 +76,11 @@ def _write_bench_json():
     if _RESULTS:
         payload = {
             "benchmark": "two-zone 10k-GPU cluster mixed-traffic fluid run",
-            "unix_time": time.time(),
+            "unix_time": perf.unix_timestamp(),
             **_RESULTS,
         }
         BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {BENCH_PATH}")
-
-
-def _zone_base(job: int) -> int:
-    """First compute-node index of a training job (jobs are zone-local)."""
-    per_zone_jobs = TRAINING_JOBS // 2
-    if job < per_zone_jobs:
-        return job * NODES_PER_JOB
-    z0_nodes = (GPU_NODES + 1) // 2
-    return z0_nodes + (job - per_zone_jobs) * NODES_PER_JOB
-
-
-def _cluster_flows() -> Dict[str, List[Flow]]:
-    """The mixed workload, deterministic and staggered.
-
-    Sizes vary by job so completion waves interleave instead of collapsing
-    into one batch; starts stagger in 0.5 ms steps so the warm engine sees
-    a continuous admit/retire churn rather than one cold solve.
-    """
-    fid = 0
-    training: List[Flow] = []
-    for job in range(TRAINING_JOBS):
-        base = _zone_base(job)
-        nodes = [f"cn{base + k}" for k in range(NODES_PER_JOB)]
-        size = 1.0e9 * (1 + job % 4)
-        for k, src in enumerate(nodes):
-            training.append(
-                Flow(src, nodes[(k + 1) % len(nodes)], size=size,
-                     sl=ServiceLevel.HFREDUCE, flow_id=fid,
-                     start=0.0005 * (fid % 16))
-            )
-            fid += 1
-    storage: List[Flow] = []
-    z0_nodes = (GPU_NODES + 1) // 2
-    for i, reader_idx in enumerate(range(0, GPU_NODES, 8)):
-        reader = f"cn{reader_idx}"
-        nic = "nic0" if reader_idx < z0_nodes else "nic1"
-        storage.append(
-            Flow(f"st{i % STORAGE_NODES}.{nic}", reader, size=4.0e9,
-                 sl=ServiceLevel.STORAGE, flow_id=fid,
-                 start=0.0005 * (fid % 16))
-        )
-        fid += 1
-    ep: List[Flow] = []
-    for job in range(EP_JOBS):
-        # Tail nodes of each zone, untouched by the training jobs.
-        base = (z0_nodes - EP_NODES) if job == 0 else (GPU_NODES - EP_NODES)
-        nodes = [f"cn{base + k}" for k in range(EP_NODES)]
-        for a in nodes:
-            for b in nodes:
-                if a == b:
-                    continue
-                ep.append(
-                    Flow(a, b, size=2.5e8, sl=ServiceLevel.NCCL, flow_id=fid,
-                         start=0.0005 * (fid % 16))
-                )
-                fid += 1
-    return {"training": training, "storage": storage, "ep_alltoall": ep}
 
 
 def _phases(sim: FlowSim) -> Dict[str, float]:
@@ -156,8 +95,10 @@ def _phases(sim: FlowSim) -> Dict[str, float]:
 
 
 def test_bench_cluster_10k_gpu_mixed_traffic():
-    fab = fire_flyer_network(gpu_nodes=GPU_NODES, storage_nodes=STORAGE_NODES)
-    mix = _cluster_flows()
+    fab = fire_flyer_network(
+        gpu_nodes=SHAPE.gpu_nodes, storage_nodes=SHAPE.storage_nodes
+    )
+    mix = cluster_flows(SHAPE)
     flows = [f for group in mix.values() for f in group]
 
     runs: Dict[str, Dict[str, object]] = {}
@@ -198,9 +139,9 @@ def test_bench_cluster_10k_gpu_mixed_traffic():
     _RESULTS.update(
         {
             "cluster": {
-                "gpu_nodes": GPU_NODES,
-                "gpus": GPU_NODES * GPUS_PER_NODE,
-                "storage_nodes": STORAGE_NODES,
+                "gpu_nodes": SHAPE.gpu_nodes,
+                "gpus": SHAPE.gpus,
+                "storage_nodes": SHAPE.storage_nodes,
                 "hosts": len(fab.hosts),
                 "switches": len(fab.switches()),
             },
@@ -231,8 +172,10 @@ def test_bench_cluster_monitored_overhead():
     span). Both walls are best-of-N; completion times must be identical,
     since observation may never perturb the simulation.
     """
-    fab = fire_flyer_network(gpu_nodes=GPU_NODES, storage_nodes=STORAGE_NODES)
-    flows = [f for group in _cluster_flows().values() for f in group]
+    fab = fire_flyer_network(
+        gpu_nodes=SHAPE.gpu_nodes, storage_nodes=SHAPE.storage_nodes
+    )
+    flows = [f for group in cluster_flows(SHAPE).values() for f in group]
 
     def bare_run() -> tuple[float, List[float]]:
         sim = FlowSim(fab, engine="vectorized")

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List
 
 import pytest
 
+from repro import perf
 from repro.experiments.congestion_exp import (
     _build_fabric,
     _mixed_flows,
@@ -46,7 +47,7 @@ def _write_bench_json():
     if _RESULTS:
         payload = {
             "benchmark": "flow-engine reference vs vectorized",
-            "unix_time": time.time(),
+            "unix_time": perf.unix_timestamp(),
             "workloads": _RESULTS,
         }
         BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

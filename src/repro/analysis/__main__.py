@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from collections import Counter
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
@@ -33,7 +35,7 @@ exit status:
   1  new violations found, or --strict-baseline detected baseline
      drift (stale entries that no longer fire — prune them, or rerun
      --update-baseline deliberately)
-  2  usage error (unknown rule, bad arguments)
+  2  usage error (unknown rule, bad arguments, --changed-only git failure)
 """
 
 
@@ -72,8 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rule codes and exit",
     )
     parser.add_argument(
-        "--rule", action="append", default=None, metavar="CODE",
-        help="run only the named rule(s) (repeatable)",
+        "--rule", action="append", default=None, metavar="CODE[,CODE...]",
+        help="run only the named rule(s) (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files changed vs --base-ref (git diff + untracked), "
+             "intersected with PATH arguments; the CI fast path",
+    )
+    parser.add_argument(
+        "--base-ref", default="HEAD", metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -139,6 +150,37 @@ def _render_github(new: List[Violation]) -> str:
     return "\n".join(lines)
 
 
+def changed_paths(paths: List[str], base_ref: str) -> List[str]:
+    """Python files changed vs ``base_ref`` under the requested ``paths``.
+
+    Changed = ``git diff --name-only <base_ref>`` plus untracked files
+    (``git ls-files --others``), so a fresh not-yet-added module is still
+    linted. Deleted files are pruned (nothing to lint). Raises
+    ``RuntimeError`` when git fails (unknown ref, not a repository).
+    """
+    cmds = [
+        ["git", "diff", "--name-only", "-z", base_ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ]
+    names: List[str] = []
+    for cmd in cmds:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"exit {proc.returncode}"
+            raise RuntimeError(f"{' '.join(cmd[:3])} failed: {detail}")
+        names.extend(n for n in proc.stdout.split("\0") if n)
+    roots = [Path(p).resolve() for p in paths]
+    out = []
+    for name in sorted(set(names)):
+        p = Path(name)
+        if p.suffix != ".py" or not p.is_file():
+            continue
+        resolved = p.resolve()
+        if any(r == resolved or r in resolved.parents for r in roots):
+            out.append(str(p))
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -155,7 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rules = all_rules()
     if args.rule:
-        wanted = set(args.rule)
+        wanted = {code for spec in args.rule for code in spec.split(",") if code}
         unknown = wanted - {r.code for r in rules}
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}",
@@ -163,9 +205,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         rules = [r for r in rules if r.code in wanted]
 
+    paths = args.paths
+    if args.changed_only:
+        try:
+            paths = changed_paths(paths, args.base_ref)
+        except RuntimeError as exc:
+            print(f"--changed-only: {exc}", file=sys.stderr)
+            return 2
+        if args.stats:
+            print(f"stats: changed-only vs {args.base_ref}: "
+                  f"{len(paths)} file(s)", file=sys.stderr)
+
     # Wall time, not simulated time: this measures the linter itself.
     t0 = time.perf_counter()  # repro: noqa[DET002]
-    violations = lint_paths(args.paths, rules)
+    violations = lint_paths(paths, rules)
     elapsed = time.perf_counter() - t0  # repro: noqa[DET002]
 
     if args.stats:

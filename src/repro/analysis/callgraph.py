@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Method names that mutate their receiver in place. Deliberately a fixed
 #: allowlist of builtin-container mutators: telemetry-ish verbs
@@ -1099,6 +1100,46 @@ class ProjectModel:
 def build_project(sources: Sequence[ModuleSource]) -> ProjectModel:
     """Parse-free constructor: callers hand in already-parsed modules."""
     return ProjectModel(sources)
+
+
+def find_project_root(path: Path) -> Optional[Path]:
+    """Nearest ancestor containing a ``repro`` package."""
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - exotic filesystems
+        return None
+    for anc in resolved.parents:
+        if (anc / "repro" / "__init__.py").is_file():
+            return anc
+    return None
+
+
+@lru_cache(maxsize=4)
+def project_for_root(root: str) -> ProjectModel:
+    """The whole-project model for one source root, parsed once and shared.
+
+    Both the RACE rules (:mod:`repro.analysis.concurrency`) and the PERF
+    rules (:mod:`repro.analysis.hotpath`) derive their analyses from this
+    one model, so a full-``src`` sweep parses the tree exactly once.
+    """
+    files = sorted(str(p) for p in (Path(root) / "repro").rglob("*.py"))
+    return ProjectModel(sources_from_paths(files))
+
+
+#: Cache-clear callbacks of analyses layered on :func:`project_for_root`.
+_DERIVED_CACHES: List[Callable[[], None]] = []
+
+
+def register_derived_cache(clear: Callable[[], None]) -> None:
+    """Register a derived-model cache to drop on invalidation."""
+    _DERIVED_CACHES.append(clear)
+
+
+def invalidate_project_cache() -> None:
+    """Drop cached project models and every derived analysis cache."""
+    project_for_root.cache_clear()
+    for clear in _DERIVED_CACHES:
+        clear()
 
 
 def sources_from_paths(paths: Iterable[str]) -> List[ModuleSource]:

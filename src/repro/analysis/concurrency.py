@@ -54,8 +54,11 @@ from repro.analysis.callgraph import (
     YieldInfo,
     _attr_chain,
     _scope_nodes,
+    find_project_root,
+    invalidate_project_cache,
     module_name_for_path,
-    sources_from_paths,
+    project_for_root,
+    register_derived_cache,
 )
 from repro.analysis.lint import FileContext, Rule, register
 
@@ -346,27 +349,17 @@ def model_from_source(source: str, path: str) -> ConcurrencyModel:
     return ConcurrencyModel(project)
 
 
-def _find_project_root(path: Path) -> Optional[Path]:
-    """Nearest ancestor containing a ``repro`` package."""
-    try:
-        resolved = path.resolve()
-    except OSError:  # pragma: no cover - exotic filesystems
-        return None
-    for anc in resolved.parents:
-        if (anc / "repro" / "__init__.py").is_file():
-            return anc
-    return None
-
-
 @lru_cache(maxsize=4)
 def _project_model_for_root(root: str) -> ConcurrencyModel:
-    files = sorted(str(p) for p in (Path(root) / "repro").rglob("*.py"))
-    return ConcurrencyModel(ProjectModel(sources_from_paths(files)))
+    return ConcurrencyModel(project_for_root(root))
+
+
+register_derived_cache(_project_model_for_root.cache_clear)
 
 
 def invalidate_model_cache() -> None:
     """Drop cached project models (tests that rewrite sources call this)."""
-    _project_model_for_root.cache_clear()
+    invalidate_project_cache()
 
 
 def model_for(ctx: FileContext) -> ConcurrencyModel:
@@ -379,7 +372,7 @@ def model_for(ctx: FileContext) -> ConcurrencyModel:
     """
     p = Path(ctx.path)
     if p.is_file():
-        root = _find_project_root(p)
+        root = find_project_root(p)
         if root is not None:
             return _project_model_for_root(str(root))
     return model_from_source(ctx.source, ctx.path)

@@ -1,0 +1,920 @@
+"""Hot-path performance analyzer: profile-anchored PERF rules.
+
+The Fire-Flyer co-design argument depends on the simulator itself
+running "as fast as the hardware allows" (ROADMAP item 1 names per-event
+Python overhead and route construction as the remaining cluster
+wall-clock bottlenecks). This module turns *"is this code allowed on the
+hot path?"* into a checked, baselined property instead of a code-review
+vibe, in three parts:
+
+1. **Hot-path closure.** ``[tool.repro.hotpaths]`` in ``pyproject.toml``
+   declares *roots* (per-event entry points — every call is on the
+   per-event path, so their bodies and everything they call are
+   per-event code) and *loops* (event-loop owners — their bodies run
+   once per simulation, but code inside their syntactic loops is
+   per-event). :class:`HotPathModel` resolves the declarations against
+   the PR 8 cross-module call graph and computes the closure over *all*
+   resolved call edges (unlike the concurrency analyzer it does not stop
+   at trusted modules: trusted code may still be slow).
+
+2. **PERF rules over the closure only.**
+
+   * **PERF001** — per-event allocation: list/dict/set displays,
+     comprehensions, generator expressions, lambdas, f-strings and
+     ``%``/``.format()`` formatting constructed in per-event code.
+   * **PERF002** — NumPy anti-patterns: ``np.append``/``concatenate``
+     growth in per-event code, Python-level ``for`` iteration over known
+     arrays, per-event ``.copy()``/``.astype()``/``.tolist()`` on known
+     arrays, and boolean-mask copies where the mask is built inline
+     (``arr[a <= b]``).
+   * **PERF003** — loop-invariant attribute chains (``a.b.c`` resolved
+     on every iteration) and repeated ``len()`` of loop-invariant
+     operands; both are hoistable to locals before the loop.
+   * **PERF004** — O(n) list scans (``in`` / ``.index()`` /
+     ``.remove()`` / ``.count()`` on known lists) in per-event code.
+
+3. **Profile cross-check** (the PR 8 sanitizer-cross-check mold, aimed
+   at wall-clock instead of invariants): :func:`profile_workload` runs a
+   workload under :mod:`cProfile` and :func:`profile_crosscheck` asserts
+   (a) every flagged site's enclosing function actually attributes at
+   least ``min_fraction`` of total time — hot findings are *real* — and
+   (b) the top-N project frames by self-time are covered by the hot-root
+   declaration — the declaration has no blind spots.
+
+Findings that are deliberate (by-design slow paths) take a
+``# repro: noqa[PERF001]`` with a comment; counted debt goes in the
+baseline with a mandatory ``why``. See ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import cProfile
+import fnmatch
+import pstats
+import tomllib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import (
+    Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple,
+)
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    ModuleSource,
+    ProjectModel,
+    _attr_chain,
+    find_project_root,
+    invalidate_project_cache,
+    module_name_for_path,
+    project_for_root,
+    register_derived_cache,
+)
+from repro.analysis.lint import FileContext, Rule, register
+
+# -- declaration ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotPathConfig:
+    """Parsed ``[tool.repro.hotpaths]`` declaration.
+
+    Patterns use the call-graph qual format ``module:Qualname`` and
+    support fnmatch-style wildcards (``repro.monitor.detectors:*.on_sample``
+    matches every detector class's tick method).
+    """
+
+    roots: Tuple[str, ...] = ()
+    loops: Tuple[str, ...] = ()
+
+
+#: Test hook: assign a :class:`HotPathConfig` to bypass pyproject.toml
+#: discovery entirely (call :func:`invalidate_model_cache` after).
+hotpaths_override: Optional[HotPathConfig] = None
+
+
+def _find_pyproject(start: Path) -> Optional[str]:
+    """Nearest pyproject.toml at or above ``start``."""
+    try:
+        start = start.resolve()
+    except OSError:  # pragma: no cover - exotic filesystems
+        return None
+    for candidate in [start, *start.parents]:
+        marker = candidate / "pyproject.toml"
+        if marker.is_file():
+            return str(marker)
+    return None
+
+
+@lru_cache(maxsize=8)
+def _load_hotpath_config(pyproject: str) -> Optional[HotPathConfig]:
+    """``[tool.repro.hotpaths]`` from one pyproject.toml, or None."""
+    try:
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError):
+        return None
+    section = data.get("tool", {}).get("repro", {}).get("hotpaths")
+    if not isinstance(section, dict):
+        return None
+    roots = section.get("roots", [])
+    loops = section.get("loops", [])
+    if not isinstance(roots, list) or not isinstance(loops, list):
+        return None
+    return HotPathConfig(
+        roots=tuple(str(r) for r in roots),
+        loops=tuple(str(x) for x in loops),
+    )
+
+
+def config_for_path(path: Path) -> Optional[HotPathConfig]:
+    """The hot-path declaration governing ``path`` (override-aware)."""
+    if hotpaths_override is not None:
+        return hotpaths_override
+    pyproject = _find_pyproject(path if path.is_dir() else path.parent)
+    if pyproject is None:
+        return None
+    return _load_hotpath_config(pyproject)
+
+
+# -- findings ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotReport:
+    """One PERF finding, attributed to its enclosing hot function."""
+
+    rule: str
+    qual: str
+    path: str
+    lineno: int
+    col: int
+    message: str
+
+
+_NP_GROWTH = frozenset(
+    {"append", "concatenate", "hstack", "vstack", "insert", "delete"}
+)
+_NP_ARRAY_FNS = frozenset(
+    {"array", "asarray", "zeros", "ones", "empty", "full", "arange",
+     "linspace", "flatnonzero", "nonzero", "where", "unique", "sort",
+     "argsort", "cumsum", "repeat", "copy", "zeros_like", "ones_like",
+     "empty_like", "full_like"}
+)
+_ARRAY_METHODS = frozenset({"copy", "astype", "tolist"})
+_LIST_SCAN_METHODS = frozenset({"index", "remove", "count"})
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _display(qual: str) -> str:
+    """``module:Cls.fn#2`` -> ``Cls.fn`` (the human name in messages)."""
+    return qual.rsplit(":", 1)[-1].split("#")[0]
+
+
+def _alloc_kind(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it allocates per evaluation, else None."""
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator expression"
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    if isinstance(node, ast.JoinedStr):
+        return "f-string"
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"):
+        return "str.format() call"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        left = node.left
+        if isinstance(left, ast.JoinedStr) or (
+            isinstance(left, ast.Constant) and isinstance(left.value, str)
+        ):
+            return "%-format expression"
+    return None
+
+
+@dataclass
+class _Site:
+    """One AST node in a hot function body with its syntactic context."""
+
+    node: ast.AST
+    loop_depth: int
+    #: Under a ``raise``/``assert`` — error paths are cold by definition.
+    cold: bool
+
+
+def _collect_sites(fn: FunctionInfo) -> List[_Site]:
+    """Own-scope nodes of ``fn`` with loop depth and cold-path flags.
+
+    Nested function/class scopes are *not* descended into (nested
+    functions are separate :class:`FunctionInfo` entries and analyzed on
+    their own); lambdas are yielded as sites but not entered.
+    Comprehension generators count toward loop depth.
+    """
+    out: List[_Site] = []
+
+    def visit(node: ast.AST, depth: int, cold: bool) -> None:
+        if isinstance(node, ast.AnnAssign):
+            # Annotations are def-time (or never-evaluated) expressions;
+            # `x: List[Callable[[T], None]] = []` must flag only the
+            # value, not the [T] literal inside the annotation.
+            if node.value is not None:
+                out.append(_Site(node.value, depth, cold))
+                visit(node.value, depth, cold)
+            return
+        for child in ast.iter_child_nodes(node):
+            child_cold = cold or isinstance(child, (ast.Raise, ast.Assert))
+            child_depth = depth
+            out.append(_Site(child, child_depth, child_cold))
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda, ast.JoinedStr)):
+                # Nested scopes have their own FunctionInfo; f-string
+                # internals (format specs are nested JoinedStr nodes)
+                # would double-count the outer allocation.
+                continue
+            if isinstance(child, _LOOP_NODES):
+                # The loop header (iter / test) evaluates at depth, the
+                # body at depth + 1; approximating the whole subtree at
+                # depth + 1 only misclassifies the header expression.
+                child_depth += 1
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                    ast.GeneratorExp)):
+                child_depth += 1
+            visit(child, child_depth, child_cold)
+
+    body = getattr(fn.node, "body", None)
+    if isinstance(body, list):
+        for stmt in body:
+            cold = isinstance(stmt, (ast.Raise, ast.Assert))
+            out.append(_Site(stmt, 0, cold))
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            visit(stmt, 1 if isinstance(stmt, _LOOP_NODES) else 0, cold)
+    return out
+
+
+def _stored_names(nodes: Sequence[ast.AST]) -> Set[str]:
+    """Bare names stored (assigned / loop targets) among ``nodes``."""
+    out: Set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+    return out
+
+
+class HotPathModel:
+    """The resolved hot-path view the PERF rules query."""
+
+    def __init__(self, project: ProjectModel, config: HotPathConfig) -> None:
+        self.project = project
+        self.config = config
+        self.root_quals: Set[str] = set()
+        self.loop_quals: Set[str] = set()
+        self.unmatched_roots: Tuple[str, ...] = ()
+        self._match_declaration()
+        #: Functions whose whole body is per-event code.
+        self.per_event: Set[str] = self._per_event_closure()
+        #: Every function the PERF rules look at (per-event bodies plus
+        #: loop owners, whose syntactic loops are per-event).
+        self.closure: Set[str] = self.per_event | self.loop_quals
+        self._reports: Optional[List[HotReport]] = None
+        self._by_path: Optional[Dict[str, List[HotReport]]] = None
+        self._np_self_cache: Dict[str, Set[str]] = {}
+        self._list_self_cache: Dict[str, Set[str]] = {}
+
+    # -- closure ---------------------------------------------------------------
+
+    def _match_declaration(self) -> None:
+        quals = list(self.project.functions)
+        unmatched: List[str] = []
+        for pattern in self.config.roots:
+            hits = [q for q in quals
+                    if fnmatch.fnmatchcase(q.split("#")[0], pattern)]
+            if hits:
+                self.root_quals.update(hits)
+            else:
+                unmatched.append(pattern)
+        for pattern in self.config.loops:
+            hits = [q for q in quals
+                    if fnmatch.fnmatchcase(q.split("#")[0], pattern)]
+            if hits:
+                self.loop_quals.update(hits)
+            else:
+                unmatched.append(pattern)
+        self.unmatched_roots = tuple(unmatched)
+
+    def _per_event_closure(self) -> Set[str]:
+        """Roots plus loop-nested callees of loop owners, transitively.
+
+        Unlike :meth:`ProjectModel.reachable` this follows *every*
+        resolved edge — trusted modules and generator bodies included —
+        because the question is cost, not effects.
+        """
+        seeds: Set[str] = set(self.root_quals)
+        for qual in self.loop_quals:
+            fn = self.project.functions.get(qual)
+            if fn is None:
+                continue
+            for call in fn.calls:
+                if call.loop_depth > 0:
+                    seeds.update(call.resolved)
+        seen: Set[str] = set()
+        frontier = sorted(seeds)
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            fn = self.project.functions.get(qual)
+            if fn is None:
+                continue
+            for call in fn.calls:
+                frontier.extend(q for q in call.resolved if q not in seen)
+        return seen
+
+    # -- per-class summaries ---------------------------------------------------
+
+    def _np_aliases(self, module: str) -> Tuple[Set[str], Set[str]]:
+        """(module aliases of numpy, names imported from numpy)."""
+        idx = self.project.modules.get(module)
+        if idx is None:
+            return set(), set()
+        mods = {alias for alias, target in idx.import_modules.items()
+                if target in ("numpy", "numpy.ma")}
+        names = {alias for alias, target in idx.import_names.items()
+                 if target.startswith("numpy:")}
+        return mods, names
+
+    def _init_assignments(self, cls: str) -> Iterator[Tuple[str, ast.AST]]:
+        """(attr name, value expr) for ``self.x = ...`` in ``__init__``."""
+        idx = self.project.modules.get(cls.split(":")[0])
+        if idx is None:
+            return
+        init = idx.classes.get(cls, {}).get("__init__")
+        fn = self.project.functions.get(init) if init else None
+        if fn is None:
+            return
+        body = getattr(fn.node, "body", [])
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                chain = _attr_chain(target)
+                if chain is not None and len(chain) == 2 and chain[0] == "self":
+                    yield chain[1], stmt.value
+        del body
+
+    def _np_self_arrays(self, cls: str) -> Set[str]:
+        """Instance attrs assigned a numpy constructor in ``__init__``."""
+        cached = self._np_self_cache.get(cls)
+        if cached is not None:
+            return cached
+        mods, names = self._np_aliases(cls.split(":")[0])
+        out: Set[str] = set()
+        for attr, value in self._init_assignments(cls):
+            if isinstance(value, ast.Call):
+                chain = _attr_chain(value.func)
+                if chain is None:
+                    continue
+                if (len(chain) >= 2 and chain[0] in mods
+                        and chain[-1] in _NP_ARRAY_FNS):
+                    out.add(attr)
+                elif len(chain) == 1 and chain[0] in names:
+                    out.add(attr)
+        self._np_self_cache[cls] = out
+        return out
+
+    def _list_self_attrs(self, cls: str) -> Set[str]:
+        """Instance attrs assigned a list in ``__init__``."""
+        cached = self._list_self_cache.get(cls)
+        if cached is not None:
+            return cached
+        out: Set[str] = set()
+        for attr, value in self._init_assignments(cls):
+            if isinstance(value, (ast.List, ast.ListComp)):
+                out.add(attr)
+            elif isinstance(value, ast.Call):
+                chain = _attr_chain(value.func)
+                if chain == ("list",) or chain == ("sorted",):
+                    out.add(attr)
+        self._list_self_cache[cls] = out
+        return out
+
+    @staticmethod
+    def _local_arrays(fn: FunctionInfo, mods: Set[str],
+                      names: Set[str]) -> Set[str]:
+        """Locals bound to a numpy constructor result (via call_locals)."""
+        out: Set[str] = set()
+        for name, chain in fn.call_locals.items():
+            if (len(chain) >= 2 and chain[0] in mods
+                    and chain[-1] in _NP_ARRAY_FNS):
+                out.add(name)
+            elif len(chain) == 1 and chain[0] in names:
+                out.add(name)
+        return out
+
+    @staticmethod
+    def _local_lists(fn: FunctionInfo) -> Set[str]:
+        """Locals assigned a list display / comprehension / list()."""
+        out: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, (ast.List, ast.ListComp, ast.Call)):
+                continue
+            if isinstance(node.value, ast.Call):
+                chain = _attr_chain(node.value.func)
+                if chain not in (("list",), ("sorted",)):
+                    continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        return out
+
+    # -- rule bodies -----------------------------------------------------------
+
+    def reports(self) -> List[HotReport]:
+        if self._reports is None:
+            out: List[HotReport] = []
+            for qual in sorted(self.closure):
+                fn = self.project.functions.get(qual)
+                if fn is None:
+                    continue
+                out.extend(self._scan_function(fn, qual in self.per_event))
+            out.sort(key=lambda r: (r.path, r.lineno, r.col, r.rule))
+            self._reports = out
+        return self._reports
+
+    def reports_for_path(self, path: str) -> List[HotReport]:
+        if self._by_path is None:
+            by_path: Dict[str, List[HotReport]] = {}
+            for rep in self.reports():
+                by_path.setdefault(_canonical(rep.path), []).append(rep)
+            self._by_path = by_path
+        return self._by_path.get(_canonical(path), [])
+
+    def _scan_function(self, fn: FunctionInfo,
+                       per_event: bool) -> Iterator[HotReport]:
+        sites = _collect_sites(fn)
+        mods, names = self._np_aliases(fn.module)
+        local_arrays = self._local_arrays(fn, mods, names)
+        self_arrays = self._np_self_arrays(fn.cls) if fn.cls else set()
+        local_lists = self._local_lists(fn)
+        self_lists = self._list_self_attrs(fn.cls) if fn.cls else set()
+        who = _display(fn.qual)
+
+        def report(rule: str, node: ast.AST, message: str) -> HotReport:
+            return HotReport(
+                rule=rule, qual=fn.qual, path=fn.path,
+                lineno=node.lineno, col=node.col_offset, message=message,
+            )
+
+        for site in sites:
+            if site.cold:
+                continue
+            hot = per_event or site.loop_depth > 0
+            if not hot:
+                continue
+            node = site.node
+            kind = _alloc_kind(node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                kind = "nested function (closure)"
+            if kind is not None:
+                yield report(
+                    "PERF001", node,
+                    f"per-event allocation: {kind} constructed in hot "
+                    f"function '{who}'; hoist it out of the per-event "
+                    "path or reuse a preallocated object",
+                )
+            yield from self._np_site(report, node, site, per_event, who,
+                                     mods, names, local_arrays, self_arrays)
+            yield from self._list_scan_site(report, node, who,
+                                            local_lists, self_lists)
+        if per_event or fn.qual in self.loop_quals:
+            yield from self._invariant_scan(fn, sites, report, who)
+
+    def _np_site(self, report, node: ast.AST, site: _Site, per_event: bool,
+                 who: str, mods: Set[str], names: Set[str],
+                 local_arrays: Set[str],
+                 self_arrays: Set[str]) -> Iterator[HotReport]:
+        def is_known_array(chain: Optional[Tuple[str, ...]]) -> bool:
+            if chain is None:
+                return False
+            if len(chain) == 1:
+                return chain[0] in local_arrays
+            return (len(chain) == 2 and chain[0] == "self"
+                    and chain[1] in self_arrays)
+
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is not None:
+                grown = None
+                if (len(chain) >= 2 and chain[0] in mods
+                        and chain[-1] in _NP_GROWTH):
+                    grown = chain[-1]
+                elif (len(chain) == 1 and chain[0] in names
+                      and chain[0] in _NP_GROWTH):
+                    grown = chain[0]
+                if grown is not None:
+                    yield report(
+                        "PERF002", node,
+                        f"np.{grown}() in per-event code of '{who}' "
+                        "reallocates the whole array; grow a preallocated "
+                        "buffer (amortized doubling) instead",
+                    )
+                if (chain[-1] in _ARRAY_METHODS and len(chain) >= 2
+                        and is_known_array(chain[:-1])):
+                    target = ".".join(chain[:-1])
+                    yield report(
+                        "PERF002", node,
+                        f"array method .{chain[-1]}() on '{target}' in "
+                        f"per-event code of '{who}' copies the array; "
+                        "reuse a preallocated buffer (np.copyto / out=)",
+                    )
+        elif isinstance(node, ast.For):
+            chain = _attr_chain(node.iter)
+            if is_known_array(chain):
+                yield report(
+                    "PERF002", node,
+                    f"python-level iteration over ndarray "
+                    f"'{'.'.join(chain)}' in '{who}'; vectorize the loop "
+                    "or iterate a list",
+                )
+        elif (isinstance(node, ast.Subscript)
+              and isinstance(node.ctx, ast.Load)
+              and isinstance(node.slice, ast.Compare)):
+            yield report(
+                "PERF002", node,
+                f"boolean-mask copy 'x[a <= b]'-style subscript in "
+                f"per-event code of '{who}'; reuse a mask buffer or "
+                "fold the comparison into an in-place op",
+            )
+
+    def _list_scan_site(self, report, node: ast.AST, who: str,
+                        local_lists: Set[str],
+                        self_lists: Set[str]) -> Iterator[HotReport]:
+        def is_known_list(chain: Optional[Tuple[str, ...]]) -> bool:
+            if chain is None:
+                return False
+            if len(chain) == 1:
+                return chain[0] in local_lists
+            return (len(chain) == 2 and chain[0] == "self"
+                    and chain[1] in self_lists)
+
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.In, ast.NotIn)):
+                    continue
+                chain = _attr_chain(comparator)
+                if is_known_list(chain):
+                    yield report(
+                        "PERF004", node,
+                        f"O(n) membership test on list "
+                        f"'{'.'.join(chain)}' in per-event code of "
+                        f"'{who}'; use a set or dict for membership",
+                    )
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (chain is not None and len(chain) >= 2
+                    and chain[-1] in _LIST_SCAN_METHODS
+                    and is_known_list(chain[:-1])):
+                yield report(
+                    "PERF004", node,
+                    f"O(n) list scan .{chain[-1]}() on "
+                    f"'{'.'.join(chain[:-1])}' in per-event code of "
+                    f"'{who}'; keep an index structure alongside the list",
+                )
+
+    def _invariant_scan(self, fn: FunctionInfo, sites: List[_Site],
+                        report, who: str) -> Iterator[HotReport]:
+        """PERF003: hoistable attribute chains / len() inside loops."""
+        flagged: Set[Tuple[str, ...]] = set()
+        flagged_len: Set[str] = set()
+        for site in sites:
+            if not isinstance(site.node, _LOOP_NODES):
+                continue
+            loop = site.node
+            body_nodes = [n for stmt in loop.body for n in ast.walk(stmt)]
+            stored = _stored_names(body_nodes)
+            if isinstance(loop, (ast.For, ast.AsyncFor)):
+                stored |= _stored_names(ast.walk(loop.target))
+            # Attribute chains stored to (``a.b.c = ...``) are not
+            # invariant reads of that prefix.
+            stored_chains: Set[Tuple[str, ...]] = set()
+            for n in body_nodes:
+                if isinstance(n, ast.Attribute) and isinstance(n.ctx, ast.Store):
+                    chain = _attr_chain(n)
+                    if chain is not None:
+                        stored_chains.add(chain)
+            chains: Dict[Tuple[str, ...], List[ast.AST]] = {}
+            len_calls: Dict[str, List[ast.AST]] = {}
+            # Names that receive method calls in the loop may be mutated
+            # in place (``pending.pop()``) — their len() is not invariant.
+            method_roots: Set[str] = set()
+            for n in body_nodes:
+                if isinstance(n, ast.Call):
+                    chain = _attr_chain(n.func)
+                    if chain is not None and len(chain) == 2:
+                        method_roots.add(chain[0])
+            for n in body_nodes:
+                if (isinstance(n, ast.Attribute)
+                        and isinstance(n.ctx, ast.Load)):
+                    chain = _attr_chain(n)
+                    if chain is not None and len(chain) >= 3:
+                        chains.setdefault(chain, []).append(n)
+                elif (isinstance(n, ast.Call)
+                      and isinstance(n.func, ast.Name)
+                      and n.func.id == "len" and len(n.args) == 1
+                      and isinstance(n.args[0], ast.Name)):
+                    len_calls.setdefault(n.args[0].id, []).append(n)
+            for chain, nodes in sorted(chains.items()):
+                if len(nodes) < 2 or chain in flagged:
+                    continue
+                if chain[0] in stored or chain[0] == "_":
+                    continue
+                if any(chain[:k] in stored_chains
+                       for k in range(2, len(chain) + 1)):
+                    continue
+                # Only flag the full chain, not every prefix of it.
+                if any(other != chain and other[:len(chain)] == chain
+                       for other in chains):
+                    continue
+                flagged.add(chain)
+                yield report(
+                    "PERF003", nodes[0],
+                    f"loop-invariant attribute chain "
+                    f"'{'.'.join(chain)}' resolved on every iteration "
+                    f"in '{who}'; hoist it to a local before the loop",
+                )
+            for name, nodes in sorted(len_calls.items()):
+                if (len(nodes) < 2 or name in stored
+                        or name in method_roots or name in flagged_len):
+                    continue
+                flagged_len.add(name)
+                yield report(
+                    "PERF003", nodes[0],
+                    f"len({name}) recomputed on every iteration in "
+                    f"'{who}' while '{name}' is loop-invariant; hoist "
+                    "it to a local before the loop",
+                )
+
+
+# -- path canonicalization (mirrors repro.analysis.concurrency) ----------------
+
+
+def _canonical(path: str) -> str:
+    p = Path(path)
+    try:
+        if p.is_file():
+            return str(p.resolve())
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    return p.as_posix()
+
+
+# -- model construction & caching ----------------------------------------------
+
+
+def model_from_source(source: str, path: str,
+                      config: Optional[HotPathConfig] = None) -> HotPathModel:
+    """Single-file model for in-memory sources (tests, fixtures)."""
+    if config is None:
+        config = config_for_path(Path(path)) or HotPathConfig()
+    tree = ast.parse(source, filename=path)
+    project = ProjectModel(
+        [ModuleSource(name=module_name_for_path(path), path=path, tree=tree)]
+    )
+    return HotPathModel(project, config)
+
+
+@lru_cache(maxsize=4)
+def _hotpath_model_for_root(root: str) -> HotPathModel:
+    config = config_for_path(Path(root)) or HotPathConfig()
+    return HotPathModel(project_for_root(root), config)
+
+
+register_derived_cache(_hotpath_model_for_root.cache_clear)
+
+
+def invalidate_model_cache() -> None:
+    """Drop cached models (tests that swap the declaration call this)."""
+    _load_hotpath_config.cache_clear()
+    invalidate_project_cache()
+
+
+def model_for(ctx: FileContext) -> HotPathModel:
+    """The hot-path model covering ``ctx`` (shared per project root).
+
+    The cross-file project model is only trusted when ``ctx.source``
+    matches the file on disk — ``lint_source`` fixtures may feed
+    synthetic source at a real path, and their reports must come from
+    that source, not from whatever the checkout currently holds.
+    """
+    p = Path(ctx.path)
+    if p.is_file():
+        try:
+            on_disk = p.read_text(encoding="utf-8")
+        except OSError:
+            on_disk = None
+        if on_disk == ctx.source:
+            root = find_project_root(p)
+            if root is not None:
+                return _hotpath_model_for_root(str(root))
+    return model_from_source(ctx.source, ctx.path)
+
+
+def project_hotpath_model(start: Path) -> Optional[HotPathModel]:
+    """The shared model for the project containing ``start``, if any.
+
+    Convenience for the profile cross-check harness, which starts from a
+    directory (the repo checkout) rather than a linted file.
+    """
+    start = start if start.is_dir() else start.parent
+    for candidate in [start, *start.resolve().parents]:
+        if (candidate / "repro" / "__init__.py").is_file():
+            return _hotpath_model_for_root(str(candidate))
+        src = candidate / "src" / "repro" / "__init__.py"
+        if src.is_file():
+            return _hotpath_model_for_root(str(candidate / "src"))
+    return None
+
+
+# -- registered rules ----------------------------------------------------------
+
+
+class _HotRule(Rule):
+    applies_to: Tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        model = model_for(ctx)
+        for rep in model.reports_for_path(ctx.path):
+            if rep.rule == self.code:
+                yield (rep.lineno, rep.col, rep.message)
+
+
+@register
+class PerEventAllocation(_HotRule):
+    code = "PERF001"
+    title = ("per-event allocation (list/dict/set/comprehension/lambda/"
+             "str-format) inside the declared hot-path closure")
+
+
+@register
+class NumpyAntiPattern(_HotRule):
+    code = "PERF002"
+    title = ("numpy anti-pattern on the hot path: array growth "
+             "(np.append/concatenate), python-level array iteration, "
+             "per-event copies (.copy/.astype/.tolist), inline "
+             "boolean-mask copies")
+
+
+@register
+class LoopInvariantLookup(_HotRule):
+    code = "PERF003"
+    title = ("loop-invariant attribute chain or len() resolved on every "
+             "iteration of a hot loop; hoistable to a local")
+
+
+@register
+class LinearScan(_HotRule):
+    code = "PERF004"
+    title = ("O(n) list membership/.index()/.remove()/.count() in "
+             "per-event code; use a set/dict or index structure")
+
+
+# -- profile cross-check -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColdFinding:
+    """A flagged site whose enclosing function is cold in the profile."""
+
+    rule: str
+    qual: str
+    fraction: float
+
+
+@dataclass(frozen=True)
+class UncoveredFrame:
+    """A top-N self-time project frame outside the declared closure."""
+
+    name: str
+    path: str
+    fraction: float
+
+
+@dataclass
+class CrosscheckResult:
+    """Outcome of :func:`profile_crosscheck`; ``ok`` gates CI."""
+
+    total_time: float
+    cold: List[ColdFinding] = field(default_factory=list)
+    uncovered: List[UncoveredFrame] = field(default_factory=list)
+    covered_frames: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.cold and not self.uncovered
+
+
+def profile_workload(workload: Callable[[], object]) -> pstats.Stats:
+    """Run ``workload`` under cProfile and return its stats."""
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        workload()
+    finally:
+        prof.disable()
+    return pstats.Stats(prof)
+
+
+def profile_crosscheck(
+    model: HotPathModel,
+    stats: pstats.Stats,
+    *,
+    min_fraction: float = 0.005,
+    top_n: int = 15,
+    expected_cold: Sequence[str] = (),
+) -> CrosscheckResult:
+    """Anchor the static findings in a real profile.
+
+    Two gates, both required:
+
+    * **heat** — every distinct function with a PERF finding must
+      attribute at least ``min_fraction`` of total profiled time
+      (cumulative), unless matched by ``expected_cold`` (quals, fnmatch
+      wildcards allowed; a declaration may legitimately cover code the
+      chosen workload does not exercise — alert paths, amortized growth
+      branches — but each such site must be named).
+    * **coverage** — the ``top_n`` project frames by *self* time must
+      belong to the declared closure: any frame burning real time
+      outside it is a blind spot in the hot-root declaration.
+    """
+    entries = stats.stats  # type: ignore[attr-defined]
+    total = sum(tt for _, _, tt, _, _ in entries.values()) or 1.0
+    # (resolved file, funcname) -> quals; pstats names are code names.
+    by_frame: Dict[Tuple[str, str], List[str]] = {}
+    paths: Dict[str, str] = {}
+    for qual, fn in model.project.functions.items():
+        canon = paths.get(fn.path)
+        if canon is None:
+            canon = _canonical(fn.path)
+            paths[fn.path] = canon
+        by_frame.setdefault((canon, fn.name), []).append(qual)
+
+    def cum_fraction(qual: str) -> float:
+        fn = model.project.functions[qual]
+        key = (paths.get(fn.path, fn.path), fn.name)
+        best = 0.0
+        for (file, _, name), (_, _, _, ct, _) in entries.items():
+            if name == key[1] and file == key[0]:
+                best = max(best, ct)
+        return best / total
+
+    result = CrosscheckResult(total_time=total)
+    exempt = tuple(q.split("#")[0] for q in expected_cold)
+
+    def is_expected_cold(base: str) -> bool:
+        return any(fnmatch.fnmatchcase(base, pat) for pat in exempt)
+
+    seen: Set[str] = set()
+    for rep in model.reports():
+        base = rep.qual.split("#")[0]
+        if base in seen or is_expected_cold(base):
+            continue
+        seen.add(base)
+        frac = cum_fraction(rep.qual)
+        if frac < min_fraction:
+            result.cold.append(
+                ColdFinding(rule=rep.rule, qual=base, fraction=frac)
+            )
+
+    project_files = set(paths.values())
+    frames = [
+        ((file, name), tt)
+        for (file, _, name), (_, _, tt, _, _) in entries.items()
+        if file in project_files and not name.startswith("<")
+    ]
+    frames.sort(key=lambda item: -item[1])
+    for (file, name), tt in frames[:top_n]:
+        quals = by_frame.get((file, name), [])
+        if any(q in model.closure for q in quals):
+            result.covered_frames += 1
+        else:
+            result.uncovered.append(
+                UncoveredFrame(name=name, path=file, fraction=tt / total)
+            )
+    result.cold.sort(key=lambda c: (c.qual, c.rule))
+    return result

@@ -49,6 +49,10 @@ _WALL_CLOCK_TIME_ATTRS = frozenset(
      "monotonic_ns", "process_time", "process_time_ns"}
 )
 _WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: The epoch-reading subset: still flagged in benchmark harnesses, where
+#: interval timers are legitimate but run-metadata stamps must go through
+#: :func:`repro.perf.unix_timestamp` (the audited wall-clock surface).
+_EPOCH_TIME_ATTRS = frozenset({"time", "time_ns"})
 
 #: Bytes and bytes/s below this are ordinary scalars (chunk counts, port
 #: counts, small buffer sizes); at or above it a literal is a
@@ -164,9 +168,17 @@ class WallClockRule(Rule):
         "simulated code; simulations advance Environment.now, wall "
         "timing belongs to repro.perf / repro.telemetry / benchmarks"
     )
-    exempt = ("perf.py", "telemetry", "benchmarks")
+    # Benchmarks are deliberately NOT exempt: interval timers
+    # (perf_counter & friends) are allowed there, but epoch reads are
+    # still flagged so BENCH_*.json stamps route through
+    # repro.perf.unix_timestamp().
+    exempt = ("perf.py", "telemetry")
 
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        in_benchmarks = "benchmarks" in ctx.posix_path.split("/")[:-1]
+        flagged_time_attrs = (
+            _EPOCH_TIME_ATTRS if in_benchmarks else _WALL_CLOCK_TIME_ATTRS
+        )
         time_names = ctx.module_aliases("time")
         dt_mod_names = ctx.module_aliases("datetime")
         dt_cls_names = ctx.module_aliases(
@@ -180,13 +192,21 @@ class WallClockRule(Rule):
                 continue
             head, attrs = chain[0], chain[1:]
             if (head in time_names and len(attrs) == 1
-                    and attrs[0] in _WALL_CLOCK_TIME_ATTRS):
-                yield self.violation(
-                    ctx, node,
-                    f"time.{attrs[0]}() reads the wall clock; simulated "
-                    "components must use their environment's clock, and "
-                    "wall profiling must go through repro.perf",
-                )
+                    and attrs[0] in flagged_time_attrs):
+                if in_benchmarks:
+                    message = (
+                        f"time.{attrs[0]}() epoch read in a benchmark "
+                        "harness; stamp run metadata via "
+                        "repro.perf.unix_timestamp() (interval timers "
+                        "like perf_counter stay fine here)"
+                    )
+                else:
+                    message = (
+                        f"time.{attrs[0]}() reads the wall clock; simulated "
+                        "components must use their environment's clock, and "
+                        "wall profiling must go through repro.perf"
+                    )
+                yield self.violation(ctx, node, message)
             elif (head in dt_mod_names and len(attrs) == 2
                     and attrs[0] in ("datetime", "date")
                     and attrs[1] in _WALL_CLOCK_DATETIME_ATTRS):
@@ -622,8 +642,9 @@ class MonitorThresholdRule(Rule):
                     yield from self._flag(ctx, target.id, stmt.value)
 
 
-# Importing the dimension and concurrency modules registers DIM001-003
-# and RACE001-003 alongside the rules defined here, so ``all_rules()``
-# sees one complete registry.
+# Importing the dimension, concurrency and hotpath modules registers
+# DIM001-003, RACE001-003 and PERF001-004 alongside the rules defined
+# here, so ``all_rules()`` sees one complete registry.
 from repro.analysis import dimension as _dimension  # noqa: E402,F401
 from repro.analysis import concurrency as _concurrency  # noqa: E402,F401
+from repro.analysis import hotpath as _hotpath  # noqa: E402,F401

@@ -1,0 +1,183 @@
+"""Shared synthetic workloads: the 10k-GPU mixed-traffic flow set.
+
+``benchmarks/test_perf_cluster.py`` and the hot-path profile crosscheck
+(:mod:`repro.analysis.hotpath`) must exercise the *same* workload — the
+crosscheck certifies that the ``[tool.repro.hotpaths]`` declaration in
+``pyproject.toml`` matches where the benchmark actually spends its time,
+which is only meaningful if both sides build identical traffic. This
+module is that single source of truth.
+
+:class:`ClusterShape` parameterizes the paper's production deployment
+(Section III): two spine-joined fat-tree zones, ~620 GPU compute nodes
+per zone at eight A100s each, and a dual-homed storage tier. The mixed
+workload is deterministic — no RNG, starts staggered in 0.5 ms steps —
+so profile runs and benchmark runs replay the exact same event sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.network import Flow, ServiceLevel
+
+__all__ = [
+    "ClusterShape",
+    "PRODUCTION",
+    "cluster_flows",
+    "run_profile_workload",
+    "zone_base",
+]
+
+
+@dataclass(frozen=True)
+class ClusterShape:
+    """Node counts and job layout of the synthetic cluster workload."""
+
+    #: Compute nodes across both zones (paper: 1,240 → 9,920 GPUs).
+    gpu_nodes: int = 1240
+    gpus_per_node: int = 8
+    #: Dual-homed storage nodes (paper: 180).
+    storage_nodes: int = 180
+    #: Concurrent ring-HFReduce training jobs, split evenly across zones.
+    training_jobs: int = 16
+    #: Zone-local nodes per training job.
+    nodes_per_job: int = 62
+    #: MoE jobs exchanging expert-parallel all-to-all traffic.
+    ep_jobs: int = 2
+    #: Nodes per EP job (taken from each zone's untouched tail).
+    ep_nodes: int = 16
+
+    @property
+    def gpus(self) -> int:
+        return self.gpu_nodes * self.gpus_per_node
+
+    @property
+    def zone0_nodes(self) -> int:
+        return (self.gpu_nodes + 1) // 2
+
+
+#: The paper's deployment scale; what ``BENCH_cluster.json`` reports.
+PRODUCTION = ClusterShape()
+
+
+def zone_base(shape: ClusterShape, job: int) -> int:
+    """First compute-node index of a training job (jobs are zone-local)."""
+    per_zone_jobs = shape.training_jobs // 2
+    if job < per_zone_jobs:
+        return job * shape.nodes_per_job
+    return shape.zone0_nodes + (job - per_zone_jobs) * shape.nodes_per_job
+
+
+def cluster_flows(shape: ClusterShape = PRODUCTION) -> Dict[str, List[Flow]]:
+    """The mixed workload, deterministic and staggered.
+
+    Three traffic classes, keyed by name:
+
+    * ``training`` — ring-neighbour HFReduce gradient flows per job;
+      sizes vary by job so completion waves interleave instead of
+      collapsing into one batch,
+    * ``storage`` — every eighth compute node pulls a checkpoint shard
+      from its zone-local 3FS storage NIC,
+    * ``ep_alltoall`` — NCCL-level expert-parallel pairwise flows.
+
+    Starts stagger in 0.5 ms steps so the warm engine sees continuous
+    admit/retire churn rather than one cold solve.
+    """
+    fid = 0
+    training: List[Flow] = []
+    for job in range(shape.training_jobs):
+        base = zone_base(shape, job)
+        nodes = [f"cn{base + k}" for k in range(shape.nodes_per_job)]
+        size = 1.0e9 * (1 + job % 4)
+        for k, src in enumerate(nodes):
+            training.append(
+                Flow(src, nodes[(k + 1) % len(nodes)], size=size,
+                     sl=ServiceLevel.HFREDUCE, flow_id=fid,
+                     start=0.0005 * (fid % 16))
+            )
+            fid += 1
+    storage: List[Flow] = []
+    z0_nodes = shape.zone0_nodes
+    for i, reader_idx in enumerate(range(0, shape.gpu_nodes, 8)):
+        reader = f"cn{reader_idx}"
+        nic = "nic0" if reader_idx < z0_nodes else "nic1"
+        storage.append(
+            Flow(f"st{i % shape.storage_nodes}.{nic}", reader, size=4.0e9,
+                 sl=ServiceLevel.STORAGE, flow_id=fid,
+                 start=0.0005 * (fid % 16))
+        )
+        fid += 1
+    ep: List[Flow] = []
+    for job in range(shape.ep_jobs):
+        # Tail nodes of each zone, untouched by the training jobs.
+        base = (
+            (z0_nodes - shape.ep_nodes) if job == 0
+            else (shape.gpu_nodes - shape.ep_nodes)
+        )
+        nodes = [f"cn{base + k}" for k in range(shape.ep_nodes)]
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                ep.append(
+                    Flow(a, b, size=2.5e8, sl=ServiceLevel.NCCL,
+                         flow_id=fid, start=0.0005 * (fid % 16))
+                )
+                fid += 1
+    return {"training": training, "storage": storage, "ep_alltoall": ep}
+
+
+def run_profile_workload(
+    shape: ClusterShape = PRODUCTION,
+    util_sample_interval: float = 0.25,
+    kernel_events: int = 5000,
+) -> None:
+    """One monitored cluster run plus DES-kernel churn, for profiling.
+
+    This is the workload :func:`repro.analysis.hotpath.profile_workload`
+    profiles to cross-check the hot-path declaration: a vectorized
+    :class:`~repro.network.flows.FlowSim` run of :func:`cluster_flows`
+    under a live telemetry session with the streaming monitor attached
+    (so telemetry emit and detector callbacks are on-profile), followed
+    by a burst of :class:`~repro.simcore.kernel.Environment` timeout
+    churn (so the DES kernel's per-event path is on-profile too).
+    """
+    from repro import telemetry
+    from repro.monitor import Monitor
+    from repro.network import FlowSim, fire_flyer_network
+    from repro.simcore import Environment
+
+    fab = fire_flyer_network(
+        gpu_nodes=shape.gpu_nodes, storage_nodes=shape.storage_nodes
+    )
+    flows = [f for group in cluster_flows(shape).values() for f in group]
+    session = telemetry.start(trace=True)
+    monitor = Monitor(session).attach()
+    try:
+        sim = FlowSim(
+            fab, engine="vectorized",
+            util_sample_interval=util_sample_interval,
+        )
+        sim.run(flows)
+        monitor.finish()
+    finally:
+        monitor.detach()
+        telemetry.stop()
+
+    env = Environment()
+
+    def churn(n: int):
+        for i in range(n):
+            yield env.timeout(0.001 + (i % 7) * 0.0005)
+
+    env.process(churn(kernel_events), name="profile-churn")
+    # A same-timestamp burst exercises the batch-dispatch path.
+    env.process(_burst(env, kernel_events // 10), name="profile-burst")
+    env.run()
+
+
+def _burst(env, n: int):
+    for _ in range(max(n, 1)):
+        events = env.timeouts(0.002, range(8))
+        yield env.all_of(events)

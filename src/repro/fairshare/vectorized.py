@@ -87,6 +87,8 @@ def progressive_fill(
     n_active = int(active.sum())
 
     ratio = np.empty(m, dtype=np.float64)
+    # Hoisted ufunc-method lookups: resolved per call, not per round.
+    subtract_at = np.subtract.at
     iterations = 0
     while n_active:
         iterations += 1
@@ -116,9 +118,9 @@ def progressive_fill(
             idx = np.repeat(starts - cum, counts) + np.arange(total)
             rows = fc[idx]
             cols = ff[idx]
-            np.subtract.at(weight_sum, rows, weights[cols])
-            np.subtract.at(remaining, rows, rates[cols])
-            np.subtract.at(member_cnt, rows, 1)
+            subtract_at(weight_sum, rows, weights[cols])
+            subtract_at(remaining, rows, rates[cols])
+            subtract_at(member_cnt, rows, 1)
             np.maximum(remaining, 0.0, out=remaining)
     return iterations
 

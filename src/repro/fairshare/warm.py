@@ -87,6 +87,11 @@ class WarmMaxMin:
         self._dirty = np.empty(0, dtype=bool)
         self._any_dirty = False
         self._solved = False
+        # Scratch buffers for solve()'s affected-component closure,
+        # grown in lockstep with rows/slots so the per-event path never
+        # allocates (PERF-sweep finding: .copy() per solve).
+        self._aff_c = np.empty(0, dtype=bool)
+        self._aff_f = np.empty(0, dtype=bool)
 
     # -- introspection ---------------------------------------------------------
 
@@ -122,6 +127,7 @@ class WarmMaxMin:
         row = self._m
         self._cap = _grown(self._cap, row + 1)
         self._dirty = _grown(self._dirty, row + 1)
+        self._aff_c = _grown(self._aff_c, row + 1)
         self._cap[row] = capacity
         self._dirty[row] = False
         self._m = row + 1
@@ -172,6 +178,7 @@ class WarmMaxMin:
         self._count = _grown(self._count, need)
         self._active = _grown(self._active, need)
         self._rates = _grown(self._rates, need)
+        self._aff_f = _grown(self._aff_f, need)
         self._w[slot] = weight
         self._start[slot] = self._nnz
         self._count[slot] = k
@@ -229,11 +236,15 @@ class WarmMaxMin:
         ec = self._ec[:nnz]
         ef = self._ef[:nnz]
         alive = self._active[ef]
+        aff_f = self._aff_f[:n]
         if self._solved:
             # Closure of dirty rows over the bipartite incidence graph:
             # alternate constraint->flow and flow->constraint frontiers.
-            aff_c = self._dirty[: self._m].copy()
-            aff_f = np.zeros(n, dtype=bool)
+            # Scratch buffers are reused across solves — a .copy() per
+            # event was the PERF-sweep's top fairshare allocation.
+            aff_c = self._aff_c[: self._m]
+            np.copyto(aff_c, self._dirty[: self._m])
+            aff_f[:] = False
             ec_a = ec[alive]
             ef_a = ef[alive]
             while True:
@@ -246,7 +257,7 @@ class WarmMaxMin:
                     break
                 aff_c[ec_a[new_c]] = True
         else:
-            aff_f = self._active[:n].copy()
+            np.copyto(aff_f, self._active[:n])
 
         sub = np.flatnonzero(aff_f)
         if perf is not None:

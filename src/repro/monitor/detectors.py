@@ -155,7 +155,7 @@ class LinkCongestionDetector(Detector):
                 mon.fire(
                     self.name, link, ts,
                     severity="warning",
-                    summary=f"link {link} utilization sustained >= "
+                    summary=f"link {link} utilization sustained >= "  # repro: noqa[PERF001] - alert path, threshold-gated
                             f"{self.util_threshold:.2f}",
                     util=value, window_mean=window.mean,
                     hot_for_s=ts - since,
@@ -189,7 +189,7 @@ class CollectiveStragglerDetector(Detector):
     def on_span(self, mon: "Monitor", span: Span) -> None:
         if span.name != "d2h" or span.dur is None:
             return
-        entity = str((span.args or {}).get("node", span.track))
+        entity = str((span.args or {}).get("node", span.track))  # repro: noqa[PERF001] - empty-dict fallback, missing-args only
         if self._round_ts is not None and span.ts != self._round_ts:
             self._evaluate(mon)
         self._round_ts = span.ts
@@ -200,10 +200,10 @@ class CollectiveStragglerDetector(Detector):
 
     def _evaluate(self, mon: "Monitor") -> None:
         round_ts, ranks = self._round_ts, self._round
-        self._round_ts, self._round = None, []
+        self._round_ts, self._round = None, []  # repro: noqa[PERF001] - per-round reset; list ownership moves to `ranks`
         if round_ts is None or len(ranks) < self.min_peers:
             return
-        durs = sorted(d for _, d in ranks)
+        durs = sorted(d for _, d in ranks)  # repro: noqa[PERF001] - per round, not per span
         mid = len(durs) // 2
         median = durs[mid] if len(durs) % 2 else 0.5 * (durs[mid - 1] + durs[mid])
         if median <= 0.0:
@@ -213,7 +213,7 @@ class CollectiveStragglerDetector(Detector):
                 mon.fire(
                     self.name, entity, round_ts + dur,
                     severity="warning",
-                    summary=f"rank on {entity} is {dur / median:.1f}x the "
+                    summary=f"rank on {entity} is {dur / median:.1f}x the "  # repro: noqa[PERF001] - alert path, ratio-gated
                             f"round median d2h duration",
                     dur_s=dur, median_s=median,
                 )
@@ -256,6 +256,7 @@ class XidEccBurstDetector(Detector):
         self.serious_count = serious_count
         self.total_count = total_count
         self._events: Dict[str, Deque[Tuple[float, int, bool]]] = {}
+        self._n_serious: Dict[str, int] = {}
         self._last_event: Dict[str, float] = {}
 
     def on_instant(self, mon: "Monitor", ev: InstantEvent) -> None:
@@ -267,16 +268,20 @@ class XidEccBurstDetector(Detector):
         serious = info.action is not Action.CHECK_APPLICATION
         events = self._events.setdefault(node, deque())
         events.append((ev.ts, code, serious))
+        # Running serious-event count, adjusted on append/expiry, instead
+        # of re-summing the window per event (PERF-sweep finding).
+        n_serious = self._n_serious.get(node, 0) + (1 if serious else 0)
         cutoff = ev.ts - self.burst_window_s
         while events and events[0][0] < cutoff:
-            events.popleft()
+            if events.popleft()[2]:
+                n_serious -= 1
+        self._n_serious[node] = n_serious
         self._last_event[node] = ev.ts
-        n_serious = sum(1 for _, _, s in events if s)
         if n_serious < self.serious_count and len(events) < self.total_count:
             return
-        codes = sorted({c for _, c, _ in events})
+        codes = sorted({c for _, c, _ in events})  # repro: noqa[PERF001] - alert path, past the burst-threshold return
         worst = max(
-            (classify_xid(c).action for c in codes),
+            (classify_xid(c).action for c in codes),  # repro: noqa[PERF001] - alert path, past the burst-threshold return
             key=self._ACTION_RANK.index,
         )
         severity = (
@@ -286,7 +291,7 @@ class XidEccBurstDetector(Detector):
         mon.fire(
             self.name, node, ev.ts,
             severity=severity,
-            summary=f"xid burst on {node}: {len(events)} events "
+            summary=f"xid burst on {node}: {len(events)} events "  # repro: noqa[PERF001] - alert path
                     f"({n_serious} serious) -> {worst.value}",
             action=worst.value, codes=codes,
         )
@@ -297,6 +302,7 @@ class XidEccBurstDetector(Detector):
                 mon.resolve(self.name, node, ts)
                 del self._last_event[node]
                 self._events.pop(node, None)
+                self._n_serious.pop(node, None)
 
 
 @detector("queue_wait_slo")
@@ -343,7 +349,7 @@ class QueueWaitSloDetector(Detector):
             mon.fire(
                 self.name, "scheduler", ts,
                 severity="warning",
-                summary=f"task queue wait {value:.0f}s breaches the "
+                summary=f"task queue wait {value:.0f}s breaches the "  # repro: noqa[PERF001] - alert path, SLO-breach only
                         f"{self.slo_s:.0f}s SLO",
                 wait_s=value,
                 p50_s=self.waits.quantile(0.5),
@@ -392,7 +398,7 @@ class StorageLatencyDetector(Detector):
                 mon.fire(
                     self.name, "fs3", end_ts,
                     severity="warning",
-                    summary=f"fs3 {span.name} latency {span.dur * 1e3:.2f}ms "
+                    summary=f"fs3 {span.name} latency {span.dur * 1e3:.2f}ms "  # repro: noqa[PERF001] - alert path, regression-gated
                             f"is {span.dur / max(self.baseline.median(), 1e-12):.1f}x "
                             f"the rolling baseline",
                     dur_s=span.dur, baseline_s=self.baseline.median(),

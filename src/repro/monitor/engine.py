@@ -35,7 +35,7 @@ class SeriesAgg:
     def __init__(self, window_s: Seconds) -> None:
         self.sketch = QuantileSketch()
         self.window = TumblingWindow(window_s)
-        self.closed: List[WindowStat] = []
+        self.closed: List[WindowStat] = []  # repro: noqa[PERF001] - per new series, not per sample
 
     def add(self, ts: Optional[Seconds], value: Scalar) -> None:
         self.sketch.add(value)

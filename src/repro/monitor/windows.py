@@ -225,7 +225,7 @@ class QuantileSketch:
         decades = math.log10(hi / lo)
         # +2: underflow bucket (<= lo, incl. zero/negatives) and overflow (> hi).
         self._nbuckets = int(math.ceil(decades * bins_per_decade)) + 2
-        self.counts: List[int] = [0] * self._nbuckets
+        self.counts: List[int] = [0] * self._nbuckets  # repro: noqa[PERF001] - per new sketch, not per sample
         self.count = 0
         self.total = 0.0
         self.vmin = math.inf

@@ -147,7 +147,12 @@ class FlowSim:
         self._last_util_sample = float("-inf")
         self._link_rates: Dict[LinkId, float] = {}
         self._cap_cache: Dict[LinkId, float] = {}
-        self._route_memo: Dict[Tuple[str, str, object], List[LinkId]] = {}
+        self._route_memo: Dict[tuple, List[LinkId]] = {}
+        # link_util gauge handles, rebuilt when the telemetry session
+        # changes (registry lookups sort labels; a sweep touches every
+        # loaded link, so per-sweep lookups would dominate sampling).
+        self._util_gauges: Dict[LinkId, object] = {}
+        self._util_gauge_sess: object = None
         self._memo: "OrderedDict[tuple, Tuple[Dict[int, float], Dict[LinkId, float]]]" = OrderedDict()
         self.router = router if router is not None else StaticRouter(fabric)
         # Give adaptive routers a live load view.
@@ -162,11 +167,16 @@ class FlowSim:
         return cap
 
     def _route(self, f: Flow) -> List[LinkId]:
-        """Route a flow, caching per (src, dst, flow_id) when routing is
-        load-independent (adaptive choices must see fresh loads)."""
+        """Route a flow, caching on the router's memo key when routing is
+        load-independent (adaptive choices must see fresh loads).
+
+        The router owns the key: destination-based routing memoizes per
+        (src, dst) so repeat traffic between the same endpoints never
+        rebuilds the path; per-flow ECMP keeps flow_id in the key.
+        """
         if self.router.load_dependent:
             return self.router.route_links(f.src, f.dst, f.flow_id)
-        key = (f.src, f.dst, f.flow_id)
+        key = self.router.memo_key(f.src, f.dst, f.flow_id)
         route = self._route_memo.get(key)
         if route is None:
             route = self.router.route_links(f.src, f.dst, f.flow_id)
@@ -316,11 +326,19 @@ class FlowSim:
         self._last_util_sample = self._sim_now
         registry = sess.registry
         ts = self._sim_now
+        if sess is not self._util_gauge_sess:
+            self._util_gauge_sess = sess
+            self._util_gauges = {}  # repro: noqa[PERF001] - session swap only
+        gauges = self._util_gauges
         for link, rate in link_rates.items():
+            gauge = gauges.get(link)
+            if gauge is None:
+                # One labelled-registry lookup per link *lifetime*.
+                gauge = gauges[link] = registry.gauge(
+                    "link_util", link=f"{link[0]}->{link[1]}"  # repro: noqa[PERF001]
+                )
             cap = self._capacity(link)
-            registry.gauge("link_util", link=f"{link[0]}->{link[1]}").set(
-                rate / cap if cap > 0 else 0.0, ts=ts
-            )
+            gauge.set(rate / cap if cap > 0 else 0.0, ts=ts)
 
     # -- full fluid simulation -----------------------------------------------------
 
@@ -492,6 +510,15 @@ class FlowSim:
         hol_eff = 1.0 - qos.hol_penalty
         sl_col = {sl: k for k, sl in enumerate(ServiceLevel)}
 
+        # Hot-loop handles (PERF003): attribute chains and len() are
+        # resolved once here instead of on every event; span timers are
+        # plain reusable context managers, not per-event generators.
+        stats = self.stats
+        bump = stats.bump
+        span_solve = stats.span("solve_s")
+        span_invalidate = stats.span("invalidate_s")
+        n_pending = len(pending)
+
         link_row: Dict[LinkId, int] = {}
         row_link: Dict[int, LinkId] = {}
         base_cap = np.zeros(64, dtype=np.float64)  # indexed by row id
@@ -520,15 +547,15 @@ class FlowSim:
             if need <= base_cap.shape[0]:
                 return
             cap = max(need, 2 * base_cap.shape[0])
-            base_cap = np.concatenate(
-                [base_cap, np.zeros(cap - base_cap.shape[0], dtype=np.float64)]
+            base_cap = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [base_cap, np.zeros(cap - base_cap.shape[0], dtype=np.float64)]  # repro: noqa[PERF001] - amortized doubling
             )
-            class_cnt = np.concatenate(
-                [class_cnt,
+            class_cnt = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [class_cnt,  # repro: noqa[PERF001] - amortized doubling
                  np.zeros((cap - class_cnt.shape[0], len(sl_col)), dtype=np.int64)]
             )
-            n_class = np.concatenate(
-                [n_class, np.zeros(cap - n_class.shape[0], dtype=np.int64)]
+            n_class = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [n_class, np.zeros(cap - n_class.shape[0], dtype=np.int64)]  # repro: noqa[PERF001] - amortized doubling
             )
 
         def grow_slots(need: int) -> None:
@@ -536,19 +563,19 @@ class FlowSim:
             if need <= size_arr.shape[0]:
                 return
             cap = max(need, 2 * size_arr.shape[0])
-            size_arr = np.concatenate(
-                [size_arr, np.zeros(cap - size_arr.shape[0], dtype=np.float64)]
+            size_arr = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [size_arr, np.zeros(cap - size_arr.shape[0], dtype=np.float64)]  # repro: noqa[PERF001] - amortized doubling
             )
-            rem_arr = np.concatenate(
-                [rem_arr, np.zeros(cap - rem_arr.shape[0], dtype=np.float64)]
+            rem_arr = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [rem_arr, np.zeros(cap - rem_arr.shape[0], dtype=np.float64)]  # repro: noqa[PERF001] - amortized doubling
             )
-            act = np.concatenate(
-                [act, np.zeros(cap - act.shape[0], dtype=bool)]
+            act = np.concatenate(  # repro: noqa[PERF002] - amortized doubling, O(log n) growths total
+                [act, np.zeros(cap - act.shape[0], dtype=bool)]  # repro: noqa[PERF001] - amortized doubling
             )
 
         def admit(f: Flow, now: float) -> None:
             nonlocal n_active
-            self.stats.bump("admits")
+            bump("admits")
             route = self._route(f)
             if not route:
                 # Same-endpoint flows complete instantly (no fabric hop).
@@ -588,11 +615,11 @@ class FlowSim:
                     link_members.setdefault(link, set()).add(f.flow_id)
             if tracer is not None:
                 flow_spans[f.flow_id] = tracer.begin(
-                    f"{f.src}->{f.dst}",
+                    f"{f.src}->{f.dst}", # repro: noqa[PERF001] - tracer-gated; off in benchmarks
                     max(now, f.start),
-                    track=f"flows/{f.sl.name.lower()}",
+                    track=f"flows/{f.sl.name.lower()}", # repro: noqa[PERF001] - tracer-gated; off in benchmarks
                     cat="flows",
-                    args={"bytes": f.size, "links": len(route)},
+                    args={"bytes": f.size, "links": len(route)}, # repro: noqa[PERF001] - tracer-gated; off in benchmarks
                     async_id=f.flow_id,
                 )
 
@@ -638,20 +665,20 @@ class FlowSim:
 
         now = 0.0
         i = 0
-        while i < len(pending) or n_active:
+        while i < n_pending or n_active:
             if not n_active:
                 now = max(now, pending[i].start)
-                with self.stats.timeit("invalidate_s"):
-                    while i < len(pending) and pending[i].start <= now:
+                with span_invalidate:
+                    while i < n_pending and pending[i].start <= now:
                         admit(pending[i], now)
                         i += 1
                 continue
 
-            self.stats.bump("events")
-            self.stats.bump("rate_recomputes")
+            bump("events")
+            bump("rate_recomputes")
             self._sim_now = now
-            with self.stats.timeit("solve_s"):
-                rates_all = warm.solve(perf=self.stats)
+            with span_solve:
+                rates_all = warm.solve(perf=stats)
             slots = np.flatnonzero(act[: warm.n_flows])
             r = rates_all[slots]
             rem = rem_arr[slots]
@@ -669,7 +696,7 @@ class FlowSim:
                     t_complete = float(np.min(rem[pos] / r[pos]))
                 else:
                     t_complete = float("inf")
-            t_arrival = pending[i].start - now if i < len(pending) else float("inf")
+            t_arrival = pending[i].start - now if i < n_pending else float("inf")
             dt = min(t_complete, t_arrival)
             if dt == float("inf"):
                 raise TopologyError("simulation stalled: no progress possible")
@@ -694,7 +721,7 @@ class FlowSim:
             # the next iteration runs a single recompute for all of them.
             fin = slots[new_rem <= size_arr[slots] * COMPLETION_EPS]
             if fin.shape[0]:
-                with self.stats.timeit("invalidate_s"):
+                with span_invalidate:
                     for s in fin:
                         slot = int(s)
                         f = flow_by_slot[slot]
@@ -702,11 +729,11 @@ class FlowSim:
                             flow=f, start=f.start, finish=now
                         )
                         retire(slot, now)
-                self.stats.bump("completions", int(fin.shape[0]))
-                self.stats.bump("completion_batches")
-            if i < len(pending) and pending[i].start <= now + 1e-12:
-                with self.stats.timeit("invalidate_s"):
-                    while i < len(pending) and pending[i].start <= now + 1e-12:
+                bump("completions", int(fin.shape[0]))
+                bump("completion_batches")
+            if i < n_pending and pending[i].start <= now + 1e-12:
+                with span_invalidate:
+                    while i < n_pending and pending[i].start <= now + 1e-12:
                         admit(pending[i], now)
                         i += 1
 
@@ -735,8 +762,8 @@ class FlowSim:
         Only called when an adaptive router, a telemetry session, or the
         sanitizer needs them — the plain hot path never builds the dict.
         """
-        link_rates: Dict[LinkId, float] = {}
-        rates_by_id: Dict[int, float] = {}
+        link_rates: Dict[LinkId, float] = {}  # repro: noqa[PERF001] - gated slow path (adaptive/telemetry/sanitizer only)
+        rates_by_id: Dict[int, float] = {}  # repro: noqa[PERF001] - gated slow path (adaptive/telemetry/sanitizer only)
         for s in slots:
             slot = int(s)
             rate = float(rates_all[slot])
@@ -747,7 +774,7 @@ class FlowSim:
                 link_rates[link] = link_rates.get(link, 0.0) + rate
         self._link_rates = link_rates
         if link_members is not None:
-            constraints = [
+            constraints = [  # repro: noqa[PERF001] - sanitizer-gated (REPRO_SANITIZE=1 runs only)
                 _LinkConstraint(warm.capacity_of(link_row[link]), members, link)
                 for link, members in link_members.items()
             ]

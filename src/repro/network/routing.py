@@ -24,7 +24,7 @@ from repro.network.topology import Fabric, LinkId
 
 def _stable_hash(*parts: object) -> int:
     """Deterministic (process-independent) hash for path selection."""
-    data = "|".join(str(p) for p in parts).encode()
+    data = "|".join(map(str, parts)).encode()
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
 
 
@@ -63,6 +63,17 @@ class Router(ABC):
         """Directed links of the chosen path."""
         return self.fabric.path_links(self.route(src, dst, flow_id))
 
+    def memo_key(self, src: str, dst: str, flow_id: object) -> tuple:
+        """The tuple that fully determines :meth:`route`'s choice.
+
+        Load-independent routers are memoized on this by the flow
+        simulator; dropping route-irrelevant components (a
+        destination-based router ignores ``flow_id``) turns repeat
+        traffic between the same endpoints into cache hits. Meaningless
+        for load-dependent routers.
+        """
+        return (src, dst, flow_id)
+
 
 class StaticRouter(Router):
     """Destination-based deterministic routing.
@@ -73,10 +84,22 @@ class StaticRouter(Router):
     load by placing nodes deliberately — the paper's approach.
     """
 
+    def __init__(self, fabric: Fabric) -> None:
+        super().__init__(fabric)
+        # One blake2b per *distinct destination*, not per route call
+        # (PERF-sweep finding: route construction is per-admit code).
+        self._dst_hash: Dict[str, int] = {}
+
     def route(self, src: str, dst: str, flow_id: object = None) -> List[str]:
         # Unrank the hashed choice directly — no candidate enumeration.
         n = self.fabric.shortest_path_count(src, dst)
-        return self.fabric.shortest_path_by_index(src, dst, _stable_hash(dst) % n)
+        h = self._dst_hash.get(dst)
+        if h is None:
+            h = self._dst_hash[dst] = _stable_hash(dst)
+        return self.fabric.shortest_path_by_index(src, dst, h % n)
+
+    def memo_key(self, src: str, dst: str, flow_id: object) -> tuple:
+        return (src, dst)
 
 
 class EcmpRouter(Router):

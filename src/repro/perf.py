@@ -33,21 +33,56 @@ from repro import telemetry
 from repro.telemetry.metrics import MetricsRegistry
 
 
+class _Span:
+    """Reusable plain context manager timing one named section.
+
+    The ``@contextmanager`` version (:meth:`PerfCounters.timeit`) builds a
+    generator plus a ``_GeneratorContextManager`` per ``with`` — measurable
+    on per-event paths. A :class:`_Span` is created once per name (see
+    :meth:`PerfCounters.span`) and re-entered for free. Not re-entrant:
+    nested ``with`` on the *same* span clobbers its start time; nest
+    different names or fall back to :meth:`~PerfCounters.timeit`.
+    """
+
+    __slots__ = ("_perf", "_name", "_t0")
+
+    def __init__(self, perf: "PerfCounters", name: str) -> None:
+        self._perf = perf
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._perf.add_time(self._name, time.perf_counter() - self._t0)
+
+
 class PerfCounters:
     """A named bag of integer counters and float second-accumulators.
 
     Counters and timings live in two private
     :class:`~repro.telemetry.MetricsRegistry` namespaces (so a timer and a
     counter may share a name, as ``run_s``-style callers expect).
+
+    Registry lookups sort labels and hash a composite key per call; at
+    one ``bump`` per engine event that lookup dominates instrumentation
+    cost, so counter/timer handles are cached per name (PERF-sweep
+    finding; the mirror path had the same cache from the start).
     """
 
-    __slots__ = ("_counters", "_timings", "_mirror_sess", "_mirror")
+    __slots__ = ("_counters", "_timings", "_mirror_sess", "_mirror",
+                 "_ctr_handles", "_tmr_handles", "_spans")
 
     def __init__(self) -> None:
         self._counters = MetricsRegistry()
         self._timings = MetricsRegistry()
         self._mirror_sess: object = None
         self._mirror: Dict[str, object] = {}
+        self._ctr_handles: Dict[str, object] = {}
+        self._tmr_handles: Dict[str, object] = {}
+        self._spans: Dict[str, _Span] = {}
 
     def _mirror_counter(self, name: str):
         """The session-registry ``perf.<name>`` counter, or None.
@@ -62,7 +97,7 @@ class PerfCounters:
             return None
         if sess is not self._mirror_sess:
             self._mirror_sess = sess
-            self._mirror = {}
+            self._mirror = {}  # repro: noqa[PERF001] - session swap only
         handle = self._mirror.get(name)
         if handle is None:
             handle = self._mirror[name] = sess.registry.counter("perf." + name)
@@ -72,7 +107,10 @@ class PerfCounters:
 
     def bump(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        self._counters.counter(name).inc(n)
+        handle = self._ctr_handles.get(name)
+        if handle is None:
+            handle = self._ctr_handles[name] = self._counters.counter(name)
+        handle.inc(n)
         if self is not GLOBAL:
             if _collect_global:
                 GLOBAL.bump(name, n)
@@ -82,7 +120,10 @@ class PerfCounters:
 
     def add_time(self, name: str, seconds: float) -> None:
         """Add ``seconds`` to timer ``name``."""
-        self._timings.counter(name).inc(seconds)
+        handle = self._tmr_handles.get(name)
+        if handle is None:
+            handle = self._tmr_handles[name] = self._timings.counter(name)
+        handle.inc(seconds)
         if self is not GLOBAL:
             if _collect_global:
                 GLOBAL.add_time(name, seconds)
@@ -98,6 +139,18 @@ class PerfCounters:
             yield
         finally:
             self.add_time(name, time.perf_counter() - t0)
+
+    def span(self, name: str) -> _Span:
+        """A cached reusable timing context for ``name``.
+
+        Hot loops hoist ``span = stats.span("solve_s")`` once and enter
+        the same object per event; see :class:`_Span` for the
+        non-reentrancy caveat.
+        """
+        span = self._spans.get(name)
+        if span is None:
+            span = self._spans[name] = _Span(self, name)
+        return span
 
     # -- reading ---------------------------------------------------------------
 
@@ -119,6 +172,9 @@ class PerfCounters:
         """Zero all counters and timers."""
         self._counters = MetricsRegistry()
         self._timings = MetricsRegistry()
+        # Cached handles point into the discarded registries.
+        self._ctr_handles.clear()
+        self._tmr_handles.clear()
 
     def report(self) -> str:
         """Human-readable profile table (column width fits the names)."""
@@ -139,6 +195,18 @@ class PerfCounters:
         if not lines:
             lines.append("perf: (nothing recorded)")
         return "\n".join(lines)
+
+
+def unix_timestamp() -> float:
+    """Wall-clock epoch seconds for run metadata (benchmark JSON, reports).
+
+    Lives here because :mod:`repro.perf` is the sanctioned wall-clock
+    layer (rule DET002): simulated components must derive time from their
+    environment's clock, but run *artifacts* legitimately stamp real
+    time, and routing those reads through one audited helper keeps the
+    exemption surface minimal.
+    """
+    return time.time()
 
 
 #: Process-wide aggregate; only collects while :func:`enable` is in effect.

@@ -25,7 +25,7 @@ class Event:
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[List[Callable[[Event], None]]] = []
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []  # repro: noqa[PERF001] - the event object's own state
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused = False

@@ -127,7 +127,7 @@ class Environment:
         the cheap way to fan a burst of same-timestamp work into the
         event loop. Events fire in ``values`` order.
         """
-        events = [Timeout(self, delay, v, _defer=True) for v in values]
+        events = [Timeout(self, delay, v, _defer=True) for v in values]  # repro: noqa[PERF001] - the batch API's return value
         self._schedule_batch(events, delay=delay)
         return events
 

@@ -104,7 +104,7 @@ class Process(Event):
         if not isinstance(ev, Event):
             # Misuse: feed an error back into the generator on next step.
             self._step(
-                SimulationError(f"process {self.name!r} yielded non-event {ev!r}"),
+                SimulationError(f"process {self.name!r} yielded non-event {ev!r}"),  # repro: noqa[PERF001] - misuse error path
                 throw=True,
             )
             return

@@ -113,7 +113,7 @@ class Gauge(Metric):
     ) -> None:
         super().__init__(name, labels)
         self.value: float = 0.0
-        self.samples: List[Tuple[float, float]] = []
+        self.samples: List[Tuple[float, float]] = []  # repro: noqa[PERF001] - per new gauge; registry caches instances
         self.dropped_samples = 0
         self._max_samples = max_samples
 
@@ -154,7 +154,7 @@ class Histogram(Metric):
         self.bounds: Tuple[float, ...] = tuple(
             sorted(buckets) if buckets is not None else DEFAULT_BUCKETS
         )
-        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # repro: noqa[PERF001] - per new histogram; registry caches instances
         self.count = 0
         self.total = 0.0
         self.vmin = float("inf")

@@ -1,0 +1,168 @@
+"""Exit-code contract for ``python -m repro.analysis``.
+
+Pins the documented 0/1/2 matrix (clean, findings / stale baseline,
+usage error) so scripts and CI can branch on the status without parsing
+output, plus the ``--changed-only`` git fast path and ``--stats``.
+Everything runs in-process through ``main(argv)`` against small trees
+under ``tmp_path`` — the full-repo gates live in test_analysis_lint.py.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.__main__ import EXIT_CONTRACT, changed_paths, main
+from repro.analysis.baseline import Baseline
+from repro.analysis.lint import Violation
+
+CLEAN = "def f(x):\n    return x + 1\n"
+DIRTY = "import datetime\n\nSTAMP = datetime.datetime.now()\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A tmp lint root with one clean and one violating module."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, tree, capsys):
+        assert main(["clean.py", "--no-baseline"]) == 0
+        assert "0 new violation(s)" in capsys.readouterr().out
+
+    def test_findings_are_one(self, tree, capsys):
+        assert main(["dirty.py", "--no-baseline"]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_baselined_findings_are_zero(self, tree, capsys):
+        main(["dirty.py", "--update-baseline"])
+        capsys.readouterr()
+        assert main(["dirty.py"]) == 0
+        assert "accepted in baseline" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_is_one_only_when_strict(self, tree, capsys):
+        stale = Baseline.from_violations(
+            [Violation("DET002", "clean.py", 1, 0, "gone finding")],
+            why="left over",
+        )
+        stale.save(tree / "analysis-baseline.json")
+        # Default mode tolerates drift so unrelated PRs never block...
+        assert main(["clean.py"]) == 0
+        capsys.readouterr()
+        # ...strict mode makes it a failure with a prune hint.
+        assert main(["clean.py", "--strict-baseline"]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "prune" in err
+
+    def test_unknown_rule_is_two(self, tree, capsys):
+        assert main(["clean.py", "--rule", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_base_ref_is_two(self, tree, capsys):
+        subprocess.run(["git", "init", "-q"], check=True)
+        assert main(["--changed-only", "--base-ref", "no-such-ref"]) == 2
+        assert "--changed-only" in capsys.readouterr().err
+
+    def test_outside_git_repo_is_two(self, tree, capsys):
+        assert main(["--changed-only"]) == 2
+        assert "--changed-only" in capsys.readouterr().err
+
+    def test_contract_is_documented_in_help(self):
+        for token in ("0  clean", "1  new violations", "2  usage error"):
+            assert token in EXIT_CONTRACT
+
+
+class TestRuleSelection:
+    def test_comma_separated_rules(self, tree, capsys):
+        # DET002 alone finds dirty.py; adding UNIT001 must not error.
+        assert main(["dirty.py", "--no-baseline",
+                     "--rule", "DET002,UNIT001"]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_filter_excludes_other_rules(self, tree, capsys):
+        assert main(["dirty.py", "--no-baseline", "--rule", "ARCH001"]) == 0
+        assert "0 new violation(s)" in capsys.readouterr().out
+
+    def test_repeatable_flag(self, tree):
+        assert main(["dirty.py", "--no-baseline",
+                     "--rule", "DET002", "--rule", "DET001"]) == 1
+
+
+class TestStats:
+    def test_stats_go_to_stderr(self, tree, capsys):
+        assert main(["dirty.py", "--no-baseline", "--stats",
+                     "--rule", "DET002"]) == 1
+        captured = capsys.readouterr()
+        assert "stats: DET002" in captured.err
+        assert "wall time" in captured.err
+        assert "stats:" not in captured.out  # stdout stays machine-readable
+
+    def test_stats_json_stdout_still_parses(self, tree, capsys):
+        assert main(["dirty.py", "--no-baseline", "--stats",
+                     "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["new"]
+
+
+class TestChangedOnly:
+    @pytest.fixture
+    def repo(self, tree):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], check=True, capture_output=True,
+                env={"HOME": str(tree), "PATH": "/usr/bin:/bin:/usr/local/bin",
+                     "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+            )
+
+        git("init", "-q")
+        git("add", "clean.py", "dirty.py")
+        git("commit", "-q", "-m", "seed")
+        return tree
+
+    def test_unchanged_tree_lints_nothing(self, repo, capsys):
+        assert main([".", "--changed-only", "--no-baseline", "--stats"]) == 0
+        assert "0 file(s)" in capsys.readouterr().err
+
+    def test_modified_file_is_linted(self, repo, capsys):
+        (repo / "clean.py").write_text(DIRTY)
+        assert main([".", "--changed-only", "--no-baseline"]) == 1
+        assert "clean.py" in capsys.readouterr().out
+
+    def test_untracked_file_is_linted(self, repo):
+        (repo / "fresh.py").write_text(DIRTY)
+        assert main([".", "--changed-only", "--no-baseline"]) == 1
+
+    def test_changes_outside_roots_are_skipped(self, repo):
+        (repo / "docs").mkdir()
+        (repo / "docs" / "snippet.py").write_text(DIRTY)
+        assert main(["elsewhere", "--changed-only", "--no-baseline"]) == 0
+
+    def test_changed_paths_prunes_deleted_and_non_python(self, repo):
+        (repo / "clean.py").unlink()
+        (repo / "notes.txt").write_text("not python\n")
+        (repo / "fresh.py").write_text(CLEAN)
+        got = changed_paths(["."], "HEAD")
+        assert got == ["fresh.py"]
+
+    def test_changed_paths_diffs_against_named_ref(self, repo):
+        (repo / "clean.py").write_text(CLEAN + "# touched\n")
+        subprocess.run(["git", "add", "clean.py"], check=True,
+                       capture_output=True)
+        subprocess.run(
+            ["git", "commit", "-q", "-m", "touch"], check=True,
+            capture_output=True,
+            env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                 "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert changed_paths(["."], "HEAD") == []
+        assert changed_paths(["."], "HEAD~1") == ["clean.py"]

@@ -1,0 +1,367 @@
+"""PERF001-004 hot-path rule tests and the profile crosscheck harness.
+
+The rules read the hot-path declaration from ``[tool.repro.hotpaths]``
+in pyproject.toml; fixtures here bypass discovery through the
+``hotpaths_override`` hook so the tests pin behaviour, not this repo's
+current declaration. The tier-1 gates at the bottom check the real tree
+against the real declaration and exercise the cProfile crosscheck on a
+toy workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import hotpath, lint_source
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.hotpath import (
+    HotPathConfig,
+    model_from_source,
+    profile_crosscheck,
+    profile_workload,
+)
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Declaration used by the fixture sources below: one per-event root and
+#: one event-loop owner in a fake module `repro.hotfix`.
+FIXTURE = HotPathConfig(
+    roots=("repro.hotfix:on_event", "repro.hotfix:Handler.tick"),
+    loops=("repro.hotfix:drive",),
+)
+
+PATH = "src/repro/hotfix.py"
+
+
+@pytest.fixture
+def declared(monkeypatch):
+    monkeypatch.setattr(hotpath, "hotpaths_override", FIXTURE)
+    hotpath.invalidate_model_cache()
+    yield
+    hotpath.invalidate_model_cache()
+
+
+def codes(violations):
+    return sorted(v.rule for v in violations)
+
+
+def perf(violations):
+    return [v for v in violations if v.rule.startswith("PERF")]
+
+
+class TestClosure:
+    def test_root_callees_are_per_event(self, declared):
+        src = (
+            "def helper():\n"
+            "    return {'k': 1}\n"
+            "def on_event(x):\n"
+            "    return helper()\n"
+        )
+        model = model_from_source(src, PATH, FIXTURE)
+        assert "repro.hotfix:on_event" in model.per_event
+        assert "repro.hotfix:helper" in model.per_event
+        out = perf(lint_source(src, PATH))
+        assert [v.rule for v in out] == ["PERF001"]
+        assert out[0].line == 2  # the dict literal inside helper()
+
+    def test_undeclared_function_not_scanned(self, declared):
+        src = (
+            "def bystander():\n"
+            "    return [1, 2, 3]\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+    def test_loop_owner_flags_only_loop_body(self, declared):
+        src = (
+            "def drive(events):\n"
+            "    setup = {'a': 1}\n"          # outside any loop: fine
+            "    for ev in events:\n"
+            "        box = [ev]\n"             # per-event allocation
+            "    return setup\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert [v.rule for v in out] == ["PERF001"]
+        assert out[0].line == 4
+
+    def test_unmatched_root_recorded(self, declared):
+        model = model_from_source("def other():\n    pass\n", PATH, FIXTURE)
+        assert "repro.hotfix:on_event" in model.unmatched_roots
+
+    def test_wildcard_matches_methods(self, declared):
+        cfg = HotPathConfig(roots=("repro.hotfix:*.tick",))
+        src = (
+            "class A:\n"
+            "    def tick(self):\n"
+            "        return {'x': 1}\n"
+            "class B:\n"
+            "    def tick(self):\n"
+            "        return [1]\n"
+        )
+        model = model_from_source(src, PATH, cfg)
+        assert {"repro.hotfix:A.tick", "repro.hotfix:B.tick"} <= model.per_event
+        assert len(model.reports()) == 2
+
+
+class TestPERF001:
+    def test_literals_and_fstrings_flagged(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    a = [x]\n"
+            "    b = {'k': x}\n"
+            "    c = f'{x}'\n"
+            "    d = (i for i in a)\n"
+            "    return a, b, c, d\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert codes(out) == ["PERF001"] * 4
+
+    def test_raise_path_is_cold(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError(f'bad {x}')\n"
+            "    return x\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+    def test_noqa_suppresses(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    return [x]  # repro: noqa[PERF001] - the result\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+    def test_annotation_not_flagged(self, declared):
+        src = (
+            "from typing import Callable, List\n"
+            "def on_event(x):\n"
+            "    y: List[Callable[[int], None]] = x\n"
+            "    return y\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+
+class TestPERF002:
+    def test_np_append_flagged(self, declared):
+        src = (
+            "import numpy as np\n"
+            "def on_event(arr, v):\n"
+            "    return np.append(arr, v)\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert codes(out) == ["PERF002"]
+        assert "np.append" in out[0].message
+
+    def test_mask_copy_flagged(self, declared):
+        src = (
+            "import numpy as np\n"
+            "def on_event(n):\n"
+            "    arr = np.zeros(n)\n"
+            "    return arr[arr > 0.5]\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert any("boolean-mask" in v.message for v in out)
+
+    def test_copy_on_known_array_flagged(self, declared):
+        src = (
+            "import numpy as np\n"
+            "def on_event(n):\n"
+            "    arr = np.zeros(n)\n"
+            "    return arr.copy()\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert any(".copy()" in v.message for v in out)
+
+    def test_cold_function_unflagged(self, declared):
+        src = (
+            "import numpy as np\n"
+            "def bystander(arr, v):\n"
+            "    return np.append(arr, v)\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+
+class TestPERF003:
+    def test_repeated_attr_chain_flagged(self, declared):
+        src = (
+            "def drive(sim, events):\n"
+            "    for ev in events:\n"
+            "        sim.stats.bump('events')\n"
+            "        sim.stats.bump('other')\n"
+        )
+        out = perf(lint_source(src, PATH))
+        assert any(
+            v.rule == "PERF003" and "sim.stats.bump" in v.message for v in out
+        )
+
+    def test_hoisted_handle_clean(self, declared):
+        src = (
+            "def drive(sim, events):\n"
+            "    bump = sim.stats.bump\n"
+            "    for ev in events:\n"
+            "        bump('events')\n"
+            "        bump('other')\n"
+        )
+        assert perf(lint_source(src, PATH)) == []
+
+    def test_len_invariant_flagged_but_mutated_not(self, declared):
+        src = (
+            "def drive(pending, queue):\n"
+            "    for ev in pending:\n"
+            "        if len(pending) > 3:\n"
+            "            pass\n"
+            "        if len(pending) > 5:\n"
+            "            pass\n"
+            "    while queue:\n"
+            "        if len(queue) > 1 and len(queue) < 5:\n"
+            "            queue.pop()\n"
+        )
+        out = [v for v in perf(lint_source(src, PATH)) if v.rule == "PERF003"]
+        assert len(out) == 1
+        assert "len(pending)" in out[0].message
+
+
+class TestPERF004:
+    def test_list_membership_flagged(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    seen = []\n"
+            "    if x in seen:\n"
+            "        return True\n"
+            "    seen.append(x)\n"
+        )
+        out = [v for v in perf(lint_source(src, PATH)) if v.rule == "PERF004"]
+        assert len(out) == 1
+        assert "in" in out[0].message
+
+    def test_list_index_flagged(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    order = []\n"
+            "    return order.index(x)\n"
+        )
+        out = [v for v in perf(lint_source(src, PATH)) if v.rule == "PERF004"]
+        assert len(out) == 1
+
+    def test_set_membership_clean(self, declared):
+        src = (
+            "def on_event(x):\n"
+            "    seen = set()\n"
+            "    return x in seen\n"
+        )
+        assert [v for v in perf(lint_source(src, PATH))
+                if v.rule == "PERF004"] == []
+
+
+class TestCrosscheck:
+    def _model(self):
+        src = (
+            "def on_event(x):\n"
+            "    return [x]\n"
+            "def bystander(x):\n"
+            "    return x\n"
+        )
+        return src, model_from_source(
+            src, str(REPO_ROOT / PATH),
+            HotPathConfig(roots=("repro.hotfix:on_event",)),
+        )
+
+    def test_hot_finding_and_covered_frames_pass(self, declared):
+        # Compile the fixture source so profile frames carry its path.
+        src, model = self._model()
+        code = compile(src, str(REPO_ROOT / PATH), "exec")
+        ns: dict = {}
+        exec(code, ns)
+
+        def workload():
+            for i in range(20000):
+                ns["on_event"](i)
+
+        stats = profile_workload(workload)
+        result = profile_crosscheck(model, stats, min_fraction=0.001, top_n=3)
+        assert result.ok, (result.cold, result.uncovered)
+        assert result.covered_frames >= 1
+
+    def test_cold_finding_fails_heat_gate(self, declared):
+        src, model = self._model()
+        code = compile(src, str(REPO_ROOT / PATH), "exec")
+        ns: dict = {}
+        exec(code, ns)
+
+        def workload():
+            # Burn time in the *undeclared* function only: the flagged
+            # on_event never runs, so its finding must come back cold.
+            for i in range(200000):
+                ns["bystander"](i)
+
+        stats = profile_workload(workload)
+        result = profile_crosscheck(model, stats, top_n=0)
+        assert not result.ok
+        assert [c.qual for c in result.cold] == ["repro.hotfix:on_event"]
+
+    def test_expected_cold_patterns_exempt(self, declared):
+        src, model = self._model()
+        code = compile(src, str(REPO_ROOT / PATH), "exec")
+        ns: dict = {}
+        exec(code, ns)
+        stats = profile_workload(lambda: ns["bystander"](1))
+        result = profile_crosscheck(
+            model, stats, top_n=0, expected_cold=("repro.hotfix:*",)
+        )
+        assert result.ok
+
+    def test_uncovered_top_frame_fails_coverage_gate(self, declared):
+        src, model = self._model()
+        code = compile(src, str(REPO_ROOT / PATH), "exec")
+        ns: dict = {}
+        exec(code, ns)
+
+        def workload():
+            for i in range(20000):
+                ns["on_event"](i)
+                ns["bystander"](i)
+
+        stats = profile_workload(workload)
+        result = profile_crosscheck(model, stats, min_fraction=0.0, top_n=3)
+        assert any(u.name == "bystander" for u in result.uncovered)
+        assert not result.ok
+
+
+class TestRepoDeclaration:
+    """Tier-1 gates against the real tree and the real declaration."""
+
+    def test_declaration_matches_real_functions(self):
+        model = hotpath.project_hotpath_model(REPO_ROOT / "src")
+        assert model is not None
+        assert model.unmatched_roots == (), (
+            "stale [tool.repro.hotpaths] patterns: "
+            f"{model.unmatched_roots}"
+        )
+        # The closure is substantial: the declaration covers the engine.
+        assert "repro.fairshare.warm:WarmMaxMin.solve" in model.per_event
+        assert "repro.fairshare.vectorized:progressive_fill" in model.per_event
+        assert "repro.network.flows:FlowSim._run_warm" in model.closure
+        # The benchmark oracle stays out by design.
+        assert "repro.network.flows:FlowSim._run_reference" not in model.closure
+
+    def test_src_is_perf_clean_vs_baseline(self, monkeypatch):
+        # Baseline keys store repo-relative paths (the CLI runs from the
+        # repo root), so lint from there.
+        monkeypatch.chdir(REPO_ROOT)
+        violations = [
+            v for v in lint_paths(["src"]) if v.rule.startswith("PERF")
+        ]
+        baseline = Baseline.load(str(REPO_ROOT / DEFAULT_BASELINE))
+        new = baseline.new_violations(violations)
+        assert new == [], [v.render() for v in new]
+
+    def test_perf_baseline_entries_all_have_why(self):
+        baseline = Baseline.load(str(REPO_ROOT / DEFAULT_BASELINE))
+        missing = [
+            key for key in baseline.counts
+            if key[0].startswith("PERF") and not baseline.why.get(key)
+        ]
+        assert missing == []

@@ -137,6 +137,24 @@ class TestDET002:
         assert lint_source(src, "src/repro/telemetry/core.py") == []
         assert lint_source(src, "benchmarks/bench_flows.py") == []
 
+    def test_benchmarks_flag_epoch_reads_only(self):
+        # Interval timers are the whole point of a benchmark harness, but
+        # epoch stamps must route through repro.perf.unix_timestamp() so
+        # BENCH_*.json metadata has one audited wall-clock seam.
+        bench = "benchmarks/bench_flows.py"
+        timers = ("perf_counter", "monotonic", "process_time",
+                  "thread_time", "perf_counter_ns")
+        for fn in timers:
+            assert lint_source(f"import time\nt = time.{fn}()\n", bench) == []
+        for fn in ("time", "time_ns"):
+            out = lint_source(f"import time\nt = time.{fn}()\n", bench)
+            assert codes(out) == ["DET002"]
+            assert "unix_timestamp" in out[0].message
+        out = lint_source(
+            "import datetime\nt = datetime.datetime.now()\n", bench
+        )
+        assert codes(out) == ["DET002"]
+
 
 class TestDET003:
     def test_for_over_set_literal(self):
@@ -351,6 +369,14 @@ class TestTier1Gate:
         baseline = Baseline.load(DEFAULT_BASELINE)
         assert baseline.stale_entries(violations) == []
 
+    def test_benchmarks_have_no_unrouted_epoch_reads(self, monkeypatch):
+        # BENCH_*.json `unix_time` stamps go through perf.unix_timestamp();
+        # a raw time.time() in a harness is a regression, not debt.
+        monkeypatch.chdir(REPO_ROOT)
+        det002 = [v for v in lint_paths(["benchmarks"])
+                  if v.rule == "DET002"]
+        assert det002 == [], "\n".join(v.render() for v in det002)
+
 
 class TestCli:
     def run_cli(self, *args: str):
@@ -394,8 +420,9 @@ class TestGithubFormat:
 
     def test_annotations_for_new_violations(self):
         # Ignoring the baseline resurfaces the accepted entries (UNIT001
-        # literals and RACE001 shared-write findings) as ::error workflow
-        # commands with file/line/col/title properties.
+        # literals, RACE001 shared-write findings, and the deliberate
+        # PERF hot-path debt) as ::error workflow commands with
+        # file/line/col/title properties.
         proc = self.run_cli("src", "--no-baseline", "--format=github")
         assert proc.returncode == 1
         lines = proc.stdout.strip().splitlines()
@@ -403,7 +430,7 @@ class TestGithubFormat:
         assert errors, proc.stdout
         assert all("file=" in ln and "line=" in ln for ln in errors)
         titles = {ln.split("title=")[1].split("::")[0] for ln in errors}
-        assert titles == {"UNIT001", "RACE001"}
+        assert titles == {"UNIT001", "RACE001", "PERF001", "PERF002"}
         assert lines[-1].startswith("::notice::")
 
     def test_clean_run_emits_only_notice(self):
