@@ -642,6 +642,25 @@ class MonitorThresholdRule(Rule):
                     yield from self._flag(ctx, target.id, stmt.value)
 
 
+@register
+class PlatformThresholdRule(MonitorThresholdRule):
+    """PLAT001 — platform durations/sizes must be repro.units expressions.
+
+    Same contract as MON001, applied to the platform layer: the week-long
+    driver and workload generator are parameterized almost entirely in
+    simulated seconds and bytes, and a bare ``3600`` buried in a config
+    default is exactly how a "week" quietly becomes an hour.
+    """
+
+    code = "PLAT001"
+    title = (
+        "dimension-carrying platform parameter (name ending _s/_bytes/_bps) "
+        "defaulted to a raw numeric literal; express it via repro.units "
+        "(MINUTE, HOUR, gib(), ...) so horizons and payloads stay auditable"
+    )
+    applies_to = ("platform",)
+
+
 # Importing the dimension, concurrency and hotpath modules registers
 # DIM001-003, RACE001-003 and PERF001-004 alongside the rules defined
 # here, so ``all_rules()`` sees one complete registry.

@@ -8,7 +8,6 @@ from repro.ckpt.manager import CheckpointManager, CheckpointMeta, TensorRecord
 from repro.ckpt.async_sim import (
     AsyncCkptStats,
     compare_policies,
-    simulate_checkpointing,
     simulate_training,
 )
 
@@ -18,6 +17,5 @@ __all__ = [
     "CheckpointMeta",
     "TensorRecord",
     "compare_policies",
-    "simulate_checkpointing",
     "simulate_training",
 ]

@@ -18,13 +18,11 @@ step boundary, training rolls back to the last *durable* checkpoint
 (async checkpoints only become durable once their background write
 lands), pays a restart cost, and requeues — which is how the paper gets
 "loss of training progress ... no more than 5 minutes" from frequent
-checkpointing. :func:`simulate_checkpointing` is the legacy fault-free
-signature, kept as a deprecated shim.
+checkpointing.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -167,31 +165,6 @@ def simulate_training(
         ideal_time=n_steps * step_time,
         failures=failures,
         lost_time=lost_time,
-    )
-
-
-def simulate_checkpointing(
-    policy: str,
-    n_steps: int = 200,
-    step_time: float = 10.0,
-    interval: float = 300.0,
-    d2h_time: float = 0.5,
-    write_time: float = 4.0,
-) -> AsyncCkptStats:
-    """Deprecated fault-free entry point; use :func:`simulate_training`."""
-    warnings.warn(
-        "simulate_checkpointing is deprecated; call simulate_training, "
-        "which also accepts a repro.faults.FaultPlan",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return simulate_training(
-        policy,
-        n_steps=n_steps,
-        step_time=step_time,
-        interval=interval,
-        d2h_time=d2h_time,
-        write_time=write_time,
     )
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments fig7 table3
     python -m repro.experiments --list
     python -m repro.experiments chaos --seed 11
+    python -m repro.experiments congestion --set scale=2
+    python -m repro.experiments platform_week --set days=1 --set tenants=80
     python -m repro.experiments --perf congestion   # append a perf profile
     python -m repro.experiments --profile fig7      # cProfile hot spots
     python -m repro.experiments congestion \\
@@ -67,7 +69,14 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     table3,
     table4,
 )
-from repro.experiments.registry import ExperimentSpec, registry, render_listing
+from repro.experiments import platform_week  # noqa: F401  (registration)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    RegistryError,
+    parse_overrides,
+    registry,
+    render_listing,
+)
 
 #: Name -> spec dispatch table, built from the registry the experiment
 #: modules populated at import. Kept as a module attribute because the
@@ -92,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, metavar="N",
         help="seed override for experiments that take one (see --list)",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="typed config override for the selected experiments "
+             "(repeatable; schemas in --list; unknown keys exit 2)",
     )
     parser.add_argument(
         "--perf", action="store_true",
@@ -145,6 +160,13 @@ def main(argv: List[str]) -> int:
                 f"--seed has no effect on: {', '.join(unseeded)}",
                 file=sys.stderr,
             )
+    try:
+        overrides = parse_overrides(args.overrides)
+        for name in names:
+            EXPERIMENTS[name].check_overrides(overrides)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     collect = bool(
         args.trace_out or args.metrics_out or args.telemetry_summary
@@ -169,7 +191,10 @@ def main(argv: List[str]) -> int:
             if i:
                 print()
             spec = EXPERIMENTS[name]
-            print(spec.run(seed=args.seed if spec.seeded else None))
+            print(spec.run(
+                seed=args.seed if spec.seeded else None,
+                overrides=overrides,
+            ))
     finally:
         if profiler is not None:
             profiler.disable()

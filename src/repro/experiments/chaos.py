@@ -26,8 +26,8 @@ exercised for any ``--seed``.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.experiments.fmt import render_table
 from repro.experiments.registry import experiment
@@ -41,21 +41,34 @@ from repro.faults import (
 )
 from repro.network import Flow, two_zone_network
 from repro.network.linkfail import assess_fault_plan
-
-#: Compute-node pool faults land on (labels only; layers map them onto
-#: their own entity sets deterministically).
-N_NODES = 16
-
-#: Week-long training loop parameters for the goodput sweep.
-STEP_TIME = 10.0
-N_STEPS = int(WEEK_SECONDS / STEP_TIME)
-RESTART_TIME = 300.0  # detection + requeue + resume overhead per crash
+from repro.units import MINUTE
 
 
-def _fabric():
-    zone0 = [f"cn{i}" for i in range(8)]
-    zone1 = [f"cn{i}" for i in range(8, 16)]
-    return two_zone_network(8, zone0_hosts=zone0, zone1_hosts=zone1)
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Tunable knobs for the chaos replay (CLI ``--set``, see ``--list``)."""
+
+    #: Compute-node pool faults land on (labels only; layers map them
+    #: onto their own entity sets deterministically).
+    nodes: int = 16
+    #: Week-long training loop parameters for the goodput sweep.
+    step_time_s: float = 10.0
+    restart_time_s: float = 300.0  # detection + requeue + resume per crash
+    #: Scheduler-path repair turnaround after a node fault.
+    repair_after_s: float = 600.0
+    #: Monitored-week workload: arrivals sized so the queue is empty at
+    #: full capacity and visibly backed up one node short.
+    task_arrival_s: float = 25 * MINUTE
+    task_work_s: float = 45 * MINUTE
+    #: How many switch links the monitored week samples ``link_util`` for.
+    watched_links: int = 6
+
+
+def _fabric(nodes: int = 16):
+    half = nodes // 2
+    zone0 = [f"cn{i}" for i in range(half)]
+    zone1 = [f"cn{i}" for i in range(half, nodes)]
+    return two_zone_network(half, zone0_hosts=zone0, zone1_hosts=zone1)
 
 
 def _switch_links(fabric) -> List[Tuple[str, str]]:
@@ -67,10 +80,11 @@ def _switch_links(fabric) -> List[Tuple[str, str]]:
     )
 
 
-def build_plan(seed: int) -> FaultPlan:
+def build_plan(seed: int, config: Optional[ChaosConfig] = None) -> FaultPlan:
     """The seeded weekly plan, floored so every fault kind appears."""
-    nodes = [f"cn{i}" for i in range(N_NODES)]
-    links = _switch_links(_fabric())
+    cfg = config or ChaosConfig()
+    nodes = [f"cn{i}" for i in range(cfg.nodes)]
+    links = _switch_links(_fabric(cfg.nodes))
     plan = weekly_profile(seed, nodes=nodes, links=links)
     have = plan.counts()
     extras = []
@@ -97,12 +111,13 @@ def _rescale(plan: FaultPlan, horizon: float) -> FaultPlan:
     )
 
 
-def run_network(plan: FaultPlan) -> List[List]:
+def run_network(plan: FaultPlan, cfg: ChaosConfig) -> List[List]:
     """Replay link/NIC events against a live mixed-flow population."""
-    fabric = _fabric()
+    fabric = _fabric(cfg.nodes)
+    half = cfg.nodes // 2
     flows = [
-        Flow(f"cn{i}", f"cn{(i + 8) % 16}", size=1.0, flow_id=i)
-        for i in range(8)
+        Flow(f"cn{i}", f"cn{(i + half) % cfg.nodes}", size=1.0, flow_id=i)
+        for i in range(half)
     ]
     pa = assess_fault_plan(fabric, flows, plan)
     return [
@@ -113,14 +128,14 @@ def run_network(plan: FaultPlan) -> List[List]:
     ]
 
 
-def run_collective(plan: FaultPlan) -> List[List]:
+def run_collective(plan: FaultPlan, chaos_cfg: ChaosConfig) -> List[List]:
     """Node losses mid-allreduce: drop rank, rebuild tree, continue."""
     from repro.collectives.des_pipeline import HFReduceDesSim
     from repro.collectives.primitives import AllreduceConfig
     from repro.units import MiB
 
     sim = HFReduceDesSim()
-    cfg = AllreduceConfig(nbytes=64 * MiB, n_nodes=16)
+    cfg = AllreduceConfig(nbytes=64 * MiB, n_nodes=chaos_cfg.nodes)
     base = sim.run(cfg)
     losses = plan.of_kind("nic_down", "gpu_xid", "ecc_error", "host_hang")
     # At most 3 rank losses inside this one allreduce (16 -> 13 ranks).
@@ -137,7 +152,7 @@ def run_collective(plan: FaultPlan) -> List[List]:
     ]
 
 
-def run_scheduler(plan: FaultPlan) -> List[List]:
+def run_scheduler(plan: FaultPlan, cfg: ChaosConfig) -> List[List]:
     """Crash/requeue through the checkpoint-interrupt protocol."""
     from repro.hai import HAICluster, Task, TimeSharingScheduler
 
@@ -151,7 +166,7 @@ def run_scheduler(plan: FaultPlan) -> List[List]:
         plan.of_kind("gpu_xid", "ecc_error", "nic_down", "host_hang"),
         16000.0,
     )
-    recoveries = sched.inject_faults(node_plan, repair_after=600.0)
+    recoveries = sched.inject_faults(node_plan, repair_after=cfg.repair_after_s)
     sched.run_until_idle()
     crashes = sum(1 for e in sched.events if e.kind == "crash")
     mean_rec = (
@@ -212,11 +227,13 @@ def run_storage(plan: FaultPlan) -> List[List]:
     ]
 
 
-def run_monitor(plan: FaultPlan, seed: int) -> Tuple[List[List], List[List]]:
+def run_monitor(
+    plan: FaultPlan, seed: int, cfg: ChaosConfig
+) -> Tuple[List[List], List[List]]:
     """Stream the week's symptoms through the live cluster monitor."""
     from repro.experiments.chaos_monitored import run_monitored
 
-    week = run_monitored(plan, seed)
+    week = run_monitored(plan, seed, config=cfg)
     scores = [s.row() for s in week.scores]
     loop = [
         ["alerts fired", float(week.alerts_fired)],
@@ -232,18 +249,20 @@ def run_monitor(plan: FaultPlan, seed: int) -> Tuple[List[List], List[List]]:
     return scores, loop
 
 
-def run_goodput(plan: FaultPlan) -> List[List]:
+def run_goodput(plan: FaultPlan, cfg: ChaosConfig) -> List[List]:
     """Week-long training: goodput loss vs checkpoint interval."""
     from repro.ckpt import simulate_training
 
     node_plan = plan.of_kind(
         "gpu_xid", "ecc_error", "nic_down", "host_hang"
     )
+    n_steps = int(WEEK_SECONDS / cfg.step_time_s)
     rows = []
     for interval in (120.0, 300.0, 600.0, 1800.0):
         s = simulate_training(
-            "async", n_steps=N_STEPS, step_time=STEP_TIME,
-            interval=interval, plan=node_plan, restart_time=RESTART_TIME,
+            "async", n_steps=n_steps, step_time=cfg.step_time_s,
+            interval=interval, plan=node_plan,
+            restart_time=cfg.restart_time_s,
         )
         per_failure = s.lost_time / s.failures if s.failures else 0.0
         rows.append([
@@ -261,12 +280,14 @@ def run_goodput(plan: FaultPlan) -> List[List]:
     "Weekly failure mix replayed through every recovery path",
     telemetry=("faults_injected", "recovery_time_s", "fs3_retries_total"),
     seeded=True,
+    config=ChaosConfig,
 )
-def render(seed: int = 7) -> str:
+def render(seed: int = 7, config: Optional[ChaosConfig] = None) -> str:
     """Printable chaos replay."""
-    plan = build_plan(seed)
+    cfg = config or ChaosConfig()
+    plan = build_plan(seed, cfg)
     counts = plan.counts()
-    score_rows, loop_rows = run_monitor(plan, seed)
+    score_rows, loop_rows = run_monitor(plan, seed, cfg)
     parts = [
         render_table(
             ["fault kind", "events/week"],
@@ -275,15 +296,15 @@ def render(seed: int = 7) -> str:
                   f"profile ({len(plan)} events)",
         ),
         render_table(
-            ["network recovery", "value"], run_network(plan),
+            ["network recovery", "value"], run_network(plan, cfg),
             title="IB flash cuts: reroute or drain (Section VII-C2)",
         ),
         render_table(
-            ["collective recovery", "value"], run_collective(plan),
+            ["collective recovery", "value"], run_collective(plan, cfg),
             title="HFReduce: continue on a rebuilt double tree",
         ),
         render_table(
-            ["scheduler recovery", "value"], run_scheduler(plan),
+            ["scheduler recovery", "value"], run_scheduler(plan, cfg),
             title="HAI: checkpoint-crash, requeue, restart (Section VI-C)",
         ),
         render_table(
@@ -293,7 +314,7 @@ def render(seed: int = 7) -> str:
         render_table(
             ["ckpt interval s", "failures", "lost min/week",
              "lost min/failure", "goodput loss %"],
-            run_goodput(plan),
+            run_goodput(plan, cfg),
             title="Goodput loss vs checkpoint interval: 5-minute saves "
                   "bound loss per failure to ~5 minutes (Section VII-A)",
         ),

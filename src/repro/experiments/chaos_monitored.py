@@ -30,7 +30,7 @@ from random import Random
 from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
-from repro.experiments.chaos import N_NODES, _fabric, _switch_links
+from repro.experiments.chaos import ChaosConfig, _fabric, _switch_links
 from repro.faults import FaultPlan, RetryPolicy, WEEK_SECONDS
 from repro.hai import HAICluster, Task, TimeSharingScheduler
 from repro.monitor import (
@@ -59,13 +59,9 @@ NIC_OUTAGE = 20 * MINUTE  # reroute pressure until the NIC is swapped
 STORAGE_OUTAGE = 30 * MINUTE  # retries until the chain re-forms
 HANG_TURNAROUND = 45 * MINUTE  # ops turnaround before a hung host returns
 
-#: Scheduler workload: two zone-wide task slots, arrivals sized so the
-#: queue is empty at full capacity and visibly backed up one node short.
-TASK_ARRIVAL = 25 * MINUTE
-TASK_WORK = 45 * MINUTE
-
-#: How many switch links the harness samples ``link_util`` for.
-N_WATCHED_LINKS = 6
+# The scheduler workload cadence (task_arrival_s / task_work_s), node
+# pool, and watched-link count come from :class:`ChaosConfig` — the
+# chaos experiment's ``--set`` surface.
 
 
 def _crc_pick(label: str, n: int) -> int:
@@ -100,7 +96,9 @@ class MonitoredWeek:
         return sum(1 for a in self.alerts if a.resolved_at is not None)
 
 
-def run_monitored(plan: FaultPlan, seed: int) -> MonitoredWeek:
+def run_monitored(
+    plan: FaultPlan, seed: int, config: Optional[ChaosConfig] = None
+) -> MonitoredWeek:
     """Stream one week of symptoms from ``plan`` through a live monitor.
 
     Reuses the active telemetry session if one is running (so CLI trace/
@@ -112,7 +110,7 @@ def run_monitored(plan: FaultPlan, seed: int) -> MonitoredWeek:
     if owned:
         sess = telemetry.start(trace=True)
     try:
-        return _run_week(sess, plan, seed)
+        return _run_week(sess, plan, seed, config or ChaosConfig())
     finally:
         if owned:
             telemetry.stop()
@@ -174,12 +172,15 @@ def _in_any(t: float, windows: List[Tuple[float, float]]) -> bool:
 # -- the week -----------------------------------------------------------------------
 
 
-def _run_week(sess, plan: FaultPlan, seed: int) -> MonitoredWeek:
+def _run_week(
+    sess, plan: FaultPlan, seed: int, cfg: ChaosConfig
+) -> MonitoredWeek:
     rng = Random(seed)
     tracer = sess.tracer
 
     labels = [
-        f"{a}->{b}" for a, b in _switch_links(_fabric())[:N_WATCHED_LINKS]
+        f"{a}->{b}"
+        for a, b in _switch_links(_fabric(cfg.nodes))[:cfg.watched_links]
     ]
     link_hot = _link_windows(plan, labels)
     xids = _xid_actions(plan)
@@ -237,12 +238,13 @@ def _run_week(sess, plan: FaultPlan, seed: int) -> MonitoredWeek:
                 sched.submit(
                     Task(
                         task_id=f"job{n_tasks}", nodes_required=4,
-                        total_work=TASK_WORK, checkpoint_interval=5 * MINUTE,
+                        total_work=cfg.task_work_s,
+                        checkpoint_interval=5 * MINUTE,
                     ),
                     now=max(next_arrival, sched.now),
                 )
                 n_tasks += 1
-                next_arrival += TASK_ARRIVAL
+                next_arrival += cfg.task_arrival_s
             if t > sched.now:
                 sched.run(until=t)
             # Link utilization samples: hot inside an outage window,
@@ -259,7 +261,7 @@ def _run_week(sess, plan: FaultPlan, seed: int) -> MonitoredWeek:
             # HFReduce round: 16 ranks' d2h stage spans; the hung host's
             # rank straggles by ~8x while degraded.
             if k % int(ROUND_INTERVAL / TICK) == 0:
-                for g in range(N_NODES):
+                for g in range(cfg.nodes):
                     node = f"cn{g}"
                     dur = D2H_BASE * rng.uniform(0.9, 1.1)
                     if any(s <= t < e for s, e, n in hangs if n == node):
@@ -277,7 +279,7 @@ def _run_week(sess, plan: FaultPlan, seed: int) -> MonitoredWeek:
             # Benign background noise: single app-level Xids (Table V
             # "check application") that must never convict a node.
             if rng.random() < 0.02:
-                node = f"cn{rng.randrange(N_NODES)}"
+                node = f"cn{rng.randrange(cfg.nodes)}"
                 code = 13 if rng.random() < 0.5 else 31
                 tracer.instant(
                     "xid", t, track=f"health/{node}", cat="health",

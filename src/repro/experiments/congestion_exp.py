@@ -22,7 +22,8 @@ that stalls a synchronous allreduce) and aggregate storage goodput.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro import telemetry
 from repro.experiments.registry import experiment
@@ -42,6 +43,19 @@ RTS_WINDOW = 8
 #: Without RTS a reader has every stripe's transfer outstanding at every
 #: storage NIC: 4 NICs x 8 queued chunks in this scenario.
 NO_RTS_CONCURRENT_SENDERS = 32
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Tunable knobs for the congestion study (CLI ``--set``)."""
+
+    #: Fabric/flow-mix multiplier: the printed experiment uses 1; the
+    #: perf benchmarks measure larger scales.
+    scale: int = 1
+    #: Request-to-send credit window (outstanding chunks per reader).
+    rts_window: int = RTS_WINDOW
+    #: Concurrent senders hitting a reader with RTS off.
+    no_rts_senders: int = NO_RTS_CONCURRENT_SENDERS
 
 
 def _build_fabric(scale: int = 1):
@@ -90,20 +104,24 @@ def _mixed_flows(rts: bool, scale: int = 1) -> List[Flow]:
 
 def run_scenario(isolation: bool, routing: str, rts: bool,
                  engine: str = "vectorized",
-                 scale: int = 1) -> Dict[str, float]:
+                 scale: int = 1,
+                 config: Optional[CongestionConfig] = None) -> Dict[str, float]:
     """One configuration; returns straggler and aggregate metrics.
 
     ``scale`` stretches the fabric and the flow mix proportionally (the
     printed experiment uses 1; the perf benchmarks measure larger scales
-    where allocation cost, not fabric construction, dominates).
+    where allocation cost, not fabric construction, dominates). A
+    :class:`CongestionConfig` bundles the same knob plus the RTS window
+    parameters for the CLI's ``--set`` path.
     """
-    fab = _build_fabric(scale)
+    cfg = config or CongestionConfig(scale=scale)
+    fab = _build_fabric(cfg.scale)
     router = (
         StaticRouter(fab) if routing == "static" else AdaptiveRouter(fab)
     )
     sim = FlowSim(fab, router=router,
                   qos=TrafficClassConfig(isolation=isolation), engine=engine)
-    flows = _mixed_flows(rts=rts, scale=scale)
+    flows = _mixed_flows(rts=rts, scale=cfg.scale)
     rates = sim.instantaneous_rates(flows)
     hf = [rates[f.flow_id] for f in flows if f.sl is ServiceLevel.HFREDUCE]
     st_total = sum(
@@ -111,7 +129,7 @@ def run_scenario(isolation: bool, routing: str, rts: bool,
     )
     if not rts:
         # Client-side incast tax (packet loss / retransmits) on goodput.
-        st_total *= incast_efficiency(NO_RTS_CONCURRENT_SENDERS, RTS_WINDOW)
+        st_total *= incast_efficiency(cfg.no_rts_senders, cfg.rts_window)
     return {
         "hfreduce_min_GBps": as_gBps(min(hf)),
         "hfreduce_mean_GBps": as_gBps(sum(hf) / len(hf)),
@@ -119,7 +137,7 @@ def run_scenario(isolation: bool, routing: str, rts: bool,
     }
 
 
-def run() -> List[List]:
+def run(config: Optional[CongestionConfig] = None) -> List[List]:
     """The production config against each degraded variant."""
     rows = []
     configs = [
@@ -130,7 +148,7 @@ def run() -> List[List]:
         ("everything off", False, "adaptive", False),
     ]
     for name, iso, routing, rts in configs:
-        m = run_scenario(iso, routing, rts)
+        m = run_scenario(iso, routing, rts, config=config)
         rows.append([name, m["hfreduce_min_GBps"], m["hfreduce_mean_GBps"],
                      m["storage_total_GBps"]])
     return rows
@@ -181,13 +199,18 @@ def emit_timeline() -> None:
     sim.run(flows)
 
 
-@experiment('congestion', 'Section VI-A: congestion under mixed traffic', telemetry=('link_util', 'hfreduce_stage_s'))
-def render() -> str:
+@experiment(
+    "congestion",
+    "Section VI-A: congestion under mixed traffic",
+    telemetry=("link_util", "hfreduce_stage_s"),
+    config=CongestionConfig,
+)
+def render(config: Optional[CongestionConfig] = None) -> str:
     """Printable congestion study."""
     out = render_table(
         ["configuration", "HFReduce straggler GB/s", "HFReduce mean GB/s",
          "storage total GB/s"],
-        run(),
+        run(config),
         title="Section VI-A: congestion under mixed traffic "
               "(production tuning vs ablations)",
     )

@@ -82,7 +82,7 @@ def run(
     return {
         "nodes": float(n_nodes),
         "weeks": float(weeks),
-        "xid_events": float(len(events)),
+        "xid_count": float(len(events)),
         "node_fatal_events": float(len(fatal)),
         "task_crashes": float(crashes),
         "utilization": util,

@@ -1,0 +1,166 @@
+"""The platform week: the whole co-designed stack, one simulated week.
+
+Every prior experiment exercises one subsystem; this one runs the
+*platform* — the thing the paper actually operates. A seeded synthetic
+multi-tenant workload (Poisson arrivals, Weibull heavy-tailed service
+times, diurnal inference traffic) is driven through the
+:class:`~repro.hai.TimeSharingScheduler` on a two-zone fabric whose
+training rings, MoE EP all-to-all, checkpoint shards, and 3FS-KV reads
+run on the warm-started :class:`~repro.network.FlowSim` — while the
+:func:`~repro.faults.weekly_profile` failure mix is injected live and
+the streaming :class:`~repro.monitor.Monitor` closes the drain loop.
+
+The output is an SLO scorecard: queue-wait quantiles, per-tenant
+goodput, and cost per served token. Same seed, same scorecard —
+byte-identical — which is what lets the replay certificate cover a
+week-long full-stack run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.fmt import render_table
+from repro.experiments.registry import experiment
+from repro.platform import PlatformSim, PlatformWeek, WorkloadConfig
+from repro.units import HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Tunable knobs for the platform week (CLI ``--set``, see ``--list``)."""
+
+    #: Simulated horizon in days (7 = the paper's operational week).
+    days: float = 7.0
+    #: Tenants submitting training jobs.
+    tenants: int = 96
+    #: Compute nodes per zone (whole-node allocation).
+    nodes_per_zone: int = 32
+    #: Mean training-job arrivals per tenant per week.
+    jobs_per_tenant_week: float = 7.0
+    #: Widest job in nodes.
+    max_nodes: int = 8
+    #: Fraction of jobs training MoE models (EP all-to-all traffic).
+    moe_fraction: float = 0.25
+    #: Scheduler/monitor tick and fabric-epoch grain (simulated seconds).
+    tick_s: float = MINUTE
+    epoch_s: float = HOUR
+    #: Switch links the synthetic ``link_util`` feed watches.
+    watched_links: int = 8
+
+
+def build_sim(config: Optional[PlatformConfig] = None) -> PlatformSim:
+    """A :class:`PlatformSim` from the experiment's ``--set`` surface."""
+    cfg = config or PlatformConfig()
+    return PlatformSim(
+        workload=WorkloadConfig(
+            tenants=cfg.tenants,
+            nodes_per_zone=cfg.nodes_per_zone,
+            jobs_per_tenant_week=cfg.jobs_per_tenant_week,
+            max_nodes=cfg.max_nodes,
+            moe_fraction=cfg.moe_fraction,
+        ),
+        tick_s=cfg.tick_s,
+        epoch_s=cfg.epoch_s,
+        watched_links=cfg.watched_links,
+    )
+
+
+def run_week(seed: int, config: Optional[PlatformConfig] = None) -> PlatformWeek:
+    """One simulated week under the given seed and config."""
+    cfg = config or PlatformConfig()
+    return build_sim(cfg).run(seed=seed, days=cfg.days)
+
+
+def _tenant_rows(week: PlatformWeek, worst_n: int = 5) -> List[List]:
+    by_goodput = sorted(
+        week.scorecard.tenants, key=lambda t: (t.goodput, -t.tenant)
+    )
+    rows = []
+    for t in by_goodput[:worst_n]:
+        rows.append([
+            f"t{t.tenant:03d}",
+            t.jobs,
+            t.finished,
+            t.goodput,
+            t.mean_wait_s / MINUTE,
+        ])
+    return rows
+
+
+@experiment(
+    "platform_week",
+    "Multi-tenant week: full stack under churn, faults, and diurnal load",
+    telemetry=("task_queue_wait_s", "faults_injected", "link_util"),
+    seeded=True,
+    config=PlatformConfig,
+)
+def render(seed: int = 7, config: Optional[PlatformConfig] = None) -> str:
+    """Printable platform week."""
+    cfg = config or PlatformConfig()
+    week = run_week(seed, cfg)
+    card = week.scorecard
+    parts = [
+        render_table(
+            ["workload", "value"],
+            [
+                ["days simulated", week.days],
+                ["tenants", len(card.tenants)],
+                ["jobs submitted", card.jobs_submitted],
+                ["jobs finished", card.jobs_finished],
+                ["completion rate", card.completion_rate],
+                ["tokens served", card.tokens_served],
+            ],
+            title=(
+                f"Platform week, seed {seed}: {cfg.tenants} tenants on "
+                f"2x{cfg.nodes_per_zone} nodes, "
+                f"{week.ticks} ticks / {week.epochs} fabric epochs"
+            ),
+        ),
+        render_table(
+            ["SLO", "value"],
+            [
+                ["queue wait p50 (min)", card.queue_wait_p50_s / MINUTE],
+                ["queue wait p99 (min)", card.queue_wait_p99_s / MINUTE],
+                ["queue wait mean (min)", card.queue_wait_mean_s / MINUTE],
+                ["goodput mean", card.goodput_mean],
+                ["goodput worst", card.goodput_worst],
+                ["worst tenant", f"t{card.worst_tenant:03d}"],
+                ["cost per Mtoken ($)", card.cost_per_token * 1e6],
+            ],
+            title="Scorecard (queue waits censored at the horizon)",
+        ),
+        render_table(
+            ["tenant", "jobs", "finished", "goodput", "mean wait (min)"],
+            _tenant_rows(week),
+            title="Worst tenants by goodput",
+        ),
+        render_table(
+            ["fabric", "value"],
+            [
+                ["bytes carried", week.bytes_carried],
+                ["training ring GB/s (mean)", week.training_gbps_mean],
+                ["training ring GB/s (min)", week.training_gbps_min],
+                ["link events applied", week.net_link_events],
+                ["flows rerouted live", week.net_reroutes],
+                ["flows drained (no path)", week.net_drains],
+            ],
+            title="Fabric epochs (warm engine, faults applied in-place)",
+        ),
+        render_table(
+            ["closed loop", "value"],
+            [["faults: " + k, float(v)] for k, v in week.fault_counts.items()]
+            + [
+                ["alerts fired", week.alerts_fired],
+                ["alerts resolved", week.alerts_resolved],
+                ["monitor drains", week.drains],
+                ["monitor undrains", week.undrains],
+                ["tasks displaced by drains", week.displaced],
+                ["scheduler preemptions", week.preemptions],
+                ["scheduler crashes", week.crashes],
+            ],
+            title="Injected faults vs the monitor's closed loop",
+        ),
+    ]
+    return "\n\n".join(parts)

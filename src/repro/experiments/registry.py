@@ -6,26 +6,119 @@ of being string-dispatched from a hand-maintained table in
 
     @experiment("chaos", "Weekly failure mix vs checkpoint cadence",
                 telemetry=("faults_injected", "recovery_time_s"),
-                seeded=True)
-    def render(seed: int = 7) -> str: ...
+                seeded=True, config=ChaosConfig)
+    def render(seed: int = 7, config: ChaosConfig | None = None) -> str: ...
 
 The CLI builds its dispatch table and ``--list`` output from
 :func:`registry`, the replay differ resolves names through the same
 table, and a spec records whether its renderer accepts a ``--seed``
 override and which telemetry series a run populates — so the listing
 doubles as documentation of the observable surface.
+
+Experiments with tunable knobs attach a frozen *config dataclass* via
+``config=``. The CLI's ``--set key=value`` overrides are coerced to the
+declared field types (bool/int/float/str) and materialised into one
+config instance passed to the renderer as ``config=``; an unknown key or
+uncoercible value raises :class:`RegistryError`, which the CLI maps to
+exit 2. ``--set seed=N`` is accepted for any seeded experiment, config
+dataclass or not, so the override surface is uniform across the
+registry.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, get_type_hints
+
 
 from repro.errors import ReproError
 
 
 class RegistryError(ReproError):
-    """Bad experiment registration or lookup."""
+    """Bad experiment registration, lookup, or config override."""
+
+
+_BOOL_TRUE = frozenset({"1", "true", "yes", "on"})
+_BOOL_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def parse_overrides(pairs: List[str]) -> Dict[str, str]:
+    """``KEY=VALUE`` strings (from ``--set``) into an override mapping."""
+    out: Dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise RegistryError(
+                f"malformed --set {pair!r}: expected KEY=VALUE"
+            )
+        out[key] = value
+    return out
+
+
+def coerce_value(name: str, typ: type, raw: str):
+    """Coerce one raw override string to a config field's declared type."""
+    if typ is bool:
+        low = raw.strip().lower()
+        if low in _BOOL_TRUE:
+            return True
+        if low in _BOOL_FALSE:
+            return False
+        raise RegistryError(
+            f"override {name}={raw!r}: expected a bool "
+            f"(true/false/1/0/yes/no/on/off)"
+        )
+    if typ is int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise RegistryError(f"override {name}={raw!r}: expected an int")
+    if typ is float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise RegistryError(f"override {name}={raw!r}: expected a float")
+    if typ is str:
+        return raw
+    raise RegistryError(
+        f"override {name}: unsupported config field type {typ!r}"
+    )
+
+
+def config_fields(cls: type) -> List[Tuple[str, type, object]]:
+    """``(name, type, default)`` triples for a config dataclass."""
+    if not dataclasses.is_dataclass(cls):
+        raise RegistryError(f"config {cls!r} is not a dataclass")
+    hints = get_type_hints(cls)
+    return [
+        (f.name, hints[f.name], f.default)
+        for f in dataclasses.fields(cls)
+    ]
+
+
+def build_config(cls: type, overrides: Mapping[str, str]):
+    """A config instance with typed overrides applied over the defaults."""
+    fields = {name: typ for name, typ, _ in config_fields(cls)}
+    unknown = sorted(set(overrides) - set(fields))
+    if unknown:
+        raise RegistryError(
+            f"unknown config key(s): {', '.join(unknown)} "
+            f"(valid: {', '.join(sorted(fields))})"
+        )
+    kwargs = {
+        key: coerce_value(key, fields[key], raw)
+        for key, raw in overrides.items()
+    }
+    return cls(**kwargs)
+
+
+def render_schema(cls: type) -> str:
+    """One-line ``--set`` schema for a config dataclass."""
+    parts = []
+    for name, typ, default in config_fields(cls):
+        parts.append(f"{name}:{typ.__name__}={default}")
+    return "  ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -38,16 +131,55 @@ class ExperimentSpec:
     module: str
     telemetry: Tuple[str, ...] = ()  # metric series a run populates
     seeded: bool = False  # renderer accepts render(seed=...)
+    config: Optional[type] = None  # config dataclass, render(config=...)
 
-    def run(self, seed: Optional[int] = None) -> str:
-        """Render, forwarding ``seed`` when the experiment takes one."""
+    def check_overrides(self, overrides: Mapping[str, str]) -> None:
+        """Validate ``--set`` keys/values without running the experiment."""
+        ov = dict(overrides)
+        if "seed" in ov:
+            raw = ov.pop("seed")
+            if not self.seeded:
+                raise RegistryError(
+                    f"experiment {self.name!r} does not take a seed"
+                )
+            coerce_value("seed", int, raw)
+        if ov:
+            if self.config is None:
+                raise RegistryError(
+                    f"experiment {self.name!r} has no config; "
+                    f"unknown key(s): {', '.join(sorted(ov))}"
+                )
+            build_config(self.config, ov)
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        overrides: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """Render, forwarding ``seed`` and typed ``--set`` overrides."""
+        ov = dict(overrides or {})
+        if "seed" in ov:
+            raw = ov.pop("seed")
+            if not self.seeded:
+                raise RegistryError(
+                    f"experiment {self.name!r} does not take a seed"
+                )
+            seed = coerce_value("seed", int, raw)
+        kwargs: Dict[str, object] = {}
+        if ov:
+            if self.config is None:
+                raise RegistryError(
+                    f"experiment {self.name!r} has no config; "
+                    f"unknown key(s): {', '.join(sorted(ov))}"
+                )
+            kwargs["config"] = build_config(self.config, ov)
         if seed is not None:
             if not self.seeded:
                 raise RegistryError(
                     f"experiment {self.name!r} does not take a seed"
                 )
-            return self.render(seed=seed)
-        return self.render()
+            kwargs["seed"] = seed
+        return self.render(**kwargs)
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
@@ -58,8 +190,11 @@ def experiment(
     description: str,
     telemetry: Tuple[str, ...] = (),
     seeded: bool = False,
+    config: Optional[type] = None,
 ) -> Callable[[Callable[..., str]], Callable[..., str]]:
     """Registration decorator for ``render`` callables."""
+    if config is not None:
+        config_fields(config)  # validate the schema at registration time
 
     def decorate(fn: Callable[..., str]) -> Callable[..., str]:
         register(ExperimentSpec(
@@ -69,6 +204,7 @@ def experiment(
             module=fn.__module__,
             telemetry=tuple(telemetry),
             seeded=seeded,
+            config=config,
         ))
         return fn
 
@@ -99,7 +235,7 @@ def get(name: str) -> ExperimentSpec:
 
 
 def render_listing() -> str:
-    """The ``--list`` text: name, description, telemetry surface."""
+    """The ``--list`` text: name, description, telemetry, config schema."""
     lines: List[str] = []
     width = max((len(n) for n in _REGISTRY), default=0)
     for name in sorted(_REGISTRY):
@@ -113,4 +249,6 @@ def render_listing() -> str:
         if extras:
             line += f"  [{'; '.join(extras)}]"
         lines.append(line)
+        if spec.config is not None:
+            lines.append(f"{'':<{width}}  --set {render_schema(spec.config)}")
     return "\n".join(lines)

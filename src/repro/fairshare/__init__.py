@@ -14,13 +14,11 @@ were previously duplicated across ``repro.fairshare`` and
   re-relaxes only the affected connected component.
 
 :func:`solve_maxmin` is the façade: pick an engine by name, keep the
-``maxmin_rates`` call contract. ``maxmin_rates_vectorized`` survives as a
-deprecation shim per the PR 5 convention.
+``maxmin_rates`` call contract.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.fairshare.reference import (
@@ -39,7 +37,6 @@ __all__ = [
     "WarmMaxMin",
     "bottleneck_throughput",
     "maxmin_rates",
-    "maxmin_rates_vectorized",
     "progressive_fill",
     "solve_cold",
     "solve_maxmin",
@@ -47,12 +44,6 @@ __all__ = [
 
 #: Engines accepted by :func:`solve_maxmin`.
 ENGINES = ("reference", "vectorized")
-
-#: One-shot latch for the :func:`maxmin_rates_vectorized` deprecation
-#: warning: hot solver loops call the shim thousands of times per run,
-#: and repeating the warning buries real warnings in the log. One
-#: warning per process is enough to drive the migration.
-_shim_warned = False
 
 
 def solve_maxmin(
@@ -75,31 +66,3 @@ def solve_maxmin(
     if engine == "reference":
         return maxmin_rates(flows, constraints, weights, demands)
     raise ValueError(f"unknown max-min engine {engine!r}; expected one of {ENGINES}")
-
-
-def maxmin_rates_vectorized(
-    flows: Sequence[FlowId],
-    constraints: Sequence[Constraint],
-    weights: Optional[Mapping[FlowId, float]] = None,
-    demands: Optional[Mapping[FlowId, float]] = None,
-    perf: Optional[PerfCounters] = None,
-) -> Dict[FlowId, float]:
-    """Deprecated alias for :func:`solve_cold`.
-
-    .. deprecated:: PR 6
-        Use ``solve_maxmin(..., engine="vectorized")`` or
-        :func:`solve_cold` directly.
-
-    Warns :class:`DeprecationWarning` exactly once per process (see
-    :data:`_shim_warned`).
-    """
-    global _shim_warned
-    if not _shim_warned:
-        _shim_warned = True
-        warnings.warn(
-            "maxmin_rates_vectorized is deprecated; use "
-            "repro.fairshare.solve_maxmin(..., engine='vectorized') or solve_cold",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return solve_cold(flows, constraints, weights, demands, perf=perf)

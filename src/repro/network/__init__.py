@@ -30,7 +30,7 @@ from repro.network.routing import (
     StaticRouter,
 )
 from repro.network.qos import ServiceLevel, TrafficClassConfig, default_qos
-from repro.network.flows import Flow, FlowResult, FlowSim
+from repro.network.flows import Flow, FlowResult, FlowSim, LinkEvent
 from repro.network.dbtree import (
     DoubleBinaryTree,
     RebuiltTree,
@@ -46,8 +46,8 @@ from repro.network.linkfail import (
     ImpactReport,
     PlanAssessment,
     assess_fault_plan,
-    assess_link_failures,
     links_for_event,
+    plan_link_events,
 )
 
 __all__ = [
@@ -61,7 +61,6 @@ __all__ = [
     "PlanAssessment",
     "RebuiltTree",
     "assess_fault_plan",
-    "assess_link_failures",
     "links_for_event",
     "rebuild_double_binary_tree",
     "Fabric",
@@ -69,7 +68,9 @@ __all__ = [
     "Flow",
     "FlowResult",
     "FlowSim",
+    "LinkEvent",
     "LinkId",
+    "plan_link_events",
     "Router",
     "ServiceLevel",
     "StaticRouter",

@@ -86,6 +86,130 @@ class Flow:
 
 
 @dataclass(frozen=True)
+class LinkEvent:
+    """One mid-run change to a fabric link, applied at simulated time.
+
+    ``kind``:
+
+    * ``"down"`` — the link goes dark; active flows crossing it are
+      rerouted on the degraded fabric (or drained when no path remains),
+      and subsequent admits route around it.
+    * ``"up"`` — one matching ``"down"`` is undone (down events nest:
+      a link is dark while any down outstanding). Flows keep their
+      current paths; only future routing sees the restored link.
+    * ``"degrade"`` — the link's capacity is scaled by
+      ``capacity_factor`` (1.0 restores). No rerouting: the warm engine
+      adjusts the live constraint row in place via
+      :meth:`~repro.fairshare.WarmMaxMin.set_capacity`.
+
+    Orientation is ignored: an event on ``(a, b)`` affects traffic in
+    both directions of the physical link.
+    """
+
+    time: Seconds
+    link: LinkId
+    kind: str = "down"
+    capacity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("down", "up", "degrade"):
+            raise TopologyError(f"unknown link event kind {self.kind!r}")
+        if self.time < 0:
+            raise TopologyError("link event time must be >= 0")
+        if self.kind == "degrade" and not self.capacity_factor > 0:
+            raise TopologyError("capacity_factor must be > 0")
+
+
+def _canon(link: LinkId) -> LinkId:
+    """Orientation-free link key (fluid links are directed per route)."""
+    a, b = link
+    return (a, b) if a <= b else (b, a)
+
+
+class _LinkSchedule:
+    """Down/degrade bookkeeping shared by both engines during one run.
+
+    Tracks which physical links are currently dark (down events nest),
+    rebuilds the simulator's router over a degraded fabric view whenever
+    topology changes, and hands each engine the batch of events due at
+    the current simulated time.
+    """
+
+    def __init__(self, sim: "FlowSim", events: Sequence[LinkEvent]) -> None:
+        self.sim = sim
+        for ev in events:
+            if not sim.fabric.g.has_edge(*ev.link):
+                raise TopologyError(f"no link {ev.link!r} to fail")
+        self.events = sorted(events, key=lambda e: e.time)
+        self.i = 0
+        self.down: Dict[LinkId, int] = {}
+        self.base_router = sim.router
+
+    def next_time(self) -> float:
+        if self.i < len(self.events):
+            return self.events[self.i].time
+        return float("inf")
+
+    def due(self, now: float, eps: float = 1e-12) -> List[LinkEvent]:
+        batch: List[LinkEvent] = []
+        while self.i < len(self.events) and self.events[self.i].time <= now + eps:
+            batch.append(self.events[self.i])
+            self.i += 1
+        return batch
+
+    def apply(self, batch: Sequence[LinkEvent]) -> Tuple[bool, List[Tuple[LinkId, float]]]:
+        """Fold a batch into the down set; returns (topology_changed,
+        [(canonical_link, capacity_factor), ...] degrade updates)."""
+        topo = False
+        degraded: List[Tuple[LinkId, float]] = []
+        for ev in batch:
+            lk = _canon(ev.link)
+            if ev.kind == "down":
+                n = self.down.get(lk, 0) + 1
+                self.down[lk] = n
+                topo = topo or n == 1
+            elif ev.kind == "up":
+                n = self.down.get(lk, 0)
+                if n <= 0:
+                    raise TopologyError(f"link {lk!r} is not down")
+                if n == 1:
+                    del self.down[lk]
+                    topo = True
+                else:
+                    self.down[lk] = n - 1
+            else:  # degrade
+                degraded.append((lk, ev.capacity_factor))
+        if topo:
+            self._rebuild_router()
+        return topo, degraded
+
+    def _rebuild_router(self) -> None:
+        from repro.network.linkfail import DegradedFabric
+
+        sim = self.sim
+        if self.down:
+            fab = DegradedFabric.from_fabric(sim.fabric, sorted(self.down))
+        else:
+            fab = sim.fabric
+        router = type(self.base_router)(fab)
+        router.set_load_view(lambda: sim._link_rates)
+        sim.router = router
+        sim._route_memo.clear()
+
+    def crosses_down(self, route: Sequence[LinkId]) -> bool:
+        down = self.down
+        return any(_canon(link) in down for link in route)
+
+    def restore(self) -> None:
+        """Undo run-scoped router/cache state after the event loop."""
+        sim = self.sim
+        sim.router = self.base_router
+        sim._route_memo.clear()
+        sim._cap_cache.clear()
+        sim._memo.clear()
+
+
+@dataclass(frozen=True)
 class FlowResult:
     """Outcome of one flow."""
 
@@ -307,9 +431,14 @@ class FlowSim:
         return rates
 
     def _util_sample_due(self) -> bool:
-        """Whether the next link_util sweep is due at the current sim clock."""
+        """Whether the next link_util sweep is due at the current sim clock.
+
+        ``util_sample_interval=math.inf`` disables sweeps entirely (long-
+        horizon drivers that synthesize their own coarse link_util feed).
+        """
         return (
-            self._sim_now - self._last_util_sample >= self.util_sample_interval
+            self.util_sample_interval != float("inf")
+            and self._sim_now - self._last_util_sample >= self.util_sample_interval
         )
 
     def _sample_link_utilization(
@@ -342,14 +471,50 @@ class FlowSim:
 
     # -- full fluid simulation -----------------------------------------------------
 
-    def run(self, flows: Sequence[Flow]) -> List[FlowResult]:
-        """Simulate all flows to completion; returns per-flow results."""
-        with self.stats.timeit("run_s"):
-            if self.engine == "vectorized":
-                return self._run_warm(flows)
-            return self._run_reference(flows)
+    def run(
+        self,
+        flows: Sequence[Flow],
+        link_events: Optional[Sequence[LinkEvent]] = None,
+    ) -> List[FlowResult]:
+        """Simulate all flows to completion; returns per-flow results.
 
-    def _run_reference(self, flows: Sequence[Flow]) -> List[FlowResult]:
+        ``link_events`` injects mid-run fabric changes (see
+        :class:`LinkEvent`): the event loop treats each event time as a
+        boundary, reroutes or drains flows crossing downed links, and —
+        in the warm engine — retunes live constraint rows in place via
+        :meth:`~repro.fairshare.WarmMaxMin.set_capacity` instead of
+        rebuilding the simulator on a degraded fabric. Both engines apply
+        the identical policy, so warm-vs-reference equivalence holds
+        under faults too. Router and capacity caches touched by the
+        events are restored when the run returns.
+        """
+        schedule = _LinkSchedule(self, link_events) if link_events else None
+        with self.stats.timeit("run_s"):
+            try:
+                if self.engine == "vectorized":
+                    return self._run_warm(flows, schedule)
+                return self._run_reference(flows, schedule)
+            finally:
+                if schedule is not None:
+                    schedule.restore()
+
+    def _degrade_caps(
+        self, lk: LinkId, factor: float
+    ) -> List[Tuple[LinkId, float]]:
+        """Refresh the capacity cache for both orientations of a degraded
+        link; returns the (orientation, new_capacity) pairs written."""
+        base = self.fabric.capacity(lk) * factor
+        updates = []  # repro: noqa[PERF001] - per link event (rare), not per flow event
+        for o in (lk, (lk[1], lk[0])):
+            self._cap_cache[o] = base
+            updates.append((o, base))
+        return updates
+
+    def _run_reference(
+        self,
+        flows: Sequence[Flow],
+        schedule: Optional[_LinkSchedule] = None,
+    ) -> List[FlowResult]:
         """Original pure-Python event loop: dict state, cold solve per event."""
         pending = sorted(flows, key=lambda f: (f.start, f.flow_id))
         audit = _sanitizer.FlowAudit() if _sanitizer.enabled() else None
@@ -368,14 +533,27 @@ class FlowSim:
         i = 0
 
         # Flows between the same endpoint complete instantly (no fabric hop).
-        def admit(f: Flow) -> None:
+        def admit(f: Flow, remaining_override: Optional[float] = None) -> None:
             self.stats.bump("admits")
-            route = self._route(f)
+            try:
+                route = self._route(f)
+            except TopologyError:
+                if schedule is None:
+                    raise
+                # No path on the degraded fabric: the flow drains — the
+                # paper's single-NIC task kill.
+                self.stats.bump("drains")
+                results[f.flow_id] = FlowResult(
+                    flow=f, start=f.start, finish=max(now, f.start)
+                )
+                return
             if not route:
                 results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=f.start)
                 return
             routes[f.flow_id] = route
-            remaining[f.flow_id] = f.size
+            remaining[f.flow_id] = (
+                f.size if remaining_override is None else remaining_override
+            )
             active[f.flow_id] = f
             if tracer is not None:
                 # Flows overlap freely, so each is an async span on its
@@ -389,31 +567,60 @@ class FlowSim:
                     async_id=f.flow_id,
                 )
 
-        def retire(f: Flow) -> None:
+        def retire(f: Flow, completed: bool = True) -> None:
             fid = f.flow_id
-            if audit is not None:
+            if completed and audit is not None:
                 # Byte conservation + non-negative duration at completion.
                 audit.check_retire(f, f.start, now)
             if sess is not None:
                 if tracer is not None:
                     tracer.end(flow_spans.pop(fid, None), now)
-                sl = f.sl.name
-                hist = dur_hist.get(sl)
-                if hist is None:
-                    hist = dur_hist[sl] = sess.registry.histogram(
-                        "flow_duration_s", sl=sl
-                    )
-                    done_ctr[sl] = sess.registry.counter(
-                        "flows_completed_total", sl=sl
-                    )
-                hist.observe(now - f.start, ts=now)
-                done_ctr[sl].inc()
+                if completed:
+                    sl = f.sl.name
+                    hist = dur_hist.get(sl)
+                    if hist is None:
+                        hist = dur_hist[sl] = sess.registry.histogram(
+                            "flow_duration_s", sl=sl
+                        )
+                        done_ctr[sl] = sess.registry.counter(
+                            "flows_completed_total", sl=sl
+                        )
+                    hist.observe(now - f.start, ts=now)
+                    done_ctr[sl].inc()
             del active[fid]
             del remaining[fid]
 
+        def apply_link_events() -> None:
+            batch = schedule.due(now)
+            if not batch:
+                return
+            self.stats.bump("link_events", len(batch))
+            topo, degraded = schedule.apply(batch)
+            for lk, factor in degraded:
+                self._degrade_caps(lk, factor)
+            if topo and active:
+                hit = [
+                    f for f in active.values()
+                    if schedule.crosses_down(routes[f.flow_id])
+                ]
+                for f in hit:
+                    rem = remaining[f.flow_id]
+                    retire(f, completed=False)
+                    self.stats.bump("reroutes")
+                    admit(f, remaining_override=rem)
+
         while i < len(pending) or active:
             if not active:
-                now = max(now, pending[i].start)
+                t_next = pending[i].start
+                t_ev = (
+                    schedule.next_time() if schedule is not None else float("inf")
+                )
+                if t_ev < t_next:
+                    # Nothing flowing: just fold the fabric change in.
+                    now = max(now, t_ev)
+                    apply_link_events()
+                    continue
+                now = max(now, t_next)
                 with self.stats.timeit("invalidate_s"):
                     while i < len(pending) and pending[i].start <= now:
                         admit(pending[i])
@@ -433,7 +640,10 @@ class FlowSim:
                 elif r == float("inf"):
                     t_complete = 0.0
             t_arrival = pending[i].start - now if i < len(pending) else float("inf")
-            dt = min(t_complete, t_arrival)
+            t_event = (
+                schedule.next_time() - now if schedule is not None else float("inf")
+            )
+            dt = min(t_complete, t_arrival, t_event)
             if dt == float("inf"):
                 raise TopologyError("simulation stalled: no progress possible")
 
@@ -469,6 +679,9 @@ class FlowSim:
                     while i < len(pending) and pending[i].start <= now + 1e-12:
                         admit(pending[i])
                         i += 1
+            if schedule is not None and schedule.next_time() <= now + 1e-12:
+                with self.stats.timeit("invalidate_s"):
+                    apply_link_events()
 
         if tracer is not None and pending:
             t0 = pending[0].start
@@ -479,7 +692,11 @@ class FlowSim:
         ordered = sorted(flows, key=lambda f: f.flow_id)
         return [results[f.flow_id] for f in ordered]
 
-    def _run_warm(self, flows: Sequence[Flow]) -> List[FlowResult]:
+    def _run_warm(
+        self,
+        flows: Sequence[Flow],
+        schedule: Optional[_LinkSchedule] = None,
+    ) -> List[FlowResult]:
         """Warm-started event loop: solver state persists across events.
 
         Flows become integer slots in a :class:`WarmMaxMin`; links become
@@ -573,10 +790,21 @@ class FlowSim:
                 [act, np.zeros(cap - act.shape[0], dtype=bool)]  # repro: noqa[PERF001] - amortized doubling
             )
 
-        def admit(f: Flow, now: float) -> None:
+        def admit(f: Flow, now: float, remaining: Optional[float] = None) -> None:
             nonlocal n_active
             bump("admits")
-            route = self._route(f)
+            try:
+                route = self._route(f)
+            except TopologyError:
+                if schedule is None:
+                    raise
+                # No path on the degraded fabric: the flow drains — the
+                # paper's single-NIC task kill.
+                bump("drains")
+                results[f.flow_id] = FlowResult(
+                    flow=f, start=f.start, finish=max(now, f.start)
+                )
+                return
             if not route:
                 # Same-endpoint flows complete instantly (no fabric hop).
                 results[f.flow_id] = FlowResult(flow=f, start=f.start, finish=f.start)
@@ -607,7 +835,9 @@ class FlowSim:
             route_by_slot.append(route)
             rows_by_slot.append(rows)
             size_arr[slot] = f.size
-            rem_arr[slot] = f.size
+            # Rerouted continuations resume with their surviving bytes;
+            # size_arr keeps f.size so the COMPLETION_EPS base is stable.
+            rem_arr[slot] = f.size if remaining is None else remaining
             act[slot] = True
             n_active += 1
             if link_members is not None:
@@ -623,26 +853,27 @@ class FlowSim:
                     async_id=f.flow_id,
                 )
 
-        def retire(slot: int, now: float) -> None:
+        def retire(slot: int, now: float, completed: bool = True) -> None:
             nonlocal n_active
             f = flow_by_slot[slot]
             fid = f.flow_id
-            if audit is not None:
+            if completed and audit is not None:
                 audit.check_retire(f, f.start, now)
             if sess is not None:
                 if tracer is not None:
                     tracer.end(flow_spans.pop(fid, None), now)
-                sl = f.sl.name
-                hist = dur_hist.get(sl)
-                if hist is None:
-                    hist = dur_hist[sl] = sess.registry.histogram(
-                        "flow_duration_s", sl=sl
-                    )
-                    done_ctr[sl] = sess.registry.counter(
-                        "flows_completed_total", sl=sl
-                    )
-                hist.observe(now - f.start, ts=now)
-                done_ctr[sl].inc()
+                if completed:
+                    sl = f.sl.name
+                    hist = dur_hist.get(sl)
+                    if hist is None:
+                        hist = dur_hist[sl] = sess.registry.histogram(
+                            "flow_duration_s", sl=sl
+                        )
+                        done_ctr[sl] = sess.registry.counter(
+                            "flows_completed_total", sl=sl
+                        )
+                    hist.observe(now - f.start, ts=now)
+                    done_ctr[sl].inc()
             if track_classes:
                 rows = rows_by_slot[slot]
                 col = sl_col[f.sl]
@@ -663,11 +894,47 @@ class FlowSim:
             act[slot] = False
             n_active -= 1
 
+        def apply_link_events(now: float) -> None:
+            batch = schedule.due(now)
+            if not batch:
+                return
+            bump("link_events", len(batch))
+            topo, degraded = schedule.apply(batch)
+            for lk, factor in degraded:
+                # The warm engine's in-place path: the live constraint row
+                # is retuned without tearing down solver state.
+                for o, cap in self._degrade_caps(lk, factor):
+                    row = link_row.get(o)
+                    if row is not None:
+                        base_cap[row] = cap
+                        eff = hol_eff if track_classes and n_class[row] >= 2 else 1.0
+                        warm.set_capacity(row, cap * eff)
+            if topo and n_active:
+                hit = [  # repro: noqa[PERF001] - per topology change (rare), not per flow event
+                    int(s) for s in np.flatnonzero(act[: warm.n_flows])
+                    if schedule.crosses_down(route_by_slot[int(s)])
+                ]
+                for slot in hit:
+                    f = flow_by_slot[slot]
+                    rem = float(rem_arr[slot])
+                    retire(slot, now, completed=False)
+                    bump("reroutes")
+                    admit(f, now, remaining=rem)
+
         now = 0.0
         i = 0
         while i < n_pending or n_active:
             if not n_active:
-                now = max(now, pending[i].start)
+                t_next = pending[i].start
+                t_ev = (
+                    schedule.next_time() if schedule is not None else float("inf")
+                )
+                if t_ev < t_next:
+                    # Nothing flowing: just fold the fabric change in.
+                    now = max(now, t_ev)
+                    apply_link_events(now)
+                    continue
+                now = max(now, t_next)
                 with span_invalidate:
                     while i < n_pending and pending[i].start <= now:
                         admit(pending[i], now)
@@ -697,7 +964,10 @@ class FlowSim:
                 else:
                     t_complete = float("inf")
             t_arrival = pending[i].start - now if i < n_pending else float("inf")
-            dt = min(t_complete, t_arrival)
+            t_event = (
+                schedule.next_time() - now if schedule is not None else float("inf")
+            )
+            dt = min(t_complete, t_arrival, t_event)
             if dt == float("inf"):
                 raise TopologyError("simulation stalled: no progress possible")
 
@@ -736,6 +1006,9 @@ class FlowSim:
                     while i < n_pending and pending[i].start <= now + 1e-12:
                         admit(pending[i], now)
                         i += 1
+            if schedule is not None and schedule.next_time() <= now + 1e-12:
+                with span_invalidate:
+                    apply_link_events(now)
 
         if tracer is not None and pending:
             t0 = pending[0].start

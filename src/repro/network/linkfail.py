@@ -18,20 +18,18 @@ The unified entry point is :func:`assess_fault_plan`: it consumes a
 replays the failure/recovery timeline, and reroutes or drains every flow
 per event, emitting ``faults_injected{kind}`` counters, per-event
 telemetry instants, and ``recovery_time_s{layer="network"}``
-observations. :func:`assess_link_failures` is the legacy one-shot
-signature, kept as a deprecated shim.
+observations.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import telemetry
 from repro.errors import TopologyError
 from repro.faults import FaultEvent, FaultPlan
-from repro.network.flows import Flow, FlowSim
+from repro.network.flows import Flow, FlowSim, LinkEvent
 from repro.network.routing import StaticRouter
 from repro.network.topology import Fabric
 
@@ -119,24 +117,6 @@ def _classify(
     )
 
 
-def assess_link_failures(
-    fabric: Fabric,
-    flows: Sequence[Flow],
-    dead_links: Sequence[Tuple[str, str]],
-) -> ImpactReport:
-    """Deprecated one-shot entry point; use :func:`assess_fault_plan`.
-
-    Equivalent to a plan with simultaneous ``LinkFlap`` events at t=0.
-    """
-    warnings.warn(
-        "assess_link_failures is deprecated; build a repro.faults.FaultPlan "
-        "of LinkFlap events and call assess_fault_plan",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _classify(fabric, flows, dead_links)
-
-
 # -- fault-plan API ----------------------------------------------------------------
 
 
@@ -197,6 +177,36 @@ def links_for_event(fabric: Fabric, event: FaultEvent) -> List[Tuple[str, str]]:
             raise TopologyError(f"no host {event.node!r} in fabric")
         return sorted((event.node, nbr) for nbr in fabric.g.neighbors(event.node))
     raise TopologyError(f"event kind {event.kind!r} has no network effect")
+
+
+def plan_link_events(
+    fabric: Fabric,
+    plan: FaultPlan,
+    nic_repair_s: Optional[float] = None,
+) -> List[LinkEvent]:
+    """Compile a plan's network events into :class:`LinkEvent` boundaries.
+
+    Each ``link_flap`` becomes a ``down`` at its time and an ``up`` when
+    the flap expires; ``nic_down`` downs every access link of the host —
+    permanently, or until ``nic_repair_s`` later when a repair turnaround
+    is given (the platform week swaps NICs). The result feeds
+    ``FlowSim.run(flows, link_events=...)`` so a live simulation reroutes
+    through the warm engine's in-place path instead of being rebuilt on a
+    degraded fabric per event.
+    """
+    events: List[LinkEvent] = []
+    for ev in plan.of_kind("link_flap", "nic_down"):
+        up_at: Optional[float] = None
+        if ev.kind == "link_flap":
+            up_at = ev.time + ev.duration
+        elif nic_repair_s is not None:
+            up_at = ev.time + nic_repair_s
+        for link in links_for_event(fabric, ev):
+            events.append(LinkEvent(time=ev.time, link=link, kind="down"))
+            if up_at is not None:
+                events.append(LinkEvent(time=up_at, link=link, kind="up"))
+    events.sort(key=lambda e: e.time)
+    return events
 
 
 def assess_fault_plan(

@@ -1,0 +1,47 @@
+"""Multi-tenant platform simulation (the paper's stack, end to end).
+
+The :mod:`repro.platform` layer composes everything below it into one
+long-horizon discrete-event run — the system the paper actually
+operates, rather than any single subsystem in isolation:
+
+* :mod:`repro.platform.workload` — seeded synthetic tenants: Poisson
+  arrivals, Weibull heavy-tailed service times, whole-node widths, and
+  the diurnal inference-token process with its 3FS-KV reads and MoE
+  EP all-to-all groups,
+* :mod:`repro.platform.driver` — the week-long driver: the
+  time-sharing scheduler under churn, warm-started flow epochs on the
+  two-zone fabric, the weekly fault profile injected live, and the
+  streaming monitor closing the drain loop,
+* :mod:`repro.platform.slo` — the scorecard: queue-wait quantiles,
+  per-tenant goodput, and cost per served token.
+
+The registry experiment ``platform_week`` renders one seeded week.
+"""
+
+from repro.platform.driver import PlatformSim, PlatformWeek
+from repro.platform.slo import SloScorecard, TenantSlo, cost_per_token, score_week
+from repro.platform.workload import (
+    InferenceSlice,
+    TenantJob,
+    WorkloadConfig,
+    WorkloadPlan,
+    generate_workload,
+    inference_slices,
+    inference_tps,
+)
+
+__all__ = [
+    "InferenceSlice",
+    "PlatformSim",
+    "PlatformWeek",
+    "SloScorecard",
+    "TenantJob",
+    "TenantSlo",
+    "WorkloadConfig",
+    "WorkloadPlan",
+    "cost_per_token",
+    "generate_workload",
+    "inference_slices",
+    "inference_tps",
+    "score_week",
+]

@@ -1,0 +1,541 @@
+"""Long-horizon platform driver: the whole stack, one simulated week.
+
+:class:`PlatformSim` time-shares hundreds of tenant jobs on a real
+:class:`~repro.hai.TimeSharingScheduler` (zone-aware placement, the
+checkpoint-interrupt protocol, churn from the Poisson/Weibull workload),
+while the two-zone fabric carries the traffic those jobs imply — HFReduce
+training rings, MoE expert-parallel all-to-all, checkpoint shards to the
+storage heads, and the diurnal inference process's 3FS-KV reads — through
+:class:`~repro.network.FlowSim` epochs on the warm-started solver.
+
+The :func:`~repro.faults.weekly_profile` fault mix is injected **live**:
+
+* ``link_flap``/``nic_down`` compile to :class:`~repro.network.LinkEvent`
+  boundaries (:func:`~repro.network.plan_link_events`), so mid-epoch
+  reroutes go through the warm engine's ``set_capacity``/reroute path
+  instead of rebuilding the simulator on a degraded fabric,
+* ``nic_down``/``host_hang`` fail and later repair scheduler nodes
+  (crash → requeue → restart),
+* ``gpu_xid``/``ecc_error`` emit health-instant bursts that the streaming
+  :class:`~repro.monitor.Monitor` must convict; its
+  :class:`~repro.monitor.SchedulerActuator` closes the loop by draining
+  and returning the mapped node,
+* ``storage_node_loss`` stretches 3FS read spans through the client
+  retry schedule until the chain re-forms.
+
+Everything is keyed on simulated time and seeded RNG streams consumed in
+a fixed order, so one seed replays byte-identically — the
+``platform_week`` experiment's replay certificate depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Tuple
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.faults import FaultPlan, RetryPolicy, weekly_profile
+from repro.hai import HAICluster, Task, TimeSharingScheduler
+from repro.monitor import Monitor, SchedulerActuator
+from repro.network import (
+    Flow,
+    FlowSim,
+    LinkEvent,
+    ServiceLevel,
+    plan_link_events,
+    two_zone_network,
+)
+from repro.platform.slo import SloScorecard, score_week
+from repro.platform.workload import (
+    TenantJob,
+    WorkloadConfig,
+    generate_workload,
+    inference_slices,
+)
+from repro.units import DAY, HOUR, MINUTE, Seconds, ms, us
+
+__all__ = ["PlatformSim", "PlatformWeek"]
+
+#: Storage heads per zone (the 3FS/3FS-KV service endpoints on the fabric).
+STORAGE_HEADS_PER_ZONE = 2
+
+#: Healthy baselines for the symptom streams the monitor watches.
+READ_BASE = us(400.0)
+READ_INTERVAL = 2 * MINUTE
+
+#: Serving fan-out of one inference epoch (flows per zone per class).
+KV_FANOUT = 4
+EP_GROUP_NODES = 4
+
+
+@dataclass(frozen=True)
+class PlatformWeek:
+    """Outcome of one simulated platform week."""
+
+    days: float
+    ticks: int
+    epochs: int
+    scorecard: SloScorecard
+    #: Injected ground truth.
+    fault_counts: Dict[str, int]
+    #: Monitor closed loop.
+    alerts_fired: int
+    alerts_resolved: int
+    drains: int
+    undrains: int
+    displaced: int
+    #: Scheduler churn.
+    preemptions: int
+    crashes: int
+    #: Network carrier (warm-engine fault path).
+    net_link_events: int
+    net_reroutes: int
+    net_drains: int
+    training_gbps_mean: float
+    training_gbps_min: float
+    bytes_carried: float
+    #: Diurnal serving process.
+    tokens_served: float
+
+
+class PlatformSim:
+    """The multi-tenant platform: scheduler + fabric + monitor + faults."""
+
+    def __init__(
+        self,
+        workload: WorkloadConfig = WorkloadConfig(),
+        tick_s: Seconds = MINUTE,
+        epoch_s: Seconds = HOUR,
+        watched_links: int = 8,
+        nic_repair_s: Seconds = 20 * MINUTE,
+        hang_turnaround_s: Seconds = 45 * MINUTE,
+        storage_outage_s: Seconds = 30 * MINUTE,
+        checkpoint_interval_s: Seconds = 5 * MINUTE,
+    ) -> None:
+        if tick_s <= 0 or epoch_s < tick_s:
+            raise ReproError("need 0 < tick_s <= epoch_s")
+        self.workload = workload
+        self.tick_s = tick_s
+        self.epoch_s = epoch_s
+        self.nic_repair_s = nic_repair_s
+        self.hang_turnaround_s = hang_turnaround_s
+        self.storage_outage_s = storage_outage_s
+        self.checkpoint_interval_s = checkpoint_interval_s
+
+        n = workload.nodes_per_zone
+        self.compute_nodes = [f"z{z}n{i}" for z in (0, 1) for i in range(n)]
+        self.storage_heads = {
+            z: [f"z{z}st{k}" for k in range(STORAGE_HEADS_PER_ZONE)]
+            for z in (0, 1)
+        }
+        self.fabric = two_zone_network(
+            n + STORAGE_HEADS_PER_ZONE,
+            zone0_hosts=[f"z0n{i}" for i in range(n)] + self.storage_heads[0],
+            zone1_hosts=[f"z1n{i}" for i in range(n)] + self.storage_heads[1],
+        )
+        hosts = set(self.fabric.hosts)
+        self.switch_links = sorted(
+            (a, b) for a, b in self.fabric.g.edges()
+            if a not in hosts and b not in hosts
+        )
+        self.watched = [
+            f"{a}->{b}" for a, b in self.switch_links[:watched_links]
+        ]
+
+    # -- fault compilation -------------------------------------------------------
+
+    def _fault_plan(self, seed: int, days: float) -> FaultPlan:
+        return weekly_profile(
+            seed=seed,
+            nodes=self.compute_nodes,
+            links=self.switch_links,
+            weeks=days / 7.0,
+        )
+
+    def _actions(
+        self, plan: FaultPlan
+    ) -> List[Tuple[float, int, str, object]]:
+        """(time, seq, op, payload) timeline of non-network side effects."""
+        actions: List[Tuple[float, int, str, object]] = []
+
+        def add(t: float, op: str, payload: object) -> None:
+            actions.append((t, len(actions), op, payload))
+
+        for ev in plan.events:
+            add(ev.time, "inject", ev.kind)
+        for ev in plan.of_kind("gpu_xid"):
+            for k in range(3):
+                add(ev.time + 20.0 * k, "xid", (ev.node, ev.xid))
+        for ev in plan.of_kind("ecc_error"):
+            for k in range(3):
+                add(ev.time + 20.0 * k, "xid", (ev.node, 94))
+        for ev in plan.of_kind("host_hang"):
+            add(ev.time, "fail", ev.node)
+            add(ev.time + ev.duration + self.hang_turnaround_s, "repair", ev.node)
+        for ev in plan.of_kind("nic_down"):
+            add(ev.time, "fail", ev.node)
+            add(ev.time + self.nic_repair_s, "repair", ev.node)
+        actions.sort(key=lambda a: (a[0], a[1]))
+        return actions
+
+    def _down_windows(
+        self, events: List[LinkEvent]
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-link dark windows, for the synthetic link_util feed."""
+        windows: Dict[str, List[Tuple[float, float]]] = {}
+        depth: Dict[Tuple[str, str], int] = {}
+        opened: Dict[Tuple[str, str], float] = {}
+        for ev in events:
+            a, b = ev.link
+            key = (a, b) if a <= b else (b, a)
+            if ev.kind == "down":
+                depth[key] = depth.get(key, 0) + 1
+                if depth[key] == 1:
+                    opened[key] = ev.time
+            elif ev.kind == "up":
+                depth[key] = depth.get(key, 0) - 1
+                if depth[key] == 0:
+                    for label in (f"{key[0]}->{key[1]}", f"{key[1]}->{key[0]}"):
+                        windows.setdefault(label, []).append(
+                            (opened[key], ev.time)
+                        )
+        for key, d in depth.items():
+            if d > 0:  # dark through the horizon
+                for label in (f"{key[0]}->{key[1]}", f"{key[1]}->{key[0]}"):
+                    windows.setdefault(label, []).append(
+                        (opened[key], float("inf"))
+                    )
+        return windows
+
+    @staticmethod
+    def _epoch_window(
+        events: List[LinkEvent], t0: float, t1: float, depth: Dict
+    ) -> List[LinkEvent]:
+        """Events for one epoch: carried-over downs at ``t0`` plus the
+        in-window tail. ``depth`` is the running down multiset, advanced
+        past ``t1`` as a side effect."""
+        out = [
+            LinkEvent(time=t0, link=link, kind="down")
+            for link, d in sorted(depth.items()) for _ in range(d)
+        ]
+        for ev in events:
+            if ev.time < t0 or ev.time >= t1:
+                continue
+            out.append(ev)
+            a, b = ev.link
+            key = (a, b) if a <= b else (b, a)
+            if ev.kind == "down":
+                depth[key] = depth.get(key, 0) + 1
+            elif ev.kind == "up":
+                depth[key] = depth.get(key, 0) - 1
+                if depth[key] == 0:
+                    del depth[key]
+        return out
+
+    # -- traffic construction ----------------------------------------------------
+
+    def _epoch_flows(
+        self,
+        sched: TimeSharingScheduler,
+        jobs_by_id: Dict[str, TenantJob],
+        slice_idx: int,
+        t0: float,
+        tokens: float,
+        kv_read_bytes: float,
+        ep_groups: int,
+    ) -> List[Flow]:
+        cfg = self.workload
+        flows: List[Flow] = []
+        k = 0
+
+        def stagger() -> float:
+            nonlocal k
+            k += 1
+            return t0 + ms(1.0) * (k % 64)
+
+        running = sorted(sched.running_tasks(), key=lambda tk: tk.task_id)
+        for task in running:
+            nodes = sorted(task.assigned_nodes)
+            job = jobs_by_id.get(task.task_id)
+            if len(nodes) >= 2:
+                for j, src in enumerate(nodes):
+                    flows.append(
+                        Flow(src, nodes[(j + 1) % len(nodes)],
+                             size=cfg.ring_bytes, sl=ServiceLevel.HFREDUCE,
+                             start=stagger())
+                    )
+            if job is not None and job.moe and len(nodes) >= 2:
+                ep_nodes = nodes[:EP_GROUP_NODES]
+                for a in ep_nodes:
+                    for b in ep_nodes:
+                        if a != b:
+                            flows.append(
+                                Flow(a, b, size=cfg.ep_flow_bytes,
+                                     sl=ServiceLevel.NCCL, start=stagger())
+                            )
+            # Periodic checkpoint shard to the zone-local storage head.
+            head_zone = 0 if nodes[0].startswith("z0") else 1
+            head = self.storage_heads[head_zone][hash_free(task.task_id) % STORAGE_HEADS_PER_ZONE]
+            flows.append(
+                Flow(nodes[0], head, size=cfg.ckpt_shard_bytes,
+                     sl=ServiceLevel.STORAGE, start=stagger())
+            )
+        # Diurnal inference: 3FS-KV cache reads plus EP all-to-all groups.
+        # Serving is continuous, so its flows are spread across the epoch
+        # in sub-bursts — the fabric stays busy when mid-hour faults land,
+        # which is what exercises the warm engine's live reroute path.
+        n = len(self.compute_nodes)
+        sub_burst = self.epoch_s / KV_FANOUT
+        for z in (0, 1):
+            per_flow = kv_read_bytes / (2 * KV_FANOUT)
+            for j in range(KV_FANOUT):
+                server = self.storage_heads[z][j % STORAGE_HEADS_PER_ZONE]
+                client = self.compute_nodes[(slice_idx * KV_FANOUT + j) % n]
+                flows.append(
+                    Flow(server, client, size=per_flow,
+                         sl=ServiceLevel.STORAGE,
+                         start=stagger() + j * sub_burst)
+                )
+        for g in range(ep_groups):
+            base = (slice_idx + g * EP_GROUP_NODES) % n
+            g_start = g * (self.epoch_s / max(ep_groups, 1))
+            group = [
+                self.compute_nodes[(base + j) % n] for j in range(EP_GROUP_NODES)
+            ]
+            for a in group:
+                for b in group:
+                    if a != b:
+                        flows.append(
+                            Flow(a, b, size=cfg.ep_flow_bytes,
+                                 sl=ServiceLevel.NCCL,
+                                 start=stagger() + g_start)
+                        )
+        return flows
+
+    # -- the week ----------------------------------------------------------------
+
+    def run(self, seed: int, days: float = 7.0) -> PlatformWeek:
+        """Simulate ``days`` of the platform; byte-identical per seed."""
+        if days <= 0:
+            raise ReproError("days must be positive")
+        sess = telemetry.session()
+        owned = sess is None
+        if owned:
+            sess = telemetry.start(trace=True)
+        try:
+            return self._run(sess, seed, days)
+        finally:
+            if owned:
+                telemetry.stop()
+
+    def _run(self, sess, seed: int, days: float) -> PlatformWeek:
+        cfg = self.workload
+        rng = Random(seed)
+        tracer = sess.tracer
+        horizon = days * DAY
+
+        plan = generate_workload(cfg, seed, days=days)
+        slices = inference_slices(cfg, days, epoch_s=self.epoch_s)
+        fault_plan = self._fault_plan(seed + 1, days)
+        actions = self._actions(fault_plan)
+        net_events = plan_link_events(
+            self.fabric, fault_plan, nic_repair_s=self.nic_repair_s
+        )
+        down_windows = self._down_windows(net_events)
+        storage_windows = [
+            (ev.time, ev.time + self.storage_outage_s)
+            for ev in fault_plan.of_kind("storage_node_loss")
+        ]
+        retry_stretch = RetryPolicy().total_backoff()
+
+        cluster = HAICluster()
+        for name in self.compute_nodes:
+            cluster.add_node(name, zone=0 if name.startswith("z0") else 1)
+        sched = TimeSharingScheduler(cluster)
+        node_names = sorted(n.name for n in cluster.nodes())
+
+        def node_for(entity: str) -> str:
+            # Plan entities are real scheduler nodes; anything else maps
+            # stably onto the pool.
+            if entity in cluster._nodes:
+                return entity
+            return node_names[sum(entity.encode()) % len(node_names)]
+
+        actuator = SchedulerActuator(sched, node_for=node_for)
+        monitor = Monitor(sess, actuators=[actuator]).attach()
+
+        sim = FlowSim(self.fabric, util_sample_interval=float("inf"))
+        jobs_by_id = {j.job_id: j for j in plan.jobs}
+        submitted: Dict[str, Task] = {}
+
+        fault_ctr: Dict[str, object] = {}
+        epoch_stats: List[Tuple[float, float, int]] = []  # (mean, min, flows)
+        bytes_carried = 0.0
+        prev_counters = {"reroutes": 0, "drains": 0, "link_events": 0}
+
+        ticks_per_epoch = max(1, int(round(self.epoch_s / self.tick_s)))
+        n_ticks = int(horizon / self.tick_s)
+        read_every = max(1, int(round(READ_INTERVAL / self.tick_s)))
+        ai = 0
+        ji = 0
+        epoch_idx = 0
+        depth: Dict[Tuple[str, str], int] = {}
+
+        try:
+            for k in range(n_ticks):
+                t = k * self.tick_s
+                # Fault side effects due by this tick, in plan order.
+                while ai < len(actions) and actions[ai][0] <= t:
+                    at, _, op, payload = actions[ai]
+                    ai += 1
+                    if op == "inject":
+                        ctr = fault_ctr.get(payload)
+                        if ctr is None:
+                            ctr = fault_ctr[payload] = sess.registry.counter(
+                                "faults_injected", kind=payload
+                            )
+                        ctr.inc(ts=at)
+                    elif op == "xid":
+                        node, code = payload
+                        if tracer is not None:
+                            tracer.instant(
+                                "xid", at, track=f"health/{node}",
+                                cat="health",
+                                args={"code": code, "node": node},
+                            )
+                    elif op == "fail":
+                        sched.fail_node(payload, now=max(at, sched.now))
+                    else:
+                        sched.repair_node(payload, now=max(at, sched.now))
+                # Tenant-job churn.
+                while ji < len(plan.jobs) and plan.jobs[ji].submit_s <= t:
+                    job = plan.jobs[ji]
+                    ji += 1
+                    task = Task(
+                        task_id=job.job_id,
+                        nodes_required=job.nodes,
+                        total_work=job.work_s,
+                        priority=job.priority,
+                        zone=job.zone,
+                        checkpoint_interval=self.checkpoint_interval_s,
+                    )
+                    submitted[job.job_id] = task
+                    sched.submit(task, now=max(job.submit_s, sched.now))
+                if t > sched.now:
+                    sched.run(until=t)
+                # Network epoch: the fabric carries this hour's traffic,
+                # faults applied live through the warm engine.
+                if k % ticks_per_epoch == 0 and epoch_idx < len(slices):
+                    sl = slices[epoch_idx]
+                    flows = self._epoch_flows(
+                        sched, jobs_by_id, epoch_idx, t,
+                        sl.tokens, sl.kv_read_bytes, sl.ep_groups,
+                    )
+                    window = self._epoch_window(
+                        net_events, t, t + self.epoch_s, depth
+                    )
+                    monitor.detach()  # epoch telemetry is sub-tick-grain
+                    try:
+                        results = sim.run(flows, link_events=window or None)
+                    finally:
+                        monitor.attach()
+                    rates = [
+                        r.flow.size / (r.finish - r.start)
+                        for r in results
+                        if r.flow.sl is ServiceLevel.HFREDUCE
+                        and r.finish > r.start
+                    ]
+                    if rates:
+                        epoch_stats.append(
+                            (sum(rates) / len(rates), min(rates), len(flows))
+                        )
+                    bytes_carried += sum(r.flow.size for r in results)
+                    epoch_idx += 1
+                # Synthetic minute-grain link_util feed for the congestion
+                # detector: hot while a watched link is dark (traffic is
+                # squeezing around it), noisy-healthy otherwise.
+                for label in self.watched:
+                    if any(s <= t < e for s, e in down_windows.get(label, [])):
+                        util = rng.uniform(0.93, 0.99)
+                    elif rng.random() < 0.01:
+                        util = 0.92
+                    else:
+                        util = rng.uniform(0.35, 0.75)
+                    sess.registry.gauge("link_util", link=label).set(util, ts=t)
+                # 3FS reads: the retry schedule stretches latency while a
+                # storage node's chain re-forms.
+                if k % read_every == 0 and tracer is not None:
+                    dur = READ_BASE * rng.uniform(0.8, 1.2)
+                    if any(s <= t < e for s, e in storage_windows):
+                        dur += retry_stretch
+                    tracer.complete("read", t, dur, track="fs3/client", cat="fs3")
+                monitor.advance(t)
+            if horizon > sched.now:
+                sched.run(until=horizon)
+            monitor.finish(horizon)
+        finally:
+            monitor.detach()
+
+        # Queue waits (first start per job; censored at the horizon).
+        first_start: Dict[str, float] = {}
+        submit_at: Dict[str, float] = {}
+        for ev in sched.events:
+            if ev.kind == "submit" and ev.task_id not in submit_at:
+                submit_at[ev.task_id] = ev.time
+            elif (ev.kind in ("start", "requeue-start")
+                    and ev.task_id not in first_start):
+                first_start[ev.task_id] = ev.time
+        waits = {
+            job_id: (
+                jobs_by_id[job_id].tenant,
+                max(first_start.get(job_id, horizon) - at, 0.0),
+            )
+            for job_id, at in submit_at.items()
+            if job_id in jobs_by_id
+        }
+        tasks = {
+            job_id: (
+                jobs_by_id[job_id].tenant,
+                task.total_work,
+                task.work_done,
+                task.finished_at is not None,
+            )
+            for job_id, task in submitted.items()
+        }
+        scorecard = score_week(
+            waits, tasks, tokens_served=plan.total_tokens, days=days
+        )
+
+        counters = dict(sim.stats.counters)
+        gbps = [m / 1e9 for m, _mn, _ in epoch_stats]
+        gbps_min = [mn / 1e9 for _m, mn, _ in epoch_stats]
+        return PlatformWeek(
+            days=days,
+            ticks=n_ticks,
+            epochs=epoch_idx,
+            scorecard=scorecard,
+            fault_counts=dict(sorted(fault_plan.counts().items())),
+            alerts_fired=len(monitor.alerts),
+            alerts_resolved=sum(
+                1 for a in monitor.alerts if a.resolved_at is not None
+            ),
+            drains=actuator.drains,
+            undrains=actuator.undrains,
+            displaced=len(actuator.displaced),
+            preemptions=sum(1 for e in sched.events if e.kind == "preempt"),
+            crashes=sum(1 for e in sched.events if e.kind == "crash"),
+            net_link_events=int(counters.get("link_events", 0)),
+            net_reroutes=int(counters.get("reroutes", 0)),
+            net_drains=int(counters.get("drains", 0)),
+            training_gbps_mean=sum(gbps) / len(gbps) if gbps else 0.0,
+            training_gbps_min=min(gbps_min) if gbps_min else 0.0,
+            bytes_carried=bytes_carried,
+            tokens_served=plan.total_tokens,
+        )
+
+
+def hash_free(label: str) -> int:
+    """Process-stable small hash (PYTHONHASHSEED-independent)."""
+    return sum(label.encode())

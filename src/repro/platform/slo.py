@@ -1,0 +1,157 @@
+"""SLO scorecard for the platform week: waits, goodput, cost per token.
+
+The scorecard is computed online-style from the driver's observations:
+
+* **queue waits** — p50/p99 through a
+  :class:`~repro.monitor.QuantileSketch` (the same fixed-bucket sketch
+  the streaming monitor keeps), fed one wait per scheduled start; jobs
+  still queued at the horizon contribute their censored wait so a
+  backlogged week cannot hide behind survivors,
+* **per-tenant goodput** — useful work delivered over work requested,
+  straight from the scheduler's task ledger (checkpoint-interrupt crash
+  losses and preemption churn both show up here),
+* **cost per token** — the owned-cluster economics of
+  :mod:`repro.costmodel.tco` amortized over the simulated horizon and
+  divided by the tokens the diurnal inference process served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.costmodel.tco import TcoAssumptions, owned_cluster_costs
+from repro.errors import ReproError
+from repro.monitor import QuantileSketch
+from repro.units import DAY, Seconds
+
+__all__ = ["SloScorecard", "TenantSlo", "cost_per_token", "score_week"]
+
+#: Straight-line capex amortization horizon (the paper argues the owned
+#: cluster pays for itself well inside this).
+AMORTIZE_YEARS = 5.0
+
+
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's week."""
+
+    tenant: int
+    jobs: int
+    finished: int
+    work_requested_s: Seconds
+    work_done_s: Seconds
+    mean_wait_s: Seconds
+
+    @property
+    def goodput(self) -> float:
+        """Useful work delivered / work requested (1.0 = all served)."""
+        if self.work_requested_s <= 0:
+            return 1.0
+        return self.work_done_s / self.work_requested_s
+
+
+@dataclass(frozen=True)
+class SloScorecard:
+    """The platform week, graded."""
+
+    queue_wait_p50_s: Seconds
+    queue_wait_p99_s: Seconds
+    queue_wait_mean_s: Seconds
+    jobs_submitted: int
+    jobs_finished: int
+    goodput_mean: float
+    goodput_worst: float
+    worst_tenant: int
+    tokens_served: float
+    cost_per_token: float
+    tenants: Tuple[TenantSlo, ...]
+
+    @property
+    def completion_rate(self) -> float:
+        if self.jobs_submitted == 0:
+            return 1.0
+        return self.jobs_finished / self.jobs_submitted
+
+
+def cost_per_token(
+    tokens: float,
+    days: float,
+    assumptions: TcoAssumptions = TcoAssumptions(),
+) -> float:
+    """Owned-cluster cost of the horizon divided by tokens served."""
+    if tokens <= 0 or days <= 0:
+        raise ReproError("tokens and days must be positive")
+    own = owned_cluster_costs(assumptions)
+    per_year = own["capex"] / AMORTIZE_YEARS + own["opex_per_year"]
+    return per_year * (days * DAY) / (365.0 * DAY) / tokens
+
+
+def score_week(
+    waits: Dict[str, Tuple[int, Seconds]],
+    tasks: Dict[str, Tuple[int, Seconds, Seconds, bool]],
+    tokens_served: float,
+    days: float,
+    assumptions: TcoAssumptions = TcoAssumptions(),
+) -> SloScorecard:
+    """Fold the driver's ledgers into one scorecard.
+
+    ``waits`` maps job_id -> (tenant, queue wait in seconds; censored
+    waits for never-started jobs included). ``tasks`` maps job_id ->
+    (tenant, work requested, work done, finished).
+    """
+    sketch = QuantileSketch()
+    per_tenant_wait: Dict[int, List[float]] = {}
+    for job_id in sorted(waits):
+        tenant, wait = waits[job_id]
+        sketch.add(wait)
+        per_tenant_wait.setdefault(tenant, []).append(wait)
+
+    agg: Dict[int, List[float]] = {}
+    for job_id in sorted(tasks):
+        tenant, requested, done, finished = tasks[job_id]
+        row = agg.setdefault(tenant, [0.0, 0.0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += 1 if finished else 0
+        row[2] += requested
+        row[3] += done
+
+    tenants = []
+    for tenant in sorted(agg):
+        jobs, finished, requested, done = agg[tenant]
+        t_waits = per_tenant_wait.get(tenant, [])
+        tenants.append(
+            TenantSlo(
+                tenant=tenant,
+                jobs=int(jobs),
+                finished=int(finished),
+                work_requested_s=requested,
+                work_done_s=done,
+                mean_wait_s=sum(t_waits) / len(t_waits) if t_waits else 0.0,
+            )
+        )
+    if not tenants:
+        raise ReproError("cannot score a week with no jobs")
+    worst = min(tenants, key=lambda t: (t.goodput, -t.tenant))
+
+    def q(p: float) -> float:
+        if not sketch.count:
+            return 0.0
+        v = sketch.quantile(p)
+        # Zero waits land in the sketch's lowest bucket; report them as 0
+        # rather than the bucket's sub-microsecond midpoint.
+        return v if v >= 1e-6 else 0.0
+
+    return SloScorecard(
+        queue_wait_p50_s=q(0.5),
+        queue_wait_p99_s=q(0.99),
+        queue_wait_mean_s=sketch.mean,
+        jobs_submitted=sum(t.jobs for t in tenants),
+        jobs_finished=sum(t.finished for t in tenants),
+        goodput_mean=sum(t.goodput for t in tenants) / len(tenants),
+        goodput_worst=worst.goodput,
+        worst_tenant=worst.tenant,
+        tokens_served=tokens_served,
+        cost_per_token=cost_per_token(tokens_served, days, assumptions),
+        tenants=tuple(tenants),
+    )

@@ -1,0 +1,246 @@
+"""Seeded synthetic multi-tenant workload for the platform week.
+
+Two processes, both pure functions of ``(config, seed)``:
+
+* **Training jobs** — per-tenant Poisson arrivals (exponential
+  inter-arrival times) with Weibull service times whose shape < 1 gives
+  the production heavy tail: most jobs are short sweeps, a few run for
+  days. Widths follow the whole-node-allocation profile of Table I
+  (8-GPU nodes, no pooling): the bulk of jobs take one or two nodes, the
+  tail up to ``max_nodes``. Each tenant has a home zone (Section III-B
+  zone-aware placement); a small fraction of jobs float across zones and
+  a deterministic subset of tenants runs at production priority.
+* **Inference traffic** — a diurnal token process in the shape of a
+  serving day (trough at night, peak mid-afternoon), integrated in
+  closed form per epoch. Each epoch slice carries the DeepSeek-V3-style
+  traffic it implies: 3FS-KV cache reads proportional to tokens served
+  and MoE expert-parallel all-to-all groups that scale with load.
+
+Everything downstream (the DES driver, the SLO scorecard, the replay
+certificate) leans on this module emitting byte-identical plans for the
+same arguments: one seeded :class:`random.Random` consumed in a fixed
+order, tuples out, no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+from repro.units import DAY, HOUR, MINUTE, Seconds, gib, kib
+
+__all__ = [
+    "InferenceSlice",
+    "TenantJob",
+    "WorkloadConfig",
+    "WorkloadPlan",
+    "generate_workload",
+    "inference_slices",
+    "inference_tps",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the synthetic platform workload (all seeded-deterministic)."""
+
+    #: Distinct tenants submitting training jobs.
+    tenants: int = 96
+    #: Compute nodes per zone (whole-node allocation, 8 GPUs each).
+    nodes_per_zone: int = 32
+    #: Poisson arrival intensity: mean jobs per tenant per week.
+    jobs_per_tenant_week: float = 7.0
+    #: Weibull service-time profile (shape < 1: heavy tail of long jobs).
+    work_shape: float = 0.8
+    work_scale_s: Seconds = 4 * HOUR
+    min_work_s: Seconds = 10 * MINUTE
+    max_work_s: Seconds = 2 * DAY
+    #: Widest job in nodes; width is geometric-ish, favouring small jobs.
+    max_nodes: int = 8
+    #: Fraction of jobs training MoE models (EP all-to-all traffic).
+    moe_fraction: float = 0.25
+    #: Fraction of jobs free to run in either zone (the scheduler still
+    #: admits at most one cross-zone task at a time).
+    cross_zone_fraction: float = 0.05
+    #: Every n-th tenant runs at production priority.
+    production_every: int = 7
+    #: Diurnal inference (tokens/s): trough-to-peak sinusoid over a day.
+    inference_trough_tps: float = 1.5e5
+    inference_peak_tps: float = 6.0e5
+    peak_hour: float = 14.0
+    #: KV-cache bytes read from 3FS-KV per generated token.
+    kv_bytes_per_token: float = 32 * kib(1)
+    #: Tokens carried per EP all-to-all group-dispatch before another
+    #: group is provisioned (scales the all-to-all fan-out with load).
+    tokens_per_ep_group: float = 2.0e8
+    #: Per-flow payloads of the carried traffic classes.
+    ring_bytes: float = gib(1)
+    ckpt_shard_bytes: float = 4 * gib(1)
+    ep_flow_bytes: float = 256 * kib(1) * 4096  # dispatch+combine per pair
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1 or self.nodes_per_zone < 1:
+            raise ReproError("tenants and nodes_per_zone must be >= 1")
+        if not 0 < self.work_shape:
+            raise ReproError("work_shape must be positive")
+        if not 0 < self.min_work_s <= self.max_work_s:
+            raise ReproError("need 0 < min_work_s <= max_work_s")
+        if self.max_nodes < 1 or self.max_nodes > 2 * self.nodes_per_zone:
+            raise ReproError("max_nodes must fit the cluster")
+        if not 0 <= self.moe_fraction <= 1:
+            raise ReproError("moe_fraction must be in [0, 1]")
+        if self.inference_peak_tps < self.inference_trough_tps:
+            raise ReproError("peak tps must be >= trough tps")
+
+
+@dataclass(frozen=True)
+class TenantJob:
+    """One tenant's training job, as submitted to the platform."""
+
+    tenant: int
+    job_id: str
+    submit_s: Seconds
+    nodes: int
+    work_s: Seconds
+    priority: int
+    zone: Optional[int]  # None = free to float across zones
+    moe: bool
+
+
+@dataclass(frozen=True)
+class InferenceSlice:
+    """Inference traffic intent for one epoch ``[t0_s, t1_s)``."""
+
+    t0_s: Seconds
+    t1_s: Seconds
+    tokens: float
+    kv_read_bytes: float
+    ep_groups: int
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The full week: training jobs plus per-epoch inference slices."""
+
+    jobs: Tuple[TenantJob, ...]  # sorted by (submit_s, job_id)
+    slices: Tuple[InferenceSlice, ...]
+    horizon_s: Seconds
+
+    @property
+    def total_tokens(self) -> float:
+        return sum(s.tokens for s in self.slices)
+
+    @property
+    def tenants_active(self) -> int:
+        return len({j.tenant for j in self.jobs})
+
+
+# -- training-job process -----------------------------------------------------------
+
+
+def _job_width(rng: Random, cfg: WorkloadConfig) -> int:
+    """Whole-node width: geometric decay toward ``max_nodes``."""
+    width = 1
+    while width < cfg.max_nodes and rng.random() < 0.45:
+        width *= 2
+    return min(width, cfg.max_nodes)
+
+
+def generate_workload(
+    cfg: WorkloadConfig, seed: int, days: float = 7.0
+) -> WorkloadPlan:
+    """The platform's synthetic week: same arguments, identical plan."""
+    if days <= 0:
+        raise ReproError("days must be positive")
+    rng = Random(seed)
+    horizon = days * DAY
+    rate = cfg.jobs_per_tenant_week / (7 * DAY)  # arrivals per second
+    jobs = []
+    for tenant in range(cfg.tenants):
+        home_zone = tenant % 2
+        priority = 2 if tenant % cfg.production_every == 0 else rng.randrange(2)
+        t = rng.expovariate(rate)
+        k = 0
+        while t < horizon:
+            work = min(
+                max(
+                    rng.weibullvariate(cfg.work_scale_s, cfg.work_shape),
+                    cfg.min_work_s,
+                ),
+                cfg.max_work_s,
+            )
+            zone: Optional[int] = home_zone
+            if rng.random() < cfg.cross_zone_fraction:
+                zone = None
+            jobs.append(
+                TenantJob(
+                    tenant=tenant,
+                    job_id=f"t{tenant:03d}.j{k:03d}",
+                    submit_s=t,
+                    nodes=_job_width(rng, cfg),
+                    work_s=work,
+                    priority=priority,
+                    zone=zone,
+                    moe=rng.random() < cfg.moe_fraction,
+                )
+            )
+            k += 1
+            t += rng.expovariate(rate)
+    jobs.sort(key=lambda j: (j.submit_s, j.job_id))
+    return WorkloadPlan(
+        jobs=tuple(jobs),
+        slices=inference_slices(cfg, days),
+        horizon_s=horizon,
+    )
+
+
+# -- diurnal inference process ------------------------------------------------------
+
+
+def inference_tps(cfg: WorkloadConfig, t: Seconds) -> float:
+    """Instantaneous serving load (tokens/s) at simulated time ``t``."""
+    mid = 0.5 * (cfg.inference_peak_tps + cfg.inference_trough_tps)
+    amp = 0.5 * (cfg.inference_peak_tps - cfg.inference_trough_tps)
+    phase = 2.0 * math.pi * (t / DAY - cfg.peak_hour / 24.0)
+    return mid + amp * math.cos(phase)
+
+
+def _token_integral(cfg: WorkloadConfig, t0: Seconds, t1: Seconds) -> float:
+    """Closed-form integral of :func:`inference_tps` over ``[t0, t1]``."""
+    mid = 0.5 * (cfg.inference_peak_tps + cfg.inference_trough_tps)
+    amp = 0.5 * (cfg.inference_peak_tps - cfg.inference_trough_tps)
+    w = 2.0 * math.pi / DAY
+    shift = cfg.peak_hour / 24.0 * DAY
+
+    def anti(t: float) -> float:
+        return mid * t + (amp / w) * math.sin(w * (t - shift))
+
+    return anti(t1) - anti(t0)
+
+
+def inference_slices(
+    cfg: WorkloadConfig, days: float, epoch_s: Seconds = HOUR
+) -> Tuple[InferenceSlice, ...]:
+    """Per-epoch inference traffic intents over ``days`` of serving."""
+    if epoch_s <= 0:
+        raise ReproError("epoch_s must be positive")
+    horizon = days * DAY
+    out = []
+    t0 = 0.0
+    while t0 < horizon:
+        t1 = min(t0 + epoch_s, horizon)
+        tokens = _token_integral(cfg, t0, t1)
+        out.append(
+            InferenceSlice(
+                t0_s=t0,
+                t1_s=t1,
+                tokens=tokens,
+                kv_read_bytes=tokens * cfg.kv_bytes_per_token,
+                ep_groups=1 + int(tokens / cfg.tokens_per_ep_group),
+            )
+        )
+        t0 = t1
+    return tuple(out)

@@ -9,7 +9,6 @@ against realistic failure streams.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -108,7 +107,7 @@ class FailureGenerator:
         weights /= weights.sum()
         return [int(c) for c in self.rng.choice(codes, size=n, p=weights)]
 
-    def _xid_events(self, duration_seconds: float) -> List[FailureEvent]:
+    def _xid_stream(self, duration_seconds: float) -> List[FailureEvent]:
         if duration_seconds <= 0:
             raise ReproError("duration must be positive")
         rate = self.xid_rate_per_second()
@@ -127,17 +126,7 @@ class FailureGenerator:
 
     def failure_stream(self, duration_seconds: float) -> List[FailureEvent]:
         """Poisson Xid arrivals over ``duration_seconds``."""
-        return self._xid_events(duration_seconds)
-
-    def xid_events(self, duration_seconds: float) -> List[FailureEvent]:
-        """Deprecated alias of :meth:`failure_stream`."""
-        warnings.warn(
-            "xid_events is deprecated; use failure_stream, or fault_plan "
-            "for a typed repro.faults schedule",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._xid_events(duration_seconds)
+        return self._xid_stream(duration_seconds)
 
     def fault_plan(self, duration_seconds: float) -> FaultPlan:
         """The calibrated Xid stream as a typed, injectable fault plan.
@@ -149,7 +138,7 @@ class FailureGenerator:
         """
         return FaultPlan([
             GpuXid(time=ev.time, node=ev.node, xid=ev.xid)
-            for ev in self._xid_events(duration_seconds)
+            for ev in self._xid_stream(duration_seconds)
         ])
 
     # -- monthly classes --------------------------------------------------------------

@@ -41,12 +41,57 @@ def test_all_experiments_render(capsys):
 
 
 def test_registry_is_complete():
-    assert len(EXPERIMENTS) == 16
+    assert len(EXPERIMENTS) == 17
     # Every entry is a registry spec with the metadata --list renders.
     for name, spec in EXPERIMENTS.items():
         assert spec.name == name
         assert spec.description
         assert callable(spec.render)
+
+
+def test_set_override_typed(capsys):
+    assert main(["chaos", "--set", "nodes=8"]) == 0
+    out = capsys.readouterr().out
+    assert "seed 7" in out
+
+
+def test_set_unknown_key_exits_2(capsys):
+    assert main(["chaos", "--set", "warp_factor=9"]) == 2
+    err = capsys.readouterr().err
+    assert "warp_factor" in err
+
+
+def test_set_uncoercible_value_exits_2(capsys):
+    assert main(["chaos", "--set", "nodes=many"]) == 2
+    err = capsys.readouterr().err
+    assert "nodes" in err
+
+
+def test_set_on_configless_experiment_exits_2(capsys):
+    assert main(["table1", "--set", "nodes=8"]) == 2
+    err = capsys.readouterr().err
+    assert "no config" in err
+
+
+def test_list_shows_config_schema(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "--set" in out
+    assert "days:float=7.0" in out  # platform_week advertises its schema
+
+
+def test_platform_week_cli_compressed(capsys):
+    # A compressed platform week through the real CLI path: --set and
+    # --seed compose, and the scorecard renders.
+    assert main([
+        "platform_week", "--seed", "3",
+        "--set", "days=0.25", "--set", "tenants=8",
+        "--set", "nodes_per_zone=4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Platform week, seed 3" in out
+    assert "queue wait p99 (min)" in out
+    assert "cost per Mtoken ($)" in out
 
 
 def test_list_shows_descriptions(capsys):

@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fairshare import Constraint, maxmin_rates, maxmin_rates_vectorized
+from repro.fairshare import Constraint, maxmin_rates, solve_cold
 from repro.perf import PerfCounters
 
 
@@ -26,7 +26,7 @@ def _close(a: float, b: float) -> bool:
 
 def _assert_match(flows, cons, weights=None, demands=None):
     ref = maxmin_rates(flows, cons, weights, demands)
-    vec = maxmin_rates_vectorized(flows, cons, weights, demands)
+    vec = solve_cold(flows, cons, weights, demands)
     assert set(ref) == set(vec)
     for f in ref:
         assert _close(ref[f], vec[f]), (f, ref[f], vec[f])
@@ -58,11 +58,11 @@ def test_property_vectorized_matches_reference(n_flows, n_cons, seed):
 
 
 def test_vectorized_empty_flows():
-    assert maxmin_rates_vectorized([], [Constraint(1.0, {"a"})]) == {}
+    assert solve_cold([], [Constraint(1.0, {"a"})]) == {}
 
 
 def test_vectorized_unconstrained_flow_is_infinite():
-    rates = maxmin_rates_vectorized(["lonely"], [])
+    rates = solve_cold(["lonely"], [])
     assert rates["lonely"] == float("inf")
 
 
@@ -107,31 +107,13 @@ def test_vectorized_weighted_split():
 
 def test_vectorized_zero_weight_rejected():
     with pytest.raises(ValueError):
-        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})], weights={"a": 0.0})
+        solve_cold(["a"], [Constraint(1.0, {"a"})], weights={"a": 0.0})
 
 
 def test_vectorized_records_perf_counters():
     perf = PerfCounters()
-    maxmin_rates_vectorized(
+    solve_cold(
         ["a", "b"], [Constraint(10.0, {"a", "b"})], perf=perf
     )
     assert perf.counters["solver_calls"] == 1
     assert perf.counters["solver_iterations"] >= 1
-
-
-def test_deprecation_shim_warns_exactly_once_per_process(monkeypatch):
-    import warnings
-
-    import repro.fairshare as fairshare
-
-    # Reset the process-wide latch so this test is order-independent.
-    monkeypatch.setattr(fairshare, "_shim_warned", False)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
-        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
-        maxmin_rates_vectorized(["a"], [Constraint(1.0, {"a"})])
-    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-    assert len(dep) == 1, "shim must warn exactly once per process"
-    assert "solve_maxmin" in str(dep[0].message)
-    assert fairshare._shim_warned is True

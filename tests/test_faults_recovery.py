@@ -36,7 +36,6 @@ from repro.network import (
 )
 from repro.network.linkfail import (
     assess_fault_plan,
-    assess_link_failures,
     links_for_event,
 )
 
@@ -111,19 +110,6 @@ class TestNetworkRecovery:
             1 + len(links_for_event(fabric, plan[1])),
             1 + len(links_for_event(fabric, plan[1])),
         ]
-
-    def test_legacy_signature_warns_and_matches(self):
-        fabric = make_fabric()
-        flows = make_flows()
-        link = switch_links(fabric)[0]
-        with pytest.warns(DeprecationWarning):
-            legacy = assess_link_failures(fabric, flows, [link])
-        pa = assess_fault_plan(
-            fabric, flows,
-            FaultPlan([LinkFlap(time=0.0, link=link, duration=1.0)]),
-        )
-        assert legacy == pa.impacts[0].report
-
 
 class TestCollectiveRecovery:
     @pytest.mark.parametrize("n,dead", [
@@ -352,28 +338,14 @@ class TestCheckpointRecovery:
             losses[interval] = s.lost_time
         assert losses[120.0] < losses[600.0]
 
-    def test_faultless_run_matches_legacy_api(self):
+    def test_faultless_run_has_no_losses(self):
         from repro.ckpt import simulate_training
-        from repro.ckpt.async_sim import simulate_checkpointing
 
-        new = simulate_training("async", n_steps=50)
-        with pytest.warns(DeprecationWarning):
-            old = simulate_checkpointing("async", n_steps=50)
-        assert old == new
-        assert old.failures == 0 and old.lost_time == 0.0
+        s = simulate_training("async", n_steps=50)
+        assert s.failures == 0 and s.lost_time == 0.0
 
 
-class TestReliabilityShims:
-    def test_xid_events_warns_and_matches_failure_stream(self):
-        from repro.reliability.failures import FailureGenerator
-
-        gen = FailureGenerator(n_nodes=8, seed=3)
-        stream = gen.failure_stream(7 * 86400.0)
-        gen2 = FailureGenerator(n_nodes=8, seed=3)
-        with pytest.warns(DeprecationWarning):
-            legacy = gen2.xid_events(7 * 86400.0)
-        assert legacy == stream
-
+class TestReliabilityBridges:
     def test_fault_plan_bridge(self):
         from repro.reliability.failures import FailureGenerator
 

@@ -79,7 +79,7 @@ def test_failure_stream_drives_scheduler_without_stalling():
         sched.submit(Task(f"job{i}", nodes_required=4,
                           total_work=20 * 86400.0, checkpoint_interval=300.0))
     gen = FailureGenerator(n_nodes=16, seed=5)
-    events = gen.xid_events(30 * 86400.0)
+    events = gen.failure_stream(30 * 86400.0)
     assert events, "a month at Table-VI rates must produce events"
     # Treat the first few events as node-fatal for this test (most real
     # Xids are software/NVLink, but the scheduler path is identical).

@@ -12,8 +12,9 @@ from repro.costmodel.tco import (
     tco_summary,
 )
 from repro.errors import ReproError, TopologyError
+from repro.faults import FaultPlan, LinkFlap
 from repro.network import Flow, two_layer_fat_tree
-from repro.network.linkfail import DegradedFabric, assess_link_failures
+from repro.network.linkfail import DegradedFabric, assess_fault_plan
 from repro.network.routing import StaticRouter
 
 
@@ -31,12 +32,20 @@ def _flows(n=6):
     return [Flow(f"h{i}", f"h{39 - i}", size=1.0, flow_id=i) for i in range(n)]
 
 
+def _cut(fabric, flows, dead):
+    """Simultaneous flash cuts as a fault plan; the last impact sees all."""
+    plan = FaultPlan([
+        LinkFlap(time=0.0, link=link, duration=1.0) for link in dead
+    ])
+    return assess_fault_plan(fabric, flows, plan).impacts[-1].report
+
+
 def test_leaf_spine_failure_reroutes(fabric):
     flows = _flows()
     # Kill the spine link the first flow uses.
     path = StaticRouter(fabric).route("h0", "h39", 0)
     dead = [(path[1], path[2])]  # leaf -> spine hop
-    report = assess_link_failures(fabric, flows, dead)
+    report = _cut(fabric, flows, dead)
     assert report.tasks_killed == 0  # fat-tree redundancy
     assert 0 in report.rerouted
     assert report.min_rate_after > 0
@@ -45,7 +54,7 @@ def test_leaf_spine_failure_reroutes(fabric):
 def test_access_link_failure_disconnects_host(fabric):
     flows = _flows()
     dead = [("h0", "leaf0")]  # h0's only NIC link
-    report = assess_link_failures(fabric, flows, dead)
+    report = _cut(fabric, flows, dead)
     assert 0 in report.disconnected
     assert report.tasks_killed == 1
     # Everyone else keeps running.
@@ -56,7 +65,7 @@ def test_multiple_failures_combined(fabric):
     flows = _flows()
     p0 = StaticRouter(fabric).route("h0", "h39", 0)
     dead = [(p0[1], p0[2]), ("h1", "leaf0")]
-    report = assess_link_failures(fabric, flows, dead)
+    report = _cut(fabric, flows, dead)
     assert 1 in report.disconnected
     assert 0 in report.rerouted
 
@@ -67,9 +76,9 @@ def test_unknown_link_rejected(fabric):
 
 
 def test_no_failures_no_impact(fabric):
-    report = assess_link_failures(fabric, _flows(), [])
-    assert not report.rerouted and not report.disconnected
-    assert report.min_rate_after == pytest.approx(report.min_rate_before)
+    pa = assess_fault_plan(fabric, _flows(), FaultPlan([]))
+    assert pa.impacts == ()
+    assert pa.flows_rerouted == 0 and pa.flows_disconnected == 0
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ckpt.async_sim import compare_policies, simulate_checkpointing
+from repro.ckpt.async_sim import compare_policies, simulate_training
 from repro.errors import CheckpointError, ValidationFailure
 from repro.reliability.memtest import (
     FaultyMemory,
@@ -90,7 +90,7 @@ def test_property_every_injected_fault_is_detected(size, faults):
 
 
 def test_async_checkpointing_overhead_is_d2h_only():
-    stats = simulate_checkpointing("async", n_steps=100, step_time=10.0,
+    stats = simulate_training("async", n_steps=100, step_time=10.0,
                                    interval=300.0, d2h_time=0.5,
                                    write_time=4.0)
     # 100 steps x 10s = 1000s training; saves roughly every 30 steps.
@@ -111,7 +111,7 @@ def test_sync_checkpointing_pays_the_write():
 
 
 def test_async_overhead_fraction_is_minimal():
-    stats = simulate_checkpointing("async", n_steps=300, step_time=10.0,
+    stats = simulate_training("async", n_steps=300, step_time=10.0,
                                    interval=300.0, d2h_time=0.5,
                                    write_time=4.0)
     # The paper: "without impacting the training process" — sub-1%.
@@ -121,7 +121,7 @@ def test_async_overhead_fraction_is_minimal():
 def test_staging_buffer_backpressure():
     # If writes are slower than the save cadence, the staging buffer
     # forces the next D2H to wait (no unbounded queueing of state copies).
-    stats = simulate_checkpointing("async", n_steps=20, step_time=1.0,
+    stats = simulate_training("async", n_steps=20, step_time=1.0,
                                    interval=1.0, d2h_time=0.1,
                                    write_time=5.0)
     # Every step checkpoints, but writes take 5 steps: total stretches.
@@ -130,8 +130,8 @@ def test_staging_buffer_backpressure():
 
 def test_async_sim_validation():
     with pytest.raises(CheckpointError):
-        simulate_checkpointing("warp")
+        simulate_training("warp")
     with pytest.raises(CheckpointError):
-        simulate_checkpointing("async", n_steps=0)
+        simulate_training("async", n_steps=0)
     with pytest.raises(CheckpointError):
-        simulate_checkpointing("async", d2h_time=-1)
+        simulate_training("async", d2h_time=-1)

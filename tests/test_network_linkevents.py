@@ -1,0 +1,272 @@
+"""Live link events in FlowSim: the warm engine's in-place fault path.
+
+``FlowSim.run(flows, link_events=...)`` applies downs/ups/degrades at
+event-time boundaries: affected in-flight flows reroute through the warm
+solver's retire/admit path (byte-preserving), unreachable flows drain,
+capacity degrades go through ``set_capacity``. These tests pin down
+
+* validation and compilation (:class:`LinkEvent`,
+  :func:`plan_link_events`),
+* warm == reference equivalence under identical event sequences,
+* warm-reroute == cold-rebuild equivalence: finishing a flow through a
+  live ``down`` matches solving the residual problem on a degraded
+  fabric from scratch,
+* restoration: a simulator that saw events solves a clean run
+  identically to a fresh instance afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TopologyError
+from repro.faults import FaultPlan, LinkFlap, NicDown
+from repro.network import (
+    Flow,
+    FlowSim,
+    LinkEvent,
+    ServiceLevel,
+    plan_link_events,
+    two_zone_network,
+)
+from repro.network.linkfail import DegradedFabric
+
+
+@pytest.fixture()
+def fabric():
+    # 4 hosts per zone, 4 parallel interzone links: reroutes have
+    # somewhere to go when one interzone link dies.
+    return two_zone_network(4)
+
+
+def _finishes(sim, flows, events=None):
+    return {
+        r.flow.flow_id: r.finish for r in sim.run(flows, link_events=events)
+    }
+
+
+# ---------------------------------------------------------------------------
+# LinkEvent / plan_link_events
+# ---------------------------------------------------------------------------
+
+
+def test_link_event_validation():
+    with pytest.raises(ReproError):
+        LinkEvent(time=-1.0, link=("a", "b"))
+    with pytest.raises(ReproError):
+        LinkEvent(time=0.0, link=("a", "b"), kind="wobble")
+    with pytest.raises(ReproError):
+        LinkEvent(time=0.0, link=("a", "b"), kind="degrade",
+                  capacity_factor=0.0)
+    ev = LinkEvent(time=1.0, link=("a", "b"), kind="degrade",
+                   capacity_factor=0.5)
+    assert ev.capacity_factor == 0.5
+
+
+def test_plan_link_events_compiles_flaps_and_nics(fabric):
+    link = next(
+        (a, b) for a, b in fabric.g.edges()
+        if a not in set(fabric.hosts) and b not in set(fabric.hosts)
+    )
+    host = fabric.hosts[0]
+    plan = FaultPlan([
+        LinkFlap(time=10.0, link=link, duration=5.0),
+        NicDown(time=20.0, node=host),
+    ])
+    events = plan_link_events(fabric, plan)
+    assert [e.time for e in events] == sorted(e.time for e in events)
+    downs = [e for e in events if e.kind == "down"]
+    ups = [e for e in events if e.kind == "up"]
+    # The flap recovers; the NIC death is permanent without a turnaround.
+    assert len(downs) == 1 + fabric.g.degree(host)
+    assert len(ups) == 1 and ups[0].time == 15.0
+
+
+def test_plan_link_events_nic_repair(fabric):
+    host = fabric.hosts[0]
+    plan = FaultPlan([NicDown(time=20.0, node=host)])
+    events = plan_link_events(fabric, plan, nic_repair_s=600.0)
+    ups = [e for e in events if e.kind == "up"]
+    assert len(ups) == fabric.g.degree(host)
+    assert all(e.time == 620.0 for e in ups)
+
+
+def test_unmatched_up_rejected(fabric):
+    host = fabric.hosts[0]
+    link = next(iter(fabric.g.edges(host)))
+    sim = FlowSim(fabric)
+    flows = [Flow(fabric.hosts[0], fabric.hosts[1], size=1e12)]
+    with pytest.raises(TopologyError):
+        sim.run(flows, link_events=[LinkEvent(time=0.5, link=link, kind="up")])
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence under events
+# ---------------------------------------------------------------------------
+
+
+def _cross_zone_flows(fabric, n=6, size=1e10):
+    zone0 = [h for h in fabric.hosts if fabric.zone_of(h) == 0]
+    zone1 = [h for h in fabric.hosts if fabric.zone_of(h) == 1]
+    return [
+        Flow(zone0[i % len(zone0)], zone1[i % len(zone1)], size=size,
+             flow_id=i, start=0.1 * i)
+        for i in range(n)
+    ]
+
+
+def _interzone_links(fabric):
+    hosts = set(fabric.hosts)
+    return sorted(
+        (a, b) for a, b in fabric.g.edges()
+        if a not in hosts and b not in hosts
+    )
+
+
+def test_warm_matches_reference_under_events(fabric):
+    links = _interzone_links(fabric)
+    events = [
+        LinkEvent(time=0.05, link=links[0], kind="down"),
+        LinkEvent(time=0.2, link=links[1], kind="degrade",
+                  capacity_factor=0.25),
+        LinkEvent(time=1.0, link=links[0], kind="up"),
+    ]
+    flows = _cross_zone_flows(fabric)
+    warm = _finishes(FlowSim(fabric, engine="vectorized"), flows, events)
+    ref = _finishes(FlowSim(fabric, engine="reference"), flows, events)
+    assert warm.keys() == ref.keys()
+    for fid in warm:
+        assert warm[fid] == pytest.approx(ref[fid], rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    down_t=st.floats(min_value=0.01, max_value=2.0),
+    up_after=st.floats(min_value=0.05, max_value=3.0),
+    which=st.integers(min_value=0, max_value=3),
+    n_flows=st.integers(min_value=2, max_value=8),
+)
+def test_engines_agree_on_random_flap(down_t, up_after, which, n_flows):
+    fabric = two_zone_network(4)
+    links = _interzone_links(fabric)
+    events = [
+        LinkEvent(time=down_t, link=links[which], kind="down"),
+        LinkEvent(time=down_t + up_after, link=links[which], kind="up"),
+    ]
+    flows = _cross_zone_flows(fabric, n=n_flows)
+    warm = _finishes(FlowSim(fabric, engine="vectorized"), flows, events)
+    ref = _finishes(FlowSim(fabric, engine="reference"), flows, events)
+    for fid in warm:
+        assert warm[fid] == pytest.approx(ref[fid], rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Warm reroute == cold rebuild
+# ---------------------------------------------------------------------------
+
+
+def test_live_down_matches_cold_rebuild(fabric):
+    """A mid-flight down re-solved in place equals the two-phase answer.
+
+    Cold baseline: run the healthy fabric until the event time, compute
+    the bytes remaining, then solve the residual flow on a
+    :class:`DegradedFabric` built from scratch. The warm path must land
+    on the same finish time without ever rebuilding the simulator.
+    """
+    links = _interzone_links(fabric)
+    down_at = 0.4
+    flow = Flow(fabric.hosts[0], fabric.hosts[-1], size=2e10, flow_id=0)
+
+    sim = FlowSim(fabric)
+    rate = sim.instantaneous_rates([flow])[0]
+    route = sim.router.route(flow.src, flow.dst, 0)
+    on_path = [
+        (a, b) for a, b in zip(route, route[1:])
+        if (a, b) in links or (b, a) in links
+    ]
+    assert on_path, "flow must cross an interzone link"
+    remaining = flow.size - rate * down_at
+    assert remaining > 0, "event must interrupt the flow mid-flight"
+
+    degraded = DegradedFabric.from_fabric(fabric, [on_path[0]])
+    cold = FlowSim(degraded).run([Flow(flow.src, flow.dst, size=remaining)])
+    expected = down_at + cold[0].finish
+
+    live = _finishes(
+        FlowSim(fabric),
+        [flow],
+        [LinkEvent(time=down_at, link=on_path[0], kind="down")],
+    )
+    assert live[0] == pytest.approx(expected, rel=1e-6)
+    # And the reference engine agrees with both.
+    ref = _finishes(
+        FlowSim(fabric, engine="reference"),
+        [flow],
+        [LinkEvent(time=down_at, link=on_path[0], kind="down")],
+    )
+    assert ref[0] == pytest.approx(expected, rel=1e-6)
+
+
+def test_degrade_matches_cold_capacity(fabric):
+    """A live degrade equals solving the residual on the slower link."""
+    hosts = fabric.hosts
+    flow = Flow(hosts[0], hosts[1], size=1e10, flow_id=0)
+    sim = FlowSim(fabric)
+    route = sim.router.route(flow.src, flow.dst, 0)
+    access = (route[0], route[1])
+    rate = sim.instantaneous_rates([flow])[0]
+    degrade_at = 0.2
+    remaining = flow.size - rate * degrade_at
+    # Residual at half the bottleneck capacity takes twice as long.
+    expected = degrade_at + remaining / (rate / 2.0)
+    for engine in ("vectorized", "reference"):
+        got = _finishes(
+            FlowSim(fabric, engine=engine),
+            [flow],
+            [LinkEvent(time=degrade_at, link=access, kind="degrade",
+                       capacity_factor=0.5)],
+        )
+        assert got[0] == pytest.approx(expected, rel=1e-6)
+
+
+def test_unreachable_flow_drains(fabric):
+    host = fabric.hosts[0]
+    dead = sorted((host, nbr) for nbr in fabric.g.neighbors(host))
+    events = [LinkEvent(time=0.05, link=lk, kind="down") for lk in dead]
+    flows = [Flow(host, fabric.hosts[-1], size=1e12, flow_id=0)]
+    for engine in ("vectorized", "reference"):
+        sim = FlowSim(fabric, engine=engine)
+        res = sim.run(flows, link_events=events)
+        assert len(res) == 1
+        assert res[0].finish == pytest.approx(0.05)
+        assert sim.stats.counters["drains"] == 1
+
+
+def test_counters_track_events_and_reroutes(fabric):
+    links = _interzone_links(fabric)
+    events = [
+        LinkEvent(time=0.05, link=links[0], kind="down"),
+        LinkEvent(time=5.0, link=links[0], kind="up"),
+    ]
+    flows = _cross_zone_flows(fabric, n=4)
+    sim = FlowSim(fabric)
+    sim.run(flows, link_events=events)
+    counters = dict(sim.stats.counters)
+    assert counters["link_events"] >= 1
+    assert counters.get("reroutes", 0) >= 1
+
+
+def test_simulator_restores_after_events(fabric):
+    """After an eventful run the same instance solves clean runs cleanly."""
+    links = _interzone_links(fabric)
+    flows = _cross_zone_flows(fabric)
+    sim = FlowSim(fabric)
+    eventful = _finishes(
+        sim, flows, [LinkEvent(time=0.05, link=links[0], kind="down")]
+    )
+    clean_again = _finishes(sim, flows)
+    fresh = _finishes(FlowSim(fabric), flows)
+    assert clean_again == fresh
+    assert eventful != fresh  # the down actually changed the solution

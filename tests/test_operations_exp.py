@@ -10,7 +10,7 @@ from repro.experiments import operations_exp
 def test_operations_scorecard_shape():
     r = operations_exp.run(n_nodes=16, weeks=4, seed=3)
     assert r["nodes"] == 16
-    assert r["xid_events"] > 0
+    assert r["xid_count"] > 0
     assert r["task_crashes"] <= r["node_fatal_events"]
     assert 0 <= r["lost_fraction"] < 0.01
     assert r["lost_gpu_hours"] >= 0

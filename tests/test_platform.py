@@ -1,0 +1,230 @@
+"""The platform layer: workload generator properties, SLO math, smoke week.
+
+The workload generator is the foundation of the platform week's replay
+determinism, so hypothesis drives it across seeds and configs checking
+that plans are byte-identical per seed, structurally valid, and scale
+the way the configured processes say they should. The driver smoke runs
+a compressed week end to end (tier-1 grain: an hour of simulated time
+per epoch is too slow here, so ticks and epochs compress together).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.platform import (
+    PlatformSim,
+    WorkloadConfig,
+    cost_per_token,
+    generate_workload,
+    inference_slices,
+    inference_tps,
+    score_week,
+)
+from repro.units import DAY, HOUR, MINUTE
+
+
+# ---------------------------------------------------------------------------
+# Workload generator properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    tenants=st.integers(min_value=1, max_value=32),
+    days=st.floats(min_value=0.25, max_value=7.0),
+)
+def test_same_seed_same_plan(seed, tenants, days):
+    cfg = WorkloadConfig(tenants=tenants, nodes_per_zone=8, max_nodes=8)
+    a = generate_workload(cfg, seed, days=days)
+    b = generate_workload(cfg, seed, days=days)
+    assert a == b  # tuples of frozen dataclasses: full byte-equality
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_jobs_structurally_valid(seed):
+    cfg = WorkloadConfig(tenants=12, nodes_per_zone=8, max_nodes=8)
+    plan = generate_workload(cfg, seed, days=3.0)
+    seen = set()
+    last = (-1.0, "")
+    for job in plan.jobs:
+        assert job.job_id not in seen
+        seen.add(job.job_id)
+        assert (job.submit_s, job.job_id) >= last  # sorted submission order
+        last = (job.submit_s, job.job_id)
+        assert 0 <= job.submit_s < plan.horizon_s
+        assert 1 <= job.nodes <= cfg.max_nodes
+        assert cfg.min_work_s <= job.work_s <= cfg.max_work_s
+        assert job.zone in (None, 0, 1)
+        assert 0 <= job.tenant < cfg.tenants
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_arrival_rate_tracks_config(seed):
+    # Mean arrivals ~ tenants * rate * horizon; allow wide Poisson slack.
+    cfg = WorkloadConfig(tenants=64, nodes_per_zone=8,
+                         jobs_per_tenant_week=7.0)
+    plan = generate_workload(cfg, seed, days=7.0)
+    expect = 64 * 7.0
+    assert 0.5 * expect <= len(plan.jobs) <= 1.6 * expect
+
+
+def test_production_tenants_are_priority_2():
+    cfg = WorkloadConfig(tenants=21, nodes_per_zone=8, production_every=7)
+    plan = generate_workload(cfg, seed=5, days=7.0)
+    for job in plan.jobs:
+        if job.tenant % 7 == 0:
+            assert job.priority == 2
+        else:
+            assert job.priority in (0, 1)
+
+
+def test_workload_config_validation():
+    with pytest.raises(ReproError):
+        WorkloadConfig(tenants=0)
+    with pytest.raises(ReproError):
+        WorkloadConfig(max_nodes=0)
+    with pytest.raises(ReproError):
+        WorkloadConfig(nodes_per_zone=2, max_nodes=32)
+    with pytest.raises(ReproError):
+        WorkloadConfig(inference_peak_tps=1.0, inference_trough_tps=2.0)
+    with pytest.raises(ReproError):
+        generate_workload(WorkloadConfig(), seed=1, days=0)
+
+
+# ---------------------------------------------------------------------------
+# Diurnal inference process
+# ---------------------------------------------------------------------------
+
+
+def test_diurnal_peak_and_trough():
+    cfg = WorkloadConfig()
+    peak = inference_tps(cfg, cfg.peak_hour * HOUR)
+    trough = inference_tps(cfg, (cfg.peak_hour + 12.0) * HOUR)
+    assert peak == pytest.approx(cfg.inference_peak_tps)
+    assert trough == pytest.approx(cfg.inference_trough_tps)
+
+
+@settings(max_examples=20, deadline=None)
+@given(days=st.floats(min_value=0.1, max_value=7.0))
+def test_slice_tokens_integrate_exactly(days):
+    # Sum of per-epoch closed-form integrals == whole-horizon integral:
+    # a whole day at the sinusoid's mean rate per full day simulated.
+    cfg = WorkloadConfig()
+    slices = inference_slices(cfg, days)
+    assert slices[0].t0_s == 0.0
+    assert slices[-1].t1_s == pytest.approx(days * DAY)
+    for a, b in zip(slices, slices[1:]):
+        assert a.t1_s == b.t0_s
+    total = sum(s.tokens for s in slices)
+    mid = 0.5 * (cfg.inference_peak_tps + cfg.inference_trough_tps)
+    if abs(days - round(days)) < 1e-9:  # whole days: sinusoid cancels
+        assert total == pytest.approx(mid * days * DAY, rel=1e-9)
+    assert all(s.tokens > 0 for s in slices)
+    assert all(s.ep_groups >= 1 for s in slices)
+    assert all(
+        s.kv_read_bytes == pytest.approx(s.tokens * cfg.kv_bytes_per_token)
+        for s in slices
+    )
+
+
+# ---------------------------------------------------------------------------
+# SLO math
+# ---------------------------------------------------------------------------
+
+
+def test_score_week_folds_ledgers():
+    waits = {
+        "t000.j000": (0, 60.0),
+        "t000.j001": (0, 120.0),
+        "t001.j000": (1, 0.0),
+    }
+    tasks = {
+        "t000.j000": (0, 100.0, 100.0, True),
+        "t000.j001": (0, 200.0, 150.0, False),
+        "t001.j000": (1, 50.0, 50.0, True),
+    }
+    card = score_week(waits, tasks, tokens_served=1e9, days=7.0)
+    assert card.jobs_submitted == 3
+    assert card.jobs_finished == 2
+    assert card.completion_rate == pytest.approx(2 / 3)
+    assert card.worst_tenant == 0
+    assert card.goodput_worst == pytest.approx(250.0 / 300.0)
+    assert card.queue_wait_mean_s == pytest.approx(60.0, rel=0.1)
+    assert card.cost_per_token == pytest.approx(
+        cost_per_token(1e9, 7.0), rel=1e-12
+    )
+    t0 = card.tenants[0]
+    assert t0.mean_wait_s == pytest.approx(90.0)
+
+
+def test_score_week_rejects_empty():
+    with pytest.raises(ReproError):
+        score_week({}, {}, tokens_served=1e9, days=7.0)
+    with pytest.raises(ReproError):
+        cost_per_token(0.0, 7.0)
+
+
+def test_cost_per_token_scales_linearly_with_days():
+    one = cost_per_token(1e9, 1.0)
+    seven = cost_per_token(1e9, 7.0)
+    assert seven == pytest.approx(7 * one, rel=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Compressed platform week (tier-1 smoke)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke_week():
+    cfg = WorkloadConfig(tenants=16, nodes_per_zone=8,
+                         jobs_per_tenant_week=28.0)
+    sim = PlatformSim(cfg, tick_s=MINUTE, epoch_s=15 * MINUTE)
+    return sim.run(seed=11, days=1.0 / 24.0)  # one simulated hour
+
+
+def test_smoke_week_runs_the_whole_stack(smoke_week):
+    week = smoke_week
+    assert week.ticks == 60
+    assert week.epochs == 4
+    assert week.scorecard.jobs_submitted >= 1
+    assert week.bytes_carried > 0
+    assert week.training_gbps_mean >= 0
+    assert week.tokens_served > 0
+    assert math.isfinite(week.scorecard.cost_per_token)
+
+
+def test_smoke_week_replays_identically(smoke_week):
+    cfg = WorkloadConfig(tenants=16, nodes_per_zone=8,
+                         jobs_per_tenant_week=28.0)
+    again = PlatformSim(cfg, tick_s=MINUTE, epoch_s=15 * MINUTE).run(
+        seed=11, days=1.0 / 24.0
+    )
+    assert again == smoke_week  # frozen dataclasses all the way down
+
+
+def test_smoke_week_seed_changes_outcome(smoke_week):
+    cfg = WorkloadConfig(tenants=16, nodes_per_zone=8,
+                         jobs_per_tenant_week=28.0)
+    other = PlatformSim(cfg, tick_s=MINUTE, epoch_s=15 * MINUTE).run(
+        seed=12, days=1.0 / 24.0
+    )
+    assert other != smoke_week
+
+
+def test_driver_validation():
+    with pytest.raises(ReproError):
+        PlatformSim(WorkloadConfig(), tick_s=0.0)
+    with pytest.raises(ReproError):
+        PlatformSim(WorkloadConfig(), tick_s=HOUR, epoch_s=MINUTE)
+    with pytest.raises(ReproError):
+        PlatformSim(WorkloadConfig()).run(seed=1, days=-1.0)

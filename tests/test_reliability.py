@@ -141,7 +141,7 @@ def test_generator_xid_distribution_matches_empirical():
 def test_generator_event_stream_rate():
     gen = FailureGenerator(n_nodes=1250, seed=1)
     month = 30 * 86400.0
-    events = gen.xid_events(month)
+    events = gen.failure_stream(month)
     # ~12970/12 ~= 1080 events per month; Poisson noise allowed.
     assert 900 <= len(events) <= 1300
     assert all(0 <= e.time <= month for e in events)
@@ -180,7 +180,7 @@ def test_generator_validation():
         FailureGenerator(n_nodes=0)
     gen = FailureGenerator(seed=5)
     with pytest.raises(ReproError):
-        gen.xid_events(0)
+        gen.failure_stream(0)
     with pytest.raises(ReproError):
         gen.sample_months(0)
     with pytest.raises(ReproError):
